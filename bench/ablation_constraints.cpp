@@ -1,0 +1,81 @@
+// Ablation: the design choices in the NLP construction.
+//
+//  1. Minimum-block-size constraints (2 MB reads / 1 MB writes): without
+//     them the volume-only objective is indifferent to tiny blocks, and
+//     the modeled disk time can blow up on seeks.
+//  2. Memory-limit sweep: disk traffic falls as the limit grows — the
+//     effect behind the paper's superlinear parallel scaling (Table 4).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ir/examples.hpp"
+#include "rt/interpreter.hpp"
+
+using namespace oocs;
+
+namespace {
+
+double simulated_seconds(const core::OocPlan& plan) {
+  dra::DiskFarm farm = dra::DiskFarm::sim(plan.program, bench::paper_disk_model());
+  rt::ExecOptions exec;
+  exec.dry_run = true;
+  rt::PlanInterpreter interpreter(plan, farm, exec);
+  return interpreter.run().io.seconds;
+}
+
+}  // namespace
+
+int main() {
+  const ir::Program program = ir::examples::four_index(140, 120);
+
+  std::printf("=== Ablation 1: minimum-block-size constraints (four-index, 2 GB) ===\n\n");
+  std::printf("%-28s | %14s | %10s | %12s\n", "configuration", "volume", "I/O calls",
+              "modeled time");
+  bench::rule();
+  for (const bool blocks : {true, false}) {
+    core::SynthesisOptions options;
+    options.memory_limit_bytes = std::int64_t{2} * kGiB;
+    options.enforce_block_constraints = blocks;
+    solver::DlmSolver dcs = bench::paper_dcs_solver();
+    const core::SynthesisResult result = core::synthesize(program, options, dcs);
+    std::printf("%-28s | %14s | %10.0f | %10.1f s\n",
+                blocks ? "block constraints ON" : "block constraints OFF",
+                format_bytes(result.predicted_disk_bytes).c_str(), result.predicted_io_calls,
+                simulated_seconds(result.plan));
+  }
+
+  std::printf("\n=== Ablation 2: memory-limit sweep (four-index (140,120)) ===\n\n");
+  std::printf("%-14s | %14s | %14s | %12s\n", "memory limit", "volume", "buffer bytes",
+              "modeled time");
+  bench::rule();
+  for (const std::int64_t gb : {1, 2, 4, 8}) {
+    core::SynthesisOptions options;
+    options.memory_limit_bytes = gb * kGiB;
+    solver::DlmSolver dcs = bench::paper_dcs_solver();
+    const core::SynthesisResult result = core::synthesize(program, options, dcs);
+    std::printf("%11lld GB | %14s | %14s | %10.1f s\n", static_cast<long long>(gb),
+                format_bytes(result.predicted_disk_bytes).c_str(),
+                format_bytes(static_cast<double>(result.plan.buffer_bytes())).c_str(),
+                simulated_seconds(result.plan));
+  }
+
+  std::printf("\n=== Ablation 3: λ(1−λ)=0 equality constraints (paper fidelity) ===\n\n");
+  std::printf("%-34s | %14s | %10s\n", "configuration", "volume", "solve time");
+  bench::rule();
+  for (const bool eq : {true, false}) {
+    core::SynthesisOptions options;
+    options.memory_limit_bytes = std::int64_t{2} * kGiB;
+    options.add_binary_equalities = eq;
+    solver::DlmSolver dcs = bench::paper_dcs_solver();
+    const core::SynthesisResult result = core::synthesize(program, options, dcs);
+    std::printf("%-34s | %14s | %8.2f s\n",
+                eq ? "with binary equalities (paper)" : "integer bounds only",
+                format_bytes(result.predicted_disk_bytes).c_str(), result.codegen_seconds);
+  }
+  std::printf("\nNotes: our solver treats 0/1 variables natively, so the paper's explicit\n"
+              "λ(1−λ)=0 equalities change nothing but cost a few constraint evaluations.\n");
+  return 0;
+}

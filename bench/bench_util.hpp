@@ -1,0 +1,61 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "dra/disk_array.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs::bench {
+
+/// Command-line flag scan: true if `--name` was passed.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// The modeled "machine" standing in for the paper's Itanium-2 node
+/// (Table 1): local SCSI disk, ~9 ms positioning, ~50/45 MB/s transfer.
+inline dra::DiskModel paper_disk_model() { return dra::DiskModel{}; }
+
+inline void print_table1_model() {
+  const dra::DiskModel m = paper_disk_model();
+  std::printf("Modeled node (stand-in for paper Table 1: Dual Itanium-2, 4 GB, Linux 2.4):\n");
+  std::printf("  disk seek/positioning : %.1f ms\n", m.seek_seconds * 1e3);
+  std::printf("  disk read bandwidth   : %s/s\n",
+              format_bytes(m.read_bandwidth_bytes_per_s).c_str());
+  std::printf("  disk write bandwidth  : %s/s\n",
+              format_bytes(m.write_bandwidth_bytes_per_s).c_str());
+  std::printf("  min I/O block         : 2 MB reads, 1 MB writes (paper's constraint)\n\n");
+}
+
+/// The DCS-role solver configuration used by every table bench: a small
+/// budget suffices (see bench/ablation_solvers for the sweep).
+inline solver::DlmSolver paper_dcs_solver() {
+  solver::DlmOptions options;
+  options.max_iterations = 6'000;
+  options.max_restarts = 2;
+  options.seed = 1;
+  return solver::DlmSolver(options);
+}
+
+/// Seek-equivalent bytes for the objective's seek-awareness refinement:
+/// one positioning delay costs as much time as this many transferred
+/// bytes.
+inline double seek_cost_bytes() {
+  const dra::DiskModel m = paper_disk_model();
+  return m.seek_seconds * m.read_bandwidth_bytes_per_s;
+}
+
+inline void rule(char c = '-', int width = 86) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace oocs::bench

@@ -1,0 +1,50 @@
+// Reproduces the observation behind the paper's minimum-block-size
+// constraint (ref [37], Krishnamoorthy et al.): sweeping the I/O block
+// size of an out-of-core matrix transposition, the improvement in the
+// transfer-to-seek time ratio becomes negligible beyond a
+// system-dependent block size — ~2 MB for the modeled disk — which is
+// exactly where §4.2 pins its read-block minimum.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dra/transpose.hpp"
+
+using namespace oocs;
+
+int main() {
+  std::printf("=== Block-size knee: out-of-core transposition of a 3.2 GB matrix ===\n\n");
+  bench::print_table1_model();
+
+  const std::int64_t n = 20'000;  // 20000^2 doubles = 3.2 GB
+  const dra::DiskModel model = bench::paper_disk_model();
+
+  std::printf("%-12s | %-10s | %10s | %12s | %14s | %s\n", "block buf", "tile", "I/O calls",
+              "seek time", "transfer time", "total (xfer/seek)");
+  bench::rule();
+  double previous_total = 0;
+  for (std::int64_t kb = 64; kb <= 64 * 1024; kb *= 2) {
+    dra::SimDiskArray in("Tin", {n, n}, model);
+    dra::SimDiskArray out("Tout", {n, n}, model);
+    const dra::TransposeStats stats =
+        dra::transpose_out_of_core(in, out, kb * 1024);
+    const double calls = static_cast<double>(stats.io.read_calls + stats.io.write_calls);
+    const double seek = calls * model.seek_seconds;
+    const double transfer = stats.io.seconds - seek;
+    char note[64] = "";
+    if (previous_total > 0) {
+      std::snprintf(note, sizeof note, "  (%.1f%% better)",
+                    (previous_total - stats.io.seconds) / previous_total * 100);
+    }
+    std::printf("%9lld KB | %10lld | %10.0f | %10.1f s | %12.1f s | %8.1f s (%5.1f)%s\n",
+                static_cast<long long>(kb), static_cast<long long>(stats.tile), calls, seek,
+                transfer, stats.io.seconds, transfer / seek, note);
+    previous_total = stats.io.seconds;
+  }
+  bench::rule();
+  std::printf(
+      "\nThe knee: below ~2 MB of buffer the per-call seek dominates; past it the\n"
+      "total time is within a few percent of the sequential-transfer bound, so\n"
+      "constraining every I/O buffer to >= 2 MB (reads) / 1 MB (writes) loses\n"
+      "nothing while keeping the volume-based cost model accurate (paper §4.2).\n");
+  return 0;
+}

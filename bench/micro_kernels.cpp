@@ -1,0 +1,104 @@
+// google-benchmark micro benchmarks for the hot substrate components:
+// symbolic vs compiled expression evaluation, the contraction kernels,
+// the POSIX disk backend, the DSL parser and placement enumeration.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "core/access.hpp"
+#include "dra/disk_array.hpp"
+#include "expr/compiled.hpp"
+#include "expr/expr.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "rt/kernels.hpp"
+#include "trans/tiled.hpp"
+
+namespace {
+
+using namespace oocs;
+
+expr::Expr tile_cost_expr() {
+  using expr::lit;
+  using expr::var;
+  expr::Expr cost = lit(0);
+  for (const char* x : {"a", "b", "c", "d"}) {
+    cost = cost + expr::Expr::ceil_div(lit(140), var(std::string("T_") + x)) * lit(1.2e9);
+  }
+  return cost * expr::Expr::ceil_div(lit(120), var("T_a"));
+}
+
+void BM_ExprEvalInterpreted(benchmark::State& state) {
+  const expr::Expr e = tile_cost_expr();
+  expr::Env env{{"T_a", 12}, {"T_b", 34}, {"T_c", 56}, {"T_d", 78}};
+  for (auto _ : state) benchmark::DoNotOptimize(e.eval(env));
+}
+BENCHMARK(BM_ExprEvalInterpreted);
+
+void BM_ExprEvalCompiled(benchmark::State& state) {
+  const expr::Expr e = tile_cost_expr();
+  expr::VarTable table;
+  const expr::CompiledExpr ce(e, table);
+  std::vector<double> values(static_cast<std::size_t>(table.size()), 12);
+  for (auto _ : state) benchmark::DoNotOptimize(ce.eval(values));
+}
+BENCHMARK(BM_ExprEvalCompiled);
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  std::vector<double> c(static_cast<std::size_t>(n * n), 0);
+  for (double& v : a) v = rng.next_double();
+  for (double& v : b) v = rng.next_double();
+  for (auto _ : state) rt::dgemm_accumulate(n, n, n, a, b, c);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DgemmNaive(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  std::vector<double> c(static_cast<std::size_t>(n * n), 0);
+  for (double& v : a) v = rng.next_double();
+  for (double& v : b) v = rng.next_double();
+  for (auto _ : state) rt::dgemm_naive(n, n, n, a, b, c);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_DgemmNaive)->Arg(64)->Arg(256);
+
+void BM_PosixSectionRead(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_bench_disk";
+  std::filesystem::remove_all(dir);
+  dra::PosixDiskArray array("bench", {512, 512}, dir.string());
+  std::vector<double> data(512 * 512, 1.0);
+  array.write(dra::Section::whole(array.extents()), data);
+  const dra::Section section{{{128, 384}, {128, 384}}};
+  std::vector<double> buffer(static_cast<std::size_t>(section.elements()));
+  for (auto _ : state) array.read(section, buffer);
+  state.SetBytesProcessed(state.iterations() * section.elements() * 8);
+}
+BENCHMARK(BM_PosixSectionRead);
+
+void BM_ParseFourIndexDsl(benchmark::State& state) {
+  const std::string text = ir::examples::four_index_dsl(140, 120);
+  for (auto _ : state) benchmark::DoNotOptimize(ir::parse(text));
+}
+BENCHMARK(BM_ParseFourIndexDsl);
+
+void BM_EnumeratePlacements(benchmark::State& state) {
+  const ir::Program program = ir::examples::four_index(140, 120);
+  const trans::TiledProgram tiled(program);
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = std::int64_t{2} * 1024 * 1024 * 1024;
+  for (auto _ : state) benchmark::DoNotOptimize(core::enumerate_placements(tiled, options));
+}
+BENCHMARK(BM_EnumeratePlacements);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+#include "baseline/uniform_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "core/greedy.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::baseline {
+
+namespace {
+
+/// Log-uniform sample values for one dimension: {1, 2, 4, ..., N}.
+std::vector<std::int64_t> log_grid(std::int64_t extent, int samples_per_dim) {
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = 1; v < extent; v *= 2) values.push_back(v);
+  values.push_back(extent);
+  if (samples_per_dim > 0 && static_cast<int>(values.size()) > samples_per_dim) {
+    // Thin to ~samples_per_dim values, keeping the endpoints.
+    std::vector<std::int64_t> thinned;
+    const double step = static_cast<double>(values.size() - 1) /
+                        static_cast<double>(samples_per_dim - 1);
+    for (int k = 0; k < samples_per_dim; ++k) {
+      thinned.push_back(values[static_cast<std::size_t>(std::llround(k * step))]);
+    }
+    thinned.erase(std::unique(thinned.begin(), thinned.end()), thinned.end());
+    return thinned;
+  }
+  return values;
+}
+
+}  // namespace
+
+BaselineResult uniform_sampling_synthesize(const ir::Program& program,
+                                           const UniformSamplingOptions& options) {
+  Stopwatch timer;
+  const trans::TiledProgram tiled(program);
+  core::Enumeration enumeration = core::enumerate_placements(tiled, options.synthesis);
+  core::GreedyEvaluator evaluator(program, enumeration, options.synthesis);
+
+  const std::vector<std::string>& indices = enumeration.loop_indices;
+  std::vector<std::vector<std::int64_t>> grids;
+  grids.reserve(indices.size());
+  std::int64_t total_points = 1;
+  for (const std::string& index : indices) {
+    grids.push_back(log_grid(program.range(index), options.samples_per_dim));
+    total_points *= static_cast<std::int64_t>(grids.back().size());
+  }
+
+  BaselineResult result;
+  result.points_total = total_points;
+  result.best_disk_bytes = std::numeric_limits<double>::infinity();
+  std::vector<int> best_choice;
+  std::map<std::string, std::int64_t> best_tiles;
+
+  std::vector<std::size_t> cursor(indices.size(), 0);
+  std::vector<double> point(indices.size(), 1.0);
+
+  while (true) {
+    if (options.max_points >= 0 && result.points_evaluated >= options.max_points) break;
+    ++result.points_evaluated;
+    for (std::size_t d = 0; d < indices.size(); ++d) {
+      point[d] = static_cast<double>(grids[d][cursor[d]]);
+    }
+
+    const core::GreedyEvaluator::PointResult placed = evaluator.place(point);
+    if (placed.feasible) {
+      ++result.points_feasible;
+      if (placed.cost < result.best_disk_bytes) {
+        result.best_disk_bytes = placed.cost;
+        best_choice = placed.choice;
+        best_tiles.clear();
+        for (std::size_t d = 0; d < indices.size(); ++d) {
+          best_tiles[indices[d]] = grids[d][cursor[d]];
+        }
+      }
+    }
+
+    // Odometer over the grids.
+    std::size_t d = 0;
+    for (; d < cursor.size(); ++d) {
+      if (++cursor[d] < grids[d].size()) break;
+      cursor[d] = 0;
+    }
+    if (d == cursor.size()) break;
+  }
+
+  if (best_choice.empty()) {
+    throw InfeasibleError("uniform sampling found no feasible placement/tiling point");
+  }
+
+  core::Decisions decisions;
+  decisions.tile_sizes = best_tiles;
+  decisions.option_index = best_choice;
+  result.plan = core::build_plan(tiled, enumeration, decisions);
+  result.decisions = std::move(decisions);
+  result.enumeration = std::move(enumeration);
+  result.seconds = timer.seconds();
+  log::info("uniform sampling: ", result.points_evaluated, "/", result.points_total,
+            " points, best ", result.best_disk_bytes, " in ", result.seconds, "s");
+  return result;
+}
+
+}  // namespace oocs::baseline

@@ -1,0 +1,52 @@
+// The "Uniform Sampling Approach" baseline (paper §5, from Krishnan's
+// MS thesis): the memory-to-cache data-locality algorithm of Cociorva et
+// al. extended to the disk-memory hierarchy.
+//
+// For each combination of tile sizes — the tile-size space is sampled
+// log-uniformly along every dimension — disk I/O statements are placed
+// greedily: each array starts at its outermost (cheapest-I/O) candidate
+// placement and is pushed inside loops until the memory limit holds.
+// The whole sampled space is searched by brute force.  This is the
+// approach the DCS-based synthesis is orders of magnitude faster than
+// (Table 2) and slightly better than (Table 3).
+#pragma once
+
+#include <cstdint>
+
+#include "core/synthesize.hpp"
+
+namespace oocs::baseline {
+
+struct UniformSamplingOptions {
+  core::SynthesisOptions synthesis;
+  /// Log-uniform samples per dimension: {1, 2, 4, ..., N}.  A value
+  /// k > 0 thins the grid to ~k values per dimension; 0 keeps all.
+  int samples_per_dim = 0;
+  /// Evaluate at most this many points (-1 = the whole grid).  Used by
+  /// the Table 2 bench to measure per-point cost and extrapolate the
+  /// full-grid time without hours of compute.
+  std::int64_t max_points = -1;
+};
+
+struct BaselineResult {
+  core::OocPlan plan;
+  core::Decisions decisions;
+  core::Enumeration enumeration;
+  /// Best total disk traffic found (bytes).
+  double best_disk_bytes = 0;
+  std::int64_t points_evaluated = 0;
+  std::int64_t points_feasible = 0;
+  /// Size of the full sampled grid (product of per-dim sample counts).
+  std::int64_t points_total = 0;
+  double seconds = 0;
+  [[nodiscard]] double seconds_per_point() const {
+    return points_evaluated > 0 ? seconds / static_cast<double>(points_evaluated) : 0;
+  }
+};
+
+/// Runs the baseline synthesis.  Throws InfeasibleError if no sampled
+/// point admits a feasible greedy placement.
+[[nodiscard]] BaselineResult uniform_sampling_synthesize(const ir::Program& program,
+                                                         const UniformSamplingOptions& options);
+
+}  // namespace oocs::baseline

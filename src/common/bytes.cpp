@@ -1,0 +1,69 @@
+#include "common/bytes.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace oocs {
+
+std::string format_bytes(double bytes) {
+  const char* suffix = "B";
+  double value = bytes;
+  if (std::fabs(value) >= static_cast<double>(kGiB)) {
+    value /= static_cast<double>(kGiB);
+    suffix = "GB";
+  } else if (std::fabs(value) >= static_cast<double>(kMiB)) {
+    value /= static_cast<double>(kMiB);
+    suffix = "MB";
+  } else if (std::fabs(value) >= static_cast<double>(kKiB)) {
+    value /= static_cast<double>(kKiB);
+    suffix = "KB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s", value, suffix);
+  return buf;
+}
+
+std::int64_t parse_bytes(const std::string& text) {
+  std::size_t pos = 0;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::size_t end = pos;
+  while (end < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[end])) || text[end] == '.' ||
+          text[end] == '+' || text[end] == '-')) {
+    ++end;
+  }
+  if (end == pos) throw SpecError("cannot parse byte size from '" + text + "'");
+  double value = 0;
+  try {
+    value = std::stod(text.substr(pos, end - pos));
+  } catch (const std::exception&) {
+    throw SpecError("cannot parse byte size from '" + text + "'");
+  }
+
+  std::string unit;
+  for (std::size_t i = end; i < text.size(); ++i) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    unit.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  double scale = 1;
+  if (unit.empty() || unit == "b") {
+    scale = 1;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    scale = static_cast<double>(kKiB);
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    scale = static_cast<double>(kMiB);
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    throw SpecError("unknown byte-size unit '" + unit + "' in '" + text + "'");
+  }
+  const double bytes = value * scale;
+  if (bytes < 0) throw SpecError("negative byte size '" + text + "'");
+  return static_cast<std::int64_t>(std::llround(bytes));
+}
+
+}  // namespace oocs

@@ -1,0 +1,25 @@
+// Byte-size formatting and parsing ("2GB", "1.5MiB", ...).
+//
+// Sizes throughout oocs follow the paper's convention: "GB"/"MB"/"KB"
+// denote binary multiples (the 2 GB memory limit in the paper is 2^31
+// bytes of double-precision buffers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oocs {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// Format a byte count with a human-readable binary suffix, e.g.
+/// format_bytes(3 * kGiB / 2) == "1.50 GB".
+std::string format_bytes(double bytes);
+
+/// Parse strings such as "2GB", "512 MB", "1024", "1.5GiB" into bytes.
+/// Throws SpecError on malformed input.
+std::int64_t parse_bytes(const std::string& text);
+
+}  // namespace oocs

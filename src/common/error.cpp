@@ -1,0 +1,27 @@
+#include "common/error.hpp"
+
+namespace oocs {
+
+namespace {
+std::string with_location(const std::string& message, const std::source_location& loc) {
+  std::ostringstream os;
+  os << message << " [" << loc.file_name() << ":" << loc.line() << "]";
+  return os.str();
+}
+}  // namespace
+
+Error::Error(std::string message, std::source_location loc)
+    : std::runtime_error(with_location(message, loc)), loc_(loc) {}
+
+namespace detail {
+
+void throw_check_failure(const char* kind, const char* cond_text,
+                         const std::string& message, std::source_location loc) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond_text;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str(), loc);
+}
+
+}  // namespace detail
+}  // namespace oocs

@@ -1,0 +1,93 @@
+// Error handling for the oocs library.
+//
+// All recoverable failures are reported via `oocs::Error`, which carries a
+// formatted message and the source location of the throw site.  The
+// OOCS_CHECK / OOCS_REQUIRE macros express preconditions and internal
+// invariants; per C++ Core Guidelines (P.7, E.2) we catch run-time errors
+// early and signal them with exceptions rather than error codes.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oocs {
+
+/// Base exception for every error raised by the oocs library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message,
+                 std::source_location loc = std::source_location::current());
+
+  /// Source location of the throw site (for diagnostics and tests).
+  [[nodiscard]] const std::source_location& where() const noexcept { return loc_; }
+
+ private:
+  std::source_location loc_;
+};
+
+/// Raised when a user-supplied specification (DSL text, ranges, limits)
+/// is malformed or inconsistent.
+class SpecError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when the optimization problem has no feasible solution
+/// (e.g. the memory limit cannot hold even unit tiles).
+class InfeasibleError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on disk-backend failures (file creation, short reads, ...).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* cond_text,
+                                      const std::string& message,
+                                      std::source_location loc);
+}  // namespace detail
+
+}  // namespace oocs
+
+/// Internal invariant: failure indicates a bug in oocs itself.
+#define OOCS_CHECK(cond, ...)                                                  \
+  do {                                                                         \
+    if (!(cond)) [[unlikely]] {                                                \
+      ::oocs::detail::throw_check_failure(                                     \
+          "internal check", #cond, ::oocs::detail_format_message(__VA_ARGS__), \
+          ::std::source_location::current());                                  \
+    }                                                                          \
+  } while (false)
+
+/// Precondition on caller-supplied data: failure is a usage error.
+#define OOCS_REQUIRE(cond, ...)                                                \
+  do {                                                                         \
+    if (!(cond)) [[unlikely]] {                                                \
+      ::oocs::detail::throw_check_failure(                                     \
+          "precondition", #cond, ::oocs::detail_format_message(__VA_ARGS__),   \
+          ::std::source_location::current());                                  \
+    }                                                                          \
+  } while (false)
+
+namespace oocs {
+
+/// Builds the optional message attached to a failing check.  Accepts any
+/// streamable arguments; with no arguments produces an empty string.
+template <typename... Args>
+std::string detail_format_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+}  // namespace oocs

@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace oocs::log {
+
+namespace {
+
+Level initial_level() {
+  const char* env = std::getenv("OOCS_LOG");
+  if (env == nullptr) return Level::Warn;
+  if (std::strcmp(env, "error") == 0) return Level::Error;
+  if (std::strcmp(env, "warn") == 0) return Level::Warn;
+  if (std::strcmp(env, "info") == 0) return Level::Info;
+  if (std::strcmp(env, "debug") == 0) return Level::Debug;
+  return Level::Warn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{static_cast<int>(initial_level())};
+  return storage;
+}
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "E";
+    case Level::Warn: return "W";
+    case Level::Info: return "I";
+    case Level::Debug: return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() noexcept { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) noexcept {
+  level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void write(Level lvl, const std::string& message) {
+  static std::mutex mu;
+  const std::scoped_lock lock(mu);
+  std::cerr << "[oocs:" << tag(lvl) << "] " << message << '\n';
+}
+
+}  // namespace oocs::log

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The synthesis pipeline and the solvers emit progress at Info level and
+// search diagnostics at Debug level; benches and tests tune the level via
+// `set_level` or the OOCS_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace oocs::log {
+
+enum class Level : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Current global log level (default Warn; overridden by env OOCS_LOG).
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// Emit one line at `lvl` to stderr if enabled.  Thread-safe.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, const Args&... args) {
+  if (lvl > level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(const Args&... args) { detail::emit(Level::Error, args...); }
+template <typename... Args>
+void warn(const Args&... args) { detail::emit(Level::Warn, args...); }
+template <typename... Args>
+void info(const Args&... args) { detail::emit(Level::Info, args...); }
+template <typename... Args>
+void debug(const Args&... args) { detail::emit(Level::Debug, args...); }
+
+}  // namespace oocs::log

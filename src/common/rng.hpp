@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (CSA solver, synthetic tensor data, property
+// tests) draw from `Rng` so that every run is reproducible from a seed.
+// The engine is SplitMix64: tiny state, excellent statistical quality for
+// this use, and trivially portable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace oocs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64 step).
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    OOCS_REQUIRE(lo <= hi, "uniform(", lo, ", ", hi, ")");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Fork a statistically independent stream (for per-thread use).
+  Rng split() noexcept { return Rng(next_u64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace oocs

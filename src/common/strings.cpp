@@ -1,0 +1,53 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace oocs {
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split_trimmed(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    const std::string_view piece =
+        pos == std::string_view::npos ? text.substr(start) : text.substr(start, pos - start);
+    const std::string_view trimmed = trim(piece);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool is_identifier(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = static_cast<unsigned char>(name.front());
+  if (!std::isalpha(head) && name.front() != '_') return false;
+  for (const char c : name.substr(1)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string indent(int depth) {
+  return std::string(static_cast<std::size_t>(depth < 0 ? 0 : depth) * 2, ' ');
+}
+
+}  // namespace oocs

@@ -1,0 +1,26 @@
+// Small string utilities shared by the DSL parser and the printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oocs {
+
+/// Split `text` on `sep`, trimming ASCII whitespace from every piece and
+/// dropping empty pieces.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool is_identifier(std::string_view name);
+
+/// Repeat two-space indentation `depth` times.
+std::string indent(int depth);
+
+}  // namespace oocs

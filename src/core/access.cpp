@@ -1,0 +1,443 @@
+#include "core/access.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace oocs::core {
+
+namespace {
+
+using expr::Expr;
+using ir::ArrayDecl;
+using ir::ArrayKind;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+using trans::TiledNode;
+using trans::TiledProgram;
+
+Expr range_const(const Program& program, const std::string& index) {
+  return expr::lit(static_cast<double>(program.range(index)));
+}
+
+/// Trip count of the tiling loop of `index`: ceil(N / T).
+Expr trips(const Program& program, const std::string& index) {
+  return Expr::ceil_div(range_const(program, index), expr::var(tile_var(index)));
+}
+
+Expr size_const(const Program& program, const std::string& array) {
+  return expr::lit(program.byte_size(array));
+}
+
+}  // namespace
+
+std::string tile_var(const std::string& index) { return "T_" + index; }
+
+Expr BufferShape::bytes(const Program& program) const {
+  std::vector<Expr> factors{expr::lit(static_cast<double>(ir::kElementBytes))};
+  for (const Dim& dim : dims) {
+    factors.push_back(dim.tiled ? expr::var(tile_var(dim.index))
+                                : range_const(program, dim.index));
+  }
+  return Expr::mul(std::move(factors));
+}
+
+double BufferShape::min_bytes(const Program& program) const {
+  double bytes = static_cast<double>(ir::kElementBytes);
+  for (const Dim& dim : dims) {
+    if (!dim.tiled) bytes *= static_cast<double>(program.range(dim.index));
+  }
+  return bytes;
+}
+
+std::string BufferShape::to_string() const {
+  if (dims.empty()) return "scalar";
+  std::vector<std::string> parts;
+  parts.reserve(dims.size());
+  for (const Dim& dim : dims) {
+    parts.push_back((dim.tiled ? "T" : "N") + std::string("_") + dim.index);
+  }
+  return join(parts, " x ");
+}
+
+Expr IoCandidate::disk_bytes(const Program& program, const std::string& array) const {
+  Expr base = size_const(program, array);
+  for (const std::string& index : redundant) base = base * trips(program, index);
+  if (!read_required) return base;
+  // Read-modify-write: the block is read back before every accumulation
+  // pass and the disk array is zero-initialized once up front.
+  return expr::lit(2) * base + size_const(program, array);
+}
+
+Expr IoCandidate::call_count(const Program& program) const {
+  Expr count = expr::lit(1);
+  for (const std::string& index : loops_above) count = count * trips(program, index);
+  return count;
+}
+
+namespace {
+
+/// Walks one statement path bottom-up producing the legal candidates
+/// for one array access (the core of §4.1).
+class CandidateWalk {
+ public:
+  CandidateWalk(const TiledProgram& tiled, const SynthesisOptions& options)
+      : tiled_(tiled), options_(options) {}
+
+  /// `min_position`: lowest legal depth (0 for inputs/outputs; the LCA
+  /// prefix length for intermediates).
+  std::vector<IoCandidate> run(int stmt_id, const ArrayDecl& decl, bool is_write,
+                               int min_position) const {
+    const auto& info = tiled_.stmt_info(stmt_id);
+    const auto& loops = info.loops;
+
+    int first_intra = static_cast<int>(loops.size());
+    for (int d = 0; d < static_cast<int>(loops.size()); ++d) {
+      if (loops[static_cast<std::size_t>(d)]->kind == TiledNode::Kind::IntraLoop) {
+        first_intra = d;
+        break;
+      }
+    }
+
+    // Depth of each dimension's tiling loop on this path.
+    std::map<std::string, int> tiling_depth;
+    for (int d = 0; d < first_intra; ++d) {
+      tiling_depth[loops[static_cast<std::size_t>(d)]->index] = d;
+    }
+    for (const std::string& dim : decl.indices) {
+      OOCS_CHECK(tiling_depth.count(dim) != 0, "dimension '", dim,
+                 "' of ", decl.name, " unbound at stmt ", stmt_id);
+    }
+
+    const auto indexes_array = [&](const std::string& index) {
+      return std::find(decl.indices.begin(), decl.indices.end(), index) != decl.indices.end();
+    };
+
+    std::vector<IoCandidate> out;
+    for (int k = first_intra; k >= std::max(min_position, 0); --k) {
+      IoCandidate cand;
+      cand.stmt_id = stmt_id;
+      cand.position = k;
+      cand.label = k < static_cast<int>(loops.size())
+                       ? loops[static_cast<std::size_t>(k)]->display_name()
+                       : "leaf";
+
+      for (const std::string& dim : decl.indices) {
+        cand.buffer.dims.push_back({dim, tiling_depth.at(dim) < k});
+      }
+      // Feasibility pruning: once even unit tiles no longer fit, no
+      // higher position can fit either.
+      if (cand.buffer.min_bytes(tiled_.source()) >
+          static_cast<double>(options_.memory_limit_bytes)) {
+        break;
+      }
+      // Skip positions immediately inside a redundant loop.
+      if (k > 0) {
+        const TiledNode& parent = *loops[static_cast<std::size_t>(k - 1)];
+        if (!indexes_array(parent.index)) continue;
+      }
+      for (int d = 0; d < k && d < first_intra; ++d) {
+        const std::string& index = loops[static_cast<std::size_t>(d)]->index;
+        cand.loops_above.push_back(index);
+        if (!indexes_array(index)) cand.redundant.push_back(index);
+      }
+      cand.read_required = is_write && !cand.redundant.empty();
+      out.push_back(std::move(cand));
+    }
+    return out;
+  }
+
+  /// Loop indices above position `k` on the path of `stmt_id`.
+  std::vector<std::string> loops_above(int stmt_id, int k) const {
+    const auto& loops = tiled_.stmt_info(stmt_id).loops;
+    std::vector<std::string> out;
+    for (int d = 0; d < k; ++d) {
+      if (loops[static_cast<std::size_t>(d)]->kind == TiledNode::Kind::TilingLoop) {
+        out.push_back(loops[static_cast<std::size_t>(d)]->index);
+      }
+    }
+    return out;
+  }
+
+ private:
+  const TiledProgram& tiled_;
+  const SynthesisOptions& options_;
+};
+
+/// Per-array access sites discovered in the program.
+struct Sites {
+  std::vector<int> init_stmts;
+  std::vector<int> producer_stmts;  // Update statements targeting the array
+  std::vector<int> consumer_stmts;  // statements reading the array
+};
+
+std::map<std::string, Sites> collect_sites(const Program& program) {
+  std::map<std::string, Sites> sites;
+  program.for_each_stmt([&](const Stmt& stmt) {
+    if (stmt.kind == StmtKind::Init) {
+      sites[stmt.target.array].init_stmts.push_back(stmt.id);
+    } else {
+      sites[stmt.target.array].producer_stmts.push_back(stmt.id);
+      for (const auto* read : stmt.reads()) sites[read->array].consumer_stmts.push_back(stmt.id);
+    }
+  });
+  return sites;
+}
+
+/// Length of the common loop-node prefix of the given statements' paths.
+int common_prefix_length(const TiledProgram& tiled, const std::vector<int>& stmt_ids) {
+  OOCS_CHECK(!stmt_ids.empty(), "no statements for LCA");
+  const auto& first = tiled.stmt_info(stmt_ids.front()).loops;
+  std::size_t prefix = first.size();
+  for (const int id : stmt_ids) {
+    const auto& loops = tiled.stmt_info(id).loops;
+    std::size_t k = 0;
+    while (k < prefix && k < loops.size() && loops[k] == first[k]) ++k;
+    prefix = k;
+  }
+  return static_cast<int>(prefix);
+}
+
+}  // namespace
+
+Enumeration enumerate_placements(const TiledProgram& tiled, const SynthesisOptions& options) {
+  const Program& program = tiled.source();
+  const CandidateWalk walk(tiled, options);
+  const auto sites = collect_sites(program);
+
+  Enumeration out;
+
+  // Loop indices present in the tiled tree (deterministic order).
+  {
+    std::set<std::string> seen;
+    for (int id = 0; id < tiled.num_stmts(); ++id) {
+      for (const TiledNode* loop : tiled.stmt_info(id).loops) {
+        if (loop->kind == TiledNode::Kind::TilingLoop && seen.insert(loop->index).second) {
+          out.loop_indices.push_back(loop->index);
+        }
+      }
+    }
+  }
+
+  for (const auto& [name, decl] : program.arrays()) {
+    const auto sites_it = sites.find(name);
+    if (sites_it == sites.end()) continue;  // declared but unused
+    const Sites& site = sites_it->second;
+
+    switch (decl.kind) {
+      case ArrayKind::Input: {
+        // One group per consumption site.
+        for (const int stmt_id : site.consumer_stmts) {
+          ChoiceGroup group;
+          group.array = name;
+          group.kind = decl.kind;
+          group.stmt_id = stmt_id;
+          for (IoCandidate& cand : walk.run(stmt_id, decl, /*is_write=*/false, 0)) {
+            ChoiceOption option;
+            option.label = "read above " + cand.label;
+            option.disk_cost = cand.disk_bytes(program, name);
+            option.memory_cost = cand.buffer.bytes(program);
+            option.reads.push_back(std::move(cand));
+            group.options.push_back(std::move(option));
+          }
+          if (group.options.empty()) {
+            throw InfeasibleError("no feasible read placement for input '" + name +
+                                  "' under the memory limit");
+          }
+          out.groups.push_back(std::move(group));
+        }
+        break;
+      }
+      case ArrayKind::Output: {
+        if (site.producer_stmts.size() != 1) {
+          throw SpecError("output '" + name + "' must be produced by exactly one statement");
+        }
+        const int stmt_id = site.producer_stmts.front();
+        ChoiceGroup group;
+        group.array = name;
+        group.kind = decl.kind;
+        group.stmt_id = stmt_id;
+        for (IoCandidate& cand : walk.run(stmt_id, decl, /*is_write=*/true, 0)) {
+          ChoiceOption option;
+          option.label = "write above " + cand.label +
+                         (cand.read_required ? " (read required)" : "");
+          option.disk_cost = cand.disk_bytes(program, name);
+          option.memory_cost = cand.buffer.bytes(program);
+          option.write = std::move(cand);
+          group.options.push_back(std::move(option));
+        }
+        if (group.options.empty()) {
+          throw InfeasibleError("no feasible write placement for output '" + name +
+                                "' under the memory limit");
+        }
+        out.groups.push_back(std::move(group));
+        break;
+      }
+      case ArrayKind::Intermediate: {
+        if (site.producer_stmts.size() != 1) {
+          throw SpecError("intermediate '" + name + "' must be produced by exactly one statement");
+        }
+        const int producer = site.producer_stmts.front();
+        ChoiceGroup group;
+        group.array = name;
+        group.kind = decl.kind;
+        group.stmt_id = producer;
+
+        // LCA across producer, every consumer, and the init statements.
+        std::vector<int> all_sites = site.producer_stmts;
+        all_sites.insert(all_sites.end(), site.consumer_stmts.begin(),
+                         site.consumer_stmts.end());
+        all_sites.insert(all_sites.end(), site.init_stmts.begin(), site.init_stmts.end());
+        const int prefix = common_prefix_length(tiled, all_sites);
+
+        // Shared-prefix tiling loops (ancestors of every access).
+        std::vector<std::string> prefix_loops;
+        {
+          const auto& shared = tiled.stmt_info(producer).loops;
+          for (int d = 0; d < prefix; ++d) {
+            if (shared[static_cast<std::size_t>(d)]->kind == TiledNode::Kind::TilingLoop) {
+              prefix_loops.push_back(shared[static_cast<std::size_t>(d)]->index);
+            }
+          }
+        }
+        const auto in_prefix = [&](const std::string& index) {
+          return std::find(prefix_loops.begin(), prefix_loops.end(), index) !=
+                 prefix_loops.end();
+        };
+        // "Virtual" dimensions: prefix loops not indexing the array.
+        // After tiling, the producer's intra-tile nest completes before
+        // the consumer's, so one value per intra point of every prefix
+        // loop is live simultaneously — the buffer gains a tile-sized
+        // dimension per prefix loop (the paper's Fig. 4b re-expands its
+        // fused-away T the same way).
+        const bool has_virtual_dims = std::any_of(
+            prefix_loops.begin(), prefix_loops.end(), [&](const std::string& x) {
+              return std::find(decl.indices.begin(), decl.indices.end(), x) ==
+                     decl.indices.end();
+            });
+
+        // Option 0: keep the intermediate in memory.
+        {
+          ChoiceOption option;
+          option.in_memory = true;
+          option.label = "in memory";
+          option.disk_cost = expr::lit(0);
+          BufferShape shape;
+          for (const std::string& x : prefix_loops) shape.dims.push_back({x, true});
+          for (const std::string& dim : decl.indices) {
+            if (!in_prefix(dim)) shape.dims.push_back({dim, false});
+          }
+          if (shape.min_bytes(program) <= static_cast<double>(options.memory_limit_bytes)) {
+            option.memory_cost = shape.bytes(program);
+            option.in_memory_shape = std::move(shape);
+            group.options.push_back(std::move(option));
+          }
+        }
+
+        // Disk options: every (write placement, consumer read placement
+        // combination) pair inside the LCA loop.  Arrays with virtual
+        // dimensions stay memory-resident: a disk section indexed only
+        // by the declared dimensions cannot distinguish the live values
+        // of different intra-tile points of the extra prefix loops.
+        if (!decl.indices.empty() && !has_virtual_dims) {
+          const auto writes = walk.run(producer, decl, /*is_write=*/true, prefix);
+          std::vector<std::vector<IoCandidate>> reads_per_consumer;
+          bool reads_ok = true;
+          for (const int consumer : site.consumer_stmts) {
+            reads_per_consumer.push_back(walk.run(consumer, decl, /*is_write=*/false, prefix));
+            if (reads_per_consumer.back().empty()) reads_ok = false;
+          }
+          if (!writes.empty() && reads_ok && !site.consumer_stmts.empty()) {
+            // Cartesian product over the write and all consumer reads.
+            std::vector<std::size_t> pick(reads_per_consumer.size() + 1, 0);
+            constexpr int kMaxOptions = 256;
+            while (true) {
+              const IoCandidate& w = writes[pick[0]];
+              ChoiceOption option;
+              option.write = w;
+              option.disk_cost = w.disk_bytes(program, name);
+              option.memory_cost = w.buffer.bytes(program);
+              std::string label = "write above " + w.label;
+              // NOTE: with several consumers only the first read is kept
+              // as the representative placement; cost includes all.
+              for (std::size_t c = 0; c < reads_per_consumer.size(); ++c) {
+                const IoCandidate& r = reads_per_consumer[c][pick[c + 1]];
+                option.disk_cost = option.disk_cost + r.disk_bytes(program, name);
+                option.memory_cost = option.memory_cost + r.buffer.bytes(program);
+                label += ", read above " + r.label;
+                option.reads.push_back(r);
+              }
+              option.label = label + (w.read_required ? " (read required)" : "");
+              group.options.push_back(std::move(option));
+              if (group.num_options() > kMaxOptions) {
+                throw SpecError("too many placement combinations for intermediate '" + name +
+                                "'");
+              }
+              // Odometer.
+              std::size_t d = 0;
+              for (; d < pick.size(); ++d) {
+                const std::size_t limit =
+                    d == 0 ? writes.size() : reads_per_consumer[d - 1].size();
+                if (++pick[d] < limit) break;
+                pick[d] = 0;
+              }
+              if (d == pick.size()) break;
+            }
+          }
+        } else {
+          // Scalars always stay in memory (8 bytes); ensured above.
+        }
+
+        if (group.options.empty()) {
+          throw InfeasibleError("intermediate '" + name +
+                                "' fits neither in memory nor on disk under the given limits");
+        }
+        out.groups.push_back(std::move(group));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+expr::Expr option_call_count(const ir::Program& program, const ChoiceOption& option) {
+  Expr calls = expr::lit(0);
+  for (const IoCandidate& read : option.reads) calls = calls + read.call_count(program);
+  if (option.write.has_value()) {
+    Expr write_calls = option.write->call_count(program);
+    if (option.write->read_required) write_calls = write_calls * expr::lit(2);
+    calls = calls + write_calls;
+  }
+  return calls;
+}
+
+std::string to_text(const Enumeration& enumeration) {
+  std::ostringstream os;
+  const auto section = [&](ir::ArrayKind kind, const char* title) {
+    os << title << "\n";
+    for (const ChoiceGroup& group : enumeration.groups) {
+      if (group.kind != kind) continue;
+      os << "  " << group.array << " (stmt#" << group.stmt_id << "):\n";
+      for (const ChoiceOption& option : group.options) {
+        os << "    - " << option.label;
+        if (!option.in_memory) {
+          const IoCandidate* cand =
+              !option.reads.empty() ? &option.reads.front() : &*option.write;
+          os << "  buffer " << cand->buffer.to_string();
+        }
+        os << "\n";
+      }
+    }
+  };
+  section(ir::ArrayKind::Input, "Input Arrays: (Read Placements)");
+  section(ir::ArrayKind::Output, "Output Arrays: (Write Placements)");
+  section(ir::ArrayKind::Intermediate, "Intermediates: (Write and Read Placements)");
+  return os.str();
+}
+
+}  // namespace oocs::core

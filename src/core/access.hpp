@@ -1,0 +1,147 @@
+// Candidate I/O placement enumeration (paper §4.1).
+//
+// For every disk-resident array access the legal positions of its disk
+// read/write statements are enumerated on the tiled loop tree:
+//
+//  * positions run from "immediately above the intra-tile nest" of the
+//    accessing statement up toward the root, one per enclosing loop;
+//  * a position immediately inside a *redundant* loop (one that does not
+//    index the array) is skipped — hoisting past it is never worse;
+//  * the upward walk stops as soon as the buffer can no longer fit in
+//    memory even with unit tile sizes;
+//  * positions inside the intra-tile nest are never generated, which
+//    realizes the paper's no-scalar/no-vector rule (in-memory operands
+//    stay at least tile-sized so BLAS-style kernels stay efficient);
+//  * for writes, a redundant loop above the position forces a
+//    read-modify-write of the disk array (plus an initialization pass);
+//  * intermediate arrays add an "in memory" option, and their disk
+//    read/write positions are confined to the subtree of the lowest
+//    common ancestor loop of producer and consumer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::core {
+
+/// Options shared by placement enumeration and NLP construction.
+struct SynthesisOptions {
+  std::int64_t memory_limit_bytes = std::int64_t{2} * 1024 * 1024 * 1024;
+  /// Minimum disk block sizes for efficient I/O (paper Table 1 system:
+  /// 2 MB reads, 1 MB writes); capped at the array size for small arrays.
+  std::int64_t min_read_block_bytes = std::int64_t{2} * 1024 * 1024;
+  std::int64_t min_write_block_bytes = std::int64_t{1} * 1024 * 1024;
+  bool enforce_block_constraints = true;
+  /// Emit the paper's λ(1−λ)=0 equality constraints in addition to the
+  /// integer [0,1] bounds (AMPL fidelity; redundant for our solvers).
+  bool add_binary_equalities = true;
+  /// Seek-awareness refinement: each I/O call adds this many bytes of
+  /// equivalent transfer to the objective (seek_time × bandwidth).
+  /// 0 reproduces the paper's pure-volume objective; the table benches
+  /// set it from the disk model so volume ties break toward fewer,
+  /// larger transfers.
+  double seek_cost_bytes = 0;
+};
+
+/// The in-memory buffer shape of an access: each array dimension is
+/// either tile-sized (its tiling loop is above the I/O position) or
+/// full-range (its tiling loop is below).
+struct BufferShape {
+  struct Dim {
+    std::string index;
+    bool tiled = true;
+  };
+  std::vector<Dim> dims;
+
+  /// Symbolic byte size: 8 · Π (T_d | N_d).
+  [[nodiscard]] expr::Expr bytes(const ir::Program& program) const;
+  /// Byte size with all tile sizes forced to 1 (feasibility pruning).
+  [[nodiscard]] double min_bytes(const ir::Program& program) const;
+  /// "Tm x Nn" style rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Name of the tile-size variable for loop index `i` (e.g. "T_i").
+[[nodiscard]] std::string tile_var(const std::string& index);
+
+/// One legal I/O placement for one access.
+struct IoCandidate {
+  int stmt_id = -1;
+  /// I/O placed immediately above the stmt-path loop at this depth.
+  int position = 0;
+  /// Display label: the loop the I/O sits above ("iI", "mT", or "top").
+  std::string label;
+  BufferShape buffer;
+  /// All tiling loop indices above the position (outermost first).
+  std::vector<std::string> loops_above;
+  /// Redundant tiling loop indices above the position.
+  std::vector<std::string> redundant;
+  /// Writes only: accumulation crosses a redundant loop, so the disk
+  /// array must be pre-initialized and re-read before each update.
+  bool read_required = false;
+
+  /// Bytes moved by this I/O statement over the whole execution:
+  /// Size(array) · Π trips(redundant); doubled (+ init pass) when
+  /// read_required.
+  [[nodiscard]] expr::Expr disk_bytes(const ir::Program& program,
+                                      const std::string& array) const;
+  /// Number of executions of the I/O call (for seek-cost accounting):
+  /// Π trips over *all* loops above the position.
+  [[nodiscard]] expr::Expr call_count(const ir::Program& program) const;
+};
+
+/// One selectable option of a choice group.
+struct ChoiceOption {
+  std::string label;
+  expr::Expr disk_cost;    // total bytes moved
+  expr::Expr memory_cost;  // total buffer bytes while live
+  bool in_memory = false;
+  /// In-memory options: the resident buffer shape (tile-sized in the
+  /// dimensions indexed by loops shared between all accesses).
+  BufferShape in_memory_shape;
+  /// Concrete placements (codegen): input groups fill one read; output
+  /// groups fill `write` (and imply a read when write->read_required);
+  /// intermediate disk options fill the write plus one read per
+  /// consumer site.
+  std::vector<IoCandidate> reads;
+  std::optional<IoCandidate> write;
+};
+
+/// All options for one array access-group (one per input consumption
+/// site, one per output array, one per intermediate array).
+struct ChoiceGroup {
+  std::string array;
+  ir::ArrayKind kind = ir::ArrayKind::Input;
+  /// The statement this group's candidates anchor to (consumer site for
+  /// inputs, producer for outputs/intermediates).
+  int stmt_id = -1;
+  std::vector<ChoiceOption> options;
+
+  [[nodiscard]] int num_options() const noexcept { return static_cast<int>(options.size()); }
+};
+
+struct Enumeration {
+  std::vector<ChoiceGroup> groups;
+  /// Loop indices that appear in the tiled program (tile variables).
+  std::vector<std::string> loop_indices;
+};
+
+/// Runs the §4.1 algorithm over the tiled program.  Throws SpecError for
+/// unsupported shapes (e.g. an output produced by several statements).
+[[nodiscard]] Enumeration enumerate_placements(const trans::TiledProgram& tiled,
+                                               const SynthesisOptions& options);
+
+/// Symbolic I/O call count of one option: all reads plus the write
+/// (doubled for read-modify-write accumulation).  Used by the
+/// seek-awareness refinement of both synthesis approaches.
+[[nodiscard]] expr::Expr option_call_count(const ir::Program& program,
+                                           const ChoiceOption& option);
+
+/// Renders the enumeration in the paper's Fig. 4a style.
+[[nodiscard]] std::string to_text(const Enumeration& enumeration);
+
+}  // namespace oocs::core

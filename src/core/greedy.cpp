@@ -1,0 +1,194 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/nlp.hpp"
+
+namespace oocs::core {
+
+namespace {
+
+using expr::Expr;
+
+Expr block_slack_expr(const ir::Program& program, const std::string& array,
+                      const ChoiceOption& option, const SynthesisOptions& options) {
+  using expr::lit;
+  const double array_bytes = program.byte_size(array);
+  Expr slack = lit(-1);
+  const auto cap = [&](std::int64_t min_block) {
+    return lit(std::min(static_cast<double>(min_block), array_bytes));
+  };
+  for (const IoCandidate& read : option.reads) {
+    slack = Expr::max(slack, cap(options.min_read_block_bytes) - read.buffer.bytes(program));
+  }
+  if (option.write.has_value()) {
+    slack = Expr::max(slack,
+                      cap(options.min_write_block_bytes) - option.write->buffer.bytes(program));
+    if (option.write->read_required) {
+      slack = Expr::max(slack,
+                        cap(options.min_read_block_bytes) - option.write->buffer.bytes(program));
+    }
+  }
+  return slack;
+}
+
+}  // namespace
+
+GreedyEvaluator::GreedyEvaluator(const ir::Program& program, const Enumeration& enumeration,
+                                 const SynthesisOptions& options)
+    : limit_(static_cast<double>(options.memory_limit_bytes)),
+      enforce_blocks_(options.enforce_block_constraints) {
+  expr::VarTable table;
+  for (const std::string& index : enumeration.loop_indices) table.intern(tile_var(index));
+
+  groups_.reserve(enumeration.groups.size());
+  for (const ChoiceGroup& group : enumeration.groups) {
+    std::vector<Option> options_compiled;
+    options_compiled.reserve(group.options.size());
+    for (const ChoiceOption& option : group.options) {
+      Expr cost = option.disk_cost;
+      if (options.seek_cost_bytes > 0) {
+        cost = cost + expr::lit(options.seek_cost_bytes) * option_call_count(program, option);
+      }
+      options_compiled.push_back(Option{
+          expr::CompiledExpr(cost, table), expr::CompiledExpr(option.memory_cost, table),
+          expr::CompiledExpr(block_slack_expr(program, group.array, option, options), table)});
+    }
+    groups_.push_back(std::move(options_compiled));
+  }
+  mem_of_.resize(groups_.size());
+  cost_of_.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    mem_of_[g].resize(groups_[g].size());
+    cost_of_[g].resize(groups_[g].size());
+  }
+}
+
+GreedyEvaluator::PointResult GreedyEvaluator::place(std::span<const double> point) {
+  PointResult result;
+  result.choice.assign(groups_.size(), 0);
+
+  double total_memory = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    int best = -1;
+    for (std::size_t c = 0; c < groups_[g].size(); ++c) {
+      if (enforce_blocks_ && groups_[g][c].block_slack.eval(point) > 0) {
+        mem_of_[g][c] = std::numeric_limits<double>::infinity();
+        cost_of_[g][c] = std::numeric_limits<double>::infinity();
+        continue;
+      }
+      mem_of_[g][c] = groups_[g][c].memory.eval(point);
+      cost_of_[g][c] = groups_[g][c].cost.eval(point);
+      if (best < 0 || cost_of_[g][c] < cost_of_[g][static_cast<std::size_t>(best)] ||
+          (cost_of_[g][c] == cost_of_[g][static_cast<std::size_t>(best)] &&
+           mem_of_[g][c] < mem_of_[g][static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) return result;  // no usable option at this point
+    result.choice[g] = best;
+    total_memory += mem_of_[g][static_cast<std::size_t>(best)];
+  }
+
+  while (total_memory > limit_) {
+    std::size_t worst = groups_.size();
+    double worst_memory = -1;
+    int worst_next = -1;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const double current = mem_of_[g][static_cast<std::size_t>(result.choice[g])];
+      if (current <= worst_memory) continue;
+      int next = -1;
+      for (std::size_t c = 0; c < mem_of_[g].size(); ++c) {
+        if (mem_of_[g][c] >= current) continue;
+        if (next < 0 || mem_of_[g][c] > mem_of_[g][static_cast<std::size_t>(next)] ||
+            (mem_of_[g][c] == mem_of_[g][static_cast<std::size_t>(next)] &&
+             cost_of_[g][c] < cost_of_[g][static_cast<std::size_t>(next)])) {
+          next = static_cast<int>(c);
+        }
+      }
+      if (next < 0) continue;
+      worst = g;
+      worst_memory = current;
+      worst_next = next;
+    }
+    if (worst == groups_.size()) return result;  // cannot shrink further
+    total_memory += mem_of_[worst][static_cast<std::size_t>(worst_next)] - worst_memory;
+    result.choice[worst] = worst_next;
+  }
+
+  result.feasible = true;
+  result.cost = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    result.cost += cost_of_[g][static_cast<std::size_t>(result.choice[g])];
+  }
+  return result;
+}
+
+std::optional<Decisions> greedy_warm_start(const ir::Program& program,
+                                           const Enumeration& enumeration,
+                                           const SynthesisOptions& options,
+                                           std::int64_t max_points) {
+  const std::size_t dims = enumeration.loop_indices.size();
+  if (dims == 0) return std::nullopt;
+
+  // Thin each dimension's log grid so the product stays within budget.
+  std::vector<std::vector<std::int64_t>> grids(dims);
+  int samples = std::max(
+      2, static_cast<int>(std::floor(std::pow(static_cast<double>(max_points),
+                                              1.0 / static_cast<double>(dims)))));
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::int64_t extent = program.range(enumeration.loop_indices[d]);
+    std::vector<std::int64_t> full;
+    for (std::int64_t v = 1; v < extent; v *= 2) full.push_back(v);
+    full.push_back(extent);
+    if (static_cast<int>(full.size()) > samples) {
+      std::vector<std::int64_t> thinned;
+      const double step =
+          static_cast<double>(full.size() - 1) / static_cast<double>(samples - 1);
+      for (int k = 0; k < samples; ++k) {
+        thinned.push_back(full[static_cast<std::size_t>(std::llround(k * step))]);
+      }
+      thinned.erase(std::unique(thinned.begin(), thinned.end()), thinned.end());
+      full = std::move(thinned);
+    }
+    grids[d] = std::move(full);
+  }
+
+  GreedyEvaluator evaluator(program, enumeration, options);
+  std::vector<double> point(dims, 1);
+  std::vector<std::size_t> cursor(dims, 0);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_choice;
+  std::vector<double> best_point;
+  while (true) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      point[d] = static_cast<double>(grids[d][cursor[d]]);
+    }
+    const GreedyEvaluator::PointResult result = evaluator.place(point);
+    if (result.feasible && result.cost < best_cost) {
+      best_cost = result.cost;
+      best_choice = result.choice;
+      best_point = point;
+    }
+    std::size_t d = 0;
+    for (; d < dims; ++d) {
+      if (++cursor[d] < grids[d].size()) break;
+      cursor[d] = 0;
+    }
+    if (d == dims) break;
+  }
+  if (best_choice.empty()) return std::nullopt;
+
+  Decisions decisions;
+  for (std::size_t d = 0; d < dims; ++d) {
+    decisions.tile_sizes[enumeration.loop_indices[d]] =
+        static_cast<std::int64_t>(best_point[d]);
+  }
+  decisions.option_index = best_choice;
+  return decisions;
+}
+
+}  // namespace oocs::core

@@ -1,0 +1,59 @@
+// Greedy I/O placement at a fixed tile-size point.
+//
+// The primitive shared by the uniform-sampling baseline (its inner
+// loop) and the DCS-style synthesis (as a warm start for the nonlinear
+// solver): every array starts at its cheapest-I/O usable candidate and
+// the largest buffer is pushed to its next smaller-memory placement
+// until the memory limit holds.
+#pragma once
+
+#include <optional>
+
+#include "core/access.hpp"
+#include "core/nlp.hpp"
+#include "expr/compiled.hpp"
+
+namespace oocs::core {
+
+/// Slot-compiled option costs for fast repeated evaluation.  Tile-size
+/// variables occupy slots [0, n) of `table` in `loop_indices` order.
+class GreedyEvaluator {
+ public:
+  GreedyEvaluator(const ir::Program& program, const Enumeration& enumeration,
+                  const SynthesisOptions& options);
+
+  struct PointResult {
+    bool feasible = false;
+    double cost = 0;
+    std::vector<int> choice;
+  };
+
+  /// Greedy placement at `point` (tile sizes, slot order =
+  /// enumeration.loop_indices).  Scratch buffers make this allocation
+  /// free after the first call.
+  [[nodiscard]] PointResult place(std::span<const double> point);
+
+  [[nodiscard]] int num_groups() const noexcept { return static_cast<int>(groups_.size()); }
+
+ private:
+  struct Option {
+    expr::CompiledExpr cost;
+    expr::CompiledExpr memory;
+    expr::CompiledExpr block_slack;
+  };
+  double limit_;
+  bool enforce_blocks_;
+  std::vector<std::vector<Option>> groups_;
+  std::vector<std::vector<double>> mem_of_;
+  std::vector<std::vector<double>> cost_of_;
+};
+
+/// Coarse greedy sweep over a thinned log-uniform tile grid (at most
+/// `max_points` points); returns the best feasible decisions found, or
+/// nullopt.  Used to warm-start the nonlinear solver.
+[[nodiscard]] std::optional<Decisions> greedy_warm_start(const ir::Program& program,
+                                                         const Enumeration& enumeration,
+                                                         const SynthesisOptions& options,
+                                                         std::int64_t max_points = 400'000);
+
+}  // namespace oocs::core

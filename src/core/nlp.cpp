@@ -1,0 +1,186 @@
+#include "core/nlp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oocs::core {
+
+namespace {
+
+using expr::Expr;
+
+int bits_for(int options) {
+  int bits = 0;
+  while ((1 << bits) < options) ++bits;
+  return bits;
+}
+
+std::string lambda_name(const ChoiceGroup& group, std::size_t group_idx, int bit) {
+  return "lam_" + group.array + "_g" + std::to_string(group_idx) + "_b" + std::to_string(bit);
+}
+
+/// Indicator expression selecting option `c` from the λ bits.
+Expr indicator(const std::vector<std::string>& lambdas, int c) {
+  std::vector<Expr> factors;
+  factors.reserve(lambdas.size());
+  for (std::size_t b = 0; b < lambdas.size(); ++b) {
+    const Expr bit = expr::var(lambdas[b]);
+    factors.push_back(((c >> b) & 1) != 0 ? bit : expr::lit(1) - bit);
+  }
+  return Expr::mul(std::move(factors));
+}
+
+}  // namespace
+
+NlpModel build_nlp(const ir::Program& program, const Enumeration& enumeration,
+                   const SynthesisOptions& options) {
+  NlpModel model;
+
+  // Tile-size variables, warm-started at 1 (the all-unit-tiles point is
+  // maximally memory-feasible, letting the solvers grow tiles greedily).
+  for (const std::string& index : enumeration.loop_indices) {
+    model.problem.add_variable(tile_var(index), 1, program.range(index), 1);
+  }
+
+  Expr total_disk = expr::lit(0);
+  Expr total_memory = expr::lit(0);
+
+  for (std::size_t g = 0; g < enumeration.groups.size(); ++g) {
+    const ChoiceGroup& group = enumeration.groups[g];
+    OOCS_CHECK(group.num_options() >= 1, "empty choice group for ", group.array);
+
+    std::vector<std::string> lambdas;
+    const int bits = bits_for(group.num_options());
+    for (int b = 0; b < bits; ++b) {
+      lambdas.push_back(lambda_name(group, g, b));
+      model.problem.add_binary(lambdas.back());
+      if (options.add_binary_equalities) {
+        const Expr lam = expr::var(lambdas.back());
+        model.problem.add_eq("binary_" + lambdas.back(), lam * (expr::lit(1) - lam),
+                             /*scale=*/1.0);
+      }
+    }
+    // Exclude unused binary codes when k is not a power of two.
+    if ((1 << bits) != group.num_options()) {
+      Expr code = expr::lit(0);
+      for (int b = 0; b < bits; ++b) {
+        code = code + expr::lit(static_cast<double>(1 << b)) * expr::var(lambdas[b]);
+      }
+      model.problem.add_le("code_range_" + group.array + "_g" + std::to_string(g),
+                           code - expr::lit(static_cast<double>(group.num_options() - 1)),
+                           /*scale=*/1.0);
+    }
+
+    Expr group_disk = expr::lit(0);
+    Expr group_memory = expr::lit(0);
+    // One block-size constraint per I/O buffer *slot* so that a large
+    // buffer in the same option cannot mask a too-small one: a slot per
+    // consumer read (aligned across options by position), one for the
+    // write buffer, and one for the accumulation read-back.
+    std::size_t read_slots = 0;
+    for (const ChoiceOption& option : group.options) {
+      read_slots = std::max(read_slots, option.reads.size());
+    }
+    std::vector<Expr> read_slack(read_slots, expr::lit(0));
+    Expr write_slack = expr::lit(0);
+    Expr readback_slack = expr::lit(0);
+    bool any_write = false;
+    bool any_readback = false;
+
+    const double array_bytes = program.byte_size(group.array);
+    const auto capped = [&](std::int64_t min_block) {
+      return expr::lit(std::min(static_cast<double>(min_block), array_bytes));
+    };
+
+    for (int c = 0; c < group.num_options(); ++c) {
+      const ChoiceOption& option = group.options[static_cast<std::size_t>(c)];
+      const Expr ind = indicator(lambdas, c);
+      Expr option_cost = option.disk_cost;
+      if (options.seek_cost_bytes > 0) {
+        option_cost = option_cost +
+                      expr::lit(options.seek_cost_bytes) * option_call_count(program, option);
+      }
+      group_disk = group_disk + ind * option_cost;
+      group_memory = group_memory + ind * option.memory_cost;
+
+      for (std::size_t r = 0; r < option.reads.size(); ++r) {
+        read_slack[r] = read_slack[r] + ind * (capped(options.min_read_block_bytes) -
+                                               option.reads[r].buffer.bytes(program));
+      }
+      if (option.write.has_value()) {
+        write_slack = write_slack + ind * (capped(options.min_write_block_bytes) -
+                                           option.write->buffer.bytes(program));
+        any_write = true;
+        if (option.write->read_required) {
+          readback_slack = readback_slack + ind * (capped(options.min_read_block_bytes) -
+                                                   option.write->buffer.bytes(program));
+          any_readback = true;
+        }
+      }
+    }
+
+    total_disk = total_disk + group_disk;
+    total_memory = total_memory + group_memory;
+    if (options.enforce_block_constraints) {
+      const std::string suffix = group.array + "_g" + std::to_string(g);
+      for (std::size_t r = 0; r < read_slots; ++r) {
+        model.problem.add_le("read_block_" + suffix + "_r" + std::to_string(r),
+                             read_slack[r],
+                             static_cast<double>(options.min_read_block_bytes));
+      }
+      if (any_write) {
+        model.problem.add_le("write_block_" + suffix, write_slack,
+                             static_cast<double>(options.min_write_block_bytes));
+      }
+      if (any_readback) {
+        model.problem.add_le("readback_block_" + suffix, readback_slack,
+                             static_cast<double>(options.min_read_block_bytes));
+      }
+    }
+    model.problem.add_coupled_group(lambdas, group.num_options());
+    model.group_lambdas.push_back(std::move(lambdas));
+  }
+
+  model.problem.set_objective(total_disk.simplified());
+  model.problem.add_le(
+      "memory_limit",
+      (total_memory - expr::lit(static_cast<double>(options.memory_limit_bytes))).simplified(),
+      static_cast<double>(options.memory_limit_bytes));
+
+  model.total_disk_bytes = total_disk.simplified();
+  model.total_memory_bytes = total_memory.simplified();
+  return model;
+}
+
+Decisions decode(const NlpModel& model, const Enumeration& enumeration,
+                 const solver::Solution& solution) {
+  if (!solution.feasible) {
+    throw InfeasibleError("solver found no feasible placement/tiling (max violation " +
+                          std::to_string(solution.max_violation) + ")");
+  }
+  Decisions out;
+  for (const std::string& index : enumeration.loop_indices) {
+    out.tile_sizes[index] = solution.values.at(tile_var(index));
+  }
+  for (std::size_t g = 0; g < enumeration.groups.size(); ++g) {
+    const auto& lambdas = model.group_lambdas[g];
+    int code = 0;
+    for (std::size_t b = 0; b < lambdas.size(); ++b) {
+      if (solution.values.at(lambdas[b]) != 0) code |= 1 << b;
+    }
+    code = std::min(code, enumeration.groups[g].num_options() - 1);
+    out.option_index.push_back(code);
+  }
+  return out;
+}
+
+double eval_at(const NlpModel& model, const solver::Solution& solution, const expr::Expr& e) {
+  expr::Env env;
+  for (const solver::Variable& v : model.problem.variables()) {
+    env[v.name] = static_cast<double>(solution.values.at(v.name));
+  }
+  return e.eval(env);
+}
+
+}  // namespace oocs::core

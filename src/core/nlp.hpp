@@ -1,0 +1,54 @@
+// Nonlinear program construction (paper §4.2, "DCS Input Construction").
+//
+// Variables: tile sizes T_i ∈ [1, N_i] and, for every choice group with
+// more than one option, ⌈log₂ k⌉ binary placement variables λ.  The
+// selected option's costs enter the objective/constraints through
+// indicator products Π λ / (1−λ), exactly the paper's encoding.
+//
+// Objective: total disk I/O bytes.  Constraints: the static memory
+// model (Σ selected buffer bytes ≤ limit), binary-code range bounds for
+// non-power-of-two option counts, optional λ(1−λ)=0 equalities, and the
+// minimum-block-size constraints on every selected I/O buffer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/access.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::core {
+
+struct NlpModel {
+  solver::Problem problem;
+  /// Per enumeration group: the names of its λ bits (LSB first; empty
+  /// for single-option groups).
+  std::vector<std::vector<std::string>> group_lambdas;
+  /// Symbolic totals (over tile and λ variables), for reporting.
+  expr::Expr total_disk_bytes;
+  expr::Expr total_memory_bytes;
+};
+
+/// Builds the nonlinear program for `enumeration` over `program`'s
+/// ranges.
+[[nodiscard]] NlpModel build_nlp(const ir::Program& program, const Enumeration& enumeration,
+                                 const SynthesisOptions& options);
+
+/// The decoded outcome of a solver run.
+struct Decisions {
+  /// Chosen tile size per loop index.
+  std::map<std::string, std::int64_t> tile_sizes;
+  /// Chosen option index per enumeration group.
+  std::vector<int> option_index;
+};
+
+/// Decodes a feasible solver solution back into tile sizes and placement
+/// choices.  Throws InfeasibleError if `solution.feasible` is false.
+[[nodiscard]] Decisions decode(const NlpModel& model, const Enumeration& enumeration,
+                               const solver::Solution& solution);
+
+/// Evaluates `e` at the decoded point (tile variables and λs bound).
+[[nodiscard]] double eval_at(const NlpModel& model, const solver::Solution& solution,
+                             const expr::Expr& e);
+
+}  // namespace oocs::core

@@ -1,0 +1,381 @@
+#include "core/plan.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace oocs::core {
+
+namespace {
+
+using ir::ArrayKind;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+using trans::TiledNode;
+using trans::TiledProgram;
+
+}  // namespace
+
+PlanNode PlanNode::loop(std::string index) {
+  PlanNode node;
+  node.kind = Kind::Loop;
+  node.index = std::move(index);
+  return node;
+}
+
+PlanNode PlanNode::make_op(PlanOp op) {
+  PlanNode node;
+  node.kind = Kind::Op;
+  node.op = std::move(op);
+  return node;
+}
+
+std::int64_t PlanBuffer::elements(const Program& program,
+                                  const std::map<std::string, std::int64_t>& tiles) const {
+  std::int64_t count = 1;
+  for (const BufferShape::Dim& dim : shape.dims) {
+    count *= dim.tiled ? tiles.at(dim.index) : program.range(dim.index);
+  }
+  return count;
+}
+
+std::int64_t OocPlan::buffer_bytes() const {
+  std::int64_t total = 0;
+  for (const PlanBuffer& buffer : buffers) {
+    total += buffer.elements(program, tile_sizes) * ir::kElementBytes;
+  }
+  return total;
+}
+
+std::int64_t OocPlan::tile(const std::string& index) const {
+  const auto it = tile_sizes.find(index);
+  if (it == tile_sizes.end()) throw SpecError("no tile size for index '" + index + "'");
+  return it->second;
+}
+
+namespace {
+
+/// Assembles the plan tree from the tiled tree plus decisions.
+class PlanBuilder {
+ public:
+  PlanBuilder(const TiledProgram& tiled, const Enumeration& enumeration,
+              const Decisions& decisions)
+      : tiled_(tiled), program_(tiled.source()), enumeration_(enumeration),
+        decisions_(decisions) {}
+
+  OocPlan run() {
+    wire_choices();
+    OocPlan plan;
+    plan.program = program_.clone();
+    plan.tile_sizes = decisions_.tile_sizes;
+    plan.buffers = buffers_;
+    plan.roots = build_children(tiled_.roots());
+    return plan;
+  }
+
+ private:
+  struct ArrayState {
+    bool on_disk = false;
+    bool read_required = false;
+    int write_buffer = -1;  // buffer for the producer side / in-memory buffer
+  };
+
+  int add_buffer(const std::string& array, const BufferShape& shape, const std::string& tag) {
+    buffers_.push_back(PlanBuffer{array + "#" + tag, array, shape});
+    return static_cast<int>(buffers_.size()) - 1;
+  }
+
+  /// Registers buffers, per-site buffer bindings and I/O attachments for
+  /// every group's chosen option.
+  void wire_choices() {
+    for (std::size_t g = 0; g < enumeration_.groups.size(); ++g) {
+      const ChoiceGroup& group = enumeration_.groups[g];
+      const ChoiceOption& option =
+          group.options[static_cast<std::size_t>(decisions_.option_index[g])];
+      const std::string tag = "g" + std::to_string(g);
+
+      switch (group.kind) {
+        case ArrayKind::Input: {
+          const IoCandidate& read = option.reads.front();
+          const int buf = add_buffer(group.array, read.buffer, tag);
+          site_buffer_[{group.array, read.stmt_id}] = buf;
+          attach_read(read, buf);
+          break;
+        }
+        case ArrayKind::Output: {
+          const IoCandidate& write = *option.write;
+          const int buf = add_buffer(group.array, write.buffer, tag);
+          site_buffer_[{group.array, write.stmt_id}] = buf;
+          ArrayState state;
+          state.on_disk = true;
+          state.read_required = write.read_required;
+          state.write_buffer = buf;
+          array_state_[group.array] = state;
+          attach_write(write, buf);
+          break;
+        }
+        case ArrayKind::Intermediate: {
+          ArrayState state;
+          if (option.in_memory) {
+            const int buf = add_buffer(group.array, option.in_memory_shape, tag);
+            state.on_disk = false;
+            state.write_buffer = buf;
+            default_buffer_[group.array] = buf;
+          } else {
+            const IoCandidate& write = *option.write;
+            const int wbuf = add_buffer(group.array, write.buffer, tag + "w");
+            site_buffer_[{group.array, write.stmt_id}] = wbuf;
+            state.on_disk = true;
+            state.read_required = write.read_required;
+            state.write_buffer = wbuf;
+            attach_write(write, wbuf);
+            for (const IoCandidate& read : option.reads) {
+              const int rbuf =
+                  add_buffer(group.array, read.buffer, tag + "r" + std::to_string(read.stmt_id));
+              site_buffer_[{group.array, read.stmt_id}] = rbuf;
+              attach_read(read, rbuf);
+            }
+          }
+          array_state_[group.array] = state;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Attachment helpers: the op is inserted immediately before (reads)
+  /// or after (writes) the subtree rooted at the stmt-path loop at the
+  /// candidate's position.
+  void attach_read(const IoCandidate& cand, int buffer) {
+    const TiledNode* anchor = anchor_node(cand);
+    PlanOp op;
+    op.kind = PlanOp::Kind::ReadDisk;
+    op.buffer = buffer;
+    pre_[anchor].push_back(op);
+  }
+
+  void attach_write(const IoCandidate& cand, int buffer) {
+    const TiledNode* anchor = anchor_node(cand);
+    PlanOp post;
+    post.kind = PlanOp::Kind::WriteDisk;
+    post.buffer = buffer;
+    post.rmw = cand.read_required;
+    post_[anchor].push_back(post);
+
+    PlanOp pre;
+    pre.buffer = buffer;
+    if (cand.read_required) {
+      pre.kind = PlanOp::Kind::ReadDisk;  // read-modify-write accumulation
+      pre.rmw = true;
+    } else {
+      pre.kind = PlanOp::Kind::ZeroBuffer;  // fresh accumulation block
+    }
+    pre_[anchor].push_back(pre);
+  }
+
+  const TiledNode* anchor_node(const IoCandidate& cand) const {
+    const auto& loops = tiled_.stmt_info(cand.stmt_id).loops;
+    OOCS_CHECK(cand.position >= 0 && cand.position < static_cast<int>(loops.size()),
+               "bad candidate position");
+    return loops[static_cast<std::size_t>(cand.position)];
+  }
+
+  // -- Tree construction -----------------------------------------------
+
+  /// Statement count and single-statement pointer for a subtree.
+  static void subtree_stmts(const TiledNode& node, int& count, const Stmt** single) {
+    if (node.kind == TiledNode::Kind::Stmt) {
+      ++count;
+      *single = &node.stmt;
+      return;
+    }
+    for (const auto& child : node.children) subtree_stmts(*child, count, single);
+  }
+
+  std::vector<PlanNode> build_children(const std::vector<std::unique_ptr<TiledNode>>& list) {
+    std::vector<PlanNode> out;
+    for (const auto& child : list) {
+      // Init-only subtrees are replaced according to the target array's
+      // residence (see build_init).
+      int count = 0;
+      const Stmt* single = nullptr;
+      subtree_stmts(*child, count, &single);
+      if (count == 1 && single->kind == StmtKind::Init) {
+        build_init(*single, out);
+        continue;
+      }
+      emit_ops(pre_, child.get(), out);
+      if (child->kind == TiledNode::Kind::TilingLoop) {
+        PlanNode loop = PlanNode::loop(child->index);
+        loop.children = build_children(child->children);
+        out.push_back(std::move(loop));
+      } else if (child->kind == TiledNode::Kind::IntraLoop) {
+        // Collapse the intra nest into its leaf contraction.
+        const TiledNode* cur = child.get();
+        std::vector<std::string> intra;
+        while (cur->kind != TiledNode::Kind::Stmt) {
+          OOCS_CHECK(cur->children.size() == 1, "intra nest must be a chain");
+          intra.push_back(cur->index);
+          cur = cur->children.front().get();
+        }
+        out.push_back(PlanNode::make_op(contract_op(cur->stmt, intra)));
+      } else {
+        out.push_back(PlanNode::make_op(contract_op(child->stmt, {})));
+      }
+      emit_ops(post_, child.get(), out);
+    }
+    return out;
+  }
+
+  /// Emits the replacement for an init-only subtree.
+  void build_init(const Stmt& stmt, std::vector<PlanNode>& out) {
+    const std::string& array = stmt.target.array;
+    const auto it = array_state_.find(array);
+    OOCS_CHECK(it != array_state_.end(), "no placement state for ", array);
+    const ArrayState& state = it->second;
+
+    if (!state.on_disk) {
+      // In-memory: zero the buffer region covered by the active tiles.
+      PlanOp op;
+      op.kind = PlanOp::Kind::ZeroBuffer;
+      op.buffer = state.write_buffer;
+      out.push_back(PlanNode::make_op(op));
+      return;
+    }
+    if (!state.read_required) return;  // zeroed lazily at the write anchor
+
+    // Disk + accumulation: materialize zeros on disk before the main
+    // computation (the "FOR mT,nT {B=0; Write}" pass of Fig. 4b).
+    PlanOp zero;
+    zero.kind = PlanOp::Kind::ZeroBuffer;
+    zero.buffer = state.write_buffer;
+    out.push_back(PlanNode::make_op(zero));
+
+    PlanOp write;
+    write.kind = PlanOp::Kind::WriteDisk;
+    write.buffer = state.write_buffer;
+    PlanNode body = PlanNode::make_op(write);
+    const PlanBuffer& buffer = buffers_[static_cast<std::size_t>(state.write_buffer)];
+    for (auto dim = buffer.shape.dims.rbegin(); dim != buffer.shape.dims.rend(); ++dim) {
+      if (!dim->tiled) continue;
+      PlanNode loop = PlanNode::loop(dim->index);
+      loop.children.push_back(std::move(body));
+      body = std::move(loop);
+    }
+    out.push_back(std::move(body));
+  }
+
+  PlanOp contract_op(const Stmt& stmt, std::vector<std::string> intra) {
+    PlanOp op;
+    if (stmt.kind == StmtKind::Init) {
+      // A lone init statement whose subtree also holds other statements
+      // cannot occur (init-only subtrees were intercepted above), but an
+      // init leaf inside a fused nest lands here: zero the region.
+      op.kind = PlanOp::Kind::ZeroBuffer;
+      op.buffer = buffer_for(stmt.target.array, stmt.id);
+      return op;
+    }
+    op.kind = PlanOp::Kind::Contract;
+    op.stmt = stmt;
+    op.loops = std::move(intra);
+    op.target_buffer = buffer_for(stmt.target.array, stmt.id);
+    op.lhs_buffer = buffer_for(stmt.lhs->array, stmt.id);
+    if (stmt.rhs.has_value()) op.rhs_buffer = buffer_for(stmt.rhs->array, stmt.id);
+    return op;
+  }
+
+  int buffer_for(const std::string& array, int stmt_id) const {
+    const auto site = site_buffer_.find({array, stmt_id});
+    if (site != site_buffer_.end()) return site->second;
+    const auto fallback = default_buffer_.find(array);
+    OOCS_CHECK(fallback != default_buffer_.end(), "no buffer for ", array, " at stmt ",
+               stmt_id);
+    return fallback->second;
+  }
+
+  void emit_ops(const std::map<const TiledNode*, std::vector<PlanOp>>& table,
+                const TiledNode* key, std::vector<PlanNode>& out) {
+    const auto it = table.find(key);
+    if (it == table.end()) return;
+    for (const PlanOp& op : it->second) out.push_back(PlanNode::make_op(op));
+  }
+
+  const TiledProgram& tiled_;
+  const Program& program_;
+  const Enumeration& enumeration_;
+  const Decisions& decisions_;
+
+  std::vector<PlanBuffer> buffers_;
+  std::map<std::pair<std::string, int>, int> site_buffer_;
+  std::map<std::string, int> default_buffer_;
+  std::map<std::string, ArrayState> array_state_;
+  std::map<const TiledNode*, std::vector<PlanOp>> pre_;
+  std::map<const TiledNode*, std::vector<PlanOp>> post_;
+};
+
+}  // namespace
+
+OocPlan build_plan(const TiledProgram& tiled, const Enumeration& enumeration,
+                   const Decisions& decisions) {
+  OOCS_REQUIRE(decisions.option_index.size() == enumeration.groups.size(),
+               "decisions do not match the enumeration");
+  return PlanBuilder(tiled, enumeration, decisions).run();
+}
+
+namespace {
+
+void print_node(const OocPlan& plan, const PlanNode& node, int depth, std::ostream& os) {
+  if (node.kind == PlanNode::Kind::Loop) {
+    os << indent(depth) << "FOR " << node.index << "T  # step " << plan.tile(node.index)
+       << " of " << plan.program.range(node.index) << '\n';
+    for (const PlanNode& child : node.children) print_node(plan, child, depth + 1, os);
+    return;
+  }
+  const PlanOp& op = node.op;
+  switch (op.kind) {
+    case PlanOp::Kind::ReadDisk: {
+      const PlanBuffer& buf = plan.buffers[static_cast<std::size_t>(op.buffer)];
+      os << indent(depth) << buf.name << " = Read " << buf.array << "Disk  # "
+         << buf.shape.to_string() << '\n';
+      return;
+    }
+    case PlanOp::Kind::WriteDisk: {
+      const PlanBuffer& buf = plan.buffers[static_cast<std::size_t>(op.buffer)];
+      os << indent(depth) << "Write " << buf.array << "Disk from " << buf.name << "  # "
+         << buf.shape.to_string() << '\n';
+      return;
+    }
+    case PlanOp::Kind::ZeroBuffer: {
+      const PlanBuffer& buf = plan.buffers[static_cast<std::size_t>(op.buffer)];
+      os << indent(depth) << buf.name << " = 0\n";
+      return;
+    }
+    case PlanOp::Kind::Contract: {
+      std::vector<std::string> intra;
+      intra.reserve(op.loops.size());
+      for (const std::string& index : op.loops) intra.push_back(index + "I");
+      os << indent(depth) << "FOR " << join(intra, ", ") << ": " << op.stmt.to_string()
+         << '\n';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_text(const OocPlan& plan) {
+  std::ostringstream os;
+  os << "# tile sizes:";
+  for (const auto& [index, tile] : plan.tile_sizes) os << " T_" << index << "=" << tile;
+  os << "\n# buffers (" << format_bytes(static_cast<double>(plan.buffer_bytes())) << " total):";
+  for (const PlanBuffer& buf : plan.buffers) os << " " << buf.name << "[" << buf.shape.to_string() << "]";
+  os << "\n";
+  for (const PlanNode& root : plan.roots) print_node(plan, root, 0, os);
+  return os.str();
+}
+
+}  // namespace oocs::core

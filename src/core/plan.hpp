@@ -1,0 +1,89 @@
+// Concrete out-of-core execution plans.
+//
+// An OocPlan is the executable form of the synthesized concrete code
+// (paper Fig. 4b): a tree of tiling loops containing disk reads/writes,
+// buffer zeroing and tile-level contraction kernels, plus the chosen
+// tile sizes and the in-memory buffer table.  It can be pretty-printed
+// as concrete code or interpreted by rt::PlanInterpreter (for real) and
+// by the dry-run walker (paper-scale disk-time simulation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/nlp.hpp"
+#include "ir/program.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::core {
+
+/// One in-memory buffer holding a (tile of an) array.
+struct PlanBuffer {
+  std::string name;   // unique, e.g. "A#g0"
+  std::string array;  // the disk/virtual array it stages
+  BufferShape shape;
+
+  /// Allocation size in elements given the chosen tile sizes.
+  [[nodiscard]] std::int64_t elements(const ir::Program& program,
+                                      const std::map<std::string, std::int64_t>& tiles) const;
+};
+
+struct PlanOp {
+  enum class Kind {
+    ReadDisk,    // fill `buffer` from the disk array section
+    WriteDisk,   // flush `buffer` to the disk array section
+    ZeroBuffer,  // zero the buffer region covered by the current tile
+    Contract,    // run `stmt` over the current tile using the buffers
+  };
+  Kind kind = Kind::Contract;
+  int buffer = -1;  // ReadDisk/WriteDisk/ZeroBuffer
+  /// ReadDisk/WriteDisk: part of a read-modify-write accumulation pair.
+  /// Parallel executors turn the read into a buffer zero and the write
+  /// into a GA-style atomic accumulate.
+  bool rmw = false;
+  ir::Stmt stmt;    // Contract
+  /// Contract: the intra-tile iteration indices (the statement's
+  /// enclosing loop indices, outermost first).
+  std::vector<std::string> loops;
+  int target_buffer = -1;
+  int lhs_buffer = -1;
+  int rhs_buffer = -1;
+};
+
+struct PlanNode {
+  enum class Kind { Loop, Op };
+  Kind kind = Kind::Op;
+  /// Loop: tiling loop over this index (step = chosen tile size).
+  std::string index;
+  std::vector<PlanNode> children;
+  PlanOp op;
+
+  [[nodiscard]] static PlanNode loop(std::string index);
+  [[nodiscard]] static PlanNode make_op(PlanOp op);
+};
+
+struct OocPlan {
+  /// Own copy of the source program (ranges + declarations).
+  ir::Program program;
+  std::map<std::string, std::int64_t> tile_sizes;
+  std::vector<PlanBuffer> buffers;
+  std::vector<PlanNode> roots;
+
+  /// Total bytes of all buffers (static memory model).
+  [[nodiscard]] std::int64_t buffer_bytes() const;
+  /// Tile size of `index` (every program loop index has one).
+  [[nodiscard]] std::int64_t tile(const std::string& index) const;
+};
+
+/// Assembles the concrete plan from the tiled program, the enumeration
+/// and the solver's decoded decisions.
+[[nodiscard]] OocPlan build_plan(const trans::TiledProgram& tiled,
+                                 const Enumeration& enumeration, const Decisions& decisions);
+
+/// Renders the plan as concrete code in the paper's Fig. 4b style.
+[[nodiscard]] std::string to_text(const OocPlan& plan);
+
+}  // namespace oocs::core

@@ -1,0 +1,60 @@
+#include "core/predict.hpp"
+
+namespace oocs::core {
+
+double PredictedIo::seconds(double seek_seconds, double read_bw, double write_bw,
+                            int procs) const {
+  const double p = static_cast<double>(procs);
+  return total_calls() * seek_seconds + read_bytes / (p * read_bw) +
+         write_bytes / (p * write_bw);
+}
+
+PredictedIo predict_io(const ir::Program& program, const Enumeration& enumeration,
+                       const Decisions& decisions) {
+  expr::Env env;
+  for (const auto& [index, tile] : decisions.tile_sizes) {
+    env[tile_var(index)] = static_cast<double>(tile);
+  }
+
+  // The static prediction assumes every call moves a full buffer (edge
+  // tiles are not modeled), exactly like the paper's cost expressions:
+  // volume = calls × buffer bytes slightly over-estimates what the
+  // generated code actually transfers.
+  PredictedIo io;
+  for (std::size_t g = 0; g < enumeration.groups.size(); ++g) {
+    const ChoiceGroup& group = enumeration.groups[g];
+    const ChoiceOption& option =
+        group.options[static_cast<std::size_t>(decisions.option_index[g])];
+
+    for (const IoCandidate& read : option.reads) {
+      const double calls = read.call_count(program).eval(env);
+      io.read_calls += calls;
+      io.read_bytes += calls * read.buffer.bytes(program).eval(env);
+    }
+    if (option.write.has_value()) {
+      const IoCandidate& write = *option.write;
+      const double calls = write.call_count(program).eval(env);
+      const double buffer_bytes = write.buffer.bytes(program).eval(env);
+      io.write_calls += calls;
+      io.write_bytes += calls * buffer_bytes;
+      if (write.read_required) {
+        // Accumulation read-back plus the zero-initialization pass.
+        io.read_calls += calls;
+        io.read_bytes += calls * buffer_bytes;
+        double init_calls = 1;
+        for (const BufferShape::Dim& dim : write.buffer.dims) {
+          if (!dim.tiled) continue;
+          init_calls *= expr::Expr::ceil_div(
+                            expr::lit(static_cast<double>(program.range(dim.index))),
+                            expr::var(tile_var(dim.index)))
+                            .eval(env);
+        }
+        io.write_calls += init_calls;
+        io.write_bytes += init_calls * buffer_bytes;
+      }
+    }
+  }
+  return io;
+}
+
+}  // namespace oocs::core

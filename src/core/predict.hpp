@@ -1,0 +1,35 @@
+// Analytical I/O prediction for a decided synthesis outcome.
+//
+// Evaluates the §4.2 cost expressions of the *chosen* placements at the
+// chosen tile sizes, split by direction, so benches can turn volume and
+// call counts into predicted disk seconds under a DiskModel — the
+// "Predicted time" columns of the paper's Table 3.
+#pragma once
+
+#include "core/access.hpp"
+#include "core/nlp.hpp"
+
+namespace oocs::core {
+
+struct PredictedIo {
+  double read_bytes = 0;
+  double write_bytes = 0;
+  double read_calls = 0;
+  double write_calls = 0;
+
+  [[nodiscard]] double total_bytes() const noexcept { return read_bytes + write_bytes; }
+  [[nodiscard]] double total_calls() const noexcept { return read_calls + write_calls; }
+
+  /// Predicted disk seconds: seek per call plus transfer at the model's
+  /// per-direction bandwidths (divided by `procs` local disks for the
+  /// collective parallel model).
+  [[nodiscard]] double seconds(double seek_seconds, double read_bw, double write_bw,
+                               int procs = 1) const;
+};
+
+/// Evaluates the chosen options of `decisions` over `enumeration`.
+[[nodiscard]] PredictedIo predict_io(const ir::Program& program,
+                                     const Enumeration& enumeration,
+                                     const Decisions& decisions);
+
+}  // namespace oocs::core

@@ -1,0 +1,71 @@
+#include "core/synthesize.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "core/greedy.hpp"
+#include "solver/ampl.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs::core {
+
+std::string SynthesisResult::decisions_to_text() const {
+  std::ostringstream os;
+  for (std::size_t g = 0; g < enumeration.groups.size(); ++g) {
+    const ChoiceGroup& group = enumeration.groups[g];
+    const ChoiceOption& option =
+        group.options[static_cast<std::size_t>(decisions.option_index[g])];
+    os << group.array << " (stmt#" << group.stmt_id << "): " << option.label << '\n';
+  }
+  return os.str();
+}
+
+SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& options,
+                           solver::Solver& solver) {
+  Stopwatch timer;
+  const trans::TiledProgram tiled(program);
+  Enumeration enumeration = enumerate_placements(tiled, options);
+  NlpModel model = build_nlp(program, enumeration, options);
+
+  // Warm start: a coarse greedy sweep seeds the solver in a good basin;
+  // the solver's incumbent can only improve on it.
+  if (const auto warm = greedy_warm_start(program, enumeration, options)) {
+    for (const auto& [index, tile] : warm->tile_sizes) {
+      model.problem.set_initial(tile_var(index), tile);
+    }
+    for (std::size_t g = 0; g < model.group_lambdas.size(); ++g) {
+      const int code = warm->option_index[g];
+      const auto& lambdas = model.group_lambdas[g];
+      for (std::size_t b = 0; b < lambdas.size(); ++b) {
+        model.problem.set_initial(lambdas[b], (code >> b) & 1);
+      }
+    }
+  }
+
+  log::info("synthesize: ", model.problem.variables().size(), " variables, ",
+            model.problem.constraints().size(), " constraints, ",
+            enumeration.groups.size(), " placement groups");
+
+  SynthesisResult result;
+  result.ampl_model = solver::to_ampl(model.problem);
+  result.solution = solver.solve(model.problem);
+  result.decisions = decode(model, enumeration, result.solution);
+  result.plan = build_plan(tiled, enumeration, result.decisions);
+
+  result.predicted_disk_bytes = eval_at(model, result.solution, model.total_disk_bytes);
+  result.memory_bytes = eval_at(model, result.solution, model.total_memory_bytes);
+  result.predicted_io = predict_io(program, enumeration, result.decisions);
+  result.predicted_io_calls = result.predicted_io.total_calls();
+
+  result.enumeration = std::move(enumeration);
+  result.codegen_seconds = timer.seconds();
+  return result;
+}
+
+SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& options) {
+  solver::DlmSolver solver;
+  return synthesize(program, options, solver);
+}
+
+}  // namespace oocs::core

@@ -1,0 +1,55 @@
+// End-to-end out-of-core synthesis (the paper's §4 pipeline).
+//
+//   abstract program ──tile──► tiled tree ──§4.1──► candidate placements
+//      ──§4.2──► nonlinear program ──DCS-style solver──► tile sizes + λ
+//      ──decode──► concrete OocPlan
+//
+// The solver is injected so the DLM/CSA/exhaustive engines (and the
+// ablation benches) share this front end.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/access.hpp"
+#include "core/nlp.hpp"
+#include "core/plan.hpp"
+#include "core/predict.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::core {
+
+struct SynthesisResult {
+  OocPlan plan;
+  Enumeration enumeration;
+  Decisions decisions;
+  solver::Solution solution;
+  /// Objective at the solution: total predicted disk traffic in bytes.
+  double predicted_disk_bytes = 0;
+  /// Predicted number of disk I/O calls (for seek-cost accounting).
+  double predicted_io_calls = 0;
+  /// Direction-split analytical prediction (Table 3's predicted times).
+  PredictedIo predicted_io;
+  /// Total in-memory buffer bytes at the solution (static model).
+  double memory_bytes = 0;
+  /// The constructed nonlinear program in AMPL form (DCS input).
+  std::string ampl_model;
+  /// Wall-clock code-generation time (enumeration + NLP + solve + plan).
+  double codegen_seconds = 0;
+
+  /// Chosen option labels per group, e.g. "A: read above nT".
+  [[nodiscard]] std::string decisions_to_text() const;
+};
+
+/// Runs the full pipeline.  Throws InfeasibleError when no placement /
+/// tiling combination satisfies the limits.
+[[nodiscard]] SynthesisResult synthesize(const ir::Program& program,
+                                         const SynthesisOptions& options,
+                                         solver::Solver& solver);
+
+/// Convenience: synthesize with a default-configured DLM solver (the
+/// paper's DCS role).
+[[nodiscard]] SynthesisResult synthesize(const ir::Program& program,
+                                         const SynthesisOptions& options = {});
+
+}  // namespace oocs::core

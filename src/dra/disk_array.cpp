@@ -1,0 +1,233 @@
+#include "dra/disk_array.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace oocs::dra {
+
+void IoStats::merge(const IoStats& other) noexcept {
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  read_calls += other.read_calls;
+  write_calls += other.write_calls;
+  seconds += other.seconds;
+}
+
+std::int64_t Section::elements() const noexcept {
+  std::int64_t count = 1;
+  for (const auto& [lo, hi] : dims) count *= hi - lo;
+  return count;
+}
+
+Section Section::whole(const std::vector<std::int64_t>& extents) {
+  Section section;
+  section.dims.reserve(extents.size());
+  for (const std::int64_t extent : extents) section.dims.emplace_back(0, extent);
+  return section;
+}
+
+DiskArray::DiskArray(std::string name, std::vector<std::int64_t> extents)
+    : name_(std::move(name)), extents_(std::move(extents)) {
+  for (const std::int64_t extent : extents_) {
+    OOCS_REQUIRE(extent > 0, "array '", name_, "': extent must be positive");
+    elements_ *= extent;
+  }
+}
+
+void DiskArray::check_section(const Section& section, std::size_t span_size,
+                              bool needs_data) const {
+  if (section.rank() != extents_.size()) {
+    throw IoError("section rank " + std::to_string(section.rank()) + " != array rank " +
+                  std::to_string(extents_.size()) + " for '" + name_ + "'");
+  }
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    const auto [lo, hi] = section.dims[d];
+    if (lo < 0 || hi > extents_[d] || lo >= hi) {
+      throw IoError("bad section [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                    ") for dim " + std::to_string(d) + " of '" + name_ + "'");
+    }
+  }
+  if (needs_data && span_size < static_cast<std::size_t>(section.elements())) {
+    throw IoError("buffer too small for section of '" + name_ + "': " +
+                  std::to_string(span_size) + " < " + std::to_string(section.elements()));
+  }
+}
+
+void DiskArray::read(const Section& section, std::span<double> out) {
+  check_section(section, out.size(), stores_data());
+  do_read(section, out);
+  const std::int64_t bytes = section.elements() * 8;
+  const std::scoped_lock lock(mutex_);
+  stats_.bytes_read += bytes;
+  stats_.read_calls += 1;
+  stats_.seconds += cost_seconds(bytes, /*is_write=*/false);
+}
+
+void DiskArray::write(const Section& section, std::span<const double> data) {
+  check_section(section, data.size(), stores_data());
+  do_write(section, data);
+  const std::int64_t bytes = section.elements() * 8;
+  const std::scoped_lock lock(mutex_);
+  stats_.bytes_written += bytes;
+  stats_.write_calls += 1;
+  stats_.seconds += cost_seconds(bytes, /*is_write=*/true);
+}
+
+void DiskArray::accumulate(const Section& section, std::span<const double> data) {
+  check_section(section, data.size(), stores_data());
+  if (!stores_data()) {
+    // Modeled backend: account one read + one write.
+    read(section, {});
+    write(section, {});
+    return;
+  }
+  // Serialize the read-modify-write so concurrent accumulations to
+  // overlapping sections are GA-style atomic.
+  static std::mutex accumulate_mutex;
+  const std::scoped_lock lock(accumulate_mutex);
+  std::vector<double> current(static_cast<std::size_t>(section.elements()));
+  read(section, current);
+  for (std::size_t i = 0; i < current.size(); ++i) current[i] += data[i];
+  write(section, current);
+}
+
+IoStats DiskArray::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void DiskArray::reset_stats() {
+  const std::scoped_lock lock(mutex_);
+  stats_ = IoStats{};
+}
+
+// ---------------------------------------------------------------------
+// PosixDiskArray
+
+PosixDiskArray::PosixDiskArray(std::string name, std::vector<std::int64_t> extents,
+                               std::string directory)
+    : DiskArray(std::move(name), std::move(extents)) {
+  std::filesystem::create_directories(directory);
+  path_ = directory + "/" + name_ + ".dra";
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw IoError("cannot create disk array file '" + path_ + "': " + std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(bytes())) != 0) {
+    throw IoError("cannot size disk array file '" + path_ + "': " + std::strerror(errno));
+  }
+}
+
+PosixDiskArray::~PosixDiskArray() {
+  if (fd_ >= 0) ::close(fd_);
+  if (owns_file_) {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+}
+
+template <typename Fn>
+void PosixDiskArray::for_each_run(const Section& section, Fn&& fn) const {
+  const std::size_t rank = extents_.size();
+  if (rank == 0) {
+    fn(std::int64_t{0}, std::int64_t{1}, std::int64_t{0});
+    return;
+  }
+  // Row-major strides.
+  std::vector<std::int64_t> stride(rank, 1);
+  for (std::size_t d = rank - 1; d > 0; --d) stride[d - 1] = stride[d] * extents_[d];
+
+  const std::int64_t run = section.dims[rank - 1].second - section.dims[rank - 1].first;
+  std::vector<std::int64_t> idx(rank);
+  for (std::size_t d = 0; d < rank; ++d) idx[d] = section.dims[d].first;
+
+  std::int64_t buffer_offset = 0;
+  while (true) {
+    std::int64_t file_offset = 0;
+    for (std::size_t d = 0; d < rank; ++d) file_offset += idx[d] * stride[d];
+    fn(file_offset, run, buffer_offset);
+    buffer_offset += run;
+    // Advance the multi-index over all dims but the last.
+    if (rank == 1) break;
+    std::size_t d = rank - 1;
+    bool done = false;
+    while (true) {
+      if (d == 0) {
+        done = true;
+        break;
+      }
+      --d;
+      if (++idx[d] < section.dims[d].second) break;
+      idx[d] = section.dims[d].first;
+      if (d == 0) {
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+  }
+}
+
+void PosixDiskArray::do_read(const Section& section, std::span<double> out) {
+  const auto start = std::chrono::steady_clock::now();
+  for_each_run(section, [&](std::int64_t file_off, std::int64_t run, std::int64_t buf_off) {
+    const ssize_t want = static_cast<ssize_t>(run * 8);
+    const ssize_t got = ::pread(fd_, out.data() + buf_off, static_cast<std::size_t>(want),
+                                static_cast<off_t>(file_off * 8));
+    if (got != want) {
+      throw IoError("short read on '" + path_ + "': " + std::to_string(got) + " of " +
+                    std::to_string(want) + " bytes");
+    }
+  });
+  wall_read_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                           .count();
+}
+
+void PosixDiskArray::do_write(const Section& section, std::span<const double> data) {
+  const auto start = std::chrono::steady_clock::now();
+  for_each_run(section, [&](std::int64_t file_off, std::int64_t run, std::int64_t buf_off) {
+    const ssize_t want = static_cast<ssize_t>(run * 8);
+    const ssize_t put = ::pwrite(fd_, data.data() + buf_off, static_cast<std::size_t>(want),
+                                 static_cast<off_t>(file_off * 8));
+    if (put != want) {
+      throw IoError("short write on '" + path_ + "': " + std::to_string(put) + " of " +
+                    std::to_string(want) + " bytes");
+    }
+  });
+  wall_write_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                            .count();
+}
+
+double PosixDiskArray::cost_seconds(std::int64_t, bool is_write) const {
+  return is_write ? wall_write_seconds_ : wall_read_seconds_;
+}
+
+// ---------------------------------------------------------------------
+// SimDiskArray
+
+SimDiskArray::SimDiskArray(std::string name, std::vector<std::int64_t> extents, DiskModel model)
+    : DiskArray(std::move(name), std::move(extents)), model_(model) {}
+
+void SimDiskArray::do_read(const Section&, std::span<double> out) {
+  // Deterministic placeholder data lets correctness-insensitive smoke
+  // runs execute kernels on simulated inputs.
+  for (double& v : out) v = 0;
+}
+
+void SimDiskArray::do_write(const Section&, std::span<const double>) {}
+
+double SimDiskArray::cost_seconds(std::int64_t bytes, bool is_write) const {
+  const double bandwidth =
+      is_write ? model_.write_bandwidth_bytes_per_s : model_.read_bandwidth_bytes_per_s;
+  return model_.seek_seconds + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace oocs::dra

@@ -1,0 +1,153 @@
+// Disk Resident Arrays — the oocs substitute for the DRA library the
+// paper's generated code runs on (Nieplocha & Foster).
+//
+// A DiskArray is a dense row-major multi-dimensional array of doubles
+// living on secondary storage, accessed by rectangular *sections*.  Two
+// backends implement the same interface:
+//
+//   PosixDiskArray — a real file; used for correctness runs at small
+//                    scale (and by the examples).
+//   SimDiskArray   — no data, just a calibrated timing/volume model
+//                    (seek + transfer); used to "measure" disk time at
+//                    paper scale, standing in for the Itanium-2 node's
+//                    local disk (Table 1).
+//
+// Every array keeps I/O statistics: bytes/calls per direction plus the
+// accumulated disk seconds (wall-clock for POSIX, modeled for Sim).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oocs::dra {
+
+/// Disk timing model; defaults calibrated to the paper's 2003-era node:
+/// ~9 ms average positioning time and ~50 MB/s sequential transfer, the
+/// regime in which 2 MB reads / 1 MB writes make seek time negligible.
+struct DiskModel {
+  double seek_seconds = 0.009;
+  double read_bandwidth_bytes_per_s = 50.0 * 1024 * 1024;
+  double write_bandwidth_bytes_per_s = 45.0 * 1024 * 1024;
+};
+
+struct IoStats {
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  std::int64_t read_calls = 0;
+  std::int64_t write_calls = 0;
+  /// Disk seconds: modeled (Sim) or measured wall clock (POSIX).
+  double seconds = 0;
+
+  void merge(const IoStats& other) noexcept;
+};
+
+/// A rectangular section: one [lo, hi) interval per dimension.
+struct Section {
+  std::vector<std::pair<std::int64_t, std::int64_t>> dims;
+
+  [[nodiscard]] std::int64_t elements() const noexcept;
+  [[nodiscard]] std::size_t rank() const noexcept { return dims.size(); }
+  /// Full-array section for the given extents.
+  [[nodiscard]] static Section whole(const std::vector<std::int64_t>& extents);
+};
+
+class DiskArray {
+ public:
+  DiskArray(std::string name, std::vector<std::int64_t> extents);
+  virtual ~DiskArray() = default;
+
+  DiskArray(const DiskArray&) = delete;
+  DiskArray& operator=(const DiskArray&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::int64_t>& extents() const noexcept { return extents_; }
+  [[nodiscard]] std::int64_t elements() const noexcept { return elements_; }
+  [[nodiscard]] std::int64_t bytes() const noexcept { return elements_ * 8; }
+
+  /// Reads `section` (dense row-major) into `out`.  `out` may be empty
+  /// for backends that carry no data (SimDiskArray); data-carrying
+  /// backends require `out.size() >= section.elements()`.
+  void read(const Section& section, std::span<double> out);
+
+  /// Writes `section` from `data` (same contract as read).
+  void write(const Section& section, std::span<const double> data);
+
+  /// Atomic read-add-write of a section (the GA-style accumulate used
+  /// by the parallel runtime).  Counts as one read plus one write.
+  void accumulate(const Section& section, std::span<const double> data);
+
+  [[nodiscard]] IoStats stats() const;
+  void reset_stats();
+
+  /// True if this backend stores real data (POSIX), false for Sim.
+  [[nodiscard]] virtual bool stores_data() const noexcept = 0;
+
+ protected:
+  virtual void do_read(const Section& section, std::span<double> out) = 0;
+  virtual void do_write(const Section& section, std::span<const double> data) = 0;
+  /// Additional modeled/measured seconds for one call of `bytes`.
+  [[nodiscard]] virtual double cost_seconds(std::int64_t bytes, bool is_write) const = 0;
+
+  void check_section(const Section& section, std::size_t span_size, bool needs_data) const;
+
+  std::string name_;
+  std::vector<std::int64_t> extents_;
+  std::int64_t elements_ = 1;
+  mutable std::mutex mutex_;
+  IoStats stats_;
+};
+
+/// Real-file backend.  The file lives at `<dir>/<name>.dra`, is created
+/// sparse at full size, and is removed on destruction unless detached.
+class PosixDiskArray final : public DiskArray {
+ public:
+  PosixDiskArray(std::string name, std::vector<std::int64_t> extents, std::string directory);
+  ~PosixDiskArray() override;
+
+  [[nodiscard]] bool stores_data() const noexcept override { return true; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Keep the backing file on destruction.
+  void detach() noexcept { owns_file_ = false; }
+
+ protected:
+  void do_read(const Section& section, std::span<double> out) override;
+  void do_write(const Section& section, std::span<const double> data) override;
+  [[nodiscard]] double cost_seconds(std::int64_t bytes, bool is_write) const override;
+
+ private:
+  /// Applies `fn(file_offset_elements, run_elements, buffer_offset)` to
+  /// every contiguous run of the section.
+  template <typename Fn>
+  void for_each_run(const Section& section, Fn&& fn) const;
+
+  std::string path_;
+  int fd_ = -1;
+  bool owns_file_ = true;
+  /// Wall-clock duration of the most recent raw read/write, consumed by
+  /// cost_seconds() while the stats lock is held.
+  double wall_read_seconds_ = 0;
+  double wall_write_seconds_ = 0;
+};
+
+/// Data-free modeled-disk backend.
+class SimDiskArray final : public DiskArray {
+ public:
+  SimDiskArray(std::string name, std::vector<std::int64_t> extents, DiskModel model);
+
+  [[nodiscard]] bool stores_data() const noexcept override { return false; }
+  [[nodiscard]] const DiskModel& model() const noexcept { return model_; }
+
+ protected:
+  void do_read(const Section& section, std::span<double> out) override;
+  void do_write(const Section& section, std::span<const double> data) override;
+  [[nodiscard]] double cost_seconds(std::int64_t bytes, bool is_write) const override;
+
+ private:
+  DiskModel model_;
+};
+
+}  // namespace oocs::dra

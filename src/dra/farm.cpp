@@ -1,0 +1,51 @@
+#include "dra/farm.hpp"
+
+#include "common/error.hpp"
+
+namespace oocs::dra {
+
+DiskFarm DiskFarm::posix(const ir::Program& program, std::string directory) {
+  DiskFarm farm(program);
+  farm.simulated_ = false;
+  farm.directory_ = std::move(directory);
+  return farm;
+}
+
+DiskFarm DiskFarm::sim(const ir::Program& program, DiskModel model) {
+  DiskFarm farm(program);
+  farm.simulated_ = true;
+  farm.model_ = model;
+  return farm;
+}
+
+DiskArray& DiskFarm::array(const std::string& name) {
+  const auto it = arrays_.find(name);
+  if (it != arrays_.end()) return *it->second;
+
+  const ir::ArrayDecl& decl = program_->array(name);
+  std::vector<std::int64_t> extents;
+  extents.reserve(decl.indices.size());
+  for (const std::string& index : decl.indices) extents.push_back(program_->range(index));
+
+  std::unique_ptr<DiskArray> created;
+  if (simulated_) {
+    created = std::make_unique<SimDiskArray>(name, std::move(extents), model_);
+  } else {
+    created = std::make_unique<PosixDiskArray>(name, std::move(extents), directory_);
+  }
+  DiskArray& ref = *created;
+  arrays_.emplace(name, std::move(created));
+  return ref;
+}
+
+IoStats DiskFarm::total_stats() const {
+  IoStats total;
+  for (const auto& [name, array] : arrays_) total.merge(array->stats());
+  return total;
+}
+
+void DiskFarm::reset_stats() {
+  for (auto& [name, array] : arrays_) array->reset_stats();
+}
+
+}  // namespace oocs::dra

@@ -1,0 +1,43 @@
+// DiskFarm: the set of disk-resident arrays backing one program run.
+//
+// Arrays are created lazily from the program's declarations, with a
+// uniform backend: POSIX files under a directory, or the modeled disk.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "dra/disk_array.hpp"
+#include "ir/program.hpp"
+
+namespace oocs::dra {
+
+class DiskFarm {
+ public:
+  /// Real files under `directory` (created if needed).
+  [[nodiscard]] static DiskFarm posix(const ir::Program& program, std::string directory);
+
+  /// Modeled disk (no data).
+  [[nodiscard]] static DiskFarm sim(const ir::Program& program, DiskModel model = {});
+
+  /// The disk array for `name` (created on first use from the program
+  /// declaration).  Throws SpecError for unknown arrays.
+  [[nodiscard]] DiskArray& array(const std::string& name);
+
+  [[nodiscard]] bool is_simulated() const noexcept { return simulated_; }
+
+  /// Aggregated statistics over every array touched so far.
+  [[nodiscard]] IoStats total_stats() const;
+  void reset_stats();
+
+ private:
+  explicit DiskFarm(const ir::Program& program) : program_(&program) {}
+
+  const ir::Program* program_;
+  bool simulated_ = false;
+  std::string directory_;
+  DiskModel model_;
+  std::map<std::string, std::unique_ptr<DiskArray>> arrays_;
+};
+
+}  // namespace oocs::dra

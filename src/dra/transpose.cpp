@@ -1,0 +1,75 @@
+#include "dra/transpose.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oocs::dra {
+
+void transpose_tile(const double* src, double* dst, std::int64_t rows, std::int64_t cols) {
+  // Cache-blocked in-memory transpose.
+  constexpr std::int64_t kBlock = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kBlock) {
+    const std::int64_t r1 = std::min(r0 + kBlock, rows);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kBlock) {
+      const std::int64_t c1 = std::min(c0 + kBlock, cols);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[c * rows + r] = src[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+TransposeStats transpose_out_of_core(DiskArray& in, DiskArray& out,
+                                     std::int64_t buffer_bytes) {
+  if (in.extents().size() != 2 || out.extents().size() != 2) {
+    throw SpecError("transpose_out_of_core requires 2-D arrays");
+  }
+  const std::int64_t rows = in.extents()[0];
+  const std::int64_t cols = in.extents()[1];
+  if (out.extents()[0] != cols || out.extents()[1] != rows) {
+    throw SpecError("output extents must mirror the input's");
+  }
+  // Two B×B tiles (source + transposed) share the budget.
+  const std::int64_t tile = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(std::sqrt(
+             static_cast<double>(buffer_bytes) / (2.0 * 8.0)))));
+  if (buffer_bytes < 16) throw SpecError("buffer budget below two elements");
+
+  TransposeStats stats;
+  stats.tile = tile;
+  const bool carries_data = in.stores_data() && out.stores_data();
+  std::vector<double> src;
+  std::vector<double> dst;
+  if (carries_data) {
+    src.resize(static_cast<std::size_t>(tile * tile));
+    dst.resize(static_cast<std::size_t>(tile * tile));
+  }
+
+  for (std::int64_t r0 = 0; r0 < rows; r0 += tile) {
+    const std::int64_t r1 = std::min(r0 + tile, rows);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += tile) {
+      const std::int64_t c1 = std::min(c0 + tile, cols);
+      const Section src_section{{{r0, r1}, {c0, c1}}};
+      const Section dst_section{{{c0, c1}, {r0, r1}}};
+      if (carries_data) {
+        in.read(src_section, src);
+        transpose_tile(src.data(), dst.data(), r1 - r0, c1 - c0);
+        out.write(dst_section, dst);
+      } else {
+        in.read(src_section, {});
+        out.write(dst_section, {});
+      }
+      ++stats.tiles_moved;
+    }
+  }
+  stats.io = in.stats();
+  stats.io.merge(out.stats());
+  return stats;
+}
+
+}  // namespace oocs::dra

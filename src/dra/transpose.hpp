@@ -1,0 +1,37 @@
+// Out-of-core matrix transposition.
+//
+// The substrate study behind the paper's minimum-block-size constraint:
+// Krishnamoorthy et al., "On Efficient Out-of-core Matrix Transposition"
+// (OSU-CISRC-9/03-TR52, the paper's ref [37]) observed that beyond a
+// system-dependent block size the transfer-to-seek ratio stops
+// improving, giving the 2 MB-read / 1 MB-write constants of §4.2.
+//
+// This is the classical blocked algorithm: split the matrix into
+// B×B tiles with 2·B² doubles fitting the buffer budget, read a tile,
+// transpose in memory, write it to the mirrored position.
+#pragma once
+
+#include <cstdint>
+
+#include "dra/disk_array.hpp"
+
+namespace oocs::dra {
+
+struct TransposeStats {
+  std::int64_t tile = 0;         // chosen tile edge
+  std::int64_t tiles_moved = 0;  // number of tiles processed
+  IoStats io;                    // aggregated over both arrays
+};
+
+/// Transposes 2-D `in` (R×C) into `out` (C×R) using at most
+/// `buffer_bytes` of in-memory buffers.  Works on any backend; with
+/// SimDiskArray it only accounts I/O.  Throws SpecError on rank/extent
+/// mismatches or a budget below two elements.
+TransposeStats transpose_out_of_core(DiskArray& in, DiskArray& out,
+                                     std::int64_t buffer_bytes);
+
+/// In-memory tile transpose helper (exposed for tests/benches):
+/// dst[c][r] = src[r][c] for an r×c row-major tile.
+void transpose_tile(const double* src, double* dst, std::int64_t rows, std::int64_t cols);
+
+}  // namespace oocs::dra

@@ -1,0 +1,128 @@
+#include "expr/compiled.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oocs::expr {
+
+int VarTable::intern(const std::string& name) {
+  const auto it = slots_.find(name);
+  if (it != slots_.end()) return it->second;
+  const int slot = static_cast<int>(names_.size());
+  names_.push_back(name);
+  slots_.emplace(name, slot);
+  return slot;
+}
+
+int VarTable::lookup(const std::string& name) const {
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? -1 : it->second;
+}
+
+CompiledExpr::CompiledExpr(const Expr& e, VarTable& table) {
+  compile(e.simplified(), table);
+  // Conservative stack bound: every instruction pushes at most one value.
+  max_stack_ = ops_.size() + 1;
+}
+
+void CompiledExpr::compile(const Expr& e, VarTable& table) {
+  switch (e.kind()) {
+    case Kind::Const:
+      ops_.push_back({Op::PushConst, 0, e.value()});
+      return;
+    case Kind::Var: {
+      const int slot = table.intern(e.name());
+      if (slot + 1 > min_values_) min_values_ = slot + 1;
+      ops_.push_back({Op::PushVar, slot, 0});
+      return;
+    }
+    case Kind::Add:
+    case Kind::Mul: {
+      for (const Expr& op : e.operands()) compile(op, table);
+      ops_.push_back({e.kind() == Kind::Add ? Op::Add : Op::Mul,
+                      static_cast<int>(e.operands().size()), 0});
+      return;
+    }
+    case Kind::Div:
+    case Kind::CeilDiv:
+    case Kind::Min:
+    case Kind::Max: {
+      compile(e.operands()[0], table);
+      compile(e.operands()[1], table);
+      Op op = Op::Div;
+      if (e.kind() == Kind::CeilDiv) op = Op::CeilDiv;
+      if (e.kind() == Kind::Min) op = Op::Min;
+      if (e.kind() == Kind::Max) op = Op::Max;
+      ops_.push_back({op, 0, 0});
+      return;
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+double CompiledExpr::eval(std::span<const double> values) const {
+  OOCS_REQUIRE(static_cast<int>(values.size()) >= min_values_,
+               "value span too small: ", values.size(), " < ", min_values_);
+  // The stack is tiny for all oocs cost expressions; keep it on the
+  // C++ stack for allocation-free evaluation.
+  double stack[64];
+  std::vector<double> heap_stack;
+  double* sp = stack;
+  double* base = stack;
+  if (max_stack_ > 64) {
+    heap_stack.resize(max_stack_);
+    base = sp = heap_stack.data();
+  }
+
+  for (const Instr& ins : ops_) {
+    switch (ins.op) {
+      case Op::PushConst:
+        *sp++ = ins.value;
+        break;
+      case Op::PushVar:
+        *sp++ = values[static_cast<std::size_t>(ins.arg)];
+        break;
+      case Op::Add: {
+        double sum = 0;
+        for (int i = 0; i < ins.arg; ++i) sum += *--sp;
+        *sp++ = sum;
+        break;
+      }
+      case Op::Mul: {
+        double prod = 1;
+        for (int i = 0; i < ins.arg; ++i) prod *= *--sp;
+        *sp++ = prod;
+        break;
+      }
+      case Op::Div: {
+        const double b = *--sp;
+        const double a = *--sp;
+        *sp++ = a / b;
+        break;
+      }
+      case Op::CeilDiv: {
+        const double b = *--sp;
+        const double a = *--sp;
+        *sp++ = std::ceil(a / b);
+        break;
+      }
+      case Op::Min: {
+        const double b = *--sp;
+        const double a = *--sp;
+        *sp++ = a < b ? a : b;
+        break;
+      }
+      case Op::Max: {
+        const double b = *--sp;
+        const double a = *--sp;
+        *sp++ = a > b ? a : b;
+        break;
+      }
+    }
+  }
+  OOCS_CHECK(sp == base + 1, "unbalanced expression program");
+  return *(sp - 1);
+}
+
+}  // namespace oocs::expr

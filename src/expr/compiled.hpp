@@ -1,0 +1,69 @@
+// Slot-compiled expressions for solver hot loops.
+//
+// The discrete solvers evaluate the objective and every constraint up to
+// millions of times.  Hash-map variable lookup per node would dominate,
+// so expressions are compiled once against a VarTable (name → dense slot
+// index) into a flat postfix program evaluated over a small stack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace oocs::expr {
+
+/// Dense registry mapping variable names to slot indices.
+class VarTable {
+ public:
+  /// Returns the slot of `name`, inserting it if new.
+  int intern(const std::string& name);
+
+  /// Returns the slot of `name`, or -1 if unknown.
+  [[nodiscard]] int lookup(const std::string& name) const;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(names_.size()); }
+  [[nodiscard]] const std::string& name(int slot) const { return names_.at(static_cast<std::size_t>(slot)); }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept { return names_; }
+
+ private:
+  std::unordered_map<std::string, int> slots_;
+  std::vector<std::string> names_;
+};
+
+/// A compiled expression.  `eval` is safe to call concurrently from
+/// multiple threads with distinct value spans.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;
+
+  /// Compile `e` against `table`; unknown variables are interned.
+  CompiledExpr(const Expr& e, VarTable& table);
+
+  /// Evaluate with `values[slot]` supplying every variable.
+  [[nodiscard]] double eval(std::span<const double> values) const;
+
+  /// Highest slot index referenced plus one (0 for constant exprs).
+  [[nodiscard]] int min_values_size() const noexcept { return min_values_; }
+
+  /// Number of program instructions (diagnostics / tests).
+  [[nodiscard]] std::size_t program_size() const noexcept { return ops_.size(); }
+
+ private:
+  enum class Op : std::uint8_t { PushConst, PushVar, Add, Mul, Div, CeilDiv, Min, Max };
+  struct Instr {
+    Op op;
+    int arg = 0;       // var slot for PushVar, operand count for Add/Mul
+    double value = 0;  // constant for PushConst
+  };
+  std::vector<Instr> ops_;
+  int min_values_ = 0;
+  std::size_t max_stack_ = 1;
+
+  void compile(const Expr& e, VarTable& table);
+};
+
+}  // namespace oocs::expr

@@ -1,0 +1,386 @@
+#include "expr/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace oocs::expr {
+
+struct Expr::Node {
+  Kind kind = Kind::Const;
+  double value = 0;            // Const
+  std::string name;            // Var
+  std::vector<Expr> operands;  // Add/Mul (n-ary), Div/CeilDiv/Min/Max (binary)
+};
+
+namespace {
+
+std::shared_ptr<const Expr::Node> make_node(Expr::Node node) {
+  return std::make_shared<const Expr::Node>(std::move(node));
+}
+
+}  // namespace
+
+Expr::Expr() : Expr(constant(0)) {}
+Expr::Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Expr Expr::constant(double value) {
+  Node n;
+  n.kind = Kind::Const;
+  n.value = value;
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::var(std::string name) {
+  OOCS_REQUIRE(!name.empty(), "variable name must be non-empty");
+  Node n;
+  n.kind = Kind::Var;
+  n.name = std::move(name);
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::add(std::vector<Expr> terms) {
+  if (terms.empty()) return constant(0);
+  if (terms.size() == 1) return terms.front();
+  Node n;
+  n.kind = Kind::Add;
+  n.operands = std::move(terms);
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::mul(std::vector<Expr> factors) {
+  if (factors.empty()) return constant(1);
+  if (factors.size() == 1) return factors.front();
+  Node n;
+  n.kind = Kind::Mul;
+  n.operands = std::move(factors);
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::div(Expr numerator, Expr denominator) {
+  Node n;
+  n.kind = Kind::Div;
+  n.operands = {std::move(numerator), std::move(denominator)};
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::ceil_div(Expr numerator, Expr denominator) {
+  Node n;
+  n.kind = Kind::CeilDiv;
+  n.operands = {std::move(numerator), std::move(denominator)};
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::min(Expr a, Expr b) {
+  Node n;
+  n.kind = Kind::Min;
+  n.operands = {std::move(a), std::move(b)};
+  return Expr(make_node(std::move(n)));
+}
+
+Expr Expr::max(Expr a, Expr b) {
+  Node n;
+  n.kind = Kind::Max;
+  n.operands = {std::move(a), std::move(b)};
+  return Expr(make_node(std::move(n)));
+}
+
+Kind Expr::kind() const noexcept { return node_->kind; }
+
+double Expr::value() const {
+  OOCS_CHECK(node_->kind == Kind::Const, "value() on non-constant expression");
+  return node_->value;
+}
+
+const std::string& Expr::name() const {
+  OOCS_CHECK(node_->kind == Kind::Var, "name() on non-variable expression");
+  return node_->name;
+}
+
+const std::vector<Expr>& Expr::operands() const { return node_->operands; }
+
+bool Expr::is_constant(double v) const {
+  return node_->kind == Kind::Const && node_->value == v;
+}
+
+void Expr::collect_vars(std::set<std::string>& out) const {
+  switch (node_->kind) {
+    case Kind::Const:
+      return;
+    case Kind::Var:
+      out.insert(node_->name);
+      return;
+    default:
+      for (const Expr& op : node_->operands) op.collect_vars(out);
+  }
+}
+
+std::set<std::string> Expr::vars() const {
+  std::set<std::string> out;
+  collect_vars(out);
+  return out;
+}
+
+double Expr::eval(const Env& env) const {
+  switch (node_->kind) {
+    case Kind::Const:
+      return node_->value;
+    case Kind::Var: {
+      const auto it = env.find(node_->name);
+      if (it == env.end()) throw Error("unbound variable '" + node_->name + "' in eval");
+      return it->second;
+    }
+    case Kind::Add: {
+      double sum = 0;
+      for (const Expr& op : node_->operands) sum += op.eval(env);
+      return sum;
+    }
+    case Kind::Mul: {
+      double prod = 1;
+      for (const Expr& op : node_->operands) prod *= op.eval(env);
+      return prod;
+    }
+    case Kind::Div:
+      return node_->operands[0].eval(env) / node_->operands[1].eval(env);
+    case Kind::CeilDiv:
+      return std::ceil(node_->operands[0].eval(env) / node_->operands[1].eval(env));
+    case Kind::Min:
+      return std::min(node_->operands[0].eval(env), node_->operands[1].eval(env));
+    case Kind::Max:
+      return std::max(node_->operands[0].eval(env), node_->operands[1].eval(env));
+  }
+  throw Error("corrupt expression node");
+}
+
+Expr Expr::substitute(const std::map<std::string, Expr>& bindings) const {
+  switch (node_->kind) {
+    case Kind::Const:
+      return *this;
+    case Kind::Var: {
+      const auto it = bindings.find(node_->name);
+      return it == bindings.end() ? *this : it->second;
+    }
+    default: {
+      std::vector<Expr> ops;
+      ops.reserve(node_->operands.size());
+      for (const Expr& op : node_->operands) ops.push_back(op.substitute(bindings));
+      Node n;
+      n.kind = node_->kind;
+      n.operands = std::move(ops);
+      return Expr(make_node(std::move(n)));
+    }
+  }
+}
+
+namespace {
+
+// Flattens same-kind children of Add/Mul into `out`.
+void flatten(Kind kind, const Expr& e, std::vector<Expr>& out) {
+  if (e.kind() == kind) {
+    for (const Expr& op : e.operands()) flatten(kind, op, out);
+  } else {
+    out.push_back(e);
+  }
+}
+
+}  // namespace
+
+Expr Expr::simplified() const {
+  switch (node_->kind) {
+    case Kind::Const:
+    case Kind::Var:
+      return *this;
+    case Kind::Add: {
+      std::vector<Expr> flat;
+      for (const Expr& op : node_->operands) flatten(Kind::Add, op.simplified(), flat);
+      double constant_sum = 0;
+      std::vector<Expr> rest;
+      for (const Expr& op : flat) {
+        if (op.is_constant()) {
+          constant_sum += op.value();
+        } else {
+          rest.push_back(op);
+        }
+      }
+      if (constant_sum != 0 || rest.empty()) rest.push_back(constant(constant_sum));
+      return add(std::move(rest));
+    }
+    case Kind::Mul: {
+      std::vector<Expr> flat;
+      for (const Expr& op : node_->operands) flatten(Kind::Mul, op.simplified(), flat);
+      double constant_prod = 1;
+      std::vector<Expr> rest;
+      for (const Expr& op : flat) {
+        if (op.is_constant()) {
+          constant_prod *= op.value();
+        } else {
+          rest.push_back(op);
+        }
+      }
+      if (constant_prod == 0) return constant(0);
+      if (constant_prod != 1 || rest.empty()) {
+        rest.insert(rest.begin(), constant(constant_prod));
+      }
+      return mul(std::move(rest));
+    }
+    case Kind::Div: {
+      const Expr a = node_->operands[0].simplified();
+      const Expr b = node_->operands[1].simplified();
+      if (a.is_constant() && b.is_constant()) return constant(a.value() / b.value());
+      if (b.is_constant(1)) return a;
+      if (a.is_constant(0)) return constant(0);
+      return div(a, b);
+    }
+    case Kind::CeilDiv: {
+      const Expr a = node_->operands[0].simplified();
+      const Expr b = node_->operands[1].simplified();
+      if (a.is_constant() && b.is_constant()) return constant(std::ceil(a.value() / b.value()));
+      if (b.is_constant(1)) return a;
+      if (a.is_constant(0)) return constant(0);
+      return ceil_div(a, b);
+    }
+    case Kind::Min: {
+      const Expr a = node_->operands[0].simplified();
+      const Expr b = node_->operands[1].simplified();
+      if (a.is_constant() && b.is_constant()) return constant(std::min(a.value(), b.value()));
+      return min(a, b);
+    }
+    case Kind::Max: {
+      const Expr a = node_->operands[0].simplified();
+      const Expr b = node_->operands[1].simplified();
+      if (a.is_constant() && b.is_constant()) return constant(std::max(a.value(), b.value()));
+      return max(a, b);
+    }
+  }
+  throw Error("corrupt expression node");
+}
+
+namespace {
+
+void print(const Expr& e, std::ostream& os, bool ampl);
+
+void print_joined(const std::vector<Expr>& ops, const char* sep, std::ostream& os, bool ampl) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) os << sep;
+    print(ops[i], os, ampl);
+  }
+}
+
+void print(const Expr& e, std::ostream& os, bool ampl) {
+  switch (e.kind()) {
+    case Kind::Const: {
+      const double v = e.value();
+      if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        os << static_cast<long long>(v);
+      } else {
+        os << v;
+      }
+      return;
+    }
+    case Kind::Var:
+      os << e.name();
+      return;
+    case Kind::Add:
+      os << '(';
+      print_joined(e.operands(), " + ", os, ampl);
+      os << ')';
+      return;
+    case Kind::Mul:
+      os << '(';
+      print_joined(e.operands(), " * ", os, ampl);
+      os << ')';
+      return;
+    case Kind::Div:
+      os << '(';
+      print(e.operands()[0], os, ampl);
+      os << " / ";
+      print(e.operands()[1], os, ampl);
+      os << ')';
+      return;
+    case Kind::CeilDiv:
+      if (ampl) {
+        os << "ceil(";
+        print(e.operands()[0], os, ampl);
+        os << " / ";
+        print(e.operands()[1], os, ampl);
+        os << ')';
+      } else {
+        os << "ceil(";
+        print(e.operands()[0], os, ampl);
+        os << '/';
+        print(e.operands()[1], os, ampl);
+        os << ')';
+      }
+      return;
+    case Kind::Min:
+      os << "min(";
+      print(e.operands()[0], os, ampl);
+      os << ", ";
+      print(e.operands()[1], os, ampl);
+      os << ')';
+      return;
+    case Kind::Max:
+      os << "max(";
+      print(e.operands()[0], os, ampl);
+      os << ", ";
+      print(e.operands()[1], os, ampl);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  std::ostringstream os;
+  print(*this, os, /*ampl=*/false);
+  return os.str();
+}
+
+std::string Expr::to_ampl() const {
+  std::ostringstream os;
+  print(*this, os, /*ampl=*/true);
+  return os.str();
+}
+
+Expr operator+(const Expr& a, const Expr& b) { return Expr::add({a, b}); }
+Expr operator-(const Expr& a, const Expr& b) {
+  return Expr::add({a, Expr::mul({Expr::constant(-1), b})});
+}
+Expr operator*(const Expr& a, const Expr& b) { return Expr::mul({a, b}); }
+Expr operator/(const Expr& a, const Expr& b) { return Expr::div(a, b); }
+
+Expr& Expr::operator+=(const Expr& other) {
+  *this = *this + other;
+  return *this;
+}
+
+Expr& Expr::operator*=(const Expr& other) {
+  *this = *this * other;
+  return *this;
+}
+
+bool Expr::structurally_equal(const Expr& other) const {
+  if (node_ == other.node_) return true;
+  if (node_->kind != other.node_->kind) return false;
+  switch (node_->kind) {
+    case Kind::Const:
+      return node_->value == other.node_->value;
+    case Kind::Var:
+      return node_->name == other.node_->name;
+    default: {
+      if (node_->operands.size() != other.node_->operands.size()) return false;
+      for (std::size_t i = 0; i < node_->operands.size(); ++i) {
+        if (!node_->operands[i].structurally_equal(other.node_->operands[i])) return false;
+      }
+      return true;
+    }
+  }
+}
+
+Expr lit(double value) { return Expr::constant(value); }
+Expr var(std::string name) { return Expr::var(std::move(name)); }
+
+}  // namespace oocs::expr

@@ -1,0 +1,101 @@
+// Symbolic nonlinear expressions.
+//
+// This is the oocs equivalent of the AMPL modeling layer used by the
+// paper: disk-I/O cost, memory cost and constraint expressions are built
+// symbolically over tile-size variables (T_i), placement variables (λ_k)
+// and loop-range parameters, then handed to the discrete constrained
+// solver or emitted as AMPL text.
+//
+// Expr is an immutable value type over a shared tree.  Supported nodes:
+//   Const, Var, Add (n-ary), Mul (n-ary), Div, CeilDiv, Min, Max.
+// CeilDiv(N, T) models the trip count of a tiling loop, ceil(N/T).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oocs::expr {
+
+enum class Kind { Const, Var, Add, Mul, Div, CeilDiv, Min, Max };
+
+/// Variable assignment used by Expr::eval.
+using Env = std::unordered_map<std::string, double>;
+
+class Expr {
+ public:
+  /// Default-constructs the constant 0.
+  Expr();
+
+  // -- Factories ------------------------------------------------------
+  static Expr constant(double value);
+  static Expr var(std::string name);
+  static Expr add(std::vector<Expr> terms);
+  static Expr mul(std::vector<Expr> factors);
+  static Expr div(Expr numerator, Expr denominator);
+  static Expr ceil_div(Expr numerator, Expr denominator);
+  static Expr min(Expr a, Expr b);
+  static Expr max(Expr a, Expr b);
+
+  // -- Inspection ------------------------------------------------------
+  [[nodiscard]] Kind kind() const noexcept;
+  /// Valid only for Const nodes.
+  [[nodiscard]] double value() const;
+  /// Valid only for Var nodes.
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] const std::vector<Expr>& operands() const;
+  [[nodiscard]] bool is_constant() const noexcept { return kind() == Kind::Const; }
+  /// True if this is the constant `v` exactly.
+  [[nodiscard]] bool is_constant(double v) const;
+
+  /// Insert every variable name referenced by this expression.
+  void collect_vars(std::set<std::string>& out) const;
+  [[nodiscard]] std::set<std::string> vars() const;
+
+  // -- Operations ------------------------------------------------------
+  /// Evaluate under `env`.  Throws Error if a variable is unbound.
+  [[nodiscard]] double eval(const Env& env) const;
+
+  /// Replace variables by the given expressions (missing names stay).
+  [[nodiscard]] Expr substitute(const std::map<std::string, Expr>& bindings) const;
+
+  /// Constant folding, flattening of nested Add/Mul, identity removal.
+  [[nodiscard]] Expr simplified() const;
+
+  /// Human-readable infix form, e.g. "(Ni/Ti) * 8 * Nn".
+  [[nodiscard]] std::string to_string() const;
+
+  /// AMPL-syntax form (ceil() is emitted for CeilDiv).
+  [[nodiscard]] std::string to_ampl() const;
+
+  // -- Operators ---------------------------------------------------------
+  friend Expr operator+(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a, const Expr& b);
+  friend Expr operator*(const Expr& a, const Expr& b);
+  friend Expr operator/(const Expr& a, const Expr& b);
+  Expr& operator+=(const Expr& other);
+  Expr& operator*=(const Expr& other);
+
+  /// Structural equality (after no normalization; compare simplified()
+  /// forms for semantic comparisons in tests).
+  [[nodiscard]] bool structurally_equal(const Expr& other) const;
+
+ public:
+  /// Implementation detail (defined in expr.cpp); public only so that
+  /// internal factory helpers can allocate nodes.
+  struct Node;
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> node);
+  std::shared_ptr<const Node> node_;
+  friend class Compiler;
+};
+
+/// Convenience literals.
+Expr lit(double value);
+Expr var(std::string name);
+
+}  // namespace oocs::expr

@@ -1,0 +1,81 @@
+#include "ga/parallel.hpp"
+
+#include <barrier>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace oocs::ga {
+
+ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs) {
+  OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
+
+  // Pre-create every disk array touched by the plan so the lazy farm
+  // never mutates its map concurrently.
+  for (const core::PlanBuffer& buffer : plan.buffers) (void)farm.array(buffer.array);
+
+  // One interpreter per process over the whole plan; a barrier between
+  // top-level roots makes e.g. the zero-initialization pass of an
+  // accumulated output visible before anyone accumulates into it.
+  std::barrier sync(num_procs);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_procs));
+  for (int proc = 0; proc < num_procs; ++proc) {
+    threads.emplace_back([&, proc] {
+      try {
+        rt::ExecOptions options;
+        options.proc_id = proc;
+        options.num_procs = num_procs;
+        options.root_barrier = [&sync] { sync.arrive_and_wait(); };
+        rt::PlanInterpreter interpreter(plan, farm, options);
+        (void)interpreter.run();
+      } catch (...) {
+        {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Leave the barrier so surviving threads do not deadlock.
+        sync.arrive_and_drop();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  ParallelStats stats;
+  stats.num_procs = num_procs;
+  stats.total = farm.total_stats();
+  stats.io_seconds = stats.total.seconds;
+  return stats;
+}
+
+ParallelStats simulate(const core::OocPlan& plan, int num_procs, dra::DiskModel model) {
+  OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
+
+  // One dry-run walk counts every collective I/O call and its volume.
+  dra::DiskFarm farm = dra::DiskFarm::sim(plan.program, model);
+  rt::ExecOptions options;
+  options.dry_run = true;
+  rt::PlanInterpreter interpreter(plan, farm, options);
+  (void)interpreter.run();
+  const dra::IoStats total = farm.total_stats();
+
+  // Collective semantics: each call moves 1/P of its bytes from every
+  // process's local disk concurrently.
+  const double p = static_cast<double>(num_procs);
+  const double per_proc =
+      static_cast<double>(total.read_calls + total.write_calls) * model.seek_seconds +
+      static_cast<double>(total.bytes_read) / (p * model.read_bandwidth_bytes_per_s) +
+      static_cast<double>(total.bytes_written) / (p * model.write_bandwidth_bytes_per_s);
+
+  ParallelStats stats;
+  stats.num_procs = num_procs;
+  stats.total = total;
+  stats.io_seconds = per_proc;
+  stats.per_proc_seconds.assign(static_cast<std::size_t>(num_procs), per_proc);
+  return stats;
+}
+
+}  // namespace oocs::ga

@@ -1,0 +1,49 @@
+// Global-Arrays-style parallel execution substrate.
+//
+// The paper's parallel code runs on GA/DRA: a shared global-array model
+// with collective disk I/O, each node contributing its local memory and
+// local disk.  Our substitute executes an OocPlan over P processes:
+//
+//  * work distribution: the outermost tiling loop of every root nest is
+//    distributed round-robin over processes;
+//  * accumulation: read-modify-write outputs use GA-style atomic
+//    accumulate so concurrent partial sums merge correctly;
+//  * disk model: every process owns a local disk; collective I/O moves
+//    each process's share concurrently, so modeled I/O time is the
+//    maximum over the per-process disks.
+//
+// Two entry points: `run_threads` executes for real (POSIX farm, one
+// std::thread per process — the correctness path), and `simulate`
+// walks the plan once charging each process's modeled disk (the
+// Table 4 path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "dra/farm.hpp"
+#include "rt/interpreter.hpp"
+
+namespace oocs::ga {
+
+struct ParallelStats {
+  int num_procs = 1;
+  /// Modeled parallel I/O time: max over the per-process disks.
+  double io_seconds = 0;
+  /// Aggregate traffic over all processes.
+  dra::IoStats total;
+  /// Per-process modeled disk seconds.
+  std::vector<double> per_proc_seconds;
+};
+
+/// Real parallel execution: P threads share `farm` (must store data).
+/// Returns aggregated stats; outputs land in the farm's arrays.
+ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs);
+
+/// Modeled parallel run at paper scale: no data, each process charges
+/// its local-disk share of every collective I/O call.
+[[nodiscard]] ParallelStats simulate(const core::OocPlan& plan, int num_procs,
+                                     dra::DiskModel model = {});
+
+}  // namespace oocs::ga

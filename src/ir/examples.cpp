@@ -1,0 +1,94 @@
+#include "ir/examples.hpp"
+
+#include <sstream>
+
+#include "ir/parser.hpp"
+
+namespace oocs::ir::examples {
+
+namespace {
+
+std::string two_index_decls(std::int64_t ni, std::int64_t nj, std::int64_t nm,
+                            std::int64_t nn) {
+  std::ostringstream os;
+  os << "range i = " << ni << ", j = " << nj << ", m = " << nm << ", n = " << nn << ";\n"
+     << "input A(i, j);\n"
+     << "input C1(m, i);\n"
+     << "input C2(n, j);\n"
+     << "intermediate T(n, i);\n"
+     << "output B(m, n);\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string two_index_dsl(std::int64_t ni, std::int64_t nj, std::int64_t nm, std::int64_t nn) {
+  std::ostringstream os;
+  os << "# Two-index transform, operation-minimal fused form (paper Fig. 2a)\n"
+     << two_index_decls(ni, nj, nm, nn) << "\n"
+     << "B[*,*] = 0;\n"
+     << "for (i, n) {\n"
+     << "  T[n,i] = 0;\n"
+     << "  for (j) { T[n,i] += C2[n,j] * A[i,j]; }\n"
+     << "  for (m) { B[m,n] += C1[m,i] * T[n,i]; }\n"
+     << "}\n";
+  return os.str();
+}
+
+Program two_index(std::int64_t ni, std::int64_t nj, std::int64_t nm, std::int64_t nn) {
+  return parse(two_index_dsl(ni, nj, nm, nn));
+}
+
+std::string two_index_unfused_dsl(std::int64_t ni, std::int64_t nj, std::int64_t nm,
+                                  std::int64_t nn) {
+  std::ostringstream os;
+  os << "# Two-index transform, unfused form (paper Fig. 1a)\n"
+     << two_index_decls(ni, nj, nm, nn) << "\n"
+     << "T[*,*] = 0;\n"
+     << "B[*,*] = 0;\n"
+     << "for (i, n, j) { T[n,i] += C2[n,j] * A[i,j]; }\n"
+     << "for (i, n, m) { B[m,n] += C1[m,i] * T[n,i]; }\n";
+  return os.str();
+}
+
+Program two_index_unfused(std::int64_t ni, std::int64_t nj, std::int64_t nm, std::int64_t nn) {
+  return parse(two_index_unfused_dsl(ni, nj, nm, nn));
+}
+
+std::string four_index_dsl(std::int64_t n_pqrs, std::int64_t n_abcd) {
+  std::ostringstream os;
+  os << "# Four-index AO-to-MO transform, fused operation-minimal form (paper Fig. 5)\n"
+     << "range p = " << n_pqrs << ", q = " << n_pqrs << ", r = " << n_pqrs << ", s = "
+     << n_pqrs << ";\n"
+     << "range a = " << n_abcd << ", b = " << n_abcd << ", c = " << n_abcd << ", d = "
+     << n_abcd << ";\n"
+     << "input A(p, q, r, s);\n"
+     << "input C1(s, d);\n"
+     << "input C2(r, c);\n"
+     << "input C3(q, b);\n"
+     << "input C4(p, a);\n"
+     << "intermediate T1(a, q, r, s);\n"
+     << "intermediate T2;\n"
+     << "intermediate T3(c, s);\n"
+     << "output B(a, b, c, d);\n"
+     << "\n"
+     << "T1[*,*,*,*] = 0;\n"
+     << "for (a, p, q, r, s) { T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]; }\n"
+     << "B[*,*,*,*] = 0;\n"
+     << "for (a, b) {\n"
+     << "  T3[*,*] = 0;\n"
+     << "  for (r, s) {\n"
+     << "    T2 = 0;\n"
+     << "    for (q) { T2 += C3[q,b] * T1[a,q,r,s]; }\n"
+     << "    for (c) { T3[c,s] += C2[r,c] * T2; }\n"
+     << "  }\n"
+     << "  for (c, d, s) { B[a,b,c,d] += C1[s,d] * T3[c,s]; }\n"
+     << "}\n";
+  return os.str();
+}
+
+Program four_index(std::int64_t n_pqrs, std::int64_t n_abcd) {
+  return parse(four_index_dsl(n_pqrs, n_abcd));
+}
+
+}  // namespace oocs::ir::examples

@@ -1,0 +1,40 @@
+// Canned abstract programs from the paper.
+//
+// These are the workloads of every figure and table: the two-index
+// transform (Figs. 1-4) and the four-index AO→MO transform (Fig. 5,
+// Tables 2-4).  They are produced through the DSL parser so the text
+// form and the IR form can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace oocs::ir::examples {
+
+/// DSL text of the fused two-index transform:
+///   B(m,n) = Σ_i C1(m,i) · T(n,i),  T(n,i) = Σ_j C2(n,j) · A(i,j)
+/// with loops i and n fused between producer and consumer (Fig. 2a).
+[[nodiscard]] std::string two_index_dsl(std::int64_t ni, std::int64_t nj, std::int64_t nm,
+                                        std::int64_t nn);
+
+/// The fused two-index transform program.
+[[nodiscard]] Program two_index(std::int64_t ni = 40'000, std::int64_t nj = 40'000,
+                                std::int64_t nm = 35'000, std::int64_t nn = 35'000);
+
+/// Unfused form (Fig. 1a): T fully materialized between two loop nests.
+[[nodiscard]] std::string two_index_unfused_dsl(std::int64_t ni, std::int64_t nj,
+                                                std::int64_t nm, std::int64_t nn);
+[[nodiscard]] Program two_index_unfused(std::int64_t ni = 40'000, std::int64_t nj = 40'000,
+                                        std::int64_t nm = 35'000, std::int64_t nn = 35'000);
+
+/// DSL text of the four-index AO→MO transform (Fig. 5).  `n_pqrs` is the
+/// common range of p,q,r,s (the paper's N = O+V) and `n_abcd` of a,b,c,d
+/// (the paper's V).
+[[nodiscard]] std::string four_index_dsl(std::int64_t n_pqrs, std::int64_t n_abcd);
+
+/// The four-index AO→MO transform program (Fig. 5).
+[[nodiscard]] Program four_index(std::int64_t n_pqrs = 140, std::int64_t n_abcd = 120);
+
+}  // namespace oocs::ir::examples

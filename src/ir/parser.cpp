@@ -1,0 +1,358 @@
+#include "ir/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace oocs::ir {
+
+namespace {
+
+enum class TokKind { Ident, Int, Symbol, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+  Token take() {
+    Token tok = current_;
+    advance();
+    return tok;
+  }
+
+ private:
+  void advance() {
+    skip_trivia();
+    current_ = Token{};
+    current_.line = line_;
+    current_.column = column_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokKind::End;
+      current_.text = "<end of input>";
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        step();
+      }
+      current_.kind = TokKind::Ident;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) step();
+      current_.kind = TokKind::Int;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      current_.value = std::stoll(current_.text);
+      return;
+    }
+    // Multi-char symbol: +=
+    if (c == '+' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      current_.kind = TokKind::Symbol;
+      current_.text = "+=";
+      step();
+      step();
+      return;
+    }
+    static constexpr std::string_view kSingles = "()[]{},;=*";
+    if (kSingles.find(c) != std::string_view::npos) {
+      current_.kind = TokKind::Symbol;
+      current_.text = std::string(1, c);
+      step();
+      return;
+    }
+    throw SpecError("unexpected character '" + std::string(1, c) + "' at line " +
+                    std::to_string(line_) + ":" + std::to_string(column_));
+  }
+
+  void skip_trivia() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#' || (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') step();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        step();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void step() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) {}
+
+  Program run() {
+    while (lexer_.peek().kind != TokKind::End) parse_item(/*depth=*/0);
+    program_.finalize();
+    return std::move(program_);
+  }
+
+ private:
+  [[noreturn]] void fail(const Token& tok, const std::string& message) {
+    throw SpecError("parse error at line " + std::to_string(tok.line) + ":" +
+                    std::to_string(tok.column) + ": " + message + " (got '" + tok.text + "')");
+  }
+
+  Token expect_symbol(const std::string& sym) {
+    Token tok = lexer_.take();
+    if (tok.kind != TokKind::Symbol || tok.text != sym) fail(tok, "expected '" + sym + "'");
+    return tok;
+  }
+
+  std::string expect_ident() {
+    Token tok = lexer_.take();
+    if (tok.kind != TokKind::Ident) fail(tok, "expected identifier");
+    return tok.text;
+  }
+
+  bool peek_symbol(const std::string& sym) {
+    return lexer_.peek().kind == TokKind::Symbol && lexer_.peek().text == sym;
+  }
+
+  bool peek_keyword(const std::string& word) {
+    return lexer_.peek().kind == TokKind::Ident && lexer_.peek().text == word;
+  }
+
+  /// Parses one item at top level or in a loop body; appends resulting
+  /// nodes through `sink`.
+  void parse_item(int depth) {
+    if (peek_keyword("range")) {
+      if (depth != 0) fail(lexer_.peek(), "range declarations must be at top level");
+      parse_range();
+      return;
+    }
+    if (peek_keyword("input") || peek_keyword("intermediate") || peek_keyword("output")) {
+      if (depth != 0) fail(lexer_.peek(), "array declarations must be at top level");
+      parse_decl();
+      return;
+    }
+    auto nodes = parse_node(depth);
+    for (auto& node : nodes) emit(std::move(node));
+  }
+
+  void parse_range() {
+    lexer_.take();  // 'range'
+    while (true) {
+      const std::string index = expect_ident();
+      expect_symbol("=");
+      Token num = lexer_.take();
+      if (num.kind != TokKind::Int) fail(num, "expected integer range");
+      program_.set_range(index, num.value);
+      if (peek_symbol(",")) {
+        lexer_.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(";");
+  }
+
+  void parse_decl() {
+    const std::string kind_word = lexer_.take().text;
+    ArrayKind kind = ArrayKind::Input;
+    if (kind_word == "intermediate") kind = ArrayKind::Intermediate;
+    if (kind_word == "output") kind = ArrayKind::Output;
+
+    ArrayDecl decl;
+    decl.kind = kind;
+    decl.name = expect_ident();
+    if (peek_symbol("(")) {
+      lexer_.take();
+      if (!peek_symbol(")")) {
+        while (true) {
+          decl.indices.push_back(expect_ident());
+          if (peek_symbol(",")) {
+            lexer_.take();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_symbol(")");
+    }
+    expect_symbol(";");
+    program_.declare(std::move(decl));
+  }
+
+  /// Parses `for (...) {...}` or a statement; returns the node(s).
+  std::vector<std::unique_ptr<Node>> parse_node(int depth) {
+    std::vector<std::unique_ptr<Node>> out;
+    if (peek_keyword("for")) {
+      out.push_back(parse_for(depth));
+      return out;
+    }
+    for (auto& node : parse_stmt()) out.push_back(std::move(node));
+    return out;
+  }
+
+  std::unique_ptr<Node> parse_for(int depth) {
+    lexer_.take();  // 'for'
+    expect_symbol("(");
+    std::vector<std::string> indices;
+    while (true) {
+      indices.push_back(expect_ident());
+      if (peek_symbol(",")) {
+        lexer_.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(")");
+    expect_symbol("{");
+
+    // `for (a, b)` sugar: nested loops, innermost receives the body.
+    std::unique_ptr<Node> outer = Node::loop(indices.front());
+    Node* innermost = outer.get();
+    for (std::size_t i = 1; i < indices.size(); ++i) {
+      auto next = Node::loop(indices[i]);
+      Node* next_raw = next.get();
+      innermost->children.push_back(std::move(next));
+      innermost = next_raw;
+    }
+
+    for (const std::string& index : indices) bound_.push_back(index);
+    while (!peek_symbol("}")) {
+      if (lexer_.peek().kind == TokKind::End) fail(lexer_.peek(), "unterminated loop body");
+      for (auto& node : parse_node(depth + 1)) innermost->children.push_back(std::move(node));
+    }
+    lexer_.take();  // '}'
+    for (std::size_t i = 0; i < indices.size(); ++i) bound_.pop_back();
+    return outer;
+  }
+
+  /// Parses a statement; init statements with '*' dimensions expand to a
+  /// loop nest over the unbound declared dimensions.
+  std::vector<std::unique_ptr<Node>> parse_stmt() {
+    const Token start = lexer_.peek();
+    bool starred = false;
+    ArrayRef target = parse_ref(&starred);
+
+    std::vector<std::unique_ptr<Node>> out;
+    if (peek_symbol("=")) {
+      lexer_.take();
+      Token zero = lexer_.take();
+      if (zero.kind != TokKind::Int || zero.value != 0) fail(zero, "only '= 0' is supported");
+      expect_symbol(";");
+
+      if (!program_.has_array(target.array)) {
+        fail(start, "undeclared array '" + target.array + "'");
+      }
+      const ArrayDecl& decl = program_.array(target.array);
+      Stmt stmt;
+      stmt.kind = StmtKind::Init;
+      stmt.target = ArrayRef{target.array, decl.indices};
+      if (starred || target.indices.empty()) {
+        // Expand to loops over the declared dims not already bound.
+        std::unique_ptr<Node> node = Node::statement(std::move(stmt));
+        for (auto it = decl.indices.rbegin(); it != decl.indices.rend(); ++it) {
+          if (std::find(bound_.begin(), bound_.end(), *it) != bound_.end()) continue;
+          auto loop = Node::loop(*it);
+          loop->children.push_back(std::move(node));
+          node = std::move(loop);
+        }
+        out.push_back(std::move(node));
+      } else {
+        stmt.target = std::move(target);
+        out.push_back(Node::statement(std::move(stmt)));
+      }
+      return out;
+    }
+
+    expect_symbol("+=");
+    if (starred) fail(start, "'*' dimensions are only allowed in '= 0' statements");
+    Stmt stmt;
+    stmt.kind = StmtKind::Update;
+    stmt.target = std::move(target);
+    stmt.lhs = parse_ref(nullptr);
+    if (peek_symbol("*")) {
+      lexer_.take();
+      stmt.rhs = parse_ref(nullptr);
+    }
+    expect_symbol(";");
+    out.push_back(Node::statement(std::move(stmt)));
+    return out;
+  }
+
+  ArrayRef parse_ref(bool* starred) {
+    ArrayRef ref;
+    ref.array = expect_ident();
+    if (!peek_symbol("[")) return ref;  // scalar reference
+    lexer_.take();
+    while (true) {
+      if (peek_symbol("*")) {
+        if (starred == nullptr) fail(lexer_.peek(), "'*' not allowed here");
+        *starred = true;
+        lexer_.take();
+      } else {
+        ref.indices.push_back(expect_ident());
+      }
+      if (peek_symbol(",")) {
+        lexer_.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol("]");
+    if (starred != nullptr && *starred && !ref.indices.empty()) {
+      fail(lexer_.peek(), "cannot mix '*' and named indices in one reference");
+    }
+    return ref;
+  }
+
+  void emit(std::unique_ptr<Node> node) { program_.append(std::move(node)); }
+
+  Lexer lexer_;
+  Program program_;
+  std::vector<std::string> bound_;
+};
+
+}  // namespace
+
+Program parse(std::string_view text) { return Parser(text).run(); }
+
+Program parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open DSL file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace oocs::ir

@@ -1,0 +1,42 @@
+// Parser for the oocs abstract-code DSL.
+//
+// The textual form of the paper's abstract codes (Figs. 2a and 5):
+//
+//   # two-index transform, operation-minimal fused form
+//   range i = 40000, j = 40000, m = 35000, n = 35000;
+//   input A(i, j);
+//   input C1(m, i);
+//   input C2(n, j);
+//   intermediate T(n, i);
+//   output B(m, n);
+//
+//   B[*,*] = 0;                      # expands to a loop nest over m, n
+//   for (i, n) {
+//     T[n,i] = 0;
+//     for (j) { T[n,i] += C2[n,j] * A[i,j]; }
+//     for (m) { B[m,n] += C1[m,i] * T[n,i]; }
+//   }
+//
+// `for (a, b, c)` is shorthand for three nested loops (the paper's
+// compact notation, Fig. 1b).  `X[*,...]
+// = 0` expands to a loop nest over the declared dimensions of X that are
+// not already bound by enclosing loops.  Comments run from '#' or '//'
+// to end of line.  Statement references must list the declared indices
+// of the array in declaration order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/program.hpp"
+
+namespace oocs::ir {
+
+/// Parses DSL text into a finalized Program.  Throws SpecError with a
+/// line/column diagnostic on any lexical, syntactic or semantic error.
+[[nodiscard]] Program parse(std::string_view text);
+
+/// Reads and parses a DSL file.  Throws IoError if unreadable.
+[[nodiscard]] Program parse_file(const std::string& path);
+
+}  // namespace oocs::ir

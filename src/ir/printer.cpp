@@ -1,0 +1,115 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace oocs::ir {
+
+namespace {
+
+class TextPrinter {
+ public:
+  TextPrinter(const Program& program, const PrintOptions& options, std::ostream& os)
+      : program_(program), options_(options), os_(os) {}
+
+  void print_roots() {
+    for (const auto& root : program_.roots()) print(*root, 0);
+  }
+
+ private:
+  void print(const Node& node, int depth) {
+    if (node.kind == Node::Kind::Stmt) {
+      os_ << indent(depth) << node.stmt.to_string() << '\n';
+      return;
+    }
+    // Collect a chain of single-child loops for compact headers.
+    std::vector<std::string> chain{node.index};
+    const Node* body = &node;
+    if (options_.compact) {
+      while (body->children.size() == 1 &&
+             body->children.front()->kind == Node::Kind::Loop) {
+        body = body->children.front().get();
+        chain.push_back(body->index);
+      }
+    }
+    os_ << indent(depth) << "FOR " << header(chain) << '\n';
+    for (const auto& child : body->children) print(*child, depth + 1);
+    if (options_.compact && chain.size() > 1) {
+      std::vector<std::string> reversed(chain.rbegin(), chain.rend());
+      os_ << indent(depth) << "END FOR " << join(reversed, ", ") << '\n';
+    } else {
+      os_ << indent(depth) << "END FOR " << chain.front() << '\n';
+    }
+  }
+
+  std::string header(const std::vector<std::string>& chain) const {
+    if (!options_.show_ranges) return join(chain, ", ");
+    std::vector<std::string> parts;
+    parts.reserve(chain.size());
+    for (const std::string& index : chain) {
+      parts.push_back(index + " = 1, " + std::to_string(program_.range(index)));
+    }
+    return join(parts, "; ");
+  }
+
+  const Program& program_;
+  const PrintOptions& options_;
+  std::ostream& os_;
+};
+
+void print_tree(const Node& node, int depth, std::ostream& os) {
+  if (node.kind == Node::Kind::Stmt) {
+    os << indent(depth) << "stmt#" << node.stmt.id << ": " << node.stmt.to_string() << '\n';
+    return;
+  }
+  os << indent(depth) << "loop " << node.index << '\n';
+  for (const auto& child : node.children) print_tree(*child, depth + 1, os);
+}
+
+void print_dsl_node(const Node& node, int depth, std::ostream& os) {
+  if (node.kind == Node::Kind::Stmt) {
+    os << indent(depth) << node.stmt.to_string() << ";\n";
+    return;
+  }
+  os << indent(depth) << "for (" << node.index << ") {\n";
+  for (const auto& child : node.children) print_dsl_node(*child, depth + 1, os);
+  os << indent(depth) << "}\n";
+}
+
+}  // namespace
+
+std::string to_text(const Program& program, const PrintOptions& options) {
+  std::ostringstream os;
+  TextPrinter(program, options, os).print_roots();
+  return os.str();
+}
+
+std::string decls_to_text(const Program& program) {
+  std::ostringstream os;
+  for (const auto& [index, extent] : program.ranges()) {
+    os << "range " << index << " = " << extent << ";\n";
+  }
+  for (const auto& [name, decl] : program.arrays()) {
+    os << to_string(decl.kind) << " " << name;
+    if (!decl.indices.empty()) os << "(" << join(decl.indices, ", ") << ")";
+    os << ";\n";
+  }
+  return os.str();
+}
+
+std::string to_dsl(const Program& program) {
+  std::ostringstream os;
+  os << decls_to_text(program) << '\n';
+  for (const auto& root : program.roots()) print_dsl_node(*root, 0, os);
+  return os.str();
+}
+
+std::string tree_to_text(const Program& program) {
+  std::ostringstream os;
+  os << "root\n";
+  for (const auto& root : program.roots()) print_tree(*root, 1, os);
+  return os.str();
+}
+
+}  // namespace oocs::ir

@@ -1,0 +1,36 @@
+// Pretty printers for abstract programs.
+//
+// Two renderings match the paper's figures:
+//  - full form (Fig. 1a / Fig. 5):  "FOR i = 1, N" per loop, one per line
+//  - compact form (Fig. 1b):        "FOR i, n, j" for straight-line
+//    nests, loops closed with "END FOR j, n, i"
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace oocs::ir {
+
+struct PrintOptions {
+  /// Collapse chains of single-child loops into "FOR a, b, c" headers.
+  bool compact = true;
+  /// Show index ranges in loop headers ("FOR i = 1, 40000").
+  bool show_ranges = false;
+};
+
+/// Renders the loop structure of `program`.
+[[nodiscard]] std::string to_text(const Program& program, const PrintOptions& options = {});
+
+/// Renders the declarations block (ranges and arrays) as parseable DSL.
+[[nodiscard]] std::string decls_to_text(const Program& program);
+
+/// Renders the full program as round-trippable DSL text:
+/// parse(to_dsl(p)) reproduces p's structure.
+[[nodiscard]] std::string to_dsl(const Program& program);
+
+/// Renders the parse tree (Fig. 2b style), one node per line with
+/// indentation showing the tree structure.
+[[nodiscard]] std::string tree_to_text(const Program& program);
+
+}  // namespace oocs::ir

@@ -1,0 +1,194 @@
+#include "ir/program.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace oocs::ir {
+
+std::unique_ptr<Node> Node::loop(std::string index) {
+  auto node = std::make_unique<Node>();
+  node->kind = Kind::Loop;
+  node->index = std::move(index);
+  return node;
+}
+
+std::unique_ptr<Node> Node::statement(Stmt stmt) {
+  auto node = std::make_unique<Node>();
+  node->kind = Kind::Stmt;
+  node->stmt = std::move(stmt);
+  return node;
+}
+
+std::unique_ptr<Node> Node::clone() const {
+  auto copy = std::make_unique<Node>();
+  copy->kind = kind;
+  copy->index = index;
+  copy->stmt = stmt;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->clone());
+  return copy;
+}
+
+Program Program::clone() const {
+  Program copy;
+  copy.arrays_ = arrays_;
+  copy.ranges_ = ranges_;
+  copy.roots_.reserve(roots_.size());
+  for (const auto& root : roots_) copy.roots_.push_back(root->clone());
+  copy.finalized_ = finalized_;
+  copy.num_stmts_ = num_stmts_;
+  return copy;
+}
+
+void Program::declare(ArrayDecl decl) {
+  OOCS_REQUIRE(!finalized_, "cannot declare after finalize()");
+  if (arrays_.count(decl.name) != 0) {
+    throw SpecError("array '" + decl.name + "' declared twice");
+  }
+  arrays_.emplace(decl.name, std::move(decl));
+}
+
+void Program::set_range(const std::string& index, std::int64_t extent) {
+  OOCS_REQUIRE(!finalized_, "cannot set ranges after finalize()");
+  if (extent <= 0) throw SpecError("range of '" + index + "' must be positive");
+  ranges_[index] = extent;
+}
+
+void Program::append(std::unique_ptr<Node> node) {
+  OOCS_REQUIRE(!finalized_, "cannot append after finalize()");
+  OOCS_REQUIRE(node != nullptr, "null node");
+  roots_.push_back(std::move(node));
+}
+
+const ArrayDecl& Program::array(const std::string& name) const {
+  const auto it = arrays_.find(name);
+  if (it == arrays_.end()) throw SpecError("unknown array '" + name + "'");
+  return it->second;
+}
+
+bool Program::has_array(const std::string& name) const { return arrays_.count(name) != 0; }
+
+std::int64_t Program::range(const std::string& index) const {
+  const auto it = ranges_.find(index);
+  if (it == ranges_.end()) throw SpecError("unknown index '" + index + "'");
+  return it->second;
+}
+
+double Program::element_count(const std::string& array_name) const {
+  double count = 1;
+  for (const std::string& index : array(array_name).indices) {
+    count *= static_cast<double>(range(index));
+  }
+  return count;
+}
+
+double Program::byte_size(const std::string& array_name) const {
+  return element_count(array_name) * static_cast<double>(kElementBytes);
+}
+
+namespace {
+
+void visit_stmts(const Node& node, const std::function<void(const Stmt&)>& fn) {
+  if (node.kind == Node::Kind::Stmt) {
+    fn(node.stmt);
+    return;
+  }
+  for (const auto& child : node.children) visit_stmts(*child, fn);
+}
+
+void assign_ids(Node& node, int& next) {
+  if (node.kind == Node::Kind::Stmt) {
+    node.stmt.id = next++;
+    return;
+  }
+  for (const auto& child : node.children) assign_ids(*child, next);
+}
+
+}  // namespace
+
+void Program::for_each_stmt(const std::function<void(const Stmt&)>& fn) const {
+  for (const auto& root : roots_) visit_stmts(*root, fn);
+}
+
+void Program::finalize() {
+  OOCS_REQUIRE(!finalized_, "finalize() called twice");
+  int next = 0;
+  for (const auto& root : roots_) assign_ids(*root, next);
+  num_stmts_ = next;
+  validate();
+  finalized_ = true;
+}
+
+namespace {
+
+/// Validation walker checking binding and declaration consistency.
+class Validator {
+ public:
+  Validator(const Program& program) : program_(program) {}
+
+  void run() {
+    for (const auto& root : program_.roots()) walk(*root);
+  }
+
+ private:
+  void walk(const Node& node) {
+    if (node.kind == Node::Kind::Loop) {
+      if (node.index.empty()) throw SpecError("loop with empty index");
+      if (program_.ranges().count(node.index) == 0) {
+        throw SpecError("loop index '" + node.index + "' has no declared range");
+      }
+      if (!bound_.insert(node.index).second) {
+        throw SpecError("loop index '" + node.index + "' nested inside itself");
+      }
+      if (node.children.empty()) throw SpecError("empty loop body for '" + node.index + "'");
+      for (const auto& child : node.children) walk(*child);
+      bound_.erase(node.index);
+      return;
+    }
+    check_stmt(node.stmt);
+  }
+
+  void check_stmt(const Stmt& stmt) {
+    for (const ArrayRef* ref : stmt.refs()) check_ref(*ref, stmt);
+    const ArrayDecl& target = program_.array(stmt.target.array);
+    if (target.kind == ArrayKind::Input) {
+      throw SpecError("input array '" + target.name + "' must not be written (stmt: " +
+                      stmt.to_string() + ")");
+    }
+    if (stmt.kind == StmtKind::Update) {
+      if (!stmt.lhs.has_value()) {
+        throw SpecError("update statement without operands: " + stmt.to_string());
+      }
+      for (const ArrayRef* read : stmt.reads()) {
+        if (program_.array(read->array).kind == ArrayKind::Output) {
+          throw SpecError("output array '" + read->array + "' used as an operand (stmt: " +
+                          stmt.to_string() + ")");
+        }
+      }
+    }
+  }
+
+  void check_ref(const ArrayRef& ref, const Stmt& stmt) {
+    const ArrayDecl& decl = program_.array(ref.array);
+    if (ref.indices != decl.indices) {
+      throw SpecError("reference " + ref.to_string() + " must use the declared dimensions " +
+                      "of " + decl.name + " in order (stmt: " + stmt.to_string() + ")");
+    }
+    for (const std::string& index : ref.indices) {
+      if (bound_.count(index) == 0) {
+        throw SpecError("index '" + index + "' in " + ref.to_string() +
+                        " not bound by an enclosing loop (stmt: " + stmt.to_string() + ")");
+      }
+    }
+  }
+
+  const Program& program_;
+  std::set<std::string> bound_;
+};
+
+}  // namespace
+
+void Program::validate() const { Validator(*this).run(); }
+
+}  // namespace oocs::ir

@@ -1,0 +1,90 @@
+// The abstract-program representation: declarations, index ranges, and
+// the imperfectly nested loop tree (the paper's "parse tree", Fig. 2b).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace oocs::ir {
+
+/// A node of the loop tree: either a loop over one index with children,
+/// or a leaf statement.
+struct Node {
+  enum class Kind { Loop, Stmt };
+
+  Kind kind = Kind::Stmt;
+  /// Loop nodes: the index name.
+  std::string index;
+  /// Loop nodes: loop body in execution order.
+  std::vector<std::unique_ptr<Node>> children;
+  /// Stmt nodes: the statement.
+  Stmt stmt;
+
+  [[nodiscard]] static std::unique_ptr<Node> loop(std::string index);
+  [[nodiscard]] static std::unique_ptr<Node> statement(Stmt stmt);
+  [[nodiscard]] std::unique_ptr<Node> clone() const;
+};
+
+/// A complete abstract program.
+///
+/// Construction: declare arrays and ranges, build the loop forest, then
+/// call finalize() which assigns statement ids and validates the whole
+/// structure (throws SpecError on any inconsistency).
+class Program {
+ public:
+  Program() = default;
+
+  // Programs own a unique_ptr forest; moves only.
+  Program(Program&&) noexcept = default;
+  Program& operator=(Program&&) noexcept = default;
+
+  /// Deep copy.
+  [[nodiscard]] Program clone() const;
+
+  void declare(ArrayDecl decl);
+  void set_range(const std::string& index, std::int64_t extent);
+
+  /// Appends a top-level node (loop nest or statement).
+  void append(std::unique_ptr<Node> node);
+
+  /// Assigns statement ids (pre-order) and validates; must be called
+  /// once after construction and before any analysis.
+  void finalize();
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  // -- Accessors --------------------------------------------------------
+  [[nodiscard]] const std::map<std::string, ArrayDecl>& arrays() const noexcept { return arrays_; }
+  [[nodiscard]] const ArrayDecl& array(const std::string& name) const;
+  [[nodiscard]] bool has_array(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::int64_t>& ranges() const noexcept { return ranges_; }
+  [[nodiscard]] std::int64_t range(const std::string& index) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& roots() const noexcept { return roots_; }
+
+  /// Total element count of an array (product of its index ranges).
+  [[nodiscard]] double element_count(const std::string& array) const;
+  /// Total byte size of an array.
+  [[nodiscard]] double byte_size(const std::string& array) const;
+
+  /// Visit every statement in execution order.
+  void for_each_stmt(const std::function<void(const Stmt&)>& fn) const;
+
+  /// Number of statements (valid after finalize()).
+  [[nodiscard]] int num_stmts() const noexcept { return num_stmts_; }
+
+ private:
+  void validate() const;
+
+  std::map<std::string, ArrayDecl> arrays_;
+  std::map<std::string, std::int64_t> ranges_;
+  std::vector<std::unique_ptr<Node>> roots_;
+  bool finalized_ = false;
+  int num_stmts_ = 0;
+};
+
+}  // namespace oocs::ir

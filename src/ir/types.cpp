@@ -1,0 +1,51 @@
+#include "ir/types.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace oocs::ir {
+
+const char* to_string(ArrayKind kind) noexcept {
+  switch (kind) {
+    case ArrayKind::Input: return "input";
+    case ArrayKind::Intermediate: return "intermediate";
+    case ArrayKind::Output: return "output";
+  }
+  return "?";
+}
+
+std::string ArrayRef::to_string() const {
+  if (indices.empty()) return array;
+  return array + "[" + join(indices, ",") + "]";
+}
+
+std::string Stmt::to_string() const {
+  std::ostringstream os;
+  os << target.to_string();
+  if (kind == StmtKind::Init) {
+    os << " = 0";
+  } else {
+    os << " += " << lhs->to_string();
+    if (rhs.has_value()) os << " * " << rhs->to_string();
+  }
+  return os.str();
+}
+
+std::vector<const ArrayRef*> Stmt::refs() const {
+  std::vector<const ArrayRef*> out{&target};
+  if (lhs.has_value()) out.push_back(&*lhs);
+  if (rhs.has_value()) out.push_back(&*rhs);
+  return out;
+}
+
+std::vector<const ArrayRef*> Stmt::reads() const {
+  std::vector<const ArrayRef*> out;
+  if (kind == StmtKind::Update) {
+    if (lhs.has_value()) out.push_back(&*lhs);
+    if (rhs.has_value()) out.push_back(&*rhs);
+  }
+  return out;
+}
+
+}  // namespace oocs::ir

@@ -1,0 +1,75 @@
+// Core IR types for tensor-contraction programs.
+//
+// A program is an imperfectly nested loop structure over statements of
+// two forms (matching the paper's abstract codes, Figs. 1, 2 and 5):
+//
+//   init:    X[n,i] = 0
+//   update:  X[n,i] += L[n,j] * R[i,j]
+//
+// Arrays are declared with a fixed dimension signature (index names) and
+// a kind: Input (disk-resident source), Intermediate (produced and
+// consumed inside the computation), or Output (must end up on disk).
+// All elements are double precision, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oocs::ir {
+
+/// Every tensor element is a double (the paper's setting).
+inline constexpr std::int64_t kElementBytes = 8;
+
+enum class ArrayKind { Input, Intermediate, Output };
+
+[[nodiscard]] const char* to_string(ArrayKind kind) noexcept;
+
+/// Declaration: name plus the index name of every dimension.  A
+/// zero-dimensional declaration is a scalar (e.g. T2 in the paper's
+/// fused four-index transform).
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::string> indices;
+  ArrayKind kind = ArrayKind::Intermediate;
+
+  [[nodiscard]] int rank() const noexcept { return static_cast<int>(indices.size()); }
+};
+
+/// A reference `A[i,j]` inside a statement.  `indices` must be a
+/// permutation-free use of declared loop indices: position k of the
+/// reference addresses dimension k of the declaration.
+struct ArrayRef {
+  std::string array;
+  std::vector<std::string> indices;
+
+  [[nodiscard]] bool operator==(const ArrayRef&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class StmtKind {
+  /// `target = 0`
+  Init,
+  /// `target += lhs * rhs` (rhs absent means `target += lhs`)
+  Update,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Init;
+  ArrayRef target;
+  std::optional<ArrayRef> lhs;
+  std::optional<ArrayRef> rhs;
+  /// Unique id assigned by Program::finalize(); -1 before that.
+  int id = -1;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// All array references, target first.
+  [[nodiscard]] std::vector<const ArrayRef*> refs() const;
+  /// References read by this statement (operands; the target too for
+  /// Update statements, which accumulate).
+  [[nodiscard]] std::vector<const ArrayRef*> reads() const;
+};
+
+}  // namespace oocs::ir

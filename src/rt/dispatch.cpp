@@ -1,0 +1,169 @@
+#include "rt/dispatch.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "rt/kernels.hpp"
+
+namespace oocs::rt {
+
+namespace {
+
+bool contains(const std::vector<std::string>& dims, const std::string& index) {
+  return std::find(dims.begin(), dims.end(), index) != dims.end();
+}
+
+/// A group of operand dimensions flattened into one matrix dimension.
+struct FlatGroup {
+  std::vector<std::string> dims;  // in the order they appear in the operand
+  std::int64_t flat_size = 1;     // Π tile spans
+};
+
+/// Splits an operand's layout into two consecutive blocks drawn from
+/// `first_set` and `second_set` (in either order).  Returns false when
+/// the layout interleaves the sets or contains anything else.
+struct SplitResult {
+  bool ok = false;
+  bool swapped = false;  // true when the operand stores [second][first]
+  std::vector<std::string> first_dims;
+  std::vector<std::string> second_dims;
+};
+
+SplitResult split_layout(const DenseOperand& op, const std::set<std::string>& first_set,
+                         const std::set<std::string>& second_set) {
+  SplitResult result;
+  // Determine which set leads.
+  if (op.dims.empty()) return result;
+  const bool leads_first = first_set.count(op.dims.front()) != 0;
+  const auto& lead = leads_first ? first_set : second_set;
+  const auto& trail = leads_first ? second_set : first_set;
+
+  std::size_t d = 0;
+  std::vector<std::string> lead_dims;
+  std::vector<std::string> trail_dims;
+  while (d < op.dims.size() && lead.count(op.dims[d]) != 0) lead_dims.push_back(op.dims[d++]);
+  while (d < op.dims.size() && trail.count(op.dims[d]) != 0) trail_dims.push_back(op.dims[d++]);
+  if (d != op.dims.size()) return result;  // interleaved or foreign dims
+
+  result.ok = true;
+  result.swapped = !leads_first;
+  result.first_dims = leads_first ? lead_dims : trail_dims;
+  result.second_dims = leads_first ? trail_dims : lead_dims;
+  return result;
+}
+
+/// Density check for a matrix view over blocks (block1 rows, block2
+/// cols, in layout order `dims` = block1 ++ block2): every dimension
+/// must span its full extent except possibly the leading one.
+bool dense_enough(const DenseOperand& op) {
+  for (std::size_t d = 1; d < op.dims.size(); ++d) {
+    if (op.size[d] != op.extent[d]) return false;
+  }
+  return true;
+}
+
+std::int64_t flat_size(const DenseOperand& op, const std::vector<std::string>& dims) {
+  std::int64_t total = 1;
+  for (const std::string& index : dims) {
+    const auto it = std::find(op.dims.begin(), op.dims.end(), index);
+    total *= op.size[static_cast<std::size_t>(it - op.dims.begin())];
+  }
+  return total;
+}
+
+std::int64_t trailing_extent(const DenseOperand& op, std::size_t from) {
+  std::int64_t total = 1;
+  for (std::size_t d = from; d < op.dims.size(); ++d) total *= op.extent[d];
+  return total;
+}
+
+/// Start offset of the current tile inside the buffer.
+std::int64_t base_offset(const DenseOperand& op) {
+  std::int64_t stride = 1;
+  std::int64_t offset = 0;
+  for (std::size_t d = op.dims.size(); d > 0; --d) {
+    offset += op.base[d - 1] * stride;
+    stride *= op.extent[d - 1];
+  }
+  return offset;
+}
+
+}  // namespace
+
+double try_dgemm_contract(const DenseOperand& target, const DenseOperand& lhs_in,
+                          const DenseOperand& rhs_in,
+                          const std::vector<std::string>& loops) {
+  // 1. Classify every loop index into M/N/K by operand membership.
+  std::set<std::string> m_set, n_set, k_set;
+  for (const std::string& index : loops) {
+    const bool in_t = contains(target.dims, index);
+    const bool in_l = contains(lhs_in.dims, index);
+    const bool in_r = contains(rhs_in.dims, index);
+    if (in_t && in_l && !in_r) {
+      m_set.insert(index);
+    } else if (in_t && in_r && !in_l) {
+      n_set.insert(index);
+    } else if (!in_t && in_l && in_r) {
+      k_set.insert(index);
+    } else {
+      return -1;  // broadcast/triple-shared/unused index: no mapping
+    }
+  }
+  if (m_set.empty() || n_set.empty() || k_set.empty()) return -1;
+
+  // 2. Orient the product so the target's *leading* block supplies the
+  //    kernel's row dimension: if the N-block leads the target layout,
+  //    view the product from the transposed side by swapping both the
+  //    operands and the row/column index sets.
+  {
+    const SplitResult probe = split_layout(target, m_set, n_set);
+    if (!probe.ok) return -1;
+    if (probe.swapped) std::swap(m_set, n_set);
+  }
+  const DenseOperand& a_op = contains(lhs_in.dims, *m_set.begin()) ? lhs_in : rhs_in;
+  const DenseOperand& b_op = &a_op == &lhs_in ? rhs_in : lhs_in;
+
+  // Re-split everything under the final orientation; the target is now
+  // guaranteed row-block-leading.
+  const SplitResult t_split = split_layout(target, m_set, n_set);
+  const SplitResult a_split = split_layout(a_op, m_set, k_set);
+  const SplitResult b_split = split_layout(b_op, k_set, n_set);
+  if (!t_split.ok || t_split.swapped || !a_split.ok || !b_split.ok) return -1;
+
+  // 3. Within-group dimension order must agree between co-owners, or
+  //    flattening would permute elements.
+  if (t_split.first_dims != a_split.first_dims) return -1;   // M order
+  if (t_split.second_dims != b_split.second_dims) return -1;  // N order
+  if (a_split.second_dims != b_split.first_dims) return -1;   // K order
+
+  // 4. Density: all but the leading dimension of each operand must span
+  //    their full extents (uniform row stride + contiguous columns).
+  if (!dense_enough(target) || !dense_enough(a_op) || !dense_enough(b_op)) return -1;
+
+  // 5. Flatten and dispatch.
+  const std::int64_t m = flat_size(target, t_split.first_dims);
+  const std::int64_t n = flat_size(target, t_split.second_dims);
+  const std::int64_t k = flat_size(a_op, a_split.second_dims);
+
+  const auto lead_count = [](const SplitResult& split) {
+    return split.swapped ? split.second_dims.size() : split.first_dims.size();
+  };
+
+  MatView a;
+  a.transposed = a_split.swapped;  // stored [K][M]
+  a.data = a_op.data + base_offset(a_op);
+  a.ld = trailing_extent(a_op, lead_count(a_split));
+
+  MatView b;
+  b.transposed = b_split.swapped;  // stored [N][K]
+  b.data = b_op.data + base_offset(b_op);
+  b.ld = trailing_extent(b_op, lead_count(b_split));
+
+  double* c = target.data + base_offset(target);
+  const std::int64_t ldc = trailing_extent(target, lead_count(t_split));
+
+  dgemm_strided(m, n, k, a, b, c, ldc);
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+}  // namespace oocs::rt

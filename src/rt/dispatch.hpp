@@ -1,0 +1,37 @@
+// Contraction → dgemm dispatch.
+//
+// The paper's generated code performs its in-memory work with BLAS
+// matrix-multiply kernels.  This module recognizes when a tile-level
+// contraction statement maps onto C[M×N] += A[M×K]·B[K×N] over the
+// operands' buffer layouts — classifying every loop index as an M, N or
+// K dimension and checking group contiguity/density — and dispatches to
+// the strided dgemm kernel.  Anything that does not fit falls back to
+// the interpreter's generic element loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oocs::rt {
+
+/// One contraction operand as the dispatcher sees it: a dense row-major
+/// buffer over `extent`, of which the current tile spans `size` elements
+/// per dimension starting at `base` (base is 0 for tile-local dims).
+struct DenseOperand {
+  double* data = nullptr;
+  std::vector<std::string> dims;     // buffer dimension loop indices, in layout order
+  std::vector<std::int64_t> extent;  // buffer extents (row-major layout)
+  std::vector<std::int64_t> size;    // current tile span per dimension
+  std::vector<std::int64_t> base;    // starting coordinate per dimension
+};
+
+/// Attempts the dgemm mapping for target += lhs · rhs over the loop
+/// index set `loops`.  On success performs the accumulation and returns
+/// the executed flop count; returns a negative value when no mapping
+/// applies (caller falls back to the generic loop).
+[[nodiscard]] double try_dgemm_contract(const DenseOperand& target, const DenseOperand& lhs,
+                                        const DenseOperand& rhs,
+                                        const std::vector<std::string>& loops);
+
+}  // namespace oocs::rt

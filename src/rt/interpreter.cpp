@@ -1,0 +1,395 @@
+#include "rt/interpreter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "rt/dispatch.hpp"
+
+namespace oocs::rt {
+
+namespace {
+
+using core::BufferShape;
+using core::OocPlan;
+using core::PlanBuffer;
+using core::PlanNode;
+using core::PlanOp;
+
+}  // namespace
+
+PlanInterpreter::PlanInterpreter(const OocPlan& plan, dra::DiskFarm& farm, ExecOptions options)
+    : plan_(plan), farm_(farm), options_(options) {
+  OOCS_REQUIRE(options_.num_procs >= 1, "num_procs must be >= 1");
+  OOCS_REQUIRE(options_.proc_id >= 0 && options_.proc_id < options_.num_procs,
+               "proc_id out of range");
+}
+
+ExecStats PlanInterpreter::run() {
+  Stopwatch timer;
+  ExecStats stats;
+  stats.buffer_bytes = plan_.buffer_bytes();
+  if (options_.memory_limit_bytes > 0 && stats.buffer_bytes > options_.memory_limit_bytes) {
+    throw Error("plan buffers (" + std::to_string(stats.buffer_bytes) +
+                " bytes) exceed the execution memory limit");
+  }
+
+  buffers_.clear();
+  buffers_.resize(plan_.buffers.size());
+  if (!options_.dry_run) {
+    for (std::size_t b = 0; b < plan_.buffers.size(); ++b) {
+      buffers_[b].assign(
+          static_cast<std::size_t>(plan_.buffers[b].elements(plan_.program, plan_.tile_sizes)),
+          0.0);
+    }
+  }
+
+  flops_ = 0;
+  active_.clear();
+  for (const PlanNode& root : plan_.roots) {
+    if (root.kind == PlanNode::Kind::Loop) {
+      at_root_ = false;
+      exec_loop(root, options_.num_procs > 1);
+      at_root_ = true;
+    } else {
+      exec_root_op(root.op, /*root_level=*/true);
+    }
+    if (options_.root_barrier) options_.root_barrier();
+  }
+
+  stats.kernel_flops = flops_;
+  stats.io = farm_.total_stats();
+  stats.wall_seconds = timer.seconds();
+  return stats;
+}
+
+void PlanInterpreter::exec_children(const std::vector<PlanNode>& nodes) {
+  const bool root_level = at_root_;
+  for (const PlanNode& node : nodes) {
+    if (node.kind == PlanNode::Kind::Loop) {
+      at_root_ = false;
+      exec_loop(node, /*distribute=*/root_level && options_.num_procs > 1);
+      at_root_ = root_level;
+    } else {
+      exec_root_op(node.op, root_level);
+    }
+  }
+}
+
+namespace {
+/// True if the subtree performs any disk I/O (dry runs skip pure-compute
+/// subtrees, whose iteration counts can be astronomically larger than
+/// the I/O call count at paper scale).
+bool subtree_has_io(const PlanNode& node) {
+  if (node.kind == PlanNode::Kind::Op) {
+    return node.op.kind == PlanOp::Kind::ReadDisk || node.op.kind == PlanOp::Kind::WriteDisk;
+  }
+  for (const PlanNode& child : node.children) {
+    if (subtree_has_io(child)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+void PlanInterpreter::exec_loop(const PlanNode& node, bool distribute) {
+  if (options_.dry_run && !subtree_has_io(node)) return;
+  const std::int64_t extent = plan_.program.range(node.index);
+  const std::int64_t step = plan_.tile(node.index);
+  std::int64_t tile_number = 0;
+  for (std::int64_t base = 0; base < extent; base += step, ++tile_number) {
+    if (distribute && tile_number % options_.num_procs != options_.proc_id) continue;
+    active_[node.index] = Active{base, std::min(step, extent - base)};
+    exec_children(node.children);
+  }
+  active_.erase(node.index);
+}
+
+void PlanInterpreter::exec_op(const PlanOp& op) {
+  switch (op.kind) {
+    case PlanOp::Kind::ReadDisk:
+    case PlanOp::Kind::WriteDisk:
+      do_io(op, /*force_accumulate=*/false);
+      return;
+    case PlanOp::Kind::ZeroBuffer:
+      do_zero(op);
+      return;
+    case PlanOp::Kind::Contract:
+      do_contract(op);
+      return;
+  }
+}
+
+void PlanInterpreter::exec_root_op(const PlanOp& op, bool root_level) {
+  if (!root_level || options_.num_procs == 1) {
+    exec_op(op);
+    return;
+  }
+  // Parallel GA semantics for straight-line ops above the distributed
+  // loops: every process fills its own staging buffers (reads, zeros);
+  // compute outside the distributed region is not partitioned and runs
+  // once; writes of buffers that accumulated distributed contributions
+  // combine by atomic accumulate onto the zero-initialized disk array.
+  switch (op.kind) {
+    case PlanOp::Kind::ReadDisk:
+    case PlanOp::Kind::ZeroBuffer:
+      exec_op(op);
+      return;
+    case PlanOp::Kind::WriteDisk:
+      do_io(op, /*force_accumulate=*/true);
+      return;
+    case PlanOp::Kind::Contract:
+      if (options_.proc_id == 0) exec_op(op);
+      return;
+  }
+}
+
+dra::Section PlanInterpreter::section_for(const PlanBuffer& buffer) const {
+  dra::Section section;
+  for (const BufferShape::Dim& dim : buffer.shape.dims) {
+    if (dim.tiled) {
+      const Active& a = active_.at(dim.index);
+      section.dims.emplace_back(a.base, a.base + a.size);
+    } else {
+      section.dims.emplace_back(0, plan_.program.range(dim.index));
+    }
+  }
+  return section;
+}
+
+std::vector<std::int64_t> PlanInterpreter::current_extents(const PlanBuffer& buffer) const {
+  std::vector<std::int64_t> extents;
+  extents.reserve(buffer.shape.dims.size());
+  for (const BufferShape::Dim& dim : buffer.shape.dims) {
+    if (!dim.tiled) {
+      extents.push_back(plan_.program.range(dim.index));
+      continue;
+    }
+    // A tiled dim without a live loop occurs only in the synthetic init
+    // pass prologue, where the buffer is zeroed whole: use the full
+    // tile allocation.
+    const auto it = active_.find(dim.index);
+    extents.push_back(it != active_.end() ? it->second.size : plan_.tile(dim.index));
+  }
+  return extents;
+}
+
+void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
+  const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
+  dra::DiskArray& disk = farm_.array(buffer.array);
+  const dra::Section section = section_for(buffer);
+  const bool parallel = options_.num_procs > 1;
+
+  std::span<double> span;
+  if (!options_.dry_run) {
+    span = std::span<double>(buffers_[static_cast<std::size_t>(op.buffer)].data(),
+                             static_cast<std::size_t>(section.elements()));
+  }
+  if (op.kind == PlanOp::Kind::ReadDisk) {
+    if (parallel && op.rmw) {
+      // GA mode: accumulation buffers start from zero; partial sums are
+      // merged by atomic accumulate at the write.
+      if (!options_.dry_run) std::fill(span.begin(), span.end(), 0.0);
+      return;
+    }
+    disk.read(section, span);
+  } else {
+    if ((parallel && op.rmw) || force_accumulate) {
+      disk.accumulate(section, span);
+    } else {
+      disk.write(section, span);
+    }
+  }
+}
+
+void PlanInterpreter::do_zero(const PlanOp& op) {
+  if (options_.dry_run) return;
+  const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
+  std::vector<double>& data = buffers_[static_cast<std::size_t>(op.buffer)];
+  const std::vector<std::int64_t> extents = current_extents(buffer);
+
+  // Region per dimension: tiled dims cover their whole local extent;
+  // full dims cover the active tile slice when the dimension's loop is
+  // live, else everything.
+  std::vector<std::pair<std::int64_t, std::int64_t>> region;
+  bool whole = true;
+  for (std::size_t d = 0; d < buffer.shape.dims.size(); ++d) {
+    const BufferShape::Dim& dim = buffer.shape.dims[d];
+    if (dim.tiled) {
+      region.emplace_back(0, extents[d]);
+    } else if (const auto it = active_.find(dim.index); it != active_.end()) {
+      region.emplace_back(it->second.base, it->second.base + it->second.size);
+      if (it->second.base != 0 || it->second.size != extents[d]) whole = false;
+    } else {
+      region.emplace_back(0, extents[d]);
+    }
+  }
+  if (whole) {
+    std::fill(data.begin(), data.end(), 0.0);
+    return;
+  }
+  // Generic nested zero of the region under row-major `extents`.
+  std::vector<std::int64_t> stride(extents.size(), 1);
+  for (std::size_t d = extents.size(); d > 1; --d) stride[d - 2] = stride[d - 1] * extents[d - 1];
+  std::vector<std::int64_t> idx;
+  idx.reserve(region.size());
+  for (const auto& [lo, hi] : region) idx.push_back(lo);
+  while (true) {
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d + 1 < idx.size(); ++d) off += idx[d] * stride[d];
+    std::fill(data.begin() + off + region.back().first,
+              data.begin() + off + region.back().second, 0.0);
+    // Advance over all dims but the last.
+    std::size_t d = idx.size() - 1;
+    bool done = idx.size() == 1;
+    while (!done) {
+      if (d == 0) {
+        done = true;
+        break;
+      }
+      --d;
+      if (++idx[d] < region[d].second) break;
+      idx[d] = region[d].first;
+      if (d == 0) done = true;
+    }
+    if (done) break;
+  }
+}
+
+void PlanInterpreter::do_contract(const PlanOp& op) {
+  if (options_.dry_run) return;
+  const ir::Stmt& stmt = op.stmt;
+
+  // Fast path: BLAS-style dispatch when the statement maps onto a
+  // matrix multiplication over the current buffer layouts.
+  if (options_.use_fast_kernels && stmt.kind == ir::StmtKind::Update && stmt.rhs.has_value()) {
+    const auto dense_operand = [&](int buffer_id) {
+      DenseOperand o;
+      const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(buffer_id)];
+      o.data = buffers_[static_cast<std::size_t>(buffer_id)].data();
+      o.extent = current_extents(buffer);
+      for (const core::BufferShape::Dim& dim : buffer.shape.dims) {
+        o.dims.push_back(dim.index);
+        const Active& active = active_.at(dim.index);
+        o.size.push_back(active.size);
+        o.base.push_back(dim.tiled ? 0 : active.base);
+      }
+      return o;
+    };
+    const double flops =
+        try_dgemm_contract(dense_operand(op.target_buffer), dense_operand(op.lhs_buffer),
+                           dense_operand(op.rhs_buffer), op.loops);
+    if (flops >= 0) {
+      flops_ += flops;
+      return;
+    }
+  }
+
+  struct Operand {
+    const PlanBuffer* buffer = nullptr;
+    double* data = nullptr;
+    std::vector<std::int64_t> stride;  // per array dimension
+    std::vector<bool> local;           // coordinate is tile-local?
+  };
+  const auto make_operand = [&](const ir::ArrayRef&, int buffer_id) {
+    Operand o;
+    o.buffer = &plan_.buffers[static_cast<std::size_t>(buffer_id)];
+    o.data = buffers_[static_cast<std::size_t>(buffer_id)].data();
+    const std::vector<std::int64_t> extents = current_extents(*o.buffer);
+    o.stride.assign(extents.size(), 1);
+    for (std::size_t d = extents.size(); d > 1; --d) {
+      o.stride[d - 2] = o.stride[d - 1] * extents[d - 1];
+    }
+    for (const BufferShape::Dim& dim : o.buffer->shape.dims) o.local.push_back(dim.tiled);
+    return o;
+  };
+
+  Operand target = make_operand(stmt.target, op.target_buffer);
+  std::optional<Operand> lhs;
+  std::optional<Operand> rhs;
+  if (stmt.kind == ir::StmtKind::Update) {
+    lhs = make_operand(*stmt.lhs, op.lhs_buffer);
+    if (stmt.rhs.has_value()) rhs = make_operand(*stmt.rhs, op.rhs_buffer);
+  }
+
+  // Iterate the intra-tile space: every statement loop index over its
+  // active tile.
+  const std::size_t rank = op.loops.size();
+  std::vector<Active> bounds;
+  bounds.reserve(rank);
+  for (const std::string& index : op.loops) bounds.push_back(active_.at(index));
+  std::map<std::string, std::int64_t> point;
+  std::vector<std::int64_t> counter(rank, 0);
+
+  // Buffers are addressed through their own shape dimensions (which for
+  // in-memory intermediates may include "virtual" prefix-loop dims not
+  // present in the array reference); every shape dim is a live loop
+  // index at the contraction point.
+  const auto offset = [&](const Operand& o, const ir::ArrayRef&) {
+    std::int64_t off = 0;
+    const auto& dims = o.buffer->shape.dims;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      const std::int64_t global = point.at(dims[d].index);
+      const std::int64_t coord =
+          o.local[d] ? global - active_.at(dims[d].index).base : global;
+      off += coord * o.stride[d];
+    }
+    return off;
+  };
+
+  while (true) {
+    for (std::size_t d = 0; d < rank; ++d) point[op.loops[d]] = bounds[d].base + counter[d];
+
+    const std::int64_t t = offset(target, stmt.target);
+    if (stmt.kind == ir::StmtKind::Init) {
+      target.data[t] = 0;
+    } else {
+      double value = lhs->data[offset(*lhs, *stmt.lhs)];
+      if (rhs.has_value()) value *= rhs->data[offset(*rhs, *stmt.rhs)];
+      target.data[t] += value;
+      flops_ += 2;
+    }
+
+    // Odometer over the intra-tile space.
+    std::size_t d = rank;
+    while (d > 0) {
+      --d;
+      if (++counter[d] < bounds[d].size) break;
+      counter[d] = 0;
+      if (d == 0) return;
+    }
+    if (rank == 0) return;
+  }
+}
+
+std::map<std::string, std::vector<double>> run_posix(
+    const OocPlan& plan, const std::map<std::string, std::vector<double>>& inputs,
+    const std::string& directory, ExecStats* stats) {
+  dra::DiskFarm farm = dra::DiskFarm::posix(plan.program, directory);
+
+  // Stage the inputs.
+  for (const auto& [name, decl] : plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    const auto it = inputs.find(name);
+    OOCS_REQUIRE(it != inputs.end(), "missing input '", name, "'");
+    dra::DiskArray& array = farm.array(name);
+    array.write(dra::Section::whole(array.extents()), it->second);
+  }
+  farm.reset_stats();
+
+  PlanInterpreter interpreter(plan, farm, ExecOptions{});
+  const ExecStats run_stats = interpreter.run();
+  if (stats != nullptr) *stats = run_stats;
+
+  // Read the outputs back.
+  std::map<std::string, std::vector<double>> outputs;
+  for (const auto& [name, decl] : plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Output) continue;
+    dra::DiskArray& array = farm.array(name);
+    std::vector<double> data(static_cast<std::size_t>(array.elements()));
+    array.read(dra::Section::whole(array.extents()), data);
+    outputs[name] = std::move(data);
+  }
+  return outputs;
+}
+
+}  // namespace oocs::rt

@@ -1,0 +1,94 @@
+// Out-of-core plan interpreter.
+//
+// Executes an OocPlan against a DiskFarm:
+//  * real mode (POSIX farm): moves data, runs the contraction kernels —
+//    the plan's output must match the in-core reference;
+//  * dry-run mode (Sim farm): walks the loop structure, issuing every
+//    disk I/O call to the modeled disk but skipping computation — this
+//    is how "measured" disk times are obtained at paper scale.
+//
+// Parallel execution (proc_id/num_procs): the outermost tiling loop of
+// each root nest is distributed round-robin over processes, GA-style;
+// read-modify-write accumulations become zero-buffer + atomic disk
+// accumulate so concurrent partial sums combine correctly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/plan.hpp"
+#include "dra/farm.hpp"
+
+namespace oocs::rt {
+
+struct ExecOptions {
+  /// Skip compute and buffer traffic; only issue I/O calls.
+  bool dry_run = false;
+  /// Dispatch contractions that map onto C += A·B to the blocked dgemm
+  /// kernel (the paper's in-memory BLAS path); others use the generic
+  /// element loop.  Disable to force the generic loop everywhere.
+  bool use_fast_kernels = true;
+  /// Fail if the plan's buffers exceed this many bytes (0 = no check).
+  std::int64_t memory_limit_bytes = 0;
+  /// GA-style process identity for parallel runs.
+  int proc_id = 0;
+  int num_procs = 1;
+  /// Invoked after every top-level root completes.  Parallel drivers
+  /// install a thread barrier here: a root's disk effects (e.g. the
+  /// zero-initialization pass of an accumulated output) must be visible
+  /// to every process before the next root starts.
+  std::function<void()> root_barrier;
+};
+
+struct ExecStats {
+  dra::IoStats io;            // aggregated over the farm's arrays
+  double kernel_flops = 0;    // 2 × multiply-add count executed
+  double wall_seconds = 0;    // wall clock of the interpretation
+  std::int64_t buffer_bytes = 0;
+};
+
+class PlanInterpreter {
+ public:
+  PlanInterpreter(const core::OocPlan& plan, dra::DiskFarm& farm, ExecOptions options = {});
+
+  /// Runs the plan once.  Farm statistics are NOT reset first; callers
+  /// wanting per-run numbers should farm.reset_stats() beforehand.
+  ExecStats run();
+
+ private:
+  struct Active {
+    std::int64_t base = 0;
+    std::int64_t size = 0;
+  };
+
+  void exec_children(const std::vector<core::PlanNode>& nodes);
+  void exec_loop(const core::PlanNode& node, bool distribute);
+  void exec_op(const core::PlanOp& op);
+  /// Straight-line op at the top level: applies the parallel GA policy.
+  void exec_root_op(const core::PlanOp& op, bool root_level);
+
+  dra::Section section_for(const core::PlanBuffer& buffer) const;
+  /// Dense extents of the buffer's *current* region.
+  std::vector<std::int64_t> current_extents(const core::PlanBuffer& buffer) const;
+
+  void do_io(const core::PlanOp& op, bool force_accumulate);
+  void do_zero(const core::PlanOp& op);
+  void do_contract(const core::PlanOp& op);
+
+  const core::OocPlan& plan_;
+  dra::DiskFarm& farm_;
+  ExecOptions options_;
+  std::vector<std::vector<double>> buffers_;
+  std::map<std::string, Active> active_;
+  bool at_root_ = true;
+  double flops_ = 0;
+};
+
+/// Convenience wrapper: run `plan` for real against a POSIX farm rooted
+/// at `directory`, with `inputs` pre-staged, and return the output
+/// arrays read back from disk.
+[[nodiscard]] std::map<std::string, std::vector<double>> run_posix(
+    const core::OocPlan& plan, const std::map<std::string, std::vector<double>>& inputs,
+    const std::string& directory, ExecStats* stats = nullptr);
+
+}  // namespace oocs::rt

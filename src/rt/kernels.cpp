@@ -1,0 +1,138 @@
+#include "rt/kernels.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oocs::rt {
+
+namespace {
+// Block sizes chosen so one A-block + B-block + C-block fit in L1/L2.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 64;
+constexpr std::int64_t kBlockK = 64;
+
+void check_sizes(std::int64_t m, std::int64_t n, std::int64_t k, std::size_t a, std::size_t b,
+                 std::size_t c) {
+  OOCS_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dgemm extent");
+  OOCS_REQUIRE(a >= static_cast<std::size_t>(m * k), "A too small");
+  OOCS_REQUIRE(b >= static_cast<std::size_t>(k * n), "B too small");
+  OOCS_REQUIRE(c >= static_cast<std::size_t>(m * n), "C too small");
+}
+}  // namespace
+
+void dgemm_naive(std::int64_t m, std::int64_t n, std::int64_t k, std::span<const double> a,
+                 std::span<const double> b, std::span<double> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double sum = 0;
+      for (std::int64_t l = 0; l < k; ++l) {
+        sum += a[static_cast<std::size_t>(i * k + l)] * b[static_cast<std::size_t>(l * n + j)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] += sum;
+    }
+  }
+}
+
+void dgemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
+                      std::span<const double> a, std::span<const double> b,
+                      std::span<double> c) {
+  check_sizes(m, n, k, a.size(), b.size(), c.size());
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockK) {
+      const std::int64_t l1 = std::min(l0 + kBlockK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j1 = std::min(j0 + kBlockN, n);
+        // Register-friendly micro kernel: i-k-j with the innermost loop
+        // streaming contiguous rows of B and C.
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t l = l0; l < l1; ++l) {
+            const double a_il = a[static_cast<std::size_t>(i * k + l)];
+            const double* b_row = &b[static_cast<std::size_t>(l * n + j0)];
+            double* c_row = &c[static_cast<std::size_t>(i * n + j0)];
+            for (std::int64_t j = 0; j < j1 - j0; ++j) c_row[j] += a_il * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void dgemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, MatView a, MatView b,
+                   double* c, std::int64_t ldc) {
+  OOCS_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dgemm extent");
+  OOCS_REQUIRE(a.data != nullptr && b.data != nullptr && c != nullptr, "null operand");
+
+  // Four layout variants; each blocks over k and streams the innermost
+  // contiguous direction where the layout allows.
+  const auto run_blocked = [&](auto&& inner) {
+    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockK) {
+      const std::int64_t l1 = std::min(l0 + kBlockK, k);
+      for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+        const std::int64_t i1 = std::min(i0 + kBlockM, m);
+        inner(i0, i1, l0, l1);
+      }
+    }
+  };
+
+  if (!a.transposed && !b.transposed) {
+    // C[i,j] += A[i,l]·B[l,j]: stream rows of B and C.
+    run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t l = l0; l < l1; ++l) {
+          const double a_il = a.data[i * a.ld + l];
+          const double* b_row = &b.data[l * b.ld];
+          double* c_row = &c[i * ldc];
+          for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_il * b_row[j];
+        }
+      }
+    });
+    return;
+  }
+  if (a.transposed && !b.transposed) {
+    // A stored [l, i]: A(i,l) = a.data[l·ld + i].
+    run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
+      for (std::int64_t l = l0; l < l1; ++l) {
+        const double* a_col = &a.data[l * a.ld];
+        const double* b_row = &b.data[l * b.ld];
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double a_il = a_col[i];
+          double* c_row = &c[i * ldc];
+          for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_il * b_row[j];
+        }
+      }
+    });
+    return;
+  }
+  if (!a.transposed && b.transposed) {
+    // B stored [j, l]: dot products of contiguous rows.
+    run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const double* a_row = &a.data[i * a.ld];
+        double* c_row = &c[i * ldc];
+        for (std::int64_t j = 0; j < n; ++j) {
+          const double* b_row = &b.data[j * b.ld];
+          double sum = 0;
+          for (std::int64_t l = l0; l < l1; ++l) sum += a_row[l] * b_row[l];
+          c_row[j] += sum;
+        }
+      }
+    });
+    return;
+  }
+  // Both transposed.
+  run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
+    for (std::int64_t l = l0; l < l1; ++l) {
+      const double* a_col = &a.data[l * a.ld];
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const double a_il = a_col[i];
+        double* c_row = &c[i * ldc];
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_il * b.data[j * b.ld + l];
+      }
+    }
+  });
+}
+
+}  // namespace oocs::rt

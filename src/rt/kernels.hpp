@@ -1,0 +1,43 @@
+// In-memory contraction kernels.
+//
+// The paper's generated code performs its in-memory work with BLAS
+// matrix-multiplication kernels (via GA).  This is our stand-in: a
+// cache-blocked dgemm plus small helpers.  The plan interpreter's
+// generic element loops are the semantics reference; dgemm is the
+// performance path exercised by the micro benchmarks and examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace oocs::rt {
+
+/// C[m x n] += A[m x k] · B[k x n], row-major, cache-blocked.
+void dgemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
+                      std::span<const double> a, std::span<const double> b,
+                      std::span<double> c);
+
+/// Naive triple loop (oracle for the blocked kernel).
+void dgemm_naive(std::int64_t m, std::int64_t n, std::int64_t k, std::span<const double> a,
+                 std::span<const double> b, std::span<double> c);
+
+/// A logical matrix view over strided storage: element (r, c) lives at
+/// data[r·ld + c], or data[c·ld + r] when transposed.
+struct MatView {
+  const double* data = nullptr;
+  std::int64_t ld = 0;
+  bool transposed = false;
+
+  [[nodiscard]] double at(std::int64_t r, std::int64_t c) const noexcept {
+    return transposed ? data[c * ld + r] : data[r * ld + c];
+  }
+};
+
+/// General strided accumulate: C[m x n] += A[m x k] · B[k x n], where A
+/// and B may each be transposed views and C has leading dimension ldc.
+/// This is the BLAS-style entry the plan interpreter's contraction fast
+/// path dispatches to.
+void dgemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, MatView a, MatView b,
+                   double* c, std::int64_t ldc);
+
+}  // namespace oocs::rt

@@ -1,0 +1,127 @@
+#include "rt/reference.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oocs::rt {
+
+namespace {
+
+using ir::ArrayKind;
+using ir::ArrayRef;
+using ir::Node;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+
+/// Row-major strides of an array's declared extents.
+std::map<std::string, std::vector<std::int64_t>> build_strides(const Program& program) {
+  std::map<std::string, std::vector<std::int64_t>> strides;
+  for (const auto& [name, decl] : program.arrays()) {
+    std::vector<std::int64_t> s(decl.indices.size(), 1);
+    for (std::size_t d = decl.indices.size(); d > 1; --d) {
+      s[d - 2] = s[d - 1] * program.range(decl.indices[d - 1]);
+    }
+    strides[name] = std::move(s);
+  }
+  return strides;
+}
+
+class Interp {
+ public:
+  Interp(const Program& program, TensorMap tensors)
+      : program_(program), tensors_(std::move(tensors)), strides_(build_strides(program)) {}
+
+  TensorMap run() {
+    // Materialize intermediates and outputs.
+    for (const auto& [name, decl] : program_.arrays()) {
+      if (decl.kind == ArrayKind::Input) {
+        const auto it = tensors_.find(name);
+        OOCS_REQUIRE(it != tensors_.end(), "missing input tensor '", name, "'");
+        OOCS_REQUIRE(static_cast<double>(it->second.size()) == program_.element_count(name),
+                     "input '", name, "' has wrong size");
+      } else {
+        tensors_[name].assign(static_cast<std::size_t>(program_.element_count(name)), 0.0);
+      }
+    }
+    for (const auto& root : program_.roots()) walk(*root);
+    return std::move(tensors_);
+  }
+
+ private:
+  void walk(const Node& node) {
+    if (node.kind == Node::Kind::Loop) {
+      const std::int64_t extent = program_.range(node.index);
+      for (std::int64_t v = 0; v < extent; ++v) {
+        env_[node.index] = v;
+        for (const auto& child : node.children) walk(*child);
+      }
+      env_.erase(node.index);
+      return;
+    }
+    execute(node.stmt);
+  }
+
+  std::int64_t offset(const ArrayRef& ref) const {
+    const auto& strides = strides_.at(ref.array);
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+      off += env_.at(ref.indices[d]) * strides[d];
+    }
+    return off;
+  }
+
+  void execute(const Stmt& stmt) {
+    Tensor& target = tensors_.at(stmt.target.array);
+    const std::int64_t t = offset(stmt.target);
+    if (stmt.kind == StmtKind::Init) {
+      target[static_cast<std::size_t>(t)] = 0;
+      return;
+    }
+    const Tensor& lhs = tensors_.at(stmt.lhs->array);
+    double value = lhs[static_cast<std::size_t>(offset(*stmt.lhs))];
+    if (stmt.rhs.has_value()) {
+      const Tensor& rhs = tensors_.at(stmt.rhs->array);
+      value *= rhs[static_cast<std::size_t>(offset(*stmt.rhs))];
+    }
+    target[static_cast<std::size_t>(t)] += value;
+  }
+
+  const Program& program_;
+  TensorMap tensors_;
+  std::map<std::string, std::vector<std::int64_t>> strides_;
+  std::map<std::string, std::int64_t> env_;
+};
+
+}  // namespace
+
+Tensor random_tensor(const Program& program, const std::string& array, Rng& rng) {
+  Tensor t(static_cast<std::size_t>(program.element_count(array)));
+  for (double& v : t) v = rng.next_double() * 2.0 - 1.0;
+  return t;
+}
+
+TensorMap random_inputs(const Program& program, std::uint64_t seed) {
+  Rng rng(seed);
+  TensorMap inputs;
+  for (const auto& [name, decl] : program.arrays()) {
+    if (decl.kind == ArrayKind::Input) inputs[name] = random_tensor(program, name, rng);
+  }
+  return inputs;
+}
+
+TensorMap run_in_core(const Program& program, const TensorMap& inputs) {
+  return Interp(program, inputs).run();
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  OOCS_REQUIRE(a.size() == b.size(), "tensor size mismatch: ", a.size(), " vs ", b.size());
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace oocs::rt

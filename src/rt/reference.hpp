@@ -1,0 +1,35 @@
+// In-core reference execution of abstract programs.
+//
+// Runs the abstract code directly over dense in-memory tensors — the
+// semantics oracle every out-of-core plan must reproduce.  Only usable
+// at small scale (everything lives in memory).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/program.hpp"
+
+namespace oocs::rt {
+
+/// Row-major dense tensor keyed by the array's declared dimensions.
+using Tensor = std::vector<double>;
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Deterministic pseudo-random tensor with the extents of `array`.
+[[nodiscard]] Tensor random_tensor(const ir::Program& program, const std::string& array,
+                                   Rng& rng);
+
+/// Random tensors for every input array of `program`.
+[[nodiscard]] TensorMap random_inputs(const ir::Program& program, std::uint64_t seed);
+
+/// Executes the abstract program in core.  `inputs` must bind every
+/// input array; the result holds all intermediates and outputs.
+[[nodiscard]] TensorMap run_in_core(const ir::Program& program, const TensorMap& inputs);
+
+/// Max |a-b| over two tensors (checks plan output against reference).
+[[nodiscard]] double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace oocs::rt

@@ -1,0 +1,19 @@
+// AMPL model emission.
+//
+// The paper feeds DCS its problems in AMPL, "A Modeling Language for
+// Mathematical Programming".  We solve in-process, but emit the same
+// model text for inspection, documentation and golden tests — the output
+// is a valid AMPL .mod fragment for the constructed nonlinear program.
+#pragma once
+
+#include <string>
+
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+/// Renders `problem` as an AMPL model: `var` declarations with integer
+/// bounds, `minimize obj: ...;` and `subject to` constraint blocks.
+std::string to_ampl(const Problem& problem);
+
+}  // namespace oocs::solver

@@ -1,0 +1,85 @@
+#include "solver/compiled_problem.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oocs::solver {
+
+CompiledProblem::CompiledProblem(const Problem& problem) : problem_(&problem) {
+  problem.validate();
+  // Variables claim slots [0, n) in declaration order so that solver
+  // point vectors line up with Problem::variables().
+  for (const Variable& v : problem.variables()) table_.intern(v.name);
+
+  objective_ = expr::CompiledExpr(problem.objective(), table_);
+  const std::vector<double> x0 = initial_point();
+
+  const double f0 = std::fabs(objective_.eval(x0));
+  objective_scale_ = std::max(1.0, f0);
+
+  constraints_.reserve(problem.constraints().size());
+  for (const Constraint& c : problem.constraints()) {
+    CompiledConstraint cc{expr::CompiledExpr(c.lhs, table_), c.sense, 1.0};
+    double scale = c.scale;
+    if (scale <= 0) {
+      // Auto-normalization: the magnitude of the constraint function at
+      // the starting point gives the natural unit for its violations.
+      scale = std::max(1.0, std::fabs(cc.lhs.eval(x0)));
+    }
+    cc.inv_scale = 1.0 / scale;
+    constraints_.push_back(std::move(cc));
+  }
+}
+
+double CompiledProblem::violation(int j, std::span<const double> x) const {
+  const CompiledConstraint& c = constraints_[static_cast<std::size_t>(j)];
+  const double value = c.lhs.eval(x);
+  const double raw = c.sense == Sense::Equal ? std::fabs(value) : std::max(0.0, value);
+  return raw * c.inv_scale;
+}
+
+double CompiledProblem::max_violation(std::span<const double> x) const {
+  double worst = 0;
+  for (int j = 0; j < num_constraints(); ++j) worst = std::max(worst, violation(j, x));
+  return worst;
+}
+
+double CompiledProblem::total_violation(std::span<const double> x) const {
+  double total = 0;
+  for (int j = 0; j < num_constraints(); ++j) total += violation(j, x);
+  return total;
+}
+
+std::vector<double> CompiledProblem::initial_point() const {
+  std::vector<double> x;
+  x.reserve(problem_->variables().size());
+  for (const Variable& v : problem_->variables()) {
+    x.push_back(static_cast<double>(v.initial.value_or(v.lower)));
+  }
+  return x;
+}
+
+double CompiledProblem::clamp(int i, double value) const {
+  const Variable& v = variable(i);
+  const double rounded = std::round(value);
+  if (rounded < static_cast<double>(v.lower)) return static_cast<double>(v.lower);
+  if (rounded > static_cast<double>(v.upper)) return static_cast<double>(v.upper);
+  return rounded;
+}
+
+int CompiledProblem::slot_of(const std::string& name) const {
+  const int slot = table_.lookup(name);
+  OOCS_CHECK(slot >= 0 && slot < num_variables(), "unknown variable '", name, "'");
+  return slot;
+}
+
+Assignment CompiledProblem::to_assignment(std::span<const double> x) const {
+  Assignment out;
+  for (int i = 0; i < num_variables(); ++i) {
+    out[variable(i).name] = static_cast<std::int64_t>(std::llround(x[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+}  // namespace oocs::solver

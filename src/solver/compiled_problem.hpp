@@ -1,0 +1,78 @@
+// Shared slot-compiled view of a Problem, used by every iterative solver.
+//
+// Variables occupy slots [0, n) in declaration order; the objective and
+// all constraint left-hand sides are compiled against the same table.
+// Violations are normalized by per-constraint scales so that Lagrange
+// multipliers and penalty terms are comparable across constraints whose
+// raw magnitudes differ by many orders (bytes vs. 0/1 indicators).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "expr/compiled.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+class CompiledProblem {
+ public:
+  explicit CompiledProblem(const Problem& problem);
+
+  [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+  [[nodiscard]] int num_variables() const noexcept { return static_cast<int>(problem_->variables().size()); }
+  [[nodiscard]] int num_constraints() const noexcept { return static_cast<int>(constraints_.size()); }
+
+  /// Objective value at `x` (slot order == variable declaration order).
+  [[nodiscard]] double objective(std::span<const double> x) const { return objective_.eval(x); }
+
+  /// Normalized violation of constraint `j` at `x` (0 when satisfied).
+  [[nodiscard]] double violation(int j, std::span<const double> x) const;
+
+  /// Maximum normalized violation over all constraints.
+  [[nodiscard]] double max_violation(std::span<const double> x) const;
+
+  /// Sum of normalized violations (the penalty term used by DLM/CSA).
+  [[nodiscard]] double total_violation(std::span<const double> x) const;
+
+  /// Normalization divisor used by the objective inside Lagrangians,
+  /// chosen so typical objective values are O(1).
+  [[nodiscard]] double objective_scale() const noexcept { return objective_scale_; }
+
+  /// Starting point: warm-start values where given, else lower bounds.
+  [[nodiscard]] std::vector<double> initial_point() const;
+
+  /// Clamp x[i] into the bounds of variable i.
+  [[nodiscard]] double clamp(int i, double value) const;
+
+  [[nodiscard]] const Variable& variable(int i) const {
+    return problem_->variables()[static_cast<std::size_t>(i)];
+  }
+
+  /// Converts a point to a named Assignment.
+  [[nodiscard]] Assignment to_assignment(std::span<const double> x) const;
+
+  /// Slot index of a variable name (must exist).
+  [[nodiscard]] int slot_of(const std::string& name) const;
+
+  /// Coupled binary groups declared on the problem.
+  [[nodiscard]] const std::vector<Problem::CoupledGroup>& coupled_groups() const noexcept {
+    return problem_->coupled_groups();
+  }
+
+ private:
+  struct CompiledConstraint {
+    expr::CompiledExpr lhs;
+    Sense sense;
+    double inv_scale;
+  };
+
+  const Problem* problem_;
+  expr::VarTable table_;
+  expr::CompiledExpr objective_;
+  std::vector<CompiledConstraint> constraints_;
+  double objective_scale_ = 1;
+};
+
+}  // namespace oocs::solver

@@ -1,0 +1,151 @@
+#include "solver/csa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "solver/compiled_problem.hpp"
+
+namespace oocs::solver {
+
+Solution CsaSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  Rng rng(options_.seed);
+  Stopwatch timer;
+
+  const int n = cp.num_variables();
+  const int m = cp.num_constraints();
+
+  Solution best;
+  best.feasible = false;
+  best.objective = std::numeric_limits<double>::infinity();
+  SolveStats stats;
+
+  std::vector<double> x = cp.initial_point();
+  std::vector<double> lambda(static_cast<std::size_t>(m), 0.0);
+
+  const auto lagrangian = [&](std::span<const double> point) {
+    ++stats.evaluations;
+    double value = cp.objective(point) / cp.objective_scale();
+    for (int j = 0; j < m; ++j) value += lambda[static_cast<std::size_t>(j)] * cp.violation(j, point);
+    return value;
+  };
+
+  const auto consider_best = [&](std::span<const double> point) {
+    if (cp.max_violation(point) > options_.feasibility_tolerance) return;
+    const double f = cp.objective(point);
+    if (!best.feasible || f < best.objective) {
+      best.feasible = true;
+      best.objective = f;
+      best.values = cp.to_assignment(point);
+    }
+  };
+
+  const auto out_of_time = [&] {
+    return options_.time_limit_seconds > 0 && timer.seconds() > options_.time_limit_seconds;
+  };
+
+  /// Proposes a new value for variable `i`; mixes local and global moves.
+  const auto propose = [&](int i, double cur) -> double {
+    const Variable& v = cp.variable(i);
+    if (v.is_binary()) return cur == 0 ? 1 : 0;
+    switch (rng.uniform(0, 5)) {
+      case 0: return cp.clamp(i, cur + 1);
+      case 1: return cp.clamp(i, cur - 1);
+      case 2: return cp.clamp(i, cur * 2);
+      case 3: return cp.clamp(i, std::floor(cur / 2));
+      case 4: return cp.clamp(i, cur + static_cast<double>(rng.uniform(-8, 8)));
+      default: return static_cast<double>(rng.uniform(v.lower, v.upper));
+    }
+  };
+
+  for (std::int64_t restart = 0; restart <= options_.max_restarts; ++restart) {
+    if (restart > 0) {
+      ++stats.restarts;
+      for (int i = 0; i < n; ++i) {
+        const Variable& v = cp.variable(i);
+        x[static_cast<std::size_t>(i)] = static_cast<double>(rng.uniform(v.lower, v.upper));
+      }
+      std::fill(lambda.begin(), lambda.end(), 0.0);
+    }
+
+    double temperature = options_.initial_temperature;
+    double current_l = lagrangian(x);
+    consider_best(x);
+    std::int64_t step_in_level = 0;
+
+    for (std::int64_t iter = 0; iter < options_.max_iterations; ++iter) {
+      ++stats.iterations;
+      if (out_of_time()) break;
+      if (temperature < options_.final_temperature) break;
+
+      const bool violated = cp.max_violation(x) > options_.feasibility_tolerance;
+      const bool do_variable_move =
+          !violated || m == 0 || rng.chance(options_.variable_move_probability);
+
+      if (do_variable_move) {
+        const int i = static_cast<int>(rng.uniform(0, n - 1));
+        const double cur = x[static_cast<std::size_t>(i)];
+        const double next = propose(i, cur);
+        if (next != cur) {
+          x[static_cast<std::size_t>(i)] = next;
+          const double trial_l = lagrangian(x);
+          const double delta = trial_l - current_l;
+          if (delta <= 0 || rng.chance(std::exp(-delta / temperature))) {
+            current_l = trial_l;
+            consider_best(x);
+          } else {
+            x[static_cast<std::size_t>(i)] = cur;
+          }
+        }
+      } else {
+        // Multiplier ascent move: increasing λ_j on a violated
+        // constraint *raises* L, so the Metropolis rule is mirrored.
+        int j = static_cast<int>(rng.uniform(0, m - 1));
+        // Prefer violated constraints.
+        for (int attempt = 0; attempt < m; ++attempt) {
+          if (cp.violation(j, x) > options_.feasibility_tolerance) break;
+          j = (j + 1) % m;
+        }
+        const double v = cp.violation(j, x);
+        if (v > 0) {
+          const double step = options_.ascent_rate * std::max(v, 1e-3);
+          const double delta = step * v;  // ΔL from raising λ_j by `step`
+          if (delta >= 0 || rng.chance(std::exp(delta / temperature))) {
+            lambda[static_cast<std::size_t>(j)] += step;
+            current_l += delta;
+          }
+        }
+      }
+
+      if (++step_in_level >= options_.steps_per_temperature) {
+        step_in_level = 0;
+        temperature *= options_.cooling;
+      }
+    }
+    if (out_of_time()) break;
+  }
+
+  best.stats = stats;
+  best.stats.seconds = timer.seconds();
+  if (best.feasible) {
+    std::vector<double> point(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      point[static_cast<std::size_t>(i)] = static_cast<double>(best.values.at(cp.variable(i).name));
+    }
+    best.max_violation = cp.max_violation(point);
+  } else {
+    best.values = cp.to_assignment(x);
+    best.objective = cp.objective(x);
+    best.max_violation = cp.max_violation(x);
+  }
+  log::debug("csa: feasible=", best.feasible, " objective=", best.objective,
+             " iters=", stats.iterations, " time=", best.stats.seconds, "s");
+  return best;
+}
+
+}  // namespace oocs::solver

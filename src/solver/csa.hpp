@@ -1,0 +1,42 @@
+// Constrained Simulated Annealing solver.
+//
+// The stochastic half of our DCS substitute, after Wah & Wang's CSA:
+// simulated annealing on the discrete Lagrangian L(x, λ), performing
+// *descent* moves in the variable space x and *ascent* moves in the
+// multiplier space λ, both accepted by a Metropolis rule at temperature
+// T.  CSA converges asymptotically to a constrained global minimum; at
+// practical cooling schedules it is a strong global heuristic that
+// escapes the local minima DLM can stall in.
+#pragma once
+
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+struct CsaOptions : SolverOptions {
+  double initial_temperature = 1.0;
+  double final_temperature = 1e-6;
+  /// Geometric cooling factor applied every `steps_per_temperature`.
+  double cooling = 0.95;
+  std::int64_t steps_per_temperature = 200;
+  /// Probability of proposing a variable move (vs. a multiplier move)
+  /// when constraints are violated.
+  double variable_move_probability = 0.8;
+  /// Multiplier ascent step scale.
+  double ascent_rate = 0.5;
+};
+
+class CsaSolver final : public Solver {
+ public:
+  explicit CsaSolver(CsaOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Solution solve(const Problem& problem) override;
+  [[nodiscard]] std::string name() const override { return "csa"; }
+
+  [[nodiscard]] const CsaOptions& options() const noexcept { return options_; }
+
+ private:
+  CsaOptions options_;
+};
+
+}  // namespace oocs::solver

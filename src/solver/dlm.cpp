@@ -1,0 +1,324 @@
+#include "solver/dlm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "solver/compiled_problem.hpp"
+
+namespace oocs::solver {
+
+namespace {
+
+/// Candidate next values for variable `i` at current value `cur`.
+void candidate_moves(const CompiledProblem& cp, int i, double cur, std::vector<double>& out) {
+  out.clear();
+  const Variable& v = cp.variable(i);
+  const auto push = [&](double value) {
+    const double clamped = cp.clamp(i, value);
+    if (clamped == cur) return;
+    if (std::find(out.begin(), out.end(), clamped) == out.end()) out.push_back(clamped);
+  };
+  if (v.is_binary()) {
+    push(cur == 0 ? 1 : 0);
+    return;
+  }
+  push(cur + 1);
+  push(cur - 1);
+  push(cur * 2);
+  push(std::floor(cur / 2));
+  push(static_cast<double>(v.lower));
+  push(static_cast<double>(v.upper));
+  // Plateau jumps for tile-size variables: objectives built from
+  // ceil(N/T) trip counts are piecewise constant in T, so ±1 moves see
+  // flat ground.  Jump to the smallest value that lowers the trip count
+  // and the largest value that raises it (taking N = the upper bound,
+  // exact for tile variables and harmless otherwise).
+  if (v.upper > 1 && cur >= 1) {
+    const double n = static_cast<double>(v.upper);
+    const double k = std::ceil(n / cur);
+    if (k > 1) push(std::ceil(n / (k - 1)));
+    push(std::floor(n / (k + 1)));
+  }
+}
+
+/// Shared machinery of one DLM run: discrete descent in x alternating
+/// with multiplier ascent, plus incumbent tracking.
+class DlmRun {
+ public:
+  DlmRun(const CompiledProblem& cp, const DlmOptions& options, Rng& rng, Stopwatch& timer,
+         SolveStats& stats)
+      : cp_(cp), options_(options), rng_(rng), timer_(timer), stats_(stats),
+        n_(cp.num_variables()), m_(cp.num_constraints()),
+        lambda_(static_cast<std::size_t>(m_), 0.0),
+        order_(static_cast<std::size_t>(n_)) {
+    std::iota(order_.begin(), order_.end(), 0);
+    best_.feasible = false;
+    best_.objective = std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] bool out_of_time() const {
+    return options_.time_limit_seconds > 0 && timer_.seconds() > options_.time_limit_seconds;
+  }
+
+  double lagrangian(std::span<const double> point) {
+    ++stats_.evaluations;
+    double value = cp_.objective(point) / cp_.objective_scale();
+    for (int j = 0; j < m_; ++j) {
+      value += lambda_[static_cast<std::size_t>(j)] * cp_.violation(j, point);
+    }
+    return value;
+  }
+
+  void consider_best(std::span<const double> point) {
+    if (cp_.max_violation(point) > options_.feasibility_tolerance) return;
+    const double f = cp_.objective(point);
+    if (!best_.feasible || f < best_.objective) {
+      best_.feasible = true;
+      best_.objective = f;
+      best_point_.assign(point.begin(), point.end());
+    }
+  }
+
+  void reset_multipliers() { std::fill(lambda_.begin(), lambda_.end(), 0.0); }
+
+  /// One saddle-point search phase from `x` (modified in place).
+  void phase(std::vector<double>& x, std::int64_t max_iterations) {
+    double current_l = lagrangian(x);
+    consider_best(x);
+    for (std::int64_t iter = 0; iter < max_iterations; ++iter) {
+      ++stats_.iterations;
+      if (out_of_time()) return;
+
+      // Descent: randomized variable order, first improvement.
+      bool improved = false;
+      for (std::size_t k = order_.size(); k > 1; --k) {
+        std::swap(order_[k - 1],
+                  order_[static_cast<std::size_t>(rng_.uniform(0, static_cast<std::int64_t>(k) - 1))]);
+      }
+      for (const int i : order_) {
+        const double cur = x[static_cast<std::size_t>(i)];
+        candidate_moves(cp_, i, cur, moves_);
+        for (const double next : moves_) {
+          x[static_cast<std::size_t>(i)] = next;
+          const double trial_l = lagrangian(x);
+          if (trial_l < current_l - 1e-15) {
+            current_l = trial_l;
+            improved = true;
+            consider_best(x);
+            break;
+          }
+          x[static_cast<std::size_t>(i)] = cur;
+        }
+        if (improved) break;
+      }
+      if (improved) continue;
+
+      // Saddle point in x: multiplier ascent or convergence.
+      bool any_violated = false;
+      double max_multiplier = 0;
+      for (int j = 0; j < m_; ++j) {
+        const double v = cp_.violation(j, x);
+        if (v > options_.feasibility_tolerance) {
+          lambda_[static_cast<std::size_t>(j)] += options_.ascent_rate * std::max(v, 1e-3);
+          any_violated = true;
+        }
+        max_multiplier = std::max(max_multiplier, lambda_[static_cast<std::size_t>(j)]);
+      }
+      if (!any_violated) return;                       // constrained local minimum
+      if (max_multiplier > options_.multiplier_cap) return;  // stuck
+      current_l = lagrangian(x);
+    }
+  }
+
+  /// Feasible-only descent from the incumbent, with paired grow/shrink
+  /// moves that walk along active constraint boundaries.
+  void polish() {
+    if (!best_.feasible) return;
+    std::vector<double> point = best_point_;
+    double best_f = best_.objective;
+    const auto try_point = [&](std::vector<double>& candidate) {
+      ++stats_.evaluations;
+      if (cp_.max_violation(candidate) > options_.feasibility_tolerance) return false;
+      const double f = cp_.objective(candidate);
+      if (f >= best_f - 1e-12) return false;
+      best_f = f;
+      point = candidate;
+      return true;
+    };
+    bool improved = true;
+    while (improved && !out_of_time()) {
+      improved = false;
+      for (int i = 0; i < n_ && !improved; ++i) {
+        candidate_moves(cp_, i, point[static_cast<std::size_t>(i)], moves_);
+        for (const double next : moves_) {
+          std::vector<double> candidate = point;
+          candidate[static_cast<std::size_t>(i)] = next;
+          if (try_point(candidate)) {
+            improved = true;
+            break;
+          }
+        }
+      }
+      for (int i = 0; i < n_ && !improved; ++i) {
+        for (int j = 0; j < n_ && !improved; ++j) {
+          if (i == j) continue;
+          std::vector<double> candidate = point;
+          candidate[static_cast<std::size_t>(i)] =
+              cp_.clamp(i, candidate[static_cast<std::size_t>(i)] * 2);
+          candidate[static_cast<std::size_t>(j)] =
+              cp_.clamp(j, std::floor(candidate[static_cast<std::size_t>(j)] / 2));
+          if (candidate == point) continue;
+          improved = try_point(candidate);
+        }
+      }
+    }
+    best_.objective = best_f;
+    best_point_ = point;
+  }
+
+  /// Variable-neighborhood phase over coupled binary groups (placement
+  /// codes) — the moves plain descent cannot make, because a profitable
+  /// code change usually needs simultaneous retiling.  Coordinate
+  /// descent: for each group, try every alternative code value from the
+  /// incumbent with a short saddle search + polish; lone binaries
+  /// (those in no group) are treated as one-bit groups.
+  void coupled_group_search(std::int64_t phase_iterations) {
+    if (!best_.feasible) return;
+
+    // Slot-resolved groups plus singleton groups for stray binaries.
+    struct Group {
+      std::vector<int> slots;
+      int num_values = 0;
+    };
+    std::vector<Group> groups;
+    std::vector<bool> covered(static_cast<std::size_t>(n_), false);
+    for (const auto& coupled : cp_.coupled_groups()) {
+      Group group;
+      for (const std::string& name : coupled.names) {
+        const int slot = cp_.slot_of(name);
+        group.slots.push_back(slot);
+        covered[static_cast<std::size_t>(slot)] = true;
+      }
+      group.num_values = coupled.num_values;
+      if (!group.slots.empty() && group.slots.size() <= 10) groups.push_back(std::move(group));
+    }
+    for (int i = 0; i < n_; ++i) {
+      if (!covered[static_cast<std::size_t>(i)] && cp_.variable(i).is_binary()) {
+        groups.push_back(Group{{i}, 2});
+      }
+    }
+    if (groups.empty()) return;
+
+    bool improved = true;
+    while (improved && !out_of_time()) {
+      improved = false;
+      for (const auto& group : groups) {
+        const auto& slots = group.slots;
+        const int bits = static_cast<int>(slots.size());
+        const int codes =
+            group.num_values > 0 ? std::min(group.num_values, 1 << bits) : (1 << bits);
+        int current = 0;
+        for (int b = 0; b < bits; ++b) {
+          if (best_point_[static_cast<std::size_t>(slots[static_cast<std::size_t>(b)])] != 0) {
+            current |= 1 << b;
+          }
+        }
+        for (int code = 0; code < codes; ++code) {
+          if (code == current) continue;
+          const double before = best_.objective;
+          std::vector<double> x = best_point_;
+          for (int b = 0; b < bits; ++b) {
+            x[static_cast<std::size_t>(slots[static_cast<std::size_t>(b)])] =
+                ((code >> b) & 1) != 0 ? 1.0 : 0.0;
+          }
+          reset_multipliers();
+          phase(x, phase_iterations);
+          if (best_.feasible && best_.objective < before - 1e-12) {
+            polish();
+            improved = true;
+            break;  // re-read the (new) incumbent's code
+          }
+          if (out_of_time()) return;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const Solution& best() const noexcept { return best_; }
+  [[nodiscard]] const std::vector<double>& best_point() const noexcept { return best_point_; }
+  [[nodiscard]] bool has_incumbent() const noexcept { return best_.feasible; }
+
+  Solution take_best(const std::vector<double>& fallback) {
+    Solution out = best_;
+    if (best_.feasible) {
+      out.values = cp_.to_assignment(best_point_);
+      out.max_violation = cp_.max_violation(best_point_);
+    } else {
+      out.values = cp_.to_assignment(fallback);
+      out.objective = cp_.objective(fallback);
+      out.max_violation = cp_.max_violation(fallback);
+    }
+    return out;
+  }
+
+ private:
+  const CompiledProblem& cp_;
+  const DlmOptions& options_;
+  Rng& rng_;
+  Stopwatch& timer_;
+  SolveStats& stats_;
+  const int n_;
+  const int m_;
+  std::vector<double> lambda_;
+  std::vector<int> order_;
+  std::vector<double> moves_;
+  Solution best_;
+  std::vector<double> best_point_;
+};
+
+}  // namespace
+
+Solution DlmSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  Rng rng(options_.seed);
+  Stopwatch timer;
+  SolveStats stats;
+
+  DlmRun run(cp, options_, rng, timer, stats);
+  std::vector<double> x = cp.initial_point();
+
+  for (std::int64_t restart = 0; restart <= options_.max_restarts; ++restart) {
+    if (restart > 0) {
+      ++stats.restarts;
+      for (int i = 0; i < cp.num_variables(); ++i) {
+        if (!rng.chance(options_.restart_kick)) continue;
+        const Variable& v = cp.variable(i);
+        x[static_cast<std::size_t>(i)] = static_cast<double>(rng.uniform(v.lower, v.upper));
+      }
+      run.reset_multipliers();
+    }
+    run.phase(x, options_.max_iterations);
+    if (run.out_of_time()) break;
+    // Restart from the incumbent when one exists.
+    if (run.has_incumbent()) x = run.best_point();
+  }
+
+  run.polish();
+  run.coupled_group_search(std::max<std::int64_t>(options_.max_iterations / 32, 200));
+  run.polish();
+
+  Solution best = run.take_best(x);
+  best.stats = stats;
+  best.stats.seconds = timer.seconds();
+  log::debug("dlm: feasible=", best.feasible, " objective=", best.objective,
+             " iters=", stats.iterations, " evals=", stats.evaluations,
+             " restarts=", stats.restarts, " time=", best.stats.seconds, "s");
+  return best;
+}
+
+}  // namespace oocs::solver

@@ -1,0 +1,42 @@
+// Discrete Lagrangian Method solver.
+//
+// This is the deterministic half of our DCS substitute.  Following the
+// discrete constrained search theory of Wah et al. (Wang's PhD thesis,
+// UIUC 2000), a constrained local minimum of
+//
+//     L(x, λ) = f(x)/s_f + Σ_j λ_j · v_j(x)
+//
+// (v_j = normalized constraint violation) is sought by alternating
+// descent in the discrete variable space x with multiplier ascent in λ.
+// The x-neighborhood combines unit steps, multiplicative doubling /
+// halving (essential for tile-size variables whose ranges span five
+// orders of magnitude), and snaps to the box bounds.
+#pragma once
+
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+struct DlmOptions : SolverOptions {
+  /// Multiplier ascent rate: λ_j += ascent_rate · v_j at saddle points.
+  double ascent_rate = 1.0;
+  /// Restart when any multiplier exceeds this cap (search is stuck).
+  double multiplier_cap = 1e6;
+  /// Fraction of variables re-randomized on restart.
+  double restart_kick = 0.5;
+};
+
+class DlmSolver final : public Solver {
+ public:
+  explicit DlmSolver(DlmOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Solution solve(const Problem& problem) override;
+  [[nodiscard]] std::string name() const override { return "dlm"; }
+
+  [[nodiscard]] const DlmOptions& options() const noexcept { return options_; }
+
+ private:
+  DlmOptions options_;
+};
+
+}  // namespace oocs::solver

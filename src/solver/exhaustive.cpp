@@ -1,0 +1,67 @@
+#include "solver/exhaustive.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "solver/compiled_problem.hpp"
+
+namespace oocs::solver {
+
+Solution ExhaustiveSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  Stopwatch timer;
+  const int n = cp.num_variables();
+
+  double total = 1;
+  for (int i = 0; i < n; ++i) {
+    const Variable& v = cp.variable(i);
+    total *= static_cast<double>(v.upper - v.lower + 1);
+    if (total > static_cast<double>(options_.max_points)) {
+      throw SpecError("exhaustive search space too large (> " +
+                      std::to_string(options_.max_points) + " points)");
+    }
+  }
+
+  Solution best;
+  best.feasible = false;
+  best.objective = std::numeric_limits<double>::infinity();
+  SolveStats stats;
+
+  std::vector<double> x;
+  x.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) x.push_back(static_cast<double>(cp.variable(i).lower));
+
+  const double tol = 1e-9;
+  while (true) {
+    ++stats.iterations;
+    ++stats.evaluations;
+    if (cp.max_violation(x) <= tol) {
+      const double f = cp.objective(x);
+      if (!best.feasible || f < best.objective) {
+        best.feasible = true;
+        best.objective = f;
+        best.values = cp.to_assignment(x);
+        best.max_violation = cp.max_violation(x);
+      }
+    }
+    // Odometer increment over the variable domains.
+    int i = 0;
+    for (; i < n; ++i) {
+      const Variable& v = cp.variable(i);
+      if (x[static_cast<std::size_t>(i)] < static_cast<double>(v.upper)) {
+        x[static_cast<std::size_t>(i)] += 1;
+        break;
+      }
+      x[static_cast<std::size_t>(i)] = static_cast<double>(v.lower);
+    }
+    if (i == n) break;
+  }
+
+  best.stats = stats;
+  best.stats.seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace oocs::solver

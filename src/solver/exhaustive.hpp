@@ -1,0 +1,30 @@
+// Exhaustive reference solver.
+//
+// Enumerates the full Cartesian product of variable domains and returns
+// the true optimum.  Only usable on tiny problems (the enumeration size
+// is checked up front), but invaluable as a test oracle for DLM/CSA and
+// for the solver-comparison ablation on reduced instances.
+#pragma once
+
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+struct ExhaustiveOptions {
+  /// Refuse to run when the domain product exceeds this.
+  std::int64_t max_points = 50'000'000;
+};
+
+class ExhaustiveSolver final : public Solver {
+ public:
+  explicit ExhaustiveSolver(ExhaustiveOptions options = {}) : options_(options) {}
+
+  /// Throws SpecError when the search space exceeds `max_points`.
+  [[nodiscard]] Solution solve(const Problem& problem) override;
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+
+ private:
+  ExhaustiveOptions options_;
+};
+
+}  // namespace oocs::solver

@@ -1,0 +1,67 @@
+#include "solver/problem.hpp"
+
+#include "common/error.hpp"
+
+namespace oocs::solver {
+
+void Problem::add_variable(std::string name, std::int64_t lower, std::int64_t upper,
+                           std::optional<std::int64_t> initial) {
+  OOCS_REQUIRE(!name.empty(), "variable name must be non-empty");
+  OOCS_REQUIRE(lower <= upper, "variable '", name, "': bounds [", lower, ", ", upper, "]");
+  OOCS_REQUIRE(index_.find(name) == index_.end(), "duplicate variable '", name, "'");
+  index_.emplace(name, variables_.size());
+  variables_.push_back(Variable{std::move(name), lower, upper, initial});
+}
+
+void Problem::add_le(std::string name, expr::Expr lhs, double scale) {
+  constraints_.push_back(Constraint{std::move(name), std::move(lhs), Sense::LessEqual, scale});
+}
+
+void Problem::add_eq(std::string name, expr::Expr lhs, double scale) {
+  constraints_.push_back(Constraint{std::move(name), std::move(lhs), Sense::Equal, scale});
+}
+
+bool Problem::has_variable(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+void Problem::set_initial(const std::string& name, std::int64_t value) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw SpecError("set_initial: unknown variable '" + name + "'");
+  Variable& v = variables_[it->second];
+  if (value < v.lower || value > v.upper) {
+    throw SpecError("set_initial: value out of bounds for '" + name + "'");
+  }
+  v.initial = value;
+}
+
+void Problem::add_coupled_group(std::vector<std::string> names, int num_values) {
+  for (const std::string& name : names) {
+    if (!has_variable(name)) {
+      throw SpecError("coupled group references unknown variable '" + name + "'");
+    }
+  }
+  if (!names.empty()) coupled_groups_.push_back(CoupledGroup{std::move(names), num_values});
+}
+
+void Problem::validate() const {
+  auto check_expr = [this](const expr::Expr& e, const std::string& context) {
+    for (const std::string& v : e.vars()) {
+      if (!has_variable(v)) {
+        throw SpecError("undeclared variable '" + v + "' in " + context);
+      }
+    }
+  };
+  check_expr(objective_, "objective");
+  for (const Constraint& c : constraints_) {
+    check_expr(c.lhs, "constraint '" + c.name + "'");
+  }
+  for (const Variable& v : variables_) {
+    if (v.initial.has_value() &&
+        (*v.initial < v.lower || *v.initial > v.upper)) {
+      throw SpecError("initial value of '" + v.name + "' outside bounds");
+    }
+  }
+}
+
+}  // namespace oocs::solver

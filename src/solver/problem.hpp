@@ -1,0 +1,134 @@
+// Discrete constrained nonlinear optimization problems.
+//
+// This is the oocs stand-in for the input accepted by the DCS package of
+// Wah & Chen (expressed there in AMPL): integer decision variables with
+// box bounds, a nonlinear objective to minimize, and nonlinear equality /
+// inequality constraints.  Binary placement variables (the paper's λ)
+// are plain variables with bounds [0, 1]; the solver treats them natively
+// and the classic λ(1−λ)=0 constraint can be added for fidelity but is
+// not required for correctness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace oocs::solver {
+
+struct Variable {
+  std::string name;
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;
+  /// Optional warm-start value (clamped to bounds by the solvers).
+  std::optional<std::int64_t> initial;
+
+  [[nodiscard]] bool is_binary() const noexcept { return lower == 0 && upper == 1; }
+};
+
+enum class Sense { LessEqual, Equal };
+
+/// A constraint `lhs ⋈ 0` with ⋈ ∈ {≤, =}.
+struct Constraint {
+  std::string name;
+  expr::Expr lhs;
+  Sense sense = Sense::LessEqual;
+  /// Normalization scale for violation magnitudes; 0 means "auto".
+  double scale = 0;
+};
+
+class Problem {
+ public:
+  /// Adds an integer variable with inclusive bounds.  Names are unique.
+  void add_variable(std::string name, std::int64_t lower, std::int64_t upper,
+                    std::optional<std::int64_t> initial = std::nullopt);
+
+  /// Adds a binary (0/1) variable.
+  void add_binary(std::string name) { add_variable(std::move(name), 0, 1); }
+
+  void set_objective(expr::Expr objective) { objective_ = std::move(objective); }
+
+  /// Sets/overrides the warm-start value of an existing variable.
+  void set_initial(const std::string& name, std::int64_t value);
+
+  /// Adds `lhs <= 0`.
+  void add_le(std::string name, expr::Expr lhs, double scale = 0);
+
+  /// Adds `lhs == 0`.
+  void add_eq(std::string name, expr::Expr lhs, double scale = 0);
+
+  [[nodiscard]] const std::vector<Variable>& variables() const noexcept { return variables_; }
+  [[nodiscard]] const expr::Expr& objective() const noexcept { return objective_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const noexcept { return constraints_; }
+
+  [[nodiscard]] bool has_variable(const std::string& name) const;
+
+  /// A set of binary variables jointly encoding one discrete choice
+  /// (the bits of a placement code, LSB first) with `num_values` valid
+  /// code values.  Solvers may use this to search whole codes instead
+  /// of independent bits; it never changes the feasible set.
+  struct CoupledGroup {
+    std::vector<std::string> names;
+    int num_values = 0;  // 0 = all 2^bits codes valid
+  };
+  void add_coupled_group(std::vector<std::string> names, int num_values = 0);
+  [[nodiscard]] const std::vector<CoupledGroup>& coupled_groups() const noexcept {
+    return coupled_groups_;
+  }
+
+  /// Checks that every expression variable is declared and bounds are
+  /// sane; throws SpecError otherwise.
+  void validate() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::unordered_map<std::string, std::size_t> index_;
+  expr::Expr objective_ = expr::lit(0);
+  std::vector<Constraint> constraints_;
+  std::vector<CoupledGroup> coupled_groups_;
+};
+
+/// Variable assignment returned by the solvers.
+using Assignment = std::unordered_map<std::string, std::int64_t>;
+
+struct SolveStats {
+  std::int64_t iterations = 0;
+  std::int64_t evaluations = 0;
+  std::int64_t restarts = 0;
+  double seconds = 0;
+};
+
+struct Solution {
+  bool feasible = false;
+  double objective = 0;
+  /// Maximum normalized constraint violation at `values`.
+  double max_violation = 0;
+  Assignment values;
+  SolveStats stats;
+};
+
+/// Common tuning knobs shared by the iterative solvers.
+struct SolverOptions {
+  std::uint64_t seed = 1;
+  /// Hard cap on descent/annealing iterations per restart.
+  std::int64_t max_iterations = 200'000;
+  std::int64_t max_restarts = 8;
+  /// Wall-clock budget; <=0 disables the limit.
+  double time_limit_seconds = 0;
+  /// Violations below this (normalized) count as satisfied.
+  double feasibility_tolerance = 1e-9;
+};
+
+/// Abstract interface implemented by DlmSolver, CsaSolver and
+/// ExhaustiveSolver.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  [[nodiscard]] virtual Solution solve(const Problem& problem) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace oocs::solver

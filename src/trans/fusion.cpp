@@ -1,0 +1,300 @@
+#include "trans/fusion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oocs::trans {
+
+namespace {
+
+using ir::ArrayDecl;
+using ir::ArrayKind;
+using ir::Node;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+
+void collect_arrays(const Node& node, std::set<std::string>& written,
+                    std::set<std::string>& touched) {
+  if (node.kind == Node::Kind::Stmt) {
+    written.insert(node.stmt.target.array);
+    for (const auto* ref : node.stmt.refs()) touched.insert(ref->array);
+    return;
+  }
+  for (const auto& child : node.children) collect_arrays(*child, written, touched);
+}
+
+/// Arrays with a write in one subtree and any access in the other.
+std::set<std::string> flow_arrays(const Node& a, const Node& b) {
+  std::set<std::string> wa, ta, wb, tb;
+  collect_arrays(a, wa, ta);
+  collect_arrays(b, wb, tb);
+  std::set<std::string> out;
+  for (const std::string& x : wa) {
+    if (tb.count(x) != 0) out.insert(x);
+  }
+  for (const std::string& x : wb) {
+    if (ta.count(x) != 0) out.insert(x);
+  }
+  return out;
+}
+
+/// The maximal single-child loop chain starting at `loop`: the chain's
+/// index sequence plus the node owning the chain body.
+struct Chain {
+  std::vector<std::string> indices;
+  Node* body_owner = nullptr;  // chain's innermost loop; its children are the body
+};
+
+Chain chain_of(Node& loop) {
+  Chain chain;
+  Node* cur = &loop;
+  while (true) {
+    chain.indices.push_back(cur->index);
+    if (cur->children.size() == 1 && cur->children.front()->kind == Node::Kind::Loop) {
+      cur = cur->children.front().get();
+      continue;
+    }
+    break;
+  }
+  chain.body_owner = cur;
+  return chain;
+}
+
+/// Rebuilds a nest from `indices` (outermost first) around `body`;
+/// returns the body itself when `indices` is empty.
+std::vector<std::unique_ptr<Node>> wrap(const std::vector<std::string>& indices,
+                                        std::vector<std::unique_ptr<Node>> body) {
+  if (indices.empty()) return body;
+  std::unique_ptr<Node> nest;
+  Node* inner = nullptr;
+  for (const std::string& index : indices) {
+    auto loop = Node::loop(index);
+    Node* raw = loop.get();
+    if (nest == nullptr) {
+      nest = std::move(loop);
+    } else {
+      inner->children.push_back(std::move(loop));
+    }
+    inner = raw;
+  }
+  inner->children = std::move(body);
+  std::vector<std::unique_ptr<Node>> out;
+  out.push_back(std::move(nest));
+  return out;
+}
+
+class Fuser {
+ public:
+  Fuser(const Program& program, const FusionOptions& options)
+      : program_(program), options_(options) {}
+
+  std::vector<std::unique_ptr<Node>> run() {
+    std::vector<std::unique_ptr<Node>> roots;
+    for (const auto& root : program_.roots()) roots.push_back(root->clone());
+    process(roots);
+    return roots;
+  }
+
+ private:
+  void process(std::vector<std::unique_ptr<Node>>& list) {
+    for (auto& child : list) {
+      if (child->kind == Node::Kind::Loop) process(child->children);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < list.size() && !changed; ++i) {
+        for (std::size_t j = i + 1; j < list.size() && !changed; ++j) {
+          // To fuse i and j they must become adjacent: either j hoists
+          // left past the subtrees in between, or i sinks right past
+          // them.  Both require no dataflow with the crossed subtrees.
+          const bool hoist_left = movable(list, i, j, /*moving=*/j);
+          const bool sink_right = hoist_left ? false : movable(list, i, j, /*moving=*/i);
+          if (!hoist_left && !sink_right) continue;
+          auto fused = try_fuse(*list[i], *list[j]);
+          if (fused == nullptr) continue;
+          if (hoist_left) {
+            list[i] = std::move(fused);
+            list.erase(list.begin() + static_cast<std::ptrdiff_t>(j));
+          } else {
+            list[j] = std::move(fused);
+            list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+
+  /// True if subtree `moving` (== i or j) can cross the subtrees
+  /// strictly between i and j without violating a dataflow.
+  bool movable(const std::vector<std::unique_ptr<Node>>& list, std::size_t i, std::size_t j,
+               std::size_t moving) const {
+    for (std::size_t k = i + 1; k < j; ++k) {
+      if (!flow_arrays(*list[k], *list[moving]).empty()) return false;
+    }
+    return true;
+  }
+
+  /// Attempts to fuse loops a and b; returns the fused nest or nullptr.
+  std::unique_ptr<Node> try_fuse(Node& a, Node& b) {
+    if (a.kind != Node::Kind::Loop || b.kind != Node::Kind::Loop) return nullptr;
+
+    const std::set<std::string> flows = flow_arrays(a, b);
+    if (options_.require_intermediate_flow) {
+      const bool has_intermediate = std::any_of(flows.begin(), flows.end(), [&](const auto& x) {
+        return program_.array(x).kind == ArrayKind::Intermediate;
+      });
+      if (!has_intermediate) return nullptr;
+    }
+
+    Chain ca = chain_of(a);
+    Chain cb = chain_of(b);
+
+    // Fusable common indices, ordered as they appear in nest b: an index
+    // is legal iff every flowing array is indexed by it (otherwise the
+    // consumer would observe partial reductions).
+    std::vector<std::string> common;
+    for (const std::string& x : cb.indices) {
+      if (std::find(ca.indices.begin(), ca.indices.end(), x) == ca.indices.end()) continue;
+      const bool legal = std::all_of(flows.begin(), flows.end(), [&](const auto& arr) {
+        const auto& dims = program_.array(arr).indices;
+        return std::find(dims.begin(), dims.end(), x) != dims.end();
+      });
+      if (legal) common.push_back(x);
+    }
+    if (common.empty()) return nullptr;
+
+    const auto rest = [&](const Chain& chain) {
+      std::vector<std::string> out;
+      for (const std::string& x : chain.indices) {
+        if (std::find(common.begin(), common.end(), x) == common.end()) out.push_back(x);
+      }
+      return out;
+    };
+
+    auto body_a = wrap(rest(ca), std::move(ca.body_owner->children));
+    auto body_b = wrap(rest(cb), std::move(cb.body_owner->children));
+
+    std::vector<std::unique_ptr<Node>> merged;
+    for (auto& node : body_a) merged.push_back(std::move(node));
+    for (auto& node : body_b) merged.push_back(std::move(node));
+    process(merged);  // newly adjacent sub-nests may fuse further
+
+    auto fused = wrap(common, std::move(merged));
+    OOCS_CHECK(fused.size() == 1, "wrap of non-empty chain yields one nest");
+    return std::move(fused.front());
+  }
+
+  const Program& program_;
+  const FusionOptions& options_;
+};
+
+Program rebuild(const Program& source, std::map<std::string, ArrayDecl> arrays,
+                std::vector<std::unique_ptr<Node>> roots) {
+  Program out;
+  for (auto& [name, decl] : arrays) out.declare(decl);
+  for (const auto& [index, extent] : source.ranges()) out.set_range(index, extent);
+  for (auto& root : roots) out.append(std::move(root));
+  out.finalize();
+  return out;
+}
+
+/// Records, for every array, the loop-node path of each access.
+void collect_paths(const Node& node, std::vector<const Node*>& loops,
+                   std::map<std::string, std::vector<std::vector<const Node*>>>& paths) {
+  if (node.kind == Node::Kind::Stmt) {
+    for (const auto* ref : node.stmt.refs()) paths[ref->array].push_back(loops);
+    return;
+  }
+  loops.push_back(&node);
+  for (const auto& child : node.children) collect_paths(*child, loops, paths);
+  loops.pop_back();
+}
+
+void rewrite_refs(Node& node,
+                  const std::map<std::string, std::vector<std::string>>& new_indices) {
+  if (node.kind == Node::Kind::Loop) {
+    for (auto& child : node.children) rewrite_refs(*child, new_indices);
+    return;
+  }
+  const auto fix = [&](ir::ArrayRef& ref) {
+    const auto it = new_indices.find(ref.array);
+    if (it == new_indices.end()) return;
+    ref.indices = it->second;
+  };
+  fix(node.stmt.target);
+  if (node.stmt.lhs.has_value()) fix(*node.stmt.lhs);
+  if (node.stmt.rhs.has_value()) fix(*node.stmt.rhs);
+}
+
+}  // namespace
+
+Program fuse(const Program& program, const FusionOptions& options) {
+  OOCS_REQUIRE(program.finalized(), "fuse() needs a finalized program");
+  Fuser fuser(program, options);
+  return rebuild(program, program.arrays(), fuser.run());
+}
+
+Program contract_intermediates(const Program& program) {
+  OOCS_REQUIRE(program.finalized(), "contract_intermediates() needs a finalized program");
+
+  std::map<std::string, std::vector<std::vector<const Node*>>> paths;
+  std::vector<const Node*> loops;
+  for (const auto& root : program.roots()) collect_paths(*root, loops, paths);
+
+  std::map<std::string, ArrayDecl> arrays = program.arrays();
+  std::map<std::string, std::vector<std::string>> new_indices;
+
+  for (auto& [name, decl] : arrays) {
+    if (decl.kind != ArrayKind::Intermediate || decl.indices.empty()) continue;
+    const auto it = paths.find(name);
+    if (it == paths.end() || it->second.empty()) continue;
+
+    // Loop nodes that are ancestors of *every* access: the longest
+    // common prefix of all access paths (paths share a prefix in a tree).
+    const auto& access_paths = it->second;
+    std::size_t prefix = access_paths.front().size();
+    for (const auto& path : access_paths) {
+      std::size_t k = 0;
+      while (k < prefix && k < path.size() && path[k] == access_paths.front()[k]) ++k;
+      prefix = k;
+    }
+    std::set<std::string> common;
+    for (std::size_t k = 0; k < prefix; ++k) common.insert(access_paths.front()[k]->index);
+
+    std::vector<std::string> remaining;
+    for (const std::string& dim : decl.indices) {
+      if (common.count(dim) == 0) remaining.push_back(dim);
+    }
+    if (remaining.size() == decl.indices.size()) continue;  // nothing removable
+    decl.indices = remaining;
+    new_indices[name] = remaining;
+  }
+
+  std::vector<std::unique_ptr<Node>> roots;
+  for (const auto& root : program.roots()) roots.push_back(root->clone());
+  if (!new_indices.empty()) {
+    for (auto& root : roots) rewrite_refs(*root, new_indices);
+  }
+  return rebuild(program, std::move(arrays), std::move(roots));
+}
+
+Program fuse_and_contract(const Program& program, const FusionOptions& options) {
+  return contract_intermediates(fuse(program, options));
+}
+
+double intermediate_bytes(const Program& program) {
+  double total = 0;
+  for (const auto& [name, decl] : program.arrays()) {
+    if (decl.kind == ArrayKind::Intermediate) total += program.byte_size(name);
+  }
+  return total;
+}
+
+}  // namespace oocs::trans

@@ -1,0 +1,43 @@
+// Loop fusion for memory reduction (paper §2, Fig. 1).
+//
+// `fuse` merges sibling loop nests that share a dataflow through an
+// intermediate array, bringing their common loop indices together; after
+// fusion, `contract_intermediates` shrinks every intermediate by the
+// dimensions indexed by loops that now enclose all of its accesses
+// (Fig. 1c reduces T(V,N) to a scalar).
+//
+// Legality in this domain (fully permutable contraction loops, reads in
+// declaration order) reduces to one rule: an index may only be fused
+// across two nests if every array written in one and touched in the
+// other is indexed by it.  Fusion of an index that only drives a
+// reduction in the producer would let the consumer observe partial sums.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace oocs::trans {
+
+struct FusionOptions {
+  /// Only fuse nest pairs whose shared dataflow includes an intermediate
+  /// array (fusing around inputs/outputs alone cannot shrink anything).
+  bool require_intermediate_flow = true;
+};
+
+/// Returns a new program with profitable legal fusions applied (greedy,
+/// repeated until fixpoint).  The input must be finalized.
+[[nodiscard]] ir::Program fuse(const ir::Program& program, const FusionOptions& options = {});
+
+/// Returns a new program in which every intermediate array loses the
+/// dimensions whose loops enclose all of its accesses (storage reuse
+/// across fused iterations).  Typically run right after fuse().
+[[nodiscard]] ir::Program contract_intermediates(const ir::Program& program);
+
+/// fuse() followed by contract_intermediates().
+[[nodiscard]] ir::Program fuse_and_contract(const ir::Program& program,
+                                            const FusionOptions& options = {});
+
+/// Total bytes of all intermediate arrays (the footprint fusion tries to
+/// shrink); diagnostic used by tests and the Fig. 1 bench.
+[[nodiscard]] double intermediate_bytes(const ir::Program& program);
+
+}  // namespace oocs::trans

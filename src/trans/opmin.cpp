@@ -1,0 +1,229 @@
+#include "trans/opmin.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace oocs::trans {
+
+namespace {
+
+using ir::ArrayDecl;
+using ir::ArrayKind;
+using ir::ArrayRef;
+using ir::Node;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+
+/// Dense index universe with bitmask sets (≤ 64 distinct indices).
+class IndexUniverse {
+ public:
+  explicit IndexUniverse(const ContractionSpec& spec) {
+    const auto add = [&](const std::vector<std::string>& indices) {
+      for (const std::string& name : indices) {
+        if (slot_.count(name) != 0) continue;
+        OOCS_REQUIRE(names_.size() < 64, "too many distinct indices");
+        slot_[name] = names_.size();
+        names_.push_back(name);
+        const auto it = spec.ranges.find(name);
+        if (it == spec.ranges.end()) {
+          throw SpecError("index '" + name + "' has no range in contraction spec");
+        }
+        ranges_.push_back(static_cast<double>(it->second));
+      }
+    };
+    for (const TensorSpec& input : spec.inputs) add(input.indices);
+    add(spec.output.indices);
+  }
+
+  [[nodiscard]] std::uint64_t mask(const std::vector<std::string>& indices) const {
+    std::uint64_t m = 0;
+    for (const std::string& name : indices) m |= 1ULL << slot_.at(name);
+    return m;
+  }
+
+  [[nodiscard]] double range_product(std::uint64_t m) const {
+    double product = 1;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if ((m >> i) & 1ULL) product *= ranges_[i];
+    }
+    return product;
+  }
+
+  /// Index names of `m`, ordered by first appearance in the spec.
+  [[nodiscard]] std::vector<std::string> names(std::uint64_t m) const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if ((m >> i) & 1ULL) out.push_back(names_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::size_t> slot_;
+  std::vector<std::string> names_;
+  std::vector<double> ranges_;
+};
+
+void check_spec(const ContractionSpec& spec) {
+  OOCS_REQUIRE(spec.inputs.size() >= 2, "need at least two input tensors");
+  OOCS_REQUIRE(spec.inputs.size() <= 16, "operation minimization supports up to 16 inputs");
+  std::set<std::string> names{spec.output.name};
+  for (const TensorSpec& input : spec.inputs) {
+    if (!names.insert(input.name).second) {
+      throw SpecError("duplicate tensor name '" + input.name + "' in contraction spec");
+    }
+  }
+}
+
+}  // namespace
+
+double naive_flops(const ContractionSpec& spec) {
+  check_spec(spec);
+  const IndexUniverse universe(spec);
+  std::uint64_t all = universe.mask(spec.output.indices);
+  for (const TensorSpec& input : spec.inputs) all |= universe.mask(input.indices);
+  return universe.range_product(all);
+}
+
+OpMinResult minimize_operations(const ContractionSpec& spec) {
+  check_spec(spec);
+  const IndexUniverse universe(spec);
+  const int n = static_cast<int>(spec.inputs.size());
+  const std::uint32_t full = (1U << n) - 1U;
+
+  // Per-input index masks and the union over every subset.
+  std::vector<std::uint64_t> input_mask(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    input_mask[static_cast<std::size_t>(i)] = universe.mask(spec.inputs[static_cast<std::size_t>(i)].indices);
+  }
+  const std::uint64_t output_mask = universe.mask(spec.output.indices);
+
+  std::vector<std::uint64_t> union_mask(full + 1, 0);
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    const std::uint32_t low = s & (~s + 1);  // lowest set bit
+    const int i = std::countr_zero(low);
+    union_mask[s] = union_mask[s ^ low] | input_mask[static_cast<std::size_t>(i)];
+  }
+
+  // result(S): indices of S still needed outside S (or by the output).
+  const auto result_mask = [&](std::uint32_t s) {
+    const std::uint64_t outside = union_mask[full & ~s] | output_mask;
+    return union_mask[s] & outside;
+  };
+
+  constexpr double kInf = 1e300;
+  std::vector<double> best(full + 1, kInf);
+  std::vector<std::uint32_t> split(full + 1, 0);
+  for (int i = 0; i < n; ++i) best[1U << i] = 0;
+
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton
+    // Enumerate proper submasks; each {l, s^l} pair visited twice, which
+    // is harmless and keeps the loop simple.
+    for (std::uint32_t l = (s - 1) & s; l != 0; l = (l - 1) & s) {
+      const std::uint32_t r = s ^ l;
+      if (best[l] >= kInf || best[r] >= kInf) continue;
+      const double step = universe.range_product(result_mask(l) | result_mask(r));
+      const double cost = best[l] + best[r] + step;
+      if (cost < best[s]) {
+        best[s] = cost;
+        split[s] = l;
+      }
+    }
+  }
+
+  OpMinResult out;
+  out.total_flops = best[full];
+
+  // Reconstruct the binary tree into a step sequence (post-order).
+  int next_intermediate = 0;
+  const std::function<TensorSpec(std::uint32_t)> emit = [&](std::uint32_t s) -> TensorSpec {
+    if ((s & (s - 1)) == 0) {
+      return spec.inputs[static_cast<std::size_t>(std::countr_zero(s))];
+    }
+    const std::uint32_t l = split[s];
+    const TensorSpec left = emit(l);
+    const TensorSpec right = emit(s ^ l);
+    BinaryStep step;
+    step.left = left.name;
+    step.right = right.name;
+    if (s == full) {
+      step.result = spec.output;
+    } else {
+      step.result.name = "I" + std::to_string(++next_intermediate);
+      step.result.indices = universe.names(result_mask(s));
+    }
+    step.flops = universe.range_product(result_mask(l) | result_mask(s ^ l));
+    out.steps.push_back(step);
+    return out.steps.back().result;
+  };
+  (void)emit(full);
+  return out;
+}
+
+Program to_program(const ContractionSpec& spec, const OpMinResult& order) {
+  check_spec(spec);
+  OOCS_REQUIRE(!order.steps.empty(), "empty evaluation order");
+
+  Program program;
+  for (const auto& [index, extent] : spec.ranges) program.set_range(index, extent);
+
+  std::map<std::string, TensorSpec> tensors;
+  for (const TensorSpec& input : spec.inputs) {
+    program.declare(ArrayDecl{input.name, input.indices, ArrayKind::Input});
+    tensors[input.name] = input;
+  }
+  for (const BinaryStep& step : order.steps) {
+    const bool is_final = step.result.name == spec.output.name;
+    program.declare(ArrayDecl{step.result.name, step.result.indices,
+                              is_final ? ArrayKind::Output : ArrayKind::Intermediate});
+    tensors[step.result.name] = step.result;
+  }
+
+  const auto nest = [&](const std::vector<std::string>& indices, Stmt stmt) {
+    std::unique_ptr<Node> node = Node::statement(std::move(stmt));
+    for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+      auto loop = Node::loop(*it);
+      loop->children.push_back(std::move(node));
+      node = std::move(loop);
+    }
+    return node;
+  };
+
+  for (const BinaryStep& step : order.steps) {
+    const TensorSpec& result = tensors.at(step.result.name);
+    const TensorSpec& left = tensors.at(step.left);
+    const TensorSpec& right = tensors.at(step.right);
+
+    // Init nest over the result indices.
+    Stmt init;
+    init.kind = StmtKind::Init;
+    init.target = ArrayRef{result.name, result.indices};
+    program.append(nest(result.indices, std::move(init)));
+
+    // Contraction nest: result indices outermost, then the summation
+    // indices (operand indices not in the result).
+    std::vector<std::string> loop_indices = result.indices;
+    for (const TensorSpec* operand : {&left, &right}) {
+      for (const std::string& index : operand->indices) {
+        if (std::find(loop_indices.begin(), loop_indices.end(), index) == loop_indices.end()) {
+          loop_indices.push_back(index);
+        }
+      }
+    }
+    Stmt update;
+    update.kind = StmtKind::Update;
+    update.target = ArrayRef{result.name, result.indices};
+    update.lhs = ArrayRef{left.name, left.indices};
+    update.rhs = ArrayRef{right.name, right.indices};
+    program.append(nest(loop_indices, std::move(update)));
+  }
+
+  program.finalize();
+  return program;
+}
+
+}  // namespace oocs::trans

@@ -1,0 +1,60 @@
+// Operation minimization (algebraic transformation, paper §2).
+//
+// A multi-tensor contraction such as the AO→MO transform
+//   B(a,b,c,d) = Σ_{p,q,r,s} C1(s,d)·C2(r,c)·C3(q,b)·C4(p,a)·A(p,q,r,s)
+// is factored into a sequence of binary contractions minimizing the
+// floating-point operation count (the O(V⁴N⁴) → O(VN⁴) reduction).
+// Exact dynamic programming over input subsets, as in the TCE.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace oocs::trans {
+
+struct TensorSpec {
+  std::string name;
+  std::vector<std::string> indices;
+};
+
+/// A multi-term contraction: output = Σ over non-output indices of the
+/// product of all inputs.
+struct ContractionSpec {
+  std::vector<TensorSpec> inputs;
+  TensorSpec output;
+  std::map<std::string, std::int64_t> ranges;
+};
+
+/// One binary contraction in the factored evaluation order.
+struct BinaryStep {
+  std::string left;
+  std::string right;
+  TensorSpec result;
+  /// Multiply-add count: product of the ranges of all indices involved.
+  double flops = 0;
+};
+
+struct OpMinResult {
+  std::vector<BinaryStep> steps;
+  double total_flops = 0;
+};
+
+/// Exact DP over subsets (feasible for up to ~16 inputs).  Throws
+/// SpecError on malformed specs (duplicate names, unknown ranges, more
+/// than 16 inputs, fewer than 2).
+[[nodiscard]] OpMinResult minimize_operations(const ContractionSpec& spec);
+
+/// Flop count of evaluating the product in a single collective loop
+/// nest (no factoring) — the O(V⁴N⁴) baseline.
+[[nodiscard]] double naive_flops(const ContractionSpec& spec);
+
+/// Lowers a factored evaluation order to an (unfused) abstract program:
+/// one init + one contraction nest per step, intermediates declared for
+/// every non-final result.  Ready for fuse_and_contract() + synthesis.
+[[nodiscard]] ir::Program to_program(const ContractionSpec& spec, const OpMinResult& order);
+
+}  // namespace oocs::trans

@@ -1,0 +1,130 @@
+#include "trans/tiled.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace oocs::trans {
+
+std::unique_ptr<TiledNode> TiledNode::tiling(std::string index) {
+  auto node = std::make_unique<TiledNode>();
+  node->kind = Kind::TilingLoop;
+  node->index = std::move(index);
+  return node;
+}
+
+std::unique_ptr<TiledNode> TiledNode::intra(std::string index) {
+  auto node = std::make_unique<TiledNode>();
+  node->kind = Kind::IntraLoop;
+  node->index = std::move(index);
+  return node;
+}
+
+std::unique_ptr<TiledNode> TiledNode::statement(ir::Stmt stmt) {
+  auto node = std::make_unique<TiledNode>();
+  node->kind = Kind::Stmt;
+  node->stmt = std::move(stmt);
+  return node;
+}
+
+std::string TiledNode::display_name() const {
+  OOCS_CHECK(is_loop(), "display_name() on statement node");
+  return index + (kind == Kind::TilingLoop ? "T" : "I");
+}
+
+TiledProgram::TiledProgram(const ir::Program& program) : source_(&program) {
+  OOCS_REQUIRE(program.finalized(), "program must be finalized before tiling");
+  std::vector<std::string> enclosing;
+  for (const auto& root : program.roots()) build(*root, enclosing, roots_);
+
+  stmts_.resize(static_cast<std::size_t>(program.num_stmts()));
+  std::vector<const TiledNode*> loops;
+  for (const auto& root : roots_) index_stmts(*root, loops);
+  for (const StmtInfo& info : stmts_) {
+    OOCS_CHECK(info.node != nullptr, "statement missing from tiled tree");
+  }
+}
+
+void TiledProgram::build(const ir::Node& node, std::vector<std::string>& enclosing,
+                         std::vector<std::unique_ptr<TiledNode>>& out) {
+  if (node.kind == ir::Node::Kind::Loop) {
+    auto tiling = TiledNode::tiling(node.index);
+    enclosing.push_back(node.index);
+    for (const auto& child : node.children) build(*child, enclosing, tiling->children);
+    enclosing.pop_back();
+    out.push_back(std::move(tiling));
+    return;
+  }
+  // Leaf: wrap the statement in intra-tile loops for every enclosing
+  // index, outermost first (the propagation step of Fig. 3).
+  std::unique_ptr<TiledNode> leaf = TiledNode::statement(node.stmt);
+  for (auto it = enclosing.rbegin(); it != enclosing.rend(); ++it) {
+    auto intra = TiledNode::intra(*it);
+    intra->children.push_back(std::move(leaf));
+    leaf = std::move(intra);
+  }
+  out.push_back(std::move(leaf));
+}
+
+void TiledProgram::index_stmts(const TiledNode& node, std::vector<const TiledNode*>& loops) {
+  if (node.kind == TiledNode::Kind::Stmt) {
+    const int id = node.stmt.id;
+    OOCS_CHECK(id >= 0 && id < static_cast<int>(stmts_.size()), "bad stmt id ", id);
+    stmts_[static_cast<std::size_t>(id)] = StmtInfo{&node, loops};
+    return;
+  }
+  loops.push_back(&node);
+  for (const auto& child : node.children) index_stmts(*child, loops);
+  loops.pop_back();
+}
+
+const TiledProgram::StmtInfo& TiledProgram::stmt_info(int id) const {
+  OOCS_REQUIRE(id >= 0 && id < num_stmts(), "stmt id ", id, " out of range");
+  return stmts_[static_cast<std::size_t>(id)];
+}
+
+namespace {
+
+void print_code(const TiledNode& node, int depth, std::ostream& os) {
+  if (node.kind == TiledNode::Kind::Stmt) {
+    os << indent(depth) << node.stmt.to_string() << '\n';
+    return;
+  }
+  // Compact chains of single-child loops of the same kind.
+  std::vector<std::string> chain{node.display_name()};
+  const TiledNode* body = &node;
+  while (body->children.size() == 1 && body->children.front()->is_loop() &&
+         body->children.front()->kind == node.kind) {
+    body = body->children.front().get();
+    chain.push_back(body->display_name());
+  }
+  os << indent(depth) << "FOR " << join(chain, ", ") << '\n';
+  for (const auto& child : body->children) print_code(*child, depth + 1, os);
+}
+
+void print_tree(const TiledNode& node, int depth, std::ostream& os) {
+  if (node.kind == TiledNode::Kind::Stmt) {
+    os << indent(depth) << "stmt#" << node.stmt.id << ": " << node.stmt.to_string() << '\n';
+    return;
+  }
+  os << indent(depth) << "loop " << node.display_name() << '\n';
+  for (const auto& child : node.children) print_tree(*child, depth + 1, os);
+}
+
+}  // namespace
+
+std::string to_text(const TiledProgram& tiled) {
+  std::ostringstream os;
+  for (const auto& root : tiled.roots()) print_code(*root, 0, os);
+  return os.str();
+}
+
+std::string tree_to_text(const TiledProgram& tiled) {
+  std::ostringstream os;
+  os << "root\n";
+  for (const auto& root : tiled.roots()) print_tree(*root, 1, os);
+  return os.str();
+}
+
+}  // namespace oocs::trans

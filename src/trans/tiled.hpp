@@ -1,0 +1,79 @@
+// Loop tiling (step 1 of the paper's synthesis algorithm, Fig. 3).
+//
+// Every loop `i` of the abstract program is split into a tiling loop
+// `iT` (over tiles, trip count ceil(N_i/T_i)) and an intra-tile loop
+// `iI` (within a tile, trip count T_i).  Tiling loops keep the original
+// imperfect nest structure; intra-tile loops are propagated down to
+// immediately surround each leaf statement.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace oocs::trans {
+
+struct TiledNode {
+  enum class Kind { TilingLoop, IntraLoop, Stmt };
+
+  Kind kind = Kind::Stmt;
+  /// Loop nodes: the *base* index name (rendered as iT / iI).
+  std::string index;
+  /// Stmt nodes.
+  ir::Stmt stmt;
+  std::vector<std::unique_ptr<TiledNode>> children;
+
+  [[nodiscard]] static std::unique_ptr<TiledNode> tiling(std::string index);
+  [[nodiscard]] static std::unique_ptr<TiledNode> intra(std::string index);
+  [[nodiscard]] static std::unique_ptr<TiledNode> statement(ir::Stmt stmt);
+
+  [[nodiscard]] bool is_loop() const noexcept { return kind != Kind::Stmt; }
+  /// Display name: "iT" for tiling loops, "iI" for intra loops.
+  [[nodiscard]] std::string display_name() const;
+};
+
+/// The tiled view of a program.  Owns the tiled forest and indexes every
+/// statement with its enclosing loop path for the placement analysis.
+class TiledProgram {
+ public:
+  /// Tiles `program` (which must be finalized and outlive this object).
+  explicit TiledProgram(const ir::Program& program);
+
+  TiledProgram(TiledProgram&&) noexcept = default;
+  TiledProgram& operator=(TiledProgram&&) noexcept = default;
+
+  [[nodiscard]] const ir::Program& source() const noexcept { return *source_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<TiledNode>>& roots() const noexcept {
+    return roots_;
+  }
+
+  struct StmtInfo {
+    const TiledNode* node = nullptr;
+    /// Enclosing loops, outermost first (tiling loops then the intra
+    /// nest immediately around the statement).
+    std::vector<const TiledNode*> loops;
+  };
+
+  /// Lookup by statement id (assigned by Program::finalize()).
+  [[nodiscard]] const StmtInfo& stmt_info(int id) const;
+  [[nodiscard]] int num_stmts() const noexcept { return static_cast<int>(stmts_.size()); }
+
+ private:
+  void build(const ir::Node& node, std::vector<std::string>& enclosing,
+             std::vector<std::unique_ptr<TiledNode>>& out);
+  void index_stmts(const TiledNode& node, std::vector<const TiledNode*>& loops);
+
+  const ir::Program* source_;
+  std::vector<std::unique_ptr<TiledNode>> roots_;
+  std::vector<StmtInfo> stmts_;
+};
+
+/// Renders tiled code in the paper's Fig. 3a style.
+[[nodiscard]] std::string to_text(const TiledProgram& tiled);
+
+/// Renders the tiled parse tree (Fig. 3b style).
+[[nodiscard]] std::string tree_to_text(const TiledProgram& tiled);
+
+}  // namespace oocs::trans

@@ -1,0 +1,125 @@
+// Tests for the uniform-sampling baseline: feasibility, correctness of
+// the produced plans, and the DCS-vs-baseline quality/speed relations
+// reported in the paper.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/uniform_sampling.hpp"
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "core/synthesize.hpp"
+#include "ir/examples.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs::baseline {
+namespace {
+
+using core::SynthesisOptions;
+using ir::Program;
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("oocs_bl_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+UniformSamplingOptions small_options(std::int64_t limit) {
+  UniformSamplingOptions options;
+  options.synthesis.memory_limit_bytes = limit;
+  options.synthesis.enforce_block_constraints = false;
+  return options;
+}
+
+TEST(UniformSampling, FindsFeasiblePointTwoIndex) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  const BaselineResult result = uniform_sampling_synthesize(p, small_options(24 * 1024));
+  EXPECT_GT(result.points_evaluated, 0);
+  EXPECT_GT(result.points_feasible, 0);
+  EXPECT_LE(result.plan.buffer_bytes(), 24 * 1024);
+  EXPECT_LT(result.best_disk_bytes, std::numeric_limits<double>::infinity());
+  // Full grid: (log2(64)+1)^2 * (log2(48)+2... grid sizes multiply out.
+  EXPECT_EQ(result.points_total,
+            static_cast<std::int64_t>(7 * 7 * 7 * 7));  // {1..64}:7, {1..32,48}:7
+}
+
+TEST(UniformSampling, PlanExecutesCorrectly) {
+  const Program p = ir::examples::two_index(24, 20, 16, 12);
+  const BaselineResult result = uniform_sampling_synthesize(p, small_options(6 * 1024));
+  const rt::TensorMap inputs = rt::random_inputs(p, 17);
+  const auto outputs = rt::run_posix(result.plan, inputs, temp_dir("exec"));
+  const rt::Tensor reference = rt::run_in_core(p, inputs).at("B");
+  EXPECT_LT(rt::max_abs_diff(outputs.at("B"), reference), 1e-9)
+      << core::to_text(result.plan);
+}
+
+TEST(UniformSampling, FourIndexPlanExecutesCorrectly) {
+  const Program p = ir::examples::four_index(6, 5);
+  const BaselineResult result = uniform_sampling_synthesize(p, small_options(16 * 1024));
+  const rt::TensorMap inputs = rt::random_inputs(p, 3);
+  const auto outputs = rt::run_posix(result.plan, inputs, temp_dir("fourx"));
+  const rt::Tensor reference = rt::run_in_core(p, inputs).at("B");
+  EXPECT_LT(rt::max_abs_diff(outputs.at("B"), reference), 1e-9)
+      << core::to_text(result.plan);
+}
+
+TEST(UniformSampling, DcsNeverWorseThanBaseline) {
+  // The DCS approach searches the continuous tile space and all
+  // placement combinations; the baseline is restricted to the sampled
+  // grid with greedy placement.  DCS must match or beat its cost.
+  for (const std::int64_t limit : {16 * 1024, 64 * 1024, 256 * 1024}) {
+    const Program p = ir::examples::two_index(128, 128, 96, 96);
+    const BaselineResult base = uniform_sampling_synthesize(p, small_options(limit));
+
+    SynthesisOptions options;
+    options.memory_limit_bytes = limit;
+    options.enforce_block_constraints = false;
+    solver::DlmSolver solver;
+    const auto dcs = core::synthesize(p, options, solver);
+    EXPECT_LE(dcs.predicted_disk_bytes, base.best_disk_bytes * 1.001) << "limit " << limit;
+  }
+}
+
+TEST(UniformSampling, SampleThinningReducesPoints) {
+  const Program p = ir::examples::two_index(256, 256, 256, 256);
+  UniformSamplingOptions dense = small_options(64 * 1024);
+  UniformSamplingOptions sparse = small_options(64 * 1024);
+  sparse.samples_per_dim = 4;
+  const BaselineResult d = uniform_sampling_synthesize(p, dense);
+  const BaselineResult s = uniform_sampling_synthesize(p, sparse);
+  EXPECT_GT(d.points_total, s.points_total);
+  EXPECT_EQ(s.points_total, 4 * 4 * 4 * 4);
+  // Coarser sampling cannot do better.
+  EXPECT_GE(s.best_disk_bytes, d.best_disk_bytes * 0.999);
+}
+
+TEST(UniformSampling, MaxPointsCapsWork) {
+  const Program p = ir::examples::two_index(256, 256, 256, 256);
+  UniformSamplingOptions options = small_options(64 * 1024);
+  options.max_points = 10;
+  // 10 points may or may not contain a feasible one; both outcomes are
+  // legitimate, but evaluation must stop at the cap.
+  try {
+    const BaselineResult result = uniform_sampling_synthesize(p, options);
+    EXPECT_LE(result.points_evaluated, 10);
+  } catch (const InfeasibleError&) {
+    SUCCEED();
+  }
+}
+
+TEST(UniformSampling, InfeasibleLimitThrows) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  EXPECT_THROW((void)uniform_sampling_synthesize(p, small_options(10)), InfeasibleError);
+}
+
+TEST(UniformSampling, SecondsPerPointPositive) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  const BaselineResult result = uniform_sampling_synthesize(p, small_options(24 * 1024));
+  EXPECT_GT(result.seconds_per_point(), 0);
+  EXPECT_GT(result.seconds, 0);
+}
+
+}  // namespace
+}  // namespace oocs::baseline

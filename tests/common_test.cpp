@@ -1,0 +1,182 @@
+// Unit tests for src/common: errors, byte formatting/parsing, strings, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+
+namespace oocs {
+namespace {
+
+TEST(Error, CarriesMessageAndLocation) {
+  try {
+    throw Error("boom");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  const auto fails = [] { OOCS_CHECK(1 == 2, "value was ", 42); };
+  EXPECT_THROW(fails(), Error);
+  try {
+    fails();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireMacroPassesOnTrue) {
+  EXPECT_NO_THROW(OOCS_REQUIRE(2 + 2 == 4));
+}
+
+TEST(Error, SubclassesAreCatchableAsError) {
+  EXPECT_THROW(throw SpecError("bad spec"), Error);
+  EXPECT_THROW(throw InfeasibleError("no fit"), Error);
+  EXPECT_THROW(throw IoError("short read"), Error);
+}
+
+TEST(Bytes, FormatChoosesSuffix) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2.00 KB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MB");
+  EXPECT_EQ(format_bytes(1.5 * static_cast<double>(kGiB)), "1.50 GB");
+}
+
+TEST(Bytes, ParseUnits) {
+  EXPECT_EQ(parse_bytes("1024"), 1024);
+  EXPECT_EQ(parse_bytes("2KB"), 2 * kKiB);
+  EXPECT_EQ(parse_bytes("2 kb"), 2 * kKiB);
+  EXPECT_EQ(parse_bytes("1MiB"), kMiB);
+  EXPECT_EQ(parse_bytes("2GB"), 2 * kGiB);
+  EXPECT_EQ(parse_bytes("1.5GB"), 3 * kGiB / 2);
+}
+
+TEST(Bytes, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_bytes("banana"), SpecError);
+  EXPECT_THROW(parse_bytes("12XB"), SpecError);
+  EXPECT_THROW(parse_bytes("-1GB"), SpecError);
+  EXPECT_THROW(parse_bytes(""), SpecError);
+}
+
+TEST(Bytes, RoundTripFormatParse) {
+  for (const std::int64_t n : {1LL, 1536LL, 10LL * kMiB, 7LL * kGiB}) {
+    const std::int64_t back = parse_bytes(format_bytes(static_cast<double>(n)));
+    EXPECT_NEAR(static_cast<double>(back), static_cast<double>(n),
+                static_cast<double>(n) * 0.01);
+  }
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitTrimmedDropsEmpty) {
+  const auto parts = split_trimmed(" a, b ,, c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("T1"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_TRUE(is_identifier("loop_index_2"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("2x"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(Strings, Indent) {
+  EXPECT_EQ(indent(0), "");
+  EXPECT_EQ(indent(2), "    ");
+  EXPECT_EQ(indent(-1), "");
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformSinglePoint) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(2, 1), Error);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(3);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.seconds(), t0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace oocs

@@ -1,0 +1,353 @@
+// Tests for the paper's core pipeline: candidate placement enumeration
+// (§4.1, validated against the paper's own Fig. 4a), NLP construction
+// (§4.2) and concrete plan building (Fig. 4b).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "core/access.hpp"
+#include "core/nlp.hpp"
+#include "core/plan.hpp"
+#include "core/synthesize.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "solver/dlm.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::core {
+namespace {
+
+using ir::ArrayKind;
+using ir::Program;
+
+SynthesisOptions paper_fig4_options() {
+  SynthesisOptions options;
+  options.memory_limit_bytes = 1 * kGiB;
+  options.min_read_block_bytes = 2 * kMiB;
+  options.min_write_block_bytes = 1 * kMiB;
+  return options;
+}
+
+const ChoiceGroup& group_for(const Enumeration& e, const std::string& array) {
+  for (const ChoiceGroup& group : e.groups) {
+    if (group.array == array) return group;
+  }
+  throw std::runtime_error("no group for " + array);
+}
+
+// ---------------------------------------------------------------------
+// §4.1 enumeration on the paper's own example (Fig. 4a): two-index
+// transform, N_m = N_n = 35000, N_i = N_j = 40000, 1 GB limit.
+
+class Fig4Enumeration : public ::testing::Test {
+ protected:
+  Fig4Enumeration()
+      : program_(ir::examples::two_index(40'000, 40'000, 35'000, 35'000)),
+        tiled_(program_),
+        enumeration_(enumerate_placements(tiled_, paper_fig4_options())) {}
+
+  Program program_;
+  trans::TiledProgram tiled_;
+  Enumeration enumeration_;
+};
+
+TEST_F(Fig4Enumeration, GroupsCoverAllArrays) {
+  // Inputs A, C1, C2 (one consumption site each), output B, intermediate T.
+  EXPECT_EQ(enumeration_.groups.size(), 5u);
+  EXPECT_EQ(enumeration_.loop_indices.size(), 4u);
+}
+
+TEST_F(Fig4Enumeration, InputAMatchesPaper) {
+  // Paper Fig. 4a: "A: iI, nT" — exactly two read placements.
+  const ChoiceGroup& a = group_for(enumeration_, "A");
+  ASSERT_EQ(a.num_options(), 2);
+  EXPECT_EQ(a.options[0].label, "read above iI");
+  EXPECT_EQ(a.options[1].label, "read above nT");
+  // First buffer is the full tile (T_i x T_j), second is T_i x N_j.
+  EXPECT_EQ(a.options[0].reads.front().buffer.to_string(), "T_i x T_j");
+  EXPECT_EQ(a.options[1].reads.front().buffer.to_string(), "T_i x N_j");
+  // Disk costs: trips(n) x Size_A, then Size_A.
+  EXPECT_EQ(a.options[0].reads.front().redundant, std::vector<std::string>{"n"});
+  EXPECT_TRUE(a.options[1].reads.front().redundant.empty());
+}
+
+TEST_F(Fig4Enumeration, InputC2MatchesPaper) {
+  // Paper: "C2: iI, jT".
+  const ChoiceGroup& c2 = group_for(enumeration_, "C2");
+  ASSERT_EQ(c2.num_options(), 2);
+  EXPECT_EQ(c2.options[0].label, "read above iI");
+  EXPECT_EQ(c2.options[1].label, "read above jT");
+  EXPECT_EQ(c2.options[0].reads.front().redundant, std::vector<std::string>{"i"});
+  EXPECT_EQ(c2.options[1].reads.front().redundant, std::vector<std::string>{"i"});
+}
+
+TEST_F(Fig4Enumeration, InputC1MatchesPaper) {
+  // Paper: "C1: iI, nT".
+  const ChoiceGroup& c1 = group_for(enumeration_, "C1");
+  ASSERT_EQ(c1.num_options(), 2);
+  EXPECT_EQ(c1.options[0].label, "read above iI");
+  EXPECT_EQ(c1.options[1].label, "read above nT");
+  EXPECT_EQ(c1.options[0].reads.front().redundant, std::vector<std::string>{"n"});
+  EXPECT_TRUE(c1.options[1].reads.front().redundant.empty());
+}
+
+TEST_F(Fig4Enumeration, OutputBMatchesPaper) {
+  // Paper: "B: Write Placement: iI, mT / Read Required: Yes, Yes".
+  const ChoiceGroup& b = group_for(enumeration_, "B");
+  ASSERT_EQ(b.num_options(), 2);
+  EXPECT_NE(b.options[0].label.find("write above iI"), std::string::npos);
+  EXPECT_NE(b.options[1].label.find("write above mT"), std::string::npos);
+  EXPECT_TRUE(b.options[0].write->read_required);
+  EXPECT_TRUE(b.options[1].write->read_required);
+  // The redundant loop forcing the read-back is i in both cases.
+  EXPECT_EQ(b.options[0].write->redundant, std::vector<std::string>{"i"});
+  EXPECT_EQ(b.options[1].write->redundant, std::vector<std::string>{"i"});
+}
+
+TEST_F(Fig4Enumeration, IntermediateTHasInMemoryOption) {
+  // Paper's solution keeps T in memory; the enumeration offers it first.
+  const ChoiceGroup& t = group_for(enumeration_, "T");
+  ASSERT_GE(t.num_options(), 1);
+  EXPECT_TRUE(t.options[0].in_memory);
+  EXPECT_EQ(t.options[0].in_memory_shape.to_string(), "T_i x T_n");  // prefix-loop order
+}
+
+TEST_F(Fig4Enumeration, FeasibilityPruningDropsWholeArrays) {
+  // Under 1 GB nothing may keep a whole 35000x40000 array in memory: no
+  // option's tile-1 memory exceeds the limit.
+  for (const ChoiceGroup& group : enumeration_.groups) {
+    for (const ChoiceOption& option : group.options) {
+      for (const IoCandidate& read : option.reads) {
+        EXPECT_LE(read.buffer.min_bytes(program_), 1.0 * static_cast<double>(kGiB));
+      }
+      if (option.write.has_value()) {
+        EXPECT_LE(option.write->buffer.min_bytes(program_), 1.0 * static_cast<double>(kGiB));
+      }
+    }
+  }
+}
+
+TEST_F(Fig4Enumeration, TextRenderingMatchesFig4aShape) {
+  const std::string text = to_text(enumeration_);
+  EXPECT_NE(text.find("Input Arrays: (Read Placements)"), std::string::npos);
+  EXPECT_NE(text.find("Output Arrays: (Write Placements)"), std::string::npos);
+  EXPECT_NE(text.find("Intermediates: (Write and Read Placements)"), std::string::npos);
+  EXPECT_NE(text.find("in memory"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Cost expressions
+
+TEST_F(Fig4Enumeration, DiskCostExpressionsMatchPaperFormulas) {
+  const ChoiceGroup& a = group_for(enumeration_, "A");
+  expr::Env env{{"T_i", 1000}, {"T_j", 1000}, {"T_m", 500}, {"T_n", 500}};
+  const double size_a = 40'000.0 * 40'000.0 * 8.0;
+  // D1_A = ceil(N_n / T_n) * Size_A.
+  EXPECT_DOUBLE_EQ(a.options[0].disk_cost.eval(env), std::ceil(35'000.0 / 500.0) * size_a);
+  // D2_A = Size_A.
+  EXPECT_DOUBLE_EQ(a.options[1].disk_cost.eval(env), size_a);
+  // M1_A = 8 * T_i * T_j;  M2_A = 8 * T_i * N_j.
+  EXPECT_DOUBLE_EQ(a.options[0].memory_cost.eval(env), 8.0 * 1000 * 1000);
+  EXPECT_DOUBLE_EQ(a.options[1].memory_cost.eval(env), 8.0 * 1000 * 40'000);
+}
+
+TEST_F(Fig4Enumeration, ReadModifyWriteCostsIncludeInitPass) {
+  const ChoiceGroup& b = group_for(enumeration_, "B");
+  expr::Env env{{"T_i", 1000}, {"T_j", 1000}, {"T_m", 500}, {"T_n", 500}};
+  const double size_b = 35'000.0 * 35'000.0 * 8.0;
+  const double trips_i = std::ceil(40'000.0 / 1000.0);
+  // 2 x (write volume) + init pass.
+  EXPECT_DOUBLE_EQ(b.options[0].disk_cost.eval(env), 2 * trips_i * size_b + size_b);
+}
+
+// ---------------------------------------------------------------------
+// NLP construction
+
+TEST_F(Fig4Enumeration, NlpHasExpectedVariables) {
+  const NlpModel model = build_nlp(program_, enumeration_, paper_fig4_options());
+  // 4 tile variables + one λ bit per two-option group (A, C1, C2, B, T).
+  EXPECT_EQ(model.problem.variables().size(), 4u + 5u);
+  EXPECT_TRUE(model.problem.has_variable("T_i"));
+  EXPECT_TRUE(model.problem.has_variable("T_n"));
+  // Memory limit constraint present.
+  bool has_memory = false;
+  for (const auto& c : model.problem.constraints()) {
+    if (c.name == "memory_limit") has_memory = true;
+  }
+  EXPECT_TRUE(has_memory);
+  EXPECT_NO_THROW(model.problem.validate());
+}
+
+TEST_F(Fig4Enumeration, NlpBinaryEqualitiesAreOptional) {
+  SynthesisOptions options = paper_fig4_options();
+  options.add_binary_equalities = false;
+  const NlpModel without = build_nlp(program_, enumeration_, options);
+  options.add_binary_equalities = true;
+  const NlpModel with = build_nlp(program_, enumeration_, options);
+  EXPECT_GT(with.problem.constraints().size(), without.problem.constraints().size());
+}
+
+TEST_F(Fig4Enumeration, DecodeRejectsInfeasible) {
+  const NlpModel model = build_nlp(program_, enumeration_, paper_fig4_options());
+  solver::Solution bogus;
+  bogus.feasible = false;
+  EXPECT_THROW((void)decode(model, enumeration_, bogus), InfeasibleError);
+}
+
+// ---------------------------------------------------------------------
+// Full synthesis, paper Fig. 4 parameters
+
+TEST_F(Fig4Enumeration, SynthesizeTwoIndexPaperScale) {
+  solver::DlmSolver solver;
+  const SynthesisResult result =
+      synthesize(program_, paper_fig4_options(), solver);
+
+  ASSERT_TRUE(result.solution.feasible);
+  // Static memory model within the 1 GB limit.
+  EXPECT_LE(result.memory_bytes, 1.0 * static_cast<double>(kGiB));
+  EXPECT_LE(result.plan.buffer_bytes(), 1 * kGiB);
+
+  // T must be kept in memory (disk option only adds cost).
+  const ChoiceGroup& t = group_for(result.enumeration, "T");
+  std::size_t t_idx = 0;
+  for (std::size_t g = 0; g < result.enumeration.groups.size(); ++g) {
+    if (result.enumeration.groups[g].array == "T") t_idx = g;
+  }
+  EXPECT_TRUE(t.options[static_cast<std::size_t>(result.decisions.option_index[t_idx])]
+                  .in_memory);
+
+  // Every array is moved at least once: predicted traffic at least the
+  // sum of all input + output sizes.
+  const double min_traffic = result.plan.program.byte_size("A") +
+                             result.plan.program.byte_size("B") +
+                             result.plan.program.byte_size("C1") +
+                             result.plan.program.byte_size("C2");
+  EXPECT_GE(result.predicted_disk_bytes, min_traffic);
+  EXPECT_GT(result.predicted_io_calls, 0);
+  EXPECT_GT(result.codegen_seconds, 0);
+
+  // AMPL model text covers the tile variables and the memory constraint.
+  EXPECT_NE(result.ampl_model.find("var T_i integer"), std::string::npos);
+  EXPECT_NE(result.ampl_model.find("minimize disk_cost:"), std::string::npos);
+  EXPECT_NE(result.ampl_model.find("subject to memory_limit:"), std::string::npos);
+
+  // Tile sizes respect their ranges.
+  for (const auto& [index, tile] : result.plan.tile_sizes) {
+    EXPECT_GE(tile, 1);
+    EXPECT_LE(tile, result.plan.program.range(index));
+  }
+}
+
+TEST_F(Fig4Enumeration, ConcretePlanHasFig4bStructure) {
+  solver::DlmSolver solver;
+  const SynthesisResult result = synthesize(program_, paper_fig4_options(), solver);
+  const std::string text = to_text(result.plan);
+
+  // Reads for every input, write(s) for B, and the B init pass.
+  EXPECT_NE(text.find("Read ADisk"), std::string::npos);
+  EXPECT_NE(text.find("Read C1Disk"), std::string::npos);
+  EXPECT_NE(text.find("Read C2Disk"), std::string::npos);
+  EXPECT_NE(text.find("Write BDisk"), std::string::npos);
+  // Read-modify-write: B is also read back.
+  EXPECT_NE(text.find("Read BDisk"), std::string::npos);
+  // Contractions appear as intra-tile loops.
+  EXPECT_NE(text.find("T[n,i] += C2[n,j] * A[i,j]"), std::string::npos);
+  EXPECT_NE(text.find("B[m,n] += C1[m,i] * T[n,i]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Small synthetic programs
+
+TEST(Synthesis, StreamingCopyNeedsNoRedundantIo) {
+  // B = A element-wise: both arrays stream through memory exactly once.
+  const Program p = ir::parse(
+      "range i = 64, j = 64;\n"
+      "input A(i, j);\n"
+      "output B(i, j);\n"
+      "B[*,*] = 0;\n"
+      "for (i, j) { B[i,j] += A[i,j]; }\n");
+  SynthesisOptions options;
+  options.memory_limit_bytes = 16 * kKiB;  // half of one 32 KB array
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = synthesize(p, options, solver);
+  ASSERT_TRUE(result.solution.feasible);
+  // Optimal traffic: read A once + write B once = 2 x 32 KB.
+  EXPECT_DOUBLE_EQ(result.predicted_disk_bytes, 2.0 * 64 * 64 * 8);
+  EXPECT_LE(result.plan.buffer_bytes(), 16 * kKiB);
+}
+
+TEST(Synthesis, BlockConstraintForcesLargeTiles) {
+  const Program p = ir::parse(
+      "range i = 64, j = 64;\n"
+      "input A(i, j);\n"
+      "output B(i, j);\n"
+      "B[*,*] = 0;\n"
+      "for (i, j) { B[i,j] += A[i,j]; }\n");
+  SynthesisOptions options;
+  options.memory_limit_bytes = 1 * kGiB;
+  options.min_read_block_bytes = 32 * 1024;  // the whole array
+  options.min_write_block_bytes = 32 * 1024;
+  solver::DlmSolver solver;
+  const SynthesisResult result = synthesize(p, options, solver);
+  ASSERT_TRUE(result.solution.feasible);
+  // Buffers must reach the full 32 KB array size.
+  EXPECT_GE(result.memory_bytes, 2.0 * 32 * 1024);
+}
+
+TEST(Synthesis, InfeasibleMemoryLimitThrows) {
+  const Program p = ir::parse(
+      "range i = 64, j = 64;\n"
+      "input A(i, j);\n"
+      "output B(i, j);\n"
+      "B[*,*] = 0;\n"
+      "for (i, j) { B[i,j] += A[i,j]; }\n");
+  SynthesisOptions options;
+  options.memory_limit_bytes = 10;  // less than two unit-tile buffers
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  EXPECT_THROW((void)synthesize(p, options, solver), InfeasibleError);
+}
+
+TEST(Synthesis, FourIndexTransformSynthesizes) {
+  const Program p = ir::examples::four_index(20, 16);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 4 * kMiB;  // A is 1.22 MB, T1 0.5 MB
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = synthesize(p, options, solver);
+  ASSERT_TRUE(result.solution.feasible);
+  EXPECT_LE(result.memory_bytes, 4.0 * static_cast<double>(kMiB));
+  const std::string text = to_text(result.plan);
+  EXPECT_NE(text.find("Read ADisk"), std::string::npos);
+  EXPECT_NE(text.find("Write BDisk"), std::string::npos);
+}
+
+TEST(Synthesis, ScalarIntermediateStaysInMemory) {
+  const Program p = ir::examples::four_index(20, 16);
+  const trans::TiledProgram tiled(p);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 8 * kMiB;
+  const Enumeration e = enumerate_placements(tiled, options);
+  const ChoiceGroup& t2 = group_for(e, "T2");
+  ASSERT_EQ(t2.num_options(), 1);
+  EXPECT_TRUE(t2.options[0].in_memory);
+}
+
+TEST(Synthesis, OutputWithTwoProducersRejected) {
+  const Program p = ir::parse(
+      "range i = 8;\n"
+      "input A(i);\n"
+      "input C(i);\n"
+      "output B(i);\n"
+      "for (i) { B[i] += A[i]; }\n"
+      "for (i) { B[i] += C[i]; }\n");
+  const trans::TiledProgram tiled(p);
+  EXPECT_THROW((void)enumerate_placements(tiled, SynthesisOptions{}), SpecError);
+}
+
+}  // namespace
+}  // namespace oocs::core

@@ -1,0 +1,294 @@
+// Tests for the contraction → dgemm dispatch: the strided kernel
+// itself, the mapping logic (which layouts dispatch, which fall back),
+// and end-to-end agreement between the fast path and the generic loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "core/synthesize.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "rt/dispatch.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/kernels.hpp"
+#include "rt/reference.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs::rt {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.next_double() * 2 - 1;
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// dgemm_strided against the packed reference for all four layouts.
+
+class StridedKernel : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(StridedKernel, MatchesPackedReference) {
+  const auto [ta, tb] = GetParam();
+  const std::int64_t m = 17, n = 23, k = 11;
+  Rng rng(5);
+  // Packed logical matrices.
+  const std::vector<double> a_mat = random_vec(static_cast<std::size_t>(m * k), rng);
+  const std::vector<double> b_mat = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<double> c_ref(static_cast<std::size_t>(m * n), 0.25);
+  std::vector<double> c_fast = c_ref;
+  dgemm_naive(m, n, k, a_mat, b_mat, c_ref);
+
+  // Storage for the strided call: transpose physically when requested,
+  // and embed everything in larger buffers to exercise ld ≠ cols.
+  const std::int64_t lda = (ta ? m : k) + 3;
+  const std::int64_t ldb = (tb ? k : n) + 5;
+  const std::int64_t ldc = n + 2;
+  std::vector<double> a_store(static_cast<std::size_t>((ta ? k : m) * lda), -7);
+  std::vector<double> b_store(static_cast<std::size_t>((tb ? n : k) * ldb), -7);
+  std::vector<double> c_store(static_cast<std::size_t>(m * ldc), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const double v = a_mat[static_cast<std::size_t>(i * k + l)];
+      if (ta) {
+        a_store[static_cast<std::size_t>(l * lda + i)] = v;
+      } else {
+        a_store[static_cast<std::size_t>(i * lda + l)] = v;
+      }
+    }
+  }
+  for (std::int64_t l = 0; l < k; ++l) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double v = b_mat[static_cast<std::size_t>(l * n + j)];
+      if (tb) {
+        b_store[static_cast<std::size_t>(j * ldb + l)] = v;
+      } else {
+        b_store[static_cast<std::size_t>(l * ldb + j)] = v;
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_store[static_cast<std::size_t>(i * ldc + j)] = 0.25;
+    }
+  }
+
+  dgemm_strided(m, n, k, MatView{a_store.data(), lda, ta}, MatView{b_store.data(), ldb, tb},
+                c_store.data(), ldc);
+  double worst = 0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      worst = std::max(worst, std::fabs(c_store[static_cast<std::size_t>(i * ldc + j)] -
+                                        c_ref[static_cast<std::size_t>(i * n + j)]));
+    }
+  }
+  EXPECT_LT(worst, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, StridedKernel,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+                         [](const auto& info) {
+                           return std::string(std::get<0>(info.param) ? "At" : "An") +
+                                  (std::get<1>(info.param) ? "Bt" : "Bn");
+                         });
+
+// ---------------------------------------------------------------------
+// Mapping logic
+
+DenseOperand dense(std::vector<std::string> dims, std::vector<std::int64_t> extents,
+                   std::vector<double>& storage) {
+  DenseOperand o;
+  o.dims = std::move(dims);
+  o.extent = extents;
+  o.size = extents;  // fully dense
+  o.base.assign(o.dims.size(), 0);
+  std::int64_t total = 1;
+  for (const std::int64_t e : extents) total *= e;
+  storage.resize(static_cast<std::size_t>(total));
+  o.data = storage.data();
+  return o;
+}
+
+TEST(Dispatch, PlainMatrixMultiplyDispatches) {
+  // C[i,j] += A[i,k] * B[k,j].
+  Rng rng(3);
+  std::vector<double> cs, as, bs;
+  DenseOperand c = dense({"i", "j"}, {6, 7}, cs);
+  DenseOperand a = dense({"i", "k"}, {6, 5}, as);
+  DenseOperand b = dense({"k", "j"}, {5, 7}, bs);
+  for (double& v : as) v = rng.next_double();
+  for (double& v : bs) v = rng.next_double();
+
+  const double flops = try_dgemm_contract(c, a, b, {"i", "j", "k"});
+  EXPECT_DOUBLE_EQ(flops, 2.0 * 6 * 7 * 5);
+  // Check one element by hand.
+  double expect = 0;
+  for (int k = 0; k < 5; ++k) expect += as[static_cast<std::size_t>(2 * 5 + k)] *
+                                        bs[static_cast<std::size_t>(k * 7 + 3)];
+  EXPECT_NEAR(cs[2 * 7 + 3], expect, 1e-12);
+}
+
+TEST(Dispatch, TransposedOperandsDispatch) {
+  // T[n,i] += C2[n,j] * A[i,j]: lhs is M×K with M={n}, rhs is [M2][K]
+  // stored transposed relative to K×N.
+  Rng rng(4);
+  std::vector<double> ts, c2s, as;
+  DenseOperand t = dense({"n", "i"}, {4, 6}, ts);
+  DenseOperand c2 = dense({"n", "j"}, {4, 5}, c2s);
+  DenseOperand a = dense({"i", "j"}, {6, 5}, as);
+  for (double& v : c2s) v = rng.next_double();
+  for (double& v : as) v = rng.next_double();
+
+  const double flops = try_dgemm_contract(t, c2, a, {"n", "i", "j"});
+  ASSERT_GT(flops, 0);
+  double expect = 0;
+  for (int j = 0; j < 5; ++j) expect += c2s[static_cast<std::size_t>(1 * 5 + j)] *
+                                        as[static_cast<std::size_t>(2 * 5 + j)];
+  EXPECT_NEAR(ts[1 * 6 + 2], expect, 1e-12);
+}
+
+TEST(Dispatch, MultiDimGroupsFlatten) {
+  // B[a,b,d] += T3[a,b,s] * C1[s,d]: M = {a,b} flattens to one row dim.
+  Rng rng(9);
+  std::vector<double> bs, t3s, c1s;
+  DenseOperand b = dense({"a", "b", "d"}, {3, 4, 5}, bs);
+  DenseOperand t3 = dense({"a", "b", "s"}, {3, 4, 6}, t3s);
+  DenseOperand c1 = dense({"s", "d"}, {6, 5}, c1s);
+  for (double& v : t3s) v = rng.next_double();
+  for (double& v : c1s) v = rng.next_double();
+
+  const double flops = try_dgemm_contract(b, t3, c1, {"a", "b", "d", "s"});
+  EXPECT_DOUBLE_EQ(flops, 2.0 * (3 * 4) * 5 * 6);
+  double expect = 0;
+  for (int s = 0; s < 6; ++s) {
+    expect += t3s[static_cast<std::size_t>((2 * 4 + 1) * 6 + s)] *
+              c1s[static_cast<std::size_t>(s * 5 + 3)];
+  }
+  EXPECT_NEAR(bs[(2 * 4 + 1) * 5 + 3], expect, 1e-12);
+}
+
+TEST(Dispatch, InterleavedLayoutFallsBack) {
+  // Target layout [a, s, b] interleaves the M group {a,b} with N {s}.
+  std::vector<double> ts, ls, rs;
+  DenseOperand t = dense({"a", "s", "b"}, {3, 4, 5}, ts);
+  DenseOperand l = dense({"a", "b", "k"}, {3, 5, 2}, ls);
+  DenseOperand r = dense({"k", "s"}, {2, 4}, rs);
+  EXPECT_LT(try_dgemm_contract(t, l, r, {"a", "b", "s", "k"}), 0);
+}
+
+TEST(Dispatch, BroadcastIndexFallsBack) {
+  // j appears only in the target: no dgemm shape.
+  std::vector<double> ts, ls, rs;
+  DenseOperand t = dense({"i", "j"}, {4, 4}, ts);
+  DenseOperand l = dense({"i", "k"}, {4, 3}, ls);
+  DenseOperand r = dense({"k"}, {3}, rs);
+  EXPECT_LT(try_dgemm_contract(t, l, r, {"i", "j", "k"}), 0);
+}
+
+TEST(Dispatch, SparseInnerDimFallsBack) {
+  // The trailing dimension spans only part of its extent: not dense.
+  std::vector<double> ts, ls, rs;
+  DenseOperand t = dense({"i", "j"}, {4, 6}, ts);
+  DenseOperand l = dense({"i", "k"}, {4, 3}, ls);
+  DenseOperand r = dense({"k", "j"}, {3, 6}, rs);
+  t.size[1] = 4;  // j covers [0,4) of extent 6
+  r.size[1] = 4;
+  EXPECT_LT(try_dgemm_contract(t, l, r, {"i", "j", "k"}), 0);
+}
+
+TEST(Dispatch, LeadingPartialDimDispatchesWithOffset) {
+  // The leading (row) dimension may be a sub-range: base offset + ld.
+  Rng rng(11);
+  std::vector<double> ts, ls, rs;
+  DenseOperand t = dense({"i", "j"}, {8, 5}, ts);
+  DenseOperand l = dense({"i", "k"}, {8, 3}, ls);
+  DenseOperand r = dense({"k", "j"}, {3, 5}, rs);
+  for (double& v : ls) v = rng.next_double();
+  for (double& v : rs) v = rng.next_double();
+  // Current tile: rows [2, 6).
+  t.size[0] = 4;
+  t.base[0] = 2;
+  l.size[0] = 4;
+  l.base[0] = 2;
+
+  const double flops = try_dgemm_contract(t, l, r, {"i", "j", "k"});
+  EXPECT_DOUBLE_EQ(flops, 2.0 * 4 * 5 * 3);
+  // Row 0 (outside the tile) untouched; row 3 (inside) correct.
+  for (int j = 0; j < 5; ++j) EXPECT_EQ(ts[static_cast<std::size_t>(j)], 0);
+  double expect = 0;
+  for (int k = 0; k < 3; ++k) expect += ls[static_cast<std::size_t>(3 * 3 + k)] *
+                                        rs[static_cast<std::size_t>(k * 5 + 1)];
+  EXPECT_NEAR(ts[3 * 5 + 1], expect, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: fast path vs generic loop over synthesized plans.
+
+class FastVsGeneric : public ::testing::TestWithParam<int> {};
+
+TEST_P(FastVsGeneric, PlansAgree) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  const ir::Program p = ir::examples::two_index(
+      rng.uniform(10, 30), rng.uniform(10, 30), rng.uniform(10, 30), rng.uniform(10, 30));
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = rng.uniform(2, 16) * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const core::SynthesisResult result = core::synthesize(p, options, solver);
+
+  const TensorMap inputs = random_inputs(p, static_cast<std::uint64_t>(seed));
+  const auto dir = [&](const char* tag) {
+    const auto d = std::filesystem::temp_directory_path() /
+                   ("oocs_disp_" + std::to_string(seed) + tag);
+    std::filesystem::remove_all(d);
+    return d.string();
+  };
+
+  // Generic path.
+  dra::DiskFarm farm_g = dra::DiskFarm::posix(result.plan.program, dir("g"));
+  for (const auto& [name, decl] : result.plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    auto& array = farm_g.array(name);
+    array.write(dra::Section::whole(array.extents()), inputs.at(name));
+  }
+  ExecOptions generic;
+  generic.use_fast_kernels = false;
+  PlanInterpreter interp_g(result.plan, farm_g, generic);
+  (void)interp_g.run();
+  auto& bg = farm_g.array("B");
+  std::vector<double> out_g(static_cast<std::size_t>(bg.elements()));
+  bg.read(dra::Section::whole(bg.extents()), out_g);
+
+  // Fast path (default).
+  const auto out_f = run_posix(result.plan, inputs, dir("f"));
+
+  EXPECT_LT(max_abs_diff(out_g, out_f.at("B")), 1e-10) << "seed " << seed;
+  // Both agree with the reference too.
+  EXPECT_LT(max_abs_diff(out_f.at("B"), run_in_core(p, inputs).at("B")), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastVsGeneric, ::testing::Range(0, 8));
+
+TEST(FastPath, ActuallyFiresOnTwoIndexPlans) {
+  // The T and B updates of the two-index transform both map onto dgemm;
+  // verify the fast path executes (identical flops, but measurably via a
+  // direct probe of the dispatcher on the statement shapes involved).
+  std::vector<double> ts, c2s, as;
+  DenseOperand t = dense({"n", "i"}, {8, 8}, ts);
+  DenseOperand c2 = dense({"n", "j"}, {8, 8}, c2s);
+  DenseOperand a = dense({"i", "j"}, {8, 8}, as);
+  EXPECT_GT(try_dgemm_contract(t, c2, a, {"i", "n", "j"}), 0);
+
+  std::vector<double> bs, c1s, t2s;
+  DenseOperand b = dense({"m", "n"}, {8, 8}, bs);
+  DenseOperand c1 = dense({"m", "i"}, {8, 8}, c1s);
+  DenseOperand tt = dense({"n", "i"}, {8, 8}, t2s);
+  EXPECT_GT(try_dgemm_contract(b, c1, tt, {"i", "n", "m"}), 0);
+}
+
+}  // namespace
+}  // namespace oocs::rt

@@ -1,0 +1,196 @@
+// Unit + property tests for the symbolic expression library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "expr/compiled.hpp"
+#include "expr/expr.hpp"
+
+namespace oocs::expr {
+namespace {
+
+Env env(std::initializer_list<std::pair<const std::string, double>> init) { return Env(init); }
+
+TEST(Expr, DefaultIsZero) {
+  EXPECT_TRUE(Expr().is_constant(0));
+  EXPECT_EQ(Expr().eval({}), 0.0);
+}
+
+TEST(Expr, ConstEval) {
+  EXPECT_EQ(lit(3.5).eval({}), 3.5);
+  EXPECT_TRUE(lit(1).is_constant());
+  EXPECT_TRUE(lit(1).is_constant(1));
+  EXPECT_FALSE(lit(1).is_constant(2));
+}
+
+TEST(Expr, VarEvalAndUnbound) {
+  const Expr x = var("x");
+  EXPECT_EQ(x.eval(env({{"x", 7}})), 7.0);
+  EXPECT_THROW((void)x.eval({}), Error);
+  EXPECT_EQ(x.name(), "x");
+}
+
+TEST(Expr, VarRequiresName) { EXPECT_THROW(Expr::var(""), Error); }
+
+TEST(Expr, Arithmetic) {
+  const Expr e = (var("a") + var("b")) * lit(2) - var("c") / lit(4);
+  EXPECT_EQ(e.eval(env({{"a", 1}, {"b", 2}, {"c", 8}})), 4.0);
+}
+
+TEST(Expr, CeilDivMatchesCeil) {
+  const Expr e = Expr::ceil_div(var("n"), var("t"));
+  EXPECT_EQ(e.eval(env({{"n", 10}, {"t", 3}})), 4.0);
+  EXPECT_EQ(e.eval(env({{"n", 9}, {"t", 3}})), 3.0);
+  EXPECT_EQ(e.eval(env({{"n", 1}, {"t", 100}})), 1.0);
+}
+
+TEST(Expr, MinMax) {
+  EXPECT_EQ(Expr::min(lit(2), lit(5)).eval({}), 2.0);
+  EXPECT_EQ(Expr::max(lit(2), lit(5)).eval({}), 5.0);
+  EXPECT_EQ(Expr::max(var("x"), lit(0)).eval(env({{"x", -3}})), 0.0);
+}
+
+TEST(Expr, CollectVars) {
+  const Expr e = var("a") * var("b") + Expr::ceil_div(var("n"), var("a"));
+  const auto vars = e.vars();
+  EXPECT_EQ(vars, (std::set<std::string>{"a", "b", "n"}));
+  EXPECT_TRUE(lit(5).vars().empty());
+}
+
+TEST(Expr, SubstituteReplacesVars) {
+  const Expr e = var("x") + var("y");
+  const Expr s = e.substitute({{"x", lit(3)}});
+  EXPECT_EQ(s.eval(env({{"y", 4}})), 7.0);
+  // y survives untouched.
+  EXPECT_EQ(s.vars(), std::set<std::string>{"y"});
+}
+
+TEST(Expr, SubstituteWithExpression) {
+  const Expr e = var("x") * var("x");
+  const Expr s = e.substitute({{"x", var("a") + lit(1)}});
+  EXPECT_EQ(s.eval(env({{"a", 2}})), 9.0);
+}
+
+TEST(Expr, SimplifyConstantFolding) {
+  EXPECT_TRUE((lit(2) + lit(3)).simplified().is_constant(5));
+  EXPECT_TRUE((lit(2) * lit(3)).simplified().is_constant(6));
+  EXPECT_TRUE((lit(7) / lit(2)).simplified().is_constant(3.5));
+  EXPECT_TRUE(Expr::ceil_div(lit(7), lit(2)).simplified().is_constant(4));
+  EXPECT_TRUE(Expr::min(lit(7), lit(2)).simplified().is_constant(2));
+  EXPECT_TRUE(Expr::max(lit(7), lit(2)).simplified().is_constant(7));
+}
+
+TEST(Expr, SimplifyIdentities) {
+  const Expr x = var("x");
+  EXPECT_EQ((x * lit(1)).simplified().to_string(), "x");
+  EXPECT_TRUE((x * lit(0)).simplified().is_constant(0));
+  EXPECT_EQ((x + lit(0)).simplified().to_string(), "x");
+  EXPECT_EQ((x / lit(1)).simplified().to_string(), "x");
+  EXPECT_EQ(Expr::ceil_div(x, lit(1)).simplified().to_string(), "x");
+}
+
+TEST(Expr, SimplifyPreservesValueRandomized) {
+  Rng rng(123);
+  // Random expression trees evaluate identically before/after simplify.
+  for (int trial = 0; trial < 200; ++trial) {
+    const Expr a = rng.chance(0.5) ? var("a") : lit(static_cast<double>(rng.uniform(0, 9)));
+    const Expr b = rng.chance(0.5) ? var("b") : lit(static_cast<double>(rng.uniform(1, 9)));
+    const Expr c = lit(static_cast<double>(rng.uniform(1, 5)));
+    Expr e = (a + b * c) * (a + lit(1)) + Expr::ceil_div(b * lit(10), c);
+    const Env point = env({{"a", static_cast<double>(rng.uniform(0, 20))},
+                           {"b", static_cast<double>(rng.uniform(1, 20))}});
+    EXPECT_DOUBLE_EQ(e.eval(point), e.simplified().eval(point)) << e.to_string();
+  }
+}
+
+TEST(Expr, AddMulFactoriesHandleDegenerateArity) {
+  EXPECT_TRUE(Expr::add({}).is_constant(0));
+  EXPECT_TRUE(Expr::mul({}).is_constant(1));
+  EXPECT_EQ(Expr::add({var("x")}).to_string(), "x");
+  EXPECT_EQ(Expr::mul({var("x")}).to_string(), "x");
+}
+
+TEST(Expr, ToStringForms) {
+  const Expr e = Expr::ceil_div(var("Ni"), var("Ti")) * lit(8);
+  EXPECT_EQ(e.to_string(), "(ceil(Ni/Ti) * 8)");
+  EXPECT_EQ(e.to_ampl(), "(ceil(Ni / Ti) * 8)");
+  EXPECT_EQ(Expr::min(var("a"), var("b")).to_string(), "min(a, b)");
+}
+
+TEST(Expr, StructuralEquality) {
+  const Expr a = var("x") + lit(1);
+  const Expr b = var("x") + lit(1);
+  const Expr c = var("x") + lit(2);
+  EXPECT_TRUE(a.structurally_equal(b));
+  EXPECT_FALSE(a.structurally_equal(c));
+  EXPECT_TRUE(a.structurally_equal(a));
+}
+
+TEST(Expr, OperatorAssign) {
+  Expr e = lit(1);
+  e += var("x");
+  e *= lit(3);
+  EXPECT_EQ(e.eval(env({{"x", 2}})), 9.0);
+}
+
+// ---------------------------------------------------------------------
+// CompiledExpr
+
+TEST(Compiled, EvalMatchesInterpretedRandomized) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Expr e = (var("a") * var("b") + Expr::ceil_div(var("n"), var("a"))) *
+                       Expr::max(var("b") - lit(2), lit(1)) +
+                   Expr::min(var("n"), var("a") * var("a"));
+    VarTable table;
+    const CompiledExpr ce(e, table);
+    std::vector<double> values(static_cast<std::size_t>(table.size()));
+    Env point;
+    for (const std::string& name : table.names()) {
+      const double v = static_cast<double>(rng.uniform(1, 50));
+      values[static_cast<std::size_t>(table.lookup(name))] = v;
+      point[name] = v;
+    }
+    EXPECT_DOUBLE_EQ(ce.eval(values), e.eval(point));
+  }
+}
+
+TEST(Compiled, ConstantExpressionNeedsNoValues) {
+  VarTable table;
+  const CompiledExpr ce(lit(2) * lit(21), table);
+  EXPECT_EQ(ce.eval({}), 42.0);
+  EXPECT_EQ(ce.min_values_size(), 0);
+}
+
+TEST(Compiled, SharedTableAlignsSlots) {
+  VarTable table;
+  const CompiledExpr f(var("x") + var("y"), table);
+  const CompiledExpr g(var("y") * lit(2), table);
+  const std::vector<double> values{3, 4};  // x=3, y=4
+  EXPECT_EQ(f.eval(values), 7.0);
+  EXPECT_EQ(g.eval(values), 8.0);
+  EXPECT_EQ(table.lookup("x"), 0);
+  EXPECT_EQ(table.lookup("y"), 1);
+  EXPECT_EQ(table.lookup("z"), -1);
+}
+
+TEST(Compiled, RejectsShortValueSpan) {
+  VarTable table;
+  const CompiledExpr ce(var("x") + var("y"), table);
+  const std::vector<double> too_short{1};
+  EXPECT_THROW((void)ce.eval(too_short), Error);
+}
+
+TEST(VarTableTest, InternIsIdempotent) {
+  VarTable table;
+  EXPECT_EQ(table.intern("a"), 0);
+  EXPECT_EQ(table.intern("b"), 1);
+  EXPECT_EQ(table.intern("a"), 0);
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.name(0), "a");
+}
+
+}  // namespace
+}  // namespace oocs::expr

@@ -1,0 +1,183 @@
+// Tests for the greedy placement evaluator, the solver warm start, and
+// the analytical I/O prediction.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "core/greedy.hpp"
+#include "core/predict.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ir/examples.hpp"
+#include "rt/interpreter.hpp"
+#include "solver/dlm.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::core {
+namespace {
+
+using ir::Program;
+
+SynthesisOptions loose_options(std::int64_t limit) {
+  SynthesisOptions options;
+  options.memory_limit_bytes = limit;
+  options.enforce_block_constraints = false;
+  return options;
+}
+
+TEST(GreedyEvaluatorTest, FeasibleWhenMemoryAmple) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  const trans::TiledProgram tiled(p);
+  const SynthesisOptions options = loose_options(1 << 30);
+  const Enumeration e = enumerate_placements(tiled, options);
+  GreedyEvaluator evaluator(p, e, options);
+
+  std::vector<double> point(e.loop_indices.size(), 8);
+  const auto result = evaluator.place(point);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.cost, 0);
+  EXPECT_EQ(result.choice.size(), e.groups.size());
+}
+
+TEST(GreedyEvaluatorTest, InfeasibleWhenMemoryTiny) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  const trans::TiledProgram tiled(p);
+  const SynthesisOptions options = loose_options(16);  // 2 doubles
+  const Enumeration e = enumerate_placements(tiled, options);
+  GreedyEvaluator evaluator(p, e, options);
+  std::vector<double> point(e.loop_indices.size(), 1);
+  EXPECT_FALSE(evaluator.place(point).feasible);
+}
+
+TEST(GreedyEvaluatorTest, DemotionRespectsLimit) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  const trans::TiledProgram tiled(p);
+  const SynthesisOptions options = loose_options(24 * 1024);
+  const Enumeration e = enumerate_placements(tiled, options);
+  GreedyEvaluator evaluator(p, e, options);
+
+  // At a feasible point, the selected options' memory must fit.
+  std::vector<double> point(e.loop_indices.size(), 16);
+  const auto result = evaluator.place(point);
+  ASSERT_TRUE(result.feasible);
+  expr::Env env;
+  for (std::size_t d = 0; d < e.loop_indices.size(); ++d) {
+    env[tile_var(e.loop_indices[d])] = point[d];
+  }
+  double memory = 0;
+  for (std::size_t g = 0; g < e.groups.size(); ++g) {
+    memory += e.groups[g]
+                  .options[static_cast<std::size_t>(result.choice[g])]
+                  .memory_cost.eval(env);
+  }
+  EXPECT_LE(memory, 24.0 * 1024);
+}
+
+TEST(GreedyEvaluatorTest, BlockConstraintsFilterOptions) {
+  const Program p = ir::examples::two_index(512, 512, 512, 512);
+  const trans::TiledProgram tiled(p);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 4 * kMiB;
+  options.min_read_block_bytes = 64 * 1024;
+  options.min_write_block_bytes = 64 * 1024;
+  const Enumeration e = enumerate_placements(tiled, options);
+  GreedyEvaluator evaluator(p, e, options);
+
+  // Tiny tiles give sub-minimum blocks everywhere: infeasible.
+  std::vector<double> tiny(e.loop_indices.size(), 1);
+  EXPECT_FALSE(evaluator.place(tiny).feasible);
+  // Large tiles satisfy the block minimum.
+  std::vector<double> big(e.loop_indices.size(), 256);
+  EXPECT_TRUE(evaluator.place(big).feasible);
+}
+
+TEST(WarmStart, ProducesFeasibleDecisions) {
+  const Program p = ir::examples::four_index(20, 16);
+  const trans::TiledProgram tiled(p);
+  const SynthesisOptions options = loose_options(64 * 1024);
+  const Enumeration e = enumerate_placements(tiled, options);
+  const auto warm = greedy_warm_start(p, e, options, 10'000);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->tile_sizes.size(), e.loop_indices.size());
+  EXPECT_EQ(warm->option_index.size(), e.groups.size());
+  // The decisions build into a plan within the limit.
+  const OocPlan plan = build_plan(tiled, e, *warm);
+  EXPECT_LE(plan.buffer_bytes(), 64 * 1024);
+}
+
+TEST(WarmStart, NoneWhenInfeasible) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  const trans::TiledProgram tiled(p);
+  SynthesisOptions options = loose_options(30);  // below five unit-tile doubles
+  const Enumeration e = enumerate_placements(tiled, options);
+  EXPECT_FALSE(greedy_warm_start(p, e, options, 1'000).has_value());
+}
+
+TEST(WarmStart, SolverNeverWorseThanWarmStart) {
+  // The DCS solver starts from the warm-start incumbent: its final
+  // objective can only be equal or lower.
+  for (const std::int64_t limit : {32 * 1024, 128 * 1024}) {
+    const Program p = ir::examples::four_index(20, 16);
+    const trans::TiledProgram tiled(p);
+    const SynthesisOptions options = loose_options(limit);
+    const Enumeration e = enumerate_placements(tiled, options);
+    const auto warm = greedy_warm_start(p, e, options);
+    ASSERT_TRUE(warm.has_value());
+    const PredictedIo warm_io = predict_io(p, e, *warm);
+
+    solver::DlmSolver solver;
+    const SynthesisResult result = synthesize(p, options, solver);
+    const double warm_cost = warm_io.total_bytes();
+    EXPECT_LE(result.predicted_io.total_bytes(), warm_cost * 1.0001) << "limit " << limit;
+  }
+}
+
+TEST(PredictIo, SplitsMatchDryRunWithinEdgeEffect) {
+  const Program p = ir::examples::two_index(100, 90, 80, 70);
+  SynthesisOptions options = loose_options(16 * 1024);
+  solver::DlmSolver solver;
+  const SynthesisResult result = synthesize(p, options, solver);
+
+  dra::DiskFarm farm = dra::DiskFarm::sim(result.plan.program);
+  rt::ExecOptions exec;
+  exec.dry_run = true;
+  rt::PlanInterpreter interpreter(result.plan, farm, exec);
+  const rt::ExecStats stats = interpreter.run();
+
+  // The static prediction assumes full buffers per call: it must bound
+  // the measured traffic from above and stay within the edge-tile slack.
+  EXPECT_GE(result.predicted_io.read_bytes,
+            static_cast<double>(stats.io.bytes_read) * 0.999);
+  EXPECT_GE(result.predicted_io.write_bytes,
+            static_cast<double>(stats.io.bytes_written) * 0.999);
+  EXPECT_LE(result.predicted_io.read_bytes,
+            static_cast<double>(stats.io.bytes_read) * 1.6 + 1);
+  EXPECT_EQ(result.predicted_io.read_calls, static_cast<double>(stats.io.read_calls));
+  EXPECT_EQ(result.predicted_io.write_calls, static_cast<double>(stats.io.write_calls));
+}
+
+TEST(PredictIo, SecondsFormula) {
+  PredictedIo io;
+  io.read_bytes = 1000;
+  io.write_bytes = 500;
+  io.read_calls = 3;
+  io.write_calls = 2;
+  // 5 calls x 0.01 + 1000/100 + 500/50 = 0.05 + 10 + 10.
+  EXPECT_DOUBLE_EQ(io.seconds(0.01, 100, 50), 20.05);
+  // Collective over 2 disks: transfers halve, seeks stay.
+  EXPECT_DOUBLE_EQ(io.seconds(0.01, 100, 50, 2), 10.05);
+}
+
+TEST(SeekAwareObjective, ReducesCallCount) {
+  const Program p = ir::examples::two_index(256, 256, 224, 224);
+  SynthesisOptions plain = loose_options(64 * 1024);
+  SynthesisOptions seek_aware = plain;
+  seek_aware.seek_cost_bytes = 512 * 1024;  // heavy per-call charge
+
+  solver::DlmSolver solver;
+  const SynthesisResult a = synthesize(p, plain, solver);
+  const SynthesisResult b = synthesize(p, seek_aware, solver);
+  EXPECT_LE(b.predicted_io.total_calls(), a.predicted_io.total_calls());
+}
+
+}  // namespace
+}  // namespace oocs::core

@@ -1,0 +1,216 @@
+// Cross-module integration tests: full DSL → synthesis → execution →
+// verification pipelines on program shapes beyond the paper's two
+// canned examples.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "baseline/uniform_sampling.hpp"
+#include "common/error.hpp"
+#include "core/synthesize.hpp"
+#include "ga/parallel.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+#include "solver/csa.hpp"
+#include "solver/dlm.hpp"
+#include "trans/fusion.hpp"
+
+namespace oocs {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("oocs_int_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+core::SynthesisOptions loose(std::int64_t limit) {
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = limit;
+  options.enforce_block_constraints = false;
+  return options;
+}
+
+/// Synthesize + execute on POSIX files + compare all outputs against the
+/// in-core reference.
+void check_pipeline(const ir::Program& program, std::int64_t limit, const std::string& tag,
+                    solver::Solver& engine) {
+  const core::SynthesisResult result = core::synthesize(program, loose(limit), engine);
+  ASSERT_TRUE(result.solution.feasible) << tag;
+  EXPECT_LE(result.plan.buffer_bytes(), limit) << tag;
+
+  const rt::TensorMap inputs = rt::random_inputs(program, 1234);
+  const auto outputs = rt::run_posix(result.plan, inputs, temp_dir(tag));
+  const rt::TensorMap reference = rt::run_in_core(program, inputs);
+  for (const auto& [name, data] : outputs) {
+    EXPECT_LT(rt::max_abs_diff(data, reference.at(name)), 1e-9)
+        << tag << " output " << name << "\n"
+        << core::to_text(result.plan);
+  }
+}
+
+TEST(Integration, SharedInputAcrossTwoStatements) {
+  // A is consumed by both contractions: two independent read groups.
+  const ir::Program p = ir::parse(
+      "range i = 20, j = 16, k = 12;\n"
+      "input A(i, j);\n"
+      "input C(j, k);\n"
+      "output B1(i, k);\n"
+      "output B2(j);\n"
+      "B1[*,*] = 0;\n"
+      "B2[*] = 0;\n"
+      "for (i, j, k) { B1[i,k] += A[i,j] * C[j,k]; }\n"
+      "for (i, j) { B2[j] += A[i,j]; }\n");
+  solver::DlmSolver dlm;
+  check_pipeline(p, 2 * 1024, "shared_input", dlm);
+
+  // The enumeration indeed carries two groups for A.
+  const trans::TiledProgram tiled(p);
+  const auto e = core::enumerate_placements(tiled, loose(2 * 1024));
+  int a_groups = 0;
+  for (const auto& g : e.groups) a_groups += g.array == "A";
+  EXPECT_EQ(a_groups, 2);
+}
+
+TEST(Integration, IntermediateWithTwoConsumers) {
+  // T is consumed by two different statements: placement options are a
+  // cartesian product of one write and two reads.
+  const ir::Program p = ir::parse(
+      "range i = 18, j = 14, k = 10;\n"
+      "input A(i, j);\n"
+      "intermediate T(i);\n"
+      "output B1(i, k);\n"
+      "input C(i, k);\n"
+      "output B2(i);\n"
+      "T[*] = 0;\n"
+      "for (i, j) { T[i] += A[i,j]; }\n"
+      "for (i, k) { B1[i,k] += C[i,k] * T[i]; }\n"
+      "for (i) { B2[i] += T[i]; }\n");
+  solver::DlmSolver dlm;
+  check_pipeline(p, 100 * 1024, "two_consumers", dlm);
+  // And with a limit below |T| + inputs so T may go to disk.
+  check_pipeline(p, 1200, "two_consumers_tight", dlm);
+}
+
+TEST(Integration, CopyStatementWithoutRhs) {
+  const ir::Program p = ir::parse(
+      "range i = 32, j = 24;\n"
+      "input A(i, j);\n"
+      "output B(i, j);\n"
+      "B[*,*] = 0;\n"
+      "for (i, j) { B[i,j] += A[i,j]; }\n");
+  solver::DlmSolver dlm;
+  check_pipeline(p, 1024, "copy", dlm);
+}
+
+TEST(Integration, ThreeStageChainThroughDiskIntermediates) {
+  // X → Y → B with a limit that forces both intermediates to disk.
+  const ir::Program p = ir::parse(
+      "range i = 24, j = 24;\n"
+      "input A(i, j);\n"
+      "input C(i, j);\n"
+      "intermediate X(i, j);\n"
+      "intermediate Y(i);\n"
+      "output B(i);\n"
+      "X[*,*] = 0;\n"
+      "for (i, j) { X[i,j] += A[i,j] * C[i,j]; }\n"
+      "Y[*] = 0;\n"
+      "for (i, j) { Y[i] += X[i,j]; }\n"
+      "B[*] = 0;\n"
+      "for (i) { B[i] += Y[i]; }\n");
+  solver::DlmSolver dlm;
+  check_pipeline(p, 5000, "chain", dlm);  // X alone is 4.6 KB
+}
+
+TEST(Integration, CsaSolverDrivesTheSamePipeline) {
+  const ir::Program p = ir::examples::two_index(24, 20, 16, 12);
+  solver::CsaOptions options;
+  options.max_iterations = 40'000;
+  options.seed = 5;
+  solver::CsaSolver csa(options);
+  check_pipeline(p, 6 * 1024, "csa", csa);
+}
+
+TEST(Integration, FusedAndUnfusedPlansComputeTheSameResult) {
+  const ir::Program unfused = ir::examples::two_index_unfused(20, 18, 16, 14);
+  const ir::Program fused = trans::fuse_and_contract(unfused);
+  solver::DlmSolver dlm;
+
+  const rt::TensorMap inputs = rt::random_inputs(unfused, 9);
+  const auto run = [&](const ir::Program& program, const std::string& tag) {
+    const core::SynthesisResult result = core::synthesize(program, loose(4 * 1024), dlm);
+    return rt::run_posix(result.plan, inputs, temp_dir(tag)).at("B");
+  };
+  const rt::Tensor b1 = run(unfused, "unfused");
+  const rt::Tensor b2 = run(fused, "fused");
+  EXPECT_LT(rt::max_abs_diff(b1, b2), 1e-9);
+}
+
+TEST(Integration, DslFileRoundTrip) {
+  // Write a DSL file, parse_file it, synthesize and run.
+  const std::string dir = temp_dir("dslfile");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/prog.oocs";
+  {
+    std::ofstream out(path);
+    out << ir::examples::two_index_dsl(20, 20, 16, 16);
+  }
+  const ir::Program p = ir::parse_file(path);
+  solver::DlmSolver dlm;
+  check_pipeline(p, 4 * 1024, "dslfile_run", dlm);
+}
+
+TEST(Integration, BaselineAndDcsPlansAgreeOnResults) {
+  const ir::Program p = ir::examples::four_index(6, 5);
+  const rt::TensorMap inputs = rt::random_inputs(p, 77);
+  const rt::Tensor reference = rt::run_in_core(p, inputs).at("B");
+
+  baseline::UniformSamplingOptions base_options;
+  base_options.synthesis = loose(16 * 1024);
+  const auto base = baseline::uniform_sampling_synthesize(p, base_options);
+  const auto base_out = rt::run_posix(base.plan, inputs, temp_dir("agree_base"));
+  EXPECT_LT(rt::max_abs_diff(base_out.at("B"), reference), 1e-9);
+
+  solver::DlmSolver dlm;
+  const auto dcs = core::synthesize(p, loose(16 * 1024), dlm);
+  const auto dcs_out = rt::run_posix(dcs.plan, inputs, temp_dir("agree_dcs"));
+  EXPECT_LT(rt::max_abs_diff(dcs_out.at("B"), reference), 1e-9);
+
+  // And the DCS cost never exceeds the baseline's.
+  EXPECT_LE(dcs.predicted_disk_bytes, base.best_disk_bytes * 1.0001);
+}
+
+TEST(Integration, ParallelAndSequentialAgreeOnChain) {
+  const ir::Program p = ir::parse(
+      "range i = 24, j = 24;\n"
+      "input A(i, j);\n"
+      "intermediate X(i, j);\n"
+      "output B(i);\n"
+      "X[*,*] = 0;\n"
+      "for (i, j) { X[i,j] += A[i,j] * A[i,j]; }\n"
+      "B[*] = 0;\n"
+      "for (i, j) { B[i] += X[i,j]; }\n");
+  solver::DlmSolver dlm;
+  const core::SynthesisResult result = core::synthesize(p, loose(3000), dlm);
+  const rt::TensorMap inputs = rt::random_inputs(p, 15);
+  const rt::Tensor reference = rt::run_in_core(p, inputs).at("B");
+
+  dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, temp_dir("parchain"));
+  for (const auto& [name, decl] : result.plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    dra::DiskArray& array = farm.array(name);
+    array.write(dra::Section::whole(array.extents()), inputs.at(name));
+  }
+  (void)ga::run_threads(result.plan, farm, 3);
+  dra::DiskArray& b = farm.array("B");
+  std::vector<double> out(static_cast<std::size_t>(b.elements()));
+  b.read(dra::Section::whole(b.extents()), out);
+  EXPECT_LT(rt::max_abs_diff(out, reference), 1e-9) << core::to_text(result.plan);
+}
+
+}  // namespace
+}  // namespace oocs

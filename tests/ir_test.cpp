@@ -1,0 +1,281 @@
+// Tests for the IR: types, program validation, DSL parser, printers,
+// and the canned paper examples.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/program.hpp"
+
+namespace oocs::ir {
+namespace {
+
+TEST(Types, ArrayRefToString) {
+  EXPECT_EQ((ArrayRef{"A", {"i", "j"}}.to_string()), "A[i,j]");
+  EXPECT_EQ((ArrayRef{"T2", {}}.to_string()), "T2");
+}
+
+TEST(Types, StmtToString) {
+  Stmt init;
+  init.kind = StmtKind::Init;
+  init.target = {"B", {"m", "n"}};
+  EXPECT_EQ(init.to_string(), "B[m,n] = 0");
+
+  Stmt update;
+  update.kind = StmtKind::Update;
+  update.target = {"T", {"n", "i"}};
+  update.lhs = ArrayRef{"C2", {"n", "j"}};
+  update.rhs = ArrayRef{"A", {"i", "j"}};
+  EXPECT_EQ(update.to_string(), "T[n,i] += C2[n,j] * A[i,j]");
+}
+
+TEST(Types, StmtRefsAndReads) {
+  Stmt update;
+  update.kind = StmtKind::Update;
+  update.target = {"T", {"n"}};
+  update.lhs = ArrayRef{"C", {"n", "j"}};
+  update.rhs = ArrayRef{"A", {"j"}};
+  EXPECT_EQ(update.refs().size(), 3u);
+  EXPECT_EQ(update.reads().size(), 2u);
+
+  Stmt init;
+  init.kind = StmtKind::Init;
+  init.target = {"T", {"n"}};
+  EXPECT_EQ(init.refs().size(), 1u);
+  EXPECT_TRUE(init.reads().empty());
+}
+
+// ---------------------------------------------------------------------
+// Parser
+
+TEST(Parser, ParsesTwoIndexTransform) {
+  const Program p = examples::two_index(100, 100, 80, 80);
+  EXPECT_TRUE(p.finalized());
+  EXPECT_EQ(p.arrays().size(), 5u);
+  EXPECT_EQ(p.array("A").kind, ArrayKind::Input);
+  EXPECT_EQ(p.array("T").kind, ArrayKind::Intermediate);
+  EXPECT_EQ(p.array("B").kind, ArrayKind::Output);
+  EXPECT_EQ(p.range("i"), 100);
+  EXPECT_EQ(p.range("m"), 80);
+  // B init (1) + T init (1) + two updates = 4 statements.
+  EXPECT_EQ(p.num_stmts(), 4);
+}
+
+TEST(Parser, ParsesFourIndexTransform) {
+  const Program p = examples::four_index(14, 12);
+  EXPECT_EQ(p.arrays().size(), 9u);
+  EXPECT_EQ(p.array("T2").rank(), 0);
+  EXPECT_EQ(p.array("T1").rank(), 4);
+  EXPECT_EQ(p.array("A").rank(), 4);
+  // T1 init, T1 update, B init, T3 init, T2 init, T2 update, T3 update,
+  // B update = 8 statements.
+  EXPECT_EQ(p.num_stmts(), 8);
+  EXPECT_EQ(p.range("p"), 14);
+  EXPECT_EQ(p.range("a"), 12);
+}
+
+TEST(Parser, StarInitExpandsToLoops) {
+  const Program p = parse(
+      "range m = 4, n = 5;\n"
+      "output B(m, n);\n"
+      "B[*,*] = 0;\n");
+  ASSERT_EQ(p.roots().size(), 1u);
+  const Node& outer = *p.roots().front();
+  EXPECT_EQ(outer.kind, Node::Kind::Loop);
+  EXPECT_EQ(outer.index, "m");
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children.front()->index, "n");
+}
+
+TEST(Parser, StarInitSkipsBoundIndices) {
+  const Program p = parse(
+      "range m = 4, n = 5;\n"
+      "output B(m, n);\n"
+      "for (m) { B[*,*] = 0; }\n");
+  const Node& m_loop = *p.roots().front();
+  ASSERT_EQ(m_loop.children.size(), 1u);
+  // Only n expands inside the bound m loop.
+  EXPECT_EQ(m_loop.children.front()->index, "n");
+}
+
+TEST(Parser, ScalarIntermediate) {
+  const Program p = parse(
+      "range q = 3;\n"
+      "input C(q);\n"
+      "intermediate T2;\n"
+      "T2 = 0;\n"
+      "for (q) { T2 += C[q]; }\n");
+  EXPECT_EQ(p.array("T2").rank(), 0);
+  EXPECT_EQ(p.num_stmts(), 2);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  const Program p = parse(
+      "# leading comment\n"
+      "range i = 2;   // trailing comment\n"
+      "input A(i);\n"
+      "output B(i);\n"
+      "for (i) { B[i] += A[i]; }  # done\n");
+  EXPECT_EQ(p.num_stmts(), 1);
+}
+
+TEST(Parser, ForSugarExpandsNestedLoops) {
+  const Program p = parse(
+      "range i = 2, j = 3, k = 4;\n"
+      "input A(i, j, k);\n"
+      "output B(i, j, k);\n"
+      "for (i, j, k) { B[i,j,k] += A[i,j,k]; }\n");
+  const Node* node = p.roots().front().get();
+  EXPECT_EQ(node->index, "i");
+  node = node->children.front().get();
+  EXPECT_EQ(node->index, "j");
+  node = node->children.front().get();
+  EXPECT_EQ(node->index, "k");
+  EXPECT_EQ(node->children.front()->kind, Node::Kind::Stmt);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse("range i = 2;\ninput A(i);\nfor (i) { A[i] ?= 0; }\n");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnboundIndex) {
+  EXPECT_THROW((void)parse("range i = 2, j = 2;\n"
+                           "input A(i, j);\n"
+                           "output B(i, j);\n"
+                           "for (i) { B[i,j] += A[i,j]; }\n"),
+               SpecError);
+}
+
+TEST(Parser, RejectsUndeclaredArray) {
+  EXPECT_THROW((void)parse("range i = 2;\noutput B(i);\nfor (i) { B[i] += X[i]; }\n"),
+               SpecError);
+}
+
+TEST(Parser, RejectsMissingRange) {
+  EXPECT_THROW((void)parse("input A(i);\noutput B(i);\nfor (i) { B[i] += A[i]; }\n"),
+               SpecError);
+}
+
+TEST(Parser, RejectsWriteToInput) {
+  EXPECT_THROW((void)parse("range i = 2;\ninput A(i);\nfor (i) { A[i] = 0; }\n"), SpecError);
+}
+
+TEST(Parser, RejectsOutputAsOperand) {
+  EXPECT_THROW((void)parse("range i = 2;\n"
+                           "output B(i);\noutput C(i);\n"
+                           "for (i) { C[i] += B[i]; }\n"),
+               SpecError);
+}
+
+TEST(Parser, RejectsWrongDimensionOrder) {
+  EXPECT_THROW((void)parse("range i = 2, j = 2;\n"
+                           "input A(i, j);\n"
+                           "output B(i, j);\n"
+                           "for (i, j) { B[i,j] += A[j,i]; }\n"),
+               SpecError);
+}
+
+TEST(Parser, RejectsDuplicateDeclaration) {
+  EXPECT_THROW((void)parse("range i = 2;\ninput A(i);\ninput A(i);\n"), SpecError);
+}
+
+TEST(Parser, RejectsNonTopLevelDecl) {
+  EXPECT_THROW((void)parse("range i = 2;\ninput A(i);\noutput B(i);\n"
+                           "for (i) { range j = 2; }\n"),
+               SpecError);
+}
+
+TEST(Parser, RejectsUnterminatedBody) {
+  EXPECT_THROW((void)parse("range i = 2;\ninput A(i);\noutput B(i);\nfor (i) { B[i] += A[i];"),
+               SpecError);
+}
+
+TEST(Parser, RejectsSelfNestedIndex) {
+  EXPECT_THROW((void)parse("range i = 2;\ninput A(i);\noutput B(i);\n"
+                           "for (i) { for (i) { B[i] += A[i]; } }\n"),
+               SpecError);
+}
+
+TEST(Parser, FileNotFound) { EXPECT_THROW((void)parse_file("/nonexistent.oocs"), IoError); }
+
+// ---------------------------------------------------------------------
+// Program facilities
+
+TEST(ProgramTest, ByteSizeAndElementCount) {
+  const Program p = examples::two_index(100, 200, 300, 400);
+  EXPECT_DOUBLE_EQ(p.element_count("A"), 100.0 * 200.0);
+  EXPECT_DOUBLE_EQ(p.byte_size("A"), 100.0 * 200.0 * 8.0);
+  EXPECT_DOUBLE_EQ(p.byte_size("B"), 300.0 * 400.0 * 8.0);
+}
+
+TEST(ProgramTest, CloneIsDeepAndEqualText) {
+  const Program p = examples::four_index(14, 12);
+  const Program q = p.clone();
+  EXPECT_EQ(to_dsl(p), to_dsl(q));
+  EXPECT_EQ(q.num_stmts(), p.num_stmts());
+}
+
+TEST(ProgramTest, ForEachStmtVisitsInOrder) {
+  const Program p = examples::two_index(10, 10, 10, 10);
+  std::vector<int> ids;
+  p.for_each_stmt([&](const Stmt& stmt) { ids.push_back(stmt.id); });
+  ASSERT_EQ(ids.size(), 4u);
+  for (std::size_t k = 0; k < ids.size(); ++k) EXPECT_EQ(ids[k], static_cast<int>(k));
+}
+
+TEST(ProgramTest, UnknownLookupsThrow) {
+  const Program p = examples::two_index(10, 10, 10, 10);
+  EXPECT_THROW((void)p.array("nope"), SpecError);
+  EXPECT_THROW((void)p.range("nope"), SpecError);
+}
+
+// ---------------------------------------------------------------------
+// Printers
+
+TEST(Printer, CompactCollapsesChains) {
+  const Program p = examples::two_index_unfused(10, 10, 10, 10);
+  const std::string text = to_text(p);
+  EXPECT_NE(text.find("FOR i, n, j"), std::string::npos);
+  EXPECT_NE(text.find("FOR i, n, m"), std::string::npos);
+  EXPECT_NE(text.find("END FOR j, n, i"), std::string::npos);
+}
+
+TEST(Printer, FullFormShowsRanges) {
+  const Program p = examples::two_index(123, 10, 10, 10);
+  PrintOptions options;
+  options.compact = false;
+  options.show_ranges = true;
+  const std::string text = to_text(p, options);
+  EXPECT_NE(text.find("FOR i = 1, 123"), std::string::npos);
+}
+
+TEST(Printer, TreeShowsStatements) {
+  const Program p = examples::two_index(10, 10, 10, 10);
+  const std::string tree = tree_to_text(p);
+  EXPECT_NE(tree.find("loop i"), std::string::npos);
+  EXPECT_NE(tree.find("stmt#"), std::string::npos);
+  EXPECT_NE(tree.find("T[n,i] += C2[n,j] * A[i,j]"), std::string::npos);
+}
+
+TEST(Printer, DslRoundTrip) {
+  const Program p = examples::four_index(14, 12);
+  const Program q = parse(to_dsl(p));
+  EXPECT_EQ(to_dsl(q), to_dsl(p));
+  EXPECT_EQ(q.num_stmts(), p.num_stmts());
+  EXPECT_EQ(q.arrays().size(), p.arrays().size());
+}
+
+TEST(Printer, DslRoundTripTwoIndex) {
+  const Program p = examples::two_index(40'000, 40'000, 35'000, 35'000);
+  const Program q = parse(to_dsl(p));
+  EXPECT_EQ(to_dsl(q), to_dsl(p));
+}
+
+}  // namespace
+}  // namespace oocs::ir

@@ -1,0 +1,295 @@
+// Tests for the runtime: in-core reference, kernels, and — the key
+// end-to-end property — synthesized out-of-core plans computing exactly
+// what the abstract program means.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/kernels.hpp"
+#include "rt/reference.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs::rt {
+namespace {
+
+using core::SynthesisOptions;
+using core::SynthesisResult;
+using ir::Program;
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() / (std::string("oocs_rt_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------
+// In-core reference
+
+TEST(Reference, TwoIndexMatchesClosedForm) {
+  // B(m,n) = Σ_{i,j} C1(m,i) C2(n,j) A(i,j) on tiny sizes, checked
+  // against a direct four-loop evaluation.
+  const std::int64_t ni = 5, nj = 4, nm = 3, nn = 2;
+  const Program p = ir::examples::two_index(ni, nj, nm, nn);
+  const TensorMap inputs = random_inputs(p, 42);
+  const TensorMap result = run_in_core(p, inputs);
+
+  const Tensor& a = inputs.at("A");
+  const Tensor& c1 = inputs.at("C1");
+  const Tensor& c2 = inputs.at("C2");
+  const Tensor& b = result.at("B");
+  for (std::int64_t m = 0; m < nm; ++m) {
+    for (std::int64_t n = 0; n < nn; ++n) {
+      double expect = 0;
+      for (std::int64_t i = 0; i < ni; ++i) {
+        for (std::int64_t j = 0; j < nj; ++j) {
+          expect += c1[static_cast<std::size_t>(m * ni + i)] *
+                    c2[static_cast<std::size_t>(n * nj + j)] *
+                    a[static_cast<std::size_t>(i * nj + j)];
+        }
+      }
+      EXPECT_NEAR(b[static_cast<std::size_t>(m * nn + n)], expect, 1e-9);
+    }
+  }
+}
+
+TEST(Reference, FusedAndUnfusedAgree) {
+  const Program fused = ir::examples::two_index(6, 5, 4, 3);
+  const Program unfused = ir::examples::two_index_unfused(6, 5, 4, 3);
+  const TensorMap inputs = random_inputs(fused, 7);
+  const Tensor b1 = run_in_core(fused, inputs).at("B");
+  const Tensor b2 = run_in_core(unfused, inputs).at("B");
+  EXPECT_LT(max_abs_diff(b1, b2), 1e-12);
+}
+
+TEST(Reference, FourIndexMatchesUnfusedFactorization) {
+  // The fused Fig. 5 program equals the four separate contraction steps.
+  const Program fused = ir::examples::four_index(5, 4);
+  const TensorMap inputs = random_inputs(fused, 13);
+  const Tensor b_fused = run_in_core(fused, inputs).at("B");
+
+  const Program steps = ir::parse(
+      "range p = 5, q = 5, r = 5, s = 5, a = 4, b = 4, c = 4, d = 4;\n"
+      "input A(p, q, r, s);\n"
+      "input C1(s, d);\ninput C2(r, c);\ninput C3(q, b);\ninput C4(p, a);\n"
+      "intermediate T1(a, q, r, s);\n"
+      "intermediate T2(a, b, r, s);\n"
+      "intermediate T3(a, b, c, s);\n"
+      "output B(a, b, c, d);\n"
+      "T1[*,*,*,*] = 0;\n"
+      "for (a, q, r, s, p) { T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]; }\n"
+      "T2[*,*,*,*] = 0;\n"
+      "for (a, b, r, s, q) { T2[a,b,r,s] += C3[q,b] * T1[a,q,r,s]; }\n"
+      "T3[*,*,*,*] = 0;\n"
+      "for (a, b, c, s, r) { T3[a,b,c,s] += C2[r,c] * T2[a,b,r,s]; }\n"
+      "B[*,*,*,*] = 0;\n"
+      "for (a, b, c, d, s) { B[a,b,c,d] += C1[s,d] * T3[a,b,c,s]; }\n");
+  const Tensor b_steps = run_in_core(steps, inputs).at("B");
+  EXPECT_LT(max_abs_diff(b_fused, b_steps), 1e-9);
+}
+
+TEST(Reference, MissingInputThrows) {
+  const Program p = ir::examples::two_index(4, 4, 4, 4);
+  EXPECT_THROW((void)run_in_core(p, {}), Error);
+}
+
+// ---------------------------------------------------------------------
+// Kernels
+
+TEST(Kernels, BlockedMatchesNaive) {
+  Rng rng(3);
+  for (const auto& mnk : std::vector<std::tuple<int, int, int>>{{5, 7, 9},
+       {64, 64, 64},
+       {65, 33, 129},
+       {1, 128, 1}}) {
+    const auto [m, n, k] = mnk;
+    std::vector<double> a(static_cast<std::size_t>(m * k));
+    std::vector<double> b(static_cast<std::size_t>(k * n));
+    for (double& v : a) v = rng.next_double();
+    for (double& v : b) v = rng.next_double();
+    std::vector<double> c1(static_cast<std::size_t>(m * n), 0.5);
+    std::vector<double> c2 = c1;
+    dgemm_naive(m, n, k, a, b, c1);
+    dgemm_accumulate(m, n, k, a, b, c2);
+    EXPECT_LT(max_abs_diff(c1, c2), 1e-10) << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(Kernels, RejectsShortSpans) {
+  std::vector<double> tiny(2);
+  EXPECT_THROW(dgemm_naive(2, 2, 2, tiny, tiny, tiny), Error);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: synthesized plan == reference, real POSIX disk
+
+struct EndToEndCase {
+  const char* name;
+  std::int64_t memory_limit;
+};
+
+class PlanCorrectness : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(PlanCorrectness, TwoIndexPlanMatchesReference) {
+  // 24x20x16x12 two-index transform: A 3.8 KB, B 1.5 KB.
+  const Program p = ir::examples::two_index(24, 20, 16, 12);
+  SynthesisOptions options;
+  options.memory_limit_bytes = GetParam().memory_limit;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = core::synthesize(p, options, solver);
+  ASSERT_TRUE(result.solution.feasible);
+
+  const TensorMap inputs = random_inputs(p, 99);
+  ExecStats stats;
+  const auto outputs =
+      run_posix(result.plan, inputs, temp_dir(GetParam().name), &stats);
+  const Tensor reference = run_in_core(p, inputs).at("B");
+  EXPECT_LT(max_abs_diff(outputs.at("B"), reference), 1e-9)
+      << core::to_text(result.plan);
+  EXPECT_GT(stats.io.bytes_read, 0);
+  EXPECT_GT(stats.kernel_flops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemoryLimits, PlanCorrectness,
+    ::testing::Values(EndToEndCase{"huge", 1 << 20},   // everything fits
+                      EndToEndCase{"mid", 6 * 1024},   // forces tiling
+                      EndToEndCase{"tight", 2 * 1024}  // heavy tiling + rmw
+                      ),
+    [](const auto& info) { return info.param.name; });
+
+TEST(PlanCorrectnessExtra, FourIndexPlanMatchesReference) {
+  const Program p = ir::examples::four_index(6, 5);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 16 * 1024;  // A is 10.1 KB
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = core::synthesize(p, options, solver);
+  ASSERT_TRUE(result.solution.feasible);
+
+  const TensorMap inputs = random_inputs(p, 5);
+  const auto outputs = run_posix(result.plan, inputs, temp_dir("fourindex"));
+  const Tensor reference = run_in_core(p, inputs).at("B");
+  EXPECT_LT(max_abs_diff(outputs.at("B"), reference), 1e-9)
+      << core::to_text(result.plan);
+}
+
+TEST(PlanCorrectnessExtra, UnfusedProgramWithDiskIntermediate) {
+  // Memory limit below |T| forces the intermediate to disk.
+  const Program p = ir::examples::two_index_unfused(16, 16, 16, 16);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 1500;  // T alone is 2 KB
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = core::synthesize(p, options, solver);
+  ASSERT_TRUE(result.solution.feasible);
+
+  // T must have gone to disk.
+  bool t_on_disk = false;
+  for (std::size_t g = 0; g < result.enumeration.groups.size(); ++g) {
+    const auto& group = result.enumeration.groups[g];
+    if (group.array != "T") continue;
+    t_on_disk = !group.options[static_cast<std::size_t>(result.decisions.option_index[g])]
+                     .in_memory;
+  }
+  EXPECT_TRUE(t_on_disk);
+
+  const TensorMap inputs = random_inputs(p, 21);
+  const auto outputs = run_posix(result.plan, inputs, temp_dir("diskT"));
+  const Tensor reference = run_in_core(p, inputs).at("B");
+  EXPECT_LT(max_abs_diff(outputs.at("B"), reference), 1e-9)
+      << core::to_text(result.plan);
+}
+
+// Property sweep: random memory limits always yield correct plans.
+class PlanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanPropertyTest, RandomLimitsProduceCorrectPlans) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 77 + 1);
+  const std::int64_t ni = rng.uniform(6, 20), nj = rng.uniform(6, 20);
+  const std::int64_t nm = rng.uniform(6, 20), nn = rng.uniform(6, 20);
+  const Program p = ir::examples::two_index(ni, nj, nm, nn);
+
+  // Limit between "barely enough" and "everything fits".
+  const std::int64_t floor_bytes = 8 * (1 + 1 + 1 + 1 + 1) * 4;
+  const std::int64_t limit = floor_bytes + rng.uniform(0, 8 * ni * nj * 4);
+  SynthesisOptions options;
+  options.memory_limit_bytes = limit;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+
+  SynthesisResult result = [&] {
+    try {
+      return core::synthesize(p, options, solver);
+    } catch (const InfeasibleError&) {
+      options.memory_limit_bytes = 1 << 20;  // fall back to a loose limit
+      return core::synthesize(p, options, solver);
+    }
+  }();
+  ASSERT_TRUE(result.solution.feasible);
+  EXPECT_LE(result.plan.buffer_bytes(), options.memory_limit_bytes) << "seed " << seed;
+
+  const TensorMap inputs = random_inputs(p, static_cast<std::uint64_t>(seed));
+  const auto outputs = run_posix(result.plan, inputs,
+                                 temp_dir(("prop" + std::to_string(seed)).c_str()));
+  const Tensor reference = run_in_core(p, inputs).at("B");
+  EXPECT_LT(max_abs_diff(outputs.at("B"), reference), 1e-9)
+      << "seed " << seed << "\n"
+      << core::to_text(result.plan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanPropertyTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Dry-run accounting
+
+TEST(DryRun, SimulatedBytesMatchPrediction) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 24 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = core::synthesize(p, options, solver);
+
+  dra::DiskFarm farm = dra::DiskFarm::sim(result.plan.program);
+  ExecOptions exec;
+  exec.dry_run = true;
+  PlanInterpreter interpreter(result.plan, farm, exec);
+  const ExecStats stats = interpreter.run();
+
+  const double simulated =
+      static_cast<double>(stats.io.bytes_read + stats.io.bytes_written);
+  // The analytical prediction uses ceil-div trip counts and full-size
+  // tiles, the simulator moves exact edge tiles: allow 15% slack.
+  EXPECT_NEAR(simulated, result.predicted_disk_bytes, 0.15 * result.predicted_disk_bytes);
+  EXPECT_NEAR(static_cast<double>(stats.io.read_calls + stats.io.write_calls),
+              result.predicted_io_calls, 0.15 * result.predicted_io_calls);
+  EXPECT_EQ(stats.kernel_flops, 0);  // no compute in dry runs
+}
+
+TEST(DryRun, MemoryLimitEnforced) {
+  const Program p = ir::examples::two_index(64, 64, 48, 48);
+  SynthesisOptions options;
+  options.memory_limit_bytes = 24 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const SynthesisResult result = core::synthesize(p, options, solver);
+
+  dra::DiskFarm farm = dra::DiskFarm::sim(result.plan.program);
+  ExecOptions exec;
+  exec.dry_run = true;
+  exec.memory_limit_bytes = 1;  // absurdly small
+  PlanInterpreter interpreter(result.plan, farm, exec);
+  EXPECT_THROW((void)interpreter.run(), Error);
+}
+
+}  // namespace
+}  // namespace oocs::rt

@@ -1,0 +1,286 @@
+// Tests for the discrete constrained solvers (the DCS substitute).
+//
+// DLM and CSA are validated against the ExhaustiveSolver oracle on small
+// problems, and against analytically known optima on structured problems
+// shaped like the paper's tile-size/placement programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "solver/ampl.hpp"
+#include "solver/csa.hpp"
+#include "solver/dlm.hpp"
+#include "solver/exhaustive.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+namespace {
+
+using expr::Expr;
+using expr::lit;
+using expr::var;
+
+// Small knapsack-like problem: minimize -(3a + 2b) s.t. 2a + b <= 6,
+// a,b in [0,3].  Optimum: a=2, b=2 → obj=-10.
+Problem knapsack() {
+  Problem p;
+  p.add_variable("a", 0, 3);
+  p.add_variable("b", 0, 3);
+  p.set_objective(lit(-1) * (lit(3) * var("a") + lit(2) * var("b")));
+  p.add_le("cap", lit(2) * var("a") + var("b") - lit(6));
+  return p;
+}
+
+// Tile-shaped problem: minimize ceil(N/t1)*N*t2-ish I/O cost subject to a
+// memory limit t1*t2 <= M.  Mirrors the structure of the paper's
+// nonlinear programs: objective decreasing in tiles, constraint
+// increasing.
+Problem tileish(std::int64_t n1, std::int64_t n2, std::int64_t mem) {
+  Problem p;
+  p.add_variable("t1", 1, n1);
+  p.add_variable("t2", 1, n2);
+  const Expr trips1 = Expr::ceil_div(lit(static_cast<double>(n1)), var("t1"));
+  const Expr trips2 = Expr::ceil_div(lit(static_cast<double>(n2)), var("t2"));
+  p.set_objective(trips1 * trips2 * lit(1000) + trips1 * lit(10));
+  p.add_le("mem", var("t1") * var("t2") - lit(static_cast<double>(mem)));
+  return p;
+}
+
+// Placement-encoded problem with a binary λ: choosing λ=1 picks cost D1
+// and memory M1; λ=0 picks D2/M2.  With limit admitting only M2, the
+// solver must pick λ=0 even though D2 > D1.
+Problem placement_choice() {
+  Problem p;
+  p.add_variable("t", 1, 100);
+  p.add_binary("lam");
+  const Expr d1 = lit(100);                   // cheap I/O, big memory
+  const Expr d2 = Expr::ceil_div(lit(100), var("t")) * lit(100);
+  const Expr m1 = lit(1'000'000);             // doesn't fit
+  const Expr m2 = var("t") * lit(10);
+  p.set_objective(var("lam") * d1 + (lit(1) - var("lam")) * d2);
+  p.add_le("mem", var("lam") * m1 + (lit(1) - var("lam")) * m2 - lit(500));
+  p.add_eq("lam_binary", var("lam") * (lit(1) - var("lam")));
+  return p;
+}
+
+TEST(Problem, RejectsDuplicateVariable) {
+  Problem p;
+  p.add_variable("x", 0, 1);
+  EXPECT_THROW(p.add_variable("x", 0, 2), Error);
+}
+
+TEST(Problem, RejectsBadBounds) {
+  Problem p;
+  EXPECT_THROW(p.add_variable("x", 3, 2), Error);
+  EXPECT_THROW(p.add_variable("", 0, 1), Error);
+}
+
+TEST(Problem, ValidateCatchesUndeclaredVars) {
+  Problem p;
+  p.add_variable("x", 0, 5);
+  p.set_objective(var("y"));
+  EXPECT_THROW(p.validate(), SpecError);
+}
+
+TEST(Problem, ValidateCatchesOutOfBoundsInitial) {
+  Problem p;
+  p.add_variable("x", 0, 5, 9);
+  p.set_objective(var("x"));
+  EXPECT_THROW(p.validate(), SpecError);
+}
+
+TEST(Problem, ValidateAcceptsWellFormed) {
+  Problem p = knapsack();
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Exhaustive, FindsKnapsackOptimum) {
+  ExhaustiveSolver solver;
+  const Solution s = solver.solve(knapsack());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.objective, -10);
+  EXPECT_EQ(s.values.at("a"), 2);
+  EXPECT_EQ(s.values.at("b"), 2);
+}
+
+TEST(Exhaustive, InfeasibleProblemReported) {
+  Problem p;
+  p.add_variable("x", 0, 3);
+  p.set_objective(var("x"));
+  p.add_le("impossible", lit(1) - var("x") * lit(0));  // 1 <= 0
+  ExhaustiveSolver solver;
+  const Solution s = solver.solve(p);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(Exhaustive, RefusesHugeSpaces) {
+  Problem p;
+  p.add_variable("x", 1, 1'000'000);
+  p.add_variable("y", 1, 1'000'000);
+  p.set_objective(var("x") + var("y"));
+  ExhaustiveSolver solver;
+  EXPECT_THROW((void)solver.solve(p), SpecError);
+}
+
+TEST(Dlm, MatchesExhaustiveOnKnapsack) {
+  DlmSolver solver;
+  const Solution s = solver.solve(knapsack());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.objective, -10);
+}
+
+TEST(Csa, MatchesExhaustiveOnKnapsack) {
+  CsaOptions opt;
+  opt.max_iterations = 20'000;
+  CsaSolver solver(opt);
+  const Solution s = solver.solve(knapsack());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.objective, -10);
+}
+
+TEST(Dlm, SolvesTileProblemToNearOptimum) {
+  // Exhaustive oracle on a small instance.
+  const Problem p = tileish(40, 40, 100);
+  ExhaustiveSolver oracle;
+  const Solution truth = oracle.solve(p);
+  ASSERT_TRUE(truth.feasible);
+
+  DlmSolver solver;
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.objective, truth.objective * 1.05);
+  // Solution satisfies the memory constraint.
+  EXPECT_LE(s.values.at("t1") * s.values.at("t2"), 100);
+}
+
+TEST(Csa, SolvesTileProblemToNearOptimum) {
+  const Problem p = tileish(40, 40, 100);
+  ExhaustiveSolver oracle;
+  const Solution truth = oracle.solve(p);
+
+  CsaOptions opt;
+  opt.max_iterations = 50'000;
+  opt.seed = 3;
+  CsaSolver solver(opt);
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.objective, truth.objective * 1.10);
+}
+
+TEST(Dlm, HandlesLargeRangesViaMultiplicativeMoves) {
+  // Ranges ~40000 as in the paper's two-index transform.
+  const Problem p = tileish(40'000, 35'000, 1 << 20);
+  DlmSolver solver;
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.values.at("t1") * s.values.at("t2"), 1 << 20);
+  // The memory bound should be nearly saturated at a good solution:
+  // trips shrink as tiles grow, so optimum sits near the boundary.
+  EXPECT_GE(static_cast<double>(s.values.at("t1") * s.values.at("t2")),
+            0.4 * static_cast<double>(1 << 20));
+}
+
+TEST(Dlm, PicksFeasiblePlacement) {
+  DlmSolver solver;
+  const Solution s = solver.solve(placement_choice());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.values.at("lam"), 0);
+  EXPECT_LE(s.values.at("t") * 10, 500);
+  // With λ=0 the best t is 50 (memory 500): cost = ceil(100/50)*100 = 200.
+  EXPECT_DOUBLE_EQ(s.objective, 200);
+}
+
+TEST(Csa, PicksFeasiblePlacement) {
+  CsaOptions opt;
+  opt.max_iterations = 60'000;
+  opt.seed = 11;
+  CsaSolver solver(opt);
+  const Solution s = solver.solve(placement_choice());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.values.at("lam"), 0);
+  EXPECT_DOUBLE_EQ(s.objective, 200);
+}
+
+TEST(Dlm, RespectsTimeLimit) {
+  DlmOptions opt;
+  opt.time_limit_seconds = 0.05;
+  opt.max_iterations = 1'000'000'000;
+  opt.max_restarts = 1'000'000;
+  DlmSolver solver(opt);
+  const Problem p = tileish(40'000, 35'000, 1 << 20);
+  const auto start = std::chrono::steady_clock::now();
+  (void)solver.solve(p);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Dlm, WarmStartRespected) {
+  Problem p;
+  p.add_variable("x", 1, 1'000'000, 777);
+  p.set_objective(var("x"));  // optimum at lower bound
+  DlmOptions opt;
+  opt.max_restarts = 0;
+  DlmSolver solver(opt);
+  const Solution s = solver.solve(p);
+  ASSERT_TRUE(s.feasible);
+  // From a warm start the descent still reaches the lower bound (snap move).
+  EXPECT_EQ(s.values.at("x"), 1);
+}
+
+// Property sweep: on random small constrained problems, DLM and CSA never
+// report an infeasible point as feasible and never beat the oracle.
+class SolverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverPropertyTest, NeverBeatsOracleAndAlwaysFeasible) {
+  const int seed = GetParam();
+  // Construct a deterministic pseudo-random problem from the seed.
+  const std::int64_t n1 = 5 + (seed * 7) % 20;
+  const std::int64_t n2 = 5 + (seed * 13) % 20;
+  const std::int64_t mem = 4 + (seed * 11) % 40;
+  const Problem p = tileish(n1, n2, mem);
+
+  ExhaustiveSolver oracle;
+  const Solution truth = oracle.solve(p);
+  ASSERT_TRUE(truth.feasible);
+
+  DlmOptions dopt;
+  dopt.seed = static_cast<std::uint64_t>(seed) + 1;
+  const Solution dlm = DlmSolver(dopt).solve(p);
+  ASSERT_TRUE(dlm.feasible) << "seed " << seed;
+  EXPECT_GE(dlm.objective, truth.objective - 1e-9);
+  EXPECT_LE(dlm.values.at("t1") * dlm.values.at("t2"), mem);
+
+  CsaOptions copt;
+  copt.seed = static_cast<std::uint64_t>(seed) + 1;
+  copt.max_iterations = 20'000;
+  const Solution csa = CsaSolver(copt).solve(p);
+  ASSERT_TRUE(csa.feasible) << "seed " << seed;
+  EXPECT_GE(csa.objective, truth.objective - 1e-9);
+  EXPECT_LE(csa.values.at("t1") * csa.values.at("t2"), mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest, ::testing::Range(0, 12));
+
+TEST(Ampl, EmitsModel) {
+  const Problem p = placement_choice();
+  const std::string model = to_ampl(p);
+  EXPECT_NE(model.find("var t integer >= 1 <= 100;"), std::string::npos);
+  EXPECT_NE(model.find("var lam integer >= 0 <= 1;"), std::string::npos);
+  EXPECT_NE(model.find("minimize disk_cost:"), std::string::npos);
+  EXPECT_NE(model.find("subject to mem:"), std::string::npos);
+  EXPECT_NE(model.find("subject to lam_binary:"), std::string::npos);
+  EXPECT_NE(model.find(" = 0;"), std::string::npos);
+  EXPECT_NE(model.find(" <= 0;"), std::string::npos);
+}
+
+TEST(Ampl, EmitsInitialValue) {
+  Problem p;
+  p.add_variable("x", 1, 10, 5);
+  p.set_objective(var("x"));
+  EXPECT_NE(to_ampl(p).find(":= 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oocs::solver

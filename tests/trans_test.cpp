@@ -1,0 +1,336 @@
+// Tests for the transformation passes: tiling, fusion/contraction, and
+// operation minimization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "trans/fusion.hpp"
+#include "trans/opmin.hpp"
+#include "common/strings.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::trans {
+namespace {
+
+using ir::ArrayKind;
+using ir::Program;
+
+// ---------------------------------------------------------------------
+// Tiling
+
+TEST(Tiling, TwoIndexStructure) {
+  const Program p = ir::examples::two_index(100, 100, 80, 80);
+  const TiledProgram tiled(p);
+  const std::string text = to_text(tiled);
+  // Fused nest becomes tiling loops iT, nT with intra loops at leaves.
+  EXPECT_NE(text.find("FOR iT, nT"), std::string::npos);
+  EXPECT_NE(text.find("FOR jT"), std::string::npos);
+  EXPECT_NE(text.find("FOR mT"), std::string::npos);
+  EXPECT_NE(text.find("FOR iI, nI, jI"), std::string::npos);
+  EXPECT_NE(text.find("FOR iI, nI, mI"), std::string::npos);
+}
+
+TEST(Tiling, StmtInfoPathsAreComplete) {
+  const Program p = ir::examples::two_index(100, 100, 80, 80);
+  const TiledProgram tiled(p);
+  ASSERT_EQ(tiled.num_stmts(), 4);
+
+  // Statement 2 is the T update inside loops i, n, j: its loop path is
+  // iT, nT, jT then intra iI, nI, jI.
+  const auto& info = tiled.stmt_info(2);
+  std::vector<std::string> names;
+  for (const TiledNode* loop : info.loops) names.push_back(loop->display_name());
+  EXPECT_EQ(names, (std::vector<std::string>{"iT", "nT", "jT", "iI", "nI", "jI"}));
+  EXPECT_EQ(info.node->stmt.to_string(), "T[n,i] += C2[n,j] * A[i,j]");
+}
+
+TEST(Tiling, IntraLoopsOnlyAtLeaves) {
+  const Program p = ir::examples::four_index(14, 12);
+  const TiledProgram tiled(p);
+  // Every statement's path: all intra loops come after all tiling loops.
+  for (int id = 0; id < tiled.num_stmts(); ++id) {
+    const auto& info = tiled.stmt_info(id);
+    bool seen_intra = false;
+    for (const TiledNode* loop : info.loops) {
+      if (loop->kind == TiledNode::Kind::IntraLoop) {
+        seen_intra = true;
+      } else {
+        EXPECT_FALSE(seen_intra) << "tiling loop below intra loop in stmt " << id;
+      }
+    }
+    // The intra nest covers exactly the enclosing tiling indices.
+    std::multiset<std::string> tiling_idx, intra_idx;
+    for (const TiledNode* loop : info.loops) {
+      (loop->kind == TiledNode::Kind::TilingLoop ? tiling_idx : intra_idx).insert(loop->index);
+    }
+    EXPECT_EQ(tiling_idx, intra_idx) << "stmt " << id;
+  }
+}
+
+TEST(Tiling, RequiresFinalizedProgram) {
+  Program p;
+  EXPECT_THROW(TiledProgram{p}, oocs::Error);
+}
+
+TEST(Tiling, TreePrinterShowsTilingAndIntra) {
+  const Program p = ir::examples::two_index(10, 10, 10, 10);
+  const TiledProgram tiled(p);
+  const std::string tree = tree_to_text(tiled);
+  EXPECT_NE(tree.find("loop iT"), std::string::npos);
+  EXPECT_NE(tree.find("loop iI"), std::string::npos);
+  EXPECT_NE(tree.find("stmt#"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fusion (paper Fig. 1)
+
+TEST(Fusion, TwoIndexUnfusedBecomesFused) {
+  const Program unfused = ir::examples::two_index_unfused(100, 100, 80, 80);
+  const Program fused = fuse(unfused);
+  const std::string text = ir::to_text(fused);
+  // The producer and consumer nests share loops i and n after fusion.
+  EXPECT_NE(text.find("FOR i, n"), std::string::npos);
+  // Both updates appear under one nest: only one "FOR i, n" header.
+  const auto first = text.find("FOR i, n");
+  EXPECT_EQ(text.find("FOR i, n", first + 1), std::string::npos) << text;
+}
+
+TEST(Fusion, ContractionReducesTToScalar) {
+  const Program unfused = ir::examples::two_index_unfused(100, 100, 80, 80);
+  const Program fused = fuse_and_contract(unfused);
+  EXPECT_EQ(fused.array("T").rank(), 0);
+  // B (output) and inputs keep their dimensions.
+  EXPECT_EQ(fused.array("B").rank(), 2);
+  EXPECT_EQ(fused.array("A").rank(), 2);
+  const std::string text = ir::to_text(fused);
+  EXPECT_NE(text.find("T = 0"), std::string::npos);
+  EXPECT_NE(text.find("T += C2[n,j] * A[i,j]"), std::string::npos);
+  EXPECT_NE(text.find("B[m,n] += C1[m,i] * T"), std::string::npos);
+}
+
+TEST(Fusion, IntermediateBytesDropAfterContraction) {
+  const Program unfused = ir::examples::two_index_unfused(1000, 1000, 900, 900);
+  const double before = intermediate_bytes(unfused);
+  const Program fused = fuse_and_contract(unfused);
+  const double after = intermediate_bytes(fused);
+  EXPECT_DOUBLE_EQ(before, 900.0 * 1000.0 * 8.0);
+  EXPECT_DOUBLE_EQ(after, 8.0);  // scalar
+}
+
+TEST(Fusion, DoesNotFuseReductionIndex) {
+  // T(n) = Σ_j A(n,j); consumer reads full T per iteration of j' — the j
+  // loop must NOT be fused (partial sums would leak).  Here both nests
+  // loop over n and j, but j does not index T.
+  const Program p = ir::parse(
+      "range n = 10, j = 10;\n"
+      "input A(n, j);\n"
+      "intermediate T(n);\n"
+      "output B(n, j);\n"
+      "T[*] = 0;\n"
+      "for (n, j) { T[n] += A[n,j]; }\n"
+      "for (n, j) { B[n,j] += A[n,j] * T[n]; }\n");
+  const Program fused = fuse(p);
+  const std::string text = ir::to_text(fused);
+  // n may fuse; j must remain split into two loops (count lines whose
+  // trimmed content is exactly "FOR j").
+  std::size_t j_headers = 0;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (std::string(oocs::trim(line)) == "FOR j") ++j_headers;
+  }
+  EXPECT_EQ(j_headers, 2u) << text;
+}
+
+TEST(Fusion, RespectsInterveningFlow) {
+  // A nest writing X sits between two nests that could otherwise fuse;
+  // the third nest reads X, so it cannot be hoisted over the second.
+  const Program p = ir::parse(
+      "range i = 4;\n"
+      "input A(i);\n"
+      "intermediate T(i);\n"
+      "intermediate X(i);\n"
+      "output B(i);\n"
+      "T[*] = 0;\n"
+      "X[*] = 0;\n"
+      "for (i) { T[i] += A[i]; }\n"
+      "for (i) { X[i] += T[i]; }\n"
+      "for (i) { B[i] += X[i] * T[i]; }\n");
+  const Program fused = fuse(p);
+  // All five nests legally collapse; whatever the merge order, the
+  // dataflow order T+=A → X+=T → B+=X*T must be preserved, and each
+  // init must precede its update.
+  std::vector<std::string> stmts;
+  fused.for_each_stmt([&](const ir::Stmt& s) { stmts.push_back(s.to_string()); });
+  ASSERT_EQ(stmts.size(), 5u);
+  const auto pos = [&](const std::string& needle) {
+    const auto it = std::find(stmts.begin(), stmts.end(), needle);
+    EXPECT_NE(it, stmts.end()) << needle;
+    return it - stmts.begin();
+  };
+  EXPECT_LT(pos("T[i] = 0"), pos("T[i] += A[i]"));
+  EXPECT_LT(pos("X[i] = 0"), pos("X[i] += T[i]"));
+  EXPECT_LT(pos("T[i] += A[i]"), pos("X[i] += T[i]"));
+  EXPECT_LT(pos("X[i] += T[i]"), pos("B[i] += X[i] * T[i]"));
+}
+
+TEST(Fusion, FourIndexFromUnfusedStepsContractsT2) {
+  // Build the 4-index transform as unfused binary steps and check that
+  // fusion + contraction shrinks intermediates substantially.
+  const Program p = ir::parse(
+      "range p = 8, q = 8, r = 8, s = 8, a = 6, b = 6, c = 6, d = 6;\n"
+      "input A(p, q, r, s);\n"
+      "input C1(s, d);\n"
+      "input C2(r, c);\n"
+      "input C3(q, b);\n"
+      "input C4(p, a);\n"
+      "intermediate T1(a, q, r, s);\n"
+      "intermediate T2(a, b, r, s);\n"
+      "intermediate T3(a, b, c, s);\n"
+      "output B(a, b, c, d);\n"
+      "T1[*,*,*,*] = 0;\n"
+      "for (a, q, r, s, p) { T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]; }\n"
+      "T2[*,*,*,*] = 0;\n"
+      "for (a, b, r, s, q) { T2[a,b,r,s] += C3[q,b] * T1[a,q,r,s]; }\n"
+      "T3[*,*,*,*] = 0;\n"
+      "for (a, b, c, s, r) { T3[a,b,c,s] += C2[r,c] * T2[a,b,r,s]; }\n"
+      "B[*,*,*,*] = 0;\n"
+      "for (a, b, c, d, s) { B[a,b,c,d] += C1[s,d] * T3[a,b,c,s]; }\n");
+  const double before = intermediate_bytes(p);
+  const Program fused = fuse_and_contract(p);
+  const double after = intermediate_bytes(fused);
+  EXPECT_LT(after, before / 2) << ir::to_text(fused);
+  // a is common to every step, so every intermediate loses at least the
+  // a dimension.
+  EXPECT_LT(fused.array("T2").rank(), 4);
+}
+
+TEST(Fusion, NoFusionWithoutIntermediateFlowByDefault) {
+  // Two nests writing different outputs share only input A: no fusion.
+  const Program p = ir::parse(
+      "range i = 4;\n"
+      "input A(i);\n"
+      "output B(i);\n"
+      "output C(i);\n"
+      "for (i) { B[i] += A[i]; }\n"
+      "for (i) { C[i] += A[i]; }\n");
+  const Program fused = fuse(p);
+  EXPECT_EQ(fused.roots().size(), 2u);
+
+  FusionOptions loose;
+  loose.require_intermediate_flow = false;
+  const Program fused_loose = fuse(p, loose);
+  // Without the profitability gate the two i loops share no flow arrays,
+  // all common indices are legal, and the nests merge.
+  EXPECT_EQ(fused_loose.roots().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Operation minimization (paper §2)
+
+ContractionSpec four_index_spec(std::int64_t n, std::int64_t v) {
+  ContractionSpec spec;
+  spec.inputs = {
+      {"C1", {"s", "d"}}, {"C2", {"r", "c"}}, {"C3", {"q", "b"}},
+      {"C4", {"p", "a"}}, {"A", {"p", "q", "r", "s"}},
+  };
+  spec.output = {"B", {"a", "b", "c", "d"}};
+  for (const char* x : {"p", "q", "r", "s"}) spec.ranges[x] = n;
+  for (const char* x : {"a", "b", "c", "d"}) spec.ranges[x] = v;
+  return spec;
+}
+
+TEST(OpMin, FourIndexReachesStagedComplexity) {
+  const auto spec = four_index_spec(100, 80);
+  const OpMinResult result = minimize_operations(spec);
+  ASSERT_EQ(result.steps.size(), 4u);
+  // Staged cost: V·N⁴ + V²N³ + V³N² + V⁴N.
+  const double n = 100, v = 80;
+  const double staged = v * n * n * n * n + v * v * n * n * n + v * v * v * n * n +
+                        v * v * v * v * n;
+  EXPECT_DOUBLE_EQ(result.total_flops, staged);
+  // Versus the naive eight-deep nest V⁴N⁴.
+  EXPECT_DOUBLE_EQ(naive_flops(spec), v * v * v * v * n * n * n * n);
+  EXPECT_LT(result.total_flops, naive_flops(spec) / 1e5);
+}
+
+TEST(OpMin, FirstStepContractsAWithC4) {
+  const auto spec = four_index_spec(100, 80);
+  const OpMinResult result = minimize_operations(spec);
+  // The cheapest first contraction pairs A with one transformation
+  // matrix (all four are symmetric in cost, ties broken by submask
+  // enumeration order).
+  const BinaryStep& first = result.steps.front();
+  EXPECT_TRUE(first.left == "A" || first.right == "A");
+  EXPECT_EQ(first.result.indices.size(), 4u);
+}
+
+TEST(OpMin, TwoTensorProblemIsSingleStep) {
+  ContractionSpec spec;
+  spec.inputs = {{"A", {"i", "k"}}, {"B", {"k", "j"}}};
+  spec.output = {"C", {"i", "j"}};
+  spec.ranges = {{"i", 10}, {"j", 20}, {"k", 30}};
+  const OpMinResult result = minimize_operations(spec);
+  ASSERT_EQ(result.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.total_flops, 10.0 * 20.0 * 30.0);
+}
+
+TEST(OpMin, MatrixChainOrdering) {
+  // (A·B)·C vs A·(B·C): ranges force the cheaper association.
+  ContractionSpec spec;
+  spec.inputs = {{"A", {"i", "k"}}, {"B", {"k", "l"}}, {"C", {"l", "j"}}};
+  spec.output = {"D", {"i", "j"}};
+  spec.ranges = {{"i", 2}, {"k", 100}, {"l", 100}, {"j", 2}};
+  const OpMinResult result = minimize_operations(spec);
+  // A·B first: 2·100·100 = 20000 then 2·100·2 = 400 → 20400.
+  // B·C first: 100·100·2 = 20000 then 2·100·2 = 400 → 20400. Tie.
+  EXPECT_DOUBLE_EQ(result.total_flops, 20'400);
+}
+
+TEST(OpMin, RejectsBadSpecs) {
+  ContractionSpec spec;
+  spec.inputs = {{"A", {"i"}}};
+  spec.output = {"B", {"i"}};
+  spec.ranges = {{"i", 4}};
+  EXPECT_THROW((void)minimize_operations(spec), oocs::Error);  // < 2 inputs
+
+  ContractionSpec dup;
+  dup.inputs = {{"A", {"i"}}, {"A", {"i"}}};
+  dup.output = {"B", {"i"}};
+  dup.ranges = {{"i", 4}};
+  EXPECT_THROW((void)minimize_operations(dup), SpecError);
+
+  ContractionSpec missing;
+  missing.inputs = {{"A", {"i"}}, {"B", {"j"}}};
+  missing.output = {"C", {"i", "j"}};
+  missing.ranges = {{"i", 4}};  // j missing
+  EXPECT_THROW((void)minimize_operations(missing), SpecError);
+}
+
+TEST(OpMin, ToProgramIsValidAndFusable) {
+  const auto spec = four_index_spec(8, 6);
+  const OpMinResult result = minimize_operations(spec);
+  const Program p = to_program(spec, result);
+  EXPECT_TRUE(p.finalized());
+  EXPECT_EQ(p.array("B").kind, ArrayKind::Output);
+  // 4 steps → 4 init + 4 update statements.
+  EXPECT_EQ(p.num_stmts(), 8);
+  // The generated program survives fusion + contraction.
+  const Program fused = fuse_and_contract(p);
+  EXPECT_LE(intermediate_bytes(fused), intermediate_bytes(p));
+}
+
+TEST(OpMin, ToProgramRoundTripsThroughDsl) {
+  const auto spec = four_index_spec(8, 6);
+  const OpMinResult result = minimize_operations(spec);
+  const Program p = to_program(spec, result);
+  const Program q = ir::parse(ir::to_dsl(p));
+  EXPECT_EQ(ir::to_dsl(q), ir::to_dsl(p));
+}
+
+}  // namespace
+}  // namespace oocs::trans

@@ -1,0 +1,198 @@
+// oocsc — the out-of-core synthesis compiler driver.
+//
+// Reads an abstract program in the oocs DSL and synthesizes concrete
+// out-of-core code for it.
+//
+//   oocsc FILE.oocs [options]
+//
+//   --memory BYTES      memory limit (accepts 2GB, 512MB, ...; default 2GB)
+//   --solver NAME       dlm | csa (default dlm)
+//   --seed N            solver seed (default 1)
+//   --read-block BYTES  minimum read block (default 2MB; 0 disables both)
+//   --write-block BYTES minimum write block (default 1MB)
+//   --seek-bytes N      seek-awareness refinement (default 0 = paper-pure)
+//   --fuse              run loop fusion + intermediate contraction first
+//   --ampl              print the generated AMPL model
+//   --placements        print the candidate placement table (Fig. 4a style)
+//   --tree              print abstract and tiled parse trees
+//   --run DIR           execute the plan on real files under DIR with
+//                       random inputs and verify against the in-core
+//                       reference (small programs only)
+//   --procs N           with --run: execute GA-style on N processes
+//
+// Exit status: 0 on success (and verification, with --run), 1 on error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ga/parallel.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+#include "solver/csa.hpp"
+#include "solver/dlm.hpp"
+#include "trans/fusion.hpp"
+#include "trans/tiled.hpp"
+
+namespace {
+
+using namespace oocs;
+
+struct Args {
+  std::string file;
+  core::SynthesisOptions options;
+  std::string solver = "dlm";
+  std::uint64_t seed = 1;
+  bool fuse = false;
+  bool ampl = false;
+  bool placements = false;
+  bool tree = false;
+  std::string run_dir;
+  int procs = 1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa] [--seed N]\n"
+               "       [--read-block BYTES] [--write-block BYTES] [--seek-bytes N]\n"
+               "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n",
+               argv0);
+  std::exit(1);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.options.memory_limit_bytes = std::int64_t{2} * kGiB;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--memory") == 0) {
+      args.options.memory_limit_bytes = parse_bytes(need_value(i));
+    } else if (std::strcmp(a, "--solver") == 0) {
+      args.solver = need_value(i);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      args.seed = static_cast<std::uint64_t>(std::stoull(need_value(i)));
+    } else if (std::strcmp(a, "--read-block") == 0) {
+      args.options.min_read_block_bytes = parse_bytes(need_value(i));
+      if (args.options.min_read_block_bytes == 0) args.options.enforce_block_constraints = false;
+    } else if (std::strcmp(a, "--write-block") == 0) {
+      args.options.min_write_block_bytes = parse_bytes(need_value(i));
+    } else if (std::strcmp(a, "--seek-bytes") == 0) {
+      args.options.seek_cost_bytes = static_cast<double>(parse_bytes(need_value(i)));
+    } else if (std::strcmp(a, "--fuse") == 0) {
+      args.fuse = true;
+    } else if (std::strcmp(a, "--ampl") == 0) {
+      args.ampl = true;
+    } else if (std::strcmp(a, "--placements") == 0) {
+      args.placements = true;
+    } else if (std::strcmp(a, "--tree") == 0) {
+      args.tree = true;
+    } else if (std::strcmp(a, "--run") == 0) {
+      args.run_dir = need_value(i);
+    } else if (std::strcmp(a, "--procs") == 0) {
+      args.procs = std::atoi(need_value(i));
+    } else if (a[0] == '-') {
+      usage(argv[0]);
+    } else if (args.file.empty()) {
+      args.file = a;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (args.file.empty()) usage(argv[0]);
+  return args;
+}
+
+int run(const Args& args) {
+  ir::Program program = ir::parse_file(args.file);
+  if (args.fuse) {
+    program = trans::fuse_and_contract(program);
+    std::printf("=== after fusion + contraction ===\n%s\n", ir::to_text(program).c_str());
+  }
+  if (args.tree) {
+    std::printf("=== parse tree ===\n%s\n", ir::tree_to_text(program).c_str());
+    const trans::TiledProgram tiled(program);
+    std::printf("=== tiled parse tree ===\n%s\n", trans::tree_to_text(tiled).c_str());
+  }
+
+  solver::DlmOptions dlm_options;
+  dlm_options.seed = args.seed;
+  solver::DlmSolver dlm(dlm_options);
+  solver::CsaOptions csa_options;
+  csa_options.seed = args.seed;
+  solver::CsaSolver csa(csa_options);
+  solver::Solver* engine = nullptr;
+  if (args.solver == "dlm") {
+    engine = &dlm;
+  } else if (args.solver == "csa") {
+    engine = &csa;
+  } else {
+    std::fprintf(stderr, "unknown solver '%s'\n", args.solver.c_str());
+    return 1;
+  }
+
+  const core::SynthesisResult result = core::synthesize(program, args.options, *engine);
+  if (args.placements) {
+    std::printf("=== candidate placements ===\n%s\n",
+                core::to_text(result.enumeration).c_str());
+  }
+  if (args.ampl) {
+    std::printf("=== AMPL model ===\n%s\n", result.ampl_model.c_str());
+  }
+  std::printf("=== decisions ===\n%s\n", result.decisions_to_text().c_str());
+  std::printf("=== concrete code ===\n%s\n", core::to_text(result.plan).c_str());
+  std::printf("predicted: %s disk traffic, %.0f I/O calls, %s buffers; codegen %.2f s\n",
+              format_bytes(result.predicted_disk_bytes).c_str(), result.predicted_io_calls,
+              format_bytes(result.memory_bytes).c_str(), result.codegen_seconds);
+
+  if (args.run_dir.empty()) return 0;
+
+  // Execute with deterministic random inputs and verify.
+  const rt::TensorMap inputs = rt::random_inputs(program, args.seed);
+  const rt::TensorMap reference = rt::run_in_core(program, inputs);
+  double worst = 0;
+  if (args.procs <= 1) {
+    const auto outputs = rt::run_posix(result.plan, inputs, args.run_dir);
+    for (const auto& [name, data] : outputs) {
+      worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
+    }
+  } else {
+    dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, args.run_dir);
+    for (const auto& [name, decl] : result.plan.program.arrays()) {
+      if (decl.kind != ir::ArrayKind::Input) continue;
+      dra::DiskArray& array = farm.array(name);
+      array.write(dra::Section::whole(array.extents()), inputs.at(name));
+    }
+    (void)ga::run_threads(result.plan, farm, args.procs);
+    for (const auto& [name, decl] : result.plan.program.arrays()) {
+      if (decl.kind != ir::ArrayKind::Output) continue;
+      dra::DiskArray& array = farm.array(name);
+      std::vector<double> data(static_cast<std::size_t>(array.elements()));
+      array.read(dra::Section::whole(array.extents()), data);
+      worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
+    }
+  }
+  std::printf("run (%d proc%s): max |output - reference| = %.3g → %s\n", args.procs,
+              args.procs == 1 ? "" : "s", worst, worst < 1e-9 ? "OK" : "MISMATCH");
+  return worst < 1e-9 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const oocs::Error& e) {
+    std::fprintf(stderr, "oocsc: %s\n", e.what());
+    return 1;
+  }
+}
