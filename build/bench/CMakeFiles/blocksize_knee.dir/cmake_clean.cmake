@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksize_knee.dir/blocksize_knee.cpp.o"
+  "CMakeFiles/blocksize_knee.dir/blocksize_knee.cpp.o.d"
+  "blocksize_knee"
+  "blocksize_knee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksize_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fusion.dir/fig1_fusion.cpp.o"
+  "CMakeFiles/fig1_fusion.dir/fig1_fusion.cpp.o.d"
+  "fig1_fusion"
+  "fig1_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fig3_trees.dir/fig2_fig3_trees.cpp.o"
+  "CMakeFiles/fig2_fig3_trees.dir/fig2_fig3_trees.cpp.o.d"
+  "fig2_fig3_trees"
+  "fig2_fig3_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fig3_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

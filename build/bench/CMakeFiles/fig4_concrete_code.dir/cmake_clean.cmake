@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_concrete_code.dir/fig4_concrete_code.cpp.o"
+  "CMakeFiles/fig4_concrete_code.dir/fig4_concrete_code.cpp.o.d"
+  "fig4_concrete_code"
+  "fig4_concrete_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_concrete_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sequential_io.dir/table3_sequential_io.cpp.o"
+  "CMakeFiles/table3_sequential_io.dir/table3_sequential_io.cpp.o.d"
+  "table3_sequential_io"
+  "table3_sequential_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sequential_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

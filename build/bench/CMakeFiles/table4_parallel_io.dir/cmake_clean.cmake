@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_parallel_io.dir/table4_parallel_io.cpp.o"
+  "CMakeFiles/table4_parallel_io.dir/table4_parallel_io.cpp.o.d"
+  "table4_parallel_io"
+  "table4_parallel_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_parallel_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

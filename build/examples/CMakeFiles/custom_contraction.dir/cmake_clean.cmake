@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_contraction.dir/custom_contraction.cpp.o"
+  "CMakeFiles/custom_contraction.dir/custom_contraction.cpp.o.d"
+  "custom_contraction"
+  "custom_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

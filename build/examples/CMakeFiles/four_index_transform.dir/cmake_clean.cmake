@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_index_transform.dir/four_index_transform.cpp.o"
+  "CMakeFiles/four_index_transform.dir/four_index_transform.cpp.o.d"
+  "four_index_transform"
+  "four_index_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_index_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_index_transform.dir/two_index_transform.cpp.o"
+  "CMakeFiles/two_index_transform.dir/two_index_transform.cpp.o.d"
+  "two_index_transform"
+  "two_index_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_index_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_baseline.dir/uniform_sampling.cpp.o"
+  "CMakeFiles/oocs_baseline.dir/uniform_sampling.cpp.o.d"
+  "liboocs_baseline.a"
+  "liboocs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_common.dir/bytes.cpp.o"
+  "CMakeFiles/oocs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/oocs_common.dir/error.cpp.o"
+  "CMakeFiles/oocs_common.dir/error.cpp.o.d"
+  "CMakeFiles/oocs_common.dir/log.cpp.o"
+  "CMakeFiles/oocs_common.dir/log.cpp.o.d"
+  "CMakeFiles/oocs_common.dir/strings.cpp.o"
+  "CMakeFiles/oocs_common.dir/strings.cpp.o.d"
+  "liboocs_common.a"
+  "liboocs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

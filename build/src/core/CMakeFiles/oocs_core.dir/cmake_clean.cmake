@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_core.dir/access.cpp.o"
+  "CMakeFiles/oocs_core.dir/access.cpp.o.d"
+  "CMakeFiles/oocs_core.dir/greedy.cpp.o"
+  "CMakeFiles/oocs_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/oocs_core.dir/nlp.cpp.o"
+  "CMakeFiles/oocs_core.dir/nlp.cpp.o.d"
+  "CMakeFiles/oocs_core.dir/plan.cpp.o"
+  "CMakeFiles/oocs_core.dir/plan.cpp.o.d"
+  "CMakeFiles/oocs_core.dir/predict.cpp.o"
+  "CMakeFiles/oocs_core.dir/predict.cpp.o.d"
+  "CMakeFiles/oocs_core.dir/synthesize.cpp.o"
+  "CMakeFiles/oocs_core.dir/synthesize.cpp.o.d"
+  "liboocs_core.a"
+  "liboocs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

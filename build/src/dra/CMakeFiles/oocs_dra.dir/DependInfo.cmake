@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dra/disk_array.cpp" "src/dra/CMakeFiles/oocs_dra.dir/disk_array.cpp.o" "gcc" "src/dra/CMakeFiles/oocs_dra.dir/disk_array.cpp.o.d"
+  "/root/repo/src/dra/farm.cpp" "src/dra/CMakeFiles/oocs_dra.dir/farm.cpp.o" "gcc" "src/dra/CMakeFiles/oocs_dra.dir/farm.cpp.o.d"
+  "/root/repo/src/dra/transpose.cpp" "src/dra/CMakeFiles/oocs_dra.dir/transpose.cpp.o" "gcc" "src/dra/CMakeFiles/oocs_dra.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/oocs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

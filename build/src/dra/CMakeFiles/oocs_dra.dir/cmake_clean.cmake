@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_dra.dir/disk_array.cpp.o"
+  "CMakeFiles/oocs_dra.dir/disk_array.cpp.o.d"
+  "CMakeFiles/oocs_dra.dir/farm.cpp.o"
+  "CMakeFiles/oocs_dra.dir/farm.cpp.o.d"
+  "CMakeFiles/oocs_dra.dir/transpose.cpp.o"
+  "CMakeFiles/oocs_dra.dir/transpose.cpp.o.d"
+  "liboocs_dra.a"
+  "liboocs_dra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_dra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

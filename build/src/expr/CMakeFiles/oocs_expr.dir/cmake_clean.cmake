@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_expr.dir/compiled.cpp.o"
+  "CMakeFiles/oocs_expr.dir/compiled.cpp.o.d"
+  "CMakeFiles/oocs_expr.dir/expr.cpp.o"
+  "CMakeFiles/oocs_expr.dir/expr.cpp.o.d"
+  "liboocs_expr.a"
+  "liboocs_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboocs_expr.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_ga.dir/parallel.cpp.o"
+  "CMakeFiles/oocs_ga.dir/parallel.cpp.o.d"
+  "liboocs_ga.a"
+  "liboocs_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_ir.dir/examples.cpp.o"
+  "CMakeFiles/oocs_ir.dir/examples.cpp.o.d"
+  "CMakeFiles/oocs_ir.dir/parser.cpp.o"
+  "CMakeFiles/oocs_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/oocs_ir.dir/printer.cpp.o"
+  "CMakeFiles/oocs_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/oocs_ir.dir/program.cpp.o"
+  "CMakeFiles/oocs_ir.dir/program.cpp.o.d"
+  "CMakeFiles/oocs_ir.dir/types.cpp.o"
+  "CMakeFiles/oocs_ir.dir/types.cpp.o.d"
+  "liboocs_ir.a"
+  "liboocs_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_rt.dir/dispatch.cpp.o"
+  "CMakeFiles/oocs_rt.dir/dispatch.cpp.o.d"
+  "CMakeFiles/oocs_rt.dir/interpreter.cpp.o"
+  "CMakeFiles/oocs_rt.dir/interpreter.cpp.o.d"
+  "CMakeFiles/oocs_rt.dir/kernels.cpp.o"
+  "CMakeFiles/oocs_rt.dir/kernels.cpp.o.d"
+  "CMakeFiles/oocs_rt.dir/reference.cpp.o"
+  "CMakeFiles/oocs_rt.dir/reference.cpp.o.d"
+  "liboocs_rt.a"
+  "liboocs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

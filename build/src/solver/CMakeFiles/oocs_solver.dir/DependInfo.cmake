@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/ampl.cpp" "src/solver/CMakeFiles/oocs_solver.dir/ampl.cpp.o" "gcc" "src/solver/CMakeFiles/oocs_solver.dir/ampl.cpp.o.d"
+  "/root/repo/src/solver/compiled_problem.cpp" "src/solver/CMakeFiles/oocs_solver.dir/compiled_problem.cpp.o" "gcc" "src/solver/CMakeFiles/oocs_solver.dir/compiled_problem.cpp.o.d"
+  "/root/repo/src/solver/csa.cpp" "src/solver/CMakeFiles/oocs_solver.dir/csa.cpp.o" "gcc" "src/solver/CMakeFiles/oocs_solver.dir/csa.cpp.o.d"
+  "/root/repo/src/solver/dlm.cpp" "src/solver/CMakeFiles/oocs_solver.dir/dlm.cpp.o" "gcc" "src/solver/CMakeFiles/oocs_solver.dir/dlm.cpp.o.d"
+  "/root/repo/src/solver/exhaustive.cpp" "src/solver/CMakeFiles/oocs_solver.dir/exhaustive.cpp.o" "gcc" "src/solver/CMakeFiles/oocs_solver.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/solver/problem.cpp" "src/solver/CMakeFiles/oocs_solver.dir/problem.cpp.o" "gcc" "src/solver/CMakeFiles/oocs_solver.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/oocs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

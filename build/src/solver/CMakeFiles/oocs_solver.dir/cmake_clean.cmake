@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_solver.dir/ampl.cpp.o"
+  "CMakeFiles/oocs_solver.dir/ampl.cpp.o.d"
+  "CMakeFiles/oocs_solver.dir/compiled_problem.cpp.o"
+  "CMakeFiles/oocs_solver.dir/compiled_problem.cpp.o.d"
+  "CMakeFiles/oocs_solver.dir/csa.cpp.o"
+  "CMakeFiles/oocs_solver.dir/csa.cpp.o.d"
+  "CMakeFiles/oocs_solver.dir/dlm.cpp.o"
+  "CMakeFiles/oocs_solver.dir/dlm.cpp.o.d"
+  "CMakeFiles/oocs_solver.dir/exhaustive.cpp.o"
+  "CMakeFiles/oocs_solver.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/oocs_solver.dir/problem.cpp.o"
+  "CMakeFiles/oocs_solver.dir/problem.cpp.o.d"
+  "liboocs_solver.a"
+  "liboocs_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

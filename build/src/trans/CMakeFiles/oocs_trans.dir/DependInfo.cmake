@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trans/fusion.cpp" "src/trans/CMakeFiles/oocs_trans.dir/fusion.cpp.o" "gcc" "src/trans/CMakeFiles/oocs_trans.dir/fusion.cpp.o.d"
+  "/root/repo/src/trans/opmin.cpp" "src/trans/CMakeFiles/oocs_trans.dir/opmin.cpp.o" "gcc" "src/trans/CMakeFiles/oocs_trans.dir/opmin.cpp.o.d"
+  "/root/repo/src/trans/tiled.cpp" "src/trans/CMakeFiles/oocs_trans.dir/tiled.cpp.o" "gcc" "src/trans/CMakeFiles/oocs_trans.dir/tiled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/oocs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

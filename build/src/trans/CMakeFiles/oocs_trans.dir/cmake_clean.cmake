@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocs_trans.dir/fusion.cpp.o"
+  "CMakeFiles/oocs_trans.dir/fusion.cpp.o.d"
+  "CMakeFiles/oocs_trans.dir/opmin.cpp.o"
+  "CMakeFiles/oocs_trans.dir/opmin.cpp.o.d"
+  "CMakeFiles/oocs_trans.dir/tiled.cpp.o"
+  "CMakeFiles/oocs_trans.dir/tiled.cpp.o.d"
+  "liboocs_trans.a"
+  "liboocs_trans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocs_trans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

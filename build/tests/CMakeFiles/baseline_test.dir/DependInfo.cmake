@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_test.dir/baseline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/oocs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/oocs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/oocs_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oocs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/oocs_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trans/CMakeFiles/oocs_trans.dir/DependInfo.cmake"
+  "/root/repo/build/src/dra/CMakeFiles/oocs_dra.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/oocs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dra_test.dir/dra_test.cpp.o"
+  "CMakeFiles/dra_test.dir/dra_test.cpp.o.d"
+  "dra_test"
+  "dra_test.pdb"
+  "dra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

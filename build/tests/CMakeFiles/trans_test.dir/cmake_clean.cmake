@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trans_test.dir/trans_test.cpp.o"
+  "CMakeFiles/trans_test.dir/trans_test.cpp.o.d"
+  "trans_test"
+  "trans_test.pdb"
+  "trans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocsc.dir/oocsc.cpp.o"
+  "CMakeFiles/oocsc.dir/oocsc.cpp.o.d"
+  "oocsc"
+  "oocsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
