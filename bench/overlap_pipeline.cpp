@@ -1,0 +1,144 @@
+// Overlap pipeline benchmark: what the asynchronous I/O engine buys.
+//
+// Sim farm (paper scale, four-index transform): a dry-run execution of
+// the DCS-synthesized plan yields per-stage modeled disk seconds and
+// an analytical per-stage compute estimate.  A blocking runtime pays
+// io + compute per stage; the double-buffered async runtime pays
+// max(io, compute).  The bench prints both models and the ideal bound
+// Σ max(io, compute), and checks async < sync and async within 10% of
+// the bound.
+//
+// POSIX farm (small scale, --real): executes the same plan twice for
+// real — blocking and async — verifying bit-identical outputs and
+// equal I/O volume, and reporting the engine's busy/stall seconds and
+// queue-depth high-water mark.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ir/examples.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+
+using namespace oocs;
+
+namespace {
+
+struct Modeled {
+  double sync_seconds = 0;     // Σ per-stage (io + compute)
+  double async_seconds = 0;    // Σ per-stage max(io, compute)
+  double ideal_bound = 0;      // same quantity from the stage table
+  int stages = 0;
+};
+
+Modeled model_overlap(const core::OocPlan& plan) {
+  dra::DiskFarm farm = dra::DiskFarm::sim(plan.program, bench::paper_disk_model());
+  rt::ExecOptions exec;
+  exec.dry_run = true;
+  rt::PlanInterpreter interpreter(plan, farm, exec);
+  const rt::ExecStats stats = interpreter.run();
+
+  Modeled m;
+  m.sync_seconds = stats.modeled_serial_seconds;
+  m.async_seconds = stats.modeled_overlap_seconds;
+  m.stages = static_cast<int>(stats.stages.size());
+  for (const rt::StageStats& stage : stats.stages) {
+    m.ideal_bound += std::max(stage.io.seconds, stage.compute_seconds);
+  }
+  return m;
+}
+
+int real_comparison(std::uint64_t seed) {
+  std::printf("\n=== POSIX farm: blocking vs async, for real ===\n");
+  const ir::Program program = ir::examples::four_index(24, 20);
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = 96 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver = bench::paper_dcs_solver();
+  const core::SynthesisResult result = core::synthesize(program, options, solver);
+
+  const rt::TensorMap inputs = rt::random_inputs(program, seed);
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_overlap_bench";
+  std::filesystem::remove_all(dir);
+
+  rt::ExecStats sync_stats;
+  const auto sync_out =
+      rt::run_posix(result.plan, inputs, (dir / "sync").string(), &sync_stats);
+
+  rt::ExecStats async_stats;
+  rt::ExecOptions async_exec;
+  async_exec.async_io = true;
+  const auto async_out = rt::run_posix(result.plan, inputs, (dir / "async").string(),
+                                       &async_stats, async_exec);
+
+  bool identical = sync_out.size() == async_out.size();
+  for (const auto& [name, data] : sync_out) {
+    const auto it = async_out.find(name);
+    identical = identical && it != async_out.end() && data.size() == it->second.size() &&
+                std::memcmp(data.data(), it->second.data(), data.size() * sizeof(double)) == 0;
+  }
+  const bool same_volume =
+      sync_stats.io.bytes_read == async_stats.io.bytes_read &&
+      sync_stats.io.bytes_written == async_stats.io.bytes_written;
+
+  std::printf("  blocking: %.3f s wall, %" PRId64 " bytes moved\n", sync_stats.wall_seconds,
+              sync_stats.io.bytes_read + sync_stats.io.bytes_written);
+  std::printf("  async:    %.3f s wall, %" PRId64 " bytes moved, workers busy %.3f s, "
+              "stalled %.3f s, queue hwm %" PRId64 "\n",
+              async_stats.wall_seconds,
+              async_stats.io.bytes_read + async_stats.io.bytes_written,
+              async_stats.busy_seconds, async_stats.stall_seconds,
+              async_stats.queue_depth_hwm);
+  std::printf("  outputs bit-identical: %s; I/O volume identical: %s\n",
+              identical ? "yes" : "NO", same_volume ? "yes" : "NO");
+  std::filesystem::remove_all(dir);
+  return identical && same_volume ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const bool real = bench::has_flag(argc, argv, "--real");
+
+  std::printf("=== Overlap pipeline: blocking vs async out-of-core execution ===\n\n");
+  bench::print_table1_model();
+
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = std::int64_t{2} * kGiB;
+  options.seek_cost_bytes = bench::seek_cost_bytes();
+
+  bench::rule('=');
+  std::printf("%-22s %8s | %12s %12s %12s | %8s\n", "four-index (p,q)", "stages", "sync(s)",
+              "async(s)", "bound(s)", "speedup");
+  bench::rule('=');
+
+  int status = 0;
+  for (const auto& [n, v] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {140, 120}, {190, 180}}) {
+    if (quick && n > 140) break;
+    const ir::Program program = ir::examples::four_index(n, v);
+    solver::DlmSolver dcs = bench::paper_dcs_solver();
+    const core::SynthesisResult result = core::synthesize(program, options, dcs);
+    const Modeled m = model_overlap(result.plan);
+
+    std::printf("%-12" PRId64 " %-9" PRId64 " %8d | %12.1f %12.1f %12.1f | %7.2fx\n", n, v,
+                m.stages, m.sync_seconds, m.async_seconds, m.ideal_bound,
+                m.sync_seconds / m.async_seconds);
+    if (!(m.async_seconds < m.sync_seconds) ||
+        std::abs(m.async_seconds - m.ideal_bound) > 0.10 * m.ideal_bound) {
+      status = 1;
+    }
+  }
+  bench::rule('=');
+  std::printf("\nShape: async (double-buffered prefetch + write-behind) is strictly faster\n"
+              "than blocking I/O and sits on the per-stage max(io, compute) bound.\n");
+
+  if (real) status |= real_comparison(/*seed=*/17);
+  return status;
+}

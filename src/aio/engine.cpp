@@ -1,0 +1,204 @@
+#include "aio/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace oocs::aio {
+
+/// Stall/error state that must outlive the Engine (Tokens may be waited
+/// on after the engine is gone).
+struct Engine::Shared {
+  std::mutex mutex;
+  double stall_seconds = 0;
+  std::exception_ptr first_error;
+};
+
+struct Token::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+  std::shared_ptr<Engine::Shared> shared;
+};
+
+void Token::wait() {
+  if (!state_) return;
+  double stalled = 0;
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(state_->mutex);
+    if (!state_->done) {
+      Stopwatch timer;
+      state_->cv.wait(lock, [&] { return state_->done; });
+      stalled = timer.seconds();
+    }
+    error = state_->error;
+  }
+  if (stalled > 0 && state_->shared) {
+    const std::scoped_lock lock(state_->shared->mutex);
+    state_->shared->stall_seconds += stalled;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool Token::done() const {
+  if (!state_) return true;
+  const std::scoped_lock lock(state_->mutex);
+  return state_->done;
+}
+
+Engine::Engine(EngineOptions options) : shared_(std::make_shared<Shared>()) {
+  OOCS_REQUIRE(options.num_workers >= 1, "aio engine needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(options.num_workers));
+  for (int w = 0; w < options.num_workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  try {
+    drain();
+  } catch (...) {
+    // Destruction must not throw; drain() callers see the error first.
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Token Engine::read(dra::DiskArray& array, dra::Section section, std::span<double> out) {
+  return enqueue(OpKind::Read, array, std::move(section), out, {});
+}
+
+Token Engine::write(dra::DiskArray& array, dra::Section section, std::vector<double> data) {
+  return enqueue(OpKind::Write, array, std::move(section), {}, std::move(data));
+}
+
+Token Engine::accumulate(dra::DiskArray& array, dra::Section section,
+                         std::vector<double> data) {
+  return enqueue(OpKind::Accumulate, array, std::move(section), {}, std::move(data));
+}
+
+Token Engine::enqueue(OpKind kind, dra::DiskArray& array, dra::Section section,
+                      std::span<double> out, std::vector<double> data) {
+  auto state = std::make_shared<Token::State>();
+  state->shared = shared_;
+  Request request;
+  request.kind = kind;
+  request.array = &array;
+  request.section = std::move(section);
+  request.out = out;
+  request.data = std::move(data);
+  request.state = state;
+  {
+    const std::scoped_lock lock(mutex_);
+    ArrayQueue& queue = queues_[&array];
+    const bool was_idle = queue.pending.empty() && !queue.in_flight;
+    queue.pending.push_back(std::move(request));
+    ++pending_;
+    ++stats_.requests;
+    stats_.queue_depth_hwm = std::max(stats_.queue_depth_hwm, pending_);
+    if (was_idle) {
+      ready_.push_back(&array);
+      work_cv_.notify_one();
+    }
+  }
+  Token token;
+  token.state_ = std::move(state);
+  return token;
+}
+
+void Engine::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+    if (ready_.empty()) return;  // stop_ and nothing left to do
+
+    dra::DiskArray* array = ready_.front();
+    ready_.pop_front();
+    ArrayQueue& queue = queues_[array];
+    Request request = std::move(queue.pending.front());
+    queue.pending.pop_front();
+    queue.in_flight = true;
+    lock.unlock();
+
+    std::exception_ptr error;
+    Stopwatch timer;
+    try {
+      switch (request.kind) {
+        case OpKind::Read:
+          request.array->read(request.section, request.out);
+          break;
+        case OpKind::Write:
+          request.array->write(request.section, request.data);
+          break;
+        case OpKind::Accumulate:
+          request.array->accumulate(request.section, request.data);
+          break;
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double busy = timer.seconds();
+
+    if (error) {
+      const std::scoped_lock slock(shared_->mutex);
+      if (!shared_->first_error) shared_->first_error = error;
+    }
+    {
+      const std::scoped_lock tlock(request.state->mutex);
+      request.state->error = error;
+      request.state->done = true;
+    }
+    request.state->cv.notify_all();
+
+    lock.lock();
+    stats_.busy_seconds += busy;
+    ArrayQueue& done_queue = queues_[request.array];
+    done_queue.in_flight = false;
+    if (!done_queue.pending.empty()) {
+      ready_.push_back(request.array);
+      work_cv_.notify_one();
+    }
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void Engine::drain() {
+  double stalled = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (pending_ > 0) {
+      Stopwatch timer;
+      idle_cv_.wait(lock, [&] { return pending_ == 0; });
+      stalled = timer.seconds();
+    }
+  }
+  std::exception_ptr error;
+  {
+    const std::scoped_lock lock(shared_->mutex);
+    shared_->stall_seconds += stalled;
+    error = shared_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out = stats_;
+  }
+  {
+    const std::scoped_lock lock(shared_->mutex);
+    out.stall_seconds = shared_->stall_seconds;
+  }
+  return out;
+}
+
+}  // namespace oocs::aio

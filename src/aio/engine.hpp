@@ -1,0 +1,145 @@
+// Asynchronous disk I/O engine: prefetch / write-behind over DiskArray.
+//
+// The synchronous runtime serializes every DiskArray::read/write with
+// compute, so wall time is io + compute.  Double-buffered out-of-core
+// codes (the GA/DRA substrate the paper targets has nonblocking
+// NDRA_Read/Write) achieve max(io, compute) instead.  The Engine is the
+// substrate for that: callers enqueue section reads, writes and
+// accumulates and get back completion Tokens; a pool of background
+// workers drains the requests while the caller computes.
+//
+// Hazard rules (see docs/ASYNC_IO.md):
+//   * Requests against the SAME DiskArray execute strictly in enqueue
+//     order (one per-array FIFO queue, at most one in flight per array).
+//     This conservatively serializes every RAW/WAR/WAW pair on
+//     overlapping sections of one array without section intersection
+//     tests.
+//   * Requests against DIFFERENT arrays may run concurrently in any
+//     order; the runtime must not rely on cross-array ordering.
+//   * Write/accumulate requests own a copy of their data, so the caller
+//     may immediately reuse (WAR) the staging buffer it enqueued from.
+//   * Read requests fill caller-owned memory; the caller must not touch
+//     that memory until the Token completes.
+//
+// Errors thrown by the backend (IoError etc.) are captured into the
+// request's Token — Token::wait() rethrows — and the first failure is
+// also latched engine-wide so drain() surfaces errors of fire-and-forget
+// write-behind requests.  The destructor drains (swallowing errors) and
+// joins the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dra/disk_array.hpp"
+
+namespace oocs::aio {
+
+struct EngineOptions {
+  /// Background worker threads.  Two suffice to overlap one read-ahead
+  /// stream with one write-behind stream; more helps many-array plans.
+  int num_workers = 2;
+};
+
+struct EngineStats {
+  /// Summed wall seconds the workers spent executing requests (core
+  /// seconds: two fully busy workers accrue 2 s per wall second).
+  double busy_seconds = 0;
+  /// Wall seconds callers spent blocked in Token::wait() / drain().
+  double stall_seconds = 0;
+  std::int64_t requests = 0;
+  /// High-water mark of requests pending (queued + in flight).
+  std::int64_t queue_depth_hwm = 0;
+};
+
+/// Completion token for one enqueued request.  Default-constructed
+/// tokens are valid and already complete.
+class Token {
+ public:
+  Token() = default;
+
+  /// Blocks until the request completes; rethrows its error, if any.
+  /// Idempotent.  Time spent blocked is charged to stall_seconds.
+  void wait();
+
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend class Engine;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Drains outstanding requests (errors are swallowed — call drain()
+  /// first if you care) and joins the workers.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Read-ahead: fill `out` from `section` of `array`.  `out` must stay
+  /// alive and untouched until the token completes.
+  Token read(dra::DiskArray& array, dra::Section section, std::span<double> out);
+
+  /// Write-behind: flush `data` (owned by the request) to `section`.
+  Token write(dra::DiskArray& array, dra::Section section, std::vector<double> data);
+
+  /// Write-behind accumulate (GA-style atomic read-add-write).
+  Token accumulate(dra::DiskArray& array, dra::Section section, std::vector<double> data);
+
+  /// Blocks until every enqueued request has completed, then rethrows
+  /// the first error encountered since construction (sticky).
+  void drain();
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  friend class Token;  // Token::State holds a ref to Engine::Shared
+
+  enum class OpKind { Read, Write, Accumulate };
+
+  struct Request {
+    OpKind kind = OpKind::Read;
+    dra::DiskArray* array = nullptr;
+    dra::Section section;
+    std::span<double> out;      // Read
+    std::vector<double> data;   // Write / Accumulate (owned)
+    std::shared_ptr<Token::State> state;
+  };
+
+  /// FIFO of requests against one array; at most one in flight.
+  struct ArrayQueue {
+    std::deque<Request> pending;
+    bool in_flight = false;
+  };
+
+  Token enqueue(OpKind kind, dra::DiskArray& array, dra::Section section,
+                std::span<double> out, std::vector<double> data);
+  void worker_loop();
+
+  struct Shared;                     // stall/error state shared with Tokens
+  std::shared_ptr<Shared> shared_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: ready queue non-empty / stop
+  std::condition_variable idle_cv_;  // drain(): pending dropped to zero
+  std::map<dra::DiskArray*, ArrayQueue> queues_;
+  std::deque<dra::DiskArray*> ready_;
+  std::int64_t pending_ = 0;
+  bool stop_ = false;
+  EngineStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace oocs::aio

@@ -1,5 +1,7 @@
 #include "core/predict.hpp"
 
+#include <algorithm>
+
 namespace oocs::core {
 
 double PredictedIo::seconds(double seek_seconds, double read_bw, double write_bw,
@@ -7,6 +9,31 @@ double PredictedIo::seconds(double seek_seconds, double read_bw, double write_bw
   const double p = static_cast<double>(procs);
   return total_calls() * seek_seconds + read_bytes / (p * read_bw) +
          write_bytes / (p * write_bw);
+}
+
+double PredictedIo::serial_seconds(double seek_seconds, double read_bw, double write_bw,
+                                   double compute_seconds, int procs) const {
+  return seconds(seek_seconds, read_bw, write_bw, procs) + compute_seconds;
+}
+
+double PredictedIo::overlapped_seconds(double seek_seconds, double read_bw, double write_bw,
+                                       double compute_seconds, int procs) const {
+  return std::max(seconds(seek_seconds, read_bw, write_bw, procs), compute_seconds);
+}
+
+double predict_flops(const ir::Program& program) {
+  double total = 0;
+  const std::function<void(const ir::Node&, double)> visit = [&](const ir::Node& node,
+                                                                 double space) {
+    if (node.kind == ir::Node::Kind::Stmt) {
+      if (node.stmt.kind == ir::StmtKind::Update) total += 2 * space;
+      return;
+    }
+    const double extent = static_cast<double>(program.range(node.index));
+    for (const auto& child : node.children) visit(*child, space * extent);
+  };
+  for (const auto& root : program.roots()) visit(*root, 1);
+  return total;
 }
 
 PredictedIo predict_io(const ir::Program& program, const Enumeration& enumeration,

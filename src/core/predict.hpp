@@ -25,11 +25,28 @@ struct PredictedIo {
   /// collective parallel model).
   [[nodiscard]] double seconds(double seek_seconds, double read_bw, double write_bw,
                                int procs = 1) const;
+
+  /// Non-overlapped end-to-end prediction: disk time plus compute time.
+  [[nodiscard]] double serial_seconds(double seek_seconds, double read_bw, double write_bw,
+                                      double compute_seconds, int procs = 1) const;
+
+  /// Overlapped end-to-end prediction for a double-buffered runtime
+  /// (async prefetch / write-behind): whichever of disk and compute
+  /// dominates.  This is the aggregate bound; the executed model
+  /// (rt::ExecStats::modeled_overlap_seconds) refines it per stage.
+  [[nodiscard]] double overlapped_seconds(double seek_seconds, double read_bw, double write_bw,
+                                          double compute_seconds, int procs = 1) const;
 };
 
 /// Evaluates the chosen options of `decisions` over `enumeration`.
 [[nodiscard]] PredictedIo predict_io(const ir::Program& program,
                                      const Enumeration& enumeration,
                                      const Decisions& decisions);
+
+/// Analytical flop count of the abstract program: 2 flops per point of
+/// every update statement's full index space (init statements are
+/// free).  Placement/tiling do not change it — compute volume is
+/// invariant under the synthesis, only I/O volume moves.
+[[nodiscard]] double predict_flops(const ir::Program& program);
 
 }  // namespace oocs::core

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -20,6 +21,25 @@ void IoStats::merge(const IoStats& other) noexcept {
   write_calls += other.write_calls;
   seconds += other.seconds;
 }
+
+IoStats IoStats::since(const IoStats& earlier) const noexcept {
+  IoStats delta;
+  delta.bytes_read = bytes_read - earlier.bytes_read;
+  delta.bytes_written = bytes_written - earlier.bytes_written;
+  delta.read_calls = read_calls - earlier.read_calls;
+  delta.write_calls = write_calls - earlier.write_calls;
+  delta.seconds = seconds - earlier.seconds;
+  return delta;
+}
+
+namespace {
+/// Monotonic wall clock shared by every array so busy intervals from
+/// different threads live on one axis.
+double epoch_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch).count();
+}
+}  // namespace
 
 std::int64_t Section::elements() const noexcept {
   std::int64_t count = 1;
@@ -61,24 +81,49 @@ void DiskArray::check_section(const Section& section, std::size_t span_size,
   }
 }
 
+double DiskArray::cost_seconds(std::int64_t, bool) const { return 0; }
+
+void DiskArray::add_busy_interval(double t0, double t1) noexcept {
+  // Intervals are recorded in completion order under mutex_, so the
+  // union reduces to "time past the furthest busy end seen so far":
+  // fully contained intervals add nothing, overlapping ones add their
+  // uncovered tail.
+  stats_.seconds += std::max(0.0, t1 - std::max(t0, busy_until_));
+  busy_until_ = std::max(busy_until_, t1);
+}
+
 void DiskArray::read(const Section& section, std::span<double> out) {
   check_section(section, out.size(), stores_data());
+  const bool wall_timed = stores_data();
+  const double t0 = wall_timed ? epoch_seconds() : 0;
   do_read(section, out);
+  const double t1 = wall_timed ? epoch_seconds() : 0;
   const std::int64_t bytes = section.elements() * 8;
   const std::scoped_lock lock(mutex_);
   stats_.bytes_read += bytes;
   stats_.read_calls += 1;
-  stats_.seconds += cost_seconds(bytes, /*is_write=*/false);
+  if (wall_timed) {
+    add_busy_interval(t0, t1);
+  } else {
+    stats_.seconds += cost_seconds(bytes, /*is_write=*/false);
+  }
 }
 
 void DiskArray::write(const Section& section, std::span<const double> data) {
   check_section(section, data.size(), stores_data());
+  const bool wall_timed = stores_data();
+  const double t0 = wall_timed ? epoch_seconds() : 0;
   do_write(section, data);
+  const double t1 = wall_timed ? epoch_seconds() : 0;
   const std::int64_t bytes = section.elements() * 8;
   const std::scoped_lock lock(mutex_);
   stats_.bytes_written += bytes;
   stats_.write_calls += 1;
-  stats_.seconds += cost_seconds(bytes, /*is_write=*/true);
+  if (wall_timed) {
+    add_busy_interval(t0, t1);
+  } else {
+    stats_.seconds += cost_seconds(bytes, /*is_write=*/true);
+  }
 }
 
 void DiskArray::accumulate(const Section& section, std::span<const double> data) {
@@ -177,7 +222,6 @@ void PosixDiskArray::for_each_run(const Section& section, Fn&& fn) const {
 }
 
 void PosixDiskArray::do_read(const Section& section, std::span<double> out) {
-  const auto start = std::chrono::steady_clock::now();
   for_each_run(section, [&](std::int64_t file_off, std::int64_t run, std::int64_t buf_off) {
     const ssize_t want = static_cast<ssize_t>(run * 8);
     const ssize_t got = ::pread(fd_, out.data() + buf_off, static_cast<std::size_t>(want),
@@ -187,12 +231,9 @@ void PosixDiskArray::do_read(const Section& section, std::span<double> out) {
                     std::to_string(want) + " bytes");
     }
   });
-  wall_read_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                           .count();
 }
 
 void PosixDiskArray::do_write(const Section& section, std::span<const double> data) {
-  const auto start = std::chrono::steady_clock::now();
   for_each_run(section, [&](std::int64_t file_off, std::int64_t run, std::int64_t buf_off) {
     const ssize_t want = static_cast<ssize_t>(run * 8);
     const ssize_t put = ::pwrite(fd_, data.data() + buf_off, static_cast<std::size_t>(want),
@@ -202,12 +243,6 @@ void PosixDiskArray::do_write(const Section& section, std::span<const double> da
                     std::to_string(want) + " bytes");
     }
   });
-  wall_write_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                            .count();
-}
-
-double PosixDiskArray::cost_seconds(std::int64_t, bool is_write) const {
-  return is_write ? wall_write_seconds_ : wall_read_seconds_;
 }
 
 // ---------------------------------------------------------------------

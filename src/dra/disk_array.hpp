@@ -39,10 +39,16 @@ struct IoStats {
   std::int64_t bytes_written = 0;
   std::int64_t read_calls = 0;
   std::int64_t write_calls = 0;
-  /// Disk seconds: modeled (Sim) or measured wall clock (POSIX).
+  /// Disk seconds: modeled (Sim) or measured wall clock (POSIX).  POSIX
+  /// arrays accumulate the *union* of their per-call busy intervals, so
+  /// concurrent callers (the aio worker pool, ga::run_threads) do not
+  /// double-count overlapped time into one scalar.
   double seconds = 0;
 
   void merge(const IoStats& other) noexcept;
+  /// Field-wise difference (`*this` minus `earlier`) for interval
+  /// accounting of one array/farm between two snapshots.
+  [[nodiscard]] IoStats since(const IoStats& earlier) const noexcept;
 };
 
 /// A rectangular section: one [lo, hi) interval per dimension.
@@ -89,16 +95,24 @@ class DiskArray {
  protected:
   virtual void do_read(const Section& section, std::span<double> out) = 0;
   virtual void do_write(const Section& section, std::span<const double> data) = 0;
-  /// Additional modeled/measured seconds for one call of `bytes`.
-  [[nodiscard]] virtual double cost_seconds(std::int64_t bytes, bool is_write) const = 0;
+  /// Modeled seconds for one call of `bytes` (data-free backends only;
+  /// data-carrying backends are wall-clock timed with interval union).
+  [[nodiscard]] virtual double cost_seconds(std::int64_t bytes, bool is_write) const;
 
   void check_section(const Section& section, std::size_t span_size, bool needs_data) const;
+
+  /// Folds the wall-clock busy interval [t0, t1) (seconds since the
+  /// process-wide epoch) into stats_.seconds as an interval union; must
+  /// be called under mutex_ in completion order.
+  void add_busy_interval(double t0, double t1) noexcept;
 
   std::string name_;
   std::vector<std::int64_t> extents_;
   std::int64_t elements_ = 1;
   mutable std::mutex mutex_;
   IoStats stats_;
+  /// End of the busy-interval union accumulated so far (epoch seconds).
+  double busy_until_ = 0;
 };
 
 /// Real-file backend.  The file lives at `<dir>/<name>.dra`, is created
@@ -116,7 +130,6 @@ class PosixDiskArray final : public DiskArray {
  protected:
   void do_read(const Section& section, std::span<double> out) override;
   void do_write(const Section& section, std::span<const double> data) override;
-  [[nodiscard]] double cost_seconds(std::int64_t bytes, bool is_write) const override;
 
  private:
   /// Applies `fn(file_offset_elements, run_elements, buffer_offset)` to
@@ -127,10 +140,6 @@ class PosixDiskArray final : public DiskArray {
   std::string path_;
   int fd_ = -1;
   bool owns_file_ = true;
-  /// Wall-clock duration of the most recent raw read/write, consumed by
-  /// cost_seconds() while the stats lock is held.
-  double wall_read_seconds_ = 0;
-  double wall_write_seconds_ = 0;
 };
 
 /// Data-free modeled-disk backend.

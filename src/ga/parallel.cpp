@@ -1,5 +1,6 @@
 #include "ga/parallel.hpp"
 
+#include <algorithm>
 #include <barrier>
 #include <thread>
 
@@ -7,7 +8,8 @@
 
 namespace oocs::ga {
 
-ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs) {
+ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs,
+                          bool async_io) {
   OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
 
   // Pre-create every disk array touched by the plan so the lazy farm
@@ -16,10 +18,13 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
 
   // One interpreter per process over the whole plan; a barrier between
   // top-level roots makes e.g. the zero-initialization pass of an
-  // accumulated output visible before anyone accumulates into it.
+  // accumulated output visible before anyone accumulates into it.  The
+  // interpreter drains its async engine before arriving, so write-behind
+  // effects are ordered the same way.
   std::barrier sync(num_procs);
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::vector<rt::ExecStats> proc_stats(static_cast<std::size_t>(num_procs));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_procs));
   for (int proc = 0; proc < num_procs; ++proc) {
@@ -28,9 +33,10 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
         rt::ExecOptions options;
         options.proc_id = proc;
         options.num_procs = num_procs;
+        options.async_io = async_io;
         options.root_barrier = [&sync] { sync.arrive_and_wait(); };
         rt::PlanInterpreter interpreter(plan, farm, options);
-        (void)interpreter.run();
+        proc_stats[static_cast<std::size_t>(proc)] = interpreter.run();
       } catch (...) {
         {
           const std::scoped_lock lock(error_mutex);
@@ -48,33 +54,51 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
   stats.num_procs = num_procs;
   stats.total = farm.total_stats();
   stats.io_seconds = stats.total.seconds;
+  for (const rt::ExecStats& ps : proc_stats) {
+    stats.busy_seconds += ps.busy_seconds;
+    stats.stall_seconds += ps.stall_seconds;
+    stats.queue_depth_hwm = std::max(stats.queue_depth_hwm, ps.queue_depth_hwm);
+  }
   return stats;
 }
 
-ParallelStats simulate(const core::OocPlan& plan, int num_procs, dra::DiskModel model) {
+ParallelStats simulate(const core::OocPlan& plan, int num_procs, dra::DiskModel model,
+                       double modeled_flops_per_second) {
   OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
 
-  // One dry-run walk counts every collective I/O call and its volume.
+  // One dry-run walk counts every collective I/O call and its volume,
+  // and records the per-stage (per top-level root) io/compute split.
   dra::DiskFarm farm = dra::DiskFarm::sim(plan.program, model);
   rt::ExecOptions options;
   options.dry_run = true;
+  if (modeled_flops_per_second > 0) {
+    options.modeled_flops_per_second = modeled_flops_per_second;
+  }
   rt::PlanInterpreter interpreter(plan, farm, options);
-  (void)interpreter.run();
+  const rt::ExecStats exec = interpreter.run();
   const dra::IoStats total = farm.total_stats();
 
   // Collective semantics: each call moves 1/P of its bytes from every
-  // process's local disk concurrently.
+  // process's local disk concurrently, and compute is data-parallel.
   const double p = static_cast<double>(num_procs);
-  const double per_proc =
-      static_cast<double>(total.read_calls + total.write_calls) * model.seek_seconds +
-      static_cast<double>(total.bytes_read) / (p * model.read_bandwidth_bytes_per_s) +
-      static_cast<double>(total.bytes_written) / (p * model.write_bandwidth_bytes_per_s);
+  const auto per_proc_io = [&](const dra::IoStats& io) {
+    return static_cast<double>(io.read_calls + io.write_calls) * model.seek_seconds +
+           static_cast<double>(io.bytes_read) / (p * model.read_bandwidth_bytes_per_s) +
+           static_cast<double>(io.bytes_written) / (p * model.write_bandwidth_bytes_per_s);
+  };
 
   ParallelStats stats;
   stats.num_procs = num_procs;
   stats.total = total;
-  stats.io_seconds = per_proc;
-  stats.per_proc_seconds.assign(static_cast<std::size_t>(num_procs), per_proc);
+  stats.io_seconds = per_proc_io(total);
+  stats.per_proc_seconds.assign(static_cast<std::size_t>(num_procs), stats.io_seconds);
+  for (const rt::StageStats& stage : exec.stages) {
+    const double io = per_proc_io(stage.io);
+    const double compute = stage.compute_seconds / p;
+    stats.compute_seconds += compute;
+    stats.serial_seconds += io + compute;
+    stats.overlap_seconds += std::max(io, compute);
+  }
   return stats;
 }
 

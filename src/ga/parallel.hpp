@@ -35,15 +35,37 @@ struct ParallelStats {
   dra::IoStats total;
   /// Per-process modeled disk seconds.
   std::vector<double> per_proc_seconds;
+
+  /// Modeled per-process compute seconds (plan flops / P / rate).
+  double compute_seconds = 0;
+  /// No-overlap model: Σ over stages of (per-proc io + compute).
+  double serial_seconds = 0;
+  /// Double-buffered overlap model: Σ over stages of
+  /// max(per-proc io, per-proc compute) — what async execution targets.
+  double overlap_seconds = 0;
+
+  // Async-engine counters, summed over processes (run_threads with
+  // async_io; zero otherwise).  queue_depth_hwm is the max over procs.
+  double busy_seconds = 0;
+  double stall_seconds = 0;
+  std::int64_t queue_depth_hwm = 0;
 };
 
 /// Real parallel execution: P threads share `farm` (must store data).
-/// Returns aggregated stats; outputs land in the farm's arrays.
-ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs);
+/// Returns aggregated stats; outputs land in the farm's arrays.  With
+/// `async_io` every process runs its own asynchronous I/O engine
+/// (write-behind + read-ahead); engines are drained at root barriers so
+/// cross-process visibility is unchanged.
+ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs,
+                          bool async_io = false);
 
 /// Modeled parallel run at paper scale: no data, each process charges
-/// its local-disk share of every collective I/O call.
+/// its local-disk share of every collective I/O call.  Also fills the
+/// overlap cost model fields: per stage (top-level root), overlapped
+/// time is max(disk, compute) instead of their sum.
+/// `modeled_flops_per_second` = 0 uses the rt::ExecOptions default.
 [[nodiscard]] ParallelStats simulate(const core::OocPlan& plan, int num_procs,
-                                     dra::DiskModel model = {});
+                                     dra::DiskModel model = {},
+                                     double modeled_flops_per_second = 0);
 
 }  // namespace oocs::ga

@@ -1,6 +1,8 @@
 #include "rt/interpreter.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
@@ -23,6 +25,8 @@ PlanInterpreter::PlanInterpreter(const OocPlan& plan, dra::DiskFarm& farm, ExecO
   OOCS_REQUIRE(options_.num_procs >= 1, "num_procs must be >= 1");
   OOCS_REQUIRE(options_.proc_id >= 0 && options_.proc_id < options_.num_procs,
                "proc_id out of range");
+  OOCS_REQUIRE(options_.modeled_flops_per_second > 0, "modeled_flops_per_second must be > 0");
+  OOCS_REQUIRE(options_.aio_workers >= 1, "aio_workers must be >= 1");
 }
 
 ExecStats PlanInterpreter::run() {
@@ -45,7 +49,18 @@ ExecStats PlanInterpreter::run() {
   }
 
   flops_ = 0;
+  modeled_flops_ = 0;
   active_.clear();
+  prefetch_.clear();
+  if (options_.async_io && !options_.dry_run) {
+    aio::EngineOptions aio_options;
+    aio_options.num_workers = options_.aio_workers;
+    engine_ = std::make_unique<aio::Engine>(aio_options);
+  }
+
+  stats.stages.reserve(plan_.roots.size());
+  dra::IoStats stage_start = farm_.total_stats();
+  double stage_flops = 0;
   for (const PlanNode& root : plan_.roots) {
     if (root.kind == PlanNode::Kind::Loop) {
       at_root_ = false;
@@ -54,10 +69,35 @@ ExecStats PlanInterpreter::run() {
     } else {
       exec_root_op(root.op, /*root_level=*/true);
     }
+    // Write-behind requests must land before the stage is accounted and
+    // before any other process crosses the barrier.
+    if (engine_) engine_->drain();
+
+    const dra::IoStats now = farm_.total_stats();
+    StageStats stage;
+    stage.io = now.since(stage_start);
+    stage.compute_seconds =
+        (flops_ + modeled_flops_ - stage_flops) / options_.modeled_flops_per_second;
+    stats.stages.push_back(stage);
+    stage_start = now;
+    stage_flops = flops_ + modeled_flops_;
+
     if (options_.root_barrier) options_.root_barrier();
   }
 
   stats.kernel_flops = flops_;
+  stats.modeled_flops = flops_ + modeled_flops_;
+  for (const StageStats& stage : stats.stages) {
+    stats.modeled_serial_seconds += stage.io.seconds + stage.compute_seconds;
+    stats.modeled_overlap_seconds += std::max(stage.io.seconds, stage.compute_seconds);
+  }
+  if (engine_) {
+    const aio::EngineStats engine_stats = engine_->stats();
+    stats.busy_seconds = engine_stats.busy_seconds;
+    stats.stall_seconds = engine_stats.stall_seconds;
+    stats.queue_depth_hwm = engine_stats.queue_depth_hwm;
+    engine_.reset();
+  }
   stats.io = farm_.total_stats();
   stats.wall_seconds = timer.seconds();
   return stats;
@@ -92,16 +132,115 @@ bool subtree_has_io(const PlanNode& node) {
 }  // namespace
 
 void PlanInterpreter::exec_loop(const PlanNode& node, bool distribute) {
-  if (options_.dry_run && !subtree_has_io(node)) return;
+  if (options_.dry_run && !subtree_has_io(node)) {
+    // The skipped subtree still "runs" in the model: count its flops
+    // analytically so the overlap cost model sees the compute side.
+    modeled_flops_ += estimate_skipped_flops(node);
+    return;
+  }
   const std::int64_t extent = plan_.program.range(node.index);
   const std::int64_t step = plan_.tile(node.index);
+  std::vector<std::int64_t> bases;
   std::int64_t tile_number = 0;
   for (std::int64_t base = 0; base < extent; base += step, ++tile_number) {
     if (distribute && tile_number % options_.num_procs != options_.proc_id) continue;
-    active_[node.index] = Active{base, std::min(step, extent - base)};
-    exec_children(node.children);
+    bases.push_back(base);
+  }
+  if (!engine_ || !exec_loop_pipelined(node, bases, extent, step)) {
+    for (const std::int64_t base : bases) {
+      active_[node.index] = Active{base, std::min(step, extent - base)};
+      exec_children(node.children);
+    }
   }
   active_.erase(node.index);
+}
+
+namespace {
+/// Disk arrays written (or accumulated) anywhere in the subtree.
+void collect_written_arrays(const OocPlan& plan, const PlanNode& node,
+                            std::set<std::string>& written) {
+  if (node.kind == PlanNode::Kind::Op) {
+    if (node.op.kind == PlanOp::Kind::WriteDisk) {
+      written.insert(plan.buffers[static_cast<std::size_t>(node.op.buffer)].array);
+    }
+    return;
+  }
+  for (const PlanNode& child : node.children) collect_written_arrays(plan, child, written);
+}
+}  // namespace
+
+bool PlanInterpreter::exec_loop_pipelined(const PlanNode& node,
+                                          const std::vector<std::int64_t>& bases,
+                                          std::int64_t extent, std::int64_t step) {
+  if (bases.empty()) return false;
+  const bool parallel = options_.num_procs > 1;
+
+  // Reads eligible for read-ahead: direct children of this loop whose
+  // array is never written inside the loop body.  A read of an array the
+  // body also writes (e.g. an rmw pair) must keep its program position —
+  // issuing it one iteration early would overtake the pending write on
+  // the same per-array queue and observe stale data.
+  std::set<std::string> written;
+  collect_written_arrays(plan_, node, written);
+  std::vector<std::size_t> prefetched;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const PlanNode& child = node.children[i];
+    if (child.kind != PlanNode::Kind::Op || child.op.kind != PlanOp::Kind::ReadDisk) continue;
+    if (parallel && child.op.rmw) continue;  // becomes a local zero-fill
+    const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(child.op.buffer)];
+    if (written.contains(buffer.array)) continue;
+    prefetched.push_back(i);
+  }
+  if (prefetched.empty()) return false;
+
+  const auto set_active = [&](std::int64_t base) {
+    active_[node.index] = Active{base, std::min(step, extent - base)};
+  };
+  // Issues iteration k's reads into the shadow slots (double buffering:
+  // the engine fills the shadow while compute consumes the front).
+  const auto issue = [&](std::size_t k) {
+    set_active(bases[k]);
+    for (const std::size_t child : prefetched) {
+      const PlanOp& op = node.children[child].op;
+      const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
+      Prefetch& slot = prefetch_[op.buffer];
+      slot.storage.resize(
+          static_cast<std::size_t>(buffer.elements(plan_.program, plan_.tile_sizes)));
+      const dra::Section section = section_for(buffer);
+      slot.token = engine_->read(
+          farm_.array(buffer.array), section,
+          std::span<double>(slot.storage.data(), static_cast<std::size_t>(section.elements())));
+    }
+  };
+
+  issue(0);
+  for (std::size_t k = 0; k < bases.size(); ++k) {
+    set_active(bases[k]);
+    for (const std::size_t child : prefetched) {
+      const int buffer = node.children[child].op.buffer;
+      Prefetch& slot = prefetch_[buffer];
+      slot.token.wait();
+      std::swap(buffers_[static_cast<std::size_t>(buffer)], slot.storage);
+    }
+    if (k + 1 < bases.size()) {
+      issue(k + 1);
+      set_active(bases[k]);
+    }
+    std::size_t next_prefetched = 0;
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (next_prefetched < prefetched.size() && prefetched[next_prefetched] == i) {
+        ++next_prefetched;
+        continue;  // already satisfied by the pipeline
+      }
+      const PlanNode& child = node.children[i];
+      if (child.kind == PlanNode::Kind::Loop) {
+        exec_loop(child, /*distribute=*/false);
+      } else {
+        exec_op(child.op);
+      }
+    }
+  }
+  return true;
 }
 
 void PlanInterpreter::exec_op(const PlanOp& op) {
@@ -191,8 +330,26 @@ void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
       if (!options_.dry_run) std::fill(span.begin(), span.end(), 0.0);
       return;
     }
+    if (engine_) {
+      // Reads not handled by the read-ahead pipeline still go through
+      // the engine so the per-array FIFO orders them after any pending
+      // write-behind to the same array — then block until done.
+      engine_->read(disk, section, span).wait();
+      return;
+    }
     disk.read(section, span);
   } else {
+    if (engine_) {
+      // Write-behind: the request owns a copy, so compute may
+      // immediately reuse the staging buffer.
+      std::vector<double> copy(span.begin(), span.end());
+      if ((parallel && op.rmw) || force_accumulate) {
+        (void)engine_->accumulate(disk, section, std::move(copy));
+      } else {
+        (void)engine_->write(disk, section, std::move(copy));
+      }
+      return;
+    }
     if ((parallel && op.rmw) || force_accumulate) {
       disk.accumulate(section, span);
     } else {
@@ -255,8 +412,54 @@ void PlanInterpreter::do_zero(const PlanOp& op) {
   }
 }
 
+double PlanInterpreter::estimate_skipped_flops(const PlanNode& node) const {
+  // An Update contraction performs 2 flops per point of its full loop
+  // space.  Indices with a live tile contribute the tile size; indices
+  // whose loops are inside the skipped subtree contribute their whole
+  // range (the subtree's tiles partition it).  Skipped loops whose index
+  // the statement does not use are redundant: each of their ceil(N/T)
+  // trips re-executes the contraction.
+  double total = 0;
+  std::vector<std::string> enclosing;
+  const std::function<void(const PlanNode&)> visit = [&](const PlanNode& n) {
+    if (n.kind == PlanNode::Kind::Op) {
+      const PlanOp& op = n.op;
+      if (op.kind != PlanOp::Kind::Contract || op.stmt.kind != ir::StmtKind::Update) return;
+      double flops = 2;
+      for (const std::string& index : op.loops) {
+        const auto it = active_.find(index);
+        flops *= it != active_.end() ? static_cast<double>(it->second.size)
+                                     : static_cast<double>(plan_.program.range(index));
+      }
+      for (const std::string& index : enclosing) {
+        if (std::find(op.loops.begin(), op.loops.end(), index) != op.loops.end()) continue;
+        flops *= std::ceil(static_cast<double>(plan_.program.range(index)) /
+                           static_cast<double>(plan_.tile(index)));
+      }
+      total += flops;
+      return;
+    }
+    enclosing.push_back(n.index);
+    for (const PlanNode& child : n.children) visit(child);
+    enclosing.pop_back();
+  };
+  visit(node);
+  return total;
+}
+
 void PlanInterpreter::do_contract(const PlanOp& op) {
-  if (options_.dry_run) return;
+  if (options_.dry_run) {
+    // Mixed subtrees (compute next to I/O) reach contractions even in a
+    // dry run: account the tile's flops analytically.
+    if (op.stmt.kind == ir::StmtKind::Update) {
+      double flops = 2;
+      for (const std::string& index : op.loops) {
+        flops *= static_cast<double>(active_.at(index).size);
+      }
+      modeled_flops_ += flops;
+    }
+    return;
+  }
   const ir::Stmt& stmt = op.stmt;
 
   // Fast path: BLAS-style dispatch when the statement maps onto a
@@ -363,7 +566,7 @@ void PlanInterpreter::do_contract(const PlanOp& op) {
 
 std::map<std::string, std::vector<double>> run_posix(
     const OocPlan& plan, const std::map<std::string, std::vector<double>>& inputs,
-    const std::string& directory, ExecStats* stats) {
+    const std::string& directory, ExecStats* stats, ExecOptions options) {
   dra::DiskFarm farm = dra::DiskFarm::posix(plan.program, directory);
 
   // Stage the inputs.
@@ -376,7 +579,10 @@ std::map<std::string, std::vector<double>> run_posix(
   }
   farm.reset_stats();
 
-  PlanInterpreter interpreter(plan, farm, ExecOptions{});
+  options.dry_run = false;
+  options.proc_id = 0;
+  options.num_procs = 1;
+  PlanInterpreter interpreter(plan, farm, options);
   const ExecStats run_stats = interpreter.run();
   if (stats != nullptr) *stats = run_stats;
 

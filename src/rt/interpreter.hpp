@@ -15,7 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
+#include "aio/engine.hpp"
 #include "core/plan.hpp"
 #include "dra/farm.hpp"
 
@@ -33,11 +36,32 @@ struct ExecOptions {
   /// GA-style process identity for parallel runs.
   int proc_id = 0;
   int num_procs = 1;
+  /// Route disk I/O through the asynchronous engine: writes become
+  /// write-behind and loop-carried reads are prefetched one tile ahead
+  /// into a second buffer (double buffering), so compute overlaps I/O.
+  /// Bit-exact with the synchronous path for sequential runs.  Ignored
+  /// in dry runs, where overlap is modeled analytically instead (see
+  /// modeled_overlap_seconds).
+  bool async_io = false;
+  /// Background workers of the async engine (with async_io).
+  int aio_workers = 2;
+  /// Sustained in-core contraction rate used to model compute time for
+  /// the overlap cost model (per-stage max(io, compute)); the default
+  /// approximates the paper's Itanium-2 node running dgemm.
+  double modeled_flops_per_second = 4e9;
   /// Invoked after every top-level root completes.  Parallel drivers
   /// install a thread barrier here: a root's disk effects (e.g. the
   /// zero-initialization pass of an accumulated output) must be visible
-  /// to every process before the next root starts.
+  /// to every process before the next root starts.  With async_io the
+  /// engine is drained before the barrier fires.
   std::function<void()> root_barrier;
+};
+
+/// Per-top-level-root ("stage") breakdown of the run: the unit at which
+/// an overlapped execution can hide I/O behind compute.
+struct StageStats {
+  dra::IoStats io;             // farm delta across the stage
+  double compute_seconds = 0;  // modeled: stage flops / modeled rate
 };
 
 struct ExecStats {
@@ -45,6 +69,21 @@ struct ExecStats {
   double kernel_flops = 0;    // 2 × multiply-add count executed
   double wall_seconds = 0;    // wall clock of the interpretation
   std::int64_t buffer_bytes = 0;
+
+  /// Flops the plan performs: executed flops plus, in dry runs, the
+  /// analytical count of the skipped pure-compute subtrees.
+  double modeled_flops = 0;
+  std::vector<StageStats> stages;
+  /// Σ over stages of (io.seconds + compute): the no-overlap model.
+  double modeled_serial_seconds = 0;
+  /// Σ over stages of max(io.seconds, compute): the double-buffered
+  /// overlap model (what async_io targets).
+  double modeled_overlap_seconds = 0;
+
+  // Async-engine counters (real runs with async_io; zero otherwise).
+  double busy_seconds = 0;   // worker core-seconds executing requests
+  double stall_seconds = 0;  // interpreter blocked on tokens / drain
+  std::int64_t queue_depth_hwm = 0;
 };
 
 class PlanInterpreter {
@@ -61,8 +100,19 @@ class PlanInterpreter {
     std::int64_t size = 0;
   };
 
+  /// Double-buffer slot for one prefetched read buffer.
+  struct Prefetch {
+    std::vector<double> storage;
+    aio::Token token;
+  };
+
   void exec_children(const std::vector<core::PlanNode>& nodes);
   void exec_loop(const core::PlanNode& node, bool distribute);
+  /// Read-ahead pipeline over the loop's direct-child disk reads.
+  /// Returns false when no read qualifies (caller runs the plain loop).
+  bool exec_loop_pipelined(const core::PlanNode& node,
+                           const std::vector<std::int64_t>& bases, std::int64_t extent,
+                           std::int64_t step);
   void exec_op(const core::PlanOp& op);
   /// Straight-line op at the top level: applies the parallel GA policy.
   void exec_root_op(const core::PlanOp& op, bool root_level);
@@ -75,20 +125,31 @@ class PlanInterpreter {
   void do_zero(const core::PlanOp& op);
   void do_contract(const core::PlanOp& op);
 
+  /// Analytical flop count of a pure-compute subtree skipped by a dry
+  /// run, under the currently live tile sizes.
+  double estimate_skipped_flops(const core::PlanNode& node) const;
+
   const core::OocPlan& plan_;
   dra::DiskFarm& farm_;
   ExecOptions options_;
   std::vector<std::vector<double>> buffers_;
+  std::map<int, Prefetch> prefetch_;  // by buffer id
+  /// Live during async real runs.  Declared after the buffers/slots so
+  /// it is destroyed (drained, joined) first if run() unwinds while
+  /// requests into that memory are still in flight.
+  std::unique_ptr<aio::Engine> engine_;
   std::map<std::string, Active> active_;
   bool at_root_ = true;
   double flops_ = 0;
+  double modeled_flops_ = 0;  // dry-run analytical estimate
 };
 
 /// Convenience wrapper: run `plan` for real against a POSIX farm rooted
 /// at `directory`, with `inputs` pre-staged, and return the output
-/// arrays read back from disk.
+/// arrays read back from disk.  `options` is taken as a base (dry_run
+/// and process identity are overridden for the single-process run).
 [[nodiscard]] std::map<std::string, std::vector<double>> run_posix(
     const core::OocPlan& plan, const std::map<std::string, std::vector<double>>& inputs,
-    const std::string& directory, ExecStats* stats = nullptr);
+    const std::string& directory, ExecStats* stats = nullptr, ExecOptions options = {});
 
 }  // namespace oocs::rt

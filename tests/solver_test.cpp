@@ -5,6 +5,7 @@
 // shaped like the paper's tile-size/placement programs.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"

@@ -19,11 +19,16 @@
 //                       random inputs and verify against the in-core
 //                       reference (small programs only)
 //   --procs N           with --run: execute GA-style on N processes
+//   --async             with --run: asynchronous I/O (write-behind +
+//                       tile read-ahead) instead of blocking calls
+//   --stats-json FILE   dump the synthesis summary (and, with --run,
+//                       the execution statistics) as JSON to FILE
 //
 // Exit status: 0 on success (and verification, with --run), 1 on error.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -55,13 +60,16 @@ struct Args {
   bool tree = false;
   std::string run_dir;
   int procs = 1;
+  bool async_io = false;
+  std::string stats_json;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa] [--seed N]\n"
                "       [--read-block BYTES] [--write-block BYTES] [--seek-bytes N]\n"
-               "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n",
+               "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n"
+               "       [--async] [--stats-json FILE]\n",
                argv0);
   std::exit(1);
 }
@@ -100,6 +108,10 @@ Args parse_args(int argc, char** argv) {
       args.run_dir = need_value(i);
     } else if (std::strcmp(a, "--procs") == 0) {
       args.procs = std::atoi(need_value(i));
+    } else if (std::strcmp(a, "--async") == 0) {
+      args.async_io = true;
+    } else if (std::strcmp(a, "--stats-json") == 0) {
+      args.stats_json = need_value(i);
     } else if (a[0] == '-') {
       usage(argv[0]);
     } else if (args.file.empty()) {
@@ -154,35 +166,144 @@ int run(const Args& args) {
               format_bytes(result.predicted_disk_bytes).c_str(), result.predicted_io_calls,
               format_bytes(result.memory_bytes).c_str(), result.codegen_seconds);
 
-  if (args.run_dir.empty()) return 0;
+  // End-to-end time predictions under the calibrated disk model: with
+  // and without I/O/compute overlap (the --async execution mode).
+  const dra::DiskModel model;
+  const rt::ExecOptions exec_defaults;
+  const double predicted_flops = core::predict_flops(program);
+  const double compute_seconds = predicted_flops / exec_defaults.modeled_flops_per_second;
+  const double predicted_serial = result.predicted_io.serial_seconds(
+      model.seek_seconds, model.read_bandwidth_bytes_per_s, model.write_bandwidth_bytes_per_s,
+      compute_seconds, args.procs);
+  const double predicted_overlap = result.predicted_io.overlapped_seconds(
+      model.seek_seconds, model.read_bandwidth_bytes_per_s, model.write_bandwidth_bytes_per_s,
+      compute_seconds, args.procs);
+  std::printf("predicted end-to-end: %.1f s blocking I/O, %.1f s overlapped (async)\n",
+              predicted_serial, predicted_overlap);
 
-  // Execute with deterministic random inputs and verify.
-  const rt::TensorMap inputs = rt::random_inputs(program, args.seed);
-  const rt::TensorMap reference = rt::run_in_core(program, inputs);
+  std::optional<rt::ExecStats> exec_stats;
+  std::optional<ga::ParallelStats> parallel_stats;
   double worst = 0;
-  if (args.procs <= 1) {
-    const auto outputs = rt::run_posix(result.plan, inputs, args.run_dir);
-    for (const auto& [name, data] : outputs) {
-      worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
+  if (!args.run_dir.empty()) {
+    // Execute with deterministic random inputs and verify.
+    const rt::TensorMap inputs = rt::random_inputs(program, args.seed);
+    const rt::TensorMap reference = rt::run_in_core(program, inputs);
+    if (args.procs <= 1) {
+      rt::ExecStats stats;
+      rt::ExecOptions exec;
+      exec.async_io = args.async_io;
+      const auto outputs = rt::run_posix(result.plan, inputs, args.run_dir, &stats, exec);
+      exec_stats = stats;
+      for (const auto& [name, data] : outputs) {
+        worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
+      }
+    } else {
+      dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, args.run_dir);
+      for (const auto& [name, decl] : result.plan.program.arrays()) {
+        if (decl.kind != ir::ArrayKind::Input) continue;
+        dra::DiskArray& array = farm.array(name);
+        array.write(dra::Section::whole(array.extents()), inputs.at(name));
+      }
+      farm.reset_stats();
+      parallel_stats = ga::run_threads(result.plan, farm, args.procs, args.async_io);
+      for (const auto& [name, decl] : result.plan.program.arrays()) {
+        if (decl.kind != ir::ArrayKind::Output) continue;
+        dra::DiskArray& array = farm.array(name);
+        std::vector<double> data(static_cast<std::size_t>(array.elements()));
+        array.read(dra::Section::whole(array.extents()), data);
+        worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
+      }
     }
-  } else {
-    dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, args.run_dir);
-    for (const auto& [name, decl] : result.plan.program.arrays()) {
-      if (decl.kind != ir::ArrayKind::Input) continue;
-      dra::DiskArray& array = farm.array(name);
-      array.write(dra::Section::whole(array.extents()), inputs.at(name));
-    }
-    (void)ga::run_threads(result.plan, farm, args.procs);
-    for (const auto& [name, decl] : result.plan.program.arrays()) {
-      if (decl.kind != ir::ArrayKind::Output) continue;
-      dra::DiskArray& array = farm.array(name);
-      std::vector<double> data(static_cast<std::size_t>(array.elements()));
-      array.read(dra::Section::whole(array.extents()), data);
-      worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
-    }
+    std::printf("run (%d proc%s%s): max |output - reference| = %.3g → %s\n", args.procs,
+                args.procs == 1 ? "" : "s", args.async_io ? ", async" : "", worst,
+                worst < 1e-9 ? "OK" : "MISMATCH");
   }
-  std::printf("run (%d proc%s): max |output - reference| = %.3g → %s\n", args.procs,
-              args.procs == 1 ? "" : "s", worst, worst < 1e-9 ? "OK" : "MISMATCH");
+
+  if (!args.stats_json.empty()) {
+    std::FILE* out = std::fopen(args.stats_json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "oocsc: cannot write '%s'\n", args.stats_json.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"file\": \"%s\",\n  \"solver\": \"%s\",\n", args.file.c_str(),
+                 args.solver.c_str());
+    std::fprintf(out,
+                 "  \"synthesis\": {\n"
+                 "    \"predicted_disk_bytes\": %.0f,\n"
+                 "    \"predicted_io_calls\": %.0f,\n"
+                 "    \"predicted_read_bytes\": %.0f,\n"
+                 "    \"predicted_write_bytes\": %.0f,\n"
+                 "    \"buffer_bytes\": %.0f,\n"
+                 "    \"predicted_flops\": %.0f,\n"
+                 "    \"predicted_serial_seconds\": %.6f,\n"
+                 "    \"predicted_overlapped_seconds\": %.6f,\n"
+                 "    \"codegen_seconds\": %.6f\n"
+                 "  }",
+                 result.predicted_disk_bytes, result.predicted_io_calls,
+                 result.predicted_io.read_bytes, result.predicted_io.write_bytes,
+                 result.memory_bytes, predicted_flops, predicted_serial, predicted_overlap,
+                 result.codegen_seconds);
+    if (exec_stats.has_value()) {
+      const rt::ExecStats& s = *exec_stats;
+      std::fprintf(out,
+                   ",\n  \"execution\": {\n"
+                   "    \"procs\": 1,\n"
+                   "    \"async\": %s,\n"
+                   "    \"bytes_read\": %lld,\n"
+                   "    \"bytes_written\": %lld,\n"
+                   "    \"read_calls\": %lld,\n"
+                   "    \"write_calls\": %lld,\n"
+                   "    \"io_seconds\": %.6f,\n"
+                   "    \"wall_seconds\": %.6f,\n"
+                   "    \"kernel_flops\": %.0f,\n"
+                   "    \"buffer_bytes\": %lld,\n"
+                   "    \"busy_seconds\": %.6f,\n"
+                   "    \"stall_seconds\": %.6f,\n"
+                   "    \"queue_depth_hwm\": %lld,\n"
+                   "    \"modeled_serial_seconds\": %.6f,\n"
+                   "    \"modeled_overlap_seconds\": %.6f,\n"
+                   "    \"max_abs_error\": %.3g,\n"
+                   "    \"verified\": %s\n"
+                   "  }",
+                   args.async_io ? "true" : "false",
+                   static_cast<long long>(s.io.bytes_read),
+                   static_cast<long long>(s.io.bytes_written),
+                   static_cast<long long>(s.io.read_calls),
+                   static_cast<long long>(s.io.write_calls), s.io.seconds, s.wall_seconds,
+                   s.kernel_flops, static_cast<long long>(s.buffer_bytes), s.busy_seconds,
+                   s.stall_seconds, static_cast<long long>(s.queue_depth_hwm),
+                   s.modeled_serial_seconds, s.modeled_overlap_seconds, worst,
+                   worst < 1e-9 ? "true" : "false");
+    } else if (parallel_stats.has_value()) {
+      const ga::ParallelStats& s = *parallel_stats;
+      std::fprintf(out,
+                   ",\n  \"execution\": {\n"
+                   "    \"procs\": %d,\n"
+                   "    \"async\": %s,\n"
+                   "    \"bytes_read\": %lld,\n"
+                   "    \"bytes_written\": %lld,\n"
+                   "    \"read_calls\": %lld,\n"
+                   "    \"write_calls\": %lld,\n"
+                   "    \"io_seconds\": %.6f,\n"
+                   "    \"busy_seconds\": %.6f,\n"
+                   "    \"stall_seconds\": %.6f,\n"
+                   "    \"queue_depth_hwm\": %lld,\n"
+                   "    \"max_abs_error\": %.3g,\n"
+                   "    \"verified\": %s\n"
+                   "  }",
+                   s.num_procs, args.async_io ? "true" : "false",
+                   static_cast<long long>(s.total.bytes_read),
+                   static_cast<long long>(s.total.bytes_written),
+                   static_cast<long long>(s.total.read_calls),
+                   static_cast<long long>(s.total.write_calls), s.io_seconds, s.busy_seconds,
+                   s.stall_seconds, static_cast<long long>(s.queue_depth_hwm), worst,
+                   worst < 1e-9 ? "true" : "false");
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+  }
+
+  if (args.run_dir.empty()) return 0;
   return worst < 1e-9 ? 0 : 1;
 }
 
