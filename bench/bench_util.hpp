@@ -20,6 +20,14 @@ inline bool has_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+/// Value of `--name VALUE`, or "" when absent.
+inline std::string flag_value(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return {};
+}
+
 /// The modeled "machine" standing in for the paper's Itanium-2 node
 /// (Table 1): local SCSI disk, ~9 ms positioning, ~50/45 MB/s transfer.
 inline dra::DiskModel paper_disk_model() { return dra::DiskModel{}; }

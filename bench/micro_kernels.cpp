@@ -1,11 +1,26 @@
 // google-benchmark micro benchmarks for the hot substrate components:
 // symbolic vs compiled expression evaluation, the contraction kernels,
 // the POSIX disk backend, the DSL parser and placement enumeration.
+//
+// `--json FILE` switches to a manual kernel sweep instead (no
+// google-benchmark): transpose-variant parity of the packed
+// dgemm_strided paths and a compute-thread scaling sweep of
+// dgemm_accumulate, written as machine-readable JSON (BENCH_kernels.json
+// in CI).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "core/access.hpp"
 #include "dra/disk_array.hpp"
 #include "expr/compiled.hpp"
@@ -58,6 +73,21 @@ void BM_DgemmBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_DgemmBlocked)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_DgemmBlockedThreaded(benchmark::State& state) {
+  const std::int64_t n = 512;
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  std::vector<double> c(static_cast<std::size_t>(n * n), 0);
+  for (double& v : a) v = rng.next_double();
+  for (double& v : b) v = rng.next_double();
+  ThreadPool pool(threads);
+  for (auto _ : state) rt::dgemm_accumulate(n, n, n, a, b, c, &pool);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_DgemmBlockedThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_DgemmNaive(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   Rng rng(1);
@@ -99,6 +129,158 @@ void BM_EnumeratePlacements(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumeratePlacements);
 
+// ---------------------------------------------------------------------------
+// --json sweep: packed-variant parity and compute-thread scaling, written
+// as machine-readable JSON for CI (BENCH_kernels.json).
+
+double time_best_of(int reps, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    body();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+int run_json_sweep(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "micro_kernels: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  Rng rng(7);
+  std::fprintf(out, "{\n  \"bench\": \"micro_kernels\",\n");
+
+  // Transpose-variant parity: all four layouts run the same packed micro
+  // kernel, so TN/NT/TT should sit within ~1.3x of NN.
+  {
+    const std::int64_t m = 256, n = 256, k = 256;
+    std::vector<double> a_nn(static_cast<std::size_t>(m * k));
+    std::vector<double> a_t(static_cast<std::size_t>(k * m));
+    std::vector<double> b_nn(static_cast<std::size_t>(k * n));
+    std::vector<double> b_t(static_cast<std::size_t>(n * k));
+    std::vector<double> c(static_cast<std::size_t>(m * n), 0);
+    for (double& v : a_nn) v = rng.next_double();
+    for (double& v : b_nn) v = rng.next_double();
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t l = 0; l < k; ++l) a_t[static_cast<std::size_t>(l * m + i)] =
+          a_nn[static_cast<std::size_t>(i * k + l)];
+    for (std::int64_t l = 0; l < k; ++l)
+      for (std::int64_t j = 0; j < n; ++j) b_t[static_cast<std::size_t>(j * k + l)] =
+          b_nn[static_cast<std::size_t>(l * n + j)];
+
+    const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                         static_cast<double>(k);
+    struct Variant {
+      const char* name;
+      rt::MatView a, b;
+    };
+    const Variant variants[] = {
+        {"NN", {a_nn.data(), k, false}, {b_nn.data(), n, false}},
+        {"TN", {a_t.data(), m, true}, {b_nn.data(), n, false}},
+        {"NT", {a_nn.data(), k, false}, {b_t.data(), k, true}},
+        {"TT", {a_t.data(), m, true}, {b_t.data(), k, true}},
+    };
+    double nn_seconds = 0;
+    std::fprintf(out, "  \"variant_shape\": {\"m\": %lld, \"n\": %lld, \"k\": %lld},\n",
+                 static_cast<long long>(m), static_cast<long long>(n),
+                 static_cast<long long>(k));
+    std::fprintf(out, "  \"variants\": [\n");
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      const Variant& var = variants[v];
+      const double seconds = time_best_of(
+          5, [&] { rt::dgemm_strided(m, n, k, var.a, var.b, c.data(), n); });
+      if (v == 0) nn_seconds = seconds;
+      std::fprintf(out,
+                   "    {\"variant\": \"%s\", \"seconds\": %.6f, \"gflops\": %.3f, "
+                   "\"ratio_vs_nn\": %.3f}%s\n",
+                   var.name, seconds, flops / seconds / 1e9, seconds / nn_seconds,
+                   v + 1 < std::size(variants) ? "," : "");
+      std::printf("variant %s: %.4f s, %.2f GFLOP/s (%.2fx NN)\n", var.name, seconds,
+                  flops / seconds / 1e9, seconds / nn_seconds);
+    }
+    std::fprintf(out, "  ],\n");
+  }
+
+  // Compute-thread scaling of dgemm_accumulate on a paper-scale tile.
+  {
+    const std::int64_t n = 512;
+    const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                         static_cast<double>(n);
+    std::vector<double> a(static_cast<std::size_t>(n * n));
+    std::vector<double> b(static_cast<std::size_t>(n * n));
+    std::vector<double> c(static_cast<std::size_t>(n * n));
+    std::vector<double> reference(static_cast<std::size_t>(n * n));
+    for (double& v : a) v = rng.next_double();
+    for (double& v : b) v = rng.next_double();
+
+    std::fprintf(out,
+                 "  \"thread_sweep\": {\n"
+                 "    \"m\": %lld, \"n\": %lld, \"k\": %lld,\n"
+                 "    \"hardware_threads\": %d,\n"
+                 "    \"points\": [\n",
+                 static_cast<long long>(n), static_cast<long long>(n),
+                 static_cast<long long>(n), ThreadPool::hardware_threads());
+    double base_seconds = 0;
+    double speedup_8 = 0;
+    const int widths[] = {1, 2, 4, 8};
+    for (std::size_t w = 0; w < std::size(widths); ++w) {
+      const int threads = widths[w];
+      ThreadPool pool(threads);
+      std::fill(c.begin(), c.end(), 0.0);
+      const double seconds = time_best_of(3, [&] {
+        rt::dgemm_accumulate(n, n, n, a, b, c, threads == 1 ? nullptr : &pool);
+      });
+      if (threads == 1) {
+        base_seconds = seconds;
+        std::fill(reference.begin(), reference.end(), 0.0);
+        rt::dgemm_accumulate(n, n, n, a, b, reference);
+      }
+      std::fill(c.begin(), c.end(), 0.0);
+      rt::dgemm_accumulate(n, n, n, a, b, c, threads == 1 ? nullptr : &pool);
+      const bool identical =
+          std::memcmp(c.data(), reference.data(), c.size() * sizeof(double)) == 0;
+      const double speedup = base_seconds / seconds;
+      if (threads == 8) speedup_8 = speedup;
+      std::fprintf(out,
+                   "      {\"threads\": %d, \"seconds\": %.6f, \"gflops\": %.3f, "
+                   "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                   threads, seconds, flops / seconds / 1e9, speedup,
+                   identical ? "true" : "false", w + 1 < std::size(widths) ? "," : "");
+      std::printf("threads %d: %.4f s, %.2f GFLOP/s, speedup %.2fx, bit-identical %s\n",
+                  threads, seconds, flops / seconds / 1e9, speedup,
+                  identical ? "yes" : "NO");
+    }
+    std::fprintf(out,
+                 "    ],\n    \"speedup_8_threads\": %.3f\n  }\n}\n", speedup_8);
+  }
+
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--json FILE` before handing argv to google-benchmark.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) return run_json_sweep(json_path);
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

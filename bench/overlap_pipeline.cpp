@@ -12,6 +12,10 @@
 // real — blocking and async — verifying bit-identical outputs and
 // equal I/O volume, and reporting the engine's busy/stall seconds and
 // queue-depth high-water mark.
+//
+// `--json FILE` additionally writes the modeled rows (and the --real
+// comparison, when run) as machine-readable JSON (BENCH_overlap.json
+// in CI).
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -53,7 +57,17 @@ Modeled model_overlap(const core::OocPlan& plan) {
   return m;
 }
 
-int real_comparison(std::uint64_t seed) {
+struct RealResult {
+  double sync_wall = 0;
+  double async_wall = 0;
+  double busy_seconds = 0;
+  double stall_seconds = 0;
+  std::int64_t queue_depth_hwm = 0;
+  bool identical = false;
+  bool same_volume = false;
+};
+
+int real_comparison(std::uint64_t seed, RealResult* out) {
   std::printf("\n=== POSIX farm: blocking vs async, for real ===\n");
   const ir::Program program = ir::examples::four_index(24, 20);
   core::SynthesisOptions options;
@@ -97,6 +111,15 @@ int real_comparison(std::uint64_t seed) {
   std::printf("  outputs bit-identical: %s; I/O volume identical: %s\n",
               identical ? "yes" : "NO", same_volume ? "yes" : "NO");
   std::filesystem::remove_all(dir);
+  if (out) {
+    out->sync_wall = sync_stats.wall_seconds;
+    out->async_wall = async_stats.wall_seconds;
+    out->busy_seconds = async_stats.busy_seconds;
+    out->stall_seconds = async_stats.stall_seconds;
+    out->queue_depth_hwm = async_stats.queue_depth_hwm;
+    out->identical = identical;
+    out->same_volume = same_volume;
+  }
   return identical && same_volume ? 0 : 1;
 }
 
@@ -105,6 +128,7 @@ int real_comparison(std::uint64_t seed) {
 int main(int argc, char** argv) {
   const bool quick = bench::has_flag(argc, argv, "--quick");
   const bool real = bench::has_flag(argc, argv, "--real");
+  const std::string json_path = bench::flag_value(argc, argv, "--json");
 
   std::printf("=== Overlap pipeline: blocking vs async out-of-core execution ===\n\n");
   bench::print_table1_model();
@@ -119,6 +143,11 @@ int main(int argc, char** argv) {
   bench::rule('=');
 
   int status = 0;
+  struct Row {
+    std::int64_t n, v;
+    Modeled m;
+  };
+  std::vector<Row> rows;
   for (const auto& [n, v] : std::vector<std::pair<std::int64_t, std::int64_t>>{
            {140, 120}, {190, 180}}) {
     if (quick && n > 140) break;
@@ -126,6 +155,7 @@ int main(int argc, char** argv) {
     solver::DlmSolver dcs = bench::paper_dcs_solver();
     const core::SynthesisResult result = core::synthesize(program, options, dcs);
     const Modeled m = model_overlap(result.plan);
+    rows.push_back({n, v, m});
 
     std::printf("%-12" PRId64 " %-9" PRId64 " %8d | %12.1f %12.1f %12.1f | %7.2fx\n", n, v,
                 m.stages, m.sync_seconds, m.async_seconds, m.ideal_bound,
@@ -139,6 +169,43 @@ int main(int argc, char** argv) {
   std::printf("\nShape: async (double-buffered prefetch + write-behind) is strictly faster\n"
               "than blocking I/O and sits on the per-stage max(io, compute) bound.\n");
 
-  if (real) status |= real_comparison(/*seed=*/17);
+  RealResult real_result;
+  if (real) status |= real_comparison(/*seed=*/17, &real_result);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "overlap_pipeline: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"overlap_pipeline\",\n  \"modeled\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"n\": %lld, \"v\": %lld, \"stages\": %d, "
+                   "\"sync_seconds\": %.3f, \"async_seconds\": %.3f, "
+                   "\"bound_seconds\": %.3f, \"speedup\": %.3f}%s\n",
+                   static_cast<long long>(r.n), static_cast<long long>(r.v), r.m.stages,
+                   r.m.sync_seconds, r.m.async_seconds, r.m.ideal_bound,
+                   r.m.sync_seconds / r.m.async_seconds,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]%s\n", real ? "," : "");
+    if (real) {
+      std::fprintf(out,
+                   "  \"real\": {\"sync_wall_seconds\": %.3f, "
+                   "\"async_wall_seconds\": %.3f, \"busy_seconds\": %.3f, "
+                   "\"stall_seconds\": %.3f, \"queue_depth_hwm\": %lld, "
+                   "\"bit_identical\": %s, \"io_volume_identical\": %s}\n",
+                   real_result.sync_wall, real_result.async_wall,
+                   real_result.busy_seconds, real_result.stall_seconds,
+                   static_cast<long long>(real_result.queue_depth_hwm),
+                   real_result.identical ? "true" : "false",
+                   real_result.same_volume ? "true" : "false");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return status;
 }

@@ -1,0 +1,144 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace oocs {
+
+namespace {
+/// Set while this thread executes a pool task (any pool): nested
+/// parallel_for would deadlock the pool it runs on, so it is rejected.
+thread_local bool inside_pool_task = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  OOCS_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t min_chunk,
+                              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  OOCS_REQUIRE(!inside_pool_task,
+               "nested ThreadPool::parallel_for from inside a pool task");
+  const std::int64_t extent = end - begin;
+  if (extent <= 0) return;
+  min_chunk = std::max<std::int64_t>(min_chunk, 1);
+
+  // Inline when one chunk (or one thread) covers everything: no batch
+  // machinery, but still guarded against nesting for uniform semantics.
+  if (num_threads_ == 1 || extent <= min_chunk) {
+    inside_pool_task = true;
+    try {
+      body(begin, end);
+    } catch (...) {
+      inside_pool_task = false;
+      throw;
+    }
+    inside_pool_task = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      ++tasks_executed_;
+    }
+    return;
+  }
+
+  // A few chunks per thread keeps the dynamic schedule balanced without
+  // shrinking chunks below the caller's floor.
+  const std::int64_t target_chunks = static_cast<std::int64_t>(num_threads_) * 4;
+  const std::int64_t chunk =
+      std::max(min_chunk, (extent + target_chunks - 1) / target_chunks);
+
+  const std::scoped_lock caller_lock(caller_mutex_);
+  std::unique_lock lock(mutex_);
+  batch_ = Batch{};
+  batch_.begin = begin;
+  batch_.end = end;
+  batch_.chunk = chunk;
+  batch_.chunks = (extent + chunk - 1) / chunk;
+  batch_.body = &body;
+  batch_active_ = true;
+  work_cv_.notify_all();
+
+  run_chunks(lock);  // the caller is worker 0
+  done_cv_.wait(lock, [&] { return batch_.completed == batch_.issued; });
+  batch_active_ = false;
+  const std::exception_ptr error = batch_.error;
+  batch_.body = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock) {
+  while (batch_.next < batch_.chunks) {
+    const std::int64_t index = batch_.next++;
+    ++batch_.issued;
+    const std::int64_t lo = batch_.begin + index * batch_.chunk;
+    const std::int64_t hi = std::min(lo + batch_.chunk, batch_.end);
+    const auto* body = batch_.body;
+    lock.unlock();
+
+    std::exception_ptr error;
+    inside_pool_task = true;
+    try {
+      (*body)(lo, hi);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    inside_pool_task = false;
+
+    lock.lock();
+    ++tasks_executed_;
+    ++batch_.completed;
+    if (error) {
+      if (!batch_.error) batch_.error = error;
+      batch_.next = batch_.chunks;  // cancel unissued chunks
+    }
+    if (batch_.completed == batch_.issued) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (batch_active_ && batch_.next < batch_.chunks);
+    });
+    if (stop_) return;
+    run_chunks(lock);
+  }
+}
+
+std::int64_t ThreadPool::tasks_executed() const {
+  const std::scoped_lock lock(mutex_);
+  return tasks_executed_;
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("OOCS_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 1;
+}
+
+}  // namespace oocs

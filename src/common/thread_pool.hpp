@@ -1,0 +1,96 @@
+// Shared compute thread pool.
+//
+// The runtime's in-memory work (contraction kernels, buffer zeroing,
+// read-modify-write merges) parallelizes over disjoint output blocks:
+// no two tasks touch the same element, so no atomics are needed and the
+// floating-point accumulation order per element is independent of both
+// the thread count and the chunking.  The pool provides exactly that
+// shape: a chunked `parallel_for` over an index range, executed by
+// `num_threads - 1` background workers plus the calling thread.
+//
+// Rules:
+//   * One parallel_for at a time per pool (concurrent callers are
+//     serialized); nested use — parallel_for from inside a pool task —
+//     is rejected with an Error, since the inner call would deadlock
+//     waiting for workers that are themselves inside the outer batch.
+//   * The first exception thrown by a task cancels the unissued chunks,
+//     is captured, and is rethrown on the calling thread after every
+//     in-flight chunk has drained; the pool remains usable.
+//   * The destructor drains (parallel_for is synchronous, so no work
+//     can be pending) and joins the workers.
+//
+// Thread-count resolution: `resolve_threads(0)` consults the
+// OOCS_THREADS environment variable (CI runs the suite at 1 and 4) and
+// falls back to 1; callers pass explicit positive requests through.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oocs {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the caller participates in every
+  /// batch, so `num_threads == 1` runs everything inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+  /// Runs `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end) into chunks of at least `min_chunk` indices, spread
+  /// dynamically over the workers and the calling thread.  Blocks until
+  /// every chunk has completed; rethrows the first task exception.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t min_chunk,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Chunks executed over the pool's lifetime (telemetry).
+  [[nodiscard]] std::int64_t tasks_executed() const;
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static int hardware_threads();
+  /// `requested` if positive, else the OOCS_THREADS environment
+  /// variable, else 1.
+  [[nodiscard]] static int resolve_threads(int requested);
+
+ private:
+  struct Batch {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunk = 1;
+    std::int64_t chunks = 0;     // total chunks in the partition
+    std::int64_t next = 0;       // next chunk index to issue
+    std::int64_t issued = 0;     // chunks handed to a thread
+    std::int64_t completed = 0;  // chunks finished (success or error)
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Pulls and runs chunks of the active batch until none remain.
+  /// Pre/post-condition: `lock` held on mutex_.
+  void run_chunks(std::unique_lock<std::mutex>& lock);
+
+  const int num_threads_;
+  std::mutex caller_mutex_;  // serializes concurrent parallel_for callers
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: batch active / stop
+  std::condition_variable done_cv_;  // caller: batch fully completed
+  Batch batch_;
+  bool batch_active_ = false;
+  bool stop_ = false;
+  std::int64_t tasks_executed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace oocs

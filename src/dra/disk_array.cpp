@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace oocs::dra {
 
@@ -126,7 +127,8 @@ void DiskArray::write(const Section& section, std::span<const double> data) {
   }
 }
 
-void DiskArray::accumulate(const Section& section, std::span<const double> data) {
+void DiskArray::accumulate(const Section& section, std::span<const double> data,
+                           ThreadPool* pool) {
   check_section(section, data.size(), stores_data());
   if (!stores_data()) {
     // Modeled backend: account one read + one write.
@@ -140,7 +142,17 @@ void DiskArray::accumulate(const Section& section, std::span<const double> data)
   const std::scoped_lock lock(accumulate_mutex);
   std::vector<double> current(static_cast<std::size_t>(section.elements()));
   read(section, current);
-  for (std::size_t i = 0; i < current.size(); ++i) current[i] += data[i];
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->parallel_for(0, static_cast<std::int64_t>(current.size()), 4096,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           current[static_cast<std::size_t>(i)] +=
+                               data[static_cast<std::size_t>(i)];
+                         }
+                       });
+  } else {
+    for (std::size_t i = 0; i < current.size(); ++i) current[i] += data[i];
+  }
   write(section, current);
 }
 

@@ -23,6 +23,10 @@
 #include <string>
 #include <vector>
 
+namespace oocs {
+class ThreadPool;
+}
+
 namespace oocs::dra {
 
 /// Disk timing model; defaults calibrated to the paper's 2003-era node:
@@ -83,8 +87,10 @@ class DiskArray {
   void write(const Section& section, std::span<const double> data);
 
   /// Atomic read-add-write of a section (the GA-style accumulate used
-  /// by the parallel runtime).  Counts as one read plus one write.
-  void accumulate(const Section& section, std::span<const double> data);
+  /// by the parallel runtime).  Counts as one read plus one write.  The
+  /// element-wise merge loop is chunked over `pool` when given.
+  void accumulate(const Section& section, std::span<const double> data,
+                  ThreadPool* pool = nullptr);
 
   [[nodiscard]] IoStats stats() const;
   void reset_stats();

@@ -5,12 +5,22 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace oocs::ga {
 
 ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs,
-                          bool async_io) {
+                          bool async_io, int compute_threads) {
   OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
+  OOCS_REQUIRE(compute_threads >= 0, "compute_threads must be >= 0");
+
+  // Every process runs its own compute pool; cap the product at the
+  // hardware concurrency so P processes never oversubscribe the cores
+  // (GA gives each process one node's cores — we give each 1/P of one
+  // machine's).
+  const int requested = ThreadPool::resolve_threads(compute_threads);
+  const int per_proc_cap = std::max(1, ThreadPool::hardware_threads() / num_procs);
+  const int effective_threads = std::min(requested, per_proc_cap);
 
   // Pre-create every disk array touched by the plan so the lazy farm
   // never mutates its map concurrently.
@@ -34,6 +44,7 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
         options.proc_id = proc;
         options.num_procs = num_procs;
         options.async_io = async_io;
+        options.compute_threads = effective_threads;
         options.root_barrier = [&sync] { sync.arrive_and_wait(); };
         rt::PlanInterpreter interpreter(plan, farm, options);
         proc_stats[static_cast<std::size_t>(proc)] = interpreter.run();
@@ -54,10 +65,12 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
   stats.num_procs = num_procs;
   stats.total = farm.total_stats();
   stats.io_seconds = stats.total.seconds;
+  stats.compute_threads = effective_threads;
   for (const rt::ExecStats& ps : proc_stats) {
     stats.busy_seconds += ps.busy_seconds;
     stats.stall_seconds += ps.stall_seconds;
     stats.queue_depth_hwm = std::max(stats.queue_depth_hwm, ps.queue_depth_hwm);
+    stats.measured_compute_seconds += ps.compute_seconds;
   }
   return stats;
 }

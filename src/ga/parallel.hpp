@@ -49,15 +49,25 @@ struct ParallelStats {
   double busy_seconds = 0;
   double stall_seconds = 0;
   std::int64_t queue_depth_hwm = 0;
+
+  // Compute-thread telemetry (run_threads; zero/one otherwise).
+  /// Per-process compute pool width actually used, after capping
+  /// num_procs × threads at the hardware concurrency.
+  int compute_threads = 1;
+  /// Measured compute wall seconds, summed over processes.
+  double measured_compute_seconds = 0;
 };
 
 /// Real parallel execution: P threads share `farm` (must store data).
 /// Returns aggregated stats; outputs land in the farm's arrays.  With
 /// `async_io` every process runs its own asynchronous I/O engine
 /// (write-behind + read-ahead); engines are drained at root barriers so
-/// cross-process visibility is unchanged.
+/// cross-process visibility is unchanged.  Each process additionally
+/// runs `compute_threads` in-core compute workers (0 = OOCS_THREADS
+/// env, default 1), capped so num_procs × compute_threads never
+/// oversubscribes the hardware concurrency.
 ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs,
-                          bool async_io = false);
+                          bool async_io = false, int compute_threads = 0);
 
 /// Modeled parallel run at paper scale: no data, each process charges
 /// its local-disk share of every collective I/O call.  Also fills the

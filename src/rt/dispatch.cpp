@@ -92,7 +92,7 @@ std::int64_t base_offset(const DenseOperand& op) {
 
 double try_dgemm_contract(const DenseOperand& target, const DenseOperand& lhs_in,
                           const DenseOperand& rhs_in,
-                          const std::vector<std::string>& loops) {
+                          const std::vector<std::string>& loops, ThreadPool* pool) {
   // 1. Classify every loop index into M/N/K by operand membership.
   std::set<std::string> m_set, n_set, k_set;
   for (const std::string& index : loops) {
@@ -162,7 +162,7 @@ double try_dgemm_contract(const DenseOperand& target, const DenseOperand& lhs_in
   double* c = target.data + base_offset(target);
   const std::int64_t ldc = trailing_extent(target, lead_count(t_split));
 
-  dgemm_strided(m, n, k, a, b, c, ldc);
+  dgemm_strided(m, n, k, a, b, c, ldc, pool);
   return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
 }
 

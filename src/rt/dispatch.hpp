@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+namespace oocs {
+class ThreadPool;
+}
+
 namespace oocs::rt {
 
 /// One contraction operand as the dispatcher sees it: a dense row-major
@@ -27,11 +31,13 @@ struct DenseOperand {
 };
 
 /// Attempts the dgemm mapping for target += lhs · rhs over the loop
-/// index set `loops`.  On success performs the accumulation and returns
-/// the executed flop count; returns a negative value when no mapping
-/// applies (caller falls back to the generic loop).
+/// index set `loops`.  On success performs the accumulation (decomposed
+/// over `pool` when given) and returns the executed flop count; returns
+/// a negative value when no mapping applies (caller falls back to the
+/// generic loop).
 [[nodiscard]] double try_dgemm_contract(const DenseOperand& target, const DenseOperand& lhs,
                                         const DenseOperand& rhs,
-                                        const std::vector<std::string>& loops);
+                                        const std::vector<std::string>& loops,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace oocs::rt

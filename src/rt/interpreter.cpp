@@ -18,6 +18,18 @@ using core::PlanBuffer;
 using core::PlanNode;
 using core::PlanOp;
 
+/// Accumulates the guarded scope's wall time into a compute-seconds
+/// counter (the measured side of the per-stage overlap model).
+class ComputeTimer {
+ public:
+  explicit ComputeTimer(double& acc) : acc_(acc) {}
+  ~ComputeTimer() { acc_ += timer_.seconds(); }
+
+ private:
+  double& acc_;
+  Stopwatch timer_;
+};
+
 }  // namespace
 
 PlanInterpreter::PlanInterpreter(const OocPlan& plan, dra::DiskFarm& farm, ExecOptions options)
@@ -27,6 +39,8 @@ PlanInterpreter::PlanInterpreter(const OocPlan& plan, dra::DiskFarm& farm, ExecO
                "proc_id out of range");
   OOCS_REQUIRE(options_.modeled_flops_per_second > 0, "modeled_flops_per_second must be > 0");
   OOCS_REQUIRE(options_.aio_workers >= 1, "aio_workers must be >= 1");
+  OOCS_REQUIRE(options_.compute_threads >= 0, "compute_threads must be >= 0");
+  compute_threads_ = ThreadPool::resolve_threads(options_.compute_threads);
 }
 
 ExecStats PlanInterpreter::run() {
@@ -50,6 +64,7 @@ ExecStats PlanInterpreter::run() {
 
   flops_ = 0;
   modeled_flops_ = 0;
+  compute_seconds_ = 0;
   active_.clear();
   prefetch_.clear();
   if (options_.async_io && !options_.dry_run) {
@@ -57,10 +72,14 @@ ExecStats PlanInterpreter::run() {
     aio_options.num_workers = options_.aio_workers;
     engine_ = std::make_unique<aio::Engine>(aio_options);
   }
+  if (compute_threads_ > 1 && !options_.dry_run) {
+    pool_ = std::make_unique<ThreadPool>(compute_threads_);
+  }
 
   stats.stages.reserve(plan_.roots.size());
   dra::IoStats stage_start = farm_.total_stats();
   double stage_flops = 0;
+  double stage_compute = 0;
   for (const PlanNode& root : plan_.roots) {
     if (root.kind == PlanNode::Kind::Loop) {
       at_root_ = false;
@@ -76,11 +95,17 @@ ExecStats PlanInterpreter::run() {
     const dra::IoStats now = farm_.total_stats();
     StageStats stage;
     stage.io = now.since(stage_start);
-    stage.compute_seconds =
+    stage.modeled_compute_seconds =
         (flops_ + modeled_flops_ - stage_flops) / options_.modeled_flops_per_second;
+    // Dry runs execute no compute, so the analytical estimate is all
+    // there is; real runs charge the measured stage compute so the
+    // overlap model is a checkable bound on the machine at hand.
+    stage.compute_seconds =
+        options_.dry_run ? stage.modeled_compute_seconds : compute_seconds_ - stage_compute;
     stats.stages.push_back(stage);
     stage_start = now;
     stage_flops = flops_ + modeled_flops_;
+    stage_compute = compute_seconds_;
 
     if (options_.root_barrier) options_.root_barrier();
   }
@@ -97,6 +122,12 @@ ExecStats PlanInterpreter::run() {
     stats.stall_seconds = engine_stats.stall_seconds;
     stats.queue_depth_hwm = engine_stats.queue_depth_hwm;
     engine_.reset();
+  }
+  stats.compute_threads = compute_threads_;
+  stats.compute_seconds = compute_seconds_;
+  if (pool_) {
+    stats.compute_tasks = pool_->tasks_executed();
+    pool_.reset();
   }
   stats.io = farm_.total_stats();
   stats.wall_seconds = timer.seconds();
@@ -312,6 +343,21 @@ std::vector<std::int64_t> PlanInterpreter::current_extents(const PlanBuffer& buf
   return extents;
 }
 
+namespace {
+/// Zero `out`, chunked over the pool when one is live and the buffer is
+/// big enough to amortize the dispatch.
+void fill_zero(std::span<double> out, ThreadPool* pool) {
+  const auto size = static_cast<std::int64_t>(out.size());
+  if (pool != nullptr && pool->num_threads() > 1 && size >= 1 << 14) {
+    pool->parallel_for(0, size, 8192, [&](std::int64_t lo, std::int64_t hi) {
+      std::fill(out.begin() + lo, out.begin() + hi, 0.0);
+    });
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+}
+}  // namespace
+
 void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
   const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
   dra::DiskArray& disk = farm_.array(buffer.array);
@@ -327,7 +373,10 @@ void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
     if (parallel && op.rmw) {
       // GA mode: accumulation buffers start from zero; partial sums are
       // merged by atomic accumulate at the write.
-      if (!options_.dry_run) std::fill(span.begin(), span.end(), 0.0);
+      if (!options_.dry_run) {
+        const ComputeTimer timed(compute_seconds_);
+        fill_zero(span, pool_.get());
+      }
       return;
     }
     if (engine_) {
@@ -351,7 +400,7 @@ void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
       return;
     }
     if ((parallel && op.rmw) || force_accumulate) {
-      disk.accumulate(section, span);
+      disk.accumulate(section, span, pool_.get());
     } else {
       disk.write(section, span);
     }
@@ -360,6 +409,7 @@ void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
 
 void PlanInterpreter::do_zero(const PlanOp& op) {
   if (options_.dry_run) return;
+  const ComputeTimer timed(compute_seconds_);
   const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
   std::vector<double>& data = buffers_[static_cast<std::size_t>(op.buffer)];
   const std::vector<std::int64_t> extents = current_extents(buffer);
@@ -381,7 +431,7 @@ void PlanInterpreter::do_zero(const PlanOp& op) {
     }
   }
   if (whole) {
-    std::fill(data.begin(), data.end(), 0.0);
+    fill_zero(std::span<double>(data), pool_.get());
     return;
   }
   // Generic nested zero of the region under row-major `extents`.
@@ -460,6 +510,7 @@ void PlanInterpreter::do_contract(const PlanOp& op) {
     }
     return;
   }
+  const ComputeTimer timed(compute_seconds_);
   const ir::Stmt& stmt = op.stmt;
 
   // Fast path: BLAS-style dispatch when the statement maps onto a
@@ -480,7 +531,7 @@ void PlanInterpreter::do_contract(const PlanOp& op) {
     };
     const double flops =
         try_dgemm_contract(dense_operand(op.target_buffer), dense_operand(op.lhs_buffer),
-                           dense_operand(op.rhs_buffer), op.loops);
+                           dense_operand(op.rhs_buffer), op.loops, pool_.get());
     if (flops >= 0) {
       flops_ += flops;
       return;
@@ -520,48 +571,77 @@ void PlanInterpreter::do_contract(const PlanOp& op) {
   std::vector<Active> bounds;
   bounds.reserve(rank);
   for (const std::string& index : op.loops) bounds.push_back(active_.at(index));
-  std::map<std::string, std::int64_t> point;
-  std::vector<std::int64_t> counter(rank, 0);
 
-  // Buffers are addressed through their own shape dimensions (which for
-  // in-memory intermediates may include "virtual" prefix-loop dims not
-  // present in the array reference); every shape dim is a live loop
-  // index at the contraction point.
-  const auto offset = [&](const Operand& o, const ir::ArrayRef&) {
-    std::int64_t off = 0;
-    const auto& dims = o.buffer->shape.dims;
-    for (std::size_t d = 0; d < dims.size(); ++d) {
-      const std::int64_t global = point.at(dims[d].index);
-      const std::int64_t coord =
-          o.local[d] ? global - active_.at(dims[d].index).base : global;
-      off += coord * o.stride[d];
+  double points = 1;
+  for (const Active& bound : bounds) points *= static_cast<double>(bound.size);
+  if (stmt.kind == ir::StmtKind::Update) flops_ += 2 * points;
+  if (points == 0) return;
+
+  // Runs the odometer with the outermost loop restricted to counter
+  // values [lo, hi).  Self-contained (own point map) so disjoint ranges
+  // can run on different threads.
+  const auto run_range = [&](std::int64_t lo, std::int64_t hi) {
+    std::map<std::string, std::int64_t> point;
+    std::vector<std::int64_t> counter(rank, 0);
+    if (rank > 0) counter[0] = lo;
+
+    // Buffers are addressed through their own shape dimensions (which
+    // for in-memory intermediates may include "virtual" prefix-loop
+    // dims not present in the array reference); every shape dim is a
+    // live loop index at the contraction point.
+    const auto offset = [&](const Operand& o) {
+      std::int64_t off = 0;
+      const auto& dims = o.buffer->shape.dims;
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        const std::int64_t global = point.at(dims[d].index);
+        const std::int64_t coord =
+            o.local[d] ? global - active_.at(dims[d].index).base : global;
+        off += coord * o.stride[d];
+      }
+      return off;
+    };
+
+    while (true) {
+      for (std::size_t d = 0; d < rank; ++d) point[op.loops[d]] = bounds[d].base + counter[d];
+
+      const std::int64_t t = offset(target);
+      if (stmt.kind == ir::StmtKind::Init) {
+        target.data[t] = 0;
+      } else {
+        double value = lhs->data[offset(*lhs)];
+        if (rhs.has_value()) value *= rhs->data[offset(*rhs)];
+        target.data[t] += value;
+      }
+
+      // Odometer over the intra-tile space (outermost dim ends at hi).
+      if (rank == 0) return;
+      std::size_t d = rank;
+      while (d > 0) {
+        --d;
+        ++counter[d];
+        if (counter[d] < (d == 0 ? hi : bounds[d].size)) break;
+        if (d == 0) return;
+        counter[d] = 0;
+      }
     }
-    return off;
   };
 
-  while (true) {
-    for (std::size_t d = 0; d < rank; ++d) point[op.loops[d]] = bounds[d].base + counter[d];
-
-    const std::int64_t t = offset(target, stmt.target);
-    if (stmt.kind == ir::StmtKind::Init) {
-      target.data[t] = 0;
-    } else {
-      double value = lhs->data[offset(*lhs, *stmt.lhs)];
-      if (rhs.has_value()) value *= rhs->data[offset(*rhs, *stmt.rhs)];
-      target.data[t] += value;
-      flops_ += 2;
-    }
-
-    // Odometer over the intra-tile space.
-    std::size_t d = rank;
-    while (d > 0) {
-      --d;
-      if (++counter[d] < bounds[d].size) break;
-      counter[d] = 0;
-      if (d == 0) return;
-    }
-    if (rank == 0) return;
+  // Safe to chunk over the outermost statement loop only when it is a
+  // dimension of the target buffer: then every target element belongs
+  // to exactly one chunk, so writes stay disjoint and each element's
+  // accumulation order matches the serial odometer for any thread
+  // count.  (A contracted outermost index would make chunks race on
+  // the same elements.)
+  const auto& target_dims = target.buffer->shape.dims;
+  const bool outer_in_target =
+      rank > 0 && std::any_of(target_dims.begin(), target_dims.end(),
+                              [&](const BufferShape::Dim& d) { return d.index == op.loops[0]; });
+  if (pool_ != nullptr && pool_->num_threads() > 1 && outer_in_target &&
+      bounds[0].size > 1 && points >= 1 << 12) {
+    pool_->parallel_for(0, bounds[0].size, 1, run_range);
+    return;
   }
+  run_range(0, rank > 0 ? bounds[0].size : 1);
 }
 
 std::map<std::string, std::vector<double>> run_posix(

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "aio/engine.hpp"
+#include "common/thread_pool.hpp"
 #include "core/plan.hpp"
 #include "dra/farm.hpp"
 
@@ -45,6 +46,14 @@ struct ExecOptions {
   bool async_io = false;
   /// Background workers of the async engine (with async_io).
   int aio_workers = 2;
+  /// In-core compute worker threads: the contraction kernels, buffer
+  /// zeroing and RMW merge loops run chunked over a shared ThreadPool.
+  /// Kernels decompose the output into disjoint blocks with a fixed
+  /// per-element accumulation order, so results are bit-identical for
+  /// every value.  Composes with async_io (compute workers and the aio
+  /// pool overlap).  0 = resolve from the OOCS_THREADS environment
+  /// variable, defaulting to 1.
+  int compute_threads = 0;
   /// Sustained in-core contraction rate used to model compute time for
   /// the overlap cost model (per-stage max(io, compute)); the default
   /// approximates the paper's Itanium-2 node running dgemm.
@@ -60,8 +69,13 @@ struct ExecOptions {
 /// Per-top-level-root ("stage") breakdown of the run: the unit at which
 /// an overlapped execution can hide I/O behind compute.
 struct StageStats {
-  dra::IoStats io;             // farm delta across the stage
-  double compute_seconds = 0;  // modeled: stage flops / modeled rate
+  dra::IoStats io;  // farm delta across the stage
+  /// Compute seconds the overlap model charges the stage: measured wall
+  /// time of the stage's kernels/zeroing in real runs, the analytical
+  /// estimate (flops / modeled rate) in dry runs.
+  double compute_seconds = 0;
+  /// Analytical estimate (stage flops / modeled rate), always filled.
+  double modeled_compute_seconds = 0;
 };
 
 struct ExecStats {
@@ -69,6 +83,11 @@ struct ExecStats {
   double kernel_flops = 0;    // 2 × multiply-add count executed
   double wall_seconds = 0;    // wall clock of the interpretation
   std::int64_t buffer_bytes = 0;
+
+  // Compute-thread telemetry (real runs; dry runs execute no compute).
+  int compute_threads = 1;        // resolved pool width
+  double compute_seconds = 0;     // measured wall seconds in compute
+  std::int64_t compute_tasks = 0; // pool chunks executed
 
   /// Flops the plan performs: executed flops plus, in dry runs, the
   /// analytical count of the skipped pure-compute subtrees.
@@ -132,6 +151,9 @@ class PlanInterpreter {
   const core::OocPlan& plan_;
   dra::DiskFarm& farm_;
   ExecOptions options_;
+  int compute_threads_ = 1;  // resolved from options/OOCS_THREADS
+  /// Live during real runs with compute_threads_ > 1.
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::vector<double>> buffers_;
   std::map<int, Prefetch> prefetch_;  // by buffer id
   /// Live during async real runs.  Declared after the buffers/slots so
@@ -141,7 +163,8 @@ class PlanInterpreter {
   std::map<std::string, Active> active_;
   bool at_root_ = true;
   double flops_ = 0;
-  double modeled_flops_ = 0;  // dry-run analytical estimate
+  double modeled_flops_ = 0;    // dry-run analytical estimate
+  double compute_seconds_ = 0;  // measured compute wall time (real runs)
 };
 
 /// Convenience wrapper: run `plan` for real against a POSIX farm rooted

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace oocs::rt {
 
@@ -18,6 +19,69 @@ void check_sizes(std::int64_t m, std::int64_t n, std::int64_t k, std::size_t a, 
   OOCS_REQUIRE(a >= static_cast<std::size_t>(m * k), "A too small");
   OOCS_REQUIRE(b >= static_cast<std::size_t>(k * n), "B too small");
   OOCS_REQUIRE(c >= static_cast<std::size_t>(m * n), "C too small");
+}
+
+/// One task: C[i0..i1) x [j0..j1) += A·B over the full k range, blocked,
+/// with transposed operands packed into contiguous panels.  Per element
+/// the k accumulation runs strictly ascending, independent of the
+/// (i0, j0) decomposition — the determinism anchor for the thread pool.
+void dgemm_block(std::int64_t i0, std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                 std::int64_t k, MatView a, MatView b, double* c, std::int64_t ldc) {
+  alignas(64) double a_pack[kBlockM * kBlockK];
+  alignas(64) double b_pack[kBlockK * kBlockN];
+
+  for (std::int64_t jb = j0; jb < j1; jb += kBlockN) {
+    const std::int64_t nb = std::min(jb + kBlockN, j1) - jb;
+    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockK) {
+      const std::int64_t kb = std::min(l0 + kBlockK, k) - l0;
+
+      // B block: rows l0..l0+kb, cols jb..jb+nb, contiguous row-major.
+      const double* b_blk;
+      std::int64_t ldb;
+      if (b.transposed) {  // stored [j, l]
+        for (std::int64_t jj = 0; jj < nb; ++jj) {
+          const double* b_col = &b.data[(jb + jj) * b.ld + l0];
+          for (std::int64_t ll = 0; ll < kb; ++ll) b_pack[ll * nb + jj] = b_col[ll];
+        }
+        b_blk = b_pack;
+        ldb = nb;
+      } else {
+        b_blk = &b.data[l0 * b.ld + jb];
+        ldb = b.ld;
+      }
+
+      for (std::int64_t ib = i0; ib < i1; ib += kBlockM) {
+        const std::int64_t mb = std::min(ib + kBlockM, i1) - ib;
+
+        // A block: rows ib..ib+mb, cols l0..l0+kb.
+        const double* a_blk;
+        std::int64_t lda;
+        if (a.transposed) {  // stored [l, i]
+          for (std::int64_t ll = 0; ll < kb; ++ll) {
+            const double* a_row = &a.data[(l0 + ll) * a.ld + ib];
+            for (std::int64_t ii = 0; ii < mb; ++ii) a_pack[ii * kb + ll] = a_row[ii];
+          }
+          a_blk = a_pack;
+          lda = kb;
+        } else {
+          a_blk = &a.data[ib * a.ld + l0];
+          lda = a.ld;
+        }
+
+        // Register-friendly micro kernel: i-k-j with the innermost loop
+        // streaming contiguous rows of B and C.
+        for (std::int64_t ii = 0; ii < mb; ++ii) {
+          double* c_row = &c[(ib + ii) * ldc + jb];
+          const double* a_row = &a_blk[ii * lda];
+          for (std::int64_t ll = 0; ll < kb; ++ll) {
+            const double a_il = a_row[ll];
+            const double* b_row = &b_blk[ll * ldb];
+            for (std::int64_t jj = 0; jj < nb; ++jj) c_row[jj] += a_il * b_row[jj];
+          }
+        }
+      }
+    }
+  }
 }
 }  // namespace
 
@@ -37,102 +101,49 @@ void dgemm_naive(std::int64_t m, std::int64_t n, std::int64_t k, std::span<const
 
 void dgemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
                       std::span<const double> a, std::span<const double> b,
-                      std::span<double> c) {
+                      std::span<double> c, ThreadPool* pool) {
   check_sizes(m, n, k, a.size(), b.size(), c.size());
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
-    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockK) {
-      const std::int64_t l1 = std::min(l0 + kBlockK, k);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t j1 = std::min(j0 + kBlockN, n);
-        // Register-friendly micro kernel: i-k-j with the innermost loop
-        // streaming contiguous rows of B and C.
-        for (std::int64_t i = i0; i < i1; ++i) {
-          for (std::int64_t l = l0; l < l1; ++l) {
-            const double a_il = a[static_cast<std::size_t>(i * k + l)];
-            const double* b_row = &b[static_cast<std::size_t>(l * n + j0)];
-            double* c_row = &c[static_cast<std::size_t>(i * n + j0)];
-            for (std::int64_t j = 0; j < j1 - j0; ++j) c_row[j] += a_il * b_row[j];
-          }
-        }
-      }
-    }
-  }
+  dgemm_strided(m, n, k, MatView{a.data(), k, false}, MatView{b.data(), n, false}, c.data(), n,
+                pool);
 }
 
 void dgemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, MatView a, MatView b,
-                   double* c, std::int64_t ldc) {
+                   double* c, std::int64_t ldc, ThreadPool* pool) {
   OOCS_REQUIRE(m >= 0 && n >= 0 && k >= 0, "negative dgemm extent");
   OOCS_REQUIRE(a.data != nullptr && b.data != nullptr && c != nullptr, "null operand");
+  if (m == 0 || n == 0 || k == 0) return;
 
-  // Four layout variants; each blocks over k and streams the innermost
-  // contiguous direction where the layout allows.
-  const auto run_blocked = [&](auto&& inner) {
-    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockK) {
-      const std::int64_t l1 = std::min(l0 + kBlockK, k);
-      for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-        const std::int64_t i1 = std::min(i0 + kBlockM, m);
-        inner(i0, i1, l0, l1);
-      }
-    }
-  };
+  if (pool == nullptr || pool->num_threads() == 1) {
+    dgemm_block(0, m, 0, n, k, a, b, c, ldc);
+    return;
+  }
 
-  if (!a.transposed && !b.transposed) {
-    // C[i,j] += A[i,l]·B[l,j]: stream rows of B and C.
-    run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t l = l0; l < l1; ++l) {
-          const double a_il = a.data[i * a.ld + l];
-          const double* b_row = &b.data[l * b.ld];
-          double* c_row = &c[i * ldc];
-          for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_il * b_row[j];
-        }
-      }
-    });
-    return;
-  }
-  if (a.transposed && !b.transposed) {
-    // A stored [l, i]: A(i,l) = a.data[l·ld + i].
-    run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
-      for (std::int64_t l = l0; l < l1; ++l) {
-        const double* a_col = &a.data[l * a.ld];
-        const double* b_row = &b.data[l * b.ld];
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const double a_il = a_col[i];
-          double* c_row = &c[i * ldc];
-          for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_il * b_row[j];
-        }
-      }
-    });
-    return;
-  }
-  if (!a.transposed && b.transposed) {
-    // B stored [j, l]: dot products of contiguous rows.
-    run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const double* a_row = &a.data[i * a.ld];
-        double* c_row = &c[i * ldc];
-        for (std::int64_t j = 0; j < n; ++j) {
-          const double* b_row = &b.data[j * b.ld];
-          double sum = 0;
-          for (std::int64_t l = l0; l < l1; ++l) sum += a_row[l] * b_row[l];
-          c_row[j] += sum;
-        }
-      }
-    });
-    return;
-  }
-  // Both transposed.
-  run_blocked([&](std::int64_t i0, std::int64_t i1, std::int64_t l0, std::int64_t l1) {
-    for (std::int64_t l = l0; l < l1; ++l) {
-      const double* a_col = &a.data[l * a.ld];
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const double a_il = a_col[i];
-        double* c_row = &c[i * ldc];
-        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_il * b.data[j * b.ld + l];
-      }
-    }
-  });
+  // 2D decomposition of C into a grid of row/column bands, each a
+  // multiple of the cache block so tasks never split a micro tile.
+  // Rows split first (A panels are reused across a whole row band);
+  // columns split only when the row count cannot feed the pool.
+  const std::int64_t row_blocks = (m + kBlockM - 1) / kBlockM;
+  const std::int64_t col_blocks = (n + kBlockN - 1) / kBlockN;
+  const std::int64_t target = static_cast<std::int64_t>(pool->num_threads()) * 3;
+  const std::int64_t row_bands = std::min(row_blocks, target);
+  const std::int64_t col_bands =
+      row_bands >= target ? 1 : std::min(col_blocks, (target + row_bands - 1) / row_bands);
+  const std::int64_t band_h = ((row_blocks + row_bands - 1) / row_bands) * kBlockM;
+  const std::int64_t band_w = ((col_blocks + col_bands - 1) / col_bands) * kBlockN;
+  const std::int64_t grid_rows = (m + band_h - 1) / band_h;
+  const std::int64_t grid_cols = (n + band_w - 1) / band_w;
+
+  pool->parallel_for(0, grid_rows * grid_cols, 1,
+                     [&](std::int64_t task_lo, std::int64_t task_hi) {
+                       for (std::int64_t t = task_lo; t < task_hi; ++t) {
+                         const std::int64_t gi = t / grid_cols;
+                         const std::int64_t gj = t % grid_cols;
+                         const std::int64_t i0 = gi * band_h;
+                         const std::int64_t j0 = gj * band_w;
+                         dgemm_block(i0, std::min(i0 + band_h, m), j0,
+                                     std::min(j0 + band_w, n), k, a, b, c, ldc);
+                       }
+                     });
 }
 
 }  // namespace oocs::rt

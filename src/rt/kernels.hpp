@@ -5,17 +5,29 @@
 // cache-blocked dgemm plus small helpers.  The plan interpreter's
 // generic element loops are the semantics reference; dgemm is the
 // performance path exercised by the micro benchmarks and examples.
+//
+// Parallelism: every kernel optionally takes a ThreadPool.  The matrix
+// C is decomposed into a 2D grid of (m, n) blocks; each task owns a
+// disjoint set of C blocks and runs the full k loop for them in
+// ascending order, so no atomics are needed and the per-element
+// accumulation order — hence the result, bit for bit — is identical for
+// every thread count, including the serial pool-less path.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
+namespace oocs {
+class ThreadPool;
+}
+
 namespace oocs::rt {
 
-/// C[m x n] += A[m x k] · B[k x n], row-major, cache-blocked.
+/// C[m x n] += A[m x k] · B[k x n], row-major, cache-blocked; decomposed
+/// over (m, n) blocks across `pool` when given.
 void dgemm_accumulate(std::int64_t m, std::int64_t n, std::int64_t k,
                       std::span<const double> a, std::span<const double> b,
-                      std::span<double> c);
+                      std::span<double> c, ThreadPool* pool = nullptr);
 
 /// Naive triple loop (oracle for the blocked kernel).
 void dgemm_naive(std::int64_t m, std::int64_t n, std::int64_t k, std::span<const double> a,
@@ -35,9 +47,11 @@ struct MatView {
 
 /// General strided accumulate: C[m x n] += A[m x k] · B[k x n], where A
 /// and B may each be transposed views and C has leading dimension ldc.
+/// Transposed operands are packed into contiguous panels block by block,
+/// so all four layout variants stream the same contiguous micro kernel.
 /// This is the BLAS-style entry the plan interpreter's contraction fast
 /// path dispatches to.
 void dgemm_strided(std::int64_t m, std::int64_t n, std::int64_t k, MatView a, MatView b,
-                   double* c, std::int64_t ldc);
+                   double* c, std::int64_t ldc, ThreadPool* pool = nullptr);
 
 }  // namespace oocs::rt

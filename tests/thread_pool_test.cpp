@@ -1,0 +1,279 @@
+// Tests for the shared compute thread pool and thread-count invariance:
+// the pool's chunking/exception/nesting contract, bit-identical dgemm
+// results for every pool width, and bit-identical plan executions across
+// compute_threads x {sync, async} combinations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ga/parallel.hpp"
+#include "ir/examples.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/kernels.hpp"
+#include "rt/reference.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("oocs_tp_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GT(pool.tasks_executed(), 0);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { calls++; });
+  pool.parallel_for(5, 3, 1, [&](std::int64_t, std::int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RespectsMinChunk) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 100, 100, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 100);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 64, 1,
+                                 [](std::int64_t lo, std::int64_t) {
+                                   if (lo >= 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+
+  // The pool drains the failed batch and accepts new work afterwards.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(0, 100, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPool, RejectsNestedUse) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 8, 1,
+                        [&](std::int64_t, std::int64_t) {
+                          pool.parallel_for(0, 2, 1, [](std::int64_t, std::int64_t) {});
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, DestructorDrainsCleanly) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(0, 256, 1, [&](std::int64_t lo, std::int64_t hi) {
+      done += static_cast<int>(hi - lo);
+    });
+  }  // workers joined here
+  EXPECT_EQ(done.load(), 256);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  const char* saved = std::getenv("OOCS_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  EXPECT_EQ(ThreadPool::resolve_threads(5), 5);
+  ::setenv("OOCS_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 3);
+  EXPECT_EQ(ThreadPool::resolve_threads(2), 2);  // explicit beats env
+  ::setenv("OOCS_THREADS", "garbage", 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 1);
+  ::unsetenv("OOCS_THREADS");
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 1);
+
+  if (saved) {
+    ::setenv("OOCS_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("OOCS_THREADS");
+  }
+}
+
+TEST(ThreadPool, RejectsBadWidth) {
+  EXPECT_THROW(ThreadPool(0), Error);
+  EXPECT_THROW(ThreadPool(-1), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bit-identity: odd (non-multiple-of-block) sizes, all four
+// transpose variants, every pool width against the serial path.
+
+TEST(KernelInvariance, StridedVariantsBitIdenticalAcrossPools) {
+  const std::int64_t m = 70, n = 65, k = 93;
+  Rng rng(11);
+  std::vector<double> a_nn(static_cast<std::size_t>(m * k));
+  std::vector<double> a_t(static_cast<std::size_t>(k * m));
+  std::vector<double> b_nn(static_cast<std::size_t>(k * n));
+  std::vector<double> b_t(static_cast<std::size_t>(n * k));
+  for (double& v : a_nn) v = rng.next_double();
+  for (double& v : b_nn) v = rng.next_double();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t l = 0; l < k; ++l)
+      a_t[static_cast<std::size_t>(l * m + i)] = a_nn[static_cast<std::size_t>(i * k + l)];
+  for (std::int64_t l = 0; l < k; ++l)
+    for (std::int64_t j = 0; j < n; ++j)
+      b_t[static_cast<std::size_t>(j * k + l)] = b_nn[static_cast<std::size_t>(l * n + j)];
+
+  const struct {
+    const char* name;
+    rt::MatView a, b;
+  } variants[] = {
+      {"NN", {a_nn.data(), k, false}, {b_nn.data(), n, false}},
+      {"TN", {a_t.data(), m, true}, {b_nn.data(), n, false}},
+      {"NT", {a_nn.data(), k, false}, {b_t.data(), k, true}},
+      {"TT", {a_t.data(), m, true}, {b_t.data(), k, true}},
+  };
+
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  for (const auto& var : variants) {
+    std::vector<double> serial(static_cast<std::size_t>(m * n), 0.5);
+    std::vector<double> with2(serial), with8(serial);
+    rt::dgemm_strided(m, n, k, var.a, var.b, serial.data(), n);
+    rt::dgemm_strided(m, n, k, var.a, var.b, with2.data(), n, &pool2);
+    rt::dgemm_strided(m, n, k, var.a, var.b, with8.data(), n, &pool8);
+    EXPECT_EQ(std::memcmp(serial.data(), with2.data(), serial.size() * sizeof(double)), 0)
+        << var.name << " with 2 threads";
+    EXPECT_EQ(std::memcmp(serial.data(), with8.data(), serial.size() * sizeof(double)), 0)
+        << var.name << " with 8 threads";
+  }
+
+  // All variants compute the same product (tolerance: packing changes
+  // nothing, so NN vs transposed layouts agree bit for bit too).
+  std::vector<double> ref(static_cast<std::size_t>(m * n), 0.0);
+  rt::dgemm_naive(m, n, k, a_nn, b_nn, ref);
+  for (const auto& var : variants) {
+    std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+    rt::dgemm_strided(m, n, k, var.a, var.b, c.data(), n, &pool8);
+    double worst = 0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      worst = std::max(worst, std::abs(c[i] - ref[i]));
+    EXPECT_LT(worst, 1e-9) << var.name;
+  }
+}
+
+TEST(KernelInvariance, AccumulateBitIdenticalAcrossPools) {
+  const std::int64_t m = 129, n = 67, k = 130;
+  Rng rng(3);
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  for (double& v : a) v = rng.next_double();
+  for (double& v : b) v = rng.next_double();
+
+  std::vector<double> serial(static_cast<std::size_t>(m * n), 1.25);
+  std::vector<double> threaded(serial);
+  rt::dgemm_accumulate(m, n, k, a, b, serial);
+  ThreadPool pool(8);
+  rt::dgemm_accumulate(m, n, k, a, b, threaded, &pool);
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(), serial.size() * sizeof(double)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-execution invariance: a tiled out-of-core run (partial edge
+// tiles, RMW accumulation) is bit-identical for every compute_threads
+// value, sync and async.
+
+core::SynthesisResult synthesize_small(const ir::Program& p, std::int64_t limit) {
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = limit;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  return core::synthesize(p, options, solver);
+}
+
+TEST(PlanInvariance, BitIdenticalAcrossThreadsAndAsync) {
+  const ir::Program p = ir::examples::two_index(24, 20, 16, 12);
+  const core::SynthesisResult result = synthesize_small(p, 6 * 1024);
+  ASSERT_TRUE(result.solution.feasible);
+  const rt::TensorMap inputs = rt::random_inputs(p, 21);
+
+  rt::ExecOptions base;
+  base.compute_threads = 1;
+  const auto reference =
+      rt::run_posix(result.plan, inputs, temp_dir("ref"), nullptr, base);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int threads : {1, 2, 8}) {
+    for (const bool async_io : {false, true}) {
+      rt::ExecOptions exec;
+      exec.compute_threads = threads;
+      exec.async_io = async_io;
+      const std::string tag =
+          "t" + std::to_string(threads) + (async_io ? "a" : "s");
+      rt::ExecStats stats;
+      const auto out = rt::run_posix(result.plan, inputs, temp_dir(tag), &stats, exec);
+      EXPECT_EQ(stats.compute_threads, threads);
+
+      ASSERT_EQ(out.size(), reference.size()) << tag;
+      for (const auto& [name, data] : reference) {
+        const auto it = out.find(name);
+        ASSERT_NE(it, out.end()) << tag;
+        ASSERT_EQ(it->second.size(), data.size()) << tag;
+        EXPECT_EQ(std::memcmp(it->second.data(), data.data(),
+                              data.size() * sizeof(double)),
+                  0)
+            << name << " differs for " << tag;
+      }
+    }
+  }
+}
+
+TEST(PlanInvariance, GaProcsComposeWithComputeThreads) {
+  const ir::Program p = ir::examples::two_index(24, 20, 16, 12);
+  const core::SynthesisResult result = synthesize_small(p, 6 * 1024);
+  ASSERT_TRUE(result.solution.feasible);
+  const rt::TensorMap inputs = rt::random_inputs(p, 5);
+
+  dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, temp_dir("ga"));
+  for (const auto& [name, decl] : result.plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    dra::DiskArray& array = farm.array(name);
+    array.write(dra::Section::whole(array.extents()), inputs.at(name));
+  }
+
+  const ga::ParallelStats stats = ga::run_threads(result.plan, farm, 2, false, 2);
+  // procs x threads is capped at the hardware concurrency, so the
+  // effective width depends on the machine — but never below 1.
+  EXPECT_GE(stats.compute_threads, 1);
+  EXPECT_LE(stats.compute_threads, 2);
+
+  dra::DiskArray& b = farm.array("B");
+  std::vector<double> out(static_cast<std::size_t>(b.elements()));
+  b.read(dra::Section::whole(b.extents()), out);
+  const rt::Tensor reference = rt::run_in_core(p, inputs).at("B");
+  EXPECT_LT(rt::max_abs_diff(out, reference), 1e-9);
+}
+
+}  // namespace
+}  // namespace oocs

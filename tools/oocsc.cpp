@@ -21,6 +21,11 @@
 //   --procs N           with --run: execute GA-style on N processes
 //   --async             with --run: asynchronous I/O (write-behind +
 //                       tile read-ahead) instead of blocking calls
+//   --threads N         with --run: in-core compute threads per process
+//                       (kernels, zeroing, RMW merges; results are
+//                       bit-identical for any N; default OOCS_THREADS
+//                       env or 1; capped so procs x threads never
+//                       oversubscribes the hardware)
 //   --stats-json FILE   dump the synthesis summary (and, with --run,
 //                       the execution statistics) as JSON to FILE
 //
@@ -61,6 +66,7 @@ struct Args {
   std::string run_dir;
   int procs = 1;
   bool async_io = false;
+  int threads = 0;  // 0 = OOCS_THREADS env, default 1
   std::string stats_json;
 };
 
@@ -69,7 +75,7 @@ struct Args {
                "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa] [--seed N]\n"
                "       [--read-block BYTES] [--write-block BYTES] [--seek-bytes N]\n"
                "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n"
-               "       [--async] [--stats-json FILE]\n",
+               "       [--async] [--threads N] [--stats-json FILE]\n",
                argv0);
   std::exit(1);
 }
@@ -110,6 +116,9 @@ Args parse_args(int argc, char** argv) {
       args.procs = std::atoi(need_value(i));
     } else if (std::strcmp(a, "--async") == 0) {
       args.async_io = true;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      args.threads = std::atoi(need_value(i));
+      if (args.threads < 0) usage(argv[0]);
     } else if (std::strcmp(a, "--stats-json") == 0) {
       args.stats_json = need_value(i);
     } else if (a[0] == '-') {
@@ -192,6 +201,7 @@ int run(const Args& args) {
       rt::ExecStats stats;
       rt::ExecOptions exec;
       exec.async_io = args.async_io;
+      exec.compute_threads = args.threads;
       const auto outputs = rt::run_posix(result.plan, inputs, args.run_dir, &stats, exec);
       exec_stats = stats;
       for (const auto& [name, data] : outputs) {
@@ -205,7 +215,8 @@ int run(const Args& args) {
         array.write(dra::Section::whole(array.extents()), inputs.at(name));
       }
       farm.reset_stats();
-      parallel_stats = ga::run_threads(result.plan, farm, args.procs, args.async_io);
+      parallel_stats = ga::run_threads(result.plan, farm, args.procs, args.async_io,
+                                       args.threads);
       for (const auto& [name, decl] : result.plan.program.arrays()) {
         if (decl.kind != ir::ArrayKind::Output) continue;
         dra::DiskArray& array = farm.array(name);
@@ -214,8 +225,11 @@ int run(const Args& args) {
         worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
       }
     }
-    std::printf("run (%d proc%s%s): max |output - reference| = %.3g → %s\n", args.procs,
-                args.procs == 1 ? "" : "s", args.async_io ? ", async" : "", worst,
+    const int threads_used = exec_stats.has_value() ? exec_stats->compute_threads
+                                                    : parallel_stats->compute_threads;
+    std::printf("run (%d proc%s, %d compute thread%s%s): max |output - reference| = %.3g → %s\n",
+                args.procs, args.procs == 1 ? "" : "s", threads_used,
+                threads_used == 1 ? "" : "s", args.async_io ? ", async" : "", worst,
                 worst < 1e-9 ? "OK" : "MISMATCH");
   }
 
@@ -260,6 +274,9 @@ int run(const Args& args) {
                    "    \"busy_seconds\": %.6f,\n"
                    "    \"stall_seconds\": %.6f,\n"
                    "    \"queue_depth_hwm\": %lld,\n"
+                   "    \"compute_threads\": %d,\n"
+                   "    \"compute_seconds\": %.6f,\n"
+                   "    \"compute_tasks\": %lld,\n"
                    "    \"modeled_serial_seconds\": %.6f,\n"
                    "    \"modeled_overlap_seconds\": %.6f,\n"
                    "    \"max_abs_error\": %.3g,\n"
@@ -272,8 +289,9 @@ int run(const Args& args) {
                    static_cast<long long>(s.io.write_calls), s.io.seconds, s.wall_seconds,
                    s.kernel_flops, static_cast<long long>(s.buffer_bytes), s.busy_seconds,
                    s.stall_seconds, static_cast<long long>(s.queue_depth_hwm),
-                   s.modeled_serial_seconds, s.modeled_overlap_seconds, worst,
-                   worst < 1e-9 ? "true" : "false");
+                   s.compute_threads, s.compute_seconds,
+                   static_cast<long long>(s.compute_tasks), s.modeled_serial_seconds,
+                   s.modeled_overlap_seconds, worst, worst < 1e-9 ? "true" : "false");
     } else if (parallel_stats.has_value()) {
       const ga::ParallelStats& s = *parallel_stats;
       std::fprintf(out,
@@ -288,6 +306,8 @@ int run(const Args& args) {
                    "    \"busy_seconds\": %.6f,\n"
                    "    \"stall_seconds\": %.6f,\n"
                    "    \"queue_depth_hwm\": %lld,\n"
+                   "    \"compute_threads\": %d,\n"
+                   "    \"compute_seconds\": %.6f,\n"
                    "    \"max_abs_error\": %.3g,\n"
                    "    \"verified\": %s\n"
                    "  }",
@@ -296,7 +316,8 @@ int run(const Args& args) {
                    static_cast<long long>(s.total.bytes_written),
                    static_cast<long long>(s.total.read_calls),
                    static_cast<long long>(s.total.write_calls), s.io_seconds, s.busy_seconds,
-                   s.stall_seconds, static_cast<long long>(s.queue_depth_hwm), worst,
+                   s.stall_seconds, static_cast<long long>(s.queue_depth_hwm),
+                   s.compute_threads, s.measured_compute_seconds, worst,
                    worst < 1e-9 ? "true" : "false");
     }
     std::fprintf(out, "\n}\n");
