@@ -1,0 +1,67 @@
+#include "cache/cached_array.hpp"
+
+#include "common/error.hpp"
+
+namespace oocs::cache {
+
+CachedDiskArray::CachedDiskArray(std::unique_ptr<dra::DiskArray> backend, TileCache& cache)
+    : dra::DiskArray(backend->name(), backend->extents()),
+      backend_(std::move(backend)),
+      cache_(&cache) {}
+
+CachedDiskArray::~CachedDiskArray() {
+  try {
+    cache_->clear(backend_.get());
+  } catch (...) {
+    // Destruction is best-effort; flush the cache first to observe errors.
+  }
+}
+
+void CachedDiskArray::read(const dra::Section& section, std::span<double> out) {
+  check_section(section, out.size(), stores_data());
+  cache_->read(*backend_, section, out);
+}
+
+void CachedDiskArray::write(const dra::Section& section, std::span<const double> data) {
+  check_section(section, data.size(), stores_data());
+  cache_->write(*backend_, section, data);
+}
+
+void CachedDiskArray::accumulate(const dra::Section& section, std::span<const double> data,
+                                 ThreadPool* pool) {
+  check_section(section, data.size(), stores_data());
+  cache_->accumulate(*backend_, section, data, pool);
+}
+
+dra::IoStats CachedDiskArray::stats() const {
+  dra::IoStats stats = backend_->stats();
+  const CacheCounters counters = cache_->counters_for(backend_.get());
+  stats.cache_hits = counters.hits;
+  stats.cache_misses = counters.misses;
+  stats.cache_hit_bytes = counters.hit_bytes;
+  stats.cache_evictions = counters.evictions;
+  stats.cache_writebacks = counters.writebacks;
+  stats.cache_writeback_bytes = counters.writeback_bytes;
+  return stats;
+}
+
+void CachedDiskArray::reset_stats() {
+  backend_->reset_stats();
+  cache_->reset_counters(backend_.get());
+}
+
+void CachedDiskArray::do_read(const dra::Section&, std::span<double>) {
+  OOCS_REQUIRE(false, "CachedDiskArray::do_read must not be reached");
+}
+
+void CachedDiskArray::do_write(const dra::Section&, std::span<const double>) {
+  OOCS_REQUIRE(false, "CachedDiskArray::do_write must not be reached");
+}
+
+void attach_cache(dra::DiskFarm& farm, TileCache& cache) {
+  farm.set_array_wrapper([&cache](std::unique_ptr<dra::DiskArray> backend) {
+    return std::make_unique<CachedDiskArray>(std::move(backend), cache);
+  });
+}
+
+}  // namespace oocs::cache

@@ -1,0 +1,59 @@
+// Cache front-end for a DiskArray.
+//
+// CachedDiskArray routes read/write/accumulate through a shared
+// TileCache before the wrapped backend touches disk.  It is installed
+// per-farm via attach_cache(), so the interpreter, the aio worker pool
+// and ga::run_threads all hit the cache without knowing it exists —
+// they just call DiskArray's virtual entry points.
+//
+// Statistics: the backend keeps pure disk traffic (a cache hit never
+// reaches it), and stats() merges the backend's IoStats with this
+// array's cache counters mapped into the IoStats cache_* fields.
+#pragma once
+
+#include <memory>
+
+#include "cache/tile_cache.hpp"
+#include "dra/disk_array.hpp"
+#include "dra/farm.hpp"
+
+namespace oocs::cache {
+
+class CachedDiskArray final : public dra::DiskArray {
+ public:
+  CachedDiskArray(std::unique_ptr<dra::DiskArray> backend, TileCache& cache);
+  /// Flushes and drops this backend's entries (the cache outlives the
+  /// farm in every integration point, so pending write-backs land while
+  /// the backend file is still open).
+  ~CachedDiskArray() override;
+
+  void read(const dra::Section& section, std::span<double> out) override;
+  void write(const dra::Section& section, std::span<const double> data) override;
+  void accumulate(const dra::Section& section, std::span<const double> data,
+                  ThreadPool* pool = nullptr) override;
+
+  /// Backend disk stats plus this array's cache counters (cache_* fields).
+  [[nodiscard]] dra::IoStats stats() const override;
+  void reset_stats() override;
+
+  [[nodiscard]] bool stores_data() const noexcept override { return backend_->stores_data(); }
+
+  [[nodiscard]] dra::DiskArray& backend() noexcept { return *backend_; }
+  [[nodiscard]] TileCache& cache() noexcept { return *cache_; }
+
+ protected:
+  // Never reached: the public entry points above are fully overridden.
+  void do_read(const dra::Section& section, std::span<double> out) override;
+  void do_write(const dra::Section& section, std::span<const double> data) override;
+
+ private:
+  std::unique_ptr<dra::DiskArray> backend_;
+  TileCache* cache_;
+};
+
+/// Installs `cache` as the front-end for every array `farm` creates.
+/// Must be called before the farm materializes any array; the cache
+/// must outlive the farm.
+void attach_cache(dra::DiskFarm& farm, TileCache& cache);
+
+}  // namespace oocs::cache

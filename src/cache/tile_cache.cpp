@@ -1,0 +1,596 @@
+#include "cache/tile_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace oocs::cache {
+
+namespace {
+
+using dra::DiskArray;
+using dra::Section;
+
+Section section_of(const std::vector<std::pair<std::int64_t, std::int64_t>>& dims) {
+  Section section;
+  section.dims = dims;
+  return section;
+}
+
+bool overlaps(const Section& a, const Section& b) {
+  if (a.rank() != b.rank()) return false;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    if (a.dims[d].first >= b.dims[d].second || b.dims[d].first >= a.dims[d].second) return false;
+  }
+  return true;
+}
+
+/// True when `inner` is fully covered by `outer`.
+bool contained(const Section& inner, const Section& outer) {
+  if (inner.rank() != outer.rank()) return false;
+  for (std::size_t d = 0; d < inner.dims.size(); ++d) {
+    if (inner.dims[d].first < outer.dims[d].first || inner.dims[d].second > outer.dims[d].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// If `a` and `b` differ in exactly one dimension and are contiguous
+/// there (identical elsewhere), returns that dimension; -1 otherwise.
+/// The union of two such sections is itself rectangular.
+int adjacent_dim(const Section& a, const Section& b) {
+  if (a.rank() != b.rank()) return -1;
+  int dim = -1;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    if (a.dims[d] == b.dims[d]) continue;
+    const bool touching =
+        a.dims[d].second == b.dims[d].first || b.dims[d].second == a.dims[d].first;
+    if (!touching || dim >= 0) return -1;
+    dim = static_cast<int>(d);
+  }
+  return dim;
+}
+
+Section section_union(const Section& a, const Section& b) {
+  Section u = a;
+  for (std::size_t d = 0; d < u.dims.size(); ++d) {
+    u.dims[d].first = std::min(a.dims[d].first, b.dims[d].first);
+    u.dims[d].second = std::max(a.dims[d].second, b.dims[d].second);
+  }
+  return u;
+}
+
+/// Copies `part` (row-major over `part_section`) into its place inside
+/// the row-major buffer of `whole_section`.
+void scatter_into(const Section& whole_section, std::vector<double>& whole,
+                  const Section& part_section, const std::vector<double>& part) {
+  const std::size_t rank = whole_section.rank();
+  if (rank == 0 || part.empty()) return;
+  std::vector<std::int64_t> stride(rank, 1);
+  for (std::size_t d = rank; d > 1; --d) {
+    stride[d - 2] =
+        stride[d - 1] * (whole_section.dims[d - 1].second - whole_section.dims[d - 1].first);
+  }
+  const std::int64_t run =
+      part_section.dims[rank - 1].second - part_section.dims[rank - 1].first;
+  std::vector<std::int64_t> idx(rank);
+  for (std::size_t d = 0; d < rank; ++d) idx[d] = part_section.dims[d].first;
+  std::int64_t src = 0;
+  while (true) {
+    std::int64_t dst = 0;
+    for (std::size_t d = 0; d < rank; ++d) {
+      dst += (idx[d] - whole_section.dims[d].first) * stride[d];
+    }
+    std::copy(part.begin() + src, part.begin() + src + run, whole.begin() + dst);
+    src += run;
+    if (rank == 1) break;
+    std::size_t d = rank - 1;
+    bool done = false;
+    while (true) {
+      if (d == 0) {
+        done = true;
+        break;
+      }
+      --d;
+      if (++idx[d] < part_section.dims[d].second) break;
+      idx[d] = part_section.dims[d].first;
+      if (d == 0) {
+        done = true;
+        break;
+      }
+    }
+    if (done) break;
+  }
+}
+
+}  // namespace
+
+void CacheCounters::merge(const CacheCounters& other) noexcept {
+  hits += other.hits;
+  misses += other.misses;
+  hit_bytes += other.hit_bytes;
+  evictions += other.evictions;
+  writebacks += other.writebacks;
+  writeback_bytes += other.writeback_bytes;
+  coalesced_flushes += other.coalesced_flushes;
+}
+
+bool TileCache::Key::operator<(const Key& other) const noexcept {
+  if (array != other.array) return array < other.array;
+  return dims < other.dims;
+}
+
+bool TileCache::Key::operator==(const Key& other) const noexcept {
+  return array == other.array && dims == other.dims;
+}
+
+TileCache::TileCache(TileCacheOptions options) : options_(options) {
+  OOCS_REQUIRE(options_.budget_bytes >= 0, "cache budget must be >= 0");
+  options_.shards = std::max(1, options_.shards);
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) shards_.push_back(std::make_unique<Shard>());
+}
+
+TileCache::~TileCache() {
+  try {
+    flush();
+  } catch (...) {
+    // Destruction is best-effort; call flush() first to observe errors.
+  }
+}
+
+TileCache::Key TileCache::make_key(const DiskArray& array, const Section& section) {
+  Key key;
+  key.array = &array;
+  key.dims = section.dims;
+  return key;
+}
+
+TileCache::Shard& TileCache::shard_for(const Key& key) {
+  std::size_t h = std::hash<const void*>{}(key.array);
+  for (const auto& [lo, hi] : key.dims) {
+    h = h * 1315423911u ^ std::hash<std::int64_t>{}(lo);
+    h = h * 1315423911u ^ std::hash<std::int64_t>{}(hi);
+  }
+  return *shards_[h % shards_.size()];
+}
+
+void TileCache::write_back_run(std::vector<Entry*>& run) {
+  if (run.empty()) return;
+  DiskArray& array = *run.front()->array;
+  if (run.size() == 1) {
+    Entry& e = *run.front();
+    array.write(section_of(e.key.dims), e.data);
+    e.dirty = false;
+    Shard& shard = shard_for(e.key);
+    CacheCounters& c = shard.counters[e.key.array];
+    c.writebacks += 1;
+    c.writeback_bytes += e.bytes;
+    return;
+  }
+  // Coalesced flush: scatter every tile into one buffer over the union
+  // section (the run was built so the union stays rectangular) and
+  // issue a single backend write.
+  Section merged = section_of(run.front()->key.dims);
+  for (const Entry* e : run) merged = section_union(merged, section_of(e->key.dims));
+  std::vector<double> buffer;
+  if (array.stores_data()) {
+    buffer.resize(static_cast<std::size_t>(merged.elements()));
+    for (const Entry* e : run) scatter_into(merged, buffer, section_of(e->key.dims), e->data);
+  }
+  array.write(merged, buffer);
+  std::int64_t bytes = 0;
+  for (Entry* e : run) {
+    e->dirty = false;
+    bytes += e->bytes;
+  }
+  Shard& shard = shard_for(run.front()->key);
+  CacheCounters& c = shard.counters[run.front()->key.array];
+  c.writebacks += 1;
+  c.writeback_bytes += bytes;
+  c.coalesced_flushes += 1;
+}
+
+void TileCache::evict_for_budget(Shard& shard) {
+  // Evict cold unpinned entries of this shard while the global resident
+  // total exceeds the budget.  Dirty victims are written back first —
+  // together with any adjacent same-array dirty entries of this shard,
+  // so eviction-driven flushes still reach the coalescing target.
+  while (true) {
+    {
+      const std::scoped_lock budget_lock(budget_mutex_);
+      if (resident_bytes_ <= options_.budget_bytes) return;
+    }
+    auto victim = shard.lru.end();
+    for (auto it = shard.lru.end(); it != shard.lru.begin();) {
+      --it;
+      if (it->pins == 0) {
+        victim = it;
+        break;
+      }
+    }
+    if (victim == shard.lru.end()) return;  // everything pinned: over-budget
+
+    if (victim->dirty) {
+      // Build a maximal adjacent run around the victim from this
+      // shard's dirty entries (deterministic: greedy by section order).
+      std::vector<Entry*> dirty;
+      for (Entry& e : shard.lru) {
+        if (e.dirty && e.key.array == victim->key.array) dirty.push_back(&e);
+      }
+      std::sort(dirty.begin(), dirty.end(),
+                [](const Entry* a, const Entry* b) { return a->key < b->key; });
+      std::vector<Entry*> run{&*victim};
+      Section merged = section_of(victim->key.dims);
+      bool grew = true;
+      while (grew && static_cast<std::int64_t>(merged.elements()) * 8 <
+                         options_.min_flush_bytes) {
+        grew = false;
+        for (Entry* e : dirty) {
+          if (e == &*victim ||
+              std::find(run.begin(), run.end(), e) != run.end()) {
+            continue;
+          }
+          if (adjacent_dim(merged, section_of(e->key.dims)) >= 0) {
+            run.push_back(e);
+            merged = section_union(merged, section_of(e->key.dims));
+            grew = true;
+            break;
+          }
+        }
+      }
+      write_back_run(run);
+    }
+
+    {
+      const std::scoped_lock budget_lock(budget_mutex_);
+      resident_bytes_ -= victim->bytes;
+    }
+    shard.counters[victim->key.array].evictions += 1;
+    shard.index.erase(victim->key);
+    shard.lru.erase(victim);
+  }
+}
+
+void TileCache::flush_entries(std::vector<Entry*>& dirty) {
+  // Caller holds every involved shard mutex.  Greedy adjacent runs in
+  // deterministic sorted order.
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+  std::vector<Entry*> run;
+  Section merged;
+  for (Entry* e : dirty) {
+    if (!run.empty() && run.front()->key.array == e->key.array &&
+        adjacent_dim(merged, section_of(e->key.dims)) >= 0) {
+      merged = section_union(merged, section_of(e->key.dims));
+      run.push_back(e);
+      continue;
+    }
+    write_back_run(run);
+    run = {e};
+    merged = section_of(e->key.dims);
+  }
+  write_back_run(run);
+}
+
+void TileCache::flush_overlapping(const DiskArray& array, const Section& section) {
+  // Lock every shard (ascending) so the overlap scan and the backend
+  // writes are atomic with respect to other cache users.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  std::vector<Entry*> dirty;
+  for (auto& shard : shards_) {
+    for (Entry& e : shard->lru) {
+      if (e.dirty && e.key.array == &array && overlaps(section_of(e.key.dims), section)) {
+        dirty.push_back(&e);
+      }
+    }
+  }
+  if (dirty.empty()) return;
+  flush_entries(dirty);
+}
+
+void TileCache::prepare_insert(const DiskArray& array, const Section& section,
+                               bool superseding) {
+  // Make room for a new entry over `section` while keeping the core
+  // invariant — resident entries are pairwise non-overlapping — which
+  // is what makes the exact-key write fast path safe.  Dirty data that
+  // the new entry does not fully supersede is written to disk first
+  // (program order); everything overlapping is then dropped.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  std::vector<Entry*> need_flush;
+  bool any_overlap = false;
+  for (auto& shard : shards_) {
+    for (Entry& e : shard->lru) {
+      if (e.key.array != &array || !overlaps(section_of(e.key.dims), section)) continue;
+      any_overlap = true;
+      if (e.dirty && !(superseding && contained(section_of(e.key.dims), section))) {
+        need_flush.push_back(&e);
+      }
+    }
+  }
+  if (!any_overlap) return;
+  if (!need_flush.empty()) flush_entries(need_flush);
+  for (auto& shard : shards_) {
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.array == &array && overlaps(section_of(it->key.dims), section) &&
+          it->pins == 0) {
+        const std::scoped_lock budget_lock(budget_mutex_);
+        resident_bytes_ -= it->bytes;
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TileCache::read(DiskArray& array, const Section& section, std::span<double> out) {
+  const Key key = make_key(array, section);
+  const std::int64_t bytes = section.elements() * 8;
+  Shard& shard = shard_for(key);
+
+  {
+    const std::scoped_lock lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      if (array.stores_data()) {
+        std::copy(entry.data.begin(), entry.data.end(), out.begin());
+      }
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      CacheCounters& c = shard.counters[&array];
+      c.hits += 1;
+      c.hit_bytes += bytes;
+      return;
+    }
+  }
+
+  if (bytes > options_.budget_bytes) {
+    // Too big to ever cache: read through.  A differently-tiled reader
+    // must still observe write-back data, so land overlapping dirty
+    // tiles first (they stay resident).
+    flush_overlapping(array, section);
+    array.read(section, out);
+    const std::scoped_lock lock(shard.mutex);
+    shard.counters[&array].misses += 1;
+    return;
+  }
+
+  // Miss.  Flush overlapping dirty tiles (so the backend read observes
+  // write-back data) and drop everything overlapping — the new entry
+  // must not coexist with entries covering the same elements.
+  prepare_insert(array, section, /*superseding=*/false);
+
+  const std::scoped_lock lock(shard.mutex);
+  // Another thread may have inserted the key while we were unlocked.
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    Entry& entry = *it->second;
+    if (array.stores_data()) std::copy(entry.data.begin(), entry.data.end(), out.begin());
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    CacheCounters& c = shard.counters[&array];
+    c.hits += 1;
+    c.hit_bytes += bytes;
+    return;
+  }
+  // The backend read happens under the shard lock: the entry becomes
+  // visible only once its data is complete, and no concurrent eviction
+  // can race the insert.
+  array.read(section, out);
+  shard.counters[&array].misses += 1;
+
+  Entry entry;
+  entry.key = key;
+  entry.array = &array;
+  entry.bytes = bytes;
+  if (array.stores_data()) {
+    entry.data.assign(out.begin(), out.begin() + section.elements());
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  {
+    const std::scoped_lock budget_lock(budget_mutex_);
+    resident_bytes_ += bytes;
+    resident_bytes_hwm_ = std::max(resident_bytes_hwm_, resident_bytes_);
+  }
+  evict_for_budget(shard);
+}
+
+void TileCache::write(DiskArray& array, const Section& section,
+                      std::span<const double> data) {
+  const Key key = make_key(array, section);
+  const std::int64_t bytes = section.elements() * 8;
+  Shard& shard = shard_for(key);
+
+  // Exact-key fast path: replace the resident data in place (the
+  // redundant-loop read-modify-write pattern).
+  {
+    const std::scoped_lock lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      if (array.stores_data()) {
+        entry.data.assign(data.begin(), data.begin() + section.elements());
+      }
+      entry.dirty = true;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+  }
+
+  // Supersede overlapping entries: flush older dirty data that is only
+  // partially covered (program order: it must land before this write),
+  // then drop everything overlapping — contained dirty data is fully
+  // superseded and clean overlaps are stale once this write exists.
+  prepare_insert(array, section, /*superseding=*/true);
+
+  if (bytes > options_.budget_bytes) {
+    array.write(section, data);
+    return;
+  }
+
+  const std::scoped_lock lock(shard.mutex);
+  Entry entry;
+  entry.key = key;
+  entry.array = &array;
+  entry.bytes = bytes;
+  entry.dirty = true;
+  if (array.stores_data()) {
+    entry.data.assign(data.begin(), data.begin() + section.elements());
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  {
+    const std::scoped_lock budget_lock(budget_mutex_);
+    resident_bytes_ += bytes;
+    resident_bytes_hwm_ = std::max(resident_bytes_hwm_, resident_bytes_);
+  }
+  evict_for_budget(shard);
+}
+
+void TileCache::accumulate(DiskArray& array, const Section& section,
+                           std::span<const double> data, ThreadPool* pool) {
+  // Accumulates are GA-atomic on the backend and are never cached; the
+  // cache's only job is coherence: pending write-back data must land
+  // first, and resident copies are stale once the accumulate ran.
+  prepare_insert(array, section, /*superseding=*/false);
+  array.accumulate(section, data, pool);
+  invalidate(array, section);
+}
+
+void TileCache::flush(DiskArray* array) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  std::vector<Entry*> dirty;
+  for (auto& shard : shards_) {
+    for (Entry& e : shard->lru) {
+      if (e.dirty && (array == nullptr || e.key.array == array)) dirty.push_back(&e);
+    }
+  }
+  // Deterministic flush order: by array name, then section.  Dirty
+  // entries are pairwise disjoint (write-path invariant), so order
+  // cannot change the disk image — sorting makes call patterns and
+  // coalescing reproducible run to run.
+  std::sort(dirty.begin(), dirty.end(), [](const Entry* a, const Entry* b) {
+    if (a->array->name() != b->array->name()) return a->array->name() < b->array->name();
+    return a->key < b->key;
+  });
+  std::vector<Entry*> run;
+  Section merged;
+  for (Entry* e : dirty) {
+    if (!run.empty() && run.front()->key.array == e->key.array &&
+        adjacent_dim(merged, section_of(e->key.dims)) >= 0) {
+      merged = section_union(merged, section_of(e->key.dims));
+      run.push_back(e);
+      continue;
+    }
+    write_back_run(run);
+    run = {e};
+    merged = section_of(e->key.dims);
+  }
+  write_back_run(run);
+}
+
+void TileCache::clear(DiskArray* array) {
+  flush(array);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+  for (auto& shard : shards_) {
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if ((array == nullptr || it->key.array == array) && it->pins == 0) {
+        const std::scoped_lock budget_lock(budget_mutex_);
+        resident_bytes_ -= it->bytes;
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TileCache::invalidate(DiskArray& array, const Section& section) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mutex);
+  for (auto& shard : shards_) {
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.array == &array && overlaps(section_of(it->key.dims), section) &&
+          it->pins == 0) {
+        const std::scoped_lock budget_lock(budget_mutex_);
+        resident_bytes_ -= it->bytes;
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool TileCache::pin(DiskArray& array, const Section& section) {
+  const Key key = make_key(array, section);
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  it->second->pins += 1;
+  return true;
+}
+
+void TileCache::unpin(DiskArray& array, const Section& section) {
+  const Key key = make_key(array, section);
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  OOCS_REQUIRE(it != shard.index.end() && it->second->pins > 0,
+               "unpin of a tile that is not pinned");
+  it->second->pins -= 1;
+}
+
+CacheStats TileCache::stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    for (const auto& [array, counters] : shard->counters) stats.counters.merge(counters);
+    stats.entries += static_cast<std::int64_t>(shard->lru.size());
+  }
+  const std::scoped_lock budget_lock(budget_mutex_);
+  stats.resident_bytes = resident_bytes_;
+  stats.resident_bytes_hwm = resident_bytes_hwm_;
+  return stats;
+}
+
+CacheCounters TileCache::counters_for(const dra::DiskArray* array) const {
+  CacheCounters total;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    const auto it = shard->counters.find(array);
+    if (it != shard->counters.end()) total.merge(it->second);
+  }
+  return total;
+}
+
+void TileCache::reset_counters(const dra::DiskArray* array) {
+  for (auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    if (array == nullptr) {
+      shard->counters.clear();
+    } else {
+      shard->counters.erase(array);
+    }
+  }
+}
+
+}  // namespace oocs::cache

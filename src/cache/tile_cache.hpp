@@ -1,0 +1,205 @@
+// Memory-budgeted tile cache over disk-resident arrays.
+//
+// The synthesized plans re-read the same array section many times when
+// a redundant tiling loop sits above an I/O placement — exactly the
+// disk traffic the paper's NLP minimizes but cannot always remove under
+// a tight memory limit.  The TileCache turns whatever memory slack the
+// λ-selected buffers leave into free I/O elimination at execution time:
+// a sharded, budgeted LRU of array tiles keyed by (array, Section),
+// with write-back and adjacent-section coalescing so repeated
+// read-modify-write trips of one output tile cost one final flush
+// instead of one disk write per trip.
+//
+// Coherence invariants (see docs/TILE_CACHE.md):
+//   * Lookups hit on an exact (array, section) key only.
+//   * Dirty entries of one array are pairwise disjoint: a write that
+//     partially overlaps an existing entry flushes the older data to
+//     disk first (program order) and drops the stale entry, so the
+//     final disk image is independent of flush order.
+//   * A miss (read or accumulate) whose section overlaps dirty entries
+//     flushes them before touching the backend, so differently-tiled
+//     readers (e.g. the whole-array output read-back) always observe
+//     write-back data.
+//   * flush() writes dirty entries in deterministic order (array name,
+//     then section), coalescing adjacent sections into single backend
+//     calls; entries stay resident (clean) so reuse survives flushes.
+//   * Pinned entries are never evicted; the budget may be transiently
+//     exceeded while pins are held or when every entry is pinned.
+//
+// Data-free backends (SimDiskArray) are supported: entries then carry
+// no payload but still charge their section bytes against the budget,
+// so dry runs model cache hit rates at paper scale for free.
+//
+// Thread safety: every operation is safe to call concurrently (the aio
+// worker pool and ga::run_threads both do).  Entries are sharded by
+// (array, section) hash; an operation holds either one shard mutex or
+// all of them in ascending order, and backend I/O for misses,
+// evictions and flushes completes before the protecting locks are
+// released — a concurrent reader can never observe a cache state that
+// is ahead of the disk.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "dra/disk_array.hpp"
+
+namespace oocs::cache {
+
+struct TileCacheOptions {
+  /// Total resident-tile budget in bytes (sections larger than the
+  /// budget bypass the cache entirely).
+  std::int64_t budget_bytes = std::int64_t{64} << 20;
+  /// Number of LRU shards; operations on different shards proceed
+  /// concurrently.  Clamped to >= 1.
+  int shards = 8;
+  /// Write-back coalescing target: adjacent dirty sections are merged
+  /// until a flush reaches at least this many bytes (when possible).
+  std::int64_t min_flush_bytes = std::int64_t{1} << 20;
+};
+
+/// Counters for one array (or totals); mirrored into dra::IoStats by
+/// CachedDiskArray.
+struct CacheCounters {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t hit_bytes = 0;
+  std::int64_t evictions = 0;
+  std::int64_t writebacks = 0;       // backend write calls issued by the cache
+  std::int64_t writeback_bytes = 0;
+  std::int64_t coalesced_flushes = 0;  // writebacks merging >= 2 tiles
+
+  void merge(const CacheCounters& other) noexcept;
+};
+
+struct CacheStats {
+  CacheCounters counters;
+  std::int64_t resident_bytes = 0;
+  std::int64_t resident_bytes_hwm = 0;
+  std::int64_t entries = 0;
+};
+
+class TileCache {
+ public:
+  explicit TileCache(TileCacheOptions options = {});
+  /// Flushes every dirty entry (best effort: errors are swallowed —
+  /// call flush() first if you care).
+  ~TileCache();
+
+  TileCache(const TileCache&) = delete;
+  TileCache& operator=(const TileCache&) = delete;
+
+  /// Read `section` of `array` through the cache.  On a hit, fills
+  /// `out` from the resident copy without touching the backend.  On a
+  /// miss, flushes overlapping dirty entries, reads from the backend
+  /// and inserts the tile (evicting LRU entries past the budget).
+  void read(dra::DiskArray& array, const dra::Section& section, std::span<double> out);
+
+  /// Write-back: caches `data` dirty; the backend write happens at
+  /// eviction or flush().  Overlapping older entries are superseded
+  /// (flushed first if only partially covered).  Sections larger than
+  /// the budget write through.
+  void write(dra::DiskArray& array, const dra::Section& section, std::span<const double> data);
+
+  /// GA-style atomic read-add-write.  Never cached: overlapping dirty
+  /// entries are flushed and every overlapping entry is invalidated
+  /// around the backend accumulate.
+  void accumulate(dra::DiskArray& array, const dra::Section& section,
+                  std::span<const double> data, ThreadPool* pool = nullptr);
+
+  /// Writes all dirty entries (of `array`, or every array when null) to
+  /// their backends in deterministic order with adjacent-section
+  /// coalescing; entries stay resident and clean.
+  void flush(dra::DiskArray* array = nullptr);
+
+  /// Flushes then drops every entry of `array` (all arrays when null).
+  void clear(dra::DiskArray* array = nullptr);
+
+  /// Drops every entry of `array` without flushing (their cached data
+  /// is abandoned).  Used around backend accumulates.
+  void invalidate(dra::DiskArray& array, const dra::Section& section);
+
+  /// Pins the resident entry for the exact key so eviction skips it;
+  /// returns false when the key is not resident.  Pins nest.
+  bool pin(dra::DiskArray& array, const dra::Section& section);
+  void unpin(dra::DiskArray& array, const dra::Section& section);
+
+  [[nodiscard]] CacheStats stats() const;
+  /// Counters attributed to one backend array (for IoStats surfacing).
+  [[nodiscard]] CacheCounters counters_for(const dra::DiskArray* array) const;
+  void reset_counters(const dra::DiskArray* array = nullptr);
+
+  [[nodiscard]] std::int64_t budget_bytes() const noexcept { return options_.budget_bytes; }
+
+ private:
+  struct Key {
+    const dra::DiskArray* array = nullptr;
+    std::vector<std::pair<std::int64_t, std::int64_t>> dims;
+
+    bool operator<(const Key& other) const noexcept;
+    bool operator==(const Key& other) const noexcept;
+  };
+
+  struct Entry {
+    Key key;
+    dra::DiskArray* array = nullptr;  // non-const for flush writes
+    std::vector<double> data;         // empty for data-free backends
+    std::int64_t bytes = 0;           // section bytes charged to the budget
+    bool dirty = false;
+    int pins = 0;
+  };
+
+  /// One LRU shard: entries in recency order (front = most recent).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::map<Key, std::list<Entry>::iterator> index;
+    std::map<const dra::DiskArray*, CacheCounters> counters;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key);
+  [[nodiscard]] static Key make_key(const dra::DiskArray& array, const dra::Section& section);
+
+  /// Evicts LRU unpinned entries of `shard` until the global resident
+  /// total fits the budget; dirty victims are written back (possibly
+  /// coalesced with adjacent same-array dirty entries of the shard)
+  /// before removal.  Caller holds the shard mutex.
+  void evict_for_budget(Shard& shard);
+
+  /// Flushes the dirty entries overlapping (array, section) in every
+  /// shard.  Caller must hold no shard mutex.
+  void flush_overlapping(const dra::DiskArray& array, const dra::Section& section);
+
+  /// Writes `dirty` back in deterministic coalesced runs.  Caller holds
+  /// the mutex of every involved shard.
+  void flush_entries(std::vector<Entry*>& dirty);
+
+  /// Restores the pairwise-non-overlap invariant before inserting a new
+  /// entry over `section`: flushes overlapping dirty data the insert
+  /// does not supersede, then drops every overlapping unpinned entry.
+  /// `superseding` is true for writes (fully-covered dirty entries need
+  /// no flush — the new data replaces theirs).  Takes all shard locks;
+  /// caller must hold none.
+  void prepare_insert(const dra::DiskArray& array, const dra::Section& section,
+                      bool superseding);
+
+  /// Writes one run of dirty entries (all same array, pairwise
+  /// adjacent) as a single backend call and marks them clean.  Caller
+  /// holds the mutex of every involved shard.
+  void write_back_run(std::vector<Entry*>& run);
+
+  TileCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global resident total (entries across all shards), guarded by
+  /// budget_mutex_ so eviction decisions are budget-coherent.
+  mutable std::mutex budget_mutex_;
+  std::int64_t resident_bytes_ = 0;
+  std::int64_t resident_bytes_hwm_ = 0;
+};
+
+}  // namespace oocs::cache

@@ -84,4 +84,134 @@ PredictedIo predict_io(const ir::Program& program, const Enumeration& enumeratio
   return io;
 }
 
+namespace {
+
+/// One reuse opportunity: a distinct tile set of `footprint_bytes`
+/// whose residency converts the listed calls into hits / saved writes.
+struct ReuseCandidate {
+  double footprint_bytes = 0;  // distinct tiles × tile bytes
+  double hits = 0;             // read calls served from the cache
+  double hit_bytes = 0;
+  double saved_write_calls = 0;  // write-backs absorbed in place
+  double saved_write_bytes = 0;
+};
+
+double redundancy_of(const ir::Program& program, const IoCandidate& candidate,
+                     const expr::Env& env) {
+  double trips = 1;
+  for (const std::string& index : candidate.redundant) {
+    trips *= expr::Expr::ceil_div(expr::lit(static_cast<double>(program.range(index))),
+                                  expr::var(tile_var(index)))
+                 .eval(env);
+  }
+  return trips;
+}
+
+/// Exact-key hits require identical sections.  Compare the *evaluated*
+/// per-dim extents: a symbolically tiled dim whose chosen tile equals
+/// the full range produces the same sections as an untiled one (the
+/// common case on DCS-optimal plans, which tile few loops).
+bool same_sections(const ir::Program& program, const expr::Env& env, const BufferShape& a,
+                   const BufferShape& b) {
+  if (a.dims.size() != b.dims.size()) return false;
+  const auto extent = [&](const BufferShape::Dim& dim) {
+    const double range = static_cast<double>(program.range(dim.index));
+    if (!dim.tiled) return range;
+    const auto it = env.find(tile_var(dim.index));
+    return it != env.end() ? std::min(it->second, range) : range;
+  };
+  for (std::size_t i = 0; i < a.dims.size(); ++i) {
+    if (a.dims[i].index != b.dims[i].index || extent(a.dims[i]) != extent(b.dims[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CachePrediction predict_cache(const ir::Program& program, const Enumeration& enumeration,
+                              const Decisions& decisions, std::int64_t budget_bytes) {
+  expr::Env env;
+  for (const auto& [index, tile] : decisions.tile_sizes) {
+    env[tile_var(index)] = static_cast<double>(tile);
+  }
+
+  CachePrediction prediction;
+  prediction.budget_bytes = budget_bytes;
+  prediction.with_cache = predict_io(program, enumeration, decisions);
+  const double total_read_calls = prediction.with_cache.read_calls;
+  if (budget_bytes <= 0) return prediction;
+
+  std::vector<ReuseCandidate> candidates;
+  for (std::size_t g = 0; g < enumeration.groups.size(); ++g) {
+    const ChoiceGroup& group = enumeration.groups[g];
+    const ChoiceOption& option =
+        group.options[static_cast<std::size_t>(decisions.option_index[g])];
+    // Intermediates leave their producer's tiles resident (flush keeps
+    // entries clean, not dropped), so a consumer pass over matching
+    // sections hits even without redundant loops of its own.
+    const bool producer_resident =
+        group.kind == ir::ArrayKind::Intermediate && option.write.has_value();
+    for (const IoCandidate& read : option.reads) {
+      const double redundancy = redundancy_of(program, read, env);
+      const bool seeded = producer_resident &&
+                          same_sections(program, env, read.buffer, option.write->buffer);
+      if (redundancy <= 1 && !seeded) continue;
+      const double calls = read.call_count(program).eval(env);
+      const double tile_bytes = read.buffer.bytes(program).eval(env);
+      const double distinct = calls / redundancy;
+      ReuseCandidate reuse;
+      reuse.footprint_bytes = distinct * tile_bytes;
+      reuse.hits = seeded ? calls : calls - distinct;
+      reuse.hit_bytes = reuse.hits * tile_bytes;
+      candidates.push_back(reuse);
+    }
+    if (option.write.has_value()) {
+      const IoCandidate& write = *option.write;
+      const double redundancy = redundancy_of(program, write, env);
+      if (redundancy > 1) {
+        // Redundant-loop accumulation: each repeat's read-back hits the
+        // dirty resident tile, and its write-back is absorbed in place
+        // — only the final flush reaches the disk.
+        const double calls = write.call_count(program).eval(env);
+        const double tile_bytes = write.buffer.bytes(program).eval(env);
+        const double repeats = calls - calls / redundancy;
+        ReuseCandidate reuse;
+        reuse.footprint_bytes = calls / redundancy * tile_bytes;
+        if (write.read_required) {
+          reuse.hits = repeats;
+          reuse.hit_bytes = repeats * tile_bytes;
+        }
+        reuse.saved_write_calls = repeats;
+        reuse.saved_write_bytes = repeats * tile_bytes;
+        candidates.push_back(reuse);
+      }
+    }
+  }
+
+  // Greedy allocation, smallest working set first: mirrors LRU, which
+  // retains small cyclic sets and thrashes on sets over budget.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ReuseCandidate& a, const ReuseCandidate& b) {
+              return a.footprint_bytes < b.footprint_bytes;
+            });
+  double remaining = static_cast<double>(budget_bytes);
+  for (const ReuseCandidate& reuse : candidates) {
+    if (reuse.footprint_bytes > remaining) continue;  // would thrash: no hits
+    remaining -= reuse.footprint_bytes;
+    prediction.hits += reuse.hits;
+    prediction.hit_bytes += reuse.hit_bytes;
+    prediction.saved_write_calls += reuse.saved_write_calls;
+    prediction.saved_write_bytes += reuse.saved_write_bytes;
+  }
+
+  prediction.with_cache.read_calls -= prediction.hits;
+  prediction.with_cache.read_bytes -= prediction.hit_bytes;
+  prediction.with_cache.write_calls -= prediction.saved_write_calls;
+  prediction.with_cache.write_bytes -= prediction.saved_write_bytes;
+  if (total_read_calls > 0) prediction.expected_hit_rate = prediction.hits / total_read_calls;
+  return prediction;
+}
+
 }  // namespace oocs::core

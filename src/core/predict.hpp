@@ -43,6 +43,50 @@ struct PredictedIo {
                                      const Enumeration& enumeration,
                                      const Decisions& decisions);
 
+/// Cache-aware refinement of predict_io for a runtime tile cache of
+/// `budget_bytes` (rt's --cache-mb): the memory the λ-selected buffers
+/// leave unused can hold the distinct tiles a redundant loop re-reads.
+///
+/// The model mirrors the runtime LRU exactly: a placement whose
+/// redundant loops repeat a distinct tile set of `footprint_bytes`
+/// gets full hits on every repeat iff the whole set fits in the budget
+/// share it is allocated, and zero hits otherwise (a cyclic re-read
+/// pattern one tile over budget thrashes LRU completely).  The budget
+/// is allocated greedily to the smallest footprints first.  Writes
+/// under a redundant loop (read_required accumulation) additionally
+/// save their re-reads and coalesce their repeated write-backs into
+/// the final flush.  A second, producer→consumer term covers
+/// intermediates: flushed entries stay resident clean, so a consumer
+/// whose evaluated sections coincide with the producer's hits on its
+/// first pass too when the array fits — this is where the cache wins
+/// on DCS-optimal plans, whose within-nest redundancy the solver has
+/// already minimized.
+///
+/// The result is a *lower bound* on the measured savings: it only sees
+/// reuse expressible at the enumeration's buffer shapes, while the
+/// executed plan can also hit when its concrete section granularity
+/// happens to line up across stages.  For an exact cache-aware
+/// prediction, dry-run the plan against a sim farm with a TileCache
+/// attached (see bench/tile_cache.cpp).
+struct CachePrediction {
+  std::int64_t budget_bytes = 0;
+  /// Disk traffic with the cache active (predict_io minus the savings).
+  PredictedIo with_cache;
+  /// Read traffic served from the cache instead of disk.
+  double hit_bytes = 0;
+  double hits = 0;
+  /// Repeated write-back traffic coalesced away.
+  double saved_write_bytes = 0;
+  double saved_write_calls = 0;
+  /// Fraction of predict_io read calls served from the cache.
+  double expected_hit_rate = 0;
+};
+
+[[nodiscard]] CachePrediction predict_cache(const ir::Program& program,
+                                            const Enumeration& enumeration,
+                                            const Decisions& decisions,
+                                            std::int64_t budget_bytes);
+
 /// Analytical flop count of the abstract program: 2 flops per point of
 /// every update statement's full index space (init statements are
 /// free).  Placement/tiling do not change it — compute volume is

@@ -21,6 +21,12 @@ void IoStats::merge(const IoStats& other) noexcept {
   read_calls += other.read_calls;
   write_calls += other.write_calls;
   seconds += other.seconds;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_hit_bytes += other.cache_hit_bytes;
+  cache_evictions += other.cache_evictions;
+  cache_writebacks += other.cache_writebacks;
+  cache_writeback_bytes += other.cache_writeback_bytes;
 }
 
 IoStats IoStats::since(const IoStats& earlier) const noexcept {
@@ -30,6 +36,12 @@ IoStats IoStats::since(const IoStats& earlier) const noexcept {
   delta.read_calls = read_calls - earlier.read_calls;
   delta.write_calls = write_calls - earlier.write_calls;
   delta.seconds = seconds - earlier.seconds;
+  delta.cache_hits = cache_hits - earlier.cache_hits;
+  delta.cache_misses = cache_misses - earlier.cache_misses;
+  delta.cache_hit_bytes = cache_hit_bytes - earlier.cache_hit_bytes;
+  delta.cache_evictions = cache_evictions - earlier.cache_evictions;
+  delta.cache_writebacks = cache_writebacks - earlier.cache_writebacks;
+  delta.cache_writeback_bytes = cache_writeback_bytes - earlier.cache_writeback_bytes;
   return delta;
 }
 

@@ -48,6 +48,16 @@ struct IoStats {
   /// concurrent callers (the aio worker pool, ga::run_threads) do not
   /// double-count overlapped time into one scalar.
   double seconds = 0;
+  /// Tile-cache accounting (zero when no cache front-end is attached).
+  /// Cache hits never reach the disk, so they are deliberately *not*
+  /// folded into bytes_read/read_calls/seconds — that would silently
+  /// skew the measured bandwidth.  bytes_read stays pure disk traffic.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_hit_bytes = 0;
+  std::int64_t cache_evictions = 0;
+  std::int64_t cache_writebacks = 0;
+  std::int64_t cache_writeback_bytes = 0;
 
   void merge(const IoStats& other) noexcept;
   /// Field-wise difference (`*this` minus `earlier`) for interval
@@ -80,20 +90,22 @@ class DiskArray {
 
   /// Reads `section` (dense row-major) into `out`.  `out` may be empty
   /// for backends that carry no data (SimDiskArray); data-carrying
-  /// backends require `out.size() >= section.elements()`.
-  void read(const Section& section, std::span<double> out);
+  /// backends require `out.size() >= section.elements()`.  Virtual so a
+  /// front-end (cache::CachedDiskArray) can interpose without the rest
+  /// of the stack knowing.
+  virtual void read(const Section& section, std::span<double> out);
 
   /// Writes `section` from `data` (same contract as read).
-  void write(const Section& section, std::span<const double> data);
+  virtual void write(const Section& section, std::span<const double> data);
 
   /// Atomic read-add-write of a section (the GA-style accumulate used
   /// by the parallel runtime).  Counts as one read plus one write.  The
   /// element-wise merge loop is chunked over `pool` when given.
-  void accumulate(const Section& section, std::span<const double> data,
-                  ThreadPool* pool = nullptr);
+  virtual void accumulate(const Section& section, std::span<const double> data,
+                          ThreadPool* pool = nullptr);
 
-  [[nodiscard]] IoStats stats() const;
-  void reset_stats();
+  [[nodiscard]] virtual IoStats stats() const;
+  virtual void reset_stats();
 
   /// True if this backend stores real data (POSIX), false for Sim.
   [[nodiscard]] virtual bool stores_data() const noexcept = 0;

@@ -33,9 +33,19 @@ DiskArray& DiskFarm::array(const std::string& name) {
   } else {
     created = std::make_unique<PosixDiskArray>(name, std::move(extents), directory_);
   }
+  if (wrapper_) {
+    created = wrapper_(std::move(created));
+    OOCS_REQUIRE(created != nullptr, "array wrapper returned null for '", name, "'");
+  }
   DiskArray& ref = *created;
   arrays_.emplace(name, std::move(created));
   return ref;
+}
+
+void DiskFarm::set_array_wrapper(ArrayWrapper wrapper) {
+  OOCS_REQUIRE(arrays_.empty(),
+               "set_array_wrapper must be called before any array is created");
+  wrapper_ = std::move(wrapper);
 }
 
 IoStats DiskFarm::total_stats() const {

@@ -4,6 +4,7 @@
 // uniform backend: POSIX files under a directory, or the modeled disk.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -14,6 +15,11 @@ namespace oocs::dra {
 
 class DiskFarm {
  public:
+  /// Interposes on array creation: receives the freshly created backend
+  /// and returns the array the farm should hand out (e.g. a cache
+  /// front-end wrapping it).  See cache::attach_cache.
+  using ArrayWrapper = std::function<std::unique_ptr<DiskArray>(std::unique_ptr<DiskArray>)>;
+
   /// Real files under `directory` (created if needed).
   [[nodiscard]] static DiskFarm posix(const ir::Program& program, std::string directory);
 
@@ -23,6 +29,11 @@ class DiskFarm {
   /// The disk array for `name` (created on first use from the program
   /// declaration).  Throws SpecError for unknown arrays.
   [[nodiscard]] DiskArray& array(const std::string& name);
+
+  /// Installs (or clears, with nullptr) the creation hook.  Must be set
+  /// before any array is created — already-materialized arrays would
+  /// bypass the wrapper.
+  void set_array_wrapper(ArrayWrapper wrapper);
 
   [[nodiscard]] bool is_simulated() const noexcept { return simulated_; }
 
@@ -37,6 +48,7 @@ class DiskFarm {
   bool simulated_ = false;
   std::string directory_;
   DiskModel model_;
+  ArrayWrapper wrapper_;
   std::map<std::string, std::unique_ptr<DiskArray>> arrays_;
 };
 

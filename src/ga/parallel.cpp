@@ -10,7 +10,7 @@
 namespace oocs::ga {
 
 ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs,
-                          bool async_io, int compute_threads) {
+                          bool async_io, int compute_threads, cache::TileCache* tile_cache) {
   OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
   OOCS_REQUIRE(compute_threads >= 0, "compute_threads must be >= 0");
 
@@ -45,6 +45,7 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
         options.num_procs = num_procs;
         options.async_io = async_io;
         options.compute_threads = effective_threads;
+        options.tile_cache = tile_cache;
         options.root_barrier = [&sync] { sync.arrive_and_wait(); };
         rt::PlanInterpreter interpreter(plan, farm, options);
         proc_stats[static_cast<std::size_t>(proc)] = interpreter.run();

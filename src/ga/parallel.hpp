@@ -25,6 +25,10 @@
 #include "dra/farm.hpp"
 #include "rt/interpreter.hpp"
 
+namespace oocs::cache {
+class TileCache;
+}
+
 namespace oocs::ga {
 
 struct ParallelStats {
@@ -65,9 +69,13 @@ struct ParallelStats {
 /// cross-process visibility is unchanged.  Each process additionally
 /// runs `compute_threads` in-core compute workers (0 = OOCS_THREADS
 /// env, default 1), capped so num_procs × compute_threads never
-/// oversubscribes the hardware concurrency.
+/// oversubscribes the hardware concurrency.  When `tile_cache` is given
+/// (already attached to `farm` via cache::attach_cache), every process
+/// flushes it before arriving at a root barrier, so write-back data is
+/// cross-process visible exactly where plain disk writes would be.
 ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int num_procs,
-                          bool async_io = false, int compute_threads = 0);
+                          bool async_io = false, int compute_threads = 0,
+                          cache::TileCache* tile_cache = nullptr);
 
 /// Modeled parallel run at paper scale: no data, each process charges
 /// its local-disk share of every collective I/O call.  Also fills the

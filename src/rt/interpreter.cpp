@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "cache/cached_array.hpp"
+#include "cache/tile_cache.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "rt/dispatch.hpp"
@@ -91,6 +93,10 @@ ExecStats PlanInterpreter::run() {
     // Write-behind requests must land before the stage is accounted and
     // before any other process crosses the barrier.
     if (engine_) engine_->drain();
+    // Dirty cached tiles likewise: flush (entries stay resident clean)
+    // so the stage's disk image is complete and its write-back traffic
+    // is charged to the stage that produced it.
+    if (options_.tile_cache) options_.tile_cache->flush();
 
     const dra::IoStats now = farm_.total_stats();
     StageStats stage;
@@ -647,7 +653,17 @@ void PlanInterpreter::do_contract(const PlanOp& op) {
 std::map<std::string, std::vector<double>> run_posix(
     const OocPlan& plan, const std::map<std::string, std::vector<double>>& inputs,
     const std::string& directory, ExecStats* stats, ExecOptions options) {
+  // The cache must outlive the farm: CachedDiskArray destructors flush
+  // pending write-backs into their backends.
+  std::unique_ptr<cache::TileCache> owned_cache;
+  if (options.tile_cache == nullptr && options.cache_budget_bytes > 0) {
+    cache::TileCacheOptions cache_options;
+    cache_options.budget_bytes = options.cache_budget_bytes;
+    owned_cache = std::make_unique<cache::TileCache>(cache_options);
+    options.tile_cache = owned_cache.get();
+  }
   dra::DiskFarm farm = dra::DiskFarm::posix(plan.program, directory);
+  if (options.tile_cache != nullptr) cache::attach_cache(farm, *options.tile_cache);
 
   // Stage the inputs.
   for (const auto& [name, decl] : plan.program.arrays()) {
@@ -657,6 +673,9 @@ std::map<std::string, std::vector<double>> run_posix(
     dra::DiskArray& array = farm.array(name);
     array.write(dra::Section::whole(array.extents()), it->second);
   }
+  // Start the run cold: staging traffic neither stays resident nor
+  // counts against the run's statistics.
+  if (options.tile_cache != nullptr) options.tile_cache->clear();
   farm.reset_stats();
 
   options.dry_run = false;

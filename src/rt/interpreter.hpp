@@ -23,6 +23,10 @@
 #include "core/plan.hpp"
 #include "dra/farm.hpp"
 
+namespace oocs::cache {
+class TileCache;
+}
+
 namespace oocs::rt {
 
 struct ExecOptions {
@@ -58,6 +62,16 @@ struct ExecOptions {
   /// the overlap cost model (per-stage max(io, compute)); the default
   /// approximates the paper's Itanium-2 node running dgemm.
   double modeled_flops_per_second = 4e9;
+  /// Tile cache attached to the farm (via cache::attach_cache), if any.
+  /// The interpreter flushes it at every root boundary — after the async
+  /// engine drains, before stage stats are taken and the barrier fires —
+  /// so write-back data is on disk whenever other processes may read it.
+  /// Not owned.
+  cache::TileCache* tile_cache = nullptr;
+  /// Convenience for run_posix: when > 0 (and tile_cache is null), a
+  /// TileCache with this budget is created and attached to the farm for
+  /// the duration of the run.  0 = no cache.
+  std::int64_t cache_budget_bytes = 0;
   /// Invoked after every top-level root completes.  Parallel drivers
   /// install a thread barrier here: a root's disk effects (e.g. the
   /// zero-initialization pass of an accumulated output) must be visible

@@ -1,0 +1,521 @@
+// Tests for the memory-budgeted tile cache (src/cache): LRU/budget
+// mechanics, dirty write-back ordering and coalescing, pinning,
+// coherence with differently-tiled readers, stats attribution, the
+// cache-aware I/O prediction, and bit-identity of executed plans
+// across {cache on/off} x {sync, async} x {1, 4 threads}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "cache/cached_array.hpp"
+#include "cache/tile_cache.hpp"
+#include "common/error.hpp"
+#include "core/predict.hpp"
+#include "core/synthesize.hpp"
+#include "dra/disk_array.hpp"
+#include "dra/farm.hpp"
+#include "ga/parallel.hpp"
+#include "ir/examples.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "oocs_cache_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] dra::PosixDiskArray make_array(const std::string& name,
+                                               std::vector<std::int64_t> extents) const {
+    return {name, std::move(extents), dir_.string()};
+  }
+
+  fs::path dir_;
+};
+
+std::vector<double> iota_data(std::size_t n, double start = 1.0) {
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), start);
+  return data;
+}
+
+// --- Core cache mechanics -------------------------------------------
+
+TEST_F(CacheTest, ReadHitServesFromCacheWithoutDiskTraffic) {
+  dra::PosixDiskArray array = make_array("a", {64});
+  cache::TileCache cache;
+  const dra::Section whole = dra::Section::whole(array.extents());
+  array.write(whole, iota_data(64));
+  array.reset_stats();
+
+  std::vector<double> first(64);
+  cache.read(array, whole, first);
+  std::vector<double> second(64, -1.0);
+  cache.read(array, whole, second);
+
+  EXPECT_EQ(first, iota_data(64));
+  EXPECT_EQ(second, first);
+  // One disk read (the miss); the hit never reached the backend.
+  EXPECT_EQ(array.stats().read_calls, 1);
+  EXPECT_EQ(array.stats().bytes_read, 64 * 8);
+  const cache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.counters.hits, 1);
+  EXPECT_EQ(stats.counters.misses, 1);
+  EXPECT_EQ(stats.counters.hit_bytes, 64 * 8);
+}
+
+TEST_F(CacheTest, WriteBackDefersAndFlushLands) {
+  dra::PosixDiskArray array = make_array("wb", {32});
+  cache::TileCache cache;
+  const dra::Section whole = dra::Section::whole(array.extents());
+
+  cache.write(array, whole, iota_data(32));
+  EXPECT_EQ(array.stats().write_calls, 0);  // still resident dirty
+
+  // A cached reader sees the dirty data before any disk write.
+  std::vector<double> readback(32, -1.0);
+  cache.read(array, whole, readback);
+  EXPECT_EQ(readback, iota_data(32));
+  EXPECT_EQ(array.stats().write_calls, 0);
+
+  cache.flush();
+  EXPECT_EQ(array.stats().write_calls, 1);
+  std::vector<double> on_disk(32);
+  array.read(whole, on_disk);
+  EXPECT_EQ(on_disk, iota_data(32));
+
+  // Entries stay resident (clean) across a flush.
+  array.reset_stats();
+  cache.read(array, whole, readback);
+  EXPECT_EQ(array.stats().read_calls, 0);
+}
+
+TEST_F(CacheTest, RepeatedWritesToOneTileCoalesceIntoOneDiskWrite) {
+  dra::PosixDiskArray array = make_array("rmw", {16});
+  cache::TileCache cache;
+  const dra::Section whole = dra::Section::whole(array.extents());
+
+  // The redundant-loop read-modify-write pattern: many read/write trips
+  // of the same tile must cost one final write-back.
+  for (int trip = 0; trip < 10; ++trip) {
+    std::vector<double> tile(16);
+    cache.read(array, whole, tile);
+    for (double& v : tile) v += 1.0;
+    cache.write(array, whole, tile);
+  }
+  cache.flush();
+
+  EXPECT_EQ(array.stats().read_calls, 1);   // first miss only
+  EXPECT_EQ(array.stats().write_calls, 1);  // one coalesced-in-place flush
+  std::vector<double> on_disk(16);
+  array.read(whole, on_disk);
+  EXPECT_EQ(on_disk, std::vector<double>(16, 10.0));
+}
+
+TEST_F(CacheTest, EvictionUnderPressureKeepsBudgetAndWritesBackDirty) {
+  dra::PosixDiskArray array = make_array("evict", {64, 8});
+  cache::TileCacheOptions options;
+  options.budget_bytes = 4 * 8 * 8;  // four 8-element rows
+  options.shards = 1;                // deterministic single-shard LRU
+  options.min_flush_bytes = 0;       // no coalescing growth
+  cache::TileCache cache(options);
+
+  for (std::int64_t row = 0; row < 16; ++row) {
+    const dra::Section section{{{row, row + 1}, {0, 8}}};
+    cache.write(array, section, std::vector<double>(8, static_cast<double>(row)));
+  }
+  const cache::CacheStats stats = cache.stats();
+  EXPECT_LE(stats.resident_bytes, options.budget_bytes);
+  EXPECT_EQ(stats.counters.evictions, 12);  // 16 inserted, 4 retained
+
+  // Evicted dirty rows were written back; resident dirty rows flush now.
+  cache.flush();
+  for (std::int64_t row = 0; row < 16; ++row) {
+    const dra::Section section{{{row, row + 1}, {0, 8}}};
+    std::vector<double> data(8);
+    array.read(section, data);
+    EXPECT_EQ(data, std::vector<double>(8, static_cast<double>(row))) << "row " << row;
+  }
+}
+
+TEST_F(CacheTest, PinnedTileSurvivesEvictionPressure) {
+  dra::PosixDiskArray array = make_array("pin", {64, 8});
+  cache::TileCacheOptions options;
+  options.budget_bytes = 2 * 8 * 8;  // two rows
+  options.shards = 1;
+  cache::TileCache cache(options);
+
+  const dra::Section pinned_section{{{0, 1}, {0, 8}}};
+  cache.write(array, pinned_section, std::vector<double>(8, 42.0));
+  ASSERT_TRUE(cache.pin(array, pinned_section));
+
+  // Flood the cache far past the budget.
+  for (std::int64_t row = 1; row < 32; ++row) {
+    const dra::Section section{{{row, row + 1}, {0, 8}}};
+    cache.write(array, section, std::vector<double>(8, static_cast<double>(row)));
+  }
+  // The pinned tile is still resident: a read hits without disk traffic.
+  array.reset_stats();
+  std::vector<double> data(8);
+  cache.read(array, pinned_section, data);
+  EXPECT_EQ(data, std::vector<double>(8, 42.0));
+  EXPECT_EQ(array.stats().read_calls, 0);
+
+  cache.unpin(array, pinned_section);
+  EXPECT_THROW(cache.unpin(array, pinned_section), Error);  // not pinned anymore
+  // pin() on a non-resident key reports failure instead of throwing.
+  EXPECT_FALSE(cache.pin(array, dra::Section{{{40, 41}, {0, 8}}}));
+}
+
+TEST_F(CacheTest, AdjacentDirtyTilesCoalesceIntoSingleFlushWrite) {
+  dra::PosixDiskArray array = make_array("coalesce", {64, 8});
+  cache::TileCache cache;  // 1 MB coalescing target, ample budget
+
+  // Eight adjacent rows written as separate dirty tiles.
+  for (std::int64_t row = 0; row < 8; ++row) {
+    const dra::Section section{{{row, row + 1}, {0, 8}}};
+    cache.write(array, section, std::vector<double>(8, static_cast<double>(row)));
+  }
+  cache.flush();
+
+  // One rectangular union write instead of eight row writes.
+  EXPECT_EQ(array.stats().write_calls, 1);
+  EXPECT_EQ(array.stats().bytes_written, 8 * 8 * 8);
+  EXPECT_EQ(cache.stats().counters.coalesced_flushes, 1);
+
+  std::vector<double> on_disk(8 * 8);
+  array.read(dra::Section{{{0, 8}, {0, 8}}}, on_disk);
+  for (std::int64_t row = 0; row < 8; ++row) {
+    for (std::int64_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(on_disk[static_cast<std::size_t>(row * 8 + c)], static_cast<double>(row));
+    }
+  }
+}
+
+TEST_F(CacheTest, FlushOrderIsDeterministicAcrossArrayAndSection) {
+  // Two arrays with interleaved dirty tiles: flush must order by array
+  // name then section, independent of insertion order.
+  dra::PosixDiskArray beta = make_array("beta", {4, 8});
+  dra::PosixDiskArray alpha = make_array("alpha", {4, 8});
+  cache::TileCacheOptions options;
+  options.min_flush_bytes = 0;  // keep per-tile writes visible
+  cache::TileCache cache(options);
+
+  const auto row = [](std::int64_t r) { return dra::Section{{{r, r + 1}, {0, 8}}}; };
+  cache.write(beta, row(2), std::vector<double>(8, 1.0));
+  cache.write(alpha, row(3), std::vector<double>(8, 2.0));
+  cache.write(beta, row(0), std::vector<double>(8, 3.0));
+  cache.write(alpha, row(1), std::vector<double>(8, 4.0));
+  cache.flush();
+
+  // Rows 0..3 of each array are adjacent only pairwise (1 next to 0? no:
+  // rows 0 and 2 of beta are not contiguous, nor 1 and 3 of alpha), so
+  // each array flushes its two tiles separately — in section order.
+  EXPECT_EQ(alpha.stats().write_calls, 2);
+  EXPECT_EQ(beta.stats().write_calls, 2);
+  std::vector<double> data(8);
+  alpha.read(row(1), data);
+  EXPECT_EQ(data, std::vector<double>(8, 4.0));
+  beta.read(row(0), data);
+  EXPECT_EQ(data, std::vector<double>(8, 3.0));
+}
+
+TEST_F(CacheTest, PartialOverwriteFlushesOlderDirtyDataInProgramOrder) {
+  dra::PosixDiskArray array = make_array("overlap", {16});
+  cache::TileCache cache;
+
+  // Dirty whole-array write, then a dirty partial overwrite: the final
+  // disk image must show the second write on top of the first.
+  cache.write(array, dra::Section{{{0, 16}}}, std::vector<double>(16, 1.0));
+  cache.write(array, dra::Section{{{4, 8}}}, std::vector<double>(4, 2.0));
+  cache.flush();
+
+  std::vector<double> on_disk(16);
+  array.read(dra::Section{{{0, 16}}}, on_disk);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(on_disk[i], i >= 4 && i < 8 ? 2.0 : 1.0) << "element " << i;
+  }
+}
+
+TEST_F(CacheTest, DifferentlyTiledReaderSeesWriteBackData) {
+  dra::PosixDiskArray array = make_array("coherent", {8, 8});
+  cache::TileCache cache;
+
+  // Dirty row tiles; a whole-array read (different key) must observe
+  // them even though it misses the exact-key lookup.
+  for (std::int64_t r = 0; r < 8; ++r) {
+    cache.write(array, dra::Section{{{r, r + 1}, {0, 8}}},
+                std::vector<double>(8, static_cast<double>(r)));
+  }
+  std::vector<double> whole(64, -1.0);
+  cache.read(array, dra::Section::whole(array.extents()), whole);
+  for (std::int64_t r = 0; r < 8; ++r) {
+    for (std::int64_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(whole[static_cast<std::size_t>(r * 8 + c)], static_cast<double>(r));
+    }
+  }
+}
+
+TEST_F(CacheTest, AccumulateIsCoherentAndNeverCached) {
+  dra::PosixDiskArray array = make_array("acc", {16});
+  cache::TileCache cache;
+  const dra::Section whole = dra::Section::whole(array.extents());
+
+  cache.write(array, whole, std::vector<double>(16, 1.0));  // dirty
+  cache.accumulate(array, whole, std::vector<double>(16, 0.5));
+  cache.accumulate(array, whole, std::vector<double>(16, 0.5));
+
+  // The dirty write landed before the accumulates; nothing stale is
+  // resident, so a cached read re-fetches the accumulated state.
+  std::vector<double> result(16);
+  cache.read(array, whole, result);
+  EXPECT_EQ(result, std::vector<double>(16, 2.0));
+  std::vector<double> on_disk(16);
+  array.read(whole, on_disk);
+  EXPECT_EQ(on_disk, std::vector<double>(16, 2.0));
+}
+
+TEST_F(CacheTest, OverBudgetSectionBypassesCache) {
+  dra::PosixDiskArray array = make_array("big", {64});
+  cache::TileCacheOptions options;
+  options.budget_bytes = 16 * 8;  // a whole-array section cannot fit
+  cache::TileCache cache(options);
+  const dra::Section whole = dra::Section::whole(array.extents());
+
+  cache.write(array, whole, iota_data(64));
+  EXPECT_EQ(array.stats().write_calls, 1);  // write-through
+  std::vector<double> data(64);
+  cache.read(array, whole, data);
+  cache.read(array, whole, data);
+  EXPECT_EQ(array.stats().read_calls, 2);  // read-through, never resident
+  EXPECT_EQ(data, iota_data(64));
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST_F(CacheTest, DataFreeBackendChargesBudgetWithoutPayload) {
+  dra::SimDiskArray array("sim", {1024, 1024}, dra::DiskModel{});
+  cache::TileCacheOptions options;
+  options.budget_bytes = std::int64_t{8} << 20;
+  cache::TileCache cache(options);
+
+  // Paper-scale dry-run tiles: cached (budget-charged) but data-free.
+  const dra::Section tile{{{0, 512}, {0, 512}}};
+  cache.read(array, tile, {});
+  cache.read(array, tile, {});
+  EXPECT_EQ(array.stats().read_calls, 1);
+  EXPECT_EQ(cache.stats().counters.hits, 1);
+  EXPECT_EQ(cache.stats().resident_bytes, 512 * 512 * 8);
+}
+
+TEST_F(CacheTest, CachedDiskArrayMergesCountersIntoIoStats) {
+  auto backend = std::make_unique<dra::PosixDiskArray>("wrapped", std::vector<std::int64_t>{32},
+                                                       dir_.string());
+  cache::TileCache cache;
+  cache::CachedDiskArray wrapped(std::move(backend), cache);
+  const dra::Section whole = dra::Section::whole(wrapped.extents());
+
+  wrapped.write(whole, iota_data(32));
+  std::vector<double> data(32);
+  wrapped.read(whole, data);  // hit on the dirty resident tile
+  wrapped.read(whole, data);
+  cache.flush();
+
+  const dra::IoStats stats = wrapped.stats();
+  EXPECT_EQ(stats.cache_hits, 2);
+  EXPECT_EQ(stats.cache_hit_bytes, 2 * 32 * 8);
+  EXPECT_EQ(stats.cache_writebacks, 1);
+  EXPECT_EQ(stats.cache_writeback_bytes, 32 * 8);
+  // Satellite invariant: hits are NOT disk reads.
+  EXPECT_EQ(stats.read_calls, 0);
+  EXPECT_EQ(stats.bytes_read, 0);
+  EXPECT_EQ(stats.write_calls, 1);
+
+  wrapped.reset_stats();
+  const dra::IoStats after = wrapped.stats();
+  EXPECT_EQ(after.cache_hits, 0);
+  EXPECT_EQ(after.write_calls, 0);
+}
+
+TEST_F(CacheTest, IoStatsMergeAndSinceCoverCacheFields) {
+  dra::IoStats a;
+  a.bytes_read = 100;
+  a.cache_hits = 3;
+  a.cache_hit_bytes = 300;
+  a.cache_evictions = 1;
+  a.cache_writebacks = 2;
+  a.cache_writeback_bytes = 200;
+  a.cache_misses = 4;
+  dra::IoStats b = a;
+  b.merge(a);
+  EXPECT_EQ(b.cache_hits, 6);
+  EXPECT_EQ(b.cache_hit_bytes, 600);
+  EXPECT_EQ(b.cache_misses, 8);
+  EXPECT_EQ(b.cache_evictions, 2);
+  EXPECT_EQ(b.cache_writebacks, 4);
+  EXPECT_EQ(b.cache_writeback_bytes, 400);
+  const dra::IoStats delta = b.since(a);
+  EXPECT_EQ(delta.cache_hits, 3);
+  EXPECT_EQ(delta.cache_hit_bytes, 300);
+  EXPECT_EQ(delta.cache_misses, 4);
+  EXPECT_EQ(delta.cache_evictions, 1);
+  EXPECT_EQ(delta.cache_writebacks, 2);
+  EXPECT_EQ(delta.cache_writeback_bytes, 200);
+}
+
+// --- Plan-level integration -----------------------------------------
+
+struct SynthesizedPlan {
+  ir::Program program;
+  core::OocPlan plan;
+  core::Enumeration enumeration;
+  core::Decisions decisions;
+};
+
+// Synthesized once per process: the DLM search dominates these tests'
+// runtime and every plan-level test wants the identical plan anyway.
+const SynthesizedPlan& small_four_index() {
+  static const SynthesizedPlan shared = [] {
+    ir::Program program = ir::examples::four_index(14, 12);
+    core::SynthesisOptions options;
+    options.memory_limit_bytes = 32 * 1024;
+    options.enforce_block_constraints = false;
+    solver::DlmOptions dlm;
+    dlm.max_iterations = 4000;
+    dlm.seed = 3;
+    solver::DlmSolver solver(dlm);
+    core::SynthesisResult result = core::synthesize(program, options, solver);
+    return SynthesizedPlan{std::move(program), std::move(result.plan),
+                           std::move(result.enumeration), std::move(result.decisions)};
+  }();
+  return shared;
+}
+
+TEST_F(CacheTest, PlanOutputsBitIdenticalAcrossCacheAsyncThreadMatrix) {
+  const SynthesizedPlan& s = small_four_index();
+  const rt::TensorMap inputs = rt::random_inputs(s.program, 17);
+
+  const auto baseline = rt::run_posix(s.plan, inputs, (dir_ / "base").string());
+  ASSERT_FALSE(baseline.empty());
+
+  int variant = 0;
+  for (const bool cached : {false, true}) {
+    for (const bool async_io : {false, true}) {
+      for (const int threads : {1, 4}) {
+        rt::ExecOptions options;
+        options.async_io = async_io;
+        options.compute_threads = threads;
+        options.cache_budget_bytes = cached ? std::int64_t{4} << 20 : 0;
+        rt::ExecStats stats;
+        const auto outputs = rt::run_posix(
+            s.plan, inputs, (dir_ / ("v" + std::to_string(variant++))).string(), &stats,
+            options);
+        for (const auto& [name, data] : baseline) {
+          const auto it = outputs.find(name);
+          ASSERT_NE(it, outputs.end()) << name;
+          ASSERT_EQ(data.size(), it->second.size()) << name;
+          EXPECT_EQ(0,
+                    std::memcmp(data.data(), it->second.data(), data.size() * sizeof(double)))
+              << "cache=" << cached << " async=" << async_io << " threads=" << threads
+              << " output '" << name << "' differs";
+        }
+        if (cached) {
+          EXPECT_GT(stats.io.cache_hits, 0)
+              << "async=" << async_io << " threads=" << threads;
+        } else {
+          EXPECT_EQ(stats.io.cache_hits, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CacheTest, CacheReducesDiskReadsAtFixedMemoryLimit) {
+  const SynthesizedPlan& s = small_four_index();
+  const rt::TensorMap inputs = rt::random_inputs(s.program, 29);
+
+  rt::ExecStats off_stats;
+  const auto off = rt::run_posix(s.plan, inputs, (dir_ / "off").string(), &off_stats);
+
+  rt::ExecOptions options;
+  options.cache_budget_bytes = std::int64_t{4} << 20;
+  rt::ExecStats on_stats;
+  const auto on = rt::run_posix(s.plan, inputs, (dir_ / "on").string(), &on_stats, options);
+
+  EXPECT_LT(on_stats.io.bytes_read, off_stats.io.bytes_read);
+  EXPECT_LE(on_stats.io.bytes_written, off_stats.io.bytes_written);
+  EXPECT_EQ(on_stats.io.cache_hit_bytes + on_stats.io.bytes_read, off_stats.io.bytes_read)
+      << "every off-run byte is either a disk read or a cache hit";
+  for (const auto& [name, data] : off) {
+    EXPECT_EQ(0, std::memcmp(data.data(), on.at(name).data(), data.size() * sizeof(double)));
+  }
+}
+
+TEST_F(CacheTest, GaRunThreadsWithSharedCacheMatchesReference) {
+  const SynthesizedPlan& s = small_four_index();
+  const rt::TensorMap inputs = rt::random_inputs(s.program, 31);
+  const rt::TensorMap reference = rt::run_in_core(s.program, inputs);
+
+  cache::TileCacheOptions cache_options;
+  cache_options.budget_bytes = std::int64_t{4} << 20;
+  cache::TileCache cache(cache_options);
+  dra::DiskFarm farm = dra::DiskFarm::posix(s.plan.program, (dir_ / "ga").string());
+  cache::attach_cache(farm, cache);
+  for (const auto& [name, decl] : s.plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    dra::DiskArray& array = farm.array(name);
+    array.write(dra::Section::whole(array.extents()), inputs.at(name));
+  }
+  cache.clear();
+  farm.reset_stats();
+
+  const ga::ParallelStats stats = ga::run_threads(s.plan, farm, 2, /*async_io=*/false,
+                                                  /*compute_threads=*/2, &cache);
+  EXPECT_GE(stats.total.cache_hits, 0);
+
+  dra::DiskArray& output = farm.array("B");
+  std::vector<double> data(static_cast<std::size_t>(output.elements()));
+  output.read(dra::Section::whole(output.extents()), data);
+  EXPECT_LT(rt::max_abs_diff(data, reference.at("B")), 1e-9);
+}
+
+TEST_F(CacheTest, PredictCacheMirrorsRuntimeBehavior) {
+  const SynthesizedPlan& s = small_four_index();
+
+  // No budget: prediction degenerates to predict_io.
+  const core::CachePrediction none =
+      core::predict_cache(s.program, s.enumeration, s.decisions, 0);
+  EXPECT_EQ(none.hits, 0);
+  EXPECT_EQ(none.expected_hit_rate, 0);
+
+  // A huge budget can only help: reads never increase, and any
+  // placement under a redundant loop must yield hits for this plan.
+  const core::PredictedIo base = core::predict_io(s.program, s.enumeration, s.decisions);
+  const core::CachePrediction big =
+      core::predict_cache(s.program, s.enumeration, s.decisions, std::int64_t{1} << 30);
+  EXPECT_LE(big.with_cache.read_bytes, base.read_bytes);
+  EXPECT_LE(big.with_cache.write_bytes, base.write_bytes);
+  EXPECT_GE(big.expected_hit_rate, 0);
+  EXPECT_LE(big.expected_hit_rate, 1.0);
+
+  // Monotone in the budget.
+  const core::CachePrediction small =
+      core::predict_cache(s.program, s.enumeration, s.decisions, 64 * 1024);
+  EXPECT_LE(small.hits, big.hits);
+  EXPECT_GE(small.with_cache.read_bytes, big.with_cache.read_bytes);
+}
+
+}  // namespace
+}  // namespace oocs

@@ -26,6 +26,12 @@
 //                       bit-identical for any N; default OOCS_THREADS
 //                       env or 1; capped so procs x threads never
 //                       oversubscribes the hardware)
+//   --cache-mb N        with --run: memory-budgeted tile cache of N MiB
+//                       in front of the disk arrays (LRU, write-back
+//                       with coalescing; results are bit-identical with
+//                       the cache on or off; default 0 = off).  Also
+//                       adds the cache-aware I/O prediction to the
+//                       synthesis summary.
 //   --stats-json FILE   dump the synthesis summary (and, with --run,
 //                       the execution statistics) as JSON to FILE
 //
@@ -36,6 +42,8 @@
 #include <optional>
 #include <string>
 
+#include "cache/cached_array.hpp"
+#include "cache/tile_cache.hpp"
 #include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "core/synthesize.hpp"
@@ -67,6 +75,7 @@ struct Args {
   int procs = 1;
   bool async_io = false;
   int threads = 0;  // 0 = OOCS_THREADS env, default 1
+  std::int64_t cache_mb = 0;  // tile cache budget in MiB (0 = off)
   std::string stats_json;
 };
 
@@ -75,7 +84,7 @@ struct Args {
                "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa] [--seed N]\n"
                "       [--read-block BYTES] [--write-block BYTES] [--seek-bytes N]\n"
                "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n"
-               "       [--async] [--threads N] [--stats-json FILE]\n",
+               "       [--async] [--threads N] [--cache-mb N] [--stats-json FILE]\n",
                argv0);
   std::exit(1);
 }
@@ -119,6 +128,9 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(a, "--threads") == 0) {
       args.threads = std::atoi(need_value(i));
       if (args.threads < 0) usage(argv[0]);
+    } else if (std::strcmp(a, "--cache-mb") == 0) {
+      args.cache_mb = std::atoll(need_value(i));
+      if (args.cache_mb < 0) usage(argv[0]);
     } else if (std::strcmp(a, "--stats-json") == 0) {
       args.stats_json = need_value(i);
     } else if (a[0] == '-') {
@@ -190,6 +202,20 @@ int run(const Args& args) {
   std::printf("predicted end-to-end: %.1f s blocking I/O, %.1f s overlapped (async)\n",
               predicted_serial, predicted_overlap);
 
+  const std::int64_t cache_budget_bytes = args.cache_mb * kMiB;
+  std::optional<core::CachePrediction> cache_prediction;
+  if (cache_budget_bytes > 0) {
+    cache_prediction = core::predict_cache(result.plan.program, result.enumeration,
+                                           result.decisions, cache_budget_bytes);
+    std::printf(
+        "predicted with %lld MiB tile cache: %s disk reads (%.0f%% read hit rate), "
+        "%s disk writes\n",
+        static_cast<long long>(args.cache_mb),
+        format_bytes(cache_prediction->with_cache.read_bytes).c_str(),
+        100 * cache_prediction->expected_hit_rate,
+        format_bytes(cache_prediction->with_cache.write_bytes).c_str());
+  }
+
   std::optional<rt::ExecStats> exec_stats;
   std::optional<ga::ParallelStats> parallel_stats;
   double worst = 0;
@@ -202,21 +228,32 @@ int run(const Args& args) {
       rt::ExecOptions exec;
       exec.async_io = args.async_io;
       exec.compute_threads = args.threads;
+      exec.cache_budget_bytes = cache_budget_bytes;
       const auto outputs = rt::run_posix(result.plan, inputs, args.run_dir, &stats, exec);
       exec_stats = stats;
       for (const auto& [name, data] : outputs) {
         worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
       }
     } else {
+      // The cache must outlive the farm (CachedDiskArray destructors
+      // flush into their backends).
+      std::unique_ptr<cache::TileCache> tile_cache;
+      if (cache_budget_bytes > 0) {
+        cache::TileCacheOptions cache_options;
+        cache_options.budget_bytes = cache_budget_bytes;
+        tile_cache = std::make_unique<cache::TileCache>(cache_options);
+      }
       dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, args.run_dir);
+      if (tile_cache != nullptr) cache::attach_cache(farm, *tile_cache);
       for (const auto& [name, decl] : result.plan.program.arrays()) {
         if (decl.kind != ir::ArrayKind::Input) continue;
         dra::DiskArray& array = farm.array(name);
         array.write(dra::Section::whole(array.extents()), inputs.at(name));
       }
+      if (tile_cache != nullptr) tile_cache->clear();
       farm.reset_stats();
       parallel_stats = ga::run_threads(result.plan, farm, args.procs, args.async_io,
-                                       args.threads);
+                                       args.threads, tile_cache.get());
       for (const auto& [name, decl] : result.plan.program.arrays()) {
         if (decl.kind != ir::ArrayKind::Output) continue;
         dra::DiskArray& array = farm.array(name);
@@ -231,6 +268,18 @@ int run(const Args& args) {
                 args.procs, args.procs == 1 ? "" : "s", threads_used,
                 threads_used == 1 ? "" : "s", args.async_io ? ", async" : "", worst,
                 worst < 1e-9 ? "OK" : "MISMATCH");
+    if (cache_budget_bytes > 0) {
+      const dra::IoStats& io = exec_stats.has_value() ? exec_stats->io : parallel_stats->total;
+      std::printf("cache (%lld MiB): %lld hits / %lld misses (%s served), "
+                  "%lld write-backs (%s), %lld evictions\n",
+                  static_cast<long long>(args.cache_mb),
+                  static_cast<long long>(io.cache_hits),
+                  static_cast<long long>(io.cache_misses),
+                  format_bytes(static_cast<double>(io.cache_hit_bytes)).c_str(),
+                  static_cast<long long>(io.cache_writebacks),
+                  format_bytes(static_cast<double>(io.cache_writeback_bytes)).c_str(),
+                  static_cast<long long>(io.cache_evictions));
+    }
   }
 
   if (!args.stats_json.empty()) {
@@ -257,6 +306,22 @@ int run(const Args& args) {
                  result.predicted_io.read_bytes, result.predicted_io.write_bytes,
                  result.memory_bytes, predicted_flops, predicted_serial, predicted_overlap,
                  result.codegen_seconds);
+    if (cache_prediction.has_value()) {
+      const core::CachePrediction& c = *cache_prediction;
+      std::fprintf(out,
+                   ",\n  \"cache_prediction\": {\n"
+                   "    \"budget_bytes\": %lld,\n"
+                   "    \"expected_hit_rate\": %.6f,\n"
+                   "    \"predicted_hits\": %.0f,\n"
+                   "    \"predicted_hit_bytes\": %.0f,\n"
+                   "    \"predicted_read_bytes\": %.0f,\n"
+                   "    \"predicted_write_bytes\": %.0f,\n"
+                   "    \"saved_write_bytes\": %.0f\n"
+                   "  }",
+                   static_cast<long long>(c.budget_bytes), c.expected_hit_rate, c.hits,
+                   c.hit_bytes, c.with_cache.read_bytes, c.with_cache.write_bytes,
+                   c.saved_write_bytes);
+    }
     if (exec_stats.has_value()) {
       const rt::ExecStats& s = *exec_stats;
       std::fprintf(out,
@@ -279,6 +344,13 @@ int run(const Args& args) {
                    "    \"compute_tasks\": %lld,\n"
                    "    \"modeled_serial_seconds\": %.6f,\n"
                    "    \"modeled_overlap_seconds\": %.6f,\n"
+                   "    \"cache_budget_bytes\": %lld,\n"
+                   "    \"cache_hits\": %lld,\n"
+                   "    \"cache_misses\": %lld,\n"
+                   "    \"cache_hit_bytes\": %lld,\n"
+                   "    \"cache_evictions\": %lld,\n"
+                   "    \"cache_writebacks\": %lld,\n"
+                   "    \"cache_writeback_bytes\": %lld,\n"
                    "    \"max_abs_error\": %.3g,\n"
                    "    \"verified\": %s\n"
                    "  }",
@@ -291,7 +363,14 @@ int run(const Args& args) {
                    s.stall_seconds, static_cast<long long>(s.queue_depth_hwm),
                    s.compute_threads, s.compute_seconds,
                    static_cast<long long>(s.compute_tasks), s.modeled_serial_seconds,
-                   s.modeled_overlap_seconds, worst, worst < 1e-9 ? "true" : "false");
+                   s.modeled_overlap_seconds, static_cast<long long>(cache_budget_bytes),
+                   static_cast<long long>(s.io.cache_hits),
+                   static_cast<long long>(s.io.cache_misses),
+                   static_cast<long long>(s.io.cache_hit_bytes),
+                   static_cast<long long>(s.io.cache_evictions),
+                   static_cast<long long>(s.io.cache_writebacks),
+                   static_cast<long long>(s.io.cache_writeback_bytes), worst,
+                   worst < 1e-9 ? "true" : "false");
     } else if (parallel_stats.has_value()) {
       const ga::ParallelStats& s = *parallel_stats;
       std::fprintf(out,
@@ -308,6 +387,13 @@ int run(const Args& args) {
                    "    \"queue_depth_hwm\": %lld,\n"
                    "    \"compute_threads\": %d,\n"
                    "    \"compute_seconds\": %.6f,\n"
+                   "    \"cache_budget_bytes\": %lld,\n"
+                   "    \"cache_hits\": %lld,\n"
+                   "    \"cache_misses\": %lld,\n"
+                   "    \"cache_hit_bytes\": %lld,\n"
+                   "    \"cache_evictions\": %lld,\n"
+                   "    \"cache_writebacks\": %lld,\n"
+                   "    \"cache_writeback_bytes\": %lld,\n"
                    "    \"max_abs_error\": %.3g,\n"
                    "    \"verified\": %s\n"
                    "  }",
@@ -317,7 +403,14 @@ int run(const Args& args) {
                    static_cast<long long>(s.total.read_calls),
                    static_cast<long long>(s.total.write_calls), s.io_seconds, s.busy_seconds,
                    s.stall_seconds, static_cast<long long>(s.queue_depth_hwm),
-                   s.compute_threads, s.measured_compute_seconds, worst,
+                   s.compute_threads, s.measured_compute_seconds,
+                   static_cast<long long>(cache_budget_bytes),
+                   static_cast<long long>(s.total.cache_hits),
+                   static_cast<long long>(s.total.cache_misses),
+                   static_cast<long long>(s.total.cache_hit_bytes),
+                   static_cast<long long>(s.total.cache_evictions),
+                   static_cast<long long>(s.total.cache_writebacks),
+                   static_cast<long long>(s.total.cache_writeback_bytes), worst,
                    worst < 1e-9 ? "true" : "false");
     }
     std::fprintf(out, "\n}\n");
