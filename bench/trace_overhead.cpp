@@ -1,0 +1,173 @@
+// Tracing overhead benchmark: what OOCS_SPAN instrumentation costs.
+//
+// Three measurements:
+//  * ns/span micro: the per-span cost of the RAII recorder with tracing
+//    disabled (one relaxed load + branch) and enabled (ring append);
+//  * small real workload: the four-index transform at n=16 v=12 run for
+//    real (POSIX farm) with tracing off vs on, interleaved repetitions,
+//    medians compared — the gate: traced must stay within 3% of the
+//    untraced median (or within 5 ms absolute, whichever is looser,
+//    since the whole run takes only milliseconds);
+//  * paper-scale dry run: four-index at n=140 v=120 dry-run against the
+//    sim farm with tracing on — event volume, drained JSON bytes, and
+//    drain time for a synthesis-scale trace.
+//
+// Exit status is non-zero when the small-workload gate fails.
+// `--json FILE` writes the numbers machine-readably (BENCH_trace.json
+// in CI); `--quick` cuts repetition counts.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "core/synthesize.hpp"
+#include "dra/farm.hpp"
+#include "ir/examples.hpp"
+#include "obs/trace.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+
+using namespace oocs;
+
+namespace {
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Mean cost of one OOCS_SPAN enter/exit in the current tracing state.
+double span_cost_ns(std::int64_t iterations) {
+  Stopwatch timer;
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    OOCS_SPAN("bench", "span");
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const std::string json_path = bench::flag_value(argc, argv, "--json");
+  int status = 0;
+
+  std::printf("=== Tracing overhead: OOCS_SPAN cost, disabled and enabled ===\n\n");
+
+  // --- ns/span micro -------------------------------------------------
+  const std::int64_t micro_iters = quick ? 200'000 : 2'000'000;
+  const double disabled_ns = span_cost_ns(micro_iters);
+  // A large ring so the micro loop measures appends, not wraparound
+  // bookkeeping differences.
+  obs::TraceOptions trace_options;
+  trace_options.per_thread_events = std::size_t{1} << 16;
+  obs::trace_start(trace_options);
+  const double enabled_ns = span_cost_ns(micro_iters);
+  obs::trace_stop();
+  obs::trace_clear();
+  std::printf("span micro (%" PRId64 " iters): %.1f ns disabled, %.1f ns enabled\n\n",
+              micro_iters, disabled_ns, enabled_ns);
+
+  // --- Small real workload: traced vs untraced medians ---------------
+  const ir::Program program = ir::examples::four_index(16, 12);
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = 64 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver dcs = bench::paper_dcs_solver();
+  const core::SynthesisResult result = core::synthesize(program, options, dcs);
+  const rt::TensorMap inputs = rt::random_inputs(program, /*seed=*/23);
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_trace_bench";
+  std::filesystem::remove_all(dir);
+
+  const int reps = quick ? 5 : 11;
+  const auto run_once = [&]() {
+    Stopwatch timer;
+    const auto outputs = rt::run_posix(result.plan, inputs, dir.string());
+    (void)outputs;
+    return timer.seconds();
+  };
+  run_once();  // warm the page cache and the farm directory
+  std::vector<double> untraced, traced;
+  std::int64_t traced_events = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    untraced.push_back(run_once());
+    obs::trace_start(trace_options);
+    traced.push_back(run_once());
+    obs::trace_stop();
+    traced_events = obs::trace_event_count();
+    obs::trace_clear();
+  }
+  std::filesystem::remove_all(dir);
+
+  const double base = median(untraced);
+  const double with_trace = median(traced);
+  const double ratio = base > 0 ? with_trace / base : 1.0;
+  const double delta = with_trace - base;
+  std::printf("four-index n=16 v=12, real run, %d reps:\n", reps);
+  std::printf("  untraced median : %8.3f ms\n", base * 1e3);
+  std::printf("  traced median   : %8.3f ms (%" PRId64 " events/run)\n", with_trace * 1e3,
+              traced_events);
+  std::printf("  overhead        : %+8.3f ms (%.2fx)\n\n", delta * 1e3, ratio);
+  if (ratio > 1.03 && delta > 5e-3) {
+    std::printf("  ^ GATE FAILED: tracing costs more than 3%% (and >5 ms)\n");
+    status = 1;
+  }
+
+  // --- Paper-scale dry run: trace volume and drain cost --------------
+  std::printf("four-index n=140 v=120, dry run (sim farm), traced:\n");
+  core::SynthesisOptions paper_options;
+  paper_options.memory_limit_bytes = std::int64_t{2} * kGiB;
+  paper_options.seek_cost_bytes = bench::seek_cost_bytes();
+  solver::DlmSolver paper_dcs = bench::paper_dcs_solver();
+  const ir::Program paper_program = ir::examples::four_index(140, 120);
+  const core::SynthesisResult paper_result =
+      core::synthesize(paper_program, paper_options, paper_dcs);
+  obs::trace_start(trace_options);
+  {
+    dra::DiskFarm farm = dra::DiskFarm::sim(paper_result.plan.program, bench::paper_disk_model());
+    rt::ExecOptions exec;
+    exec.dry_run = true;
+    rt::PlanInterpreter interpreter(paper_result.plan, farm, exec);
+    interpreter.run();
+  }
+  obs::trace_stop();
+  const std::int64_t paper_events = obs::trace_event_count();
+  const std::int64_t paper_dropped = obs::trace_dropped();
+  std::ostringstream drained;
+  Stopwatch drain_timer;
+  obs::write_chrome_trace(drained);
+  const double drain_seconds = drain_timer.seconds();
+  const std::int64_t json_bytes = static_cast<std::int64_t>(drained.str().size());
+  obs::trace_clear();
+  std::printf("  %" PRId64 " events (%" PRId64 " dropped to ring overwrite), %s JSON, "
+              "drained in %.3f s\n",
+              paper_events, paper_dropped, format_bytes(static_cast<double>(json_bytes)).c_str(),
+              drain_seconds);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "trace_overhead: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"trace_overhead\",\n"
+                 "  \"span_ns\": {\"disabled\": %.2f, \"enabled\": %.2f},\n"
+                 "  \"small_real\": {\"reps\": %d, \"untraced_median_seconds\": %.6f, "
+                 "\"traced_median_seconds\": %.6f, \"overhead_ratio\": %.4f, "
+                 "\"events_per_run\": %lld},\n"
+                 "  \"paper_dry_run\": {\"events\": %lld, \"dropped\": %lld, "
+                 "\"json_bytes\": %lld, \"drain_seconds\": %.4f}\n}\n",
+                 disabled_ns, enabled_ns, reps, base, with_trace, ratio,
+                 static_cast<long long>(traced_events), static_cast<long long>(paper_events),
+                 static_cast<long long>(paper_dropped), static_cast<long long>(json_bytes),
+                 drain_seconds);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return status;
+}

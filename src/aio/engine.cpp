@@ -1,11 +1,29 @@
 #include "aio/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oocs::aio {
+
+namespace {
+
+/// Process-unique id for queue-wait async trace events (engines may
+/// coexist, e.g. one per ga proc thread).
+std::atomic<std::int64_t> g_trace_id{0};
+
+obs::Histogram& queue_wait_latency() {
+  static obs::Histogram& h = obs::metrics().histogram("aio.queue_wait_seconds");
+  return h;
+}
+
+}  // namespace
 
 /// Stall/error state that must outlive the Engine (Tokens may be waited
 /// on after the engine is gone).
@@ -30,6 +48,7 @@ void Token::wait() {
   {
     std::unique_lock lock(state_->mutex);
     if (!state_->done) {
+      OOCS_SPAN("aio", "wait");
       Stopwatch timer;
       state_->cv.wait(lock, [&] { return state_->done; });
       stalled = timer.seconds();
@@ -52,8 +71,15 @@ bool Token::done() const {
 Engine::Engine(EngineOptions options) : shared_(std::make_shared<Shared>()) {
   OOCS_REQUIRE(options.num_workers >= 1, "aio engine needs at least one worker");
   workers_.reserve(static_cast<std::size_t>(options.num_workers));
+  // Workers record onto the creating proc's timeline (ga::run_threads
+  // builds one engine per virtual proc).
+  const int proc = obs::current_proc();
   for (int w = 0; w < options.num_workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, proc, w] {
+      obs::set_current_proc(proc);
+      obs::set_thread_name("aio-worker-" + std::to_string(w));
+      worker_loop();
+    });
   }
 }
 
@@ -95,6 +121,8 @@ Token Engine::enqueue(OpKind kind, dra::DiskArray& array, dra::Section section,
   request.out = out;
   request.data = std::move(data);
   request.state = state;
+  request.enqueue_ns = obs::monotonic_ns();
+  request.trace_id = g_trace_id.fetch_add(1, std::memory_order_relaxed);
   {
     const std::scoped_lock lock(mutex_);
     ArrayQueue& queue = queues_[&array];
@@ -127,9 +155,23 @@ void Engine::worker_loop() {
     queue.in_flight = true;
     lock.unlock();
 
+    // Queue wait = enqueue → execution start.  It overlaps whatever the
+    // worker executed meanwhile, so it is recorded as an async interval
+    // (its own timeline row), not a nested span on this worker's track.
+    const std::int64_t start_ns = obs::monotonic_ns();
+    queue_wait_latency().record_ns(start_ns - request.enqueue_ns);
+    const char* op = request.kind == OpKind::Read      ? "read"
+                     : request.kind == OpKind::Write   ? "write"
+                                                       : "accumulate";
+    if (obs::trace_enabled()) {
+      obs::record_async("aio", std::string("queue:") + op, request.trace_id,
+                        request.enqueue_ns, start_ns);
+    }
+
     std::exception_ptr error;
     Stopwatch timer;
     try {
+      OOCS_SPAN("aio", op);
       switch (request.kind) {
         case OpKind::Read:
           request.array->read(request.section, request.out);
@@ -174,6 +216,7 @@ void Engine::drain() {
   {
     std::unique_lock lock(mutex_);
     if (pending_ > 0) {
+      OOCS_SPAN("aio", "drain");
       Stopwatch timer;
       idle_cv_.wait(lock, [&] { return pending_ == 0; });
       stalled = timer.seconds();

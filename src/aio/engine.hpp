@@ -116,6 +116,10 @@ class Engine {
     std::span<double> out;      // Read
     std::vector<double> data;   // Write / Accumulate (owned)
     std::shared_ptr<Token::State> state;
+    /// Trace bookkeeping: enqueue time (for the queue-wait interval)
+    /// and a process-unique id keying the async trace event pair.
+    std::int64_t enqueue_ns = 0;
+    std::int64_t trace_id = 0;
   };
 
   /// FIFO of requests against one array; at most one in flight.

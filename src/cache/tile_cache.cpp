@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace oocs::cache {
 
@@ -11,6 +14,33 @@ namespace {
 
 using dra::DiskArray;
 using dra::Section;
+
+/// Span whose name is decided after the fact: a cache lookup only
+/// knows hit vs miss once it has looked.  Records nothing while
+/// tracing is off or the name is never set.
+class LateSpan {
+ public:
+  LateSpan() : t0_ns_(obs::trace_enabled() ? obs::monotonic_ns() : -1) {}
+  ~LateSpan() {
+    if (t0_ns_ >= 0 && name_ != nullptr) {
+      obs::record_span("cache", std::string(name_) + suffix_, t0_ns_, obs::monotonic_ns());
+    }
+  }
+
+  LateSpan(const LateSpan&) = delete;
+  LateSpan& operator=(const LateSpan&) = delete;
+
+  void name(const char* name, const std::string& suffix) {
+    if (t0_ns_ < 0) return;
+    name_ = name;
+    suffix_ = suffix;
+  }
+
+ private:
+  std::int64_t t0_ns_;
+  const char* name_ = nullptr;
+  std::string suffix_;
+};
 
 Section section_of(const std::vector<std::pair<std::int64_t, std::int64_t>>& dims) {
   Section section;
@@ -159,6 +189,7 @@ TileCache::Shard& TileCache::shard_for(const Key& key) {
 
 void TileCache::write_back_run(std::vector<Entry*>& run) {
   if (run.empty()) return;
+  OOCS_SPAN("cache", "writeback");
   DiskArray& array = *run.front()->array;
   if (run.size() == 1) {
     Entry& e = *run.front();
@@ -337,6 +368,7 @@ void TileCache::read(DiskArray& array, const Section& section, std::span<double>
   const Key key = make_key(array, section);
   const std::int64_t bytes = section.elements() * 8;
   Shard& shard = shard_for(key);
+  LateSpan span;
 
   {
     const std::scoped_lock lock(shard.mutex);
@@ -350,11 +382,13 @@ void TileCache::read(DiskArray& array, const Section& section, std::span<double>
       CacheCounters& c = shard.counters[&array];
       c.hits += 1;
       c.hit_bytes += bytes;
+      span.name("hit:", array.name());
       return;
     }
   }
 
   if (bytes > options_.budget_bytes) {
+    span.name("miss:", array.name());
     // Too big to ever cache: read through.  A differently-tiled reader
     // must still observe write-back data, so land overlapping dirty
     // tiles first (they stay resident).
@@ -379,11 +413,13 @@ void TileCache::read(DiskArray& array, const Section& section, std::span<double>
     CacheCounters& c = shard.counters[&array];
     c.hits += 1;
     c.hit_bytes += bytes;
+    span.name("hit:", array.name());
     return;
   }
   // The backend read happens under the shard lock: the entry becomes
   // visible only once its data is complete, and no concurrent eviction
   // can race the insert.
+  span.name("miss:", array.name());
   array.read(section, out);
   shard.counters[&array].misses += 1;
 
@@ -406,6 +442,7 @@ void TileCache::read(DiskArray& array, const Section& section, std::span<double>
 
 void TileCache::write(DiskArray& array, const Section& section,
                       std::span<const double> data) {
+  OOCS_SPAN("cache", "write");
   const Key key = make_key(array, section);
   const std::int64_t bytes = section.elements() * 8;
   Shard& shard = shard_for(key);
@@ -461,12 +498,14 @@ void TileCache::accumulate(DiskArray& array, const Section& section,
   // Accumulates are GA-atomic on the backend and are never cached; the
   // cache's only job is coherence: pending write-back data must land
   // first, and resident copies are stale once the accumulate ran.
+  OOCS_SPAN("cache", "accumulate");
   prepare_insert(array, section, /*superseding=*/false);
   array.accumulate(section, data, pool);
   invalidate(array, section);
 }
 
 void TileCache::flush(DiskArray* array) {
+  OOCS_SPAN("cache", "flush");
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& shard : shards_) locks.emplace_back(shard->mutex);

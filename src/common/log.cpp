@@ -1,17 +1,22 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <mutex>
+
+#include "obs/clock.hpp"
 
 namespace oocs::log {
 
 namespace {
 
 Level initial_level() {
-  const char* env = std::getenv("OOCS_LOG");
+  // OOCS_LOG_LEVEL is the documented knob; OOCS_LOG is kept as an alias.
+  const char* env = std::getenv("OOCS_LOG_LEVEL");
+  if (env == nullptr) env = std::getenv("OOCS_LOG");
   if (env == nullptr) return Level::Warn;
   if (std::strcmp(env, "error") == 0) return Level::Error;
   if (std::strcmp(env, "warn") == 0) return Level::Warn;
@@ -44,9 +49,15 @@ void set_level(Level lvl) noexcept {
 }
 
 void write(Level lvl, const std::string& message) {
+  // Monotonic seconds since process start and a dense thread index:
+  // the same time axis and thread ids the trace recorder uses, so log
+  // lines can be correlated with trace spans.
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[oocs:%s +%.6fs t%d] ", tag(lvl),
+                obs::monotonic_seconds(), obs::thread_index());
   static std::mutex mu;
   const std::scoped_lock lock(mu);
-  std::cerr << "[oocs:" << tag(lvl) << "] " << message << '\n';
+  std::cerr << prefix << message << '\n';
 }
 
 }  // namespace oocs::log

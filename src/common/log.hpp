@@ -2,7 +2,10 @@
 //
 // The synthesis pipeline and the solvers emit progress at Info level and
 // search diagnostics at Debug level; benches and tests tune the level via
-// `set_level` or the OOCS_LOG environment variable (error|warn|info|debug).
+// `set_level` or the OOCS_LOG_LEVEL environment variable
+// (error|warn|info|debug; OOCS_LOG is accepted as an alias).  Each line
+// carries monotonic seconds since process start and the obs thread
+// index, matching the trace timeline.
 #pragma once
 
 #include <sstream>

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace oocs {
 
@@ -16,8 +19,15 @@ thread_local bool inside_pool_task = false;
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   OOCS_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  // Workers belong to the creating proc's timeline: they inherit its
+  // virtual proc id so their trace spans land on the right process row.
+  const int proc = obs::current_proc();
   for (int t = 1; t < num_threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, proc, t] {
+      obs::set_current_proc(proc);
+      obs::set_thread_name("pool-worker-" + std::to_string(t));
+      worker_loop();
+    });
   }
 }
 
@@ -43,6 +53,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   if (num_threads_ == 1 || extent <= min_chunk) {
     inside_pool_task = true;
     try {
+      OOCS_SPAN("pool", "chunk");
       body(begin, end);
     } catch (...) {
       inside_pool_task = false;
@@ -94,6 +105,7 @@ void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock) {
     std::exception_ptr error;
     inside_pool_task = true;
     try {
+      OOCS_SPAN("pool", "chunk");
       (*body)(lo, hi);
     } catch (...) {
       error = std::current_exception();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace oocs::core {
 
 double PredictedIo::seconds(double seek_seconds, double read_bw, double write_bw,
@@ -132,6 +134,7 @@ bool same_sections(const ir::Program& program, const expr::Env& env, const Buffe
 
 CachePrediction predict_cache(const ir::Program& program, const Enumeration& enumeration,
                               const Decisions& decisions, std::int64_t budget_bytes) {
+  OOCS_SPAN("synth", "predict_cache");
   expr::Env env;
   for (const auto& [index, tile] : decisions.tile_sizes) {
     env[tile_var(index)] = static_cast<double>(tile);

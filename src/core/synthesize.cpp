@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "core/greedy.hpp"
+#include "obs/trace.hpp"
 #include "solver/ampl.hpp"
 #include "solver/dlm.hpp"
 
@@ -24,9 +25,16 @@ std::string SynthesisResult::decisions_to_text() const {
 SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& options,
                            solver::Solver& solver) {
   Stopwatch timer;
+  OOCS_SPAN("synth", "synthesize");
   const trans::TiledProgram tiled(program);
-  Enumeration enumeration = enumerate_placements(tiled, options);
-  NlpModel model = build_nlp(program, enumeration, options);
+  Enumeration enumeration = [&] {
+    OOCS_SPAN("synth", "enumerate_placements");
+    return enumerate_placements(tiled, options);
+  }();
+  NlpModel model = [&] {
+    OOCS_SPAN("synth", "build_nlp");
+    return build_nlp(program, enumeration, options);
+  }();
 
   // Warm start: a coarse greedy sweep seeds the solver in a good basin;
   // the solver's incumbent can only improve on it.
@@ -49,9 +57,15 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
 
   SynthesisResult result;
   result.ampl_model = solver::to_ampl(model.problem);
-  result.solution = solver.solve(model.problem);
+  {
+    OOCS_SPAN("synth", "solve");
+    result.solution = solver.solve(model.problem);
+  }
   result.decisions = decode(model, enumeration, result.solution);
-  result.plan = build_plan(tiled, enumeration, result.decisions);
+  {
+    OOCS_SPAN("synth", "build_plan");
+    result.plan = build_plan(tiled, enumeration, result.decisions);
+  }
 
   result.predicted_disk_bytes = eval_at(model, result.solution, model.total_disk_bytes);
   result.memory_bytes = eval_at(model, result.solution, model.total_memory_bytes);

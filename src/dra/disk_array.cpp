@@ -12,47 +12,51 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oocs::dra {
 
+namespace {
+
+/// Monotonic wall clock shared with the trace/log layers, so busy
+/// intervals, spans, and log lines live on one axis.
+double epoch_seconds() { return obs::monotonic_seconds(); }
+
+/// Disk-op latency distributions (wall-timed backends only; modeled
+/// costs would skew the measured percentiles).
+obs::Histogram& read_latency() {
+  static obs::Histogram& h = obs::metrics().histogram("dra.read_seconds");
+  return h;
+}
+obs::Histogram& write_latency() {
+  static obs::Histogram& h = obs::metrics().histogram("dra.write_seconds");
+  return h;
+}
+
+}  // namespace
+
+// Both directions generated from one field list, so a field can no
+// longer be merged but silently dropped from since() (or vice versa).
+// The assert fires when a field is added to the struct without
+// extending OOCS_IO_STAT_FIELDS.
+static_assert(sizeof(IoStats) == 11 * 8,
+              "IoStats changed: update OOCS_IO_STAT_FIELDS in disk_array.hpp");
+
 void IoStats::merge(const IoStats& other) noexcept {
-  bytes_read += other.bytes_read;
-  bytes_written += other.bytes_written;
-  read_calls += other.read_calls;
-  write_calls += other.write_calls;
-  seconds += other.seconds;
-  cache_hits += other.cache_hits;
-  cache_misses += other.cache_misses;
-  cache_hit_bytes += other.cache_hit_bytes;
-  cache_evictions += other.cache_evictions;
-  cache_writebacks += other.cache_writebacks;
-  cache_writeback_bytes += other.cache_writeback_bytes;
+#define OOCS_IO_STAT_MERGE(field) field += other.field;
+  OOCS_IO_STAT_FIELDS(OOCS_IO_STAT_MERGE)
+#undef OOCS_IO_STAT_MERGE
 }
 
 IoStats IoStats::since(const IoStats& earlier) const noexcept {
   IoStats delta;
-  delta.bytes_read = bytes_read - earlier.bytes_read;
-  delta.bytes_written = bytes_written - earlier.bytes_written;
-  delta.read_calls = read_calls - earlier.read_calls;
-  delta.write_calls = write_calls - earlier.write_calls;
-  delta.seconds = seconds - earlier.seconds;
-  delta.cache_hits = cache_hits - earlier.cache_hits;
-  delta.cache_misses = cache_misses - earlier.cache_misses;
-  delta.cache_hit_bytes = cache_hit_bytes - earlier.cache_hit_bytes;
-  delta.cache_evictions = cache_evictions - earlier.cache_evictions;
-  delta.cache_writebacks = cache_writebacks - earlier.cache_writebacks;
-  delta.cache_writeback_bytes = cache_writeback_bytes - earlier.cache_writeback_bytes;
+#define OOCS_IO_STAT_DIFF(field) delta.field = field - earlier.field;
+  OOCS_IO_STAT_FIELDS(OOCS_IO_STAT_DIFF)
+#undef OOCS_IO_STAT_DIFF
   return delta;
 }
-
-namespace {
-/// Monotonic wall clock shared by every array so busy intervals from
-/// different threads live on one axis.
-double epoch_seconds() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch).count();
-}
-}  // namespace
 
 std::int64_t Section::elements() const noexcept {
   std::int64_t count = 1;
@@ -108,9 +112,12 @@ void DiskArray::add_busy_interval(double t0, double t1) noexcept {
 void DiskArray::read(const Section& section, std::span<double> out) {
   check_section(section, out.size(), stores_data());
   const bool wall_timed = stores_data();
+  const std::int64_t span_t0 = obs::trace_enabled() ? obs::monotonic_ns() : -1;
   const double t0 = wall_timed ? epoch_seconds() : 0;
   do_read(section, out);
   const double t1 = wall_timed ? epoch_seconds() : 0;
+  if (span_t0 >= 0) obs::record_span("io", "read:" + name_, span_t0, obs::monotonic_ns());
+  if (wall_timed) read_latency().record_seconds(t1 - t0);
   const std::int64_t bytes = section.elements() * 8;
   const std::scoped_lock lock(mutex_);
   stats_.bytes_read += bytes;
@@ -125,9 +132,12 @@ void DiskArray::read(const Section& section, std::span<double> out) {
 void DiskArray::write(const Section& section, std::span<const double> data) {
   check_section(section, data.size(), stores_data());
   const bool wall_timed = stores_data();
+  const std::int64_t span_t0 = obs::trace_enabled() ? obs::monotonic_ns() : -1;
   const double t0 = wall_timed ? epoch_seconds() : 0;
   do_write(section, data);
   const double t1 = wall_timed ? epoch_seconds() : 0;
+  if (span_t0 >= 0) obs::record_span("io", "write:" + name_, span_t0, obs::monotonic_ns());
+  if (wall_timed) write_latency().record_seconds(t1 - t0);
   const std::int64_t bytes = section.elements() * 8;
   const std::scoped_lock lock(mutex_);
   stats_.bytes_written += bytes;
@@ -152,6 +162,7 @@ void DiskArray::accumulate(const Section& section, std::span<const double> data,
   // overlapping sections are GA-style atomic.
   static std::mutex accumulate_mutex;
   const std::scoped_lock lock(accumulate_mutex);
+  OOCS_SPAN("io", "accumulate");
   std::vector<double> current(static_cast<std::size_t>(section.elements()));
   read(section, current);
   if (pool != nullptr && pool->num_threads() > 1) {

@@ -38,6 +38,23 @@ struct DiskModel {
   double write_bandwidth_bytes_per_s = 45.0 * 1024 * 1024;
 };
 
+/// Every additive field of IoStats, in declaration order.  merge() and
+/// since() are generated from this list so the two can never drift
+/// apart again (a field added to the struct but not here is caught by
+/// the size static_assert next to them in disk_array.cpp).
+#define OOCS_IO_STAT_FIELDS(X) \
+  X(bytes_read)                \
+  X(bytes_written)             \
+  X(read_calls)                \
+  X(write_calls)               \
+  X(seconds)                   \
+  X(cache_hits)                \
+  X(cache_misses)              \
+  X(cache_hit_bytes)           \
+  X(cache_evictions)           \
+  X(cache_writebacks)          \
+  X(cache_writeback_bytes)
+
 struct IoStats {
   std::int64_t bytes_read = 0;
   std::int64_t bytes_written = 0;

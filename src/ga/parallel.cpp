@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <barrier>
+#include <string>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oocs::ga {
 
@@ -31,7 +35,15 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
   // accumulated output visible before anyone accumulates into it.  The
   // interpreter drains its async engine before arriving, so write-behind
   // effects are ordered the same way.
-  std::barrier sync(num_procs);
+  // The barrier's completion step runs exactly once per stage, after
+  // every process has drained its engine and flushed the cache: the one
+  // point where a cross-process farm snapshot is an exact stage
+  // boundary.  The deltas between consecutive snapshots are the
+  // measured per-stage I/O of the whole parallel run.
+  const dra::IoStats run_start = farm.total_stats();
+  std::vector<dra::IoStats> stage_snapshots;
+  stage_snapshots.reserve(plan.roots.size());
+  std::barrier sync(num_procs, [&]() noexcept { stage_snapshots.push_back(farm.total_stats()); });
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<rt::ExecStats> proc_stats(static_cast<std::size_t>(num_procs));
@@ -39,6 +51,8 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
   threads.reserve(static_cast<std::size_t>(num_procs));
   for (int proc = 0; proc < num_procs; ++proc) {
     threads.emplace_back([&, proc] {
+      obs::set_current_proc(proc);
+      obs::set_thread_name("proc-" + std::to_string(proc));
       try {
         rt::ExecOptions options;
         options.proc_id = proc;
@@ -46,7 +60,10 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
         options.async_io = async_io;
         options.compute_threads = effective_threads;
         options.tile_cache = tile_cache;
-        options.root_barrier = [&sync] { sync.arrive_and_wait(); };
+        options.root_barrier = [&sync] {
+          OOCS_SPAN("ga", "barrier");
+          sync.arrive_and_wait();
+        };
         rt::PlanInterpreter interpreter(plan, farm, options);
         proc_stats[static_cast<std::size_t>(proc)] = interpreter.run();
       } catch (...) {
@@ -72,6 +89,30 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
     stats.stall_seconds += ps.stall_seconds;
     stats.queue_depth_hwm = std::max(stats.queue_depth_hwm, ps.queue_depth_hwm);
     stats.measured_compute_seconds += ps.compute_seconds;
+  }
+
+  // Merge the per-process stage views: exact barrier-to-barrier farm
+  // deltas for I/O; critical-path (max over processes) for the time
+  // axes, since processes run the stage concurrently.
+  const std::size_t num_stages = proc_stats[0].stages.size();
+  stats.stages.resize(num_stages);
+  dra::IoStats prev = run_start;
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    rt::StageStats& stage = stats.stages[s];
+    stage.name = proc_stats[0].stages[s].name;
+    if (s < stage_snapshots.size()) {
+      stage.io = stage_snapshots[s].since(prev);
+      prev = stage_snapshots[s];
+    }
+    for (const rt::ExecStats& ps : proc_stats) {
+      stage.compute_seconds = std::max(stage.compute_seconds, ps.stages[s].compute_seconds);
+      stage.modeled_compute_seconds =
+          std::max(stage.modeled_compute_seconds, ps.stages[s].modeled_compute_seconds);
+      stage.wall_seconds = std::max(stage.wall_seconds, ps.stages[s].wall_seconds);
+    }
+    stats.serial_seconds += stage.io.seconds + stage.compute_seconds;
+    stats.overlap_seconds += std::max(stage.io.seconds, stage.compute_seconds);
+    stats.compute_seconds += stage.compute_seconds;
   }
   return stats;
 }
@@ -106,14 +147,49 @@ ParallelStats simulate(const core::OocPlan& plan, int num_procs, dra::DiskModel 
   stats.total = total;
   stats.io_seconds = per_proc_io(total);
   stats.per_proc_seconds.assign(static_cast<std::size_t>(num_procs), stats.io_seconds);
+  stats.stages.reserve(exec.stages.size());
   for (const rt::StageStats& stage : exec.stages) {
     const double io = per_proc_io(stage.io);
     const double compute = stage.compute_seconds / p;
     stats.compute_seconds += compute;
     stats.serial_seconds += io + compute;
     stats.overlap_seconds += std::max(io, compute);
+    // Predicted stage view for the drift report: aggregate volumes,
+    // per-process collective time model.
+    rt::StageStats modeled = stage;
+    modeled.io.seconds = io;
+    modeled.compute_seconds = compute;
+    modeled.modeled_compute_seconds = compute;
+    modeled.wall_seconds = 0;
+    stats.stages.push_back(std::move(modeled));
   }
   return stats;
+}
+
+void publish_metrics(const ParallelStats& stats) {
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("ga.num_procs").set(stats.num_procs);
+  m.counter("ga.compute_threads").set(stats.compute_threads);
+  m.counter("ga.stages").set(static_cast<std::int64_t>(stats.stages.size()));
+  m.gauge("ga.io_seconds").set(stats.io_seconds);
+  m.gauge("ga.compute_seconds").set(stats.compute_seconds);
+  m.gauge("ga.serial_seconds").set(stats.serial_seconds);
+  m.gauge("ga.overlap_seconds").set(stats.overlap_seconds);
+  m.gauge("ga.measured_compute_seconds").set(stats.measured_compute_seconds);
+  m.gauge("aio.busy_seconds").set(stats.busy_seconds);
+  m.gauge("aio.stall_seconds").set(stats.stall_seconds);
+  m.counter("aio.queue_depth_hwm").set(stats.queue_depth_hwm);
+  m.counter("io.bytes_read").set(stats.total.bytes_read);
+  m.counter("io.bytes_written").set(stats.total.bytes_written);
+  m.counter("io.read_calls").set(stats.total.read_calls);
+  m.counter("io.write_calls").set(stats.total.write_calls);
+  m.gauge("io.seconds").set(stats.total.seconds);
+  m.counter("cache.hits").set(stats.total.cache_hits);
+  m.counter("cache.misses").set(stats.total.cache_misses);
+  m.counter("cache.hit_bytes").set(stats.total.cache_hit_bytes);
+  m.counter("cache.evictions").set(stats.total.cache_evictions);
+  m.counter("cache.writebacks").set(stats.total.cache_writebacks);
+  m.counter("cache.writeback_bytes").set(stats.total.cache_writeback_bytes);
 }
 
 }  // namespace oocs::ga

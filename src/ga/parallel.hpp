@@ -60,6 +60,14 @@ struct ParallelStats {
   int compute_threads = 1;
   /// Measured compute wall seconds, summed over processes.
   double measured_compute_seconds = 0;
+
+  /// Per-stage breakdown (top-level plan roots), the drift-report unit.
+  /// run_threads: io is the exact cross-process farm delta between root
+  /// barriers; compute/wall seconds are the max over processes (the
+  /// critical path).  simulate: io carries aggregate volumes with
+  /// io.seconds already scaled to the per-process collective model, and
+  /// compute_seconds is the per-process share.
+  std::vector<rt::StageStats> stages;
 };
 
 /// Real parallel execution: P threads share `farm` (must store data).
@@ -85,5 +93,10 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
 [[nodiscard]] ParallelStats simulate(const core::OocPlan& plan, int num_procs,
                                      dra::DiskModel model = {},
                                      double modeled_flops_per_second = 0);
+
+/// Publishes the parallel run's stats into the process-wide
+/// obs::metrics() registry under "ga.*" names (plus the shared io/cache
+/// counters via rt::publish_metrics conventions).
+void publish_metrics(const ParallelStats& stats);
 
 }  // namespace oocs::ga

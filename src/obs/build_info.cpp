@@ -1,0 +1,42 @@
+#include "obs/build_info.hpp"
+
+#include "obs/json.hpp"
+
+#ifndef OOCS_GIT_DESCRIBE
+#define OOCS_GIT_DESCRIBE "unknown"
+#endif
+#ifndef OOCS_BUILD_TYPE
+#define OOCS_BUILD_TYPE "unknown"
+#endif
+
+namespace oocs::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_describe = OOCS_GIT_DESCRIBE;
+    b.build_type = OOCS_BUILD_TYPE;
+    // Threads, async I/O and the tile cache are always compiled in;
+    // tracing can be compiled out with -DOOCS_DISABLE_TRACING.
+    b.features = "threads async cache";
+#ifndef OOCS_DISABLE_TRACING
+    b.features += " tracing";
+#endif
+    return b;
+  }();
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo& b = build_info();
+  return b.git_describe + " (" + b.build_type + "; " + b.features + ")";
+}
+
+std::string build_info_json() {
+  const BuildInfo& b = build_info();
+  return "{\"git\": " + json_quote(b.git_describe) +
+         ", \"build_type\": " + json_quote(b.build_type) +
+         ", \"features\": " + json_quote(b.features) + "}";
+}
+
+}  // namespace oocs::obs

@@ -1,0 +1,31 @@
+// Build identity stamped into every trace / metrics / stats JSON and
+// printed by `oocsc --version`, so an archived artifact always says
+// which code produced it.
+//
+// The git describe string and build type are injected by CMake as
+// compile definitions on oocs_obs (OOCS_GIT_DESCRIBE, OOCS_BUILD_TYPE);
+// the feature list reflects the compile-time configuration.
+#pragma once
+
+#include <string>
+
+namespace oocs::obs {
+
+struct BuildInfo {
+  std::string git_describe;  // `git describe --always --dirty --tags`
+  std::string build_type;    // CMAKE_BUILD_TYPE
+  std::string features;      // space-separated: "threads async cache tracing"
+};
+
+/// The process's build identity (computed once).
+[[nodiscard]] const BuildInfo& build_info();
+
+/// One-line form: "<git> (<build_type>; <features>)".
+[[nodiscard]] std::string build_info_string();
+
+/// The build-info block as a JSON object (no trailing newline), e.g.
+/// {"git": "...", "build_type": "...", "features": "..."} — spliced
+/// into JSON documents under a "build" key.
+[[nodiscard]] std::string build_info_json();
+
+}  // namespace oocs::obs

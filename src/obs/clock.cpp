@@ -1,0 +1,46 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace oocs::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point epoch() noexcept {
+  static const Clock::time_point start = Clock::now();
+  return start;
+}
+
+std::atomic<int>& next_thread_index() noexcept {
+  static std::atomic<int> next{1};
+  return next;
+}
+
+thread_local int t_thread_index = 0;
+thread_local int t_proc = 0;
+
+}  // namespace
+
+std::int64_t monotonic_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch()).count();
+}
+
+double monotonic_seconds() noexcept {
+  return std::chrono::duration<double>(Clock::now() - epoch()).count();
+}
+
+int thread_index() noexcept {
+  if (t_thread_index == 0) {
+    t_thread_index = next_thread_index().fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_index;
+}
+
+int current_proc() noexcept { return t_proc; }
+
+void set_current_proc(int proc) noexcept { t_proc = proc; }
+
+}  // namespace oocs::obs

@@ -1,0 +1,35 @@
+// Process-wide monotonic clock and thread/process identity.
+//
+// Every observability consumer — the trace recorder, the leveled
+// logger, the disk arrays' busy-interval union — shares one monotonic
+// epoch, so log timestamps, span timestamps and measured disk seconds
+// all live on the same time axis and line up in a Perfetto view.
+//
+// Thread identity is a small dense index (1, 2, 3, ... in first-use
+// order), far more readable in logs and traces than std::thread::id.
+// The "proc" is the GA-style virtual process a thread works for:
+// ga::run_threads runs each plan process on one thread and tags it (and
+// the aio/compute worker threads it spawns inherit the tag), so a
+// multi-proc run drains into one Chrome trace with a pid row per proc.
+#pragma once
+
+#include <cstdint>
+
+namespace oocs::obs {
+
+/// Nanoseconds since the process-wide monotonic epoch (first use).
+[[nodiscard]] std::int64_t monotonic_ns() noexcept;
+
+/// Seconds since the same epoch.
+[[nodiscard]] double monotonic_seconds() noexcept;
+
+/// Small dense id of the calling thread (1-based, assigned on first
+/// use, stable for the thread's lifetime).
+[[nodiscard]] int thread_index() noexcept;
+
+/// GA-style virtual process this thread works for (default 0).  Worker
+/// pools stamp their threads with the creator's proc at spawn.
+[[nodiscard]] int current_proc() noexcept;
+void set_current_proc(int proc) noexcept;
+
+}  // namespace oocs::obs

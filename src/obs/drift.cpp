@@ -1,0 +1,150 @@
+#include "obs/drift.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace oocs::obs {
+
+namespace {
+
+std::string mb(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+std::string secs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  return buf;
+}
+
+/// measured / predicted, or "-" when the prediction is ~zero.
+std::string ratio(double measured, double predicted) {
+  if (predicted <= 1e-12) return "   -";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", measured / predicted);
+  return buf;
+}
+
+}  // namespace
+
+std::string DriftReport::to_text() const {
+  std::string out;
+  char line[256];
+  out += "stage              read MB (pred/meas)  write MB (pred/meas)   io s (pred/meas)"
+         "  compute s (pred/meas)    wall s   io drift\n";
+  const auto row = [&](const char* name, double pr, double mr, double pw, double mw, double pio,
+                       double mio, double pc, double mc, double wall) {
+    std::snprintf(line, sizeof(line),
+                  "%-18s %9s /%9s  %9s /%9s  %8s /%8s   %8s /%8s  %8s  %9s\n", name,
+                  mb(pr).c_str(), mb(mr).c_str(), mb(pw).c_str(), mb(mw).c_str(),
+                  secs(pio).c_str(), secs(mio).c_str(), secs(pc).c_str(), secs(mc).c_str(),
+                  secs(wall).c_str(), ratio(mio, pio).c_str());
+    out += line;
+  };
+
+  StageDrift total;
+  for (const StageDrift& stage : stages) {
+    row(stage.name.c_str(), stage.predicted_read_bytes, stage.measured_read_bytes,
+        stage.predicted_write_bytes, stage.measured_write_bytes, stage.predicted_io_seconds,
+        stage.measured_io_seconds, stage.predicted_compute_seconds,
+        stage.measured_compute_seconds, stage.measured_wall_seconds);
+    total.predicted_read_bytes += stage.predicted_read_bytes;
+    total.measured_read_bytes += stage.measured_read_bytes;
+    total.predicted_write_bytes += stage.predicted_write_bytes;
+    total.measured_write_bytes += stage.measured_write_bytes;
+    total.predicted_io_seconds += stage.predicted_io_seconds;
+    total.measured_io_seconds += stage.measured_io_seconds;
+    total.predicted_compute_seconds += stage.predicted_compute_seconds;
+    total.measured_compute_seconds += stage.measured_compute_seconds;
+    total.measured_wall_seconds += stage.measured_wall_seconds;
+  }
+  row("total", total.predicted_read_bytes, total.measured_read_bytes,
+      total.predicted_write_bytes, total.measured_write_bytes, total.predicted_io_seconds,
+      total.measured_io_seconds, total.predicted_compute_seconds,
+      total.measured_compute_seconds, total.measured_wall_seconds);
+
+  std::snprintf(line, sizeof(line),
+                "serial model : %8s s predicted, %8s s measured (%s)\n",
+                secs(predicted_serial_seconds).c_str(), secs(measured_serial_seconds).c_str(),
+                ratio(measured_serial_seconds, predicted_serial_seconds).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "overlap model: %8s s predicted, %8s s measured (%s); run wall %8s s\n",
+                secs(predicted_overlap_seconds).c_str(), secs(measured_overlap_seconds).c_str(),
+                ratio(measured_overlap_seconds, predicted_overlap_seconds).c_str(),
+                secs(measured_wall_seconds).c_str());
+  out += line;
+
+  if (has_synthesis) {
+    std::snprintf(line, sizeof(line),
+                  "synthesis §4.2: %s MB reads, %s MB writes, %.0f calls predicted; "
+                  "measured %s MB reads, %s MB writes\n",
+                  mb(synthesis_read_bytes).c_str(), mb(synthesis_write_bytes).c_str(),
+                  synthesis_io_calls, mb(total.measured_read_bytes).c_str(),
+                  mb(total.measured_write_bytes).c_str());
+    out += line;
+  }
+  if (has_cache) {
+    std::snprintf(line, sizeof(line),
+                  "cache (%s MB budget): predicted %s MB hits / %s MB disk reads; "
+                  "measured %s MB hits / %s MB disk reads (%s)\n",
+                  mb(cache_budget_bytes).c_str(), mb(predicted_cache_hit_bytes).c_str(),
+                  mb(predicted_disk_read_bytes).c_str(), mb(measured_cache_hit_bytes).c_str(),
+                  mb(measured_disk_read_bytes).c_str(),
+                  ratio(measured_cache_hit_bytes, predicted_cache_hit_bytes).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string DriftReport::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + "  ";
+  std::string out = "{\n";
+  out += pad2 + "\"num_procs\": " + std::to_string(num_procs) + ",\n";
+  out += pad2 + "\"stages\": [";
+  bool first = true;
+  for (const StageDrift& stage : stages) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad2 + "  {\"name\": " + json_quote(stage.name) +
+           ", \"predicted_read_bytes\": " + json_number(stage.predicted_read_bytes, 0) +
+           ", \"predicted_write_bytes\": " + json_number(stage.predicted_write_bytes, 0) +
+           ", \"predicted_io_calls\": " + json_number(stage.predicted_io_calls, 0) +
+           ", \"predicted_io_seconds\": " + json_number(stage.predicted_io_seconds) +
+           ", \"predicted_compute_seconds\": " + json_number(stage.predicted_compute_seconds) +
+           ", \"measured_read_bytes\": " + json_number(stage.measured_read_bytes, 0) +
+           ", \"measured_write_bytes\": " + json_number(stage.measured_write_bytes, 0) +
+           ", \"measured_io_calls\": " + json_number(stage.measured_io_calls, 0) +
+           ", \"measured_io_seconds\": " + json_number(stage.measured_io_seconds) +
+           ", \"measured_compute_seconds\": " + json_number(stage.measured_compute_seconds) +
+           ", \"measured_wall_seconds\": " + json_number(stage.measured_wall_seconds) + "}";
+  }
+  out += first ? "],\n" : "\n" + pad2 + "],\n";
+  out += pad2 + "\"predicted_serial_seconds\": " + json_number(predicted_serial_seconds) + ",\n";
+  out += pad2 + "\"predicted_overlap_seconds\": " + json_number(predicted_overlap_seconds) + ",\n";
+  out += pad2 + "\"measured_serial_seconds\": " + json_number(measured_serial_seconds) + ",\n";
+  out += pad2 + "\"measured_overlap_seconds\": " + json_number(measured_overlap_seconds) + ",\n";
+  out += pad2 + "\"measured_wall_seconds\": " + json_number(measured_wall_seconds);
+  if (has_synthesis) {
+    out += ",\n" + pad2 + "\"synthesis\": {\"read_bytes\": " + json_number(synthesis_read_bytes, 0) +
+           ", \"write_bytes\": " + json_number(synthesis_write_bytes, 0) +
+           ", \"io_calls\": " + json_number(synthesis_io_calls, 0) + "}";
+  }
+  if (has_cache) {
+    out += ",\n" + pad2 + "\"cache\": {\"budget_bytes\": " + json_number(cache_budget_bytes, 0) +
+           ", \"predicted_hit_bytes\": " + json_number(predicted_cache_hit_bytes, 0) +
+           ", \"measured_hit_bytes\": " + json_number(measured_cache_hit_bytes, 0) +
+           ", \"predicted_disk_read_bytes\": " + json_number(predicted_disk_read_bytes, 0) +
+           ", \"measured_disk_read_bytes\": " + json_number(measured_disk_read_bytes, 0) +
+           ", \"predicted_disk_write_bytes\": " + json_number(predicted_disk_write_bytes, 0) +
+           ", \"measured_disk_write_bytes\": " + json_number(measured_disk_write_bytes, 0) + "}";
+  }
+  out += "\n" + pad + "}";
+  return out;
+}
+
+}  // namespace oocs::obs

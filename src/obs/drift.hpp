@@ -1,0 +1,76 @@
+// Model-vs-actual drift report.
+//
+// The paper's premise is that the analytic cost model (disk volume ×
+// redundant trip counts, I/O–compute overlap) predicts out-of-core
+// performance well enough to drive synthesis.  The drift report closes
+// the loop: per execution stage (top-level plan root), it puts the
+// model's predicted I/O bytes/calls/seconds and compute seconds next
+// to the measured values from the same run, plus the serial vs
+// overlapped end-to-end models and — when a tile cache is active —
+// the predict_cache savings next to the measured hit traffic.
+//
+// The struct is plain data: rt::make_drift_report fills it from a
+// dry-run (modeled) and a real (measured) execution; oocsc attaches
+// the synthesis-level (§4.2) and cache-prediction sections.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oocs::obs {
+
+struct StageDrift {
+  std::string name;
+
+  // Model side (dry run under the calibrated DiskModel).
+  double predicted_read_bytes = 0;
+  double predicted_write_bytes = 0;
+  double predicted_io_calls = 0;
+  double predicted_io_seconds = 0;
+  double predicted_compute_seconds = 0;
+
+  // Measured side (same stage of the real run).
+  double measured_read_bytes = 0;
+  double measured_write_bytes = 0;
+  double measured_io_calls = 0;
+  double measured_io_seconds = 0;
+  double measured_compute_seconds = 0;
+  /// Stage wall clock, including waits the overlap model hides.
+  double measured_wall_seconds = 0;
+};
+
+struct DriftReport {
+  int num_procs = 1;
+  std::vector<StageDrift> stages;
+
+  // Σ over stages of (io + compute) and of max(io, compute).
+  double predicted_serial_seconds = 0;
+  double predicted_overlap_seconds = 0;
+  double measured_serial_seconds = 0;
+  double measured_overlap_seconds = 0;
+  double measured_wall_seconds = 0;
+
+  // Synthesis-level analytic totals (§4.2 cost expressions), when known.
+  bool has_synthesis = false;
+  double synthesis_read_bytes = 0;
+  double synthesis_write_bytes = 0;
+  double synthesis_io_calls = 0;
+
+  // Tile-cache prediction vs measurement, when a cache was active.
+  bool has_cache = false;
+  double cache_budget_bytes = 0;
+  double predicted_cache_hit_bytes = 0;
+  double measured_cache_hit_bytes = 0;
+  double predicted_disk_read_bytes = 0;   // predict_cache's with-cache read traffic
+  double measured_disk_read_bytes = 0;    // pure disk reads of the real run
+  double predicted_disk_write_bytes = 0;
+  double measured_disk_write_bytes = 0;
+
+  /// Human-readable aligned table.
+  [[nodiscard]] std::string to_text() const;
+
+  /// JSON object (no trailing newline); `indent` spaces of base indent.
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+};
+
+}  // namespace oocs::obs

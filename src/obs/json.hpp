@@ -1,0 +1,50 @@
+// Minimal JSON emission helpers shared by the trace / metrics / drift
+// writers.  Emission only — parsing lives in tools/check_trace.py.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace oocs::obs {
+
+/// Appends `text` to `out` with JSON string escaping (quotes,
+/// backslashes, control characters).
+inline void json_escape_to(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+[[nodiscard]] inline std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  json_escape_to(out, text);
+  out += '"';
+  return out;
+}
+
+/// Formats a double as a JSON-safe number (finite; fixed precision).
+[[nodiscard]] inline std::string json_number(double value, int precision = 6) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace oocs::obs

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+
+namespace oocs::obs {
+
+namespace {
+
+/// Bucket k counts values in [2^(k-1), 2^k) nanoseconds (bucket 0: < 1 ns).
+int bucket_for(std::int64_t ns) noexcept {
+  if (ns <= 0) return 0;
+  const int width = std::bit_width(static_cast<std::uint64_t>(ns));
+  return std::min(width, Histogram::kBuckets - 1);
+}
+
+double bucket_lower_ns(int bucket) noexcept {
+  return bucket == 0 ? 0.0 : std::ldexp(1.0, bucket - 1);
+}
+
+double bucket_upper_ns(int bucket) noexcept { return std::ldexp(1.0, bucket); }
+
+/// Relaxed CAS min/max for the extremes.
+void atomic_min(std::atomic<std::int64_t>& target, std::int64_t value) noexcept {
+  std::int64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& target, std::int64_t value) noexcept {
+  std::int64_t current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record_seconds(double seconds) noexcept {
+  record_ns(static_cast<std::int64_t>(std::max(0.0, seconds) * 1e9));
+}
+
+void Histogram::record_ns(std::int64_t ns) noexcept {
+  ns = std::max<std::int64_t>(ns, 0);
+  counts_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  std::int64_t counts[kBuckets];
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    snap.count += counts[b];
+  }
+  if (snap.count == 0) return snap;
+  snap.sum_seconds = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  snap.min_seconds = static_cast<double>(min_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  snap.max_seconds = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+
+  const auto quantile = [&](double q) {
+    const double rank = q * static_cast<double>(snap.count);
+    double cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      const double next = cumulative + static_cast<double>(counts[b]);
+      if (next >= rank) {
+        const double within = (rank - cumulative) / static_cast<double>(counts[b]);
+        const double lo = bucket_lower_ns(b);
+        const double hi = bucket_upper_ns(b);
+        return (lo + within * (hi - lo)) * 1e-9;
+      }
+      cumulative = next;
+    }
+    return snap.max_seconds;
+  };
+  snap.p50_seconds = quantile(0.50);
+  snap.p90_seconds = quantile(0.90);
+  snap.p99_seconds = quantile(0.99);
+
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts[b] > 0) snap.buckets.emplace_back(bucket_upper_ns(b) * 1e-9, counts[b]);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : counts_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(std::numeric_limits<std::int64_t>::max(), std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->set(0);
+  for (auto& [name, gauge] : gauges_) gauge->set(0);
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+  const std::scoped_lock lock(mutex_);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + "  ";
+  std::string out;
+
+  out += pad + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += pad2 + json_quote(name) + ": " + std::to_string(counter->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n" + pad + "},\n";
+
+  out += pad + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += pad2 + json_quote(name) + ": " + json_number(gauge->value(), 9);
+    first = false;
+  }
+  out += first ? "},\n" : "\n" + pad + "},\n";
+
+  out += pad + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad2 + json_quote(name) + ": {\"count\": " + std::to_string(snap.count) +
+           ", \"sum_seconds\": " + json_number(snap.sum_seconds, 9) +
+           ", \"min_seconds\": " + json_number(snap.min_seconds, 9) +
+           ", \"max_seconds\": " + json_number(snap.max_seconds, 9) +
+           ", \"p50_seconds\": " + json_number(snap.p50_seconds, 9) +
+           ", \"p90_seconds\": " + json_number(snap.p90_seconds, 9) +
+           ", \"p99_seconds\": " + json_number(snap.p99_seconds, 9) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [le, count] : snap.buckets) {
+      if (!first_bucket) out += ", ";
+      out += "{\"le_seconds\": " + json_number(le, 9) + ", \"count\": " + std::to_string(count) +
+             "}";
+      first_bucket = false;
+    }
+    out += "]}";
+  }
+  out += first ? "}" : "\n" + pad + "}";
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: outlives static dtors
+  return *registry;
+}
+
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
+  os << "{\n  \"build\": " << build_info_json() << ",\n" << registry.to_json(2) << "\n}\n";
+}
+
+}  // namespace oocs::obs

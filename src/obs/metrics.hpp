@@ -1,0 +1,117 @@
+// Process-wide metrics: counters, gauges, and log2-bucketed latency
+// histograms, snapshotted into one JSON document.
+//
+// The runtime had three overlapping ad-hoc stat structs (dra::IoStats,
+// rt::ExecStats, ga::ParallelStats) and no latency distributions.  The
+// MetricsRegistry is the unification point: hot paths record into
+// lock-free instruments (one relaxed atomic op per event), the legacy
+// structs are published into the registry at run boundaries
+// (rt::publish_metrics / ga::publish_metrics), and write_metrics_json
+// emits everything — with the build-info header — as one document.
+//
+// Histograms bucket by powers of two of nanoseconds: bucket k counts
+// values in [2^(k-1), 2^k) ns, so 64 buckets span sub-nanosecond to
+// ~292 years.  Quantiles are interpolated within the bucket, accurate
+// to a factor of 2 — plenty for "where does the time go" questions
+// like disk-op latency, queue wait, and stage wall time.
+//
+// Naming convention: dotted lowercase paths, unit as the last path
+// element ("dra.read_seconds", "io.bytes_read", "aio.queue_wait_seconds").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oocs::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(std::int64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Records one observation (negative values clamp to zero).
+  void record_seconds(double seconds) noexcept;
+  void record_ns(std::int64_t ns) noexcept;
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum_seconds = 0;
+    double min_seconds = 0;
+    double max_seconds = 0;
+    double p50_seconds = 0;
+    double p90_seconds = 0;
+    double p99_seconds = 0;
+    /// Non-empty buckets only: upper bound (seconds) and count.
+    std::vector<std::pair<double, std::int64_t>> buckets;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::int64_t> counts_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_ns_{0};
+  std::atomic<std::int64_t> min_ns_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_ns_{0};
+};
+
+/// Named instruments, created on first use and stable thereafter (the
+/// returned references stay valid for the registry's lifetime, so hot
+/// paths look an instrument up once and hold the reference).
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Zeroes every instrument (registrations survive).
+  void reset();
+
+  /// The registry body: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with names sorted.
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every instrumented layer records into.
+[[nodiscard]] MetricsRegistry& metrics();
+
+/// Writes the full metrics document: build-info header plus the
+/// registry body.
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry = metrics());
+
+}  // namespace oocs::obs

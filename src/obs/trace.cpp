@@ -1,0 +1,298 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+
+namespace oocs::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's ring of completed events.  Single writer (the owning
+/// thread); the mutex only contends with drains and trace_start/clear.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;  // grows up to `capacity`, then wraps
+  std::size_t capacity = 0;
+  std::size_t next = 0;  // overwrite cursor once full
+  std::int64_t dropped = 0;
+  std::string thread_name;
+  int tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t per_thread_events = TraceOptions{}.per_thread_events;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+
+ThreadBuffer& local_buffer() {
+  if (!t_buffer) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = thread_index();
+    Registry& r = registry();
+    const std::scoped_lock lock(r.mutex);
+    buffer->capacity = r.per_thread_events;
+    r.buffers.push_back(buffer);
+    t_buffer = std::move(buffer);
+  }
+  return *t_buffer;
+}
+
+void push_event(const TraceEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  if (buffer.capacity == 0) return;
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(event);
+    return;
+  }
+  buffer.ring[buffer.next] = event;
+  buffer.next = (buffer.next + 1) % buffer.capacity;
+  ++buffer.dropped;
+}
+
+void copy_name(char (&dst)[48], std::string_view src) noexcept {
+  const std::size_t n = std::min(src.size(), sizeof(dst) - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+void Span::begin(const char* category, std::string_view name) noexcept {
+  category_ = category;
+  copy_name(name_, name);
+  t0_ns_ = monotonic_ns();
+}
+
+void trace_start(TraceOptions options) {
+  Registry& r = registry();
+  {
+    const std::scoped_lock lock(r.mutex);
+    r.per_thread_events = options.per_thread_events;
+    for (const auto& buffer : r.buffers) {
+      const std::scoped_lock buffer_lock(buffer->mutex);
+      buffer->ring.clear();
+      buffer->next = 0;
+      buffer->dropped = 0;
+      buffer->capacity = options.per_thread_events;
+    }
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() { detail::g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+void trace_clear() {
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& r = registry();
+    const std::scoped_lock lock(r.mutex);
+    buffers = r.buffers;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    // Oldest-first: the tail beyond the overwrite cursor precedes the
+    // head when the ring has wrapped.
+    for (std::size_t i = buffer->next; i < buffer->ring.size(); ++i) {
+      events.push_back(buffer->ring[i]);
+    }
+    for (std::size_t i = 0; i < buffer->next; ++i) events.push_back(buffer->ring[i]);
+  }
+  return events;
+}
+
+std::int64_t trace_event_count() {
+  std::int64_t count = 0;
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    count += static_cast<std::int64_t>(buffer->ring.size());
+  }
+  return count;
+}
+
+std::int64_t trace_dropped() {
+  std::int64_t dropped = 0;
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mutex);
+  for (const auto& buffer : r.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void set_thread_name(std::string_view name) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::scoped_lock lock(buffer.mutex);
+  buffer.thread_name.assign(name);
+}
+
+void record_span(const char* category, std::string_view name, std::int64_t t0_ns,
+                 std::int64_t t1_ns) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::Span;
+  event.category = category;
+  copy_name(event.name, name);
+  event.t0_ns = t0_ns;
+  event.t1_ns = t1_ns;
+  event.proc = current_proc();
+  event.tid = thread_index();
+  push_event(event);
+}
+
+void record_async(const char* category, std::string_view name, std::int64_t id,
+                  std::int64_t t0_ns, std::int64_t t1_ns) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::Async;
+  event.category = category;
+  copy_name(event.name, name);
+  event.t0_ns = t0_ns;
+  event.t1_ns = t1_ns;
+  event.id = id;
+  event.proc = current_proc();
+  event.tid = thread_index();
+  push_event(event);
+}
+
+void record_instant(const char* category, std::string_view name) {
+  if (!trace_enabled()) return;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::Instant;
+  event.category = category;
+  copy_name(event.name, name);
+  event.t0_ns = event.t1_ns = monotonic_ns();
+  event.proc = current_proc();
+  event.tid = thread_index();
+  push_event(event);
+}
+
+namespace {
+
+/// Microseconds with sub-microsecond precision, Chrome's "ts"/"dur" unit.
+std::string us(std::int64_t ns) { return json_number(static_cast<double>(ns) / 1000.0, 3); }
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  struct Track {
+    std::string name;
+    std::int64_t dropped = 0;
+  };
+  std::map<int, Track> tracks;  // by tid
+  std::vector<TraceEvent> events;
+  {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+      Registry& r = registry();
+      const std::scoped_lock lock(r.mutex);
+      buffers = r.buffers;
+    }
+    for (const auto& buffer : buffers) {
+      const std::scoped_lock lock(buffer->mutex);
+      Track& track = tracks[buffer->tid];
+      track.name = buffer->thread_name.empty() ? "thread " + std::to_string(buffer->tid)
+                                               : buffer->thread_name;
+      track.dropped += buffer->dropped;
+      for (std::size_t i = buffer->next; i < buffer->ring.size(); ++i) {
+        events.push_back(buffer->ring[i]);
+      }
+      for (std::size_t i = 0; i < buffer->next; ++i) events.push_back(buffer->ring[i]);
+    }
+  }
+
+  const BuildInfo& build = build_info();
+  std::int64_t dropped = 0;
+  for (const auto& [tid, track] : tracks) dropped += track.dropped;
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n"
+     << "    \"git\": " << json_quote(build.git_describe) << ",\n"
+     << "    \"build_type\": " << json_quote(build.build_type) << ",\n"
+     << "    \"features\": " << json_quote(build.features) << ",\n"
+     << "    \"dropped_events\": " << dropped << "\n  },\n  \"traceEvents\": [";
+
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    os << (first ? "\n    " : ",\n    ") << line;
+    first = false;
+  };
+
+  // Metadata rows: one process per virtual proc, one label per thread.
+  std::set<int> procs;
+  std::set<std::pair<int, int>> proc_tids;
+  for (const TraceEvent& event : events) {
+    procs.insert(event.proc);
+    proc_tids.insert({event.proc, event.tid});
+  }
+  for (const int proc : procs) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " + std::to_string(proc) +
+         ", \"tid\": 0, \"args\": {\"name\": " + json_quote("oocs proc " + std::to_string(proc)) +
+         "}}");
+  }
+  for (const auto& [proc, tid] : proc_tids) {
+    const auto it = tracks.find(tid);
+    const std::string name = it != tracks.end() ? it->second.name : "thread " + std::to_string(tid);
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " + std::to_string(proc) +
+         ", \"tid\": " + std::to_string(tid) + ", \"args\": {\"name\": " + json_quote(name) +
+         "}}");
+  }
+
+  for (const TraceEvent& event : events) {
+    const std::string common = "\"cat\": " + json_quote(event.category) +
+                               ", \"name\": " + json_quote(event.name) +
+                               ", \"pid\": " + std::to_string(event.proc) +
+                               ", \"tid\": " + std::to_string(event.tid);
+    switch (event.kind) {
+      case TraceEvent::Kind::Span:
+        emit("{" + common + ", \"ph\": \"X\", \"ts\": " + us(event.t0_ns) +
+             ", \"dur\": " + us(event.t1_ns - event.t0_ns) + "}");
+        break;
+      case TraceEvent::Kind::Async:
+        emit("{" + common + ", \"ph\": \"b\", \"id\": " + std::to_string(event.id) +
+             ", \"ts\": " + us(event.t0_ns) + "}");
+        emit("{" + common + ", \"ph\": \"e\", \"id\": " + std::to_string(event.id) +
+             ", \"ts\": " + us(event.t1_ns) + "}");
+        break;
+      case TraceEvent::Kind::Instant:
+        emit("{" + common + ", \"ph\": \"i\", \"s\": \"t\", \"ts\": " + us(event.t0_ns) + "}");
+        break;
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace oocs::obs

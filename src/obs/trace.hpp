@@ -1,0 +1,144 @@
+// Low-overhead runtime tracing: per-thread ring-buffer span recorders
+// drained to Chrome trace-event JSON (chrome://tracing / Perfetto).
+//
+// Recording model:
+//   * Tracing is globally off by default.  `OOCS_SPAN(cat, name)` (and
+//     the manual record_* calls) check one relaxed atomic and return
+//     immediately when disabled — the macro costs a load and a branch,
+//     and compiles away entirely under -DOOCS_DISABLE_TRACING.
+//   * When enabled, each thread records completed spans into its own
+//     fixed-capacity ring buffer (oldest events are overwritten; the
+//     dropped count is kept).  Recording takes that thread's buffer
+//     mutex, which is uncontended except while a drain is copying.
+//   * A span is one event carrying [t0, t1) on the shared monotonic
+//     axis (obs/clock.hpp) plus the recording thread's tid and virtual
+//     proc.  Spans recorded by one thread are strictly nested: the
+//     RAII recorder closes inner scopes before outer ones.
+//   * Async events (record_async) carry an id instead of nesting —
+//     used for intervals that do not belong to one thread's call
+//     stack, e.g. aio queue-wait time between enqueue and execution.
+//
+// Draining (write_chrome_trace) walks every thread buffer under its
+// mutex and emits one JSON document: {"traceEvents": [...]} with "X"
+// events for spans, "b"/"e" pairs for async intervals, "i" for
+// instants, and "M" metadata naming each pid (virtual proc) and tid —
+// so a GA multi-proc run merges into one timeline with a process row
+// per proc.  Timestamps are microseconds since the process epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace oocs::obs {
+
+struct TraceOptions {
+  /// Ring capacity per thread, in events (~88 bytes each).
+  std::size_t per_thread_events = std::size_t{1} << 16;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True while tracing is recording.  Relaxed load; safe anywhere.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Clears previously recorded events and starts recording.  Buffers of
+/// live threads are re-armed with the new capacity on their next event.
+void trace_start(TraceOptions options = {});
+
+/// Stops recording; events stay buffered for draining.
+void trace_stop();
+
+/// Drops every buffered event (and the dropped counters).
+void trace_clear();
+
+/// One recorded event, as stored (introspection for tests/tools).
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Span, Async, Instant };
+  Kind kind = Kind::Span;
+  const char* category = "";
+  char name[48] = {};
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t id = 0;  // async interval id
+  int proc = 0;
+  int tid = 0;
+};
+
+/// Copy of every buffered event across all threads (unordered between
+/// threads; per thread, in completion order up to ring overwrite).
+[[nodiscard]] std::vector<TraceEvent> trace_snapshot();
+
+/// Buffered event count and events lost to ring overwrite.
+[[nodiscard]] std::int64_t trace_event_count();
+[[nodiscard]] std::int64_t trace_dropped();
+
+/// Human label for the calling thread in the drained timeline.
+void set_thread_name(std::string_view name);
+
+/// Records a completed [t0, t1) span on the calling thread's track.
+/// `category` must be a string literal (stored by pointer); `name` is
+/// copied (truncated to 47 chars).
+void record_span(const char* category, std::string_view name, std::int64_t t0_ns,
+                 std::int64_t t1_ns);
+
+/// Records an async interval (Chrome "b"/"e" pair keyed by id): not
+/// subject to per-thread nesting.
+void record_async(const char* category, std::string_view name, std::int64_t id,
+                  std::int64_t t0_ns, std::int64_t t1_ns);
+
+/// Records a point-in-time marker.
+void record_instant(const char* category, std::string_view name);
+
+/// Drains every buffer into one Chrome trace JSON document.  The
+/// build-info block (obs/build_info.hpp) is stamped into "otherData".
+void write_chrome_trace(std::ostream& os);
+
+/// RAII span: captures the start time at construction and records the
+/// completed span at destruction.  Near-zero cost while disabled.
+class Span {
+ public:
+  Span(const char* category, const char* name) {
+    if (!trace_enabled()) return;
+    begin(category, name);
+  }
+  Span(const char* category, std::string_view name) {
+    if (!trace_enabled()) return;
+    begin(category, name);
+  }
+  ~Span() {
+    if (t0_ns_ >= 0) record_span(category_, name_, t0_ns_, monotonic_ns());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* category, std::string_view name) noexcept;
+
+  const char* category_ = "";
+  char name_[48] = {};
+  std::int64_t t0_ns_ = -1;  // < 0: disabled at construction
+};
+
+}  // namespace oocs::obs
+
+#ifdef OOCS_DISABLE_TRACING
+#define OOCS_SPAN(category, name) \
+  do {                            \
+  } while (false)
+#else
+#define OOCS_SPAN_CONCAT2(a, b) a##b
+#define OOCS_SPAN_CONCAT(a, b) OOCS_SPAN_CONCAT2(a, b)
+#define OOCS_SPAN(category, name) \
+  const ::oocs::obs::Span OOCS_SPAN_CONCAT(oocs_span_, __LINE__)(category, name)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "rt/kernels.hpp"
 
 namespace oocs::rt {
@@ -162,7 +163,10 @@ double try_dgemm_contract(const DenseOperand& target, const DenseOperand& lhs_in
   double* c = target.data + base_offset(target);
   const std::int64_t ldc = trailing_extent(target, lead_count(t_split));
 
-  dgemm_strided(m, n, k, a, b, c, ldc, pool);
+  {
+    OOCS_SPAN("kernel", "dgemm");
+    dgemm_strided(m, n, k, a, b, c, ldc, pool);
+  }
   return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
 }
 

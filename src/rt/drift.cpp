@@ -1,0 +1,46 @@
+#include "rt/drift.hpp"
+
+#include <algorithm>
+
+namespace oocs::rt {
+
+obs::DriftReport make_drift_report(const std::vector<StageStats>& predicted,
+                                   const std::vector<StageStats>& measured, int num_procs) {
+  obs::DriftReport report;
+  report.num_procs = num_procs;
+  const std::size_t stages = std::max(predicted.size(), measured.size());
+  report.stages.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    obs::StageDrift drift;
+    if (s < predicted.size()) {
+      const StageStats& p = predicted[s];
+      drift.name = p.name;
+      drift.predicted_read_bytes = static_cast<double>(p.io.bytes_read);
+      drift.predicted_write_bytes = static_cast<double>(p.io.bytes_written);
+      drift.predicted_io_calls = static_cast<double>(p.io.read_calls + p.io.write_calls);
+      drift.predicted_io_seconds = p.io.seconds;
+      drift.predicted_compute_seconds = p.compute_seconds;
+    }
+    if (s < measured.size()) {
+      const StageStats& m = measured[s];
+      if (drift.name.empty()) drift.name = m.name;
+      drift.measured_read_bytes = static_cast<double>(m.io.bytes_read);
+      drift.measured_write_bytes = static_cast<double>(m.io.bytes_written);
+      drift.measured_io_calls = static_cast<double>(m.io.read_calls + m.io.write_calls);
+      drift.measured_io_seconds = m.io.seconds;
+      drift.measured_compute_seconds = m.compute_seconds;
+      drift.measured_wall_seconds = m.wall_seconds;
+    }
+    report.predicted_serial_seconds += drift.predicted_io_seconds + drift.predicted_compute_seconds;
+    report.predicted_overlap_seconds +=
+        std::max(drift.predicted_io_seconds, drift.predicted_compute_seconds);
+    report.measured_serial_seconds += drift.measured_io_seconds + drift.measured_compute_seconds;
+    report.measured_overlap_seconds +=
+        std::max(drift.measured_io_seconds, drift.measured_compute_seconds);
+    report.measured_wall_seconds += drift.measured_wall_seconds;
+    report.stages.push_back(std::move(drift));
+  }
+  return report;
+}
+
+}  // namespace oocs::rt

@@ -1,0 +1,28 @@
+// Bridges the runtime's stage stats into the obs::DriftReport.
+//
+// The predicted side comes from the analytic model walked over the same
+// plan (rt dry run scaled by ga::simulate's collective-disk model); the
+// measured side from the real execution.  Both are vectors of
+// rt::StageStats over the same top-level roots, so stages pair by
+// position.  oocsc attaches the synthesis-level (§4.2) and tile-cache
+// sections on top.
+#pragma once
+
+#include <vector>
+
+#include "obs/drift.hpp"
+#include "rt/interpreter.hpp"
+
+namespace oocs::rt {
+
+/// Builds the per-stage model-vs-actual report.  `predicted` carries
+/// modeled io.seconds/compute_seconds (e.g. ga::simulate(plan, P)
+/// .stages); `measured` the real run's stages (rt::ExecStats::stages
+/// for one process, ga::ParallelStats::stages for P).  Extra stages on
+/// either side (there are none for matching plans) are paired with
+/// zeros.
+[[nodiscard]] obs::DriftReport make_drift_report(const std::vector<StageStats>& predicted,
+                                                 const std::vector<StageStats>& measured,
+                                                 int num_procs = 1);
+
+}  // namespace oocs::rt

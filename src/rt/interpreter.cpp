@@ -8,6 +8,8 @@
 #include "cache/tile_cache.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/dispatch.hpp"
 
 namespace oocs::rt {
@@ -82,24 +84,37 @@ ExecStats PlanInterpreter::run() {
   dra::IoStats stage_start = farm_.total_stats();
   double stage_flops = 0;
   double stage_compute = 0;
-  for (const PlanNode& root : plan_.roots) {
-    if (root.kind == PlanNode::Kind::Loop) {
-      at_root_ = false;
-      exec_loop(root, options_.num_procs > 1);
-      at_root_ = true;
-    } else {
-      exec_root_op(root.op, /*root_level=*/true);
+  for (std::size_t s = 0; s < plan_.roots.size(); ++s) {
+    const PlanNode& root = plan_.roots[s];
+    const std::string stage_name =
+        "stage" + std::to_string(s) + ":" +
+        (root.kind == PlanNode::Kind::Loop ? root.index : std::string("op"));
+    Stopwatch stage_timer;
+    {
+      const obs::Span stage_span("stage", stage_name);
+      if (root.kind == PlanNode::Kind::Loop) {
+        at_root_ = false;
+        exec_loop(root, options_.num_procs > 1);
+        at_root_ = true;
+      } else {
+        exec_root_op(root.op, /*root_level=*/true);
+      }
+      // Write-behind requests must land before the stage is accounted and
+      // before any other process crosses the barrier.
+      if (engine_) engine_->drain();
+      // Dirty cached tiles likewise: flush (entries stay resident clean)
+      // so the stage's disk image is complete and its write-back traffic
+      // is charged to the stage that produced it.
+      if (options_.tile_cache) options_.tile_cache->flush();
     }
-    // Write-behind requests must land before the stage is accounted and
-    // before any other process crosses the barrier.
-    if (engine_) engine_->drain();
-    // Dirty cached tiles likewise: flush (entries stay resident clean)
-    // so the stage's disk image is complete and its write-back traffic
-    // is charged to the stage that produced it.
-    if (options_.tile_cache) options_.tile_cache->flush();
 
     const dra::IoStats now = farm_.total_stats();
     StageStats stage;
+    stage.name = stage_name;
+    stage.wall_seconds = options_.dry_run ? 0 : stage_timer.seconds();
+    if (!options_.dry_run) {
+      obs::metrics().histogram("rt.stage_seconds").record_seconds(stage.wall_seconds);
+    }
     stage.io = now.since(stage_start);
     stage.modeled_compute_seconds =
         (flops_ + modeled_flops_ - stage_flops) / options_.modeled_flops_per_second;
@@ -236,6 +251,7 @@ bool PlanInterpreter::exec_loop_pipelined(const PlanNode& node,
   // Issues iteration k's reads into the shadow slots (double buffering:
   // the engine fills the shadow while compute consumes the front).
   const auto issue = [&](std::size_t k) {
+    OOCS_SPAN("rt", "prefetch_issue");
     set_active(bases[k]);
     for (const std::size_t child : prefetched) {
       const PlanOp& op = node.children[child].op;
@@ -365,6 +381,7 @@ void fill_zero(std::span<double> out, ThreadPool* pool) {
 }  // namespace
 
 void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
+  OOCS_SPAN("rt", op.kind == core::PlanOp::Kind::ReadDisk ? "io:read" : "io:write");
   const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
   dra::DiskArray& disk = farm_.array(buffer.array);
   const dra::Section section = section_for(buffer);
@@ -415,6 +432,7 @@ void PlanInterpreter::do_io(const PlanOp& op, bool force_accumulate) {
 
 void PlanInterpreter::do_zero(const PlanOp& op) {
   if (options_.dry_run) return;
+  OOCS_SPAN("rt", "zero");
   const ComputeTimer timed(compute_seconds_);
   const PlanBuffer& buffer = plan_.buffers[static_cast<std::size_t>(op.buffer)];
   std::vector<double>& data = buffers_[static_cast<std::size_t>(op.buffer)];
@@ -516,6 +534,7 @@ void PlanInterpreter::do_contract(const PlanOp& op) {
     }
     return;
   }
+  OOCS_SPAN("rt", "contract");
   const ComputeTimer timed(compute_seconds_);
   const ir::Stmt& stmt = op.stmt;
 
@@ -695,6 +714,34 @@ std::map<std::string, std::vector<double>> run_posix(
     outputs[name] = std::move(data);
   }
   return outputs;
+}
+
+void publish_metrics(const ExecStats& stats) {
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("io.bytes_read").set(stats.io.bytes_read);
+  m.counter("io.bytes_written").set(stats.io.bytes_written);
+  m.counter("io.read_calls").set(stats.io.read_calls);
+  m.counter("io.write_calls").set(stats.io.write_calls);
+  m.gauge("io.seconds").set(stats.io.seconds);
+  m.counter("cache.hits").set(stats.io.cache_hits);
+  m.counter("cache.misses").set(stats.io.cache_misses);
+  m.counter("cache.hit_bytes").set(stats.io.cache_hit_bytes);
+  m.counter("cache.evictions").set(stats.io.cache_evictions);
+  m.counter("cache.writebacks").set(stats.io.cache_writebacks);
+  m.counter("cache.writeback_bytes").set(stats.io.cache_writeback_bytes);
+  m.counter("rt.stages").set(static_cast<std::int64_t>(stats.stages.size()));
+  m.counter("rt.buffer_bytes").set(stats.buffer_bytes);
+  m.counter("rt.compute_threads").set(stats.compute_threads);
+  m.counter("rt.compute_tasks").set(stats.compute_tasks);
+  m.gauge("rt.wall_seconds").set(stats.wall_seconds);
+  m.gauge("rt.compute_seconds").set(stats.compute_seconds);
+  m.gauge("rt.kernel_flops").set(stats.kernel_flops);
+  m.gauge("rt.modeled_flops").set(stats.modeled_flops);
+  m.gauge("rt.modeled_serial_seconds").set(stats.modeled_serial_seconds);
+  m.gauge("rt.modeled_overlap_seconds").set(stats.modeled_overlap_seconds);
+  m.gauge("aio.busy_seconds").set(stats.busy_seconds);
+  m.gauge("aio.stall_seconds").set(stats.stall_seconds);
+  m.counter("aio.queue_depth_hwm").set(stats.queue_depth_hwm);
 }
 
 }  // namespace oocs::rt

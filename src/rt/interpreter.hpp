@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "aio/engine.hpp"
@@ -83,6 +84,9 @@ struct ExecOptions {
 /// Per-top-level-root ("stage") breakdown of the run: the unit at which
 /// an overlapped execution can hide I/O behind compute.
 struct StageStats {
+  /// "stage<i>:<outer loop index>" (or ":op" for straight-line roots);
+  /// matches the stage's trace span name.
+  std::string name;
   dra::IoStats io;  // farm delta across the stage
   /// Compute seconds the overlap model charges the stage: measured wall
   /// time of the stage's kernels/zeroing in real runs, the analytical
@@ -90,6 +94,9 @@ struct StageStats {
   double compute_seconds = 0;
   /// Analytical estimate (stage flops / modeled rate), always filled.
   double modeled_compute_seconds = 0;
+  /// Wall clock of the stage including drains/flushes (real runs; zero
+  /// in dry runs, which execute nothing).
+  double wall_seconds = 0;
 };
 
 struct ExecStats {
@@ -188,5 +195,11 @@ class PlanInterpreter {
 [[nodiscard]] std::map<std::string, std::vector<double>> run_posix(
     const core::OocPlan& plan, const std::map<std::string, std::vector<double>>& inputs,
     const std::string& directory, ExecStats* stats = nullptr, ExecOptions options = {});
+
+/// Publishes the run's stats into the process-wide obs::metrics()
+/// registry under "rt.*" / "io.*" names (legacy counters unified into
+/// the one metrics document; histograms are recorded live by the lower
+/// layers and are not touched here).
+void publish_metrics(const ExecStats& stats);
 
 }  // namespace oocs::rt

@@ -253,12 +253,34 @@ TEST(Transpose, LargerBuffersMeanFewerCalls) {
     SimDiskArray out("Tout", {512, 512}, model);
     const TransposeStats stats = transpose_out_of_core(in, out, kb * 1024);
     const std::int64_t calls = stats.io.read_calls + stats.io.write_calls;
-    if (previous_calls > 0) EXPECT_LT(calls, previous_calls);
+    if (previous_calls > 0) {
+      EXPECT_LT(calls, previous_calls);
+    }
     previous_calls = calls;
     // Volume is layout-independent: exactly 2x the matrix.
     EXPECT_EQ(stats.io.bytes_read, 512 * 512 * 8);
     EXPECT_EQ(stats.io.bytes_written, 512 * 512 * 8);
   }
+}
+
+TEST(IoStats, SinceMergeRoundTripsEveryField) {
+  // since() and merge() are generated from the same X-macro field list
+  // (OOCS_IO_STAT_FIELDS), so a field silently dropped from one of them
+  // breaks this round trip: b == a.merge(b.since(a)) field for field.
+  IoStats a, b;
+  std::int64_t next = 1;
+#define OOCS_CHECK_FILL(field)             \
+  a.field = next++;                        \
+  b.field = a.field + next++;
+  OOCS_IO_STAT_FIELDS(OOCS_CHECK_FILL)
+#undef OOCS_CHECK_FILL
+
+  const IoStats delta = b.since(a);
+  IoStats restored = a;
+  restored.merge(delta);
+#define OOCS_CHECK_FIELD(field) EXPECT_EQ(restored.field, b.field) << #field;
+  OOCS_IO_STAT_FIELDS(OOCS_CHECK_FIELD)
+#undef OOCS_CHECK_FIELD
 }
 
 TEST(Transpose, RejectsBadShapes) {

@@ -1,0 +1,424 @@
+// Tests for the observability layer: clock/identity, span tracing,
+// Chrome trace draining, metrics, the drift report, build info, and
+// trace correctness under concurrent execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/tile_cache.hpp"
+#include "core/synthesize.hpp"
+#include "ga/parallel.hpp"
+#include "ir/examples.hpp"
+#include "obs/build_info.hpp"
+#include "obs/clock.hpp"
+#include "obs/drift.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rt/drift.hpp"
+#include "rt/interpreter.hpp"
+#include "rt/reference.hpp"
+#include "solver/dlm.hpp"
+
+namespace oocs::obs {
+namespace {
+
+/// Every test leaves tracing stopped and the buffers empty.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    trace_stop();
+    trace_clear();
+  }
+};
+
+TEST_F(ObsTest, MonotonicClockAdvances) {
+  const std::int64_t a = monotonic_ns();
+  const std::int64_t b = monotonic_ns();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(monotonic_seconds(), 0.0);
+}
+
+TEST_F(ObsTest, ThreadIndexIsStableAndDistinct) {
+  const int mine = thread_index();
+  EXPECT_GE(mine, 1);
+  EXPECT_EQ(thread_index(), mine);  // stable on repeat
+  int other = 0;
+  std::thread worker([&] { other = thread_index(); });
+  worker.join();
+  EXPECT_GE(other, 1);
+  EXPECT_NE(other, mine);
+}
+
+TEST_F(ObsTest, ProcTagDefaultsToZeroAndSets) {
+  EXPECT_EQ(current_proc(), 0);
+  set_current_proc(3);
+  EXPECT_EQ(current_proc(), 3);
+  // A new thread starts at proc 0; the tag is per thread.
+  int worker_proc = -1;
+  std::thread worker([&] { worker_proc = current_proc(); });
+  worker.join();
+  EXPECT_EQ(worker_proc, 0);
+  set_current_proc(0);
+}
+
+TEST_F(ObsTest, SpansAreNotRecordedWhileDisabled) {
+  ASSERT_FALSE(trace_enabled());
+  { OOCS_SPAN("test", "invisible"); }
+  record_instant("test", "also-invisible");
+  EXPECT_EQ(trace_event_count(), 0);
+}
+
+TEST_F(ObsTest, SpansRecordCategoryNameAndOrder) {
+  trace_start();
+  {
+    OOCS_SPAN("test", "outer");
+    { OOCS_SPAN("test", "inner"); }
+  }
+  trace_stop();
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // The RAII recorder completes inner scopes first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  for (const TraceEvent& e : events) {
+    EXPECT_STREQ(e.category, "test");
+    EXPECT_LE(e.t0_ns, e.t1_ns);
+    EXPECT_EQ(e.tid, thread_index());
+  }
+  // inner nests strictly inside outer.
+  EXPECT_GE(events[0].t0_ns, events[1].t0_ns);
+  EXPECT_LE(events[0].t1_ns, events[1].t1_ns);
+}
+
+TEST_F(ObsTest, RingOverwriteCountsDropped) {
+  TraceOptions options;
+  options.per_thread_events = 8;
+  trace_start(options);
+  for (int i = 0; i < 20; ++i) {
+    OOCS_SPAN("test", "filler");
+  }
+  trace_stop();
+  EXPECT_EQ(trace_event_count(), 8);
+  EXPECT_EQ(trace_dropped(), 12);
+  trace_clear();
+  EXPECT_EQ(trace_event_count(), 0);
+  EXPECT_EQ(trace_dropped(), 0);
+}
+
+TEST_F(ObsTest, AsyncEventsCarryIdsAndInstantsLand) {
+  trace_start();
+  const std::int64_t t0 = monotonic_ns();
+  record_async("test", "interval", /*id=*/7, t0, t0 + 100);
+  record_instant("test", "marker");
+  trace_stop();
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto async_it =
+      std::find_if(events.begin(), events.end(),
+                   [](const TraceEvent& e) { return e.kind == TraceEvent::Kind::Async; });
+  ASSERT_NE(async_it, events.end());
+  EXPECT_EQ(async_it->id, 7);
+}
+
+TEST_F(ObsTest, ChromeTraceIsWellFormedJson) {
+  trace_start();
+  set_thread_name("obs-test-main");
+  {
+    OOCS_SPAN("test", "alpha");
+  }
+  record_async("test", "queued", 1, monotonic_ns() - 50, monotonic_ns());
+  trace_stop();
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"git\""), std::string::npos);       // build header
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // the span
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);  // async begin
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);  // async end
+  EXPECT_NE(json.find("obs-test-main"), std::string::npos);  // thread name metadata
+  // Brace balance, ignoring braces inside strings (names are plain).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
+  Histogram h;
+  h.record_ns(1000);
+  h.record_ns(1000);
+  h.record_ns(1'000'000);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_NEAR(snap.sum_seconds, 1.002e-3, 1e-9);
+  EXPECT_NEAR(snap.min_seconds, 1e-6, 1e-9);
+  EXPECT_NEAR(snap.max_seconds, 1e-3, 1e-6);
+  // p50 lands in the 1 µs bucket, p99 in the 1 ms bucket; log2 buckets
+  // are accurate to a factor of two.
+  EXPECT_LT(snap.p50_seconds, 4e-6);
+  EXPECT_GT(snap.p99_seconds, 0.25e-3);
+  std::int64_t bucket_total = 0;
+  for (const auto& [upper, count] : snap.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, 3);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST_F(ObsTest, RegistryCreatesOnceAndDumpsJson) {
+  MetricsRegistry registry;
+  registry.counter("test.count").add(5);
+  EXPECT_EQ(&registry.counter("test.count"), &registry.counter("test.count"));
+  registry.gauge("test.value").set(2.5);
+  registry.histogram("test.latency_seconds").record_seconds(1e-4);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"test.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.value\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.latency_seconds\""), std::string::npos);
+  registry.reset();
+  EXPECT_EQ(registry.counter("test.count").value(), 0);
+
+  std::ostringstream os;
+  write_metrics_json(os, registry);
+  EXPECT_NE(os.str().find("\"build\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"counters\""), std::string::npos);
+}
+
+TEST_F(ObsTest, BuildInfoIsPopulated) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.features.empty());
+  EXPECT_NE(build_info_string().find(info.git_describe), std::string::npos);
+  EXPECT_NE(build_info_json().find("\"git\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DriftReportTableAndJson) {
+  DriftReport report;
+  report.num_procs = 2;
+  StageDrift stage;
+  stage.name = "stage0:i";
+  stage.predicted_read_bytes = 4 << 20;
+  stage.measured_read_bytes = 3 << 20;
+  stage.predicted_io_seconds = 2.0;
+  stage.measured_io_seconds = 1.0;
+  stage.measured_wall_seconds = 1.5;
+  report.stages.push_back(stage);
+  report.predicted_serial_seconds = 2.0;
+  report.measured_serial_seconds = 1.0;
+  report.has_synthesis = true;
+  report.synthesis_read_bytes = 5 << 20;
+  report.has_cache = true;
+  report.cache_budget_bytes = 8 << 20;
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("stage0:i"), std::string::npos);
+  EXPECT_NE(text.find("0.50x"), std::string::npos);  // io drift 1.0/2.0
+  EXPECT_NE(text.find("synthesis"), std::string::npos);
+  EXPECT_NE(text.find("cache"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"num_procs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"synthesis\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(ObsTest, PublishMetricsUnifiesLegacyCounters) {
+  metrics().reset();
+  rt::ExecStats stats;
+  stats.io.bytes_read = 1024;
+  stats.io.cache_hits = 7;
+  stats.wall_seconds = 0.25;
+  stats.compute_threads = 4;
+  rt::publish_metrics(stats);
+  EXPECT_EQ(metrics().counter("io.bytes_read").value(), 1024);
+  EXPECT_EQ(metrics().counter("cache.hits").value(), 7);
+  EXPECT_EQ(metrics().gauge("rt.wall_seconds").value(), 0.25);
+  EXPECT_EQ(metrics().counter("rt.compute_threads").value(), 4);
+
+  ga::ParallelStats parallel;
+  parallel.num_procs = 2;
+  parallel.total.bytes_written = 2048;
+  parallel.io_seconds = 0.5;
+  ga::publish_metrics(parallel);
+  EXPECT_EQ(metrics().counter("ga.num_procs").value(), 2);
+  EXPECT_EQ(metrics().counter("io.bytes_written").value(), 2048);
+  EXPECT_EQ(metrics().gauge("ga.io_seconds").value(), 0.5);
+  metrics().reset();
+}
+
+// --- Trace correctness under concurrency -----------------------------
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("oocs_obs_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Spans recorded by one thread must nest strictly (no partial
+/// overlap): sort by start (ties: longer first) and sweep a stack.
+void expect_strict_nesting(const std::vector<TraceEvent>& events) {
+  std::map<int, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::Span) by_tid[e.tid].push_back(&e);
+  }
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end(), [](const TraceEvent* a, const TraceEvent* b) {
+      return a->t0_ns != b->t0_ns ? a->t0_ns < b->t0_ns : a->t1_ns > b->t1_ns;
+    });
+    std::vector<const TraceEvent*> stack;
+    for (const TraceEvent* span : spans) {
+      while (!stack.empty() && stack.back()->t1_ns <= span->t0_ns) stack.pop_back();
+      if (!stack.empty()) {
+        ASSERT_LE(span->t1_ns, stack.back()->t1_ns)
+            << "tid " << tid << ": span " << span->category << "/" << span->name
+            << " partially overlaps " << stack.back()->category << "/" << stack.back()->name;
+      }
+      stack.push_back(span);
+    }
+  }
+}
+
+std::map<std::string, int> count_by_category(const std::vector<TraceEvent>& events) {
+  std::map<std::string, int> counts;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::Span) ++counts[e.category];
+  }
+  return counts;
+}
+
+TEST_F(ObsTest, ConcurrentRunsProduceValidDeterministicTraces) {
+  // One small two-index plan, executed across the {sync, async} ×
+  // {cache off, cache on} matrix with 4 compute threads.  Every cell:
+  // per-thread spans nest strictly, and re-running the identical
+  // configuration reproduces the span counts of the deterministic
+  // categories (stage/rt/io/kernel — aio wait/drain spans are
+  // timing-dependent by design).
+  const ir::Program program = ir::examples::two_index(32, 32, 24, 24);
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = 16 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const core::SynthesisResult result = core::synthesize(program, options, solver);
+  const rt::TensorMap inputs = rt::random_inputs(program, /*seed=*/11);
+
+  int cell = 0;
+  for (const bool async_io : {false, true}) {
+    for (const std::int64_t cache_bytes : {std::int64_t{0}, std::int64_t{8} << 20}) {
+      std::map<std::string, int> first_counts;
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        trace_clear();
+        trace_start();
+        rt::ExecOptions exec;
+        exec.async_io = async_io;
+        exec.compute_threads = 4;
+        exec.cache_budget_bytes = cache_bytes;
+        const auto outputs =
+            rt::run_posix(result.plan, inputs,
+                          temp_dir("matrix" + std::to_string(cell) + "_" +
+                                   std::to_string(repeat)),
+                          nullptr, exec);
+        trace_stop();
+        ASSERT_FALSE(outputs.empty());
+
+        const std::vector<TraceEvent> events = trace_snapshot();
+        ASSERT_GT(events.size(), 0u);
+        EXPECT_EQ(trace_dropped(), 0);
+        expect_strict_nesting(events);
+
+        std::map<std::string, int> counts = count_by_category(events);
+        EXPECT_GT(counts["stage"], 0);
+        EXPECT_GT(counts["io"], 0);
+        if (cache_bytes > 0) {
+          EXPECT_GT(counts["cache"], 0);
+        }
+        std::map<std::string, int> deterministic;
+        for (const char* cat : {"stage", "rt", "io", "kernel"}) {
+          deterministic[cat] = counts[cat];
+        }
+        if (repeat == 0) {
+          first_counts = deterministic;
+        } else {
+          EXPECT_EQ(deterministic, first_counts)
+              << "async=" << async_io << " cache=" << cache_bytes;
+        }
+      }
+      ++cell;
+    }
+  }
+}
+
+TEST_F(ObsTest, GaRunMergesProcsIntoOneTimeline) {
+  const ir::Program program = ir::examples::two_index(32, 32, 24, 24);
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = 16 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const core::SynthesisResult result = core::synthesize(program, options, solver);
+  const rt::TensorMap inputs = rt::random_inputs(program, /*seed=*/11);
+
+  dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, temp_dir("ga"));
+  for (const auto& [name, decl] : result.plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    dra::DiskArray& array = farm.array(name);
+    array.write(dra::Section::whole(array.extents()), inputs.at(name));
+  }
+  farm.reset_stats();
+  trace_start();
+  const ga::ParallelStats stats = ga::run_threads(result.plan, farm, /*num_procs=*/2);
+  trace_stop();
+  EXPECT_EQ(stats.num_procs, 2);
+  ASSERT_EQ(stats.stages.size(), result.plan.roots.size());
+
+  const std::vector<TraceEvent> events = trace_snapshot();
+  std::set<int> procs;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::Span) procs.insert(e.proc);
+  }
+  // Both virtual processes recorded spans into the same trace.
+  EXPECT_TRUE(procs.count(0) == 1 && procs.count(1) == 1) << "procs seen: " << procs.size();
+  expect_strict_nesting(events);
+}
+
+TEST_F(ObsTest, DriftReportFromSimulatedAndMeasuredStages) {
+  const ir::Program program = ir::examples::two_index(32, 32, 24, 24);
+  core::SynthesisOptions options;
+  options.memory_limit_bytes = 16 * 1024;
+  options.enforce_block_constraints = false;
+  solver::DlmSolver solver;
+  const core::SynthesisResult result = core::synthesize(program, options, solver);
+  const rt::TensorMap inputs = rt::random_inputs(program, /*seed=*/11);
+
+  const ga::ParallelStats predicted = ga::simulate(result.plan, /*num_procs=*/1);
+  rt::ExecStats measured;
+  const auto outputs =
+      rt::run_posix(result.plan, inputs, temp_dir("drift"), &measured);
+  ASSERT_FALSE(outputs.empty());
+  ASSERT_EQ(predicted.stages.size(), measured.stages.size());
+
+  const DriftReport report = rt::make_drift_report(predicted.stages, measured.stages, 1);
+  ASSERT_EQ(report.stages.size(), measured.stages.size());
+  for (std::size_t s = 0; s < report.stages.size(); ++s) {
+    EXPECT_EQ(report.stages[s].name, predicted.stages[s].name);
+    // The §4.2 model over-counts volume (edge tiles), so predicted ≥
+    // measured, and both sides see the same stages doing real I/O.
+    if (report.stages[s].measured_read_bytes > 0) {
+      EXPECT_GT(report.stages[s].predicted_read_bytes, 0);
+    }
+  }
+  EXPECT_GT(report.measured_wall_seconds, 0);
+  EXPECT_GT(report.predicted_serial_seconds, 0);
+  EXPECT_GE(report.predicted_serial_seconds, report.predicted_overlap_seconds);
+}
+
+}  // namespace
+}  // namespace oocs::obs

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON produced by oocs tracing.
+
+Checks, in order:
+  * document schema: displayTimeUnit/otherData/traceEvents, the build
+    header, and per-event required fields by phase type;
+  * per-(pid, tid) strict nesting of "X" complete events — spans
+    recorded by one thread must form a proper call tree (the RAII
+    recorder closes inner scopes before outer ones);
+  * "b"/"e" async pairing by (category, id), begin before end;
+  * with --min-stage-coverage F: the union of non-stage span time that
+    falls inside "stage" spans must cover at least fraction F of the
+    total stage time (are the timelines actually accounting for the
+    run, or mostly gaps?);
+  * with --metrics FILE: the unified metrics document's schema (build
+    header, counters/gauges/histograms maps, histogram snapshots).
+
+Exit status 0 when every check passes, 1 otherwise.
+
+Usage:
+  check_trace.py TRACE.json [--metrics METRICS.json]
+                 [--min-stage-coverage 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+
+
+def check_schema(doc):
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    other = doc.get("otherData", {})
+    if not isinstance(other, dict) or "git" not in other:
+        fail("otherData missing the build-info 'git' field")
+    events = doc.get("traceEvents", [])
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+        return []
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("X", "b", "e", "i", "M"):
+            fail(f"event {i}: unknown phase {ph!r}")
+            continue
+        required = {
+            "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+            "b": ("name", "cat", "ts", "id", "pid", "tid"),
+            "e": ("name", "cat", "ts", "id", "pid", "tid"),
+            "i": ("name", "ts", "pid", "tid"),
+            "M": ("name", "pid"),
+        }[ph]
+        for field in required:
+            if field not in event:
+                fail(f"event {i} (ph={ph}, name={event.get('name')!r}): missing {field!r}")
+        if ph == "X" and event.get("dur", 0) < 0:
+            fail(f"event {i}: negative duration {event['dur']}")
+        if "ts" in event and event["ts"] < 0:
+            fail(f"event {i}: negative timestamp {event['ts']}")
+    return events
+
+
+def check_nesting(events):
+    """X spans on one (pid, tid) must nest strictly: sorted by start
+    (ties: longer first), each span either follows or is contained in
+    the top of the stack — partial overlap is a recorder bug."""
+    by_track = {}
+    for event in events:
+        if event.get("ph") == "X":
+            key = (event.get("pid"), event.get("tid"))
+            by_track.setdefault(key, []).append(event)
+    for (pid, tid), spans in sorted(by_track.items()):
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for span in spans:
+            t0, t1 = span["ts"], span["ts"] + span["dur"]
+            while stack and stack[-1][1] <= t0:
+                stack.pop()
+            if stack and t1 > stack[-1][1]:
+                fail(
+                    f"pid {pid} tid {tid}: span {span['cat']}/{span['name']!r} "
+                    f"[{t0}, {t1}) partially overlaps enclosing "
+                    f"{stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]})"
+                )
+            stack.append((t0, t1, span["name"]))
+
+
+def check_async_pairs(events):
+    begins = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph == "b":
+            begins.setdefault((event.get("cat"), event.get("id")), []).append(event)
+        elif ph == "e":
+            key = (event.get("cat"), event.get("id"))
+            if not begins.get(key):
+                fail(f"async end without begin: cat={key[0]!r} id={key[1]}")
+                continue
+            begin = begins[key].pop()
+            if event["ts"] < begin["ts"]:
+                fail(f"async interval ends before it begins: cat={key[0]!r} id={key[1]}")
+    for (cat, interval_id), pending in begins.items():
+        if pending:
+            fail(f"async begin without end: cat={cat!r} id={interval_id}")
+
+
+def interval_union(intervals):
+    total = 0
+    last_end = None
+    for t0, t1 in sorted(intervals):
+        if last_end is None or t0 >= last_end:
+            total += t1 - t0
+            last_end = t1
+        elif t1 > last_end:
+            total += t1 - last_end
+            last_end = t1
+    return total
+
+
+def check_stage_coverage(events, minimum):
+    """Fraction of stage-span time covered by the union of every other
+    span (any thread of the same pid), clipped to the stage windows."""
+    stages = {}
+    work = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        interval = (event["ts"], event["ts"] + event["dur"])
+        if event.get("cat") == "stage":
+            stages.setdefault(event.get("pid"), []).append(interval)
+        else:
+            work.setdefault(event.get("pid"), []).append(interval)
+    if not stages:
+        fail("no 'stage' spans found (was the run traced end to end?)")
+        return
+    stage_total = 0
+    covered_total = 0
+    for pid, stage_intervals in stages.items():
+        stage_total += sum(t1 - t0 for t0, t1 in stage_intervals)
+        clipped = []
+        for w0, w1 in work.get(pid, []):
+            for s0, s1 in stage_intervals:
+                lo, hi = max(w0, s0), min(w1, s1)
+                if lo < hi:
+                    clipped.append((lo, hi))
+        covered_total += interval_union(clipped)
+    coverage = covered_total / stage_total if stage_total else 0.0
+    print(f"check_trace: stage coverage {100 * coverage:.1f}% "
+          f"({covered_total} of {stage_total} us)")
+    if coverage < minimum:
+        fail(f"stage coverage {coverage:.3f} below required {minimum:.3f}")
+
+
+def check_metrics(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail(f"metrics {path}: {error}")
+        return
+    build = doc.get("build")
+    if not isinstance(build, dict) or "git" not in build:
+        fail("metrics: build header missing or lacks 'git'")
+    for section, kind in (("counters", int), ("gauges", (int, float))):
+        values = doc.get(section)
+        if not isinstance(values, dict):
+            fail(f"metrics: {section!r} missing")
+            continue
+        for name, value in values.items():
+            if not isinstance(value, kind) or isinstance(value, bool):
+                fail(f"metrics: {section}.{name} has non-numeric value {value!r}")
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        fail("metrics: 'histograms' missing")
+        return
+    for name, snap in histograms.items():
+        for field in ("count", "sum_seconds", "min_seconds", "max_seconds",
+                      "p50_seconds", "p90_seconds", "p99_seconds", "buckets"):
+            if field not in snap:
+                fail(f"metrics: histogram {name!r} missing {field!r}")
+        if snap.get("count", 0) > 0 and sum(
+                bucket.get("count", 0) for bucket in snap.get("buckets", [])) != snap["count"]:
+            fail(f"metrics: histogram {name!r} bucket counts do not sum to count")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--metrics", help="unified metrics JSON to validate")
+    parser.add_argument("--min-stage-coverage", type=float, default=None,
+                        help="require this fraction of stage time covered by spans")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail(f"{args.trace}: {error}")
+        return 1
+
+    events = check_schema(doc)
+    if events:
+        check_nesting(events)
+        check_async_pairs(events)
+        if args.min_stage_coverage is not None:
+            check_stage_coverage(events, args.min_stage_coverage)
+    if args.metrics:
+        check_metrics(args.metrics)
+
+    if FAILURES:
+        print(f"check_trace: {len(FAILURES)} failure(s) in {args.trace}", file=sys.stderr)
+        return 1
+    counts = {}
+    for event in events:
+        counts[event.get("cat", "M")] = counts.get(event.get("cat", "M"), 0) + 1
+    summary = ", ".join(f"{cat}={count}" for cat, count in sorted(counts.items()))
+    print(f"check_trace: OK: {len(events)} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

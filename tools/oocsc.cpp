@@ -33,12 +33,21 @@
 //                       adds the cache-aware I/O prediction to the
 //                       synthesis summary.
 //   --stats-json FILE   dump the synthesis summary (and, with --run,
-//                       the execution statistics) as JSON to FILE
+//                       the execution statistics and the model-vs-actual
+//                       drift report) as JSON to FILE
+//   --trace FILE        record a runtime trace (synthesis + execution
+//                       spans) and write it as Chrome trace-event JSON
+//                       to FILE (load in chrome://tracing or Perfetto)
+//   --metrics-json FILE dump the unified metrics registry (counters,
+//                       gauges, latency histograms) as JSON to FILE
+//   --version           print build identity (git describe, build type,
+//                       feature flags) and exit
 //
 // Exit status: 0 on success (and verification, with --run), 1 on error.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -51,6 +60,11 @@
 #include "ga/parallel.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "obs/build_info.hpp"
+#include "obs/drift.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rt/drift.hpp"
 #include "rt/interpreter.hpp"
 #include "rt/reference.hpp"
 #include "solver/csa.hpp"
@@ -77,6 +91,8 @@ struct Args {
   int threads = 0;  // 0 = OOCS_THREADS env, default 1
   std::int64_t cache_mb = 0;  // tile cache budget in MiB (0 = off)
   std::string stats_json;
+  std::string trace_file;
+  std::string metrics_json;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -84,7 +100,8 @@ struct Args {
                "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa] [--seed N]\n"
                "       [--read-block BYTES] [--write-block BYTES] [--seek-bytes N]\n"
                "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n"
-               "       [--async] [--threads N] [--cache-mb N] [--stats-json FILE]\n",
+               "       [--async] [--threads N] [--cache-mb N] [--stats-json FILE]\n"
+               "       [--trace FILE] [--metrics-json FILE] [--version]\n",
                argv0);
   std::exit(1);
 }
@@ -133,6 +150,13 @@ Args parse_args(int argc, char** argv) {
       if (args.cache_mb < 0) usage(argv[0]);
     } else if (std::strcmp(a, "--stats-json") == 0) {
       args.stats_json = need_value(i);
+    } else if (std::strcmp(a, "--trace") == 0) {
+      args.trace_file = need_value(i);
+    } else if (std::strcmp(a, "--metrics-json") == 0) {
+      args.metrics_json = need_value(i);
+    } else if (std::strcmp(a, "--version") == 0) {
+      std::printf("oocsc %s\n", obs::build_info_string().c_str());
+      std::exit(0);
     } else if (a[0] == '-') {
       usage(argv[0]);
     } else if (args.file.empty()) {
@@ -146,6 +170,14 @@ Args parse_args(int argc, char** argv) {
 }
 
 int run(const Args& args) {
+  // Start recording before synthesis so the synth-phase spans land in
+  // the same timeline as the execution.  A deep ring (~23 MB/thread at
+  // ~88 B/event) keeps small-tile runs from overwriting early stages.
+  if (!args.trace_file.empty()) {
+    obs::TraceOptions trace_options;
+    trace_options.per_thread_events = std::size_t{1} << 18;
+    obs::trace_start(trace_options);
+  }
   ir::Program program = ir::parse_file(args.file);
   if (args.fuse) {
     program = trans::fuse_and_contract(program);
@@ -282,14 +314,74 @@ int run(const Args& args) {
     }
   }
 
+  // Stop recording before the drift model's dry run so its modeled
+  // stage spans do not pollute the real run's timeline.
+  if (!args.trace_file.empty()) obs::trace_stop();
+
+  // Per-stage model-vs-actual drift: the modeled side walks the same
+  // plan through ga::simulate under the calibrated disk model.
+  std::optional<obs::DriftReport> drift;
+  if (exec_stats.has_value() || parallel_stats.has_value()) {
+    const ga::ParallelStats predicted = ga::simulate(result.plan, args.procs, model);
+    const std::vector<rt::StageStats>& measured =
+        exec_stats.has_value() ? exec_stats->stages : parallel_stats->stages;
+    obs::DriftReport report = rt::make_drift_report(predicted.stages, measured, args.procs);
+    report.has_synthesis = true;
+    report.synthesis_read_bytes = result.predicted_io.read_bytes;
+    report.synthesis_write_bytes = result.predicted_io.write_bytes;
+    report.synthesis_io_calls = result.predicted_io.total_calls();
+    if (cache_prediction.has_value()) {
+      const dra::IoStats& io = exec_stats.has_value() ? exec_stats->io : parallel_stats->total;
+      report.has_cache = true;
+      report.cache_budget_bytes = static_cast<double>(cache_prediction->budget_bytes);
+      report.predicted_cache_hit_bytes = cache_prediction->hit_bytes;
+      report.measured_cache_hit_bytes = static_cast<double>(io.cache_hit_bytes);
+      report.predicted_disk_read_bytes = cache_prediction->with_cache.read_bytes;
+      report.measured_disk_read_bytes = static_cast<double>(io.bytes_read);
+      report.predicted_disk_write_bytes = cache_prediction->with_cache.write_bytes;
+      report.measured_disk_write_bytes = static_cast<double>(io.bytes_written);
+    }
+    std::printf("=== model vs actual (drift) ===\n%s", report.to_text().c_str());
+    drift = std::move(report);
+  }
+
+  // Unify the run's legacy counters into the metrics registry (the
+  // latency histograms were recorded live by the lower layers).
+  if (exec_stats.has_value()) {
+    rt::publish_metrics(*exec_stats);
+  } else if (parallel_stats.has_value()) {
+    ga::publish_metrics(*parallel_stats);
+  }
+  if (!args.metrics_json.empty()) {
+    std::ofstream os(args.metrics_json);
+    if (!os) {
+      std::fprintf(stderr, "oocsc: cannot write '%s'\n", args.metrics_json.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(os);
+  }
+
+  if (!args.trace_file.empty()) {
+    obs::trace_stop();
+    std::ofstream os(args.trace_file);
+    if (!os) {
+      std::fprintf(stderr, "oocsc: cannot write '%s'\n", args.trace_file.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(os);
+    std::printf("trace: %lld events (%lld dropped) -> %s\n",
+                static_cast<long long>(obs::trace_event_count()),
+                static_cast<long long>(obs::trace_dropped()), args.trace_file.c_str());
+  }
+
   if (!args.stats_json.empty()) {
     std::FILE* out = std::fopen(args.stats_json.c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "oocsc: cannot write '%s'\n", args.stats_json.c_str());
       return 1;
     }
-    std::fprintf(out, "{\n  \"file\": \"%s\",\n  \"solver\": \"%s\",\n", args.file.c_str(),
-                 args.solver.c_str());
+    std::fprintf(out, "{\n  \"file\": \"%s\",\n  \"solver\": \"%s\",\n  \"build\": %s,\n",
+                 args.file.c_str(), args.solver.c_str(), obs::build_info_json().c_str());
     std::fprintf(out,
                  "  \"synthesis\": {\n"
                  "    \"predicted_disk_bytes\": %.0f,\n"
@@ -412,6 +504,9 @@ int run(const Args& args) {
                    static_cast<long long>(s.total.cache_writebacks),
                    static_cast<long long>(s.total.cache_writeback_bytes), worst,
                    worst < 1e-9 ? "true" : "false");
+    }
+    if (drift.has_value()) {
+      std::fprintf(out, ",\n  \"drift\": %s", drift->to_json(2).c_str());
     }
     std::fprintf(out, "\n}\n");
     std::fclose(out);
