@@ -416,6 +416,28 @@ expr::Expr option_call_count(const ir::Program& program, const ChoiceOption& opt
   return calls;
 }
 
+expr::Expr option_block_slack(const ir::Program& program, const std::string& array,
+                              const ChoiceOption& option, const SynthesisOptions& options) {
+  using expr::lit;
+  const double array_bytes = program.byte_size(array);
+  Expr slack = lit(-1);
+  const auto cap = [&](std::int64_t min_block) {
+    return lit(std::min(static_cast<double>(min_block), array_bytes));
+  };
+  for (const IoCandidate& read : option.reads) {
+    slack = Expr::max(slack, cap(options.min_read_block_bytes) - read.buffer.bytes(program));
+  }
+  if (option.write.has_value()) {
+    slack = Expr::max(slack,
+                      cap(options.min_write_block_bytes) - option.write->buffer.bytes(program));
+    if (option.write->read_required) {
+      slack = Expr::max(slack,
+                        cap(options.min_read_block_bytes) - option.write->buffer.bytes(program));
+    }
+  }
+  return slack;
+}
+
 std::string to_text(const Enumeration& enumeration) {
   std::ostringstream os;
   const auto section = [&](ir::ArrayKind kind, const char* title) {

@@ -37,8 +37,17 @@ struct SynthesisOptions {
   std::int64_t min_write_block_bytes = std::int64_t{1} * 1024 * 1024;
   bool enforce_block_constraints = true;
   /// Emit the paper's λ(1−λ)=0 equality constraints in addition to the
-  /// integer [0,1] bounds (AMPL fidelity; redundant for our solvers).
-  bool add_binary_equalities = true;
+  /// integer [0,1] bounds.  Opt-in: the equalities are pure AMPL
+  /// fidelity — redundant for our native solvers, which treat λ as
+  /// bounded integers — and they enlarge every delta-evaluation
+  /// dependency list.
+  bool add_binary_equalities = false;
+  /// Dominance pruning pre-pass (synthesize() only): drop placement
+  /// options that another option of the same group beats-or-ties on
+  /// I/O cost, memory footprint, and block-size slack at every sampled
+  /// tile size.  Shrinks the NLP (groups pruned to one option lose all
+  /// their λ bits) without excluding any optimal plan.
+  bool prune_dominated = true;
   /// Seek-awareness refinement: each I/O call adds this many bytes of
   /// equivalent transfer to the objective (seek_time × bandwidth).
   /// 0 reproduces the paper's pure-volume objective; the table benches
@@ -140,6 +149,24 @@ struct Enumeration {
 /// seek-awareness refinement of both synthesis approaches.
 [[nodiscard]] expr::Expr option_call_count(const ir::Program& program,
                                            const ChoiceOption& option);
+
+/// Worst (largest) block-size slack over all I/O buffers of one option:
+/// max over buffers of min_block − buffer_bytes, with min_block capped
+/// at the array size.  Positive ⇒ some buffer violates the minimum
+/// block size at that tile point.  Shared by the greedy evaluator and
+/// the dominance pruner.
+[[nodiscard]] expr::Expr option_block_slack(const ir::Program& program,
+                                            const std::string& array,
+                                            const ChoiceOption& option,
+                                            const SynthesisOptions& options);
+
+/// §4.2 dominance pruning: removes every option that another option of
+/// its group beats-or-ties on I/O cost (disk bytes + seek refinement),
+/// memory footprint, and block slack at every point of a deterministic
+/// log-spaced tile grid (at most `max_points` points; exact ties keep
+/// the lower option index).  Returns the number of options removed.
+int prune_dominated(const ir::Program& program, Enumeration& enumeration,
+                    const SynthesisOptions& options, std::int64_t max_points = 4096);
 
 /// Renders the enumeration in the paper's Fig. 4a style.
 [[nodiscard]] std::string to_text(const Enumeration& enumeration);

@@ -8,33 +8,7 @@
 
 namespace oocs::core {
 
-namespace {
-
 using expr::Expr;
-
-Expr block_slack_expr(const ir::Program& program, const std::string& array,
-                      const ChoiceOption& option, const SynthesisOptions& options) {
-  using expr::lit;
-  const double array_bytes = program.byte_size(array);
-  Expr slack = lit(-1);
-  const auto cap = [&](std::int64_t min_block) {
-    return lit(std::min(static_cast<double>(min_block), array_bytes));
-  };
-  for (const IoCandidate& read : option.reads) {
-    slack = Expr::max(slack, cap(options.min_read_block_bytes) - read.buffer.bytes(program));
-  }
-  if (option.write.has_value()) {
-    slack = Expr::max(slack,
-                      cap(options.min_write_block_bytes) - option.write->buffer.bytes(program));
-    if (option.write->read_required) {
-      slack = Expr::max(slack,
-                        cap(options.min_read_block_bytes) - option.write->buffer.bytes(program));
-    }
-  }
-  return slack;
-}
-
-}  // namespace
 
 GreedyEvaluator::GreedyEvaluator(const ir::Program& program, const Enumeration& enumeration,
                                  const SynthesisOptions& options)
@@ -54,7 +28,7 @@ GreedyEvaluator::GreedyEvaluator(const ir::Program& program, const Enumeration& 
       }
       options_compiled.push_back(Option{
           expr::CompiledExpr(cost, table), expr::CompiledExpr(option.memory_cost, table),
-          expr::CompiledExpr(block_slack_expr(program, group.array, option, options), table)});
+          expr::CompiledExpr(option_block_slack(program, group.array, option, options), table)});
     }
     groups_.push_back(std::move(options_compiled));
   }
@@ -126,10 +100,10 @@ GreedyEvaluator::PointResult GreedyEvaluator::place(std::span<const double> poin
   return result;
 }
 
-std::optional<Decisions> greedy_warm_start(const ir::Program& program,
-                                           const Enumeration& enumeration,
-                                           const SynthesisOptions& options,
-                                           std::int64_t max_points) {
+std::optional<GreedyResult> greedy_warm_start(const ir::Program& program,
+                                              const Enumeration& enumeration,
+                                              const SynthesisOptions& options,
+                                              std::int64_t max_points) {
   const std::size_t dims = enumeration.loop_indices.size();
   if (dims == 0) return std::nullopt;
 
@@ -182,13 +156,14 @@ std::optional<Decisions> greedy_warm_start(const ir::Program& program,
   }
   if (best_choice.empty()) return std::nullopt;
 
-  Decisions decisions;
+  GreedyResult result;
   for (std::size_t d = 0; d < dims; ++d) {
-    decisions.tile_sizes[enumeration.loop_indices[d]] =
+    result.decisions.tile_sizes[enumeration.loop_indices[d]] =
         static_cast<std::int64_t>(best_point[d]);
   }
-  decisions.option_index = best_choice;
-  return decisions;
+  result.decisions.option_index = best_choice;
+  result.cost = best_cost;
+  return result;
 }
 
 }  // namespace oocs::core

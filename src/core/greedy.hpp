@@ -48,12 +48,19 @@ class GreedyEvaluator {
   std::vector<std::vector<double>> cost_of_;
 };
 
+/// Best feasible greedy placement found by the warm-start sweep, with
+/// its §4.2 objective value (I/O bytes plus the seek refinement) so the
+/// solver's incumbent can be checked against it.
+struct GreedyResult {
+  Decisions decisions;
+  double cost = 0;
+};
+
 /// Coarse greedy sweep over a thinned log-uniform tile grid (at most
 /// `max_points` points); returns the best feasible decisions found, or
 /// nullopt.  Used to warm-start the nonlinear solver.
-[[nodiscard]] std::optional<Decisions> greedy_warm_start(const ir::Program& program,
-                                                         const Enumeration& enumeration,
-                                                         const SynthesisOptions& options,
-                                                         std::int64_t max_points = 400'000);
+[[nodiscard]] std::optional<GreedyResult> greedy_warm_start(
+    const ir::Program& program, const Enumeration& enumeration,
+    const SynthesisOptions& options, std::int64_t max_points = 400'000);
 
 }  // namespace oocs::core

@@ -1,0 +1,147 @@
+// Candidate-space dominance pruning (paper §4.2 cost model).
+//
+// The NLP's size is exponential in nothing but linear in Σ options, yet
+// the solvers' λ search space is Π 2^⌈log₂ k_g⌉ — so removing options
+// that can never win shrinks the search exponentially.  An option A of
+// a group is removed when some other option B of the same group is
+// no worse on every axis the NLP can see — I/O cost (disk bytes plus
+// the seek refinement), memory footprint, and block-size slack — at
+// every point of a deterministic log-spaced tile grid.  All three
+// metrics are monomial-like in the tile sizes (products of T_d, N_d and
+// constants), so agreement on a dense log grid over the full tile box
+// is decisive in practice; ties on every point keep the lower index, so
+// the surviving set is a deterministic function of the enumeration.
+//
+// Groups pruned down to one option lose all their λ bits in build_nlp
+// (⌈log₂ 1⌉ = 0), dropping the whole group from the solver's view.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hpp"
+#include "core/access.hpp"
+#include "expr/compiled.hpp"
+#include "obs/metrics.hpp"
+
+namespace oocs::core {
+
+namespace {
+
+/// Log-spaced grid {1, 2, 4, …, extent} per dimension, thinned so the
+/// cross product stays within `max_points` (same scheme as the greedy
+/// warm-start sweep).
+std::vector<std::vector<double>> tile_grids(const ir::Program& program,
+                                            const std::vector<std::string>& loop_indices,
+                                            std::int64_t max_points) {
+  const std::size_t dims = loop_indices.size();
+  const int samples = std::max(
+      2, static_cast<int>(std::floor(
+             std::pow(static_cast<double>(max_points), 1.0 / static_cast<double>(dims)))));
+  std::vector<std::vector<double>> grids(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::int64_t extent = program.range(loop_indices[d]);
+    std::vector<double> full;
+    for (std::int64_t v = 1; v < extent; v *= 2) full.push_back(static_cast<double>(v));
+    full.push_back(static_cast<double>(extent));
+    if (static_cast<int>(full.size()) > samples) {
+      std::vector<double> thinned;
+      const double step =
+          static_cast<double>(full.size() - 1) / static_cast<double>(samples - 1);
+      for (int k = 0; k < samples; ++k) {
+        thinned.push_back(full[static_cast<std::size_t>(std::llround(k * step))]);
+      }
+      thinned.erase(std::unique(thinned.begin(), thinned.end()), thinned.end());
+      full = std::move(thinned);
+    }
+    grids[d] = std::move(full);
+  }
+  return grids;
+}
+
+}  // namespace
+
+int prune_dominated(const ir::Program& program, Enumeration& enumeration,
+                    const SynthesisOptions& options, std::int64_t max_points) {
+  if (enumeration.loop_indices.empty()) return 0;
+
+  expr::VarTable table;
+  for (const std::string& index : enumeration.loop_indices) table.intern(tile_var(index));
+  const std::vector<std::vector<double>> grids =
+      tile_grids(program, enumeration.loop_indices, max_points);
+
+  int removed = 0;
+  std::vector<double> point(enumeration.loop_indices.size());
+  for (ChoiceGroup& group : enumeration.groups) {
+    const std::size_t k = group.options.size();
+    if (k < 2) continue;
+
+    // Metric samples, option-major: [option][point].
+    std::vector<std::vector<double>> cost(k);
+    std::vector<std::vector<double>> memory(k);
+    std::vector<std::vector<double>> slack(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      const ChoiceOption& option = group.options[c];
+      expr::Expr cost_expr = option.disk_cost;
+      if (options.seek_cost_bytes > 0) {
+        cost_expr =
+            cost_expr + expr::lit(options.seek_cost_bytes) * option_call_count(program, option);
+      }
+      const expr::CompiledExpr cost_fn(cost_expr, table);
+      const expr::CompiledExpr memory_fn(option.memory_cost, table);
+      const expr::CompiledExpr slack_fn(
+          option_block_slack(program, group.array, option, options), table);
+
+      std::vector<std::size_t> cursor(grids.size(), 0);
+      while (true) {
+        for (std::size_t d = 0; d < grids.size(); ++d) point[d] = grids[d][cursor[d]];
+        cost[c].push_back(cost_fn.eval(point));
+        memory[c].push_back(memory_fn.eval(point));
+        slack[c].push_back(slack_fn.eval(point));
+        std::size_t d = 0;
+        for (; d < grids.size(); ++d) {
+          if (++cursor[d] < grids[d].size()) break;
+          cursor[d] = 0;
+        }
+        if (d == grids.size()) break;
+      }
+    }
+
+    const std::size_t num_points = cost[0].size();
+    // b beats-or-ties a everywhere; strict somewhere or b first on ties.
+    const auto dominates = [&](std::size_t b, std::size_t a) {
+      bool strict = false;
+      for (std::size_t p = 0; p < num_points; ++p) {
+        if (cost[b][p] > cost[a][p] || memory[b][p] > memory[a][p] ||
+            slack[b][p] > slack[a][p]) {
+          return false;
+        }
+        strict = strict || cost[b][p] < cost[a][p] || memory[b][p] < memory[a][p] ||
+                 slack[b][p] < slack[a][p];
+      }
+      return strict || b < a;
+    };
+
+    std::vector<char> dead(k, 0);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k && !dead[a]; ++b) {
+        if (b != a && !dead[b] && dominates(b, a)) dead[a] = 1;
+      }
+    }
+
+    std::vector<ChoiceOption> kept;
+    kept.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!dead[c]) kept.push_back(std::move(group.options[c]));
+    }
+    removed += static_cast<int>(k - kept.size());
+    group.options = std::move(kept);
+  }
+
+  if (removed > 0) {
+    obs::metrics().counter("synth.pruned_options").add(removed);
+    log::debug("prune_dominated: removed ", removed, " dominated placement options");
+  }
+  return removed;
+}
+
+}  // namespace oocs::core

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "core/greedy.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/ampl.hpp"
 #include "solver/dlm.hpp"
@@ -31,6 +32,11 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
     OOCS_SPAN("synth", "enumerate_placements");
     return enumerate_placements(tiled, options);
   }();
+  int pruned = 0;
+  if (options.prune_dominated) {
+    OOCS_SPAN("synth", "prune_dominated");
+    pruned = prune_dominated(program, enumeration, options);
+  }
   NlpModel model = [&] {
     OOCS_SPAN("synth", "build_nlp");
     return build_nlp(program, enumeration, options);
@@ -38,12 +44,17 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
 
   // Warm start: a coarse greedy sweep seeds the solver in a good basin;
   // the solver's incumbent can only improve on it.
-  if (const auto warm = greedy_warm_start(program, enumeration, options)) {
-    for (const auto& [index, tile] : warm->tile_sizes) {
+  std::optional<double> greedy_cost;
+  if (const auto warm = [&]() {
+        OOCS_SPAN("synth", "greedy_warm_start");
+        return greedy_warm_start(program, enumeration, options);
+      }()) {
+    greedy_cost = warm->cost;
+    for (const auto& [index, tile] : warm->decisions.tile_sizes) {
       model.problem.set_initial(tile_var(index), tile);
     }
     for (std::size_t g = 0; g < model.group_lambdas.size(); ++g) {
-      const int code = warm->option_index[g];
+      const int code = warm->decisions.option_index[g];
       const auto& lambdas = model.group_lambdas[g];
       for (std::size_t b = 0; b < lambdas.size(); ++b) {
         model.problem.set_initial(lambdas[b], (code >> b) & 1);
@@ -53,7 +64,14 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
 
   log::info("synthesize: ", model.problem.variables().size(), " variables, ",
             model.problem.constraints().size(), " constraints, ",
-            enumeration.groups.size(), " placement groups");
+            enumeration.groups.size(), " placement groups (", pruned,
+            " dominated options pruned)");
+  {
+    auto& m = obs::metrics();
+    m.counter("synth.nlp_variables").add(static_cast<std::int64_t>(model.problem.variables().size()));
+    m.counter("synth.nlp_constraints")
+        .add(static_cast<std::int64_t>(model.problem.constraints().size()));
+  }
 
   SynthesisResult result;
   result.ampl_model = solver::to_ampl(model.problem);
@@ -74,6 +92,14 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
 
   result.enumeration = std::move(enumeration);
   result.codegen_seconds = timer.seconds();
+  result.pruned_options = pruned;
+  result.greedy_cost = greedy_cost;
+  {
+    auto& m = obs::metrics();
+    m.counter("solver.evaluations").add(result.solution.stats.evaluations);
+    m.counter("solver.delta_evaluations").add(result.solution.stats.delta_evaluations);
+    m.counter("solver.full_evaluations").add(result.solution.stats.full_evaluations);
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/access.hpp"
@@ -36,6 +37,12 @@ struct SynthesisResult {
   std::string ampl_model;
   /// Wall-clock code-generation time (enumeration + NLP + solve + plan).
   double codegen_seconds = 0;
+  /// Placement options removed by the §4.2 dominance pre-pass.
+  int pruned_options = 0;
+  /// Objective of the greedy warm start the solver was seeded with
+  /// (unset when the greedy sweep found nothing feasible).  A correct
+  /// solver's feasible incumbent is never worse than this.
+  std::optional<double> greedy_cost;
 
   /// Chosen option labels per group, e.g. "A: read above nT".
   [[nodiscard]] std::string decisions_to_text() const;

@@ -30,6 +30,34 @@ CompiledProblem::CompiledProblem(const Problem& problem) : problem_(&problem) {
     cc.inv_scale = 1.0 / scale;
     constraints_.push_back(std::move(cc));
   }
+
+  // Delta-evaluation index: split every function into its top-level
+  // additive terms and invert the term → variable relation.
+  var_deps_.resize(problem.variables().size());
+  fn_terms_.reserve(1 + problem.constraints().size());
+  split_function(problem.objective());
+  for (const Constraint& c : problem.constraints()) split_function(c.lhs);
+}
+
+void CompiledProblem::split_function(const expr::Expr& e) {
+  const int fn = static_cast<int>(fn_terms_.size());
+  std::vector<expr::CompiledExpr> terms;
+  const expr::Expr simplified = e.simplified();
+  const auto add_term = [&](const expr::Expr& term) {
+    const int index = static_cast<int>(terms.size());
+    terms.emplace_back(term, table_);
+    for (const std::string& name : term.vars()) {
+      const int slot = table_.lookup(name);
+      OOCS_CHECK(slot >= 0, "undeclared variable '", name, "' in compiled term");
+      var_deps_[static_cast<std::size_t>(slot)].push_back(TermRef{fn, index});
+    }
+  };
+  if (simplified.kind() == expr::Kind::Add) {
+    for (const expr::Expr& term : simplified.operands()) add_term(term);
+  } else {
+    add_term(simplified);
+  }
+  fn_terms_.push_back(std::move(terms));
 }
 
 double CompiledProblem::violation(int j, std::span<const double> x) const {
@@ -80,6 +108,81 @@ Assignment CompiledProblem::to_assignment(std::span<const double> x) const {
     out[variable(i).name] = static_cast<std::int64_t>(std::llround(x[static_cast<std::size_t>(i)]));
   }
   return out;
+}
+
+PointEvaluator::PointEvaluator(const CompiledProblem& cp, bool delta)
+    : cp_(&cp), delta_(delta) {
+  const int fns = cp.num_functions();
+  term_values_.resize(static_cast<std::size_t>(fns));
+  for (int fn = 0; fn < fns; ++fn) {
+    term_values_[static_cast<std::size_t>(fn)].resize(cp.function_terms(fn).size(), 0.0);
+  }
+  fn_values_.resize(static_cast<std::size_t>(fns), 0.0);
+  dirty_mark_.resize(static_cast<std::size_t>(fns), 0);
+  set_point(cp.initial_point());
+}
+
+void PointEvaluator::resum(int fn) {
+  // Fixed ascending term order on both the full and the delta path so
+  // the two are bit-identical.
+  double sum = 0;
+  for (const double v : term_values_[static_cast<std::size_t>(fn)]) sum += v;
+  fn_values_[static_cast<std::size_t>(fn)] = sum;
+}
+
+void PointEvaluator::set_point(std::span<const double> x) {
+  x_.assign(x.begin(), x.end());
+  for (int fn = 0; fn < cp_->num_functions(); ++fn) {
+    const std::vector<expr::CompiledExpr>& terms = cp_->function_terms(fn);
+    std::vector<double>& values = term_values_[static_cast<std::size_t>(fn)];
+    for (std::size_t t = 0; t < terms.size(); ++t) values[t] = terms[t].eval(x_);
+    resum(fn);
+  }
+  ++full_evaluations_;
+}
+
+void PointEvaluator::move(int i, double value) {
+  if (x_[static_cast<std::size_t>(i)] == value) return;
+  if (!delta_) {
+    x_[static_cast<std::size_t>(i)] = value;
+    std::vector<double> x = x_;
+    set_point(x);
+    return;
+  }
+  x_[static_cast<std::size_t>(i)] = value;
+  dirty_.clear();
+  for (const CompiledProblem::TermRef& ref : cp_->terms_of(i)) {
+    term_values_[static_cast<std::size_t>(ref.fn)][static_cast<std::size_t>(ref.term)] =
+        cp_->function_terms(ref.fn)[static_cast<std::size_t>(ref.term)].eval(x_);
+    ++term_evaluations_;
+    if (dirty_mark_[static_cast<std::size_t>(ref.fn)] == 0) {
+      dirty_mark_[static_cast<std::size_t>(ref.fn)] = 1;
+      dirty_.push_back(ref.fn);
+    }
+  }
+  for (const int fn : dirty_) {
+    resum(fn);
+    dirty_mark_[static_cast<std::size_t>(fn)] = 0;
+  }
+}
+
+double PointEvaluator::violation(int j) const {
+  const double value = fn_values_[static_cast<std::size_t>(1 + j)];
+  const double raw =
+      cp_->constraint_sense(j) == Sense::Equal ? std::fabs(value) : std::max(0.0, value);
+  return raw * cp_->constraint_inv_scale(j);
+}
+
+double PointEvaluator::max_violation() const {
+  double worst = 0;
+  for (int j = 0; j < cp_->num_constraints(); ++j) worst = std::max(worst, violation(j));
+  return worst;
+}
+
+double PointEvaluator::total_violation() const {
+  double total = 0;
+  for (int j = 0; j < cp_->num_constraints(); ++j) total += violation(j);
+  return total;
 }
 
 }  // namespace oocs::solver

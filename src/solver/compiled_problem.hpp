@@ -5,6 +5,14 @@
 // Violations are normalized by per-constraint scales so that Lagrange
 // multipliers and penalty terms are comparable across constraints whose
 // raw magnitudes differ by many orders (bytes vs. 0/1 indicators).
+//
+// Delta evaluation: the objective and every constraint are additionally
+// split into their top-level additive terms, each compiled separately
+// with a per-variable dependency index (slot → terms referencing it).
+// A PointEvaluator caches all term values at its current point; a
+// single-variable move re-evaluates only the terms touching that
+// variable and re-sums the affected functions in a fixed order, so the
+// delta path is bit-identical to a full re-evaluation.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +69,29 @@ class CompiledProblem {
     return problem_->coupled_groups();
   }
 
+  /// Sense / normalization of constraint `j` (delta-evaluation support).
+  [[nodiscard]] Sense constraint_sense(int j) const {
+    return constraints_[static_cast<std::size_t>(j)].sense;
+  }
+  [[nodiscard]] double constraint_inv_scale(int j) const {
+    return constraints_[static_cast<std::size_t>(j)].inv_scale;
+  }
+
+  /// Additive terms of function `fn` (0 = objective, 1 + j = constraint
+  /// j's left-hand side); diagnostics and the PointEvaluator.
+  [[nodiscard]] int num_functions() const noexcept { return static_cast<int>(fn_terms_.size()); }
+  [[nodiscard]] const std::vector<expr::CompiledExpr>& function_terms(int fn) const {
+    return fn_terms_[static_cast<std::size_t>(fn)];
+  }
+  /// (function, term) pairs referencing variable slot `i`.
+  struct TermRef {
+    int fn = 0;
+    int term = 0;
+  };
+  [[nodiscard]] const std::vector<TermRef>& terms_of(int i) const {
+    return var_deps_[static_cast<std::size_t>(i)];
+  }
+
  private:
   struct CompiledConstraint {
     expr::CompiledExpr lhs;
@@ -68,11 +99,66 @@ class CompiledProblem {
     double inv_scale;
   };
 
+  void split_function(const expr::Expr& e);
+
   const Problem* problem_;
   expr::VarTable table_;
   expr::CompiledExpr objective_;
   std::vector<CompiledConstraint> constraints_;
   double objective_scale_ = 1;
+  /// fn_terms_[0] = objective terms; fn_terms_[1 + j] = constraint j.
+  std::vector<std::vector<expr::CompiledExpr>> fn_terms_;
+  std::vector<std::vector<TermRef>> var_deps_;
+};
+
+/// Mutable evaluation state over a CompiledProblem: holds a current
+/// point plus cached term and function values.  A single-variable
+/// `move` re-evaluates only the terms depending on that variable (the
+/// solvers' hot path); `set_point` is the full-evaluation fallback for
+/// multi-variable jumps.  Both paths sum terms in the same fixed order,
+/// so their results are bit-identical.  One evaluator per solver run;
+/// distinct evaluators over one CompiledProblem are thread-safe.
+class PointEvaluator {
+ public:
+  /// `delta` off routes every move through a full re-evaluation
+  /// (measurement baseline; results are identical either way).
+  explicit PointEvaluator(const CompiledProblem& cp, bool delta = true);
+
+  /// Full re-evaluation at `x` (multi-variable jumps, restarts).
+  void set_point(std::span<const double> x);
+
+  /// Move variable slot `i` to `value`, updating only dependent terms.
+  void move(int i, double value);
+
+  [[nodiscard]] const std::vector<double>& point() const noexcept { return x_; }
+  [[nodiscard]] double value_of(int i) const { return x_[static_cast<std::size_t>(i)]; }
+
+  /// Raw objective at the current point.
+  [[nodiscard]] double objective() const noexcept { return fn_values_[0]; }
+  /// Normalized violation of constraint `j` at the current point.
+  [[nodiscard]] double violation(int j) const;
+  [[nodiscard]] double max_violation() const;
+  [[nodiscard]] double total_violation() const;
+
+  [[nodiscard]] const CompiledProblem& compiled() const noexcept { return *cp_; }
+
+  /// Work counters: individual term evaluations on the delta path and
+  /// whole-point evaluations on the fallback path.
+  [[nodiscard]] std::int64_t term_evaluations() const noexcept { return term_evaluations_; }
+  [[nodiscard]] std::int64_t full_evaluations() const noexcept { return full_evaluations_; }
+
+ private:
+  void resum(int fn);
+
+  const CompiledProblem* cp_;
+  bool delta_;
+  std::vector<double> x_;
+  std::vector<std::vector<double>> term_values_;
+  std::vector<double> fn_values_;
+  std::vector<int> dirty_;        // scratch: functions touched by a move
+  std::vector<char> dirty_mark_;  // scratch: dedup flags for dirty_
+  std::int64_t term_evaluations_ = 0;
+  std::int64_t full_evaluations_ = 0;
 };
 
 }  // namespace oocs::solver

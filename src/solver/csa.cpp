@@ -12,8 +12,7 @@
 
 namespace oocs::solver {
 
-Solution CsaSolver::solve(const Problem& problem) {
-  const CompiledProblem cp(problem);
+Solution CsaSolver::solve(const CompiledProblem& cp, std::span<const double> x0) const {
   Rng rng(options_.seed);
   Stopwatch timer;
 
@@ -25,23 +24,28 @@ Solution CsaSolver::solve(const Problem& problem) {
   best.objective = std::numeric_limits<double>::infinity();
   SolveStats stats;
 
-  std::vector<double> x = cp.initial_point();
+  // All point state lives in the evaluator: annealing moves are
+  // single-variable, so acceptance tests ride the delta path; restarts
+  // re-randomize every variable and fall back to a full evaluation.
+  PointEvaluator ev(cp, options_.use_delta);
+  ev.set_point(x0);
   std::vector<double> lambda(static_cast<std::size_t>(m), 0.0);
 
-  const auto lagrangian = [&](std::span<const double> point) {
+  const auto lagrangian = [&] {
     ++stats.evaluations;
-    double value = cp.objective(point) / cp.objective_scale();
-    for (int j = 0; j < m; ++j) value += lambda[static_cast<std::size_t>(j)] * cp.violation(j, point);
+    double value = ev.objective() / cp.objective_scale();
+    for (int j = 0; j < m; ++j) value += lambda[static_cast<std::size_t>(j)] * ev.violation(j);
     return value;
   };
 
-  const auto consider_best = [&](std::span<const double> point) {
-    if (cp.max_violation(point) > options_.feasibility_tolerance) return;
-    const double f = cp.objective(point);
+  std::vector<double> best_point;
+  const auto consider_best = [&] {
+    if (ev.max_violation() > options_.feasibility_tolerance) return;
+    const double f = ev.objective();
     if (!best.feasible || f < best.objective) {
       best.feasible = true;
       best.objective = f;
-      best.values = cp.to_assignment(point);
+      best_point = ev.point();
     }
   };
 
@@ -66,16 +70,18 @@ Solution CsaSolver::solve(const Problem& problem) {
   for (std::int64_t restart = 0; restart <= options_.max_restarts; ++restart) {
     if (restart > 0) {
       ++stats.restarts;
+      std::vector<double> x(static_cast<std::size_t>(n));
       for (int i = 0; i < n; ++i) {
         const Variable& v = cp.variable(i);
         x[static_cast<std::size_t>(i)] = static_cast<double>(rng.uniform(v.lower, v.upper));
       }
+      ev.set_point(x);
       std::fill(lambda.begin(), lambda.end(), 0.0);
     }
 
     double temperature = options_.initial_temperature;
-    double current_l = lagrangian(x);
-    consider_best(x);
+    double current_l = lagrangian();
+    consider_best();
     std::int64_t step_in_level = 0;
 
     for (std::int64_t iter = 0; iter < options_.max_iterations; ++iter) {
@@ -83,23 +89,23 @@ Solution CsaSolver::solve(const Problem& problem) {
       if (out_of_time()) break;
       if (temperature < options_.final_temperature) break;
 
-      const bool violated = cp.max_violation(x) > options_.feasibility_tolerance;
+      const bool violated = ev.max_violation() > options_.feasibility_tolerance;
       const bool do_variable_move =
           !violated || m == 0 || rng.chance(options_.variable_move_probability);
 
       if (do_variable_move) {
         const int i = static_cast<int>(rng.uniform(0, n - 1));
-        const double cur = x[static_cast<std::size_t>(i)];
+        const double cur = ev.value_of(i);
         const double next = propose(i, cur);
         if (next != cur) {
-          x[static_cast<std::size_t>(i)] = next;
-          const double trial_l = lagrangian(x);
+          ev.move(i, next);
+          const double trial_l = lagrangian();
           const double delta = trial_l - current_l;
           if (delta <= 0 || rng.chance(std::exp(-delta / temperature))) {
             current_l = trial_l;
-            consider_best(x);
+            consider_best();
           } else {
-            x[static_cast<std::size_t>(i)] = cur;
+            ev.move(i, cur);
           }
         }
       } else {
@@ -108,10 +114,10 @@ Solution CsaSolver::solve(const Problem& problem) {
         int j = static_cast<int>(rng.uniform(0, m - 1));
         // Prefer violated constraints.
         for (int attempt = 0; attempt < m; ++attempt) {
-          if (cp.violation(j, x) > options_.feasibility_tolerance) break;
+          if (ev.violation(j) > options_.feasibility_tolerance) break;
           j = (j + 1) % m;
         }
-        const double v = cp.violation(j, x);
+        const double v = ev.violation(j);
         if (v > 0) {
           const double step = options_.ascent_rate * std::max(v, 1e-3);
           const double delta = step * v;  // ΔL from raising λ_j by `step`
@@ -130,22 +136,25 @@ Solution CsaSolver::solve(const Problem& problem) {
     if (out_of_time()) break;
   }
 
+  if (best.feasible) {
+    ev.set_point(best_point);
+  }
+  best.values = cp.to_assignment(ev.point());
+  best.max_violation = ev.max_violation();
+  if (!best.feasible) best.objective = ev.objective();
+  stats.delta_evaluations = ev.term_evaluations();
+  stats.full_evaluations = ev.full_evaluations();
   best.stats = stats;
   best.stats.seconds = timer.seconds();
-  if (best.feasible) {
-    std::vector<double> point(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      point[static_cast<std::size_t>(i)] = static_cast<double>(best.values.at(cp.variable(i).name));
-    }
-    best.max_violation = cp.max_violation(point);
-  } else {
-    best.values = cp.to_assignment(x);
-    best.objective = cp.objective(x);
-    best.max_violation = cp.max_violation(x);
-  }
   log::debug("csa: feasible=", best.feasible, " objective=", best.objective,
-             " iters=", stats.iterations, " time=", best.stats.seconds, "s");
+             " iters=", stats.iterations, " delta_evals=", stats.delta_evaluations,
+             " time=", best.stats.seconds, "s");
   return best;
+}
+
+Solution CsaSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  return solve(cp, cp.initial_point());
 }
 
 }  // namespace oocs::solver

@@ -9,6 +9,9 @@
 // escapes the local minima DLM can stall in.
 #pragma once
 
+#include <span>
+
+#include "solver/compiled_problem.hpp"
 #include "solver/problem.hpp"
 
 namespace oocs::solver {
@@ -31,6 +34,12 @@ class CsaSolver final : public Solver {
   explicit CsaSolver(CsaOptions options = {}) : options_(options) {}
 
   [[nodiscard]] Solution solve(const Problem& problem) override;
+
+  /// Portfolio entry point: one run over a pre-compiled problem from an
+  /// explicit start point.  Safe to call concurrently on one shared
+  /// CompiledProblem (each run holds its own evaluation state).
+  [[nodiscard]] Solution solve(const CompiledProblem& cp, std::span<const double> x0) const;
+
   [[nodiscard]] std::string name() const override { return "csa"; }
 
   [[nodiscard]] const CsaOptions& options() const noexcept { return options_; }

@@ -47,13 +47,18 @@ void candidate_moves(const CompiledProblem& cp, int i, double cur, std::vector<d
 }
 
 /// Shared machinery of one DLM run: discrete descent in x alternating
-/// with multiplier ascent, plus incumbent tracking.
+/// with multiplier ascent, plus incumbent tracking.  All point state
+/// lives in a PointEvaluator, so single-variable descent moves take the
+/// delta path (only the terms touching the moved variable are
+/// re-evaluated); restarts and coupled-group jumps fall back to a full
+/// evaluation via set_point.
 class DlmRun {
  public:
   DlmRun(const CompiledProblem& cp, const DlmOptions& options, Rng& rng, Stopwatch& timer,
          SolveStats& stats)
       : cp_(cp), options_(options), rng_(rng), timer_(timer), stats_(stats),
         n_(cp.num_variables()), m_(cp.num_constraints()),
+        ev_(cp, options.use_delta),
         lambda_(static_cast<std::size_t>(m_), 0.0),
         order_(static_cast<std::size_t>(n_)) {
     std::iota(order_.begin(), order_.end(), 0);
@@ -65,31 +70,34 @@ class DlmRun {
     return options_.time_limit_seconds > 0 && timer_.seconds() > options_.time_limit_seconds;
   }
 
-  double lagrangian(std::span<const double> point) {
+  /// Full-evaluation jump to `x` (restart kicks, coupled-group codes).
+  void start_from(std::span<const double> x) { ev_.set_point(x); }
+
+  double lagrangian() {
     ++stats_.evaluations;
-    double value = cp_.objective(point) / cp_.objective_scale();
+    double value = ev_.objective() / cp_.objective_scale();
     for (int j = 0; j < m_; ++j) {
-      value += lambda_[static_cast<std::size_t>(j)] * cp_.violation(j, point);
+      value += lambda_[static_cast<std::size_t>(j)] * ev_.violation(j);
     }
     return value;
   }
 
-  void consider_best(std::span<const double> point) {
-    if (cp_.max_violation(point) > options_.feasibility_tolerance) return;
-    const double f = cp_.objective(point);
+  void consider_best() {
+    if (ev_.max_violation() > options_.feasibility_tolerance) return;
+    const double f = ev_.objective();
     if (!best_.feasible || f < best_.objective) {
       best_.feasible = true;
       best_.objective = f;
-      best_point_.assign(point.begin(), point.end());
+      best_point_ = ev_.point();
     }
   }
 
   void reset_multipliers() { std::fill(lambda_.begin(), lambda_.end(), 0.0); }
 
-  /// One saddle-point search phase from `x` (modified in place).
-  void phase(std::vector<double>& x, std::int64_t max_iterations) {
-    double current_l = lagrangian(x);
-    consider_best(x);
+  /// One saddle-point search phase from the evaluator's current point.
+  void phase(std::int64_t max_iterations) {
+    double current_l = lagrangian();
+    consider_best();
     for (std::int64_t iter = 0; iter < max_iterations; ++iter) {
       ++stats_.iterations;
       if (out_of_time()) return;
@@ -101,18 +109,18 @@ class DlmRun {
                   order_[static_cast<std::size_t>(rng_.uniform(0, static_cast<std::int64_t>(k) - 1))]);
       }
       for (const int i : order_) {
-        const double cur = x[static_cast<std::size_t>(i)];
+        const double cur = ev_.value_of(i);
         candidate_moves(cp_, i, cur, moves_);
         for (const double next : moves_) {
-          x[static_cast<std::size_t>(i)] = next;
-          const double trial_l = lagrangian(x);
+          ev_.move(i, next);
+          const double trial_l = lagrangian();
           if (trial_l < current_l - 1e-15) {
             current_l = trial_l;
             improved = true;
-            consider_best(x);
+            consider_best();
             break;
           }
-          x[static_cast<std::size_t>(i)] = cur;
+          ev_.move(i, cur);
         }
         if (improved) break;
       }
@@ -122,7 +130,7 @@ class DlmRun {
       bool any_violated = false;
       double max_multiplier = 0;
       for (int j = 0; j < m_; ++j) {
-        const double v = cp_.violation(j, x);
+        const double v = ev_.violation(j);
         if (v > options_.feasibility_tolerance) {
           lambda_[static_cast<std::size_t>(j)] += options_.ascent_rate * std::max(v, 1e-3);
           any_violated = true;
@@ -131,7 +139,7 @@ class DlmRun {
       }
       if (!any_violated) return;                       // constrained local minimum
       if (max_multiplier > options_.multiplier_cap) return;  // stuck
-      current_l = lagrangian(x);
+      current_l = lagrangian();
     }
   }
 
@@ -139,46 +147,52 @@ class DlmRun {
   /// moves that walk along active constraint boundaries.
   void polish() {
     if (!best_.feasible) return;
-    std::vector<double> point = best_point_;
+    ev_.set_point(best_point_);
     double best_f = best_.objective;
-    const auto try_point = [&](std::vector<double>& candidate) {
+    // Accept the evaluator's current point if feasible and better.
+    const auto try_current = [&] {
       ++stats_.evaluations;
-      if (cp_.max_violation(candidate) > options_.feasibility_tolerance) return false;
-      const double f = cp_.objective(candidate);
+      if (ev_.max_violation() > options_.feasibility_tolerance) return false;
+      const double f = ev_.objective();
       if (f >= best_f - 1e-12) return false;
       best_f = f;
-      point = candidate;
+      best_point_ = ev_.point();
       return true;
     };
     bool improved = true;
     while (improved && !out_of_time()) {
       improved = false;
       for (int i = 0; i < n_ && !improved; ++i) {
-        candidate_moves(cp_, i, point[static_cast<std::size_t>(i)], moves_);
+        const double cur = ev_.value_of(i);
+        candidate_moves(cp_, i, cur, moves_);
         for (const double next : moves_) {
-          std::vector<double> candidate = point;
-          candidate[static_cast<std::size_t>(i)] = next;
-          if (try_point(candidate)) {
+          ev_.move(i, next);
+          if (try_current()) {
             improved = true;
             break;
           }
+          ev_.move(i, cur);
         }
       }
       for (int i = 0; i < n_ && !improved; ++i) {
         for (int j = 0; j < n_ && !improved; ++j) {
           if (i == j) continue;
-          std::vector<double> candidate = point;
-          candidate[static_cast<std::size_t>(i)] =
-              cp_.clamp(i, candidate[static_cast<std::size_t>(i)] * 2);
-          candidate[static_cast<std::size_t>(j)] =
-              cp_.clamp(j, std::floor(candidate[static_cast<std::size_t>(j)] / 2));
-          if (candidate == point) continue;
-          improved = try_point(candidate);
+          const double cur_i = ev_.value_of(i);
+          const double cur_j = ev_.value_of(j);
+          const double next_i = cp_.clamp(i, cur_i * 2);
+          const double next_j = cp_.clamp(j, std::floor(cur_j / 2));
+          if (next_i == cur_i && next_j == cur_j) continue;
+          ev_.move(i, next_i);
+          ev_.move(j, next_j);
+          improved = try_current();
+          if (!improved) {
+            ev_.move(i, cur_i);
+            ev_.move(j, cur_j);
+          }
         }
       }
     }
     best_.objective = best_f;
-    best_point_ = point;
   }
 
   /// Variable-neighborhood phase over coupled binary groups (placement
@@ -237,7 +251,8 @@ class DlmRun {
                 ((code >> b) & 1) != 0 ? 1.0 : 0.0;
           }
           reset_multipliers();
-          phase(x, phase_iterations);
+          start_from(x);
+          phase(phase_iterations);
           if (best_.feasible && best_.objective < before - 1e-12) {
             polish();
             improved = true;
@@ -251,18 +266,21 @@ class DlmRun {
 
   [[nodiscard]] const Solution& best() const noexcept { return best_; }
   [[nodiscard]] const std::vector<double>& best_point() const noexcept { return best_point_; }
+  [[nodiscard]] const std::vector<double>& current_point() const noexcept { return ev_.point(); }
   [[nodiscard]] bool has_incumbent() const noexcept { return best_.feasible; }
 
   Solution take_best(const std::vector<double>& fallback) {
     Solution out = best_;
     if (best_.feasible) {
-      out.values = cp_.to_assignment(best_point_);
-      out.max_violation = cp_.max_violation(best_point_);
+      ev_.set_point(best_point_);
     } else {
-      out.values = cp_.to_assignment(fallback);
-      out.objective = cp_.objective(fallback);
-      out.max_violation = cp_.max_violation(fallback);
+      ev_.set_point(fallback);
+      out.objective = ev_.objective();
     }
+    out.values = cp_.to_assignment(ev_.point());
+    out.max_violation = ev_.max_violation();
+    stats_.delta_evaluations = ev_.term_evaluations();
+    stats_.full_evaluations = ev_.full_evaluations();
     return out;
   }
 
@@ -274,6 +292,7 @@ class DlmRun {
   SolveStats& stats_;
   const int n_;
   const int m_;
+  PointEvaluator ev_;
   std::vector<double> lambda_;
   std::vector<int> order_;
   std::vector<double> moves_;
@@ -283,14 +302,14 @@ class DlmRun {
 
 }  // namespace
 
-Solution DlmSolver::solve(const Problem& problem) {
-  const CompiledProblem cp(problem);
+Solution DlmSolver::solve(const CompiledProblem& cp, std::span<const double> x0) const {
   Rng rng(options_.seed);
   Stopwatch timer;
   SolveStats stats;
 
   DlmRun run(cp, options_, rng, timer, stats);
-  std::vector<double> x = cp.initial_point();
+  std::vector<double> x(x0.begin(), x0.end());
+  run.start_from(x);
 
   for (std::int64_t restart = 0; restart <= options_.max_restarts; ++restart) {
     if (restart > 0) {
@@ -301,8 +320,9 @@ Solution DlmSolver::solve(const Problem& problem) {
         x[static_cast<std::size_t>(i)] = static_cast<double>(rng.uniform(v.lower, v.upper));
       }
       run.reset_multipliers();
+      run.start_from(x);
     }
-    run.phase(x, options_.max_iterations);
+    run.phase(options_.max_iterations);
     if (run.out_of_time()) break;
     // Restart from the incumbent when one exists.
     if (run.has_incumbent()) x = run.best_point();
@@ -317,8 +337,14 @@ Solution DlmSolver::solve(const Problem& problem) {
   best.stats.seconds = timer.seconds();
   log::debug("dlm: feasible=", best.feasible, " objective=", best.objective,
              " iters=", stats.iterations, " evals=", stats.evaluations,
-             " restarts=", stats.restarts, " time=", best.stats.seconds, "s");
+             " delta_evals=", stats.delta_evaluations, " restarts=", stats.restarts,
+             " time=", best.stats.seconds, "s");
   return best;
+}
+
+Solution DlmSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  return solve(cp, cp.initial_point());
 }
 
 }  // namespace oocs::solver

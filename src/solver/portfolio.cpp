@@ -1,0 +1,143 @@
+#include "solver/portfolio.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace oocs::solver {
+
+namespace {
+
+/// Strict "a beats b" order used for both the round reduction and the
+/// incumbent update: feasibility first, then objective, then (by virtue
+/// of the ascending scan in the reduction) lowest worker index.
+bool better(const Solution& a, const Solution& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (a.feasible) return a.objective < b.objective;
+  return a.max_violation < b.max_violation;
+}
+
+std::vector<double> point_of(const CompiledProblem& cp, const Assignment& values) {
+  std::vector<double> x(static_cast<std::size_t>(cp.num_variables()));
+  for (int i = 0; i < cp.num_variables(); ++i) {
+    x[static_cast<std::size_t>(i)] = static_cast<double>(values.at(cp.variable(i).name));
+  }
+  return x;
+}
+
+}  // namespace
+
+Solution PortfolioSolver::solve(const CompiledProblem& cp, std::span<const double> x0) const {
+  Stopwatch timer;
+  const int workers = std::max(1, options_.restarts);
+  const int rounds_cap = std::max(1, options_.max_rounds);
+  ThreadPool pool(ThreadPool::resolve_threads(options_.threads));
+
+  // Per-worker seed streams, advanced on the caller thread at round
+  // boundaries only, so the seed a worker receives never depends on how
+  // the pool interleaved the previous round.
+  Rng master(options_.seed);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(workers));
+  for (int k = 0; k < workers; ++k) streams.push_back(master.split());
+
+  std::vector<std::vector<double>> starts(static_cast<std::size_t>(workers),
+                                          std::vector<double>(x0.begin(), x0.end()));
+  std::vector<Solution> results(static_cast<std::size_t>(workers));
+
+  Solution incumbent;
+  bool has_incumbent = false;
+  SolveStats total;
+  total.workers = workers;
+
+  int rounds_run = 0;
+  for (int round = 0; round < rounds_cap; ++round) {
+    std::vector<std::uint64_t> seeds(static_cast<std::size_t>(workers));
+    for (int k = 0; k < workers; ++k) seeds[static_cast<std::size_t>(k)] = streams[static_cast<std::size_t>(k)].next_u64();
+
+    pool.parallel_for(0, workers, 1, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t k = begin; k < end; ++k) {
+        const auto uk = static_cast<std::size_t>(k);
+        // Worker k's per-round budget: uniform, or the staggered ladder
+        // (a pure function of the worker index either way).
+        std::int64_t budget = options_.iterations_per_round;
+        if (budget > 0 && options_.staggered_budgets) {
+          budget = std::max<std::int64_t>(1, budget >> std::min<std::int64_t>(k, 62));
+        }
+        // Even workers run DLM, odd workers CSA, each a pure function of
+        // (template options, round seed, start point).
+        if (k % 2 == 0) {
+          DlmOptions o = options_.dlm;
+          o.seed = seeds[uk];
+          o.use_delta = options_.use_delta;
+          if (budget > 0) o.max_iterations = budget;
+          o.max_restarts = options_.restarts_per_round;
+          results[uk] = DlmSolver(o).solve(cp, starts[uk]);
+        } else {
+          CsaOptions o = options_.csa;
+          o.seed = seeds[uk];
+          o.use_delta = options_.use_delta;
+          if (budget > 0) o.max_iterations = budget;
+          o.max_restarts = options_.restarts_per_round;
+          results[uk] = CsaSolver(o).solve(cp, starts[uk]);
+        }
+      }
+    });
+    ++rounds_run;
+
+    int winner = 0;
+    for (int k = 0; k < workers; ++k) {
+      const auto uk = static_cast<std::size_t>(k);
+      total.accumulate(results[uk].stats);
+      if (k > 0 && better(results[uk], results[static_cast<std::size_t>(winner)])) winner = k;
+    }
+
+    const bool improved =
+        !has_incumbent || better(results[static_cast<std::size_t>(winner)], incumbent);
+    if (improved) {
+      incumbent = results[static_cast<std::size_t>(winner)];
+      has_incumbent = true;
+    }
+
+    if (round + 1 >= rounds_cap) break;
+    // Early cutoff: a feasible incumbent no round could improve.
+    if (!improved && incumbent.feasible) break;
+    if (options_.time_limit_seconds > 0 && timer.seconds() > options_.time_limit_seconds) break;
+
+    // Next-round starts: dominated workers are cut over to the shared
+    // incumbent point; workers that matched or beat it keep their own.
+    const std::vector<double> incumbent_x = point_of(cp, incumbent.values);
+    for (int k = 0; k < workers; ++k) {
+      const auto uk = static_cast<std::size_t>(k);
+      starts[uk] = better(incumbent, results[uk]) ? incumbent_x
+                                                  : point_of(cp, results[uk].values);
+    }
+  }
+
+  total.rounds = rounds_run;
+  total.seconds = timer.seconds();
+  incumbent.stats = total;
+
+  auto& m = obs::metrics();
+  m.counter("solver.portfolio.workers").add(workers);
+  m.counter("solver.portfolio.rounds").add(rounds_run);
+  m.counter("solver.portfolio.delta_evals").add(total.delta_evaluations);
+  m.counter("solver.portfolio.full_evals").add(total.full_evaluations);
+  log::debug("portfolio: feasible=", incumbent.feasible, " objective=", incumbent.objective,
+             " workers=", workers, " rounds=", rounds_run, " threads=", pool.num_threads(),
+             " time=", total.seconds, "s");
+  return incumbent;
+}
+
+Solution PortfolioSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  return solve(cp, cp.initial_point());
+}
+
+}  // namespace oocs::solver

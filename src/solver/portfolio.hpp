@@ -1,0 +1,81 @@
+// Multi-start solver portfolio.
+//
+// Runs K independently seeded DLM and CSA workers over one shared
+// CompiledProblem, in *synchronous rounds* on an oocs::ThreadPool.  Each
+// round every worker executes a complete, bounded solver invocation — a
+// pure function of (worker index, round seed, start point) — so
+// cross-worker information flows only at round barriers:
+//
+//   * the round winner is reduced deterministically by
+//     (feasible desc, objective asc, worker index asc);
+//   * workers whose round result is dominated by the shared incumbent
+//     are cut off and restarted from the incumbent point (the shared
+//     best-bound early cutoff), winners continue from their own point;
+//   * the portfolio stops early once a round yields no improvement on a
+//     feasible incumbent.
+//
+// Because every cutoff decision is a function of round-boundary state,
+// the returned Solution is bit-identical for a fixed seed regardless of
+// the thread count the pool resolves to (OOCS_THREADS ∈ {1, 4} in CI).
+#pragma once
+
+#include <span>
+
+#include "solver/compiled_problem.hpp"
+#include "solver/csa.hpp"
+#include "solver/dlm.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+struct PortfolioOptions {
+  std::uint64_t seed = 1;
+  /// Number of independently seeded workers (alternating DLM / CSA).
+  int restarts = 4;
+  /// Pool width; 0 resolves via OOCS_THREADS (ThreadPool::resolve_threads).
+  int threads = 0;
+  /// Synchronous incumbent-exchange rounds.
+  int max_rounds = 3;
+  /// Per-worker descent/annealing budget per round; <=0 keeps each
+  /// template solver's own max_iterations.
+  std::int64_t iterations_per_round = 50'000;
+  /// Budget ladder: worker k receives iterations_per_round >> k, so one
+  /// full-budget leader is backed by geometrically cheaper diverse
+  /// followers (Luby-style effort split).  Budgets stay a pure function
+  /// of the worker index, preserving thread-count determinism.  Only
+  /// applies when iterations_per_round > 0.
+  bool staggered_budgets = false;
+  /// Inner solver restarts per worker per round.
+  std::int64_t restarts_per_round = 1;
+  /// Incremental (delta) evaluation inside the workers.
+  bool use_delta = true;
+  /// Wall-clock budget checked at round barriers only; <=0 disables.
+  /// A positive limit can cut rounds and therefore trades determinism
+  /// for latency — leave at 0 when bit-identical plans are required.
+  double time_limit_seconds = 0;
+  /// Templates for the workers; seed / iteration / delta knobs above
+  /// override the corresponding fields per worker per round.
+  DlmOptions dlm;
+  CsaOptions csa;
+};
+
+class PortfolioSolver final : public Solver {
+ public:
+  explicit PortfolioSolver(PortfolioOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Solution solve(const Problem& problem) override;
+
+  /// Runs the portfolio over a pre-compiled problem from an explicit
+  /// start point (round-0 start for every worker; pass the greedy
+  /// warm start here).
+  [[nodiscard]] Solution solve(const CompiledProblem& cp, std::span<const double> x0) const;
+
+  [[nodiscard]] std::string name() const override { return "portfolio"; }
+
+  [[nodiscard]] const PortfolioOptions& options() const noexcept { return options_; }
+
+ private:
+  PortfolioOptions options_;
+};
+
+}  // namespace oocs::solver

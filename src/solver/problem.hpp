@@ -96,9 +96,27 @@ using Assignment = std::unordered_map<std::string, std::int64_t>;
 
 struct SolveStats {
   std::int64_t iterations = 0;
+  /// Objective/Lagrangian evaluations (full or delta-backed alike).
   std::int64_t evaluations = 0;
+  /// Individual additive-term re-evaluations on the delta path.
+  std::int64_t delta_evaluations = 0;
+  /// Whole-point evaluations (multi-variable jumps, restarts, or every
+  /// move when delta evaluation is disabled).
+  std::int64_t full_evaluations = 0;
   std::int64_t restarts = 0;
+  /// Portfolio only: independently seeded workers and sync rounds run.
+  std::int64_t workers = 0;
+  std::int64_t rounds = 0;
   double seconds = 0;
+
+  /// Accumulates another run's work counters (portfolio reduction).
+  void accumulate(const SolveStats& other) {
+    iterations += other.iterations;
+    evaluations += other.evaluations;
+    delta_evaluations += other.delta_evaluations;
+    full_evaluations += other.full_evaluations;
+    restarts += other.restarts;
+  }
 };
 
 struct Solution {
@@ -120,6 +138,10 @@ struct SolverOptions {
   double time_limit_seconds = 0;
   /// Violations below this (normalized) count as satisfied.
   double feasibility_tolerance = 1e-9;
+  /// Incremental (delta) evaluation of single-variable moves.  Off
+  /// routes every move through a full re-evaluation; results are
+  /// bit-identical either way (measurement baseline).
+  bool use_delta = true;
 };
 
 /// Abstract interface implemented by DlmSolver, CsaSolver and

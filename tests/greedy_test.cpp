@@ -97,10 +97,10 @@ TEST(WarmStart, ProducesFeasibleDecisions) {
   const Enumeration e = enumerate_placements(tiled, options);
   const auto warm = greedy_warm_start(p, e, options, 10'000);
   ASSERT_TRUE(warm.has_value());
-  EXPECT_EQ(warm->tile_sizes.size(), e.loop_indices.size());
-  EXPECT_EQ(warm->option_index.size(), e.groups.size());
+  EXPECT_EQ(warm->decisions.tile_sizes.size(), e.loop_indices.size());
+  EXPECT_EQ(warm->decisions.option_index.size(), e.groups.size());
   // The decisions build into a plan within the limit.
-  const OocPlan plan = build_plan(tiled, e, *warm);
+  const OocPlan plan = build_plan(tiled, e, warm->decisions);
   EXPECT_LE(plan.buffer_bytes(), 64 * 1024);
 }
 
@@ -122,7 +122,7 @@ TEST(WarmStart, SolverNeverWorseThanWarmStart) {
     const Enumeration e = enumerate_placements(tiled, options);
     const auto warm = greedy_warm_start(p, e, options);
     ASSERT_TRUE(warm.has_value());
-    const PredictedIo warm_io = predict_io(p, e, *warm);
+    const PredictedIo warm_io = predict_io(p, e, warm->decisions);
 
     solver::DlmSolver solver;
     const SynthesisResult result = synthesize(p, options, solver);

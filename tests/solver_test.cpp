@@ -7,12 +7,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
 #include "solver/ampl.hpp"
 #include "solver/csa.hpp"
 #include "solver/dlm.hpp"
 #include "solver/exhaustive.hpp"
+#include "solver/portfolio.hpp"
 #include "solver/problem.hpp"
 
 namespace oocs::solver {
@@ -263,6 +265,140 @@ TEST_P(SolverPropertyTest, NeverBeatsOracleAndAlwaysFeasible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest, ::testing::Range(0, 12));
+
+TEST(PointEvaluator, MovesMatchFullReevaluation) {
+  // Delta moves must reproduce set_point bit-for-bit: both paths sum
+  // the same cached per-term values in the same fixed order.
+  const Problem p = tileish(40, 40, 100);
+  const CompiledProblem cp(p);
+  PointEvaluator delta(cp, /*delta=*/true);
+  PointEvaluator full(cp, /*delta=*/false);
+
+  const std::vector<std::pair<int, double>> moves = {
+      {0, 5}, {1, 7}, {0, 40}, {1, 1}, {0, 13}, {1, 8}, {0, 5}, {0, 5}};
+  for (const auto& [i, value] : moves) {
+    delta.move(i, value);
+    full.move(i, value);
+    EXPECT_EQ(delta.objective(), full.objective());
+    EXPECT_EQ(delta.max_violation(), full.max_violation());
+    for (int j = 0; j < cp.num_constraints(); ++j) {
+      EXPECT_EQ(delta.violation(j), full.violation(j));
+    }
+    // And against a from-scratch evaluation of the same point.
+    EXPECT_EQ(delta.objective(), cp.objective(delta.point()));
+  }
+  EXPECT_GT(delta.term_evaluations(), 0);
+  EXPECT_EQ(delta.full_evaluations(), 1);  // the constructor's set_point
+  EXPECT_GT(full.full_evaluations(), 1);
+}
+
+TEST(PointEvaluator, TracksVariableDependencies) {
+  const Problem p = placement_choice();
+  const CompiledProblem cp(p);
+  // Every variable of this problem appears in the objective and the
+  // memory constraint, so each has at least one term per function.
+  for (int i = 0; i < cp.num_variables(); ++i) {
+    EXPECT_FALSE(cp.terms_of(i).empty()) << cp.variable(i).name;
+  }
+  EXPECT_EQ(cp.num_functions(), 1 + cp.num_constraints());
+}
+
+TEST(DeltaEquivalence, DlmAndCsaIdenticalWithDeltaOnOrOff) {
+  // use_delta only changes how L(x, λ) is computed, never its value, so
+  // the search trajectory — and every counter except delta/full — must
+  // be identical.
+  for (const Problem& p : {tileish(40, 40, 100), placement_choice(), knapsack()}) {
+    DlmOptions dopt;
+    dopt.max_iterations = 5'000;
+    dopt.max_restarts = 1;
+    dopt.use_delta = true;
+    const Solution fast = DlmSolver(dopt).solve(p);
+    dopt.use_delta = false;
+    const Solution slow = DlmSolver(dopt).solve(p);
+    EXPECT_EQ(fast.values, slow.values);
+    EXPECT_DOUBLE_EQ(fast.objective, slow.objective);
+    EXPECT_EQ(fast.stats.iterations, slow.stats.iterations);
+    EXPECT_EQ(fast.stats.evaluations, slow.stats.evaluations);
+
+    CsaOptions copt;
+    copt.max_iterations = 10'000;
+    copt.use_delta = true;
+    const Solution cfast = CsaSolver(copt).solve(p);
+    copt.use_delta = false;
+    const Solution cslow = CsaSolver(copt).solve(p);
+    EXPECT_EQ(cfast.values, cslow.values);
+    EXPECT_DOUBLE_EQ(cfast.objective, cslow.objective);
+    EXPECT_EQ(cfast.stats.iterations, cslow.stats.iterations);
+  }
+}
+
+TEST(Portfolio, MatchesExhaustiveOnKnapsack) {
+  PortfolioOptions opt;
+  opt.restarts = 4;
+  opt.iterations_per_round = 5'000;
+  PortfolioSolver solver(opt);
+  const Solution s = solver.solve(knapsack());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.objective, -10);
+  EXPECT_EQ(s.stats.workers, 4);
+  EXPECT_GE(s.stats.rounds, 1);
+}
+
+TEST(Portfolio, DeterministicAcrossThreadCounts) {
+  // Synchronous rounds confine cross-worker information to round
+  // barriers, so the winner is a pure function of the seed.
+  const Problem p = tileish(400, 400, 900);
+  std::optional<Solution> reference;
+  for (const int threads : {1, 2, 4}) {
+    PortfolioOptions opt;
+    opt.seed = 5;
+    opt.restarts = 4;
+    opt.threads = threads;
+    opt.max_rounds = 2;
+    opt.iterations_per_round = 3'000;
+    const Solution s = PortfolioSolver(opt).solve(p);
+    ASSERT_TRUE(s.feasible) << "threads=" << threads;
+    if (!reference.has_value()) {
+      reference = s;
+      continue;
+    }
+    EXPECT_EQ(s.values, reference->values) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(s.objective, reference->objective);
+    EXPECT_EQ(s.stats.rounds, reference->stats.rounds);
+    EXPECT_EQ(s.stats.evaluations, reference->stats.evaluations);
+  }
+}
+
+TEST(Portfolio, NeverBeatsOracleOnPropertyInstances) {
+  for (const int seed : {0, 3, 7}) {
+    const std::int64_t n1 = 5 + (seed * 7) % 20;
+    const std::int64_t n2 = 5 + (seed * 13) % 20;
+    const std::int64_t mem = 4 + (seed * 11) % 40;
+    const Problem p = tileish(n1, n2, mem);
+    const Solution truth = ExhaustiveSolver().solve(p);
+    ASSERT_TRUE(truth.feasible);
+    PortfolioOptions opt;
+    opt.seed = static_cast<std::uint64_t>(seed) + 1;
+    opt.restarts = 3;
+    opt.iterations_per_round = 4'000;
+    const Solution s = PortfolioSolver(opt).solve(p);
+    ASSERT_TRUE(s.feasible) << "seed " << seed;
+    EXPECT_GE(s.objective, truth.objective - 1e-9);
+    EXPECT_LE(s.values.at("t1") * s.values.at("t2"), mem);
+  }
+}
+
+TEST(Portfolio, SharedCompiledProblemEntryPoint) {
+  const Problem p = tileish(40, 40, 100);
+  const CompiledProblem cp(p);
+  PortfolioOptions opt;
+  opt.restarts = 2;
+  opt.iterations_per_round = 3'000;
+  const Solution via_cp = PortfolioSolver(opt).solve(cp, cp.initial_point());
+  const Solution via_problem = PortfolioSolver(opt).solve(p);
+  EXPECT_EQ(via_cp.values, via_problem.values);
+  EXPECT_DOUBLE_EQ(via_cp.objective, via_problem.objective);
+}
 
 TEST(Ampl, EmitsModel) {
   const Problem p = placement_choice();

@@ -1,0 +1,196 @@
+// Tests for the parallel synthesis search: the DLM/CSA portfolio's
+// thread-count determinism, incremental (delta) objective evaluation
+// equivalence, §4.2 dominance pruning invariants, the greedy warm-start
+// incumbent guarantee, and the opt-in λ(1−λ)=0 fidelity constraints.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/greedy.hpp"
+#include "core/synthesize.hpp"
+#include "ir/examples.hpp"
+#include "solver/portfolio.hpp"
+#include "trans/tiled.hpp"
+
+namespace oocs::core {
+namespace {
+
+SynthesisOptions small_options(std::int64_t memory_limit) {
+  SynthesisOptions options;
+  options.memory_limit_bytes = memory_limit;
+  options.min_read_block_bytes = 1 * kKiB;
+  options.min_write_block_bytes = 1 * kKiB;
+  return options;
+}
+
+/// Small-parameter versions of every ir::examples program, solvable in
+/// well under a second per portfolio run.
+std::vector<std::pair<const char*, ir::Program>> example_programs() {
+  std::vector<std::pair<const char*, ir::Program>> programs;
+  programs.emplace_back("two_index", ir::examples::two_index(64, 64, 48, 48));
+  programs.emplace_back("two_index_unfused", ir::examples::two_index_unfused(64, 64, 48, 48));
+  programs.emplace_back("four_index", ir::examples::four_index(20, 16));
+  return programs;
+}
+
+solver::PortfolioOptions small_portfolio(int threads) {
+  solver::PortfolioOptions o;
+  o.seed = 7;
+  o.restarts = 4;
+  o.threads = threads;
+  o.max_rounds = 2;
+  o.iterations_per_round = 2'000;
+  return o;
+}
+
+TEST(PortfolioDeterminism, DecisionsIdenticalAcrossThreadCounts) {
+  // The satellite determinism matrix: a fixed-seed portfolio must give
+  // bit-identical SynthesisResult decisions at 1 and 4 threads on every
+  // example program (CI runs this file under TSan as well).
+  for (const auto& [name, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    std::optional<Decisions> ref_decisions;
+    std::optional<solver::Solution> ref_solution;
+    for (const int threads : {1, 4}) {
+      solver::PortfolioSolver portfolio(small_portfolio(threads));
+      const SynthesisResult result = synthesize(program, options, portfolio);
+      ASSERT_TRUE(result.solution.feasible) << name << " threads=" << threads;
+      if (!ref_decisions.has_value()) {
+        ref_decisions = result.decisions;
+        ref_solution = result.solution;
+        continue;
+      }
+      EXPECT_EQ(result.decisions.tile_sizes, ref_decisions->tile_sizes)
+          << name << " tile sizes diverge between 1 and " << threads << " threads";
+      EXPECT_EQ(result.decisions.option_index, ref_decisions->option_index)
+          << name << " placements diverge between 1 and " << threads << " threads";
+      EXPECT_DOUBLE_EQ(result.solution.objective, ref_solution->objective) << name;
+      EXPECT_EQ(result.solution.values, ref_solution->values) << name;
+    }
+  }
+}
+
+TEST(PortfolioDeterminism, RepeatedRunsAreBitIdentical) {
+  const ir::Program program = ir::examples::four_index(20, 16);
+  const SynthesisOptions options = small_options(64 * kKiB);
+  solver::PortfolioSolver portfolio(small_portfolio(4));
+  const SynthesisResult a = synthesize(program, options, portfolio);
+  const SynthesisResult b = synthesize(program, options, portfolio);
+  EXPECT_EQ(a.solution.values, b.solution.values);
+  EXPECT_DOUBLE_EQ(a.solution.objective, b.solution.objective);
+}
+
+TEST(PortfolioDeterminism, ReportsWorkersAndRounds) {
+  const ir::Program program = ir::examples::two_index(64, 64, 48, 48);
+  const SynthesisOptions options = small_options(64 * kKiB);
+  solver::PortfolioSolver portfolio(small_portfolio(2));
+  const SynthesisResult result = synthesize(program, options, portfolio);
+  EXPECT_EQ(result.solution.stats.workers, 4);
+  EXPECT_GE(result.solution.stats.rounds, 1);
+  EXPECT_LE(result.solution.stats.rounds, 2);
+  EXPECT_GT(result.solution.stats.evaluations, 0);
+}
+
+TEST(DeltaEvaluation, SynthesisBitIdenticalWithDeltaOnOrOff) {
+  // The delta path re-sums cached per-term values in the same fixed
+  // order as a full evaluation, so the whole search trajectory — and
+  // therefore the synthesized plan — is bit-identical either way.
+  for (const auto& [name, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    solver::DlmOptions base;
+    base.max_iterations = 3'000;
+    base.max_restarts = 1;
+
+    solver::DlmOptions with_delta = base;
+    with_delta.use_delta = true;
+    solver::DlmSolver fast(with_delta);
+    const SynthesisResult a = synthesize(program, options, fast);
+
+    solver::DlmOptions without_delta = base;
+    without_delta.use_delta = false;
+    solver::DlmSolver slow(without_delta);
+    const SynthesisResult b = synthesize(program, options, slow);
+
+    EXPECT_EQ(a.solution.values, b.solution.values) << name;
+    EXPECT_DOUBLE_EQ(a.solution.objective, b.solution.objective) << name;
+    EXPECT_EQ(a.solution.stats.evaluations, b.solution.stats.evaluations)
+        << name << ": identical trajectories must evaluate equally often";
+    EXPECT_GT(a.solution.stats.delta_evaluations, 0) << name;
+    EXPECT_EQ(b.solution.stats.delta_evaluations, 0) << name;
+  }
+}
+
+TEST(DominancePruning, NeverEmptiesAGroupAndShrinksSmallExamples) {
+  const ir::Program program = ir::examples::four_index(20, 16);
+  const trans::TiledProgram tiled(program);
+  const SynthesisOptions options = small_options(64 * kKiB);
+  Enumeration pruned = enumerate_placements(tiled, options);
+  const Enumeration original = pruned;
+  const int removed = prune_dominated(program, pruned, options);
+  EXPECT_GT(removed, 0) << "small four-index has dominated placements";
+  ASSERT_EQ(pruned.groups.size(), original.groups.size());
+  for (std::size_t g = 0; g < pruned.groups.size(); ++g) {
+    EXPECT_GE(pruned.groups[g].num_options(), 1);
+    EXPECT_LE(pruned.groups[g].num_options(), original.groups[g].num_options());
+  }
+}
+
+TEST(DominancePruning, PrunedSynthesisPlanNoWorse) {
+  // Dominated options can never be the unique optimum, so synthesis
+  // with the pre-pass on must match the unpruned objective.
+  for (const auto& [name, program] : example_programs()) {
+    SynthesisOptions options = small_options(64 * kKiB);
+    options.prune_dominated = true;
+    const SynthesisResult pruned = synthesize(program, options);
+    options.prune_dominated = false;
+    const SynthesisResult full = synthesize(program, options);
+    EXPECT_LE(pruned.predicted_disk_bytes, full.predicted_disk_bytes * 1.0001) << name;
+    EXPECT_GE(pruned.pruned_options, 0) << name;
+    EXPECT_EQ(full.pruned_options, 0) << name;
+  }
+}
+
+TEST(WarmStartIncumbent, PortfolioNeverWorseThanGreedy) {
+  // The greedy warm start seeds every worker's round-0 point; a correct
+  // portfolio's feasible incumbent can only improve on it.
+  for (const auto& [name, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    solver::PortfolioSolver portfolio(small_portfolio(2));
+    const SynthesisResult result = synthesize(program, options, portfolio);
+    ASSERT_TRUE(result.solution.feasible) << name;
+    ASSERT_TRUE(result.greedy_cost.has_value()) << name;
+    EXPECT_LE(result.predicted_disk_bytes, *result.greedy_cost * 1.0001) << name;
+  }
+}
+
+TEST(BinaryEqualities, OptInFlagAddsFidelityConstraints) {
+  const ir::Program program = ir::examples::four_index(20, 16);
+  const trans::TiledProgram tiled(program);
+  SynthesisOptions options = small_options(64 * kKiB);
+  const Enumeration e = enumerate_placements(tiled, options);
+
+  const auto count_binary_eqs = [&](const SynthesisOptions& o) {
+    const NlpModel model = build_nlp(program, e, o);
+    int count = 0;
+    for (const solver::Constraint& c : model.problem.constraints()) {
+      if (c.name.rfind("binary_", 0) == 0) ++count;
+    }
+    return count;
+  };
+
+  EXPECT_EQ(count_binary_eqs(options), 0) << "λ(1−λ)=0 must be opt-in";
+  options.add_binary_equalities = true;
+  EXPECT_GT(count_binary_eqs(options), 0);
+
+  // The equalities are redundant for integer-bounded λ: same plan.
+  const SynthesisResult with_eq = synthesize(program, options);
+  options.add_binary_equalities = false;
+  const SynthesisResult without_eq = synthesize(program, options);
+  EXPECT_EQ(with_eq.decisions.option_index, without_eq.decisions.option_index);
+  EXPECT_DOUBLE_EQ(with_eq.predicted_disk_bytes, without_eq.predicted_disk_bytes);
+}
+
+}  // namespace
+}  // namespace oocs::core

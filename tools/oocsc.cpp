@@ -6,8 +6,23 @@
 //   oocsc FILE.oocs [options]
 //
 //   --memory BYTES      memory limit (accepts 2GB, 512MB, ...; default 2GB)
-//   --solver NAME       dlm | csa (default dlm)
+//   --solver NAME       dlm | csa | portfolio (default dlm).  The
+//                       portfolio runs --restarts independently seeded
+//                       DLM/CSA workers in synchronous rounds on
+//                       --solver-threads threads; the winner is
+//                       bit-identical for a fixed seed at any thread
+//                       count (see docs/SYNTHESIS_SEARCH.md)
+//   --restarts N        portfolio worker count (default 4)
+//   --solver-threads N  portfolio thread count (default 0 = the
+//                       OOCS_THREADS env, else 1)
 //   --seed N            solver seed (default 1)
+//   --no-prune          keep dominated placement options (disables the
+//                       §4.2 dominance pre-pass)
+//   --no-delta          full objective re-evaluation on every solver
+//                       move (disables incremental delta evaluation;
+//                       results are bit-identical, only slower)
+//   --binary-eq         add the paper's λ(1−λ)=0 equality constraints
+//                       (AMPL fidelity; off by default)
 //   --read-block BYTES  minimum read block (default 2MB; 0 disables both)
 //   --write-block BYTES minimum write block (default 1MB)
 //   --seek-bytes N      seek-awareness refinement (default 0 = paper-pure)
@@ -69,6 +84,7 @@
 #include "rt/reference.hpp"
 #include "solver/csa.hpp"
 #include "solver/dlm.hpp"
+#include "solver/portfolio.hpp"
 #include "trans/fusion.hpp"
 #include "trans/tiled.hpp"
 
@@ -80,6 +96,9 @@ struct Args {
   std::string file;
   core::SynthesisOptions options;
   std::string solver = "dlm";
+  int restarts = 4;
+  int solver_threads = 0;  // 0 = OOCS_THREADS env, default 1
+  bool use_delta = true;
   std::uint64_t seed = 1;
   bool fuse = false;
   bool ampl = false;
@@ -97,11 +116,12 @@ struct Args {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa] [--seed N]\n"
-               "       [--read-block BYTES] [--write-block BYTES] [--seek-bytes N]\n"
-               "       [--fuse] [--ampl] [--placements] [--tree] [--run DIR] [--procs N]\n"
-               "       [--async] [--threads N] [--cache-mb N] [--stats-json FILE]\n"
-               "       [--trace FILE] [--metrics-json FILE] [--version]\n",
+               "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa|portfolio]\n"
+               "       [--restarts N] [--solver-threads N] [--seed N] [--no-prune]\n"
+               "       [--no-delta] [--binary-eq] [--read-block BYTES] [--write-block BYTES]\n"
+               "       [--seek-bytes N] [--fuse] [--ampl] [--placements] [--tree]\n"
+               "       [--run DIR] [--procs N] [--async] [--threads N] [--cache-mb N]\n"
+               "       [--stats-json FILE] [--trace FILE] [--metrics-json FILE] [--version]\n",
                argv0);
   std::exit(1);
 }
@@ -119,6 +139,18 @@ Args parse_args(int argc, char** argv) {
       args.options.memory_limit_bytes = parse_bytes(need_value(i));
     } else if (std::strcmp(a, "--solver") == 0) {
       args.solver = need_value(i);
+    } else if (std::strcmp(a, "--restarts") == 0) {
+      args.restarts = std::atoi(need_value(i));
+      if (args.restarts < 1) usage(argv[0]);
+    } else if (std::strcmp(a, "--solver-threads") == 0) {
+      args.solver_threads = std::atoi(need_value(i));
+      if (args.solver_threads < 0) usage(argv[0]);
+    } else if (std::strcmp(a, "--no-prune") == 0) {
+      args.options.prune_dominated = false;
+    } else if (std::strcmp(a, "--no-delta") == 0) {
+      args.use_delta = false;
+    } else if (std::strcmp(a, "--binary-eq") == 0) {
+      args.options.add_binary_equalities = true;
     } else if (std::strcmp(a, "--seed") == 0) {
       args.seed = static_cast<std::uint64_t>(std::stoull(need_value(i)));
     } else if (std::strcmp(a, "--read-block") == 0) {
@@ -191,15 +223,25 @@ int run(const Args& args) {
 
   solver::DlmOptions dlm_options;
   dlm_options.seed = args.seed;
+  dlm_options.use_delta = args.use_delta;
   solver::DlmSolver dlm(dlm_options);
   solver::CsaOptions csa_options;
   csa_options.seed = args.seed;
+  csa_options.use_delta = args.use_delta;
   solver::CsaSolver csa(csa_options);
+  solver::PortfolioOptions portfolio_options;
+  portfolio_options.seed = args.seed;
+  portfolio_options.restarts = args.restarts;
+  portfolio_options.threads = args.solver_threads;
+  portfolio_options.use_delta = args.use_delta;
+  solver::PortfolioSolver portfolio(portfolio_options);
   solver::Solver* engine = nullptr;
   if (args.solver == "dlm") {
     engine = &dlm;
   } else if (args.solver == "csa") {
     engine = &csa;
+  } else if (args.solver == "portfolio") {
+    engine = &portfolio;
   } else {
     std::fprintf(stderr, "unknown solver '%s'\n", args.solver.c_str());
     return 1;
@@ -392,12 +434,25 @@ int run(const Args& args) {
                  "    \"predicted_flops\": %.0f,\n"
                  "    \"predicted_serial_seconds\": %.6f,\n"
                  "    \"predicted_overlapped_seconds\": %.6f,\n"
-                 "    \"codegen_seconds\": %.6f\n"
+                 "    \"codegen_seconds\": %.6f,\n"
+                 "    \"feasible\": %s,\n"
+                 "    \"pruned_options\": %d,\n"
+                 "    \"solver_evaluations\": %lld,\n"
+                 "    \"solver_delta_evaluations\": %lld,\n"
+                 "    \"solver_full_evaluations\": %lld,\n"
+                 "    \"solver_workers\": %lld,\n"
+                 "    \"solver_rounds\": %lld\n"
                  "  }",
                  result.predicted_disk_bytes, result.predicted_io_calls,
                  result.predicted_io.read_bytes, result.predicted_io.write_bytes,
                  result.memory_bytes, predicted_flops, predicted_serial, predicted_overlap,
-                 result.codegen_seconds);
+                 result.codegen_seconds, result.solution.feasible ? "true" : "false",
+                 result.pruned_options,
+                 static_cast<long long>(result.solution.stats.evaluations),
+                 static_cast<long long>(result.solution.stats.delta_evaluations),
+                 static_cast<long long>(result.solution.stats.full_evaluations),
+                 static_cast<long long>(result.solution.stats.workers),
+                 static_cast<long long>(result.solution.stats.rounds));
     if (cache_prediction.has_value()) {
       const core::CachePrediction& c = *cache_prediction;
       std::fprintf(out,
