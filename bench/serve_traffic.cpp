@@ -1,0 +1,448 @@
+// serve_traffic — replay bench and client driver for the oocsd serving
+// layer (docs/SERVING.md).
+//
+// In-process mode (default) drives a serve::Engine with a Zipf-skewed
+// mix of the paper's example programs plus DSL-perturbed variants, and
+// gates the serving-layer claims:
+//
+//   identity    a cache-miss plan is byte-identical to the single-shot
+//               oocsc pipeline for the same request
+//   hit_p99     exact-hit p99 latency is ≥10× below the cold-solve p50
+//   throughput  warm-cache request throughput is ≥10× the cold rate
+//   hit_rate    the skewed mix hits the cache most of the time
+//   near_hit    a warm-started variant's plan is never worse than the
+//               same request solved cold
+//
+//   serve_traffic [--requests N] [--unique N] [--threads N] [--json FILE]
+//
+// Client mode (--connect PORT) replays the same mix against a running
+// oocsd over TCP — the CI daemon smoke:
+//
+//   serve_traffic --connect PORT [--requests N] [--shutdown]
+//
+// checks every response line, prints the daemon's stats, optionally
+// sends the shutdown command, and exits nonzero unless every request
+// succeeded and the cache served at least one exact hit.
+//
+// Exit status: 0 when every gate (or client check) passes, 1 otherwise.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "ir/examples.hpp"
+#include "obs/json.hpp"
+#include "serve/engine.hpp"
+#include "serve/json.hpp"
+#include "serve/request.hpp"
+
+namespace {
+
+using namespace oocs;
+
+// ---------------------------------------------------------------------
+// Workload: unique synthesis requests over perturbed example programs.
+
+serve::SynthesisRequest base_request(std::string id, std::string dsl) {
+  serve::SynthesisRequest request;
+  request.id = std::move(id);
+  request.dsl = std::move(dsl);
+  request.options.memory_limit_bytes = 8 * 1024;
+  request.options.min_read_block_bytes = 0;
+  request.options.enforce_block_constraints = false;
+  return request;
+}
+
+/// `count` unique requests: scaled two-index transforms (most of the
+/// population) and small four-index transforms, extents perturbed per
+/// rank so every fingerprint differs.
+std::vector<serve::SynthesisRequest> make_population(int count) {
+  std::vector<serve::SynthesisRequest> population;
+  population.reserve(static_cast<std::size_t>(count));
+  for (int r = 0; r < count; ++r) {
+    if (r % 4 == 3) {
+      const std::int64_t n = 12 + 2 * (r / 4);
+      population.push_back(base_request("four_" + std::to_string(r),
+                                        ir::examples::four_index_dsl(n, n - 4)));
+    } else {
+      const std::int64_t ni = 48 + 8 * r;
+      const std::int64_t nj = 40 + 4 * (r % 5);
+      population.push_back(base_request(
+          "two_" + std::to_string(r),
+          ir::examples::two_index_dsl(ni, nj, 36 + 2 * r, 32 + 3 * (r % 3))));
+    }
+  }
+  return population;
+}
+
+/// Zipf(s = 1.1) rank sampler over [0, n): rank k has probability
+/// ∝ 1/(k+1)^1.1 — the head of the population dominates the traffic,
+/// the realistic shape for repeated synthesis requests.
+class Zipf {
+ public:
+  Zipf(int n, Rng& rng) : rng_(rng) {
+    cumulative_.reserve(static_cast<std::size_t>(n));
+    double total = 0;
+    for (int k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), 1.1);
+      cumulative_.push_back(total);
+    }
+  }
+
+  int next() {
+    const double u = rng_.next_double() * cumulative_.back();
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int>(it - cumulative_.begin());
+  }
+
+ private:
+  Rng& rng_;
+  std::vector<double> cumulative_;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Gate {
+  const char* name;
+  bool pass;
+  std::string detail;
+};
+
+// ---------------------------------------------------------------------
+// In-process bench.
+
+int run_bench(int argc, char** argv) {
+  const std::string json_file = bench::flag_value(argc, argv, "--json");
+  const std::string requests_flag = bench::flag_value(argc, argv, "--requests");
+  const std::string unique_flag = bench::flag_value(argc, argv, "--unique");
+  const std::string threads_flag = bench::flag_value(argc, argv, "--threads");
+  const int num_requests = requests_flag.empty() ? 200 : std::stoi(requests_flag);
+  const int num_unique = unique_flag.empty() ? 12 : std::stoi(unique_flag);
+
+  serve::ServeOptions serve_options;
+  if (!threads_flag.empty()) serve_options.threads = std::stoi(threads_flag);
+  // The bench pipelines the whole mix at once; admission control is
+  // exercised by the daemon tests, not here.
+  serve_options.max_queue = std::max(64, num_requests);
+
+  std::vector<serve::SynthesisRequest> population = make_population(num_unique);
+
+  // -- Cold phase: every unique request solved with the cache off, the
+  // baseline for latency, throughput, and the identity / near gates.
+  std::printf("cold phase: %d unique requests, cache off\n", num_unique);
+  std::vector<double> cold_latency;
+  std::vector<std::string> cold_plans;
+  std::vector<double> cold_disk_bytes;
+  serve::ServeOptions cold_options = serve_options;
+  cold_options.enable_cache = false;
+  const double cold_start = now_seconds();
+  {
+    serve::Engine cold_engine(cold_options);
+    for (const serve::SynthesisRequest& request : population) {
+      const double t0 = now_seconds();
+      const serve::Response response = cold_engine.handle_now(request);
+      cold_latency.push_back(now_seconds() - t0);
+      if (response.status != serve::Response::Status::Ok) {
+        std::fprintf(stderr, "cold solve failed for %s: %s\n", request.id.c_str(),
+                     response.error.c_str());
+        return 1;
+      }
+      cold_plans.push_back(response.plan_text);
+      cold_disk_bytes.push_back(response.predicted_disk_bytes);
+    }
+  }
+  const double cold_seconds = now_seconds() - cold_start;
+  const double cold_p50 = percentile(cold_latency, 0.50);
+  const double cold_p99 = percentile(cold_latency, 0.99);
+  const double cold_rate = static_cast<double>(num_unique) / cold_seconds;
+  std::printf("  p50 %.2f ms, p99 %.2f ms, %.1f req/s\n", cold_p50 * 1e3, cold_p99 * 1e3,
+              cold_rate);
+
+  // -- Identity gate: the engine's miss path vs the single-shot oocsc
+  // pipeline (serve::solve_request), byte-for-byte.
+  std::vector<Gate> gates;
+  {
+    const core::SynthesisResult single = serve::solve_request(population.front());
+    const bool identical = core::to_text(single.plan) == cold_plans.front();
+    gates.push_back({"identity", identical,
+                     identical ? "miss plan == single-shot plan"
+                               : "miss plan differs from single-shot plan"});
+  }
+
+  // -- Warm phase: prime the cache once per unique request, then replay
+  // the Zipf mix through the batching engine.
+  std::printf("warm phase: %d Zipf-skewed requests over %d unique, cache on\n",
+              num_requests, num_unique);
+  serve::Engine engine(serve_options);
+  for (const serve::SynthesisRequest& request : population) {
+    const serve::Response response = engine.handle_now(request);
+    if (response.status != serve::Response::Status::Ok) {
+      std::fprintf(stderr, "prime failed for %s: %s\n", request.id.c_str(),
+                   response.error.c_str());
+      return 1;
+    }
+  }
+
+  Rng rng(42);
+  Zipf zipf(num_unique, rng);
+  std::vector<int> draws;
+  draws.reserve(static_cast<std::size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) draws.push_back(zipf.next());
+
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(draws.size());
+  const double warm_start = now_seconds();
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    serve::SynthesisRequest request = population[static_cast<std::size_t>(draws[i])];
+    request.id += "#" + std::to_string(i);
+    futures.push_back(engine.submit(std::move(request)));
+  }
+  int hits = 0;
+  int near_hits = 0;
+  int misses = 0;
+  std::vector<double> hit_latency;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::Response response = futures[i].get();
+    if (response.status != serve::Response::Status::Ok) {
+      std::fprintf(stderr, "warm request %zu failed: %s\n", i, response.error.c_str());
+      return 1;
+    }
+    if (response.cache_outcome == "hit") {
+      ++hits;
+      hit_latency.push_back(response.service_seconds);
+    } else if (response.cache_outcome == "near_hit") {
+      ++near_hits;
+    } else {
+      ++misses;
+    }
+  }
+  const double warm_seconds = now_seconds() - warm_start;
+  const double warm_rate = static_cast<double>(num_requests) / warm_seconds;
+  const double hit_rate = static_cast<double>(hits) / static_cast<double>(num_requests);
+  const double hit_p50 = percentile(hit_latency, 0.50);
+  const double hit_p99 = percentile(hit_latency, 0.99);
+  std::printf("  hit %.0f%% (%d hit / %d near / %d miss), hit p50 %.3f ms p99 %.3f ms, "
+              "%.0f req/s\n",
+              100 * hit_rate, hits, near_hits, misses, hit_p50 * 1e3, hit_p99 * 1e3,
+              warm_rate);
+
+  // -- Near-hit phase: extent-scaled variants of primed programs; each
+  // must come back warm-started and no worse than its own cold solve.
+  std::printf("near-hit phase: extent-scaled variants of primed programs\n");
+  int near_outcomes = 0;
+  bool near_never_worse = true;
+  serve::Engine cold_reference(cold_options);
+  const int num_variants = std::max(2, num_unique / 4);
+  for (int r = 0; r < num_variants; ++r) {
+    const int base = 3 * (r % std::max(1, num_unique / 3));
+    serve::SynthesisRequest variant = population[static_cast<std::size_t>(base)];
+    variant.id = "variant_" + std::to_string(r);
+    // Double the memory budget: same shape, different digest.
+    variant.options.memory_limit_bytes *= 2;
+    const serve::Response warm = engine.handle_now(variant);
+    const serve::Response cold = cold_reference.handle_now(variant);
+    if (warm.status != serve::Response::Status::Ok ||
+        cold.status != serve::Response::Status::Ok) {
+      std::fprintf(stderr, "variant %d failed\n", r);
+      return 1;
+    }
+    if (warm.cache_outcome == "near_hit") ++near_outcomes;
+    if (warm.predicted_disk_bytes > cold.predicted_disk_bytes) {
+      near_never_worse = false;
+      std::fprintf(stderr, "  variant %d: warm %.0f bytes WORSE than cold %.0f\n", r,
+                   warm.predicted_disk_bytes, cold.predicted_disk_bytes);
+    }
+    std::printf("  variant %d: %s, warm %.0f vs cold %.0f disk bytes\n", r,
+                warm.cache_outcome.c_str(), warm.predicted_disk_bytes,
+                cold.predicted_disk_bytes);
+  }
+
+  // -- Gates.
+  {
+    const bool pass = hit_p99 > 0 && hit_p99 * 10 <= cold_p50;
+    gates.push_back({"hit_p99", pass,
+                     "hit p99 " + obs::json_number(hit_p99 * 1e3, 3) + " ms vs cold p50 " +
+                         obs::json_number(cold_p50 * 1e3, 3) + " ms"});
+  }
+  {
+    const bool pass = warm_rate >= 10 * cold_rate;
+    gates.push_back({"throughput", pass,
+                     "warm " + obs::json_number(warm_rate, 1) + " req/s vs cold " +
+                         obs::json_number(cold_rate, 1) + " req/s"});
+  }
+  {
+    const bool pass = hit_rate >= 0.5;
+    gates.push_back({"hit_rate", pass, obs::json_number(100 * hit_rate, 1) + "% exact hits"});
+  }
+  {
+    const bool pass = near_outcomes > 0 && near_never_worse;
+    gates.push_back({"near_hit", pass,
+                     std::to_string(near_outcomes) + "/" + std::to_string(num_variants) +
+                         " warm-started, never worse: " +
+                         (near_never_worse ? "yes" : "NO")});
+  }
+
+  bool all_pass = true;
+  bench::rule();
+  for (const Gate& gate : gates) {
+    std::printf("gate %-11s %s  (%s)\n", gate.name, gate.pass ? "PASS" : "FAIL",
+                gate.detail.c_str());
+    all_pass = all_pass && gate.pass;
+  }
+
+  if (!json_file.empty()) {
+    std::ofstream os(json_file);
+    if (!os) {
+      std::fprintf(stderr, "serve_traffic: cannot write '%s'\n", json_file.c_str());
+      return 1;
+    }
+    os << "{\n  \"bench\": \"serve_traffic\",\n";
+    os << "  \"unique_requests\": " << num_unique << ",\n";
+    os << "  \"traffic_requests\": " << num_requests << ",\n";
+    os << "  \"cold\": {\"p50_seconds\": " << obs::json_number(cold_p50)
+       << ", \"p99_seconds\": " << obs::json_number(cold_p99)
+       << ", \"requests_per_second\": " << obs::json_number(cold_rate, 2) << "},\n";
+    os << "  \"warm\": {\"hit_p50_seconds\": " << obs::json_number(hit_p50)
+       << ", \"hit_p99_seconds\": " << obs::json_number(hit_p99)
+       << ", \"requests_per_second\": " << obs::json_number(warm_rate, 2)
+       << ", \"hit_rate\": " << obs::json_number(hit_rate, 4) << ", \"hits\": " << hits
+       << ", \"near_hits\": " << near_hits << ", \"misses\": " << misses << "},\n";
+    os << "  \"gates\": {";
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << '"' << gates[i].name << "\": "
+         << (gates[i].pass ? "true" : "false");
+    }
+    os << "},\n  \"pass\": " << (all_pass ? "true" : "false") << "\n}\n";
+    std::printf("wrote %s\n", json_file.c_str());
+  }
+  return all_pass ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// Client mode: replay against a live oocsd over TCP (the CI smoke).
+
+int run_client(int argc, char** argv) {
+  const int port = std::stoi(bench::flag_value(argc, argv, "--connect"));
+  const std::string requests_flag = bench::flag_value(argc, argv, "--requests");
+  const int num_requests = requests_flag.empty() ? 50 : std::stoi(requests_flag);
+  const bool send_shutdown = bench::has_flag(argc, argv, "--shutdown");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+
+  // Pipeline the whole mix, then read responses in order.
+  std::vector<serve::SynthesisRequest> population = make_population(8);
+  Rng rng(7);
+  Zipf zipf(static_cast<int>(population.size()), rng);
+  std::string outgoing;
+  for (int i = 0; i < num_requests; ++i) {
+    serve::SynthesisRequest request = population[static_cast<std::size_t>(zipf.next())];
+    request.id += "#" + std::to_string(i);
+    outgoing += serve::request_to_json(request);
+    outgoing += '\n';
+  }
+  outgoing += "{\"cmd\": \"stats\"}\n";
+  if (send_shutdown) outgoing += "{\"cmd\": \"shutdown\"}\n";
+  std::size_t sent = 0;
+  while (sent < outgoing.size()) {
+    const ssize_t n = ::send(fd, outgoing.data() + sent, outgoing.size() - sent, 0);
+    if (n <= 0) {
+      std::perror("send");
+      ::close(fd);
+      return 1;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  std::vector<std::string> lines;
+  const int expected = num_requests + 1 + (send_shutdown ? 1 : 0);
+  char chunk[65536];
+  while (static_cast<int>(lines.size()) < expected) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', pos);
+      if (nl == std::string::npos) break;
+      lines.push_back(buffer.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    buffer.erase(0, pos);
+  }
+  ::close(fd);
+
+  if (static_cast<int>(lines.size()) < expected) {
+    std::fprintf(stderr, "client: got %zu/%d response lines\n", lines.size(), expected);
+    return 1;
+  }
+  int ok = 0;
+  int hits = 0;
+  int near_hits = 0;
+  for (int i = 0; i < num_requests; ++i) {
+    const serve::JsonValue v = serve::json_parse(lines[static_cast<std::size_t>(i)]);
+    if (v.get_string("status") == "ok") ++ok;
+    const std::string outcome = v.get_string("cache");
+    if (outcome == "hit") ++hits;
+    if (outcome == "near_hit") ++near_hits;
+  }
+  std::printf("client: %d/%d ok, %d exact hits, %d near hits\n", ok, num_requests, hits,
+              near_hits);
+  std::printf("client: daemon stats %s\n", lines[static_cast<std::size_t>(num_requests)].c_str());
+  if (send_shutdown) {
+    const serve::JsonValue ack = serve::json_parse(lines.back());
+    if (!ack.get_bool("shutdown", false)) {
+      std::fprintf(stderr, "client: shutdown not acknowledged\n");
+      return 1;
+    }
+    std::printf("client: shutdown acknowledged\n");
+  }
+  return (ok == num_requests && hits > 0) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (!bench::flag_value(argc, argv, "--connect").empty()) return run_client(argc, argv);
+    return run_bench(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_traffic: %s\n", e.what());
+    return 1;
+  }
+}

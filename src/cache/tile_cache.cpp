@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "obs/clock.hpp"
 #include "obs/trace.hpp"
 
@@ -179,12 +180,16 @@ TileCache::Key TileCache::make_key(const DiskArray& array, const Section& sectio
 }
 
 TileCache::Shard& TileCache::shard_for(const Key& key) {
-  std::size_t h = std::hash<const void*>{}(key.array);
+  // Keyed on the array *name*, never its address: pointer hashing made
+  // shard assignment (and the per-shard counters keyed on it) vary
+  // run-to-run under ASLR.  Same streaming hasher as ir::fingerprint.
+  Fnv1a h;
+  h.feed(key.array->name());
   for (const auto& [lo, hi] : key.dims) {
-    h = h * 1315423911u ^ std::hash<std::int64_t>{}(lo);
-    h = h * 1315423911u ^ std::hash<std::int64_t>{}(hi);
+    h.feed(lo);
+    h.feed(hi);
   }
-  return *shards_[h % shards_.size()];
+  return *shards_[h.digest() % shards_.size()];
 }
 
 void TileCache::write_back_run(std::vector<Entry*>& run) {

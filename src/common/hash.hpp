@@ -1,0 +1,57 @@
+// Deterministic structural hashing.
+//
+// One streaming FNV-1a 64-bit hasher shared by every component that
+// needs a run-to-run-stable digest: ir::fingerprint (the serve-layer
+// plan-cache key) and the tile cache's shard assignment.  Nothing here
+// may depend on pointer values or any other per-process state — digests
+// must be identical across processes, runs and ASLR layouts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace oocs {
+
+/// Streaming FNV-1a over bytes with typed convenience feeds.  The
+/// digest is a pure function of the fed byte sequence.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  constexpr Fnv1a() = default;
+  constexpr explicit Fnv1a(std::uint64_t state) : state_(state) {}
+
+  constexpr Fnv1a& feed_byte(std::uint8_t b) noexcept {
+    state_ = (state_ ^ b) * kPrime;
+    return *this;
+  }
+
+  constexpr Fnv1a& feed(std::string_view text) noexcept {
+    for (const char c : text) feed_byte(static_cast<std::uint8_t>(c));
+    // Length terminator: "ab" + "c" and "a" + "bc" must differ.
+    return feed_byte(0);
+  }
+
+  constexpr Fnv1a& feed(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) feed_byte(static_cast<std::uint8_t>(value >> (8 * i)));
+    return *this;
+  }
+
+  constexpr Fnv1a& feed(std::int64_t value) noexcept {
+    return feed(static_cast<std::uint64_t>(value));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+/// Mixes `value` into `seed` (boost::hash_combine shape, 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace oocs

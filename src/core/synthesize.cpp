@@ -8,9 +8,51 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/ampl.hpp"
+#include "solver/compiled_problem.hpp"
 #include "solver/dlm.hpp"
 
 namespace oocs::core {
+
+namespace {
+
+/// True when `d` binds every tile variable and placement group of
+/// `enumeration` (an injected warm start from a structurally equivalent
+/// program; anything else is silently ignored).
+bool covers_enumeration(const Decisions& d, const Enumeration& enumeration) {
+  if (d.option_index.size() != enumeration.groups.size()) return false;
+  for (std::size_t g = 0; g < enumeration.groups.size(); ++g) {
+    const int code = d.option_index[g];
+    if (code < 0 || code >= enumeration.groups[g].num_options()) return false;
+  }
+  for (const std::string& index : enumeration.loop_indices) {
+    const auto it = d.tile_sizes.find(index);
+    if (it == d.tile_sizes.end() || it->second < 1) return false;
+  }
+  return true;
+}
+
+/// Slot-ordered point for `d` on the compiled NLP (λ bits from the
+/// group codes, LSB first — the same encoding decode() inverts).
+std::vector<double> point_of(const solver::CompiledProblem& cp, const NlpModel& model,
+                             const Enumeration& enumeration, const Decisions& d) {
+  std::vector<double> x = cp.initial_point();
+  for (const std::string& index : enumeration.loop_indices) {
+    const int slot = cp.slot_of(tile_var(index));
+    x[static_cast<std::size_t>(slot)] =
+        cp.clamp(slot, static_cast<double>(d.tile_sizes.at(index)));
+  }
+  for (std::size_t g = 0; g < model.group_lambdas.size(); ++g) {
+    const int code = d.option_index[g];
+    const auto& lambdas = model.group_lambdas[g];
+    for (std::size_t b = 0; b < lambdas.size(); ++b) {
+      x[static_cast<std::size_t>(cp.slot_of(lambdas[b]))] =
+          static_cast<double>((code >> b) & 1);
+    }
+  }
+  return x;
+}
+
+}  // namespace
 
 std::string SynthesisResult::decisions_to_text() const {
   std::ostringstream os;
@@ -24,7 +66,7 @@ std::string SynthesisResult::decisions_to_text() const {
 }
 
 SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& options,
-                           solver::Solver& solver) {
+                           solver::Solver& solver, const Decisions* warm_start) {
   Stopwatch timer;
   OOCS_SPAN("synth", "synthesize");
   const trans::TiledProgram tiled(program);
@@ -45,16 +87,42 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
   // Warm start: a coarse greedy sweep seeds the solver in a good basin;
   // the solver's incumbent can only improve on it.
   std::optional<double> greedy_cost;
-  if (const auto warm = [&]() {
-        OOCS_SPAN("synth", "greedy_warm_start");
-        return greedy_warm_start(program, enumeration, options);
-      }()) {
-    greedy_cost = warm->cost;
-    for (const auto& [index, tile] : warm->decisions.tile_sizes) {
-      model.problem.set_initial(tile_var(index), tile);
+  const auto greedy = [&]() {
+    OOCS_SPAN("synth", "greedy_warm_start");
+    return greedy_warm_start(program, enumeration, options);
+  }();
+  if (greedy.has_value()) greedy_cost = greedy->cost;
+
+  // An injected warm start (the plan cache's near-hit path) competes
+  // with the greedy point on the compiled NLP; the solver is seeded
+  // from whichever is better, so injection can only improve the seed.
+  // Without injection this block is dead and the pipeline is untouched.
+  const Decisions* seed = greedy.has_value() ? &greedy->decisions : nullptr;
+  std::optional<double> warm_cost;
+  bool warm_used = false;
+  if (warm_start != nullptr && covers_enumeration(*warm_start, enumeration)) {
+    OOCS_SPAN("synth", "warm_start_eval");
+    const solver::CompiledProblem cp(model.problem);
+    const std::vector<double> wx = point_of(cp, model, enumeration, *warm_start);
+    if (cp.max_violation(wx) <= 1e-9) {
+      warm_cost = cp.objective(wx);
+      bool beats_greedy = true;
+      if (seed != nullptr) {
+        const std::vector<double> gx = point_of(cp, model, enumeration, *seed);
+        beats_greedy = cp.max_violation(gx) > 1e-9 || *warm_cost < cp.objective(gx);
+      }
+      if (beats_greedy) {
+        seed = warm_start;
+        warm_used = true;
+      }
+    }
+  }
+  if (seed != nullptr) {
+    for (const std::string& index : enumeration.loop_indices) {
+      model.problem.set_initial(tile_var(index), seed->tile_sizes.at(index));
     }
     for (std::size_t g = 0; g < model.group_lambdas.size(); ++g) {
-      const int code = warm->decisions.option_index[g];
+      const int code = seed->option_index[g];
       const auto& lambdas = model.group_lambdas[g];
       for (std::size_t b = 0; b < lambdas.size(); ++b) {
         model.problem.set_initial(lambdas[b], (code >> b) & 1);
@@ -94,6 +162,8 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
   result.codegen_seconds = timer.seconds();
   result.pruned_options = pruned;
   result.greedy_cost = greedy_cost;
+  result.warm_cost = warm_cost;
+  result.warm_start_used = warm_used;
   {
     auto& m = obs::metrics();
     m.counter("solver.evaluations").add(result.solution.stats.evaluations);

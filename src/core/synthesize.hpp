@@ -43,6 +43,12 @@ struct SynthesisResult {
   /// (unset when the greedy sweep found nothing feasible).  A correct
   /// solver's feasible incumbent is never worse than this.
   std::optional<double> greedy_cost;
+  /// §4.2 objective of an injected warm-start point (set only when a
+  /// caller passed one and it mapped onto this program's variables).
+  std::optional<double> warm_cost;
+  /// True when the injected warm start beat the greedy sweep and seeded
+  /// the solver (the plan-cache near-hit path).
+  bool warm_start_used = false;
 
   /// Chosen option labels per group, e.g. "A: read above nT".
   [[nodiscard]] std::string decisions_to_text() const;
@@ -50,9 +56,19 @@ struct SynthesisResult {
 
 /// Runs the full pipeline.  Throws InfeasibleError when no placement /
 /// tiling combination satisfies the limits.
+///
+/// `warm_start` (optional) injects an externally known good point — the
+/// plan cache's near-hit path hands in the decisions of a structurally
+/// equivalent cached plan.  The injected point competes with the greedy
+/// sweep: both are evaluated on the compiled NLP and the solver is
+/// seeded from whichever is better (feasible first, then objective), so
+/// a warm start can only improve on the cold greedy seeding.  With
+/// `warm_start == nullptr` the pipeline is bit-identical to the
+/// single-shot path.
 [[nodiscard]] SynthesisResult synthesize(const ir::Program& program,
                                          const SynthesisOptions& options,
-                                         solver::Solver& solver);
+                                         solver::Solver& solver,
+                                         const Decisions* warm_start = nullptr);
 
 /// Convenience: synthesize with a default-configured DLM solver (the
 /// paper's DCS role).

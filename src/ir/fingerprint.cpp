@@ -1,0 +1,173 @@
+#include "ir/fingerprint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace oocs::ir {
+
+namespace {
+
+/// Assigns canonical ids ("i0", "a1", ...) in first-appearance order.
+class Renamer {
+ public:
+  explicit Renamer(char prefix) : prefix_(prefix) {}
+
+  /// Canonical id of `name`, assigning the next one on first sight.
+  const std::string& id(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(name);
+    if (inserted) {
+      it->second = prefix_ + std::to_string(order_.size());
+      order_.push_back(name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool seen(const std::string& name) const { return ids_.count(name) != 0; }
+  [[nodiscard]] const std::vector<std::string>& order() const noexcept { return order_; }
+
+ private:
+  char prefix_;
+  std::map<std::string, std::string> ids_;
+  std::vector<std::string> order_;  // actual names, canonical order
+};
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const Program& program) : program_(program) {}
+
+  std::string serialize() {
+    os_ << "oocs-fingerprint-v" << Fingerprint::kVersion << '\n';
+    for (const auto& root : program_.roots()) walk(*root, 0);
+    // Degenerate leftovers (ranges or arrays never referenced by the
+    // tree) are appended in name order — the only order available.
+    for (const auto& [index, extent] : program_.ranges()) {
+      (void)extent;
+      if (!indices_.seen(index)) os_ << "unused-range " << indices_.id(index) << '\n';
+    }
+    for (const auto& [name, decl] : program_.arrays()) {
+      (void)decl;
+      if (!arrays_.seen(name)) declare(name);
+    }
+    return os_.str();
+  }
+
+  [[nodiscard]] const Renamer& indices() const noexcept { return indices_; }
+
+ private:
+  void declare(const std::string& name) {
+    const ArrayDecl& decl = program_.array(name);
+    os_ << "decl " << arrays_.id(name) << ' ' << to_string(decl.kind) << '(';
+    for (std::size_t d = 0; d < decl.indices.size(); ++d) {
+      if (d != 0) os_ << ',';
+      os_ << indices_.id(decl.indices[d]);
+    }
+    os_ << ")\n";
+  }
+
+  void ref(const ArrayRef& r) {
+    if (!arrays_.seen(r.array)) declare(r.array);
+    os_ << arrays_.id(r.array) << '[';
+    for (std::size_t d = 0; d < r.indices.size(); ++d) {
+      if (d != 0) os_ << ',';
+      os_ << indices_.id(r.indices[d]);
+    }
+    os_ << ']';
+  }
+
+  void walk(const Node& node, int depth) {
+    if (node.kind == Node::Kind::Loop) {
+      os_ << "for " << indices_.id(node.index) << " {\n";
+      for (const auto& child : node.children) walk(*child, depth + 1);
+      os_ << "}\n";
+      return;
+    }
+    const Stmt& stmt = node.stmt;
+    ref(stmt.target);
+    if (stmt.kind == StmtKind::Init) {
+      os_ << " = 0\n";
+      return;
+    }
+    os_ << " += ";
+    if (stmt.lhs.has_value()) ref(*stmt.lhs);
+    if (stmt.rhs.has_value()) {
+      os_ << " * ";
+      ref(*stmt.rhs);
+    }
+    os_ << '\n';
+  }
+
+  const Program& program_;
+  Renamer indices_{'i'};
+  Renamer arrays_{'a'};
+  std::ostringstream os_;
+};
+
+bool equal_nodes(const Node& a, const Node& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Node::Kind::Loop) {
+    if (a.index != b.index || a.children.size() != b.children.size()) return false;
+    for (std::size_t c = 0; c < a.children.size(); ++c) {
+      if (!equal_nodes(*a.children[c], *b.children[c])) return false;
+    }
+    return true;
+  }
+  const Stmt& sa = a.stmt;
+  const Stmt& sb = b.stmt;
+  return sa.kind == sb.kind && sa.target == sb.target && sa.lhs == sb.lhs && sa.rhs == sb.rhs;
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  char buf[2 * 16 + 2];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+Fingerprint fingerprint(const Program& program, std::int64_t memory_budget_bytes) {
+  OOCS_REQUIRE(program.finalized(), "fingerprint requires a finalized program");
+  Canonicalizer canon(program);
+  Fingerprint fp;
+  fp.canonical_text = canon.serialize();
+  fp.memory_budget_bytes = memory_budget_bytes;
+  fp.index_order = canon.indices().order();
+  fp.extents.reserve(fp.index_order.size());
+  for (const std::string& index : fp.index_order) fp.extents.push_back(program.range(index));
+
+  Fnv1a h;
+  h.feed(Fingerprint::kVersion);
+  h.feed(fp.canonical_text);
+  fp.shape = h.digest();
+  // The exact digest extends the shape hash with the extents (in
+  // canonical index order, so spelling stays irrelevant) and budget.
+  for (const std::int64_t extent : fp.extents) h.feed(extent);
+  h.feed(memory_budget_bytes);
+  fp.digest = h.digest();
+  return fp;
+}
+
+bool structurally_equal(const Program& a, const Program& b) {
+  if (a.ranges() != b.ranges()) return false;
+  const auto& arrays_a = a.arrays();
+  const auto& arrays_b = b.arrays();
+  if (arrays_a.size() != arrays_b.size()) return false;
+  for (auto ita = arrays_a.begin(), itb = arrays_b.begin(); ita != arrays_a.end();
+       ++ita, ++itb) {
+    if (ita->first != itb->first || ita->second.name != itb->second.name ||
+        ita->second.indices != itb->second.indices || ita->second.kind != itb->second.kind) {
+      return false;
+    }
+  }
+  if (a.roots().size() != b.roots().size()) return false;
+  for (std::size_t r = 0; r < a.roots().size(); ++r) {
+    if (!equal_nodes(*a.roots()[r], *b.roots()[r])) return false;
+  }
+  return true;
+}
+
+}  // namespace oocs::ir

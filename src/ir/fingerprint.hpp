@@ -1,0 +1,68 @@
+// Canonical structural fingerprints of abstract programs.
+//
+// The serve-layer plan cache keys on a deterministic digest of the
+// *structure* a synthesis request describes: the normalized loop nest,
+// the statement forms, the array shapes and kinds, the index ranges and
+// the memory budget.  Index and array names are alpha-renamed to
+// canonical ids in first-appearance order of a fixed pre-order
+// traversal, so two programs that differ only in spelling — including
+// any parse(to_dsl(p)) round trip — collide on the same digest.
+//
+// Two hashes are exposed per program:
+//   * `shape`  — extents and budget excluded.  Two programs share a
+//     shape iff they are the same loop nest over the same array
+//     structure; the plan cache's near-hit index buckets on it.
+//   * `digest` — shape plus the extent of every range (in canonical
+//     index order) and the memory budget.  Exact plan-cache key.
+//
+// Stability contract (docs/SERVING.md): digests are pure functions of
+// the canonical serialization defined here.  They are stable across
+// processes, runs, platforms and ASLR; they are NOT guaranteed stable
+// across repo versions that change the serialization — a persisted
+// cache must be invalidated on version bumps (Fingerprint::kVersion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace oocs::ir {
+
+struct Fingerprint {
+  /// Bumped whenever the canonical serialization changes meaning.
+  static constexpr std::uint64_t kVersion = 1;
+
+  /// Structure-only hash (no extents, no budget): the near-hit bucket.
+  std::uint64_t shape = 0;
+  /// Full hash: shape + extents + memory budget.  Exact cache key.
+  std::uint64_t digest = 0;
+  /// Memory budget the digest was computed with.
+  std::int64_t memory_budget_bytes = 0;
+  /// Actual index names in canonical (first-appearance) order; position
+  /// k holds the name canonicalized as "i<k>".  The plan cache uses it
+  /// to translate cached tile-size decisions onto an alpha-equivalent
+  /// program's spelling.
+  std::vector<std::string> index_order;
+  /// Extent of each index, aligned with index_order.
+  std::vector<std::int64_t> extents;
+  /// The canonical serialization the hashes are computed over (useful
+  /// for diagnostics and golden tests).
+  std::string canonical_text;
+
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Computes the canonical fingerprint of a finalized program under a
+/// memory budget.  Deterministic and alpha-rename invariant.
+[[nodiscard]] Fingerprint fingerprint(const Program& program,
+                                      std::int64_t memory_budget_bytes = 0);
+
+/// Deep structural equality of two programs: identical declarations,
+/// ranges and loop forests, names included (the parse(to_dsl(p))
+/// round-trip check).  Alpha-renamed programs are *not* equal under
+/// this predicate even though they share a fingerprint.
+[[nodiscard]] bool structurally_equal(const Program& a, const Program& b);
+
+}  // namespace oocs::ir

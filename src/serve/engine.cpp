@@ -1,0 +1,257 @@
+#include "serve/engine.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/plan.hpp"
+#include "ir/parser.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oocs::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+const char* status_name(Response::Status status) {
+  switch (status) {
+    case Response::Status::Ok: return "ok";
+    case Response::Status::Error: return "error";
+    case Response::Status::Rejected: return "rejected";
+  }
+  return "error";
+}
+
+}  // namespace
+
+std::string Response::to_json() const {
+  std::ostringstream os;
+  os << "{\"id\": " << obs::json_quote(id)
+     << ", \"status\": \"" << status_name(status) << '"';
+  if (status == Status::Ok) {
+    os << ", \"cache\": " << obs::json_quote(cache_outcome)
+       << ", \"fingerprint\": " << obs::json_quote(fingerprint_hex)
+       << ", \"feasible\": " << (feasible ? "true" : "false")
+       << ", \"disk_bytes\": " << obs::json_number(predicted_disk_bytes, 1)
+       << ", \"memory_bytes\": " << obs::json_number(memory_bytes, 1)
+       << ", \"codegen_seconds\": " << obs::json_number(codegen_seconds)
+       << ", \"warm_start_used\": " << (warm_start_used ? "true" : "false");
+    if (greedy_cost) os << ", \"greedy_cost\": " << obs::json_number(*greedy_cost, 1);
+    if (warm_cost) os << ", \"warm_cost\": " << obs::json_number(*warm_cost, 1);
+    os << ", \"decisions\": " << obs::json_quote(decisions_text)
+       << ", \"plan\": " << obs::json_quote(plan_text);
+  } else {
+    os << ", \"error\": " << obs::json_quote(error);
+  }
+  os << ", \"queue_wait_seconds\": " << obs::json_number(queue_wait_seconds)
+     << ", \"service_seconds\": " << obs::json_number(service_seconds) << "}";
+  return os.str();
+}
+
+Engine::Engine(ServeOptions options)
+    : options_(options),
+      cache_(options.cache),
+      pool_(ThreadPool::resolve_threads(options.threads)) {
+  options_.max_batch = std::max(1, options_.max_batch);
+  options_.max_queue = std::max(1, options_.max_queue);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Engine::~Engine() { stop(); }
+
+std::future<Response> Engine::submit(SynthesisRequest request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  bool stopping = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_ && static_cast<int>(queue_.size()) < options_.max_queue) {
+      queue_.push_back(Pending{std::move(request), std::move(promise),
+                               std::chrono::steady_clock::now()});
+      queue_cv_.notify_one();
+      return future;
+    }
+    stopping = stopping_;
+    ++rejected_;
+  }
+  obs::metrics().counter("serve.rejected").add();
+  Response response;
+  response.id = request.id;
+  response.status = Response::Status::Rejected;
+  response.error = stopping ? "engine is stopping" : "admission queue full";
+  promise.set_value(std::move(response));
+  return future;
+}
+
+Response Engine::handle_now(const SynthesisRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Response response = handle(request);
+  response.service_seconds = seconds_since(start);
+  return response;
+}
+
+void Engine::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void Engine::dispatcher_loop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      const int take = std::min<int>(options_.max_batch, static_cast<int>(queue_.size()));
+      batch.reserve(static_cast<std::size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    const auto serve_one = [this](Pending& pending) {
+      const auto start = std::chrono::steady_clock::now();
+      const double queue_wait =
+          std::chrono::duration<double>(start - pending.enqueued).count();
+      obs::metrics().histogram("serve.queue_wait_seconds").record_seconds(queue_wait);
+      Response response = handle(pending.request);
+      response.queue_wait_seconds = queue_wait;
+      response.service_seconds = seconds_since(start);
+      obs::metrics().histogram("serve.service_seconds").record_seconds(response.service_seconds);
+      pending.promise.set_value(std::move(response));
+    };
+
+    if (batch.size() == 1) {
+      serve_one(batch.front());
+    } else {
+      pool_.parallel_for(0, static_cast<std::int64_t>(batch.size()), 1,
+                         [&](std::int64_t begin, std::int64_t end) {
+                           for (std::int64_t i = begin; i < end; ++i) {
+                             serve_one(batch[static_cast<std::size_t>(i)]);
+                           }
+                         });
+    }
+  }
+}
+
+Response Engine::handle(const SynthesisRequest& request) {
+  OOCS_SPAN("serve", "request");
+  obs::metrics().counter("serve.requests").add();
+  Response response;
+  response.id = request.id;
+  try {
+    const ir::Program program = ir::parse(request.dsl);
+    const ir::Fingerprint fp =
+        ir::fingerprint(program, request.options.memory_limit_bytes);
+    response.fingerprint_hex = fp.hex();
+    response.shape = fp.shape;
+    const std::uint64_t key = hash_combine(fp.digest, request.config_digest());
+    const bool use_cache = options_.enable_cache && request.allow_cache;
+
+    if (use_cache) {
+      if (const CachedPlanPtr cached = cache_.find_exact(key)) {
+        OOCS_SPAN("serve", "hit");
+        obs::metrics().counter("serve.exact_hits").add();
+        response.cache_outcome = "hit";
+        response.feasible = cached->result.solution.feasible;
+        response.predicted_disk_bytes = cached->result.predicted_disk_bytes;
+        response.memory_bytes = cached->result.memory_bytes;
+        response.greedy_cost = cached->result.greedy_cost;
+        response.warm_cost = cached->result.warm_cost;
+        response.warm_start_used = cached->result.warm_start_used;
+        response.plan_text = cached->plan_text;
+        response.decisions_text = cached->decisions_text;
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++served_;
+        }
+        return response;
+      }
+    }
+
+    // Miss.  A same-shape neighbor (different extents or budget) warm
+    // starts the solver; translation failure silently falls back cold.
+    std::optional<core::Decisions> warm;
+    if (use_cache && request.allow_near) {
+      if (const CachedPlanPtr near = cache_.find_near(fp)) {
+        warm = PlanCache::translate_decisions(*near, fp, program);
+      }
+    }
+    response.cache_outcome = warm ? "near_hit" : "miss";
+    obs::metrics().counter(warm ? "serve.near_hits" : "serve.misses").add();
+
+    SynthesisRequest solo = request;
+    solo.solver_threads = 1;  // requests are the unit of parallelism
+    const std::unique_ptr<solver::Solver> engine = make_solver(solo);
+    core::SynthesisResult result = core::synthesize(
+        program, solo.options, *engine, warm ? &*warm : nullptr);
+
+    response.feasible = result.solution.feasible;
+    response.predicted_disk_bytes = result.predicted_disk_bytes;
+    response.memory_bytes = result.memory_bytes;
+    response.codegen_seconds = result.codegen_seconds;
+    response.greedy_cost = result.greedy_cost;
+    response.warm_cost = result.warm_cost;
+    response.warm_start_used = result.warm_start_used;
+    response.plan_text = core::to_text(result.plan);
+    response.decisions_text = result.decisions_to_text();
+
+    if (use_cache) {
+      auto cached = std::make_shared<CachedPlan>();
+      cached->fingerprint = fp;
+      cached->key = key;
+      cached->result = std::move(result);
+      cached->plan_text = response.plan_text;
+      cached->decisions_text = response.decisions_text;
+      cache_.insert(std::move(cached));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++served_;
+    }
+  } catch (const std::exception& e) {
+    obs::metrics().counter("serve.errors").add();
+    response.status = Response::Status::Error;
+    response.error = e.what();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++errors_;
+  }
+  return response;
+}
+
+std::string Engine::stats_json() const {
+  std::int64_t served = 0;
+  std::int64_t errors = 0;
+  std::int64_t rejected = 0;
+  std::int64_t queued = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    served = served_;
+    errors = errors_;
+    rejected = rejected_;
+    queued = static_cast<std::int64_t>(queue_.size());
+  }
+  const PlanCacheCounters cc = cache_.counters();
+  std::ostringstream os;
+  os << "{\"served\": " << served << ", \"errors\": " << errors
+     << ", \"rejected\": " << rejected << ", \"queued\": " << queued
+     << ", \"cache\": {\"entries\": " << cache_.entries()
+     << ", \"exact_hits\": " << cc.exact_hits << ", \"near_hits\": " << cc.near_hits
+     << ", \"misses\": " << cc.misses << ", \"insertions\": " << cc.insertions
+     << ", \"evictions\": " << cc.evictions << "}}";
+  return os.str();
+}
+
+}  // namespace oocs::serve

@@ -1,0 +1,140 @@
+// The synthesis request engine: admission queue → batch dispatch →
+// plan-cache lookup → (on miss) the single-shot synthesis pipeline.
+//
+// One Engine owns one oocs::ThreadPool and one PlanCache.  submit()
+// enqueues a request and returns a future; a dispatcher thread pops up
+// to `max_batch` queued requests at a time and fans them out over the
+// pool, so independent requests synthesize concurrently while each
+// individual solve stays single-threaded (the engine forces
+// solver_threads = 1 — whole requests are the unit of parallelism, and
+// the portfolio's inline path avoids nesting pools).
+//
+// Admission is bounded: when `max_queue` requests are already waiting,
+// submit() resolves immediately with Status::Rejected instead of
+// blocking the caller — the NDJSON protocol surfaces that as a
+// `"status": "rejected"` line and the client is expected to back off.
+//
+// Determinism: a cache-miss response is produced by exactly the code
+// path single-shot oocsc runs (same parse, same solver construction,
+// same seed), so its plan is bit-identical to the CLI's.  A near-hit
+// response seeds the solver from the better of {greedy, translated
+// cached decisions} and can therefore only improve on the cold plan.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/request.hpp"
+
+namespace oocs::serve {
+
+struct ServeOptions {
+  /// Pool width for concurrent requests (0 → OOCS_THREADS, else 1).
+  int threads = 0;
+  /// Max requests dispatched as one pool batch.
+  int max_batch = 8;
+  /// Admission bound: queued-but-undispatched requests beyond this are
+  /// rejected with backpressure.
+  int max_queue = 64;
+  /// Plan-cache sizing.
+  PlanCacheOptions cache;
+  /// Master switch; off = every request is a cold miss (bench baseline).
+  bool enable_cache = true;
+};
+
+struct Response {
+  enum class Status { Ok, Error, Rejected };
+
+  std::string id;
+  Status status = Status::Ok;
+  std::string error;
+  /// "hit" | "near_hit" | "miss" (empty on error/rejection).
+  std::string cache_outcome;
+  std::string fingerprint_hex;
+  std::uint64_t shape = 0;
+  bool feasible = false;
+  double predicted_disk_bytes = 0;
+  double memory_bytes = 0;
+  /// Solve time of the request that produced the plan (0 for exact
+  /// hits — nothing was solved).
+  double codegen_seconds = 0;
+  std::optional<double> greedy_cost;
+  std::optional<double> warm_cost;
+  bool warm_start_used = false;
+  std::string plan_text;
+  std::string decisions_text;
+  /// Engine-side timings for this request.
+  double queue_wait_seconds = 0;
+  double service_seconds = 0;
+
+  /// One NDJSON protocol line (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(ServeOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues a request.  The future resolves when the request has been
+  /// served; over-admission resolves it immediately with
+  /// Status::Rejected.  Never throws for request-level problems — bad
+  /// DSL, unknown solvers and infeasible programs come back as
+  /// Status::Error responses.
+  [[nodiscard]] std::future<Response> submit(SynthesisRequest request);
+
+  /// Serves one request synchronously on the calling thread, bypassing
+  /// the queue (the oocsc single-shot path).  Cache semantics identical
+  /// to submit().
+  [[nodiscard]] Response handle_now(const SynthesisRequest& request);
+
+  /// Drains the queue and joins the dispatcher.  Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+
+  /// Engine counters + cache counters as one JSON object (the protocol
+  /// "stats" command).
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Pending {
+    SynthesisRequest request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatcher_loop();
+  [[nodiscard]] Response handle(const SynthesisRequest& request);
+
+  ServeOptions options_;
+  PlanCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::int64_t rejected_ = 0;
+  std::int64_t served_ = 0;
+  std::int64_t errors_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace oocs::serve

@@ -1,0 +1,63 @@
+// Minimal JSON parsing for the oocsd request protocol.
+//
+// The rest of the repo only ever *emits* JSON (obs/json.hpp); the serve
+// layer is the first component that must read it — one flat-ish request
+// object per NDJSON line.  This is a small, strict recursive-descent
+// parser over a value tree: no streaming, no comments, no trailing
+// commas, UTF-8 passed through verbatim (\uXXXX escapes are decoded for
+// the BMP only, which the protocol never needs anyway).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oocs::serve {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Object, Array };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object lookup; returns nullptr when the key is absent (or this is
+  /// not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Convenience typed lookups with defaults (absent key → default;
+  /// present key of the wrong type → throws Error).
+  [[nodiscard]] std::string get_string(std::string_view key, std::string fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  // objects, in input order
+  std::vector<JsonValue> array_;
+};
+
+/// Parses one complete JSON document.  Throws oocs::Error with an
+/// offset diagnostic on malformed input or trailing garbage.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace oocs::serve

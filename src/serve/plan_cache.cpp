@@ -1,0 +1,174 @@
+#include "serve/plan_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace oocs::serve {
+
+namespace {
+
+// Log-ratio distance between two positive magnitudes; treats any
+// non-positive value as 1 so degenerate budgets (0 = "unlimited") still
+// order sensibly.
+double log_distance(double a, double b) {
+  const double la = std::log(std::max(a, 1.0));
+  const double lb = std::log(std::max(b, 1.0));
+  return std::abs(la - lb);
+}
+
+// How far apart two same-shape fingerprints are: summed log-ratio of
+// per-index extents plus the budget ratio.  Same-shape programs always
+// have aligned extent vectors (the shape hash covers the index count).
+double fingerprint_distance(const ir::Fingerprint& a, const ir::Fingerprint& b) {
+  if (a.extents.size() != b.extents.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double d = 0;
+  for (std::size_t i = 0; i < a.extents.size(); ++i) {
+    d += log_distance(static_cast<double>(a.extents[i]), static_cast<double>(b.extents[i]));
+  }
+  d += log_distance(static_cast<double>(a.memory_budget_bytes),
+                    static_cast<double>(b.memory_budget_bytes));
+  return d;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheOptions options) : options_(options) {
+  const int shard_count = std::max(1, options_.shards);
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CachedPlanPtr PlanCache::find_exact(std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.counters.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.recency);
+  ++shard.counters.exact_hits;
+  return it->second.plan;
+}
+
+CachedPlanPtr PlanCache::find_near(const ir::Fingerprint& fp) {
+  const std::lock_guard<std::mutex> lock(near_mutex_);
+  const auto it = near_index_.find(fp.shape);
+  if (it == near_index_.end()) return nullptr;
+
+  CachedPlanPtr best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  auto& bucket = it->second;
+  std::size_t kept = 0;
+  for (auto& weak : bucket) {
+    CachedPlanPtr plan = weak.lock();
+    if (plan == nullptr) continue;  // evicted; prune below
+    bucket[kept++] = weak;
+    const double d = fingerprint_distance(fp, plan->fingerprint);
+    if (d < best_distance ||
+        (d == best_distance && best != nullptr &&
+         plan->fingerprint.digest < best->fingerprint.digest)) {
+      best_distance = d;
+      best = std::move(plan);
+    }
+  }
+  bucket.resize(kept);
+  if (bucket.empty()) near_index_.erase(it);
+  if (best != nullptr) {
+    Shard& shard = shard_for(best->key);
+    const std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    ++shard.counters.near_hits;
+  }
+  return best;
+}
+
+void PlanCache::insert(CachedPlanPtr plan) {
+  if (plan == nullptr) return;
+  const std::uint64_t key = plan->key;
+  const std::uint64_t shape = plan->fingerprint.shape;
+  std::vector<CachedPlanPtr> evicted;  // destroyed outside the lock
+  {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Refresh: same key, new plan (e.g. competing threads raced the
+      // same miss).  Keep the first-inserted plan — both are valid, and
+      // first-wins keeps hits stable — just bump recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.recency);
+      return;
+    }
+    shard.lru.push_front(key);
+    shard.entries.emplace(key, Shard::Slot{plan, shard.lru.begin()});
+    ++shard.counters.insertions;
+
+    const std::int64_t per_shard_cap = std::max<std::int64_t>(
+        1, options_.max_entries / static_cast<std::int64_t>(shards_.size()));
+    while (static_cast<std::int64_t>(shard.entries.size()) > per_shard_cap) {
+      const std::uint64_t victim = shard.lru.back();
+      shard.lru.pop_back();
+      const auto victim_it = shard.entries.find(victim);
+      if (victim_it != shard.entries.end()) {
+        evicted.push_back(std::move(victim_it->second.plan));
+        shard.entries.erase(victim_it);
+      }
+      ++shard.counters.evictions;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(near_mutex_);
+    near_index_[shape].push_back(plan);
+  }
+}
+
+PlanCacheCounters PlanCache::counters() const {
+  PlanCacheCounters total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.exact_hits += shard->counters.exact_hits;
+    total.near_hits += shard->counters.near_hits;
+    total.misses += shard->counters.misses;
+    total.insertions += shard->counters.insertions;
+    total.evictions += shard->counters.evictions;
+  }
+  return total;
+}
+
+std::int64_t PlanCache::entries() const {
+  std::int64_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    n += static_cast<std::int64_t>(shard->entries.size());
+  }
+  return n;
+}
+
+std::optional<core::Decisions> PlanCache::translate_decisions(
+    const CachedPlan& neighbor, const ir::Fingerprint& target_fp,
+    const ir::Program& target) {
+  const ir::Fingerprint& source_fp = neighbor.fingerprint;
+  if (source_fp.shape != target_fp.shape ||
+      source_fp.index_order.size() != target_fp.index_order.size()) {
+    return std::nullopt;
+  }
+  core::Decisions out;
+  out.option_index = neighbor.result.decisions.option_index;
+  // Canonical position k is the same loop in both programs; carry the
+  // tile size across under the target's spelling, clamped to its extent.
+  for (std::size_t k = 0; k < source_fp.index_order.size(); ++k) {
+    const std::string& source_name = source_fp.index_order[k];
+    const std::string& target_name = target_fp.index_order[k];
+    const auto it = neighbor.result.decisions.tile_sizes.find(source_name);
+    if (it == neighbor.result.decisions.tile_sizes.end()) continue;
+    const std::int64_t extent = target.range(target_name);
+    out.tile_sizes[target_name] = std::clamp<std::int64_t>(it->second, 1, extent);
+  }
+  return out;
+}
+
+}  // namespace oocs::serve

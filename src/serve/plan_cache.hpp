@@ -1,0 +1,119 @@
+// Sharded plan cache: canonical fingerprint → synthesized plan.
+//
+// The serve engine's amortization point.  Exact lookups key on
+// (ir::fingerprint digest ⊕ request config digest) so only requests
+// that would synthesize the *same* plan can collide; a hit returns the
+// cached SynthesisResult by shared pointer with no solver work at all.
+//
+// Near hits: a secondary index buckets entries by the structure-only
+// `shape` hash (extents and budget excluded).  A miss whose shape is
+// already resident picks the log-space-closest neighbor (extents +
+// budget distance, digest tie-break — deterministic) and translates its
+// decisions onto the new program through the canonical index order, so
+// an alpha-renamed or resized variant warm-starts the solver instead of
+// the cold greedy sweep.  Translation only reuses *decisions*; the
+// solver still runs, and core::synthesize seeds from the better of
+// {greedy, translated} — a near hit can only improve the seed.
+//
+// Entries are LRU-evicted per shard under a global entry budget.
+// Thread safety: every method is safe to call concurrently; a call
+// holds one shard mutex, or the near-index mutex, never both.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/synthesize.hpp"
+#include "ir/fingerprint.hpp"
+
+namespace oocs::serve {
+
+struct PlanCacheOptions {
+  /// Total cached plans across all shards (LRU per shard past this).
+  std::int64_t max_entries = 1024;
+  /// Lock shards; clamped to >= 1.
+  int shards = 8;
+};
+
+/// One cached synthesis outcome.  Immutable after insertion; responses
+/// share it by shared_ptr, so eviction never invalidates an in-flight
+/// reply.
+struct CachedPlan {
+  ir::Fingerprint fingerprint;
+  std::uint64_t key = 0;  // digest ⊕ config digest (the exact key)
+  core::SynthesisResult result;
+  /// Pre-rendered plan and decision text (what oocsc prints), so exact
+  /// hits serve bytes without touching the plan structures.
+  std::string plan_text;
+  std::string decisions_text;
+};
+
+using CachedPlanPtr = std::shared_ptr<const CachedPlan>;
+
+struct PlanCacheCounters {
+  std::int64_t exact_hits = 0;
+  std::int64_t near_hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options = {});
+
+  /// Exact lookup; bumps recency and the hit/miss counters.
+  [[nodiscard]] CachedPlanPtr find_exact(std::uint64_t key);
+
+  /// Best same-shape neighbor for a missed fingerprint (nullptr when
+  /// the shape is unknown).  Deterministic: smallest log-space distance
+  /// over (extents, budget), ties to the smaller digest.
+  [[nodiscard]] CachedPlanPtr find_near(const ir::Fingerprint& fp);
+
+  /// Inserts (or refreshes) a plan under `plan->key`, evicting LRU
+  /// entries past the budget.
+  void insert(CachedPlanPtr plan);
+
+  [[nodiscard]] PlanCacheCounters counters() const;
+  [[nodiscard]] std::int64_t entries() const;
+
+  /// Translates a neighbor's decisions onto `target` (a program with
+  /// the same shape hash): tile sizes map through the canonical index
+  /// order and clamp to the new extents; placement codes carry over
+  /// verbatim.  nullopt when the canonical orders cannot be aligned.
+  [[nodiscard]] static std::optional<core::Decisions> translate_decisions(
+      const CachedPlan& neighbor, const ir::Fingerprint& target_fp,
+      const ir::Program& target);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::uint64_t> lru;  // front = most recent
+    struct Slot {
+      CachedPlanPtr plan;
+      std::list<std::uint64_t>::iterator recency;
+    };
+    std::unordered_map<std::uint64_t, Slot> entries;
+    PlanCacheCounters counters;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) {
+    return *shards_[key % shards_.size()];
+  }
+
+  PlanCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// shape hash → same-shape entries (weak: eviction from the shard LRU
+  /// is the only lifetime authority).
+  mutable std::mutex near_mutex_;
+  std::unordered_map<std::uint64_t, std::vector<std::weak_ptr<const CachedPlan>>> near_index_;
+};
+
+}  // namespace oocs::serve

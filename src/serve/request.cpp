@@ -1,0 +1,118 @@
+#include "serve/request.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "ir/parser.hpp"
+#include "obs/json.hpp"
+#include "serve/json.hpp"
+#include "solver/csa.hpp"
+#include "solver/dlm.hpp"
+#include "solver/portfolio.hpp"
+
+namespace oocs::serve {
+
+std::uint64_t SynthesisRequest::config_digest() const {
+  Fnv1a h;
+  h.feed(solver);
+  h.feed(static_cast<std::int64_t>(restarts));
+  h.feed(seed);
+  h.feed_byte(use_delta ? 1 : 0);
+  h.feed(options.min_read_block_bytes);
+  h.feed(options.min_write_block_bytes);
+  h.feed_byte(options.enforce_block_constraints ? 1 : 0);
+  h.feed_byte(options.add_binary_equalities ? 1 : 0);
+  h.feed_byte(options.prune_dominated ? 1 : 0);
+  // seek_cost_bytes is a double with integral provenance (bytes); feed
+  // its bit pattern so any change alters the digest.
+  std::uint64_t seek_bits = 0;
+  static_assert(sizeof(seek_bits) == sizeof(options.seek_cost_bytes));
+  std::memcpy(&seek_bits, &options.seek_cost_bytes, sizeof(seek_bits));
+  h.feed(seek_bits);
+  return h.digest();
+}
+
+std::unique_ptr<solver::Solver> make_solver(const SynthesisRequest& request) {
+  if (request.solver == "dlm") {
+    solver::DlmOptions o;
+    o.seed = request.seed;
+    o.use_delta = request.use_delta;
+    return std::make_unique<solver::DlmSolver>(o);
+  }
+  if (request.solver == "csa") {
+    solver::CsaOptions o;
+    o.seed = request.seed;
+    o.use_delta = request.use_delta;
+    return std::make_unique<solver::CsaSolver>(o);
+  }
+  if (request.solver == "portfolio") {
+    solver::PortfolioOptions o;
+    o.seed = request.seed;
+    o.restarts = request.restarts;
+    o.threads = request.solver_threads;
+    o.use_delta = request.use_delta;
+    return std::make_unique<solver::PortfolioSolver>(o);
+  }
+  throw Error("unknown solver '" + request.solver + "'");
+}
+
+core::SynthesisResult solve_request(const SynthesisRequest& request,
+                                    const core::Decisions* warm_start) {
+  const ir::Program program = ir::parse(request.dsl);
+  const std::unique_ptr<solver::Solver> engine = make_solver(request);
+  return core::synthesize(program, request.options, *engine, warm_start);
+}
+
+SynthesisRequest request_from_json(const std::string& line) {
+  const JsonValue v = json_parse(line);
+  OOCS_REQUIRE(v.type() == JsonValue::Type::Object, "request: expected a JSON object");
+  SynthesisRequest request;
+  request.id = v.get_string("id");
+  const JsonValue* dsl = v.find("dsl");
+  OOCS_REQUIRE(dsl != nullptr, "request: missing 'dsl'");
+  request.dsl = dsl->as_string();
+  request.options.memory_limit_bytes =
+      v.get_int("memory", request.options.memory_limit_bytes);
+  request.options.min_read_block_bytes =
+      v.get_int("read_block", request.options.min_read_block_bytes);
+  if (request.options.min_read_block_bytes == 0) {
+    request.options.enforce_block_constraints = false;
+  }
+  request.options.min_write_block_bytes =
+      v.get_int("write_block", request.options.min_write_block_bytes);
+  request.options.seek_cost_bytes =
+      v.get_number("seek_bytes", request.options.seek_cost_bytes);
+  request.options.prune_dominated = !v.get_bool("no_prune", false);
+  request.options.add_binary_equalities = v.get_bool("binary_eq", false);
+  request.solver = v.get_string("solver", request.solver);
+  request.restarts = static_cast<int>(v.get_int("restarts", request.restarts));
+  request.solver_threads = static_cast<int>(v.get_int("solver_threads", 0));
+  request.use_delta = !v.get_bool("no_delta", false);
+  request.seed = static_cast<std::uint64_t>(v.get_int("seed", 1));
+  request.allow_cache = !v.get_bool("no_cache", false);
+  request.allow_near = !v.get_bool("no_near", false);
+  return request;
+}
+
+std::string request_to_json(const SynthesisRequest& request) {
+  std::ostringstream os;
+  os << "{\"id\": " << obs::json_quote(request.id)
+     << ", \"dsl\": " << obs::json_quote(request.dsl)
+     << ", \"memory\": " << request.options.memory_limit_bytes
+     << ", \"read_block\": " << request.options.min_read_block_bytes
+     << ", \"write_block\": " << request.options.min_write_block_bytes
+     << ", \"seek_bytes\": " << obs::json_number(request.options.seek_cost_bytes, 1)
+     << ", \"solver\": " << obs::json_quote(request.solver)
+     << ", \"restarts\": " << request.restarts << ", \"seed\": " << request.seed;
+  if (!request.options.prune_dominated) os << ", \"no_prune\": true";
+  if (request.options.add_binary_equalities) os << ", \"binary_eq\": true";
+  if (!request.use_delta) os << ", \"no_delta\": true";
+  if (!request.allow_cache) os << ", \"no_cache\": true";
+  if (!request.allow_near) os << ", \"no_near\": true";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace oocs::serve

@@ -1,0 +1,67 @@
+// The synthesis request: the one description of "what to synthesize"
+// shared by the oocsc CLI and the oocsd daemon, so the two can never
+// drift apart.  oocsc builds a SynthesisRequest from its flags and runs
+// solve_request directly; oocsd decodes the same struct from an NDJSON
+// line and runs solve_request on a cache miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/synthesize.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::serve {
+
+struct SynthesisRequest {
+  /// Client-chosen correlation id, echoed in the response.
+  std::string id;
+  /// The abstract program in oocs DSL text.
+  std::string dsl;
+  /// Memory budget, block constraints, pruning, seek refinement.
+  core::SynthesisOptions options;
+  /// "dlm" | "csa" | "portfolio" (the oocsc --solver values).
+  std::string solver = "dlm";
+  /// Portfolio worker count (--restarts).
+  int restarts = 4;
+  /// Portfolio pool width (--solver-threads).  The serve engine forces
+  /// this to 1: whole requests are the unit of parallelism there, and a
+  /// single-threaded portfolio runs inline without a nested pool.
+  int solver_threads = 0;
+  /// Incremental delta evaluation (--no-delta flips this off).
+  bool use_delta = true;
+  std::uint64_t seed = 1;
+  /// Plan-cache participation: exact-hit lookup / insertion, and
+  /// near-hit warm starting.  Both default on; the traffic bench turns
+  /// them off to measure cold baselines.
+  bool allow_cache = true;
+  bool allow_near = true;
+
+  /// Digest of every request field that changes the synthesized plan
+  /// *besides* the program structure and memory budget (solver choice,
+  /// seed, block/prune/seek options...).  Combined with ir::fingerprint
+  /// into the exact plan-cache key, so requests that would synthesize
+  /// different plans can never collide.
+  [[nodiscard]] std::uint64_t config_digest() const;
+};
+
+/// Builds the solver the request asks for (oocsc's --solver semantics).
+[[nodiscard]] std::unique_ptr<solver::Solver> make_solver(const SynthesisRequest& request);
+
+/// Parses the request's DSL and runs the full synthesis pipeline —
+/// exactly what single-shot oocsc does for the same flags.  With a null
+/// `warm_start` the result is bit-identical to oocsc for the same seed;
+/// the plan cache's near-hit path passes translated cached decisions.
+/// Throws SpecError / InfeasibleError like core::synthesize.
+[[nodiscard]] core::SynthesisResult solve_request(const SynthesisRequest& request,
+                                                  const core::Decisions* warm_start = nullptr);
+
+/// Decodes a SynthesisRequest from one NDJSON protocol line (see
+/// docs/SERVING.md for the schema).  Throws Error on malformed input.
+[[nodiscard]] SynthesisRequest request_from_json(const std::string& line);
+
+/// Encodes a request as one NDJSON protocol line (no trailing newline).
+[[nodiscard]] std::string request_to_json(const SynthesisRequest& request);
+
+}  // namespace oocs::serve

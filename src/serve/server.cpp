@@ -1,0 +1,313 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/json.hpp"
+
+namespace oocs::serve {
+
+namespace {
+
+// One processed input line, queued for in-order emission.
+struct OutItem {
+  /// Set for synthesis requests; the writer blocks on it.
+  std::future<Response> future;
+  bool has_future = false;
+  /// Set for control commands.  Rendered by the writer when the item's
+  /// turn comes, so a "stats" reply reflects every request before it in
+  /// the pipeline (they have all drained by then), not the state at
+  /// read time.
+  std::function<std::string()> render;
+  /// Writer should stop the whole server after emitting this item.
+  bool shutdown_after = false;
+  /// Reader finished (EOF); nothing to emit.
+  bool eof = false;
+};
+
+struct Outbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<OutItem> items;
+
+  void push(OutItem item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      items.push_back(std::move(item));
+    }
+    cv.notify_one();
+  }
+
+  OutItem pop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return !items.empty(); });
+    OutItem item = std::move(items.front());
+    items.pop_front();
+    return item;
+  }
+};
+
+OutItem control_item(std::function<std::string()> render) {
+  OutItem item;
+  item.render = std::move(render);
+  return item;
+}
+
+// Classifies and launches one input line.  Synthesis requests go to the
+// engine (malformed ones become ready error futures so ordering is
+// uniform); {"cmd": ...} lines are answered inline.
+OutItem process_line(Engine& engine, const std::string& line) {
+  std::string cmd;
+  try {
+    const JsonValue v = json_parse(line);
+    cmd = v.get_string("cmd");
+  } catch (const std::exception& e) {
+    Response response;
+    response.status = Response::Status::Error;
+    response.error = e.what();
+    std::promise<Response> promise;
+    promise.set_value(std::move(response));
+    OutItem item;
+    item.future = promise.get_future();
+    item.has_future = true;
+    return item;
+  }
+  if (cmd.empty()) {
+    OutItem item;
+    item.has_future = true;
+    try {
+      item.future = engine.submit(request_from_json(line));
+    } catch (const std::exception& e) {
+      Response response;
+      response.status = Response::Status::Error;
+      response.error = e.what();
+      std::promise<Response> promise;
+      promise.set_value(std::move(response));
+      item.future = promise.get_future();
+    }
+    return item;
+  }
+  if (cmd == "ping") {
+    return control_item([] { return std::string(R"({"status": "ok", "pong": true})"); });
+  }
+  if (cmd == "stats") {
+    return control_item([&engine] {
+      return std::string(R"({"status": "ok", "stats": )") + engine.stats_json() + "}";
+    });
+  }
+  if (cmd == "shutdown") {
+    OutItem item =
+        control_item([] { return std::string(R"({"status": "ok", "shutdown": true})"); });
+    item.shutdown_after = true;
+    return item;
+  }
+  Response response;
+  response.status = Response::Status::Error;
+  response.error = "unknown command '" + cmd + "'";
+  const std::string rendered = response.to_json();
+  return control_item([rendered] { return rendered; });
+}
+
+/// The shared connection loop: a reader thread turns input lines into
+/// outbox items; the calling thread emits them in order.  Returns the
+/// number of synthesis responses written.  `on_shutdown` runs (once)
+/// after a shutdown command's ack has been emitted.
+int serve_stream(Engine& engine, const std::function<bool(std::string&)>& read_line,
+                 const std::function<bool(const std::string&)>& write_line,
+                 const std::function<void()>& on_shutdown) {
+  Outbox outbox;
+  std::thread reader([&] {
+    std::string line;
+    while (read_line(line)) {
+      if (line.empty()) continue;
+      OutItem item = process_line(engine, line);
+      const bool stop = item.shutdown_after;
+      outbox.push(std::move(item));
+      if (stop) return;  // drop any pipelined lines after shutdown
+    }
+    OutItem eof;
+    eof.eof = true;
+    outbox.push(std::move(eof));
+  });
+
+  int responses = 0;
+  bool sink_open = true;
+  while (true) {
+    OutItem item = outbox.pop();
+    if (item.eof) break;
+    std::string text;
+    if (item.has_future) {
+      text = item.future.get().to_json();
+      ++responses;
+    } else {
+      text = item.render();
+    }
+    if (sink_open && !write_line(text)) sink_open = false;
+    if (item.shutdown_after) {
+      if (on_shutdown) on_shutdown();
+      break;
+    }
+  }
+  reader.join();
+  return responses;
+}
+
+// -- TCP plumbing -------------------------------------------------------
+
+bool write_all(int fd, const std::string& text) {
+  std::string line = text;
+  line += '\n';
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over a socket fd.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  bool next(std::string& line) {
+    while (true) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        line.assign(buffer_, 0, pos);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (!buffer_.empty()) {  // unterminated final line
+          line = std::move(buffer_);
+          buffer_.clear();
+          return true;
+        }
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+int run_stdio(Engine& engine, std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  return serve_stream(
+      engine, [&](std::string& line) { return static_cast<bool>(std::getline(in, line)); },
+      [&](const std::string& text) {
+        const std::lock_guard<std::mutex> lock(out_mutex);
+        out << text << '\n';
+        out.flush();
+        return static_cast<bool>(out);
+      },
+      nullptr);
+}
+
+struct TcpServer::Impl {
+  Engine& engine;
+  int listen_fd = -1;
+  int port = 0;
+  std::atomic<bool> stop{false};
+  std::mutex threads_mutex;
+  std::vector<std::thread> connections;
+
+  explicit Impl(Engine& e) : engine(e) {}
+};
+
+TcpServer::TcpServer(Engine& engine, int port) : impl_(std::make_unique<Impl>(engine)) {
+  impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  OOCS_REQUIRE(impl_->listen_fd >= 0, "serve: socket() failed: ", std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(impl_->listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw Error("serve: cannot bind 127.0.0.1:" + std::to_string(port) + ": " + reason);
+  }
+  OOCS_REQUIRE(::listen(impl_->listen_fd, 64) == 0, "serve: listen() failed: ",
+               std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  impl_->port = static_cast<int>(ntohs(bound.sin_port));
+}
+
+TcpServer::~TcpServer() {
+  request_stop();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->threads_mutex);
+    for (std::thread& t : impl_->connections) {
+      if (t.joinable()) t.join();
+    }
+    impl_->connections.clear();
+  }
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+}
+
+int TcpServer::port() const noexcept { return impl_->port; }
+
+void TcpServer::request_stop() { impl_->stop.store(true, std::memory_order_release); }
+
+void TcpServer::serve_forever() {
+  while (!impl_->stop.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = impl_->listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stop) or EINTR
+    const int client = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::lock_guard<std::mutex> lock(impl_->threads_mutex);
+    impl_->connections.emplace_back([this, client] {
+      FdLineReader reader(client);
+      serve_stream(
+          impl_->engine, [&](std::string& line) { return reader.next(line); },
+          [&](const std::string& text) { return write_all(client, text); },
+          [this] { request_stop(); });
+      ::close(client);
+    });
+  }
+  // Let in-flight connections finish before returning so a shutdown ack
+  // is always fully written.
+  const std::lock_guard<std::mutex> lock(impl_->threads_mutex);
+  for (std::thread& t : impl_->connections) {
+    if (t.joinable()) t.join();
+  }
+  impl_->connections.clear();
+}
+
+}  // namespace oocs::serve

@@ -1,0 +1,58 @@
+// NDJSON transport in front of the Engine: one request object per input
+// line, one response object per output line, responses in request order
+// per connection (the protocol is pipelined — clients may write many
+// lines before reading).
+//
+// Control lines use {"cmd": ...} instead of {"dsl": ...}:
+//   {"cmd": "ping"}     → {"status": "ok", "pong": true}
+//   {"cmd": "stats"}    → engine counters + cache counters
+//   {"cmd": "shutdown"} → ack after all prior responses, then the whole
+//                         server stops accepting and serve_forever
+//                         returns.
+//
+// Two fronts share the line loop:
+//   * run_stdio  — stdin/stdout, for `oocsd --stdio` and tests.
+//   * TcpServer  — 127.0.0.1 listener, one reader + one writer thread
+//     per connection.  The writer drains a deque of futures in
+//     submission order, so per-connection ordering holds even though
+//     the engine serves batches out of order.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "serve/engine.hpp"
+
+namespace oocs::serve {
+
+/// Serves NDJSON lines from `in` to `out` until EOF or a shutdown
+/// command.  Returns the number of synthesis responses written.
+int run_stdio(Engine& engine, std::istream& in, std::ostream& out);
+
+class TcpServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 → ephemeral; see port()).
+  /// Throws Error when the socket cannot be bound.
+  TcpServer(Engine& engine, int port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (the ephemeral choice when constructed with 0).
+  [[nodiscard]] int port() const noexcept;
+
+  /// Accept loop; returns after request_stop() or a client shutdown
+  /// command, once every connection has drained.
+  void serve_forever();
+
+  /// Asks serve_forever to return (safe from any thread / signal
+  /// context is NOT supported — call from a thread).
+  void request_stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace oocs::serve

@@ -1,7 +1,9 @@
 #include "solver/portfolio.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/log.hpp"
@@ -37,7 +39,21 @@ Solution PortfolioSolver::solve(const CompiledProblem& cp, std::span<const doubl
   Stopwatch timer;
   const int workers = std::max(1, options_.restarts);
   const int rounds_cap = std::max(1, options_.max_rounds);
-  ThreadPool pool(ThreadPool::resolve_threads(options_.threads));
+  // At one thread the round is a plain loop: no pool is constructed, so
+  // a single-threaded portfolio may run *inside* another ThreadPool's
+  // task (the serve engine batches whole requests onto the shared pool,
+  // and nested parallel_for is rejected).  The loop body is the same
+  // either way, so the Solution stays bit-identical across widths.
+  const int num_threads = ThreadPool::resolve_threads(options_.threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  const auto run_round = [&](const std::function<void(std::int64_t, std::int64_t)>& body) {
+    if (pool != nullptr) {
+      pool->parallel_for(0, workers, 1, body);
+    } else {
+      body(0, workers);
+    }
+  };
 
   // Per-worker seed streams, advanced on the caller thread at round
   // boundaries only, so the seed a worker receives never depends on how
@@ -61,7 +77,7 @@ Solution PortfolioSolver::solve(const CompiledProblem& cp, std::span<const doubl
     std::vector<std::uint64_t> seeds(static_cast<std::size_t>(workers));
     for (int k = 0; k < workers; ++k) seeds[static_cast<std::size_t>(k)] = streams[static_cast<std::size_t>(k)].next_u64();
 
-    pool.parallel_for(0, workers, 1, [&](std::int64_t begin, std::int64_t end) {
+    run_round([&](std::int64_t begin, std::int64_t end) {
       for (std::int64_t k = begin; k < end; ++k) {
         const auto uk = static_cast<std::size_t>(k);
         // Worker k's per-round budget: uniform, or the staggered ladder
@@ -130,7 +146,7 @@ Solution PortfolioSolver::solve(const CompiledProblem& cp, std::span<const doubl
   m.counter("solver.portfolio.delta_evals").add(total.delta_evaluations);
   m.counter("solver.portfolio.full_evals").add(total.full_evaluations);
   log::debug("portfolio: feasible=", incumbent.feasible, " objective=", incumbent.objective,
-             " workers=", workers, " rounds=", rounds_run, " threads=", pool.num_threads(),
+             " workers=", workers, " rounds=", rounds_run, " threads=", num_threads,
              " time=", total.seconds, "s");
   return incumbent;
 }

@@ -2,8 +2,14 @@
 // and the canned paper examples.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 #include "ir/examples.hpp"
+#include "ir/fingerprint.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/program.hpp"
@@ -275,6 +281,104 @@ TEST(Printer, DslRoundTripTwoIndex) {
   const Program p = examples::two_index(40'000, 40'000, 35'000, 35'000);
   const Program q = parse(to_dsl(p));
   EXPECT_EQ(to_dsl(q), to_dsl(p));
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints and structural round trips (the oocsd cache contract).
+
+std::vector<Program> all_examples() {
+  std::vector<Program> programs;
+  programs.push_back(examples::two_index(48, 40, 36, 32));
+  programs.push_back(examples::two_index_unfused(48, 40, 36, 32));
+  programs.push_back(examples::four_index(16, 12));
+  return programs;
+}
+
+TEST(Fingerprint, RoundTripIsStructurallyEqual) {
+  for (const Program& p : all_examples()) {
+    const Program q = parse(to_dsl(p));
+    EXPECT_TRUE(structurally_equal(p, q)) << to_dsl(p);
+    EXPECT_EQ(fingerprint(p, 1 << 20).digest, fingerprint(q, 1 << 20).digest);
+    EXPECT_EQ(fingerprint(p, 1 << 20).shape, fingerprint(q, 1 << 20).shape);
+  }
+}
+
+TEST(Fingerprint, ExampleDslFilesRoundTrip) {
+  for (const char* name :
+       {"two_index.oocs", "four_index.oocs", "four_index_small.oocs"}) {
+    const std::string path = std::string(OOCS_EXAMPLES_DSL_DIR) + "/" + name;
+    const Program p = parse_file(path);
+    const Program q = parse(to_dsl(p));
+    EXPECT_TRUE(structurally_equal(p, q)) << path;
+    EXPECT_EQ(fingerprint(p).digest, fingerprint(q).digest) << path;
+  }
+}
+
+TEST(Fingerprint, AlphaRenamedProgramsCollide) {
+  // The fused two-index transform with every index and array renamed
+  // (same structure, same extents as two_index_dsl(48, 40, 36, 32)).
+  const std::string renamed =
+      "range x = 48, y = 40, u = 36, v = 32;\n"
+      "input AA(x, y);\n"
+      "input D1(u, x);\n"
+      "input D2(v, y);\n"
+      "intermediate S(v, x);\n"
+      "output BB(u, v);\n"
+      "\n"
+      "BB[*,*] = 0;\n"
+      "for (x, v) {\n"
+      "  S[v,x] = 0;\n"
+      "  for (y) { S[v,x] += D2[v,y] * AA[x,y]; }\n"
+      "  for (u) { BB[u,v] += D1[u,x] * S[v,x]; }\n"
+      "}\n";
+  const Program p = parse(examples::two_index_dsl(48, 40, 36, 32));
+  const Program q = parse(renamed);
+  EXPECT_FALSE(structurally_equal(p, q));
+  EXPECT_EQ(fingerprint(p, 4096).digest, fingerprint(q, 4096).digest);
+  EXPECT_EQ(fingerprint(p, 4096).canonical_text, fingerprint(q, 4096).canonical_text);
+}
+
+TEST(Fingerprint, SingleRangePerturbationChangesDigestNotShape) {
+  const Fingerprint base = fingerprint(examples::two_index(48, 40, 36, 32), 4096);
+  const std::int64_t dims[4][4] = {
+      {49, 40, 36, 32}, {48, 41, 36, 32}, {48, 40, 37, 32}, {48, 40, 36, 33}};
+  for (const auto& d : dims) {
+    const Fingerprint fp =
+        fingerprint(examples::two_index(d[0], d[1], d[2], d[3]), 4096);
+    EXPECT_NE(fp.digest, base.digest);
+    EXPECT_EQ(fp.shape, base.shape);
+  }
+}
+
+TEST(Fingerprint, BudgetChangesDigestNotShape) {
+  const Program p = examples::two_index(48, 40, 36, 32);
+  const Fingerprint a = fingerprint(p, 4096);
+  const Fingerprint b = fingerprint(p, 8192);
+  EXPECT_NE(a.digest, b.digest);
+  EXPECT_EQ(a.shape, b.shape);
+}
+
+TEST(Fingerprint, DifferentStructuresDiffer) {
+  const Fingerprint fused = fingerprint(examples::two_index(48, 40, 36, 32), 4096);
+  const Fingerprint unfused =
+      fingerprint(examples::two_index_unfused(48, 40, 36, 32), 4096);
+  EXPECT_NE(fused.shape, unfused.shape);
+  EXPECT_NE(fused.digest, unfused.digest);
+}
+
+TEST(Fingerprint, IndexOrderMapsCanonicalPositions) {
+  const Fingerprint fp = fingerprint(examples::two_index(48, 40, 36, 32));
+  ASSERT_EQ(fp.index_order.size(), 4u);
+  ASSERT_EQ(fp.extents.size(), 4u);
+  const Program p = examples::two_index(48, 40, 36, 32);
+  for (std::size_t k = 0; k < fp.index_order.size(); ++k) {
+    EXPECT_EQ(fp.extents[k], p.range(fp.index_order[k]));
+  }
+}
+
+TEST(Fingerprint, HexIsSixteenDigits) {
+  const Fingerprint fp = fingerprint(examples::two_index(10, 10, 10, 10));
+  EXPECT_EQ(fp.hex().size(), 16u);
 }
 
 }  // namespace

@@ -1,0 +1,463 @@
+// Tests for the serving subsystem: JSON codec, request digests, the
+// sharded plan cache, engine semantics (hit/near-hit/miss, determinism
+// under concurrency, backpressure), and the NDJSON transports.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "core/plan.hpp"
+#include "ir/examples.hpp"
+#include "ir/fingerprint.hpp"
+#include "ir/parser.hpp"
+#include "serve/engine.hpp"
+#include "serve/json.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+
+namespace oocs::serve {
+namespace {
+
+// A small, fast-to-solve request (a few ms with the default DLM).
+SynthesisRequest small_request(std::string id = "r") {
+  SynthesisRequest request;
+  request.id = std::move(id);
+  request.dsl = ir::examples::two_index_dsl(16, 14, 12, 10);
+  request.options.memory_limit_bytes = 4096;
+  request.options.min_read_block_bytes = 0;
+  request.options.enforce_block_constraints = false;
+  return request;
+}
+
+SynthesisRequest bigger_request(std::string id = "big") {
+  SynthesisRequest request = small_request(std::move(id));
+  request.dsl = ir::examples::two_index_dsl(48, 40, 36, 32);
+  request.options.memory_limit_bytes = 8192;
+  return request;
+}
+
+// ---------------------------------------------------------------------
+// JSON parsing
+
+TEST(Json, ParsesScalarsAndNesting) {
+  const JsonValue v = json_parse(
+      R"({"s": "a\"b\nc", "n": -2.5, "b": true, "nul": null, "arr": [1, 2], "obj": {"k": 3}})");
+  EXPECT_EQ(v.get_string("s"), "a\"b\nc");
+  EXPECT_DOUBLE_EQ(v.get_number("n", 0), -2.5);
+  EXPECT_TRUE(v.get_bool("b", false));
+  ASSERT_NE(v.find("nul"), nullptr);
+  EXPECT_TRUE(v.find("nul")->is_null());
+  EXPECT_EQ(v.find("arr")->as_array().size(), 2u);
+  EXPECT_EQ(v.find("obj")->get_int("k", 0), 3);
+}
+
+TEST(Json, DecodesUnicodeEscapes) {
+  const JsonValue v = json_parse(R"({"u": "Aé"})");
+  EXPECT_EQ(v.get_string("u"), "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse("{"), Error);
+  EXPECT_THROW((void)json_parse("{\"a\": }"), Error);
+  EXPECT_THROW((void)json_parse("{} trailing"), Error);
+  EXPECT_THROW((void)json_parse("{\"a\": 1,}"), Error);
+  EXPECT_THROW((void)json_parse(""), Error);
+}
+
+TEST(Json, MissingKeysUseFallbacks) {
+  const JsonValue v = json_parse("{}");
+  EXPECT_EQ(v.get_string("x", "d"), "d");
+  EXPECT_EQ(v.get_int("x", 7), 7);
+  EXPECT_FALSE(v.get_bool("x", false));
+  EXPECT_EQ(v.find("x"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Request codec
+
+TEST(Request, JsonRoundTripPreservesConfig) {
+  SynthesisRequest request = small_request("abc");
+  request.solver = "portfolio";
+  request.restarts = 3;
+  request.seed = 99;
+  request.use_delta = false;
+  request.allow_near = false;
+  const SynthesisRequest decoded = request_from_json(request_to_json(request));
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.dsl, request.dsl);
+  EXPECT_EQ(decoded.solver, request.solver);
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.use_delta, request.use_delta);
+  EXPECT_EQ(decoded.allow_near, request.allow_near);
+  EXPECT_EQ(decoded.options.memory_limit_bytes, request.options.memory_limit_bytes);
+  EXPECT_EQ(decoded.options.enforce_block_constraints,
+            request.options.enforce_block_constraints);
+  EXPECT_EQ(decoded.config_digest(), request.config_digest());
+}
+
+TEST(Request, ConfigDigestSeparatesPlanAffectingOptions) {
+  const SynthesisRequest base = small_request();
+  auto changed = [&](auto mutate) {
+    SynthesisRequest r = base;
+    mutate(r);
+    return r.config_digest();
+  };
+  EXPECT_NE(changed([](SynthesisRequest& r) { r.solver = "csa"; }), base.config_digest());
+  EXPECT_NE(changed([](SynthesisRequest& r) { r.seed = 2; }), base.config_digest());
+  EXPECT_NE(changed([](SynthesisRequest& r) { r.options.seek_cost_bytes = 1e6; }),
+            base.config_digest());
+  EXPECT_NE(changed([](SynthesisRequest& r) { r.options.prune_dominated = false; }),
+            base.config_digest());
+  // Cache-participation flags do not change the synthesized plan.
+  EXPECT_EQ(changed([](SynthesisRequest& r) { r.allow_near = false; }),
+            base.config_digest());
+}
+
+TEST(Request, MissingDslIsAnError) {
+  EXPECT_THROW((void)request_from_json(R"({"id": "x"})"), Error);
+}
+
+// ---------------------------------------------------------------------
+// Plan cache
+
+CachedPlanPtr make_plan(const SynthesisRequest& request) {
+  const ir::Program program = ir::parse(request.dsl);
+  auto plan = std::make_shared<CachedPlan>();
+  plan->fingerprint = ir::fingerprint(program, request.options.memory_limit_bytes);
+  plan->key = hash_combine(plan->fingerprint.digest, request.config_digest());
+  plan->result = solve_request(request);
+  plan->plan_text = core::to_text(plan->result.plan);
+  plan->decisions_text = plan->result.decisions_to_text();
+  return plan;
+}
+
+TEST(PlanCache, ExactHitAfterInsert) {
+  PlanCache cache;
+  const CachedPlanPtr plan = make_plan(small_request());
+  EXPECT_EQ(cache.find_exact(plan->key), nullptr);
+  cache.insert(plan);
+  const CachedPlanPtr hit = cache.find_exact(plan->key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan_text, plan->plan_text);
+  const PlanCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.exact_hits, 1);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.insertions, 1);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCacheOptions options;
+  options.shards = 1;
+  options.max_entries = 2;
+  PlanCache cache(options);
+  std::vector<CachedPlanPtr> plans;
+  for (int i = 0; i < 3; ++i) {
+    SynthesisRequest request = small_request("e" + std::to_string(i));
+    request.seed = static_cast<std::uint64_t>(i + 1);  // distinct keys
+    plans.push_back(make_plan(request));
+    cache.insert(plans.back());
+  }
+  EXPECT_EQ(cache.entries(), 2);
+  EXPECT_EQ(cache.counters().evictions, 1);
+  EXPECT_EQ(cache.find_exact(plans[0]->key), nullptr);  // the LRU victim
+  EXPECT_NE(cache.find_exact(plans[2]->key), nullptr);
+}
+
+TEST(PlanCache, NearFindsClosestSameShapeNeighbor) {
+  PlanCache cache;
+  SynthesisRequest close = small_request("close");
+  close.dsl = ir::examples::two_index_dsl(18, 14, 12, 10);
+  SynthesisRequest far = small_request("far");
+  far.dsl = ir::examples::two_index_dsl(64, 56, 48, 40);
+  const CachedPlanPtr close_plan = make_plan(close);
+  cache.insert(close_plan);
+  cache.insert(make_plan(far));
+
+  const ir::Program target = ir::parse(ir::examples::two_index_dsl(16, 14, 12, 10));
+  const ir::Fingerprint target_fp = ir::fingerprint(target, 4096);
+  const CachedPlanPtr near = cache.find_near(target_fp);
+  ASSERT_NE(near, nullptr);
+  EXPECT_EQ(near->key, close_plan->key);
+
+  // A different loop structure never matches.
+  const ir::Program other =
+      ir::parse(ir::examples::two_index_unfused_dsl(16, 14, 12, 10));
+  EXPECT_EQ(cache.find_near(ir::fingerprint(other, 4096)), nullptr);
+}
+
+TEST(PlanCache, TranslateClampsTilesToTargetExtents) {
+  const CachedPlanPtr neighbor = make_plan(bigger_request());
+  const ir::Program target = ir::parse(ir::examples::two_index_dsl(4, 3, 2, 2));
+  const ir::Fingerprint target_fp = ir::fingerprint(target, 4096);
+  const auto translated = PlanCache::translate_decisions(*neighbor, target_fp, target);
+  ASSERT_TRUE(translated.has_value());
+  EXPECT_EQ(translated->option_index, neighbor->result.decisions.option_index);
+  for (const auto& [index, tile] : translated->tile_sizes) {
+    EXPECT_GE(tile, 1);
+    EXPECT_LE(tile, target.range(index));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine semantics
+
+TEST(Engine, MissThenHitServesIdenticalPlan) {
+  Engine engine;
+  const SynthesisRequest request = small_request();
+  const Response miss = engine.handle_now(request);
+  ASSERT_EQ(miss.status, Response::Status::Ok);
+  EXPECT_EQ(miss.cache_outcome, "miss");
+  const Response hit = engine.handle_now(request);
+  ASSERT_EQ(hit.status, Response::Status::Ok);
+  EXPECT_EQ(hit.cache_outcome, "hit");
+  EXPECT_EQ(hit.plan_text, miss.plan_text);
+  EXPECT_EQ(hit.decisions_text, miss.decisions_text);
+  EXPECT_EQ(hit.fingerprint_hex, miss.fingerprint_hex);
+}
+
+TEST(Engine, MissMatchesSingleShotPipeline) {
+  Engine engine;
+  const SynthesisRequest request = small_request();
+  const Response response = engine.handle_now(request);
+  ASSERT_EQ(response.status, Response::Status::Ok);
+  const core::SynthesisResult single = solve_request(request);
+  EXPECT_EQ(response.plan_text, core::to_text(single.plan));
+  EXPECT_EQ(response.decisions_text, single.decisions_to_text());
+  EXPECT_DOUBLE_EQ(response.predicted_disk_bytes, single.predicted_disk_bytes);
+}
+
+TEST(Engine, DifferentConfigsDoNotShareCacheEntries) {
+  Engine engine;
+  const SynthesisRequest request = small_request();
+  ASSERT_EQ(engine.handle_now(request).cache_outcome, "miss");
+  SynthesisRequest reseeded = request;
+  reseeded.seed = 2;
+  // Same program, different seed: must not be served the seed-1 plan.
+  const Response response = engine.handle_now(reseeded);
+  EXPECT_NE(response.cache_outcome, "hit");
+}
+
+TEST(Engine, NearHitWarmStartNeverWorseThanCold) {
+  Engine engine;
+  ASSERT_EQ(engine.handle_now(bigger_request()).cache_outcome, "miss");
+  SynthesisRequest variant = bigger_request("variant");
+  variant.options.memory_limit_bytes *= 2;
+  const Response warm = engine.handle_now(variant);
+  ASSERT_EQ(warm.status, Response::Status::Ok);
+  EXPECT_EQ(warm.cache_outcome, "near_hit");
+
+  ServeOptions cold_options;
+  cold_options.enable_cache = false;
+  Engine cold_engine(cold_options);
+  const Response cold = cold_engine.handle_now(variant);
+  ASSERT_EQ(cold.status, Response::Status::Ok);
+  EXPECT_LE(warm.predicted_disk_bytes, cold.predicted_disk_bytes);
+}
+
+TEST(Engine, BadRequestsComeBackAsErrorResponses) {
+  Engine engine;
+  SynthesisRequest bad = small_request();
+  bad.dsl = "this is not a program";
+  const Response parse_error = engine.handle_now(bad);
+  EXPECT_EQ(parse_error.status, Response::Status::Error);
+  EXPECT_FALSE(parse_error.error.empty());
+
+  SynthesisRequest unknown = small_request();
+  unknown.solver = "annealing-by-vibes";
+  EXPECT_EQ(engine.handle_now(unknown).status, Response::Status::Error);
+}
+
+TEST(Engine, ConcurrentDupAndDistinctMatchSequentialByteForByte) {
+  // Sequential reference: the pure cold pipeline per unique request.
+  std::vector<SynthesisRequest> unique;
+  for (int u = 0; u < 3; ++u) {
+    SynthesisRequest request = small_request("u" + std::to_string(u));
+    request.dsl = ir::examples::two_index_dsl(16 + 2 * u, 14, 12, 10);
+    request.allow_near = false;  // near-hit seeding depends on arrival order
+    unique.push_back(std::move(request));
+  }
+  std::vector<std::string> reference;
+  reference.reserve(unique.size());
+  for (const SynthesisRequest& request : unique) {
+    reference.push_back(core::to_text(solve_request(request).plan));
+  }
+
+  Engine engine;
+  constexpr int kClients = 8;
+  std::vector<std::future<std::vector<Response>>> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::async(std::launch::async, [&, c] {
+      std::vector<Response> responses;
+      for (int i = 0; i < 6; ++i) {
+        SynthesisRequest request = unique[static_cast<std::size_t>((c + i) % 3)];
+        request.id += "#c" + std::to_string(c) + "i" + std::to_string(i);
+        responses.push_back(engine.submit(std::move(request)).get());
+      }
+      return responses;
+    }));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    const std::vector<Response> responses = clients[static_cast<std::size_t>(c)].get();
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_EQ(responses[i].status, Response::Status::Ok);
+      const std::size_t u = (static_cast<std::size_t>(c) + i) % 3;
+      EXPECT_EQ(responses[i].plan_text, reference[u])
+          << "client " << c << " request " << i;
+    }
+  }
+}
+
+TEST(Engine, OverfullQueueRejectsWithBackpressure) {
+  ServeOptions options;
+  options.threads = 1;
+  options.max_batch = 1;
+  options.max_queue = 1;
+  Engine engine(options);
+  std::vector<std::future<Response>> futures;
+  futures.reserve(12);
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(engine.submit(bigger_request("q" + std::to_string(i))));
+  }
+  int ok = 0;
+  int rejected = 0;
+  for (auto& future : futures) {
+    const Response response = future.get();
+    if (response.status == Response::Status::Ok) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status, Response::Status::Rejected);
+      EXPECT_EQ(response.error, "admission queue full");
+      ++rejected;
+    }
+  }
+  // One in flight + one queued can succeed; the flood must bounce.
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(ok, 1);
+  EXPECT_EQ(ok + rejected, 12);
+}
+
+// ---------------------------------------------------------------------
+// Transports
+
+TEST(Server, StdioServesInOrderWithControlCommands) {
+  Engine engine;
+  std::ostringstream requests;
+  requests << R"({"cmd": "ping"})" << '\n';
+  requests << request_to_json(small_request("first")) << '\n';
+  requests << request_to_json(small_request("second")) << '\n';
+  requests << R"({"cmd": "stats"})" << '\n';
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  const int served = run_stdio(engine, in, out);
+  EXPECT_EQ(served, 2);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(json_parse(line).get_bool("pong", false));
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue first = json_parse(line);
+  EXPECT_EQ(first.get_string("id"), "first");
+  EXPECT_EQ(first.get_string("cache"), "miss");
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue second = json_parse(line);
+  EXPECT_EQ(second.get_string("id"), "second");
+  EXPECT_EQ(second.get_string("cache"), "hit");
+  ASSERT_TRUE(std::getline(lines, line));
+  // Stats are rendered at emission time: both requests already counted.
+  const JsonValue stats = json_parse(line);
+  ASSERT_NE(stats.find("stats"), nullptr);
+  EXPECT_EQ(stats.find("stats")->get_int("served", -1), 2);
+}
+
+TEST(Server, StdioShutdownAcksAndStops) {
+  Engine engine;
+  std::istringstream in(std::string(R"({"cmd": "shutdown"})") + "\n" +
+                        request_to_json(small_request()) + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_stdio(engine, in, out), 0);
+  // Only the ack was written; the pipelined request after shutdown was
+  // dropped.
+  EXPECT_TRUE(json_parse(out.str()).get_bool("shutdown", false));
+}
+
+TEST(Server, StdioReportsMalformedLinesInOrder) {
+  Engine engine;
+  std::istringstream in("not json at all\n" + request_to_json(small_request("ok")) + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_stdio(engine, in, out), 2);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(json_parse(line).get_string("status"), "error");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(json_parse(line).get_string("status"), "ok");
+}
+
+std::string tcp_roundtrip(int port, const std::string& outgoing, int expected_lines) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  std::size_t sent = 0;
+  while (sent < outgoing.size()) {
+    const ssize_t n = ::send(fd, outgoing.data() + sent, outgoing.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string received;
+  int newlines = 0;
+  char chunk[4096];
+  while (newlines < expected_lines) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] == '\n') ++newlines;
+    }
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return received;
+}
+
+TEST(Server, TcpServesAndShutsDownCleanly) {
+  Engine engine;
+  TcpServer server(engine, 0);  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  std::thread serving([&] { server.serve_forever(); });
+
+  const std::string outgoing = std::string(R"({"cmd": "ping"})") + "\n" +
+                               request_to_json(small_request("tcp")) + "\n" +
+                               R"({"cmd": "shutdown"})" + "\n";
+  const std::string received = tcp_roundtrip(server.port(), outgoing, 3);
+  serving.join();  // shutdown command stops the accept loop
+
+  std::istringstream lines(received);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(json_parse(line).get_bool("pong", false));
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue response = json_parse(line);
+  EXPECT_EQ(response.get_string("id"), "tcp");
+  EXPECT_EQ(response.get_string("status"), "ok");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(json_parse(line).get_bool("shutdown", false));
+}
+
+}  // namespace
+}  // namespace oocs::serve

@@ -26,6 +26,9 @@
 //   --read-block BYTES  minimum read block (default 2MB; 0 disables both)
 //   --write-block BYTES minimum write block (default 1MB)
 //   --seek-bytes N      seek-awareness refinement (default 0 = paper-pure)
+//   --fingerprint       print the canonical structural fingerprint (the
+//                       oocsd plan-cache key; see docs/SERVING.md) and
+//                       exit without synthesizing
 //   --fuse              run loop fusion + intermediate contraction first
 //   --ampl              print the generated AMPL model
 //   --placements        print the candidate placement table (Fig. 4a style)
@@ -81,10 +84,9 @@
 #include "obs/trace.hpp"
 #include "rt/drift.hpp"
 #include "rt/interpreter.hpp"
+#include "ir/fingerprint.hpp"
 #include "rt/reference.hpp"
-#include "solver/csa.hpp"
-#include "solver/dlm.hpp"
-#include "solver/portfolio.hpp"
+#include "serve/request.hpp"
 #include "trans/fusion.hpp"
 #include "trans/tiled.hpp"
 
@@ -100,6 +102,7 @@ struct Args {
   int solver_threads = 0;  // 0 = OOCS_THREADS env, default 1
   bool use_delta = true;
   std::uint64_t seed = 1;
+  bool fingerprint = false;
   bool fuse = false;
   bool ampl = false;
   bool placements = false;
@@ -119,7 +122,7 @@ struct Args {
                "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa|portfolio]\n"
                "       [--restarts N] [--solver-threads N] [--seed N] [--no-prune]\n"
                "       [--no-delta] [--binary-eq] [--read-block BYTES] [--write-block BYTES]\n"
-               "       [--seek-bytes N] [--fuse] [--ampl] [--placements] [--tree]\n"
+               "       [--seek-bytes N] [--fingerprint] [--fuse] [--ampl] [--placements] [--tree]\n"
                "       [--run DIR] [--procs N] [--async] [--threads N] [--cache-mb N]\n"
                "       [--stats-json FILE] [--trace FILE] [--metrics-json FILE] [--version]\n",
                argv0);
@@ -160,6 +163,8 @@ Args parse_args(int argc, char** argv) {
       args.options.min_write_block_bytes = parse_bytes(need_value(i));
     } else if (std::strcmp(a, "--seek-bytes") == 0) {
       args.options.seek_cost_bytes = static_cast<double>(parse_bytes(need_value(i)));
+    } else if (std::strcmp(a, "--fingerprint") == 0) {
+      args.fingerprint = true;
     } else if (std::strcmp(a, "--fuse") == 0) {
       args.fuse = true;
     } else if (std::strcmp(a, "--ampl") == 0) {
@@ -221,33 +226,27 @@ int run(const Args& args) {
     std::printf("=== tiled parse tree ===\n%s\n", trans::tree_to_text(tiled).c_str());
   }
 
-  solver::DlmOptions dlm_options;
-  dlm_options.seed = args.seed;
-  dlm_options.use_delta = args.use_delta;
-  solver::DlmSolver dlm(dlm_options);
-  solver::CsaOptions csa_options;
-  csa_options.seed = args.seed;
-  csa_options.use_delta = args.use_delta;
-  solver::CsaSolver csa(csa_options);
-  solver::PortfolioOptions portfolio_options;
-  portfolio_options.seed = args.seed;
-  portfolio_options.restarts = args.restarts;
-  portfolio_options.threads = args.solver_threads;
-  portfolio_options.use_delta = args.use_delta;
-  solver::PortfolioSolver portfolio(portfolio_options);
-  solver::Solver* engine = nullptr;
-  if (args.solver == "dlm") {
-    engine = &dlm;
-  } else if (args.solver == "csa") {
-    engine = &csa;
-  } else if (args.solver == "portfolio") {
-    engine = &portfolio;
-  } else {
-    std::fprintf(stderr, "unknown solver '%s'\n", args.solver.c_str());
-    return 1;
+  if (args.fingerprint) {
+    const ir::Fingerprint fp = ir::fingerprint(program, args.options.memory_limit_bytes);
+    std::printf("fingerprint: %s\nshape: %016llx\nbudget: %lld bytes\ncanonical:\n%s",
+                fp.hex().c_str(), static_cast<unsigned long long>(fp.shape),
+                static_cast<long long>(fp.memory_budget_bytes), fp.canonical_text.c_str());
+    return 0;
   }
 
-  const core::SynthesisResult result = core::synthesize(program, args.options, *engine);
+  // Synthesis goes through the serve-layer request so the CLI and the
+  // oocsd daemon can never drift: a daemon cache miss for these flags
+  // runs exactly this code path.
+  serve::SynthesisRequest request;
+  request.id = args.file;
+  request.dsl = ir::to_dsl(program);
+  request.options = args.options;
+  request.solver = args.solver;
+  request.restarts = args.restarts;
+  request.solver_threads = args.solver_threads;
+  request.use_delta = args.use_delta;
+  request.seed = args.seed;
+  const core::SynthesisResult result = serve::solve_request(request);
   if (args.placements) {
     std::printf("=== candidate placements ===\n%s\n",
                 core::to_text(result.enumeration).c_str());

@@ -1,0 +1,144 @@
+// oocsd — the out-of-core synthesis daemon.
+//
+// Serves synthesis requests over a newline-delimited-JSON protocol (one
+// request object per line, one response per line, in request order; see
+// docs/SERVING.md), amortizing repeated synthesis through the canonical
+// fingerprint plan cache: exact repeats are answered from memory,
+// structurally equivalent variants warm-start the solver.
+//
+//   oocsd [options]
+//
+//   --port N           listen on 127.0.0.1:N (default 7433; 0 picks an
+//                      ephemeral port).  The bound port is printed as
+//                      "oocsd: listening on 127.0.0.1:PORT" on stdout.
+//   --stdio            serve stdin/stdout instead of a socket (exits at
+//                      EOF or on a shutdown command)
+//   --threads N        request-level parallelism (default OOCS_THREADS
+//                      env, else 1); each solve runs single-threaded
+//   --max-batch N      requests dispatched per pool batch (default 8)
+//   --max-queue N      admission bound; further submissions are
+//                      rejected with backpressure (default 64)
+//   --cache-entries N  plan-cache capacity (default 1024)
+//   --no-cache         disable the plan cache (every request solves)
+//   --metrics-json FILE dump the metrics registry on exit
+//   --version          print build identity and exit
+//
+// Exit status: 0 on clean shutdown, 1 on startup/serve errors.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace oocs;
+
+struct Args {
+  int port = 7433;
+  bool stdio = false;
+  serve::ServeOptions serve;
+  std::string metrics_json;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--stdio] [--threads N] [--max-batch N]\n"
+               "       [--max-queue N] [--cache-entries N] [--no-cache]\n"
+               "       [--metrics-json FILE] [--version]\n",
+               argv0);
+  std::exit(1);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--port") == 0) {
+      args.port = std::atoi(need_value(i));
+      if (args.port < 0 || args.port > 65535) usage(argv[0]);
+    } else if (std::strcmp(a, "--stdio") == 0) {
+      args.stdio = true;
+    } else if (std::strcmp(a, "--threads") == 0) {
+      args.serve.threads = std::atoi(need_value(i));
+      if (args.serve.threads < 0) usage(argv[0]);
+    } else if (std::strcmp(a, "--max-batch") == 0) {
+      args.serve.max_batch = std::atoi(need_value(i));
+      if (args.serve.max_batch < 1) usage(argv[0]);
+    } else if (std::strcmp(a, "--max-queue") == 0) {
+      args.serve.max_queue = std::atoi(need_value(i));
+      if (args.serve.max_queue < 1) usage(argv[0]);
+    } else if (std::strcmp(a, "--cache-entries") == 0) {
+      args.serve.cache.max_entries = std::atoll(need_value(i));
+      if (args.serve.cache.max_entries < 1) usage(argv[0]);
+    } else if (std::strcmp(a, "--no-cache") == 0) {
+      args.serve.enable_cache = false;
+    } else if (std::strcmp(a, "--metrics-json") == 0) {
+      args.metrics_json = need_value(i);
+    } else if (std::strcmp(a, "--version") == 0) {
+      std::printf("oocsd %s\n", obs::build_info_string().c_str());
+      std::exit(0);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+serve::TcpServer* g_server = nullptr;
+
+// SIGINT/SIGTERM → ask the accept loop to wind down (atomic store only).
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int run(const Args& args) {
+  serve::Engine engine(args.serve);
+  if (args.stdio) {
+    const int responses = serve::run_stdio(engine, std::cin, std::cout);
+    std::fprintf(stderr, "oocsd: served %d response%s\n", responses,
+                 responses == 1 ? "" : "s");
+  } else {
+    serve::TcpServer server(engine, args.port);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::printf("oocsd: listening on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+    server.serve_forever();
+    g_server = nullptr;
+    std::fprintf(stderr, "oocsd: shutting down; final %s\n", engine.stats_json().c_str());
+  }
+  engine.stop();
+  if (!args.metrics_json.empty()) {
+    std::ofstream os(args.metrics_json);
+    if (!os) {
+      std::fprintf(stderr, "oocsd: cannot write '%s'\n", args.metrics_json.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(os);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const oocs::Error& e) {
+    std::fprintf(stderr, "oocsd: %s\n", e.what());
+    return 1;
+  }
+}
