@@ -253,6 +253,10 @@ int run_bench(int argc, char** argv) {
   std::printf("near-hit phase: extent-scaled variants of primed programs\n");
   int near_outcomes = 0;
   bool near_never_worse = true;
+  int warm_src_greedy = 0;
+  int warm_src_near_hit = 0;
+  int warm_src_relaxation = 0;
+  int warm_src_none = 0;
   serve::Engine cold_reference(cold_options);
   const int num_variants = std::max(2, num_unique / 4);
   for (int r = 0; r < num_variants; ++r) {
@@ -269,14 +273,23 @@ int run_bench(int argc, char** argv) {
       return 1;
     }
     if (warm.cache_outcome == "near_hit") ++near_outcomes;
+    if (warm.warm_start_source == "greedy") {
+      ++warm_src_greedy;
+    } else if (warm.warm_start_source == "near_hit") {
+      ++warm_src_near_hit;
+    } else if (warm.warm_start_source == "relaxation") {
+      ++warm_src_relaxation;
+    } else {
+      ++warm_src_none;
+    }
     if (warm.predicted_disk_bytes > cold.predicted_disk_bytes) {
       near_never_worse = false;
       std::fprintf(stderr, "  variant %d: warm %.0f bytes WORSE than cold %.0f\n", r,
                    warm.predicted_disk_bytes, cold.predicted_disk_bytes);
     }
-    std::printf("  variant %d: %s, warm %.0f vs cold %.0f disk bytes\n", r,
-                warm.cache_outcome.c_str(), warm.predicted_disk_bytes,
-                cold.predicted_disk_bytes);
+    std::printf("  variant %d: %s (seed %s), warm %.0f vs cold %.0f disk bytes\n", r,
+                warm.cache_outcome.c_str(), warm.warm_start_source.c_str(),
+                warm.predicted_disk_bytes, cold.predicted_disk_bytes);
   }
 
   // -- Gates.
@@ -329,6 +342,10 @@ int run_bench(int argc, char** argv) {
        << ", \"requests_per_second\": " << obs::json_number(warm_rate, 2)
        << ", \"hit_rate\": " << obs::json_number(hit_rate, 4) << ", \"hits\": " << hits
        << ", \"near_hits\": " << near_hits << ", \"misses\": " << misses << "},\n";
+    os << "  \"warm_start_sources\": {\"greedy\": " << warm_src_greedy
+       << ", \"near_hit\": " << warm_src_near_hit
+       << ", \"relaxation\": " << warm_src_relaxation
+       << ", \"none\": " << warm_src_none << "},\n";
     os << "  \"gates\": {";
     for (std::size_t i = 0; i < gates.size(); ++i) {
       os << (i == 0 ? "" : ", ") << '"' << gates[i].name << "\": "

@@ -54,6 +54,13 @@ struct SynthesisOptions {
   /// set it from the disk model so volume ties break toward fewer,
   /// larger transfers.
   double seek_cost_bytes = 0;
+  /// Continuous-relaxation warm start (synthesize() only): solve the
+  /// augmented-Lagrangian relaxation of the NLP, round-and-repair it to
+  /// the grid, and let the result compete with the greedy sweep (and any
+  /// injected near-hit point) for the solver's seed.  The seed choice is
+  /// best-of, so turning this on can only improve the starting point;
+  /// `oocsc --no-relax` and the PR-5-baseline bench rows turn it off.
+  bool relaxation_warm_start = true;
 };
 
 /// The in-memory buffer shape of an access: each array dimension is

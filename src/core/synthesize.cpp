@@ -93,27 +93,59 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
   }();
   if (greedy.has_value()) greedy_cost = greedy->cost;
 
-  // An injected warm start (the plan cache's near-hit path) competes
-  // with the greedy point on the compiled NLP; the solver is seeded
-  // from whichever is better, so injection can only improve the seed.
-  // Without injection this block is dead and the pipeline is untouched.
+  // Seed competition: the greedy point, the rounded continuous
+  // relaxation, and any injected near-hit point are all evaluated on
+  // the compiled NLP and the solver is seeded from the best (feasible
+  // first, then objective) — a candidate can only improve the seed.
   const Decisions* seed = greedy.has_value() ? &greedy->decisions : nullptr;
+  std::string seed_source = seed != nullptr ? "greedy" : "none";
   std::optional<double> warm_cost;
   bool warm_used = false;
-  if (warm_start != nullptr && covers_enumeration(*warm_start, enumeration)) {
+  std::optional<double> relaxation_cost;
+  std::optional<solver::RelaxationStats> relaxation_stats;
+  Decisions relaxation_decisions;  // backing store while `seed` points at it
+
+  const bool inject = warm_start != nullptr && covers_enumeration(*warm_start, enumeration);
+  if (options.relaxation_warm_start || inject) {
     OOCS_SPAN("synth", "warm_start_eval");
     const solver::CompiledProblem cp(model.problem);
-    const std::vector<double> wx = point_of(cp, model, enumeration, *warm_start);
-    if (cp.max_violation(wx) <= 1e-9) {
-      warm_cost = cp.objective(wx);
-      bool beats_greedy = true;
-      if (seed != nullptr) {
-        const std::vector<double> gx = point_of(cp, model, enumeration, *seed);
-        beats_greedy = cp.max_violation(gx) > 1e-9 || *warm_cost < cp.objective(gx);
+
+    // Exact §4.2 cost of the current (greedy) seed on the NLP.
+    std::optional<double> seed_cost;
+    if (seed != nullptr) {
+      const std::vector<double> gx = point_of(cp, model, enumeration, *seed);
+      if (cp.max_violation(gx) <= 1e-9) seed_cost = cp.objective(gx);
+    }
+
+    if (options.relaxation_warm_start) {
+      OOCS_SPAN("synth", "relaxation_warm_start");
+      const solver::AugLagSolver relax;
+      solver::RelaxationStats rs;
+      const std::vector<double> start =
+          seed != nullptr ? point_of(cp, model, enumeration, *seed) : cp.initial_point();
+      const solver::Solution rsol = relax.solve(cp, start, &rs);
+      relaxation_stats = rs;
+      if (rsol.feasible) {
+        relaxation_cost = rsol.objective;
+        if (!seed_cost.has_value() || rsol.objective < *seed_cost) {
+          relaxation_decisions = decode(model, enumeration, rsol);
+          seed = &relaxation_decisions;
+          seed_source = "relaxation";
+          seed_cost = rsol.objective;
+        }
       }
-      if (beats_greedy) {
-        seed = warm_start;
-        warm_used = true;
+    }
+
+    if (inject) {
+      const std::vector<double> wx = point_of(cp, model, enumeration, *warm_start);
+      if (cp.max_violation(wx) <= 1e-9) {
+        warm_cost = cp.objective(wx);
+        if (!seed_cost.has_value() || *warm_cost < *seed_cost) {
+          seed = warm_start;
+          seed_source = "near_hit";
+          warm_used = true;
+          seed_cost = warm_cost;
+        }
       }
     }
   }
@@ -164,8 +196,12 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
   result.greedy_cost = greedy_cost;
   result.warm_cost = warm_cost;
   result.warm_start_used = warm_used;
+  result.warm_start_source = seed != nullptr ? seed_source : "none";
+  result.relaxation_cost = relaxation_cost;
+  result.relaxation = relaxation_stats;
   {
     auto& m = obs::metrics();
+    m.counter(std::string("synth.warm_start.") + result.warm_start_source).add(1);
     m.counter("solver.evaluations").add(result.solution.stats.evaluations);
     m.counter("solver.delta_evaluations").add(result.solution.stats.delta_evaluations);
     m.counter("solver.full_evaluations").add(result.solution.stats.full_evaluations);

@@ -16,6 +16,7 @@
 #include "core/nlp.hpp"
 #include "core/plan.hpp"
 #include "core/predict.hpp"
+#include "solver/auglag.hpp"
 #include "solver/problem.hpp"
 
 namespace oocs::core {
@@ -49,6 +50,16 @@ struct SynthesisResult {
   /// True when the injected warm start beat the greedy sweep and seeded
   /// the solver (the plan-cache near-hit path).
   bool warm_start_used = false;
+  /// Which warm-start candidate seeded the solver: "greedy", "near_hit",
+  /// "relaxation", or "none" when no candidate produced a usable point.
+  std::string warm_start_source = "none";
+  /// §4.2 objective of the rounded relaxation point (set when the
+  /// relaxation warm start ran and rounded to a feasible point).
+  std::optional<double> relaxation_cost;
+  /// Diagnostics of the relaxation warm-start solve (outer/inner
+  /// iterations, KKT residual, rounded-vs-relaxed gap); unset when
+  /// SynthesisOptions::relaxation_warm_start is off.
+  std::optional<solver::RelaxationStats> relaxation;
 
   /// Chosen option labels per group, e.g. "A: read above nT".
   [[nodiscard]] std::string decisions_to_text() const;

@@ -24,6 +24,41 @@ CompiledExpr::CompiledExpr(const Expr& e, VarTable& table) {
   compile(e.simplified(), table);
   // Conservative stack bound: every instruction pushes at most one value.
   max_stack_ = ops_.size() + 1;
+  build_operand_index();
+}
+
+int CompiledExpr::arity(const Instr& ins) const noexcept {
+  switch (ins.op) {
+    case Op::PushConst:
+    case Op::PushVar:
+      return 0;
+    case Op::Add:
+    case Op::Mul:
+      return ins.arg;
+    case Op::Div:
+    case Op::CeilDiv:
+    case Op::Min:
+    case Op::Max:
+      return 2;
+  }
+  return 0;
+}
+
+void CompiledExpr::build_operand_index() {
+  operand_start_.assign(ops_.size() + 1, 0);
+  std::vector<int> stack;
+  stack.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const int n = arity(ops_[i]);
+    operand_start_[i] = static_cast<int>(operand_index_.size());
+    for (int k = 0; k < n; ++k) {
+      OOCS_CHECK(!stack.empty(), "unbalanced expression program");
+      operand_index_.push_back(stack.back());
+      stack.pop_back();
+    }
+    stack.push_back(static_cast<int>(i));
+  }
+  operand_start_[ops_.size()] = static_cast<int>(operand_index_.size());
 }
 
 void CompiledExpr::compile(const Expr& e, VarTable& table) {
@@ -123,6 +158,138 @@ double CompiledExpr::eval(std::span<const double> values) const {
   }
   OOCS_CHECK(sp == base + 1, "unbalanced expression program");
   return *(sp - 1);
+}
+
+namespace {
+constexpr std::size_t kInlineTape = 64;
+}  // namespace
+
+double CompiledExpr::eval_smooth(std::span<const double> values) const {
+  std::span<double> none;
+  return eval_with_grad(values, none, 0.0);
+}
+
+double CompiledExpr::eval_with_grad(std::span<const double> values, std::span<double> grad,
+                                    double weight) const {
+  OOCS_REQUIRE(static_cast<int>(values.size()) >= min_values_,
+               "value span too small: ", values.size(), " < ", min_values_);
+  const bool want_grad = weight != 0.0;
+  OOCS_REQUIRE(!want_grad || static_cast<int>(grad.size()) >= min_values_,
+               "gradient span too small: ", grad.size(), " < ", min_values_);
+  const std::size_t n = ops_.size();
+  if (n == 0) return 0;
+
+  // One value and one adjoint per instruction; inline storage for the
+  // small tapes every oocs cost term compiles to.
+  double val_buf[kInlineTape];
+  double adj_buf[kInlineTape];
+  std::vector<double> heap;
+  double* val = val_buf;
+  double* adj = adj_buf;
+  if (n > kInlineTape) {
+    heap.resize(2 * n);
+    val = heap.data();
+    adj = heap.data() + n;
+  }
+
+  // Forward sweep over the static dataflow.  Add/Mul accumulate in pop
+  // order — the same order `eval` uses — so the smooth value differs
+  // from `eval` only where a CeilDiv rounds.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& ins = ops_[i];
+    const int* operand = operand_index_.data() + operand_start_[i];
+    switch (ins.op) {
+      case Op::PushConst:
+        val[i] = ins.value;
+        break;
+      case Op::PushVar:
+        val[i] = values[static_cast<std::size_t>(ins.arg)];
+        break;
+      case Op::Add: {
+        double sum = 0;
+        for (int k = 0; k < ins.arg; ++k) sum += val[operand[k]];
+        val[i] = sum;
+        break;
+      }
+      case Op::Mul: {
+        double prod = 1;
+        for (int k = 0; k < ins.arg; ++k) prod *= val[operand[k]];
+        val[i] = prod;
+        break;
+      }
+      case Op::Div:
+      case Op::CeilDiv:
+        val[i] = val[operand[1]] / val[operand[0]];
+        break;
+      case Op::Min: {
+        const double b = val[operand[0]];
+        const double a = val[operand[1]];
+        val[i] = a < b ? a : b;
+        break;
+      }
+      case Op::Max: {
+        const double b = val[operand[0]];
+        const double a = val[operand[1]];
+        val[i] = a > b ? a : b;
+        break;
+      }
+    }
+  }
+  if (!want_grad) return val[n - 1];
+
+  // Reverse adjoint sweep.  CeilDiv already evaluated as the smooth
+  // quotient above; Min/Max route the adjoint through the selected
+  // branch (a subgradient at exact ties).
+  for (std::size_t i = 0; i < n; ++i) adj[i] = 0;
+  adj[n - 1] = weight;
+  for (std::size_t i = n; i-- > 0;) {
+    const double a_i = adj[i];
+    if (a_i == 0) continue;
+    const Instr& ins = ops_[i];
+    const int* operand = operand_index_.data() + operand_start_[i];
+    switch (ins.op) {
+      case Op::PushConst:
+        break;
+      case Op::PushVar:
+        grad[static_cast<std::size_t>(ins.arg)] += a_i;
+        break;
+      case Op::Add:
+        for (int k = 0; k < ins.arg; ++k) adj[operand[k]] += a_i;
+        break;
+      case Op::Mul:
+        // O(arity²) partial products; cost-model monomials have tiny
+        // arity and this avoids 0/0 issues of the divide-out shortcut.
+        for (int k = 0; k < ins.arg; ++k) {
+          double others = 1;
+          for (int m = 0; m < ins.arg; ++m) {
+            if (m != k) others *= val[operand[m]];
+          }
+          adj[operand[k]] += a_i * others;
+        }
+        break;
+      case Op::Div:
+      case Op::CeilDiv: {
+        const double b = val[operand[0]];
+        const double a = val[operand[1]];
+        adj[operand[1]] += a_i / b;
+        adj[operand[0]] -= a_i * a / (b * b);
+        break;
+      }
+      case Op::Min: {
+        const double b = val[operand[0]];
+        const double a = val[operand[1]];
+        adj[operand[a < b ? 1 : 0]] += a_i;
+        break;
+      }
+      case Op::Max: {
+        const double b = val[operand[0]];
+        const double a = val[operand[1]];
+        adj[operand[a > b ? 1 : 0]] += a_i;
+        break;
+      }
+    }
+  }
+  return val[n - 1];
 }
 
 }  // namespace oocs::expr

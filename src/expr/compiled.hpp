@@ -46,6 +46,21 @@ class CompiledExpr {
   /// Evaluate with `values[slot]` supplying every variable.
   [[nodiscard]] double eval(std::span<const double> values) const;
 
+  /// Smooth-relaxation value: identical to `eval` except CeilDiv(a, b)
+  /// evaluates to the real quotient a/b.  This is the C¹ surrogate the
+  /// continuous-relaxation solver descends on (Min/Max keep their exact
+  /// piecewise-smooth values).
+  [[nodiscard]] double eval_smooth(std::span<const double> values) const;
+
+  /// Reverse-mode gradient of the smooth relaxation: accumulates
+  /// `weight · ∂e/∂values[slot]` into `grad[slot]` for every referenced
+  /// slot and returns the smooth value (== eval_smooth).  Non-smooth
+  /// nodes use subgradients: CeilDiv differentiates as the quotient,
+  /// Min/Max propagate through the branch `eval` selects.  Thread-safe
+  /// with distinct grad spans.
+  double eval_with_grad(std::span<const double> values, std::span<double> grad,
+                        double weight = 1.0) const;
+
   /// Highest slot index referenced plus one (0 for constant exprs).
   [[nodiscard]] int min_values_size() const noexcept { return min_values_; }
 
@@ -62,8 +77,17 @@ class CompiledExpr {
   std::vector<Instr> ops_;
   int min_values_ = 0;
   std::size_t max_stack_ = 1;
+  /// Static dataflow: operand_index_[operand_start_[i]..operand_start_[i+1])
+  /// holds the producer-instruction indices of instruction i's operands
+  /// in pop order (reverse of the source operand order) — the reverse
+  /// sweep of eval_with_grad walks this instead of re-simulating the
+  /// stack.
+  std::vector<int> operand_index_;
+  std::vector<int> operand_start_;
 
   void compile(const Expr& e, VarTable& table);
+  void build_operand_index();
+  [[nodiscard]] int arity(const Instr& ins) const noexcept;
 };
 
 }  // namespace oocs::expr

@@ -42,7 +42,8 @@ std::string Response::to_json() const {
        << ", \"disk_bytes\": " << obs::json_number(predicted_disk_bytes, 1)
        << ", \"memory_bytes\": " << obs::json_number(memory_bytes, 1)
        << ", \"codegen_seconds\": " << obs::json_number(codegen_seconds)
-       << ", \"warm_start_used\": " << (warm_start_used ? "true" : "false");
+       << ", \"warm_start_used\": " << (warm_start_used ? "true" : "false")
+       << ", \"warm_start_source\": " << obs::json_quote(warm_start_source);
     if (greedy_cost) os << ", \"greedy_cost\": " << obs::json_number(*greedy_cost, 1);
     if (warm_cost) os << ", \"warm_cost\": " << obs::json_number(*warm_cost, 1);
     os << ", \"decisions\": " << obs::json_quote(decisions_text)
@@ -171,6 +172,7 @@ Response Engine::handle(const SynthesisRequest& request) {
         response.greedy_cost = cached->result.greedy_cost;
         response.warm_cost = cached->result.warm_cost;
         response.warm_start_used = cached->result.warm_start_used;
+        response.warm_start_source = cached->result.warm_start_source;
         response.plan_text = cached->plan_text;
         response.decisions_text = cached->decisions_text;
         {
@@ -205,7 +207,9 @@ Response Engine::handle(const SynthesisRequest& request) {
     response.greedy_cost = result.greedy_cost;
     response.warm_cost = result.warm_cost;
     response.warm_start_used = result.warm_start_used;
+    response.warm_start_source = result.warm_start_source;
     response.plan_text = core::to_text(result.plan);
+    count_warm_start(result.warm_start_source);
     response.decisions_text = result.decisions_to_text();
 
     if (use_cache) {
@@ -231,17 +235,39 @@ Response Engine::handle(const SynthesisRequest& request) {
   return response;
 }
 
+void Engine::count_warm_start(const std::string& source) {
+  obs::metrics().counter("serve.warm_start." + source).add();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (source == "greedy") {
+    ++warm_greedy_;
+  } else if (source == "near_hit") {
+    ++warm_near_hit_;
+  } else if (source == "relaxation") {
+    ++warm_relaxation_;
+  } else {
+    ++warm_none_;
+  }
+}
+
 std::string Engine::stats_json() const {
   std::int64_t served = 0;
   std::int64_t errors = 0;
   std::int64_t rejected = 0;
   std::int64_t queued = 0;
+  std::int64_t warm_greedy = 0;
+  std::int64_t warm_near_hit = 0;
+  std::int64_t warm_relaxation = 0;
+  std::int64_t warm_none = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     served = served_;
     errors = errors_;
     rejected = rejected_;
     queued = static_cast<std::int64_t>(queue_.size());
+    warm_greedy = warm_greedy_;
+    warm_near_hit = warm_near_hit_;
+    warm_relaxation = warm_relaxation_;
+    warm_none = warm_none_;
   }
   const PlanCacheCounters cc = cache_.counters();
   std::ostringstream os;
@@ -250,7 +276,11 @@ std::string Engine::stats_json() const {
      << ", \"cache\": {\"entries\": " << cache_.entries()
      << ", \"exact_hits\": " << cc.exact_hits << ", \"near_hits\": " << cc.near_hits
      << ", \"misses\": " << cc.misses << ", \"insertions\": " << cc.insertions
-     << ", \"evictions\": " << cc.evictions << "}}";
+     << ", \"evictions\": " << cc.evictions << "}"
+     << ", \"warm_starts\": {\"greedy\": " << warm_greedy
+     << ", \"near_hit\": " << warm_near_hit
+     << ", \"relaxation\": " << warm_relaxation << ", \"none\": " << warm_none
+     << "}}";
   return os.str();
 }
 

@@ -71,6 +71,9 @@ struct Response {
   std::optional<double> greedy_cost;
   std::optional<double> warm_cost;
   bool warm_start_used = false;
+  /// Which candidate seeded the solver for the plan served: "greedy",
+  /// "near_hit", "relaxation", or "none" (empty for error/rejection).
+  std::string warm_start_source;
   std::string plan_text;
   std::string decisions_text;
   /// Engine-side timings for this request.
@@ -121,6 +124,7 @@ class Engine {
 
   void dispatcher_loop();
   [[nodiscard]] Response handle(const SynthesisRequest& request);
+  void count_warm_start(const std::string& source);
 
   ServeOptions options_;
   PlanCache cache_;
@@ -133,6 +137,12 @@ class Engine {
   std::int64_t rejected_ = 0;
   std::int64_t served_ = 0;
   std::int64_t errors_ = 0;
+  /// Warm-start provenance of solved (non-hit) responses, keyed
+  /// greedy / near_hit / relaxation / none — the daemon `stats` rollup.
+  std::int64_t warm_greedy_ = 0;
+  std::int64_t warm_near_hit_ = 0;
+  std::int64_t warm_relaxation_ = 0;
+  std::int64_t warm_none_ = 0;
 
   std::thread dispatcher_;
 };

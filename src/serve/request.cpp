@@ -8,6 +8,7 @@
 #include "ir/parser.hpp"
 #include "obs/json.hpp"
 #include "serve/json.hpp"
+#include "solver/auglag.hpp"
 #include "solver/csa.hpp"
 #include "solver/dlm.hpp"
 #include "solver/portfolio.hpp"
@@ -25,6 +26,7 @@ std::uint64_t SynthesisRequest::config_digest() const {
   h.feed_byte(options.enforce_block_constraints ? 1 : 0);
   h.feed_byte(options.add_binary_equalities ? 1 : 0);
   h.feed_byte(options.prune_dominated ? 1 : 0);
+  h.feed_byte(options.relaxation_warm_start ? 1 : 0);
   // seek_cost_bytes is a double with integral provenance (bytes); feed
   // its bit pattern so any change alters the digest.
   std::uint64_t seek_bits = 0;
@@ -33,6 +35,13 @@ std::uint64_t SynthesisRequest::config_digest() const {
   h.feed(seek_bits);
   return h.digest();
 }
+
+bool is_known_solver(const std::string& name) {
+  return name == "dlm" || name == "csa" || name == "portfolio" || name == "auglag" ||
+         name == "portfolio+auglag";
+}
+
+const char* known_solvers() { return "dlm | csa | portfolio | auglag | portfolio+auglag"; }
 
 std::unique_ptr<solver::Solver> make_solver(const SynthesisRequest& request) {
   if (request.solver == "dlm") {
@@ -47,15 +56,22 @@ std::unique_ptr<solver::Solver> make_solver(const SynthesisRequest& request) {
     o.use_delta = request.use_delta;
     return std::make_unique<solver::CsaSolver>(o);
   }
-  if (request.solver == "portfolio") {
+  if (request.solver == "auglag") {
+    solver::AugLagOptions o;
+    o.seed = request.seed;
+    return std::make_unique<solver::AugLagSolver>(o);
+  }
+  if (request.solver == "portfolio" || request.solver == "portfolio+auglag") {
     solver::PortfolioOptions o;
     o.seed = request.seed;
     o.restarts = request.restarts;
     o.threads = request.solver_threads;
     o.use_delta = request.use_delta;
+    o.use_auglag = request.solver == "portfolio+auglag";
     return std::make_unique<solver::PortfolioSolver>(o);
   }
-  throw Error("unknown solver '" + request.solver + "'");
+  throw Error("unknown solver '" + request.solver + "' (valid: " +
+              std::string(known_solvers()) + ")");
 }
 
 core::SynthesisResult solve_request(const SynthesisRequest& request,
@@ -85,6 +101,7 @@ SynthesisRequest request_from_json(const std::string& line) {
   request.options.seek_cost_bytes =
       v.get_number("seek_bytes", request.options.seek_cost_bytes);
   request.options.prune_dominated = !v.get_bool("no_prune", false);
+  request.options.relaxation_warm_start = !v.get_bool("no_relax", false);
   request.options.add_binary_equalities = v.get_bool("binary_eq", false);
   request.solver = v.get_string("solver", request.solver);
   request.restarts = static_cast<int>(v.get_int("restarts", request.restarts));
@@ -107,6 +124,7 @@ std::string request_to_json(const SynthesisRequest& request) {
      << ", \"solver\": " << obs::json_quote(request.solver)
      << ", \"restarts\": " << request.restarts << ", \"seed\": " << request.seed;
   if (!request.options.prune_dominated) os << ", \"no_prune\": true";
+  if (!request.options.relaxation_warm_start) os << ", \"no_relax\": true";
   if (request.options.add_binary_equalities) os << ", \"binary_eq\": true";
   if (!request.use_delta) os << ", \"no_delta\": true";
   if (!request.allow_cache) os << ", \"no_cache\": true";

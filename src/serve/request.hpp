@@ -21,7 +21,8 @@ struct SynthesisRequest {
   std::string dsl;
   /// Memory budget, block constraints, pruning, seek refinement.
   core::SynthesisOptions options;
-  /// "dlm" | "csa" | "portfolio" (the oocsc --solver values).
+  /// "dlm" | "csa" | "portfolio" | "auglag" | "portfolio+auglag" (the
+  /// oocsc --solver values).
   std::string solver = "dlm";
   /// Portfolio worker count (--restarts).
   int restarts = 4;
@@ -48,6 +49,12 @@ struct SynthesisRequest {
 
 /// Builds the solver the request asks for (oocsc's --solver semantics).
 [[nodiscard]] std::unique_ptr<solver::Solver> make_solver(const SynthesisRequest& request);
+
+/// True when `name` is a solver make_solver accepts.
+[[nodiscard]] bool is_known_solver(const std::string& name);
+
+/// The accepted solver names, for error messages ("dlm | csa | ...").
+[[nodiscard]] const char* known_solvers();
 
 /// Parses the request's DSL and runs the full synthesis pipeline —
 /// exactly what single-shot oocsc does for the same flags.  With a null

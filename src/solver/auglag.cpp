@@ -1,0 +1,514 @@
+#include "solver/auglag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
+namespace oocs::solver {
+
+namespace {
+
+/// Log grid {lower, 1, 2, 4, …, upper} of an integer variable — the same
+/// geometric ladder the greedy sweep and the dominance pre-pass sample.
+std::vector<double> log_grid(const Variable& v) {
+  std::vector<double> grid;
+  grid.push_back(static_cast<double>(v.lower));
+  for (std::int64_t p = 1; p < v.upper; p *= 2) {
+    if (p > v.lower) grid.push_back(static_cast<double>(p));
+  }
+  if (v.upper > v.lower) grid.push_back(static_cast<double>(v.upper));
+  return grid;
+}
+
+/// Index of the grid value nearest to `value` in log space (ties break
+/// toward the smaller value; `value` must be positive or the comparison
+/// falls back to linear distance).
+std::size_t snap_index(double value, const std::vector<double>& grid) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    double dist;
+    if (value > 0 && grid[k] > 0) {
+      dist = std::fabs(std::log(value) - std::log(grid[k]));
+    } else {
+      dist = std::fabs(value - grid[k]);
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = k;
+    }
+  }
+  return best;
+}
+
+struct Score {
+  bool feasible = false;
+  double objective = 0;
+  double max_violation = 0;
+};
+
+Score score_of(const CompiledProblem& cp, std::span<const double> x, double tol) {
+  Score s;
+  s.max_violation = cp.max_violation(x);
+  s.feasible = s.max_violation <= tol;
+  s.objective = cp.objective(x);
+  return s;
+}
+
+/// Strict "a beats b": feasible first, then objective, then violation.
+bool score_better(const Score& a, const Score& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (a.feasible) return a.objective < b.objective;
+  return a.max_violation < b.max_violation;
+}
+
+/// Greedy repair: while the point violates a constraint, apply the move
+/// that lexicographically minimizes (max violation, total violation,
+/// objective); stop when no move strictly reduces the violation pair.
+/// Moves are single-variable grid steps (one log-grid step in either
+/// direction, or a jump to either grid end — Min/Max plateaus need more
+/// than one doubling to cross), binary flips, and whole option codes of
+/// each coupled λ group (the memory-light placement is often several
+/// simultaneous bit flips away).  Deterministic: candidates are scanned
+/// in a fixed order and ties keep the earlier move.
+std::vector<double> repair(const CompiledProblem& cp, std::vector<double> x, double tol) {
+  const int n = cp.num_variables();
+  std::vector<std::vector<double>> grids(static_cast<std::size_t>(n));
+  std::vector<std::size_t> at(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const Variable& v = cp.variable(i);
+    if (v.is_binary()) continue;
+    grids[static_cast<std::size_t>(i)] = log_grid(v);
+    at[static_cast<std::size_t>(i)] =
+        snap_index(x[static_cast<std::size_t>(i)], grids[static_cast<std::size_t>(i)]);
+    // Repair moves walk the grid, so align the start to it.
+    x[static_cast<std::size_t>(i)] =
+        grids[static_cast<std::size_t>(i)][at[static_cast<std::size_t>(i)]];
+  }
+
+  struct LambdaGroup {
+    std::vector<int> slots;  // LSB first
+    int num_values = 0;
+  };
+  std::vector<LambdaGroup> groups;
+  for (const Problem::CoupledGroup& g : cp.coupled_groups()) {
+    LambdaGroup group;
+    for (const std::string& name : g.names) group.slots.push_back(cp.slot_of(name));
+    const int all = 1 << static_cast<int>(group.slots.size());
+    group.num_values = g.num_values > 0 ? std::min(g.num_values, all) : all;
+    groups.push_back(std::move(group));
+  }
+
+  std::vector<double> scratch;
+  const int max_passes = 4096;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const double mv = cp.max_violation(x);
+    if (mv <= tol) break;
+    const double tv = cp.total_violation(x);
+
+    bool have_best = false;
+    std::vector<double> best_x;
+    int best_var = -1;
+    std::size_t best_grid = 0;
+    double best_mv = mv;
+    double best_tv = tv;
+    double best_obj = std::numeric_limits<double>::infinity();
+
+    const auto consider = [&](int var, std::size_t grid_pos) {
+      const double cand_mv = cp.max_violation(scratch);
+      const double cand_tv = cp.total_violation(scratch);
+      const double cand_obj = cp.objective(scratch);
+      const bool improves =
+          cand_mv < best_mv ||
+          (cand_mv == best_mv &&
+           (cand_tv < best_tv || (cand_tv == best_tv && cand_obj < best_obj &&
+                                  (cand_mv < mv || cand_tv < tv))));
+      if (improves) {
+        have_best = true;
+        best_x = scratch;
+        best_var = var;
+        best_grid = grid_pos;
+        best_mv = cand_mv;
+        best_tv = cand_tv;
+        best_obj = cand_obj;
+      }
+    };
+
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const Variable& v = cp.variable(i);
+      double candidates[4];
+      std::size_t grid_pos[4];
+      int count = 0;
+      if (v.is_binary()) {
+        candidates[count] = x[ui] == 0 ? 1 : 0;
+        grid_pos[count++] = 0;
+      } else {
+        const std::vector<double>& grid = grids[ui];
+        if (at[ui] > 0) {
+          candidates[count] = grid[at[ui] - 1];
+          grid_pos[count++] = at[ui] - 1;
+        }
+        if (at[ui] + 1 < grid.size()) {
+          candidates[count] = grid[at[ui] + 1];
+          grid_pos[count++] = at[ui] + 1;
+        }
+        // Grid-end jumps cross Min/Max plateaus in one move.
+        if (at[ui] > 1) {
+          candidates[count] = grid.front();
+          grid_pos[count++] = 0;
+        }
+        if (at[ui] + 2 < grid.size()) {
+          candidates[count] = grid.back();
+          grid_pos[count++] = grid.size() - 1;
+        }
+      }
+      for (int c = 0; c < count; ++c) {
+        scratch = x;
+        scratch[ui] = candidates[c];
+        consider(i, grid_pos[c]);
+      }
+    }
+
+    // Whole placement codes (valid codes only, ascending).
+    for (const LambdaGroup& group : groups) {
+      for (int code = 0; code < group.num_values; ++code) {
+        scratch = x;
+        bool differs = false;
+        for (std::size_t b = 0; b < group.slots.size(); ++b) {
+          const double bit = static_cast<double>((code >> b) & 1);
+          const auto slot = static_cast<std::size_t>(group.slots[b]);
+          differs = differs || scratch[slot] != bit;
+          scratch[slot] = bit;
+        }
+        if (differs) consider(-1, 0);
+      }
+    }
+
+    // No move strictly reduces the violation pair: stuck.
+    if (!have_best || (best_mv >= mv && best_tv >= tv)) break;
+    x = best_x;
+    if (best_var >= 0 && !cp.variable(best_var).is_binary()) {
+      at[static_cast<std::size_t>(best_var)] = best_grid;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+RoundResult round_to_grid(const CompiledProblem& cp, std::span<const double> relaxed,
+                          double feasibility_tolerance) {
+  const int n = cp.num_variables();
+
+  // Naive nearest-integer rounding (the quality floor).
+  std::vector<double> naive(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    naive[static_cast<std::size_t>(i)] = cp.clamp(i, relaxed[static_cast<std::size_t>(i)]);
+  }
+
+  // Log-grid snap: binaries to {0, 1}, everything else to the nearest
+  // grid value in log space.
+  std::vector<double> snapped(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const Variable& v = cp.variable(i);
+    if (v.is_binary()) {
+      snapped[ui] = relaxed[ui] >= 0.5 ? 1 : 0;
+    } else {
+      const std::vector<double> grid = log_grid(v);
+      snapped[ui] = grid[snap_index(relaxed[ui], grid)];
+    }
+  }
+
+  // Deterministic reduction over the candidate ladder; the repaired
+  // snap leads, naive rounding competes last so the result can never be
+  // worse than it.  The all-lower-bounds floor backstops feasibility
+  // (minimal buffers, option code 0).
+  std::vector<double> floor_point(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    floor_point[static_cast<std::size_t>(i)] = static_cast<double>(cp.variable(i).lower);
+  }
+
+  const std::vector<std::vector<double>> candidates{
+      repair(cp, snapped, feasibility_tolerance), std::move(snapped),
+      repair(cp, naive, feasibility_tolerance), naive, std::move(floor_point)};
+
+  RoundResult best;
+  Score best_score;
+  bool first = true;
+  for (const std::vector<double>& x : candidates) {
+    const Score s = score_of(cp, x, feasibility_tolerance);
+    if (first || score_better(s, best_score)) {
+      best.x = x;
+      best_score = s;
+      first = false;
+    }
+  }
+  best.feasible = best_score.feasible;
+  best.objective = best_score.objective;
+  best.max_violation = best_score.max_violation;
+  return best;
+}
+
+Solution AugLagSolver::solve(const CompiledProblem& cp, std::span<const double> x0,
+                             RelaxationStats* stats) const {
+  Stopwatch timer;
+  const int n = cp.num_variables();
+  const int m = cp.num_constraints();
+
+  // Change of variables: tile-size slots (integer bounds ≥ 1) descend in
+  // log space so their huge ranges stay well conditioned; binaries and
+  // anything with a non-positive lower bound stay linear.
+  std::vector<char> log_space(static_cast<std::size_t>(n), 0);
+  std::vector<double> lo(static_cast<std::size_t>(n));
+  std::vector<double> hi(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const Variable& v = cp.variable(i);
+    if (!v.is_binary() && v.lower >= 1) {
+      log_space[ui] = 1;
+      lo[ui] = std::log(static_cast<double>(v.lower));
+      hi[ui] = std::log(static_cast<double>(v.upper));
+    } else {
+      lo[ui] = static_cast<double>(v.lower);
+      hi[ui] = static_cast<double>(v.upper);
+    }
+  }
+  const auto box = [&](int i, double u) {
+    const auto ui = static_cast<std::size_t>(i);
+    return std::min(hi[ui], std::max(lo[ui], u));
+  };
+  const auto encode = [&](std::span<const double> x, std::vector<double>& u) {
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const double raw =
+          log_space[ui] != 0 ? std::log(std::max(1.0, x[ui])) : x[ui];
+      u[ui] = box(i, raw);
+    }
+  };
+  const auto decode = [&](const std::vector<double>& u, std::vector<double>& x) {
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      x[ui] = log_space[ui] != 0 ? std::exp(u[ui]) : u[ui];
+    }
+  };
+
+  std::vector<double> mu(static_cast<std::size_t>(m), 0.0);
+  double rho = options_.initial_penalty;
+  double eta = options_.bcl_eta0;
+  const double fscale = 1.0 / cp.objective_scale();
+
+  std::int64_t evals = 0;
+  std::vector<double> xbuf(static_cast<std::size_t>(n));
+
+  // Augmented Lagrangian of the smooth relaxation at u (g receives the
+  // scaled constraint values; grad, when non-null, the u-space
+  // gradient).  Equalities use the quadratic-penalty form, inequalities
+  // the PHR form whose inactive branch contributes a constant, so the
+  // merit value is continuous across activation.
+  const auto evaluate = [&](const std::vector<double>& u, std::vector<double>& g,
+                            std::vector<double>* grad) -> double {
+    decode(u, xbuf);
+    double lagrangian = 0;
+    if (grad != nullptr) {
+      std::fill(grad->begin(), grad->end(), 0.0);
+      lagrangian = cp.function_value_grad(0, xbuf, *grad, fscale) * fscale;
+    } else {
+      lagrangian = cp.function_smooth(0, xbuf) * fscale;
+    }
+    for (int j = 0; j < m; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      const double inv = cp.constraint_inv_scale(j);
+      g[uj] = cp.function_smooth(1 + j, xbuf) * inv;
+      double weight = 0;  // dψ/dg
+      if (cp.constraint_sense(j) == Sense::Equal) {
+        lagrangian += mu[uj] * g[uj] + 0.5 * rho * g[uj] * g[uj];
+        weight = mu[uj] + rho * g[uj];
+      } else {
+        const double t = mu[uj] + rho * g[uj];
+        if (t > 0) {
+          lagrangian += (t * t - mu[uj] * mu[uj]) / (2 * rho);
+          weight = t;
+        } else {
+          lagrangian += -mu[uj] * mu[uj] / (2 * rho);
+        }
+      }
+      if (grad != nullptr && weight != 0) {
+        cp.function_value_grad(1 + j, xbuf, *grad, weight * inv);
+      }
+    }
+    if (grad != nullptr) {
+      // Chain rule of the log reparameterization: du = dx · x.
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        if (log_space[ui] != 0) (*grad)[ui] *= xbuf[ui];
+      }
+    }
+    ++evals;
+    return lagrangian;
+  };
+
+  std::vector<double> u(static_cast<std::size_t>(n));
+  encode(x0, u);
+
+  std::vector<double> g(static_cast<std::size_t>(m));
+  std::vector<double> gn(static_cast<std::size_t>(m));
+  std::vector<double> grad(static_cast<std::size_t>(n));
+  std::vector<double> grad_n(static_cast<std::size_t>(n));
+  std::vector<double> un(static_cast<std::size_t>(n));
+
+  const std::int64_t inner_cap =
+      options_.max_iterations > 0 ? options_.max_iterations
+                                  : std::numeric_limits<std::int64_t>::max();
+  std::int64_t inner_total = 0;
+  double kkt = std::numeric_limits<double>::infinity();
+  int outer_done = 0;
+
+  for (int outer = 1; outer <= options_.max_outer; ++outer) {
+    outer_done = outer;
+    // BCL inner-tolerance schedule: loose first solves, tightening
+    // geometrically toward the final KKT target.
+    const double omega = std::max(
+        options_.kkt_tolerance,
+        1e-2 * std::pow(0.25, static_cast<double>(outer - 1)));
+
+    double lagrangian = evaluate(u, g, &grad);
+    double step = 0;
+    bool have_prev = false;
+    std::vector<double> s(static_cast<std::size_t>(n));
+    std::vector<double> y(static_cast<std::size_t>(n));
+
+    for (std::int64_t it = 0; it < options_.max_inner && inner_total < inner_cap; ++it) {
+      // Projected-gradient residual (the KKT stationarity measure on
+      // the box).
+      double residual = 0;
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        residual = std::max(residual, std::fabs(box(i, u[ui] - grad[ui]) - u[ui]));
+      }
+      kkt = residual;
+      if (residual <= omega) break;
+
+      if (have_prev) {
+        double sy = 0;
+        double ss = 0;
+        for (int i = 0; i < n; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          sy += s[ui] * y[ui];
+          ss += s[ui] * s[ui];
+        }
+        step = sy > 1e-16 ? ss / sy : step * 2;
+      } else {
+        double gmax = 0;
+        for (int i = 0; i < n; ++i) gmax = std::max(gmax, std::fabs(grad[static_cast<std::size_t>(i)]));
+        step = gmax > 0 ? 1.0 / gmax : 1.0;
+      }
+      step = std::min(1e10, std::max(1e-12, step));
+
+      // Armijo backtracking on the projected step.
+      bool accepted = false;
+      double lagrangian_new = lagrangian;
+      for (int bt = 0; bt < options_.max_backtracks; ++bt) {
+        double dirdot = 0;
+        bool moved = false;
+        for (int i = 0; i < n; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          un[ui] = box(i, u[ui] - step * grad[ui]);
+          dirdot += grad[ui] * (un[ui] - u[ui]);
+          moved = moved || un[ui] != u[ui];
+        }
+        if (!moved) break;
+        lagrangian_new = evaluate(un, gn, nullptr);
+        if (lagrangian_new <= lagrangian + options_.armijo_c1 * dirdot) {
+          accepted = true;
+          break;
+        }
+        step *= 0.5;
+      }
+      ++inner_total;
+      if (!accepted) break;
+
+      const double lagrangian_g = evaluate(un, gn, &grad_n);
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        s[ui] = un[ui] - u[ui];
+        y[ui] = grad_n[ui] - grad[ui];
+      }
+      have_prev = true;
+      u.swap(un);
+      g.swap(gn);
+      grad.swap(grad_n);
+      lagrangian = lagrangian_g;
+    }
+
+    // BCL outer update on the normalized violations of the last iterate.
+    double feas = 0;
+    for (int j = 0; j < m; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      const double viol = cp.constraint_sense(j) == Sense::Equal
+                              ? std::fabs(g[uj])
+                              : std::max(0.0, g[uj]);
+      feas = std::max(feas, viol);
+    }
+    const double feas_target = std::max(options_.feasibility_tolerance, 1e-8);
+    if (feas <= std::max(eta, feas_target)) {
+      for (int j = 0; j < m; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        double next = mu[uj] + rho * g[uj];
+        if (cp.constraint_sense(j) != Sense::Equal) next = std::max(0.0, next);
+        mu[uj] = std::min(options_.multiplier_cap, std::max(-options_.multiplier_cap, next));
+      }
+      if (feas <= feas_target && kkt <= options_.kkt_tolerance) break;
+      eta = std::max(feas_target, eta * options_.bcl_eta_shrink);
+    } else {
+      rho = std::min(options_.penalty_cap, rho * options_.penalty_factor);
+    }
+    if (inner_total >= inner_cap) break;
+    if (options_.time_limit_seconds > 0 && timer.seconds() > options_.time_limit_seconds) break;
+  }
+
+  // Back to the discrete grid with the exact objective.
+  decode(u, xbuf);
+  const double relaxed_objective = cp.function_smooth(0, xbuf);
+  const RoundResult rounded = round_to_grid(cp, xbuf, options_.feasibility_tolerance);
+
+  Solution solution;
+  solution.feasible = rounded.feasible;
+  solution.objective = rounded.objective;
+  solution.max_violation = rounded.max_violation;
+  solution.values = cp.to_assignment(rounded.x);
+  solution.stats.iterations = inner_total;
+  solution.stats.evaluations = evals;
+  solution.stats.full_evaluations = evals;
+  solution.stats.seconds = timer.seconds();
+
+  if (stats != nullptr) {
+    stats->outer_iterations = outer_done;
+    stats->inner_iterations = inner_total;
+    stats->kkt_residual = kkt;
+    stats->relaxed_objective = relaxed_objective;
+    stats->rounded_objective = rounded.objective;
+    stats->gap = rounded.objective - relaxed_objective;
+    stats->rounded_feasible = rounded.feasible;
+  }
+
+  auto& metrics = obs::metrics();
+  metrics.counter("solver.auglag.outer").add(outer_done);
+  metrics.counter("solver.auglag.inner").add(inner_total);
+  log::debug("auglag: feasible=", solution.feasible, " objective=", solution.objective,
+             " outer=", outer_done, " inner=", inner_total, " kkt=", kkt,
+             " time=", solution.stats.seconds, "s");
+  return solution;
+}
+
+Solution AugLagSolver::solve(const Problem& problem) {
+  const CompiledProblem cp(problem);
+  return solve(cp, cp.initial_point());
+}
+
+}  // namespace oocs::solver

@@ -1,0 +1,114 @@
+// Continuous-relaxation augmented-Lagrangian solver.
+//
+// DLM and CSA search the discrete (tile-size × λ) space directly; this
+// solver instead relaxes the NLP — real-valued tile sizes, λ ∈ [0, 1] —
+// and minimizes the smooth surrogate (CeilDiv evaluated as the real
+// quotient) with a proxsuite-nlp-style bound-constrained augmented
+// Lagrangian:
+//
+//   * outer loop: BCL penalty/multiplier schedule.  When the iterate
+//     meets the current feasibility target η the multipliers take a
+//     first-order update (μ ← μ + ρ·g, clipped at 0 for inequalities)
+//     and η tightens; otherwise the penalty ρ is increased and the
+//     multipliers are left alone.
+//   * inner loop: projected gradient on the box, Barzilai–Borwein step
+//     with Armijo backtracking on the augmented-Lagrangian merit
+//     function.  Tile-size variables descend in log space so their
+//     five-orders-of-magnitude ranges stay well conditioned.
+//
+// The relaxed optimum is then rounded back to the discrete grid by
+// `round_to_grid` (log-grid snap + greedy repair + exact re-score) and
+// returned as an ordinary discrete `Solution`.  The whole pipeline is
+// derivative-based and RNG-free: for a fixed start point the result is
+// bit-identical at any thread count, which is what lets the portfolio
+// adopt it as a worker without weakening the determinism contract.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "solver/compiled_problem.hpp"
+#include "solver/problem.hpp"
+
+namespace oocs::solver {
+
+struct AugLagOptions : SolverOptions {
+  /// BCL outer iterations (penalty/multiplier updates).
+  int max_outer = 25;
+  /// Projected-gradient iterations per outer solve.
+  std::int64_t max_inner = 120;
+  /// Initial quadratic penalty ρ and its growth factor on BCL failure.
+  double initial_penalty = 10.0;
+  double penalty_factor = 10.0;
+  double penalty_cap = 1e10;
+  /// Multiplier magnitude cap (normalized constraint units).
+  double multiplier_cap = 1e8;
+  /// Projected-gradient infinity-norm target at convergence.
+  double kkt_tolerance = 1e-6;
+  /// BCL feasibility-target schedule: start and shrink factor applied
+  /// after every successful multiplier update.
+  double bcl_eta0 = 1.0;
+  double bcl_eta_shrink = 0.25;
+  /// Armijo sufficient-decrease coefficient and backtracking cap.
+  double armijo_c1 = 1e-4;
+  int max_backtracks = 30;
+};
+
+/// Diagnostics of one relaxation solve (surfaced as the oocsc
+/// --stats-json `relaxation_*` fields).
+struct RelaxationStats {
+  int outer_iterations = 0;
+  std::int64_t inner_iterations = 0;
+  /// Projected-gradient infinity norm at exit.
+  double kkt_residual = 0;
+  /// Raw smooth objective at the relaxed optimum.
+  double relaxed_objective = 0;
+  /// Exact discrete objective after round-and-repair.
+  double rounded_objective = 0;
+  /// rounded_objective − relaxed_objective (the integrality gap paid).
+  double gap = 0;
+  bool rounded_feasible = false;
+};
+
+/// A rounded point with its exact discrete score.
+struct RoundResult {
+  std::vector<double> x;
+  bool feasible = false;
+  double objective = 0;
+  double max_violation = 0;
+};
+
+/// Deterministic round-and-repair: snaps binaries to {0, 1} and every
+/// other variable to the {lower, 1, 2, 4, …, upper} log grid (nearest in
+/// log space — the grid the greedy sweep and dominance pruning sample),
+/// then greedily repairs constraint violations one grid step at a time
+/// (each step takes the single-variable move that most reduces
+/// violation), re-scoring candidates with the exact discrete objective.
+/// The result is never worse than naive nearest-integer rounding: that
+/// candidate competes in the final reduction.
+[[nodiscard]] RoundResult round_to_grid(const CompiledProblem& cp,
+                                        std::span<const double> relaxed,
+                                        double feasibility_tolerance = 1e-9);
+
+class AugLagSolver final : public Solver {
+ public:
+  explicit AugLagSolver(AugLagOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] Solution solve(const Problem& problem) override;
+
+  /// Portfolio entry point: one relaxation solve + round-and-repair over
+  /// a pre-compiled problem from an explicit start point.  Safe to call
+  /// concurrently on one shared CompiledProblem.  `stats` (optional)
+  /// receives the relaxation diagnostics.
+  [[nodiscard]] Solution solve(const CompiledProblem& cp, std::span<const double> x0,
+                               RelaxationStats* stats = nullptr) const;
+
+  [[nodiscard]] std::string name() const override { return "auglag"; }
+
+  [[nodiscard]] const AugLagOptions& options() const noexcept { return options_; }
+
+ private:
+  AugLagOptions options_;
+};
+
+}  // namespace oocs::solver

@@ -1,5 +1,6 @@
 #include "solver/compiled_problem.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -42,6 +43,7 @@ CompiledProblem::CompiledProblem(const Problem& problem) : problem_(&problem) {
 void CompiledProblem::split_function(const expr::Expr& e) {
   const int fn = static_cast<int>(fn_terms_.size());
   std::vector<expr::CompiledExpr> terms;
+  std::vector<int> fn_slots;
   const expr::Expr simplified = e.simplified();
   const auto add_term = [&](const expr::Expr& term) {
     const int index = static_cast<int>(terms.size());
@@ -50,6 +52,7 @@ void CompiledProblem::split_function(const expr::Expr& e) {
       const int slot = table_.lookup(name);
       OOCS_CHECK(slot >= 0, "undeclared variable '", name, "' in compiled term");
       var_deps_[static_cast<std::size_t>(slot)].push_back(TermRef{fn, index});
+      fn_slots.push_back(slot);
     }
   };
   if (simplified.kind() == expr::Kind::Add) {
@@ -58,6 +61,26 @@ void CompiledProblem::split_function(const expr::Expr& e) {
     add_term(simplified);
   }
   fn_terms_.push_back(std::move(terms));
+  std::sort(fn_slots.begin(), fn_slots.end());
+  fn_slots.erase(std::unique(fn_slots.begin(), fn_slots.end()), fn_slots.end());
+  fn_vars_.push_back(std::move(fn_slots));
+}
+
+double CompiledProblem::function_smooth(int fn, std::span<const double> x) const {
+  double sum = 0;
+  for (const expr::CompiledExpr& term : fn_terms_[static_cast<std::size_t>(fn)]) {
+    sum += term.eval_smooth(x);
+  }
+  return sum;
+}
+
+double CompiledProblem::function_value_grad(int fn, std::span<const double> x,
+                                            std::span<double> grad, double weight) const {
+  double sum = 0;
+  for (const expr::CompiledExpr& term : fn_terms_[static_cast<std::size_t>(fn)]) {
+    sum += term.eval_with_grad(x, grad, weight);
+  }
+  return sum;
 }
 
 double CompiledProblem::violation(int j, std::span<const double> x) const {

@@ -92,6 +92,26 @@ class CompiledProblem {
     return var_deps_[static_cast<std::size_t>(i)];
   }
 
+  /// Ascending variable slots referenced by function `fn` (0 =
+  /// objective, 1 + j = constraint j) — the round-and-repair stage walks
+  /// this to find the variables that can relieve a violated constraint.
+  [[nodiscard]] const std::vector<int>& vars_of_function(int fn) const {
+    return fn_vars_[static_cast<std::size_t>(fn)];
+  }
+
+  /// Smooth-relaxation value of function `fn` at `x`: the sum of its
+  /// additive terms' `eval_smooth` values in ascending term order (the
+  /// same order the PointEvaluator re-sums).
+  [[nodiscard]] double function_smooth(int fn, std::span<const double> x) const;
+
+  /// Reverse-mode gradient of the smooth relaxation of function `fn`:
+  /// accumulates `weight · ∇fn(x)` into `grad` and returns the smooth
+  /// value.  Differentiation runs per additive term, so only the slots a
+  /// term actually references are touched — the gradient analogue of the
+  /// delta evaluator's term sparsity.
+  double function_value_grad(int fn, std::span<const double> x, std::span<double> grad,
+                             double weight = 1.0) const;
+
  private:
   struct CompiledConstraint {
     expr::CompiledExpr lhs;
@@ -109,6 +129,8 @@ class CompiledProblem {
   /// fn_terms_[0] = objective terms; fn_terms_[1 + j] = constraint j.
   std::vector<std::vector<expr::CompiledExpr>> fn_terms_;
   std::vector<std::vector<TermRef>> var_deps_;
+  /// fn → ascending variable slots the function references.
+  std::vector<std::vector<int>> fn_vars_;
 };
 
 /// Mutable evaluation state over a CompiledProblem: holds a current

@@ -87,8 +87,16 @@ Solution PortfolioSolver::solve(const CompiledProblem& cp, std::span<const doubl
           budget = std::max<std::int64_t>(1, budget >> std::min<std::int64_t>(k, 62));
         }
         // Even workers run DLM, odd workers CSA, each a pure function of
-        // (template options, round seed, start point).
-        if (k % 2 == 0) {
+        // (template options, round seed, start point).  With use_auglag,
+        // worker 2's round 0 runs the continuous relaxation instead —
+        // it is deterministic, so one shot is enough; later rounds fall
+        // back to DLM for incumbent-restart diversity.
+        if (options_.use_auglag && k == 2 && round == 0) {
+          AugLagOptions o = options_.auglag;
+          o.seed = seeds[uk];
+          if (budget > 0) o.max_iterations = budget;
+          results[uk] = AugLagSolver(o).solve(cp, starts[uk]);
+        } else if (k % 2 == 0) {
           DlmOptions o = options_.dlm;
           o.seed = seeds[uk];
           o.use_delta = options_.use_delta;

@@ -21,6 +21,7 @@
 
 #include <span>
 
+#include "solver/auglag.hpp"
 #include "solver/compiled_problem.hpp"
 #include "solver/csa.hpp"
 #include "solver/dlm.hpp"
@@ -53,10 +54,18 @@ struct PortfolioOptions {
   /// A positive limit can cut rounds and therefore trades determinism
   /// for latency — leave at 0 when bit-identical plans are required.
   double time_limit_seconds = 0;
+  /// Continuous-relaxation worker: when on, worker 2's round 0 runs the
+  /// augmented-Lagrangian relaxation (deterministic and RNG-free, so a
+  /// single worker suffices) instead of DLM; from round 1 on it reverts
+  /// to DLM so restarts from the incumbent still explore.  Dispatch
+  /// stays a pure function of (worker index, round), preserving the
+  /// thread-count determinism contract.
+  bool use_auglag = false;
   /// Templates for the workers; seed / iteration / delta knobs above
   /// override the corresponding fields per worker per round.
   DlmOptions dlm;
   CsaOptions csa;
+  AugLagOptions auglag;
 };
 
 class PortfolioSolver final : public Solver {

@@ -1,16 +1,23 @@
 // Tests for the parallel synthesis search: the DLM/CSA portfolio's
 // thread-count determinism, incremental (delta) objective evaluation
 // equivalence, §4.2 dominance pruning invariants, the greedy warm-start
-// incumbent guarantee, and the opt-in λ(1−λ)=0 fidelity constraints.
+// incumbent guarantee, the opt-in λ(1−λ)=0 fidelity constraints, and
+// the continuous-relaxation path (reverse-mode gradients vs. finite
+// differences, round-and-repair invariants, AugLag determinism).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
 #include "core/greedy.hpp"
 #include "core/synthesize.hpp"
 #include "ir/examples.hpp"
+#include "solver/auglag.hpp"
+#include "solver/compiled_problem.hpp"
 #include "solver/portfolio.hpp"
 #include "trans/tiled.hpp"
 
@@ -190,6 +197,178 @@ TEST(BinaryEqualities, OptInFlagAddsFidelityConstraints) {
   const SynthesisResult without_eq = synthesize(program, options);
   EXPECT_EQ(with_eq.decisions.option_index, without_eq.decisions.option_index);
   EXPECT_DOUBLE_EQ(with_eq.predicted_disk_bytes, without_eq.predicted_disk_bytes);
+}
+
+/// The NLP of one example program (pruned, blocks enforced — the same
+/// model synthesize() hands the solver).  The caller compiles it, so
+/// the Problem outlives the CompiledProblem's internal pointer.
+NlpModel example_nlp(const ir::Program& program, const SynthesisOptions& options) {
+  const trans::TiledProgram tiled(program);
+  Enumeration enumeration = enumerate_placements(tiled, options);
+  prune_dominated(program, enumeration, options);
+  return build_nlp(program, enumeration, options);
+}
+
+/// A random interior point: tile slots log-uniform in [lower, upper],
+/// λ slots uniform in (0, 1) — the kind of point the inner loop visits.
+std::vector<double> random_point(const solver::CompiledProblem& cp, Rng& rng) {
+  std::vector<double> x(static_cast<std::size_t>(cp.num_variables()));
+  for (int i = 0; i < cp.num_variables(); ++i) {
+    const solver::Variable& v = cp.variable(i);
+    const double lo = static_cast<double>(v.lower);
+    const double hi = static_cast<double>(v.upper);
+    if (lo >= 1.0 && hi > lo) {
+      const double u = rng.next_double();
+      x[static_cast<std::size_t>(i)] = std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo)));
+    } else {
+      x[static_cast<std::size_t>(i)] = lo + (0.05 + 0.9 * rng.next_double()) * (hi - lo);
+    }
+  }
+  return x;
+}
+
+TEST(AutodiffGradient, MatchesCentralDifferencesOnEveryExample) {
+  // eval_with_grad must agree with central finite differences of the
+  // smooth relaxation (eval_smooth) on every function of every example
+  // NLP, at randomized interior points with a fixed seed.
+  Rng rng(12345);
+  for (const auto& [name, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    const NlpModel model = example_nlp(program, options);
+    const solver::CompiledProblem cp(model.problem);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<double> x = random_point(cp, rng);
+      std::vector<double> grad(x.size());
+      for (int fn = 0; fn < cp.num_functions(); ++fn) {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        const double value = cp.function_value_grad(fn, x, grad);
+        EXPECT_DOUBLE_EQ(value, cp.function_smooth(fn, x))
+            << name << " fn " << fn << ": gradient pass value drifts from eval_smooth";
+        for (const int slot : cp.vars_of_function(fn)) {
+          const std::size_t i = static_cast<std::size_t>(slot);
+          const double h = 1e-5 * std::max(1.0, std::fabs(x[i]));
+          const double saved = x[i];
+          x[i] = saved + h;
+          const double fp = cp.function_smooth(fn, x);
+          x[i] = saved - h;
+          const double fm = cp.function_smooth(fn, x);
+          x[i] = saved;
+          const double fd = (fp - fm) / (2 * h);
+          // FD noise scales with |fn|/h; Min/Max kinks straddled by the
+          // stencil show up as O(1) relative error and are excluded by
+          // the fixed seed (no such point is sampled).
+          const double tol =
+              1e-4 * std::max({1.0, std::fabs(fd), std::fabs(grad[i])}) +
+              1e-11 * std::fabs(value) / h;
+          EXPECT_NEAR(grad[i], fd, tol)
+              << name << " fn " << fn << " slot " << slot << " ("
+              << cp.variable(slot).name << ") trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(RoundAndRepair, RepairedFeasibleAndNeverWorseThanNaiveRounding) {
+  // round_to_grid must always hand back a feasible integer point, and
+  // its score can never lose to naive round-to-nearest — the candidate
+  // ladder includes the naive point, so losing means a reduce bug.
+  Rng rng(777);
+  for (const auto& [name, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    const NlpModel model = example_nlp(program, options);
+    const solver::CompiledProblem cp(model.problem);
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::vector<double> relaxed = random_point(cp, rng);
+      const solver::RoundResult rounded = solver::round_to_grid(cp, relaxed);
+      ASSERT_TRUE(rounded.feasible)
+          << name << " trial " << trial << ": repair left violation "
+          << rounded.max_violation;
+      EXPECT_LE(rounded.max_violation, 1e-9) << name;
+
+      std::vector<double> naive(relaxed.size());
+      for (int i = 0; i < cp.num_variables(); ++i) {
+        naive[static_cast<std::size_t>(i)] =
+            cp.clamp(i, std::round(relaxed[static_cast<std::size_t>(i)]));
+      }
+      if (cp.max_violation(naive) <= 1e-9) {
+        EXPECT_LE(rounded.objective, cp.objective(naive) * (1 + 1e-12))
+            << name << " trial " << trial << ": repaired point lost to naive rounding";
+      }
+    }
+  }
+}
+
+TEST(AugLagSolver, DeterministicAndRoundedStatsConsistent) {
+  // The relaxation is RNG-free: two solves from the same start must be
+  // bit-identical, and the reported stats must tie out with the result.
+  for (const auto& [name, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    const NlpModel model = example_nlp(program, options);
+    const solver::CompiledProblem cp(model.problem);
+    const solver::AugLagSolver solver;
+    solver::RelaxationStats sa;
+    solver::RelaxationStats sb;
+    const solver::Solution a = solver.solve(cp, cp.initial_point(), &sa);
+    const solver::Solution b = solver.solve(cp, cp.initial_point(), &sb);
+    EXPECT_EQ(a.values, b.values) << name;
+    EXPECT_DOUBLE_EQ(a.objective, b.objective) << name;
+    EXPECT_EQ(sa.outer_iterations, sb.outer_iterations) << name;
+    EXPECT_EQ(sa.inner_iterations, sb.inner_iterations) << name;
+    EXPECT_DOUBLE_EQ(sa.kkt_residual, sb.kkt_residual) << name;
+    ASSERT_TRUE(a.feasible) << name;
+    EXPECT_DOUBLE_EQ(sa.rounded_objective, a.objective) << name;
+    EXPECT_DOUBLE_EQ(sa.gap, sa.rounded_objective - sa.relaxed_objective) << name;
+    EXPECT_GT(sa.outer_iterations, 0) << name;
+    EXPECT_GT(sa.inner_iterations, 0) << name;
+  }
+}
+
+TEST(AugLagPortfolio, DeterminismMatrixAcrossThreadCounts) {
+  // The PR7 determinism matrix: with the AugLag worker and the
+  // relaxation warm start both on, a fixed seed must give bit-identical
+  // solutions at 1 and 4 threads on every example program.
+  for (const auto& [name, program] : example_programs()) {
+    SynthesisOptions options = small_options(64 * kKiB);
+    options.relaxation_warm_start = true;
+    std::optional<solver::Solution> ref;
+    for (const int threads : {1, 4}) {
+      solver::PortfolioOptions po = small_portfolio(threads);
+      po.use_auglag = true;
+      solver::PortfolioSolver portfolio(po);
+      const SynthesisResult result = synthesize(program, options, portfolio);
+      ASSERT_TRUE(result.solution.feasible) << name << " threads=" << threads;
+      if (!ref.has_value()) {
+        ref = result.solution;
+        continue;
+      }
+      EXPECT_EQ(result.solution.values, ref->values)
+          << name << ": portfolio+auglag diverges between 1 and " << threads << " threads";
+      EXPECT_DOUBLE_EQ(result.solution.objective, ref->objective) << name;
+    }
+  }
+}
+
+TEST(AugLagPortfolio, WarmStartedResultNeverWorseThanGreedy) {
+  // The three-way seed competition (greedy vs. rounded relaxation vs.
+  // near-hit) can only improve the seed, and the solver can only
+  // improve on the seed — so the final plan never loses to greedy.
+  for (const auto& [name, program] : example_programs()) {
+    SynthesisOptions options = small_options(64 * kKiB);
+    options.relaxation_warm_start = true;
+    solver::PortfolioOptions po = small_portfolio(2);
+    po.use_auglag = true;
+    solver::PortfolioSolver portfolio(po);
+    const SynthesisResult result = synthesize(program, options, portfolio);
+    ASSERT_TRUE(result.solution.feasible) << name;
+    ASSERT_TRUE(result.greedy_cost.has_value()) << name;
+    EXPECT_LE(result.predicted_disk_bytes, *result.greedy_cost * 1.0001) << name;
+    ASSERT_TRUE(result.relaxation.has_value()) << name;
+    EXPECT_GT(result.relaxation->outer_iterations, 0) << name;
+    EXPECT_TRUE(result.warm_start_source == "greedy" ||
+                result.warm_start_source == "relaxation")
+        << name << ": unexpected source " << result.warm_start_source;
+  }
 }
 
 }  // namespace

@@ -6,12 +6,18 @@
 //   oocsc FILE.oocs [options]
 //
 //   --memory BYTES      memory limit (accepts 2GB, 512MB, ...; default 2GB)
-//   --solver NAME       dlm | csa | portfolio (default dlm).  The
-//                       portfolio runs --restarts independently seeded
-//                       DLM/CSA workers in synchronous rounds on
-//                       --solver-threads threads; the winner is
-//                       bit-identical for a fixed seed at any thread
-//                       count (see docs/SYNTHESIS_SEARCH.md)
+//   --solver NAME       dlm | csa | portfolio | auglag | portfolio+auglag
+//                       (default dlm).  The portfolio runs --restarts
+//                       independently seeded DLM/CSA workers in
+//                       synchronous rounds on --solver-threads threads;
+//                       the winner is bit-identical for a fixed seed at
+//                       any thread count (see docs/SYNTHESIS_SEARCH.md).
+//                       auglag solves the continuous relaxation with an
+//                       augmented Lagrangian and rounds back to the
+//                       grid; portfolio+auglag adds it as a third
+//                       portfolio worker variant
+//   --no-relax          skip the continuous-relaxation warm start (the
+//                       solver then seeds from the greedy sweep alone)
 //   --restarts N        portfolio worker count (default 4)
 //   --solver-threads N  portfolio thread count (default 0 = the
 //                       OOCS_THREADS env, else 1)
@@ -119,7 +125,8 @@ struct Args {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s FILE.oocs [--memory BYTES] [--solver dlm|csa|portfolio]\n"
+               "usage: %s FILE.oocs [--memory BYTES]\n"
+               "       [--solver dlm|csa|portfolio|auglag|portfolio+auglag] [--no-relax]\n"
                "       [--restarts N] [--solver-threads N] [--seed N] [--no-prune]\n"
                "       [--no-delta] [--binary-eq] [--read-block BYTES] [--write-block BYTES]\n"
                "       [--seek-bytes N] [--fingerprint] [--fuse] [--ampl] [--placements] [--tree]\n"
@@ -148,6 +155,8 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strcmp(a, "--solver-threads") == 0) {
       args.solver_threads = std::atoi(need_value(i));
       if (args.solver_threads < 0) usage(argv[0]);
+    } else if (std::strcmp(a, "--no-relax") == 0) {
+      args.options.relaxation_warm_start = false;
     } else if (std::strcmp(a, "--no-prune") == 0) {
       args.options.prune_dominated = false;
     } else if (std::strcmp(a, "--no-delta") == 0) {
@@ -203,6 +212,13 @@ Args parse_args(int argc, char** argv) {
     }
   }
   if (args.file.empty()) usage(argv[0]);
+  // Reject unknown solvers up front (previously they fell through to a
+  // solve-time throw) so a typo fails fast with the valid names.
+  if (!serve::is_known_solver(args.solver)) {
+    std::fprintf(stderr, "oocsc: unknown solver '%s' (valid: %s)\n", args.solver.c_str(),
+                 serve::known_solvers());
+    std::exit(1);
+  }
   return args;
 }
 
@@ -440,8 +456,8 @@ int run(const Args& args) {
                  "    \"solver_delta_evaluations\": %lld,\n"
                  "    \"solver_full_evaluations\": %lld,\n"
                  "    \"solver_workers\": %lld,\n"
-                 "    \"solver_rounds\": %lld\n"
-                 "  }",
+                 "    \"solver_rounds\": %lld,\n"
+                 "    \"warm_start_source\": \"%s\"",
                  result.predicted_disk_bytes, result.predicted_io_calls,
                  result.predicted_io.read_bytes, result.predicted_io.write_bytes,
                  result.memory_bytes, predicted_flops, predicted_serial, predicted_overlap,
@@ -451,7 +467,24 @@ int run(const Args& args) {
                  static_cast<long long>(result.solution.stats.delta_evaluations),
                  static_cast<long long>(result.solution.stats.full_evaluations),
                  static_cast<long long>(result.solution.stats.workers),
-                 static_cast<long long>(result.solution.stats.rounds));
+                 static_cast<long long>(result.solution.stats.rounds),
+                 result.warm_start_source.c_str());
+    if (result.relaxation.has_value()) {
+      const solver::RelaxationStats& r = *result.relaxation;
+      std::fprintf(out,
+                   ",\n"
+                   "    \"relaxation_outer_iterations\": %d,\n"
+                   "    \"relaxation_inner_iterations\": %lld,\n"
+                   "    \"relaxation_kkt_residual\": %.9e,\n"
+                   "    \"relaxation_objective\": %.9e,\n"
+                   "    \"relaxation_rounded_objective\": %.9e,\n"
+                   "    \"relaxation_gap\": %.9e,\n"
+                   "    \"relaxation_rounded_feasible\": %s",
+                   r.outer_iterations, static_cast<long long>(r.inner_iterations),
+                   r.kkt_residual, r.relaxed_objective, r.rounded_objective, r.gap,
+                   r.rounded_feasible ? "true" : "false");
+    }
+    std::fprintf(out, "\n  }");
     if (cache_prediction.has_value()) {
       const core::CachePrediction& c = *cache_prediction;
       std::fprintf(out,
