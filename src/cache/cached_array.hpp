@@ -37,6 +37,7 @@ class CachedDiskArray final : public dra::DiskArray {
   void reset_stats() override;
 
   [[nodiscard]] bool stores_data() const noexcept override { return backend_->stores_data(); }
+  void detach() noexcept override { backend_->detach(); }
 
   [[nodiscard]] dra::DiskArray& backend() noexcept { return *backend_; }
   [[nodiscard]] TileCache& cache() noexcept { return *cache_; }

@@ -159,9 +159,9 @@ void DiskArray::accumulate(const Section& section, std::span<const double> data,
     return;
   }
   // Serialize the read-modify-write so concurrent accumulations to
-  // overlapping sections are GA-style atomic.
-  static std::mutex accumulate_mutex;
-  const std::scoped_lock lock(accumulate_mutex);
+  // overlapping sections of this array are GA-style atomic.  Per-array
+  // (not global): RMW traffic to distinct arrays proceeds in parallel.
+  const std::scoped_lock lock(accumulate_mutex_);
   OOCS_SPAN("io", "accumulate");
   std::vector<double> current(static_cast<std::size_t>(section.elements()));
   read(section, current);
@@ -196,7 +196,9 @@ PosixDiskArray::PosixDiskArray(std::string name, std::vector<std::int64_t> exten
                                std::string directory)
     : DiskArray(std::move(name), std::move(extents)) {
   std::filesystem::create_directories(directory);
-  path_ = directory + "/" + name_ + ".dra";
+  // The pid tag keeps concurrent processes sharing one farm root from
+  // opening (and O_TRUNCing) each other's scratch files.
+  path_ = directory + "/" + name_ + "." + std::to_string(::getpid()) + ".dra";
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     throw IoError("cannot create disk array file '" + path_ + "': " + std::strerror(errno));
@@ -214,50 +216,9 @@ PosixDiskArray::~PosixDiskArray() {
   }
 }
 
-template <typename Fn>
-void PosixDiskArray::for_each_run(const Section& section, Fn&& fn) const {
-  const std::size_t rank = extents_.size();
-  if (rank == 0) {
-    fn(std::int64_t{0}, std::int64_t{1}, std::int64_t{0});
-    return;
-  }
-  // Row-major strides.
-  std::vector<std::int64_t> stride(rank, 1);
-  for (std::size_t d = rank - 1; d > 0; --d) stride[d - 1] = stride[d] * extents_[d];
-
-  const std::int64_t run = section.dims[rank - 1].second - section.dims[rank - 1].first;
-  std::vector<std::int64_t> idx(rank);
-  for (std::size_t d = 0; d < rank; ++d) idx[d] = section.dims[d].first;
-
-  std::int64_t buffer_offset = 0;
-  while (true) {
-    std::int64_t file_offset = 0;
-    for (std::size_t d = 0; d < rank; ++d) file_offset += idx[d] * stride[d];
-    fn(file_offset, run, buffer_offset);
-    buffer_offset += run;
-    // Advance the multi-index over all dims but the last.
-    if (rank == 1) break;
-    std::size_t d = rank - 1;
-    bool done = false;
-    while (true) {
-      if (d == 0) {
-        done = true;
-        break;
-      }
-      --d;
-      if (++idx[d] < section.dims[d].second) break;
-      idx[d] = section.dims[d].first;
-      if (d == 0) {
-        done = true;
-        break;
-      }
-    }
-    if (done) break;
-  }
-}
-
 void PosixDiskArray::do_read(const Section& section, std::span<double> out) {
-  for_each_run(section, [&](std::int64_t file_off, std::int64_t run, std::int64_t buf_off) {
+  for_each_contiguous_run(section, [&](std::int64_t file_off, std::int64_t run,
+                                       std::int64_t buf_off) {
     const ssize_t want = static_cast<ssize_t>(run * 8);
     const ssize_t got = ::pread(fd_, out.data() + buf_off, static_cast<std::size_t>(want),
                                 static_cast<off_t>(file_off * 8));
@@ -269,7 +230,8 @@ void PosixDiskArray::do_read(const Section& section, std::span<double> out) {
 }
 
 void PosixDiskArray::do_write(const Section& section, std::span<const double> data) {
-  for_each_run(section, [&](std::int64_t file_off, std::int64_t run, std::int64_t buf_off) {
+  for_each_contiguous_run(section, [&](std::int64_t file_off, std::int64_t run,
+                                       std::int64_t buf_off) {
     const ssize_t want = static_cast<ssize_t>(run * 8);
     const ssize_t put = ::pwrite(fd_, data.data() + buf_off, static_cast<std::size_t>(want),
                                  static_cast<off_t>(file_off * 8));

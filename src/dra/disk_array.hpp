@@ -118,6 +118,10 @@ class DiskArray {
   /// Atomic read-add-write of a section (the GA-style accumulate used
   /// by the parallel runtime).  Counts as one read plus one write.  The
   /// element-wise merge loop is chunked over `pool` when given.
+  /// Atomicity scope is this process: concurrent accumulations through
+  /// one array object serialize on a per-array mutex.  Cross-process
+  /// atomicity needs a lock that lives outside the address space — see
+  /// StripedDiskArray, which adds OFD record locks on top.
   virtual void accumulate(const Section& section, std::span<const double> data,
                           ThreadPool* pool = nullptr);
 
@@ -126,6 +130,11 @@ class DiskArray {
 
   /// True if this backend stores real data (POSIX), false for Sim.
   [[nodiscard]] virtual bool stores_data() const noexcept = 0;
+
+  /// Keep any backing files on destruction (no-op for data-free
+  /// backends).  Used by multi-process staging, where the creating
+  /// farm dies before the worker processes attach.
+  virtual void detach() noexcept {}
 
  protected:
   virtual void do_read(const Section& section, std::span<double> out) = 0;
@@ -141,17 +150,68 @@ class DiskArray {
   /// be called under mutex_ in completion order.
   void add_busy_interval(double t0, double t1) noexcept;
 
+  /// Applies `fn(linear_offset_elements, run_elements, buffer_offset)`
+  /// to every contiguous row-major run of the section, in linear order
+  /// of the caller's buffer.  Shared by the file-backed backends
+  /// (PosixDiskArray, StripedDiskArray).
+  template <typename Fn>
+  void for_each_contiguous_run(const Section& section, Fn&& fn) const {
+    const std::size_t rank = extents_.size();
+    if (rank == 0) {
+      fn(std::int64_t{0}, std::int64_t{1}, std::int64_t{0});
+      return;
+    }
+    // Row-major strides.
+    std::vector<std::int64_t> stride(rank, 1);
+    for (std::size_t d = rank - 1; d > 0; --d) stride[d - 1] = stride[d] * extents_[d];
+
+    const std::int64_t run = section.dims[rank - 1].second - section.dims[rank - 1].first;
+    std::vector<std::int64_t> idx(rank);
+    for (std::size_t d = 0; d < rank; ++d) idx[d] = section.dims[d].first;
+
+    std::int64_t buffer_offset = 0;
+    while (true) {
+      std::int64_t linear_offset = 0;
+      for (std::size_t d = 0; d < rank; ++d) linear_offset += idx[d] * stride[d];
+      fn(linear_offset, run, buffer_offset);
+      buffer_offset += run;
+      // Advance the multi-index over all dims but the last.
+      if (rank == 1) break;
+      std::size_t d = rank - 1;
+      bool done = false;
+      while (true) {
+        if (d == 0) {
+          done = true;
+          break;
+        }
+        --d;
+        if (++idx[d] < section.dims[d].second) break;
+        idx[d] = section.dims[d].first;
+        if (d == 0) {
+          done = true;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+
   std::string name_;
   std::vector<std::int64_t> extents_;
   std::int64_t elements_ = 1;
   mutable std::mutex mutex_;
+  /// Serializes the read-modify-write in accumulate() per array (not
+  /// per process: two arrays may accumulate concurrently).
+  mutable std::mutex accumulate_mutex_;
   IoStats stats_;
   /// End of the busy-interval union accumulated so far (epoch seconds).
   double busy_until_ = 0;
 };
 
-/// Real-file backend.  The file lives at `<dir>/<name>.dra`, is created
-/// sparse at full size, and is removed on destruction unless detached.
+/// Real-file backend.  The file lives at `<dir>/<name>.<pid>.dra` —
+/// the pid tag keeps two processes that open the same farm root from
+/// clobbering each other's scratch files — is created sparse at full
+/// size, and is removed on destruction unless detached.
 class PosixDiskArray final : public DiskArray {
  public:
   PosixDiskArray(std::string name, std::vector<std::int64_t> extents, std::string directory);
@@ -160,18 +220,13 @@ class PosixDiskArray final : public DiskArray {
   [[nodiscard]] bool stores_data() const noexcept override { return true; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   /// Keep the backing file on destruction.
-  void detach() noexcept { owns_file_ = false; }
+  void detach() noexcept override { owns_file_ = false; }
 
  protected:
   void do_read(const Section& section, std::span<double> out) override;
   void do_write(const Section& section, std::span<const double> data) override;
 
  private:
-  /// Applies `fn(file_offset_elements, run_elements, buffer_offset)` to
-  /// every contiguous run of the section.
-  template <typename Fn>
-  void for_each_run(const Section& section, Fn&& fn) const;
-
   std::string path_;
   int fd_ = -1;
   bool owns_file_ = true;

@@ -6,6 +6,7 @@ namespace oocs::dra {
 
 DiskFarm DiskFarm::posix(const ir::Program& program, std::string directory) {
   DiskFarm farm(program);
+  farm.kind_ = Kind::kPosix;
   farm.simulated_ = false;
   farm.directory_ = std::move(directory);
   return farm;
@@ -13,8 +14,18 @@ DiskFarm DiskFarm::posix(const ir::Program& program, std::string directory) {
 
 DiskFarm DiskFarm::sim(const ir::Program& program, DiskModel model) {
   DiskFarm farm(program);
+  farm.kind_ = Kind::kSim;
   farm.simulated_ = true;
   farm.model_ = model;
+  return farm;
+}
+
+DiskFarm DiskFarm::striped(const ir::Program& program, StripeLayout layout, bool attach) {
+  DiskFarm farm(program);
+  farm.kind_ = Kind::kStriped;
+  farm.simulated_ = false;
+  farm.stripe_layout_ = std::move(layout);
+  farm.stripe_attach_ = attach;
   return farm;
 }
 
@@ -28,10 +39,18 @@ DiskArray& DiskFarm::array(const std::string& name) {
   for (const std::string& index : decl.indices) extents.push_back(program_->range(index));
 
   std::unique_ptr<DiskArray> created;
-  if (simulated_) {
-    created = std::make_unique<SimDiskArray>(name, std::move(extents), model_);
-  } else {
-    created = std::make_unique<PosixDiskArray>(name, std::move(extents), directory_);
+  switch (kind_) {
+    case Kind::kSim:
+      created = std::make_unique<SimDiskArray>(name, std::move(extents), model_);
+      break;
+    case Kind::kStriped:
+      created = std::make_unique<StripedDiskArray>(
+          name, std::move(extents), stripe_layout_,
+          stripe_attach_ ? StripedDiskArray::Mode::kAttach : StripedDiskArray::Mode::kCreate);
+      break;
+    case Kind::kPosix:
+      created = std::make_unique<PosixDiskArray>(name, std::move(extents), directory_);
+      break;
   }
   if (wrapper_) {
     created = wrapper_(std::move(created));
@@ -56,6 +75,10 @@ IoStats DiskFarm::total_stats() const {
 
 void DiskFarm::reset_stats() {
   for (auto& [name, array] : arrays_) array->reset_stats();
+}
+
+void DiskFarm::detach_all() noexcept {
+  for (auto& [name, array] : arrays_) array->detach();
 }
 
 }  // namespace oocs::dra

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "dra/disk_array.hpp"
+#include "dra/striped_array.hpp"
 #include "ir/program.hpp"
 
 namespace oocs::dra {
@@ -26,6 +27,12 @@ class DiskFarm {
   /// Modeled disk (no data).
   [[nodiscard]] static DiskFarm sim(const ir::Program& program, DiskModel model = {});
 
+  /// Arrays chunk-striped over per-proc scratch directories (the
+  /// multi-process GA storage layout).  `attach` opens existing stripe
+  /// files instead of creating them — the worker-process side.
+  [[nodiscard]] static DiskFarm striped(const ir::Program& program, StripeLayout layout,
+                                        bool attach = false);
+
   /// The disk array for `name` (created on first use from the program
   /// declaration).  Throws SpecError for unknown arrays.
   [[nodiscard]] DiskArray& array(const std::string& name);
@@ -41,13 +48,23 @@ class DiskFarm {
   [[nodiscard]] IoStats total_stats() const;
   void reset_stats();
 
+  /// Detaches every array created so far: backing files survive this
+  /// farm's destruction.  Used by the multi-process launcher, which
+  /// stages inputs and then hands the files to freshly forked workers.
+  void detach_all() noexcept;
+
  private:
+  enum class Kind { kPosix, kSim, kStriped };
+
   explicit DiskFarm(const ir::Program& program) : program_(&program) {}
 
   const ir::Program* program_;
+  Kind kind_ = Kind::kPosix;
   bool simulated_ = false;
   std::string directory_;
   DiskModel model_;
+  StripeLayout stripe_layout_;
+  bool stripe_attach_ = false;
   ArrayWrapper wrapper_;
   std::map<std::string, std::unique_ptr<DiskArray>> arrays_;
 };

@@ -1,0 +1,216 @@
+#include "dra/striped_array.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
+
+// OFD record locks are Linux-specific; glibc hides them without
+// _GNU_SOURCE.  The values are kernel ABI, so defining the fallbacks
+// is safe on any Linux libc.
+#ifndef F_OFD_SETLK
+#define F_OFD_SETLK 37
+#endif
+#ifndef F_OFD_SETLKW
+#define F_OFD_SETLKW 38
+#endif
+
+namespace oocs::dra {
+
+namespace {
+
+/// RAII byte-range lock on an OFD.  Waits (F_OFD_SETLKW) on acquire.
+class FileRangeLock {
+ public:
+  FileRangeLock(int fd, off_t start, off_t len) : fd_(fd), start_(start), len_(len) {
+    struct flock lk {};
+    lk.l_type = F_WRLCK;
+    lk.l_whence = SEEK_SET;
+    lk.l_start = start_;
+    lk.l_len = len_;
+    int rc;
+    do {
+      rc = ::fcntl(fd_, F_OFD_SETLKW, &lk);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      throw IoError(std::string("cannot lock accumulate range: ") + std::strerror(errno));
+    }
+  }
+
+  ~FileRangeLock() {
+    struct flock lk {};
+    lk.l_type = F_UNLCK;
+    lk.l_whence = SEEK_SET;
+    lk.l_start = start_;
+    lk.l_len = len_;
+    ::fcntl(fd_, F_OFD_SETLK, &lk);
+  }
+
+  FileRangeLock(const FileRangeLock&) = delete;
+  FileRangeLock& operator=(const FileRangeLock&) = delete;
+
+ private:
+  int fd_;
+  off_t start_;
+  off_t len_;
+};
+
+/// [first, last+1) linear-element span covered by a section (row-major).
+/// Conservative for locking: overlapping sections always have
+/// overlapping spans.
+std::pair<std::int64_t, std::int64_t> linear_span(const Section& section,
+                                                  const std::vector<std::int64_t>& extents) {
+  const std::size_t rank = extents.size();
+  std::vector<std::int64_t> stride(rank, 1);
+  for (std::size_t d = rank; d > 1; --d) stride[d - 2] = stride[d - 1] * extents[d - 1];
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (std::size_t d = 0; d < rank; ++d) {
+    lo += section.dims[d].first * stride[d];
+    hi += (section.dims[d].second - 1) * stride[d];
+  }
+  return {lo, hi + 1};
+}
+
+}  // namespace
+
+std::string StripeLayout::stripe_dir(int s) const {
+  return root + "/proc" + std::to_string(s);
+}
+
+StripedDiskArray::StripedDiskArray(std::string name, std::vector<std::int64_t> extents,
+                                   StripeLayout layout, Mode mode)
+    : DiskArray(std::move(name), std::move(extents)), layout_(std::move(layout)) {
+  OOCS_REQUIRE(layout_.stripes >= 1, "striped array '", name_, "': need >= 1 stripe");
+  OOCS_REQUIRE(layout_.chunk_elements >= 1, "striped array '", name_,
+               "': need positive chunk size");
+  owns_files_ = mode == Mode::kCreate;
+
+  const std::int64_t chunks =
+      (elements_ + layout_.chunk_elements - 1) / layout_.chunk_elements;
+  fds_.resize(static_cast<std::size_t>(layout_.stripes), -1);
+  paths_.resize(static_cast<std::size_t>(layout_.stripes));
+  for (int s = 0; s < layout_.stripes; ++s) {
+    const std::string dir = layout_.stripe_dir(s);
+    if (mode == Mode::kCreate) std::filesystem::create_directories(dir);
+    paths_[static_cast<std::size_t>(s)] = dir + "/" + name_ + ".s" + std::to_string(s) + ".dra";
+    const int flags = mode == Mode::kCreate ? O_RDWR | O_CREAT | O_TRUNC : O_RDWR;
+    const int fd = ::open(paths_[static_cast<std::size_t>(s)].c_str(), flags, 0644);
+    if (fd < 0) {
+      throw IoError("cannot open stripe file '" + paths_[static_cast<std::size_t>(s)] +
+                    "': " + std::strerror(errno));
+    }
+    fds_[static_cast<std::size_t>(s)] = fd;
+    if (mode == Mode::kCreate) {
+      // Chunks land round-robin, so stripe s holds ceil-ish share.
+      const std::int64_t my_chunks = chunks / layout_.stripes + (s < chunks % layout_.stripes);
+      if (::ftruncate(fd, static_cast<off_t>(my_chunks * layout_.chunk_elements * 8)) != 0) {
+        throw IoError("cannot size stripe file '" + paths_[static_cast<std::size_t>(s)] +
+                      "': " + std::strerror(errno));
+      }
+    }
+  }
+
+  lock_path_ = layout_.root + "/" + name_ + ".lock";
+  lock_fd_ = ::open(lock_path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (lock_fd_ < 0) {
+    throw IoError("cannot open lock file '" + lock_path_ + "': " + std::strerror(errno));
+  }
+}
+
+StripedDiskArray::~StripedDiskArray() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+  if (owns_files_) {
+    std::error_code ec;
+    for (const std::string& path : paths_) std::filesystem::remove(path, ec);
+    std::filesystem::remove(lock_path_, ec);
+  }
+}
+
+void StripedDiskArray::transfer_linear(std::int64_t linear_offset, std::int64_t run_elements,
+                                       double* read_buf, const double* write_buf) {
+  const std::int64_t chunk = layout_.chunk_elements;
+  std::int64_t off = linear_offset;
+  std::int64_t left = run_elements;
+  std::int64_t buf = 0;
+  while (left > 0) {
+    const std::int64_t c = off / chunk;
+    const std::int64_t within = off % chunk;
+    const std::int64_t take = std::min(chunk - within, left);
+    const int s = static_cast<int>(c % layout_.stripes);
+    const off_t stripe_off = static_cast<off_t>(((c / layout_.stripes) * chunk + within) * 8);
+    const ssize_t want = static_cast<ssize_t>(take * 8);
+    ssize_t moved;
+    if (read_buf != nullptr) {
+      moved = ::pread(fds_[static_cast<std::size_t>(s)], read_buf + buf,
+                      static_cast<std::size_t>(want), stripe_off);
+    } else {
+      moved = ::pwrite(fds_[static_cast<std::size_t>(s)], write_buf + buf,
+                       static_cast<std::size_t>(want), stripe_off);
+    }
+    if (moved != want) {
+      throw IoError(std::string("short ") + (read_buf != nullptr ? "read" : "write") +
+                    " on stripe file '" + paths_[static_cast<std::size_t>(s)] +
+                    "': " + std::to_string(moved) + " of " + std::to_string(want) + " bytes");
+    }
+    off += take;
+    buf += take;
+    left -= take;
+  }
+}
+
+void StripedDiskArray::do_read(const Section& section, std::span<double> out) {
+  for_each_contiguous_run(section, [&](std::int64_t lin_off, std::int64_t run,
+                                       std::int64_t buf_off) {
+    transfer_linear(lin_off, run, out.data() + buf_off, nullptr);
+  });
+}
+
+void StripedDiskArray::do_write(const Section& section, std::span<const double> data) {
+  for_each_contiguous_run(section, [&](std::int64_t lin_off, std::int64_t run,
+                                       std::int64_t buf_off) {
+    transfer_linear(lin_off, run, nullptr, data.data() + buf_off);
+  });
+}
+
+void StripedDiskArray::accumulate(const Section& section, std::span<const double> data,
+                                  ThreadPool* pool) {
+  check_section(section, data.size(), /*needs_data=*/true);
+  // Same-instance callers serialize on the per-array mutex (the kernel
+  // would grant an overlapping re-request from the same OFD)...
+  const std::scoped_lock local(accumulate_mutex_);
+  // ...and cross-process / cross-instance callers exclude each other on
+  // the section's linear byte span of the shared lock file, so RMWs to
+  // disjoint output regions run genuinely in parallel.
+  const auto [lo, hi] = linear_span(section, extents_);
+  const FileRangeLock range(lock_fd_, static_cast<off_t>(lo * 8),
+                            static_cast<off_t>((hi - lo) * 8));
+  OOCS_SPAN("io", "accumulate");
+  std::vector<double> current(static_cast<std::size_t>(section.elements()));
+  read(section, current);
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->parallel_for(0, static_cast<std::int64_t>(current.size()), 4096,
+                       [&](std::int64_t lo_i, std::int64_t hi_i) {
+                         for (std::int64_t i = lo_i; i < hi_i; ++i) {
+                           current[static_cast<std::size_t>(i)] +=
+                               data[static_cast<std::size_t>(i)];
+                         }
+                       });
+  } else {
+    for (std::size_t i = 0; i < current.size(); ++i) current[i] += data[i];
+  }
+  write(section, current);
+}
+
+}  // namespace oocs::dra

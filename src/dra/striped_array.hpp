@@ -1,0 +1,87 @@
+// StripedDiskArray: one logical DRA array RAID-0-striped over several
+// stripe files in process-private scratch directories.
+//
+// This is the storage layout of the multi-process GA backend
+// (ga::run_procs): every virtual proc k owns `<root>/proc<k>/`, and a
+// logical array A is split chunk-round-robin over the stripe files
+// `<root>/proc<s>/A.s<s>.dra`.  Reads and writes from different
+// processes therefore hit disjoint file descriptors (and mostly
+// disjoint files), which is what makes the parallel I/O in Table 4
+// measured rather than simulated.
+//
+// Chunk mapping (classic RAID-0 over the row-major linear order):
+//
+//   chunk c       = linear_offset / chunk_elements
+//   stripe s      = c % stripes
+//   offset within = (c / stripes) * chunk_elements
+//                   + linear_offset % chunk_elements
+//
+// Cross-process accumulate atomicity uses Linux open-file-description
+// (OFD) record locks on a per-array `<root>/A.lock` file: the RMW
+// locks the section's linear byte span, so overlapping sections from
+// any process (or any two array *instances* in one process) exclude
+// each other while disjoint spans proceed in parallel.  A per-instance
+// mutex still serializes same-instance callers, because the kernel
+// grants re-requests from the same OFD.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dra/disk_array.hpp"
+
+namespace oocs::dra {
+
+/// Where the stripes of an array live and how fine they are.
+struct StripeLayout {
+  std::string root;                       ///< farm root directory
+  int stripes = 1;                        ///< stripe count (== virtual procs)
+  std::int64_t chunk_elements = 32768;    ///< 256 KB chunks of doubles
+
+  /// Scratch directory owned by proc/stripe `s`: `<root>/proc<s>`.
+  [[nodiscard]] std::string stripe_dir(int s) const;
+};
+
+class StripedDiskArray final : public DiskArray {
+ public:
+  enum class Mode {
+    kCreate,  ///< create-or-truncate the stripe files (launcher side)
+    kAttach,  ///< open existing stripe files (worker side)
+  };
+
+  StripedDiskArray(std::string name, std::vector<std::int64_t> extents, StripeLayout layout,
+                   Mode mode);
+  ~StripedDiskArray() override;
+
+  [[nodiscard]] bool stores_data() const noexcept override { return true; }
+  [[nodiscard]] const StripeLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const std::vector<std::string>& stripe_paths() const noexcept { return paths_; }
+
+  /// Keep the stripe and lock files on destruction.  The launcher
+  /// detaches after staging inputs so the files survive for the worker
+  /// processes; the worker side (kAttach) never owns them.
+  void detach() noexcept override { owns_files_ = false; }
+
+  /// GA-style atomic read-add-write, atomic *across processes* via an
+  /// OFD record lock on the section's linear byte span.
+  void accumulate(const Section& section, std::span<const double> data,
+                  ThreadPool* pool = nullptr) override;
+
+ protected:
+  void do_read(const Section& section, std::span<double> out) override;
+  void do_write(const Section& section, std::span<const double> data) override;
+
+ private:
+  /// pread/pwrite of a contiguous linear range, split over chunks.
+  void transfer_linear(std::int64_t linear_offset, std::int64_t run_elements, double* read_buf,
+                       const double* write_buf);
+
+  StripeLayout layout_;
+  std::vector<int> fds_;            // one per stripe
+  std::vector<std::string> paths_;  // one per stripe
+  std::string lock_path_;
+  int lock_fd_ = -1;
+  bool owns_files_ = true;
+};
+
+}  // namespace oocs::dra

@@ -1,0 +1,415 @@
+#include "ga/backend.hpp"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <type_traits>
+
+#include "cache/cached_array.hpp"
+#include "cache/tile_cache.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "ga/process_group.hpp"
+#include "ga/shm.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+#include "rt/interpreter.hpp"
+
+namespace oocs::ga {
+
+// ---------------------------------------------------------------------
+// Backend names
+
+bool is_known_backend(std::string_view name) noexcept {
+  return name == "threads" || name == "procs";
+}
+
+std::string known_backends() { return "threads, procs"; }
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kThreads:
+      return "threads";
+    case Backend::kProcs:
+      return "procs";
+  }
+  return "?";
+}
+
+Backend parse_backend(std::string_view name) {
+  if (name == "threads") return Backend::kThreads;
+  if (name == "procs") return Backend::kProcs;
+  throw Error("unknown backend '" + std::string(name) + "' (valid: " + known_backends() + ")");
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory result slots
+//
+// Children cannot return rt::ExecStats by value — they are in another
+// address space — so each child flattens its stats into a fixed POD
+// slot in the ShmArena before exiting.  IoStats is itself POD (the
+// static_assert in dra/disk_array.cpp pins its layout), so the whole
+// allreduce is memcpy + field sums on the parent side.
+
+namespace {
+
+/// Collective state at the head of the arena.
+struct GroupHeader {
+  ShmBarrier barrier;
+  std::atomic<std::int32_t> abort_flag{0};
+
+  explicit GroupHeader(std::int32_t parties) : barrier(parties) {}
+};
+
+struct ProcSlot {
+  std::atomic<std::int32_t> done{0};
+  std::atomic<std::int32_t> error{0};
+  char error_msg[240] = {};
+  dra::IoStats io;
+  double wall_seconds = 0;
+  double compute_seconds = 0;  // measured compute wall (ExecStats)
+  double busy_seconds = 0;
+  double stall_seconds = 0;
+  std::int64_t queue_depth_hwm = 0;
+  std::int32_t num_stages = 0;
+  std::int32_t compute_threads = 1;
+};
+
+struct StageSlot {
+  char name[64] = {};
+  dra::IoStats io;
+  double compute_seconds = 0;
+  double modeled_compute_seconds = 0;
+  double wall_seconds = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<dra::IoStats>);
+
+constexpr std::size_t align_up(std::size_t offset) { return (offset + 63) & ~std::size_t{63}; }
+
+struct ArenaLayout {
+  std::size_t header = 0;
+  std::size_t procs = 0;
+  std::size_t stages = 0;
+  std::size_t total = 0;
+  int num_procs = 0;
+  std::size_t num_stages = 0;
+
+  ArenaLayout(int num_procs_in, std::size_t num_stages_in) {
+    num_procs = num_procs_in;
+    num_stages = num_stages_in;
+    header = 0;
+    procs = align_up(sizeof(GroupHeader));
+    stages = align_up(procs + sizeof(ProcSlot) * static_cast<std::size_t>(num_procs));
+    total = align_up(stages +
+                     sizeof(StageSlot) * static_cast<std::size_t>(num_procs) * num_stages);
+  }
+
+  ProcSlot* proc(ShmArena& arena, int rank) const {
+    return arena.at<ProcSlot>(procs + sizeof(ProcSlot) * static_cast<std::size_t>(rank));
+  }
+  StageSlot* stage(ShmArena& arena, int rank, std::size_t s) const {
+    return arena.at<StageSlot>(
+        stages + sizeof(StageSlot) * (static_cast<std::size_t>(rank) * num_stages + s));
+  }
+};
+
+void copy_trunc(char* dst, std::size_t cap, std::string_view src) noexcept {
+  const std::size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// Worker-process body: attach a private striped farm (plus an optional
+/// process-private tile cache), run the plan with the shm barrier as
+/// the root collective, flatten the stats into this rank's slot.
+/// Returns the child's exit code; never throws past here.
+int child_main(int rank, const core::OocPlan& plan, const dra::StripeLayout& layout,
+               const BackendOptions& options, const ArenaLayout& slots, ShmArena& arena,
+               int effective_threads) {
+  GroupHeader* group = arena.at<GroupHeader>(slots.header);
+  ProcSlot* slot = slots.proc(arena, rank);
+  try {
+    obs::set_current_proc(rank);
+    obs::set_thread_name("proc-" + std::to_string(rank));
+    // Inherited ring buffers hold the parent's pre-fork events; they
+    // belong to the parent's timeline, not this worker's.
+    obs::trace_clear();
+
+    // The cache must outlive the farm (cached arrays flush through it
+    // on farm destruction) — declared first, destroyed last.
+    std::unique_ptr<cache::TileCache> cache;
+    dra::DiskFarm farm = dra::DiskFarm::striped(plan.program, layout, /*attach=*/true);
+    if (options.cache_budget_bytes > 0) {
+      cache::TileCacheOptions cache_options;
+      cache_options.budget_bytes = std::max<std::int64_t>(
+          options.cache_budget_bytes / options.num_procs, std::int64_t{64} << 10);
+      cache = std::make_unique<cache::TileCache>(cache_options);
+      cache::attach_cache(farm, *cache);
+    }
+
+    rt::ExecOptions exec;
+    exec.proc_id = rank;
+    exec.num_procs = options.num_procs;
+    exec.async_io = options.async_io;
+    exec.compute_threads = effective_threads;
+    exec.tile_cache = cache.get();
+    exec.root_barrier = [&] {
+      // The interpreter has already drained its async engine and
+      // flushed the cache.  clear() additionally drops the resident
+      // tiles: the next stage may read data another *process* wrote,
+      // which a process-private cache can never observe.
+      if (cache) cache->clear();
+      OOCS_SPAN("ga", "barrier");
+      switch (group->barrier.arrive_and_wait(group->abort_flag,
+                                             options.barrier_timeout_seconds)) {
+        case BarrierWait::kOk:
+          return;
+        case BarrierWait::kAborted:
+          throw Error("barrier aborted: a peer process failed");
+        case BarrierWait::kTimeout:
+          throw Error("barrier timeout after " +
+                      std::to_string(options.barrier_timeout_seconds) + "s");
+      }
+    };
+
+    rt::PlanInterpreter interpreter(plan, farm, exec);
+    const rt::ExecStats stats = interpreter.run();
+
+    slot->io = stats.io;
+    slot->wall_seconds = stats.wall_seconds;
+    slot->compute_seconds = stats.compute_seconds;
+    slot->busy_seconds = stats.busy_seconds;
+    slot->stall_seconds = stats.stall_seconds;
+    slot->queue_depth_hwm = stats.queue_depth_hwm;
+    slot->compute_threads = stats.compute_threads;
+    slot->num_stages = static_cast<std::int32_t>(stats.stages.size());
+    for (std::size_t s = 0; s < stats.stages.size() && s < slots.num_stages; ++s) {
+      StageSlot* stage = slots.stage(arena, rank, s);
+      copy_trunc(stage->name, sizeof(stage->name), stats.stages[s].name);
+      stage->io = stats.stages[s].io;
+      stage->compute_seconds = stats.stages[s].compute_seconds;
+      stage->modeled_compute_seconds = stats.stages[s].modeled_compute_seconds;
+      stage->wall_seconds = stats.stages[s].wall_seconds;
+    }
+
+    if (obs::trace_enabled()) {
+      const std::string dir = options.trace_dir.empty() ? layout.root : options.trace_dir;
+      std::ofstream os(dir + "/trace-frag-" + std::to_string(rank) + ".trc", std::ios::binary);
+      if (os) obs::write_trace_fragment(os);
+    }
+
+    slot->done.store(1, std::memory_order_release);
+    return 0;
+  } catch (const std::exception& e) {
+    copy_trunc(slot->error_msg, sizeof(slot->error_msg), e.what());
+    slot->error.store(1, std::memory_order_release);
+    group->abort_flag.store(1, std::memory_order_release);
+    return 1;
+  } catch (...) {
+    copy_trunc(slot->error_msg, sizeof(slot->error_msg), "unknown exception");
+    slot->error.store(1, std::memory_order_release);
+    group->abort_flag.store(1, std::memory_order_release);
+    return 1;
+  }
+}
+
+/// Human description of one abnormal child exit for the thrown Error.
+std::string describe_failure(const ProcessGroup::Child& child, const ProcSlot& slot,
+                             double timeout_seconds) {
+  std::string what = "ga: proc " + std::to_string(child.rank);
+  if (child.killed) {
+    what += " timed out after " + std::to_string(timeout_seconds) + "s (SIGKILLed)";
+  } else if (WIFSIGNALED(child.wait_status)) {
+    what += " killed by signal " + std::to_string(WTERMSIG(child.wait_status));
+  } else {
+    what += " exited with status " + std::to_string(WEXITSTATUS(child.wait_status));
+  }
+  if (slot.error.load(std::memory_order_acquire) != 0) {
+    what += std::string(": ") + slot.error_msg;
+  }
+  return what;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// run_procs
+
+ParallelStats run_procs(const core::OocPlan& plan, const dra::StripeLayout& layout,
+                        const BackendOptions& options) {
+  const int num_procs = options.num_procs;
+  OOCS_REQUIRE(num_procs >= 1, "num_procs must be >= 1");
+  OOCS_REQUIRE(layout.stripes == num_procs, "stripe count must match num_procs");
+
+  const int requested = ThreadPool::resolve_threads(options.compute_threads);
+  const int per_proc_cap = std::max(1, ThreadPool::hardware_threads() / num_procs);
+  const int effective_threads = std::min(requested, per_proc_cap);
+
+  const std::size_t num_stages = plan.roots.size();
+  const ArenaLayout slots(num_procs, num_stages);
+  ShmArena arena(slots.total);
+  arena.construct<GroupHeader>(slots.header, static_cast<std::int32_t>(num_procs));
+  for (int rank = 0; rank < num_procs; ++rank) {
+    arena.construct<ProcSlot>(slots.procs + sizeof(ProcSlot) * static_cast<std::size_t>(rank));
+    for (std::size_t s = 0; s < num_stages; ++s) {
+      arena.construct<StageSlot>(
+          slots.stages +
+          sizeof(StageSlot) * (static_cast<std::size_t>(rank) * num_stages + s));
+    }
+  }
+  GroupHeader* group = arena.at<GroupHeader>(slots.header);
+
+  const double t0 = obs::monotonic_seconds();
+  ProcessGroup procs;
+  procs.launch(num_procs, [&](int rank) {
+    return child_main(rank, plan, layout, options, slots, arena, effective_threads);
+  });
+
+  // Worst-case clean runtime is bounded by the per-barrier timeout times
+  // the number of collectives (every stage ends in one), plus slack for
+  // fork/exit and the final stats flush.
+  const double join_timeout =
+      options.barrier_timeout_seconds * static_cast<double>(num_stages + 1) + 30.0;
+  const bool all_clean = procs.join(join_timeout, [&] {
+    // First abnormal exit: fail the group fast instead of letting the
+    // survivors ride out their barrier timeout.
+    group->abort_flag.store(1, std::memory_order_release);
+  });
+  const double t1 = obs::monotonic_seconds();
+
+  if (!all_clean) {
+    for (const ProcessGroup::Child& child : procs.children()) {
+      const bool clean = !child.killed && WIFEXITED(child.wait_status) &&
+                         WEXITSTATUS(child.wait_status) == 0;
+      if (!clean) {
+        throw Error(
+            describe_failure(child, *slots.proc(arena, child.rank), join_timeout));
+      }
+    }
+    throw Error("ga: process group failed");  // unreachable
+  }
+  for (int rank = 0; rank < num_procs; ++rank) {
+    if (slots.proc(arena, rank)->done.load(std::memory_order_acquire) != 1) {
+      throw Error("ga: proc " + std::to_string(rank) + " exited without publishing results");
+    }
+  }
+
+  // Allreduce of the per-proc snapshots: traffic sums, time axes take
+  // the max over procs (they ran concurrently).
+  ParallelStats stats;
+  stats.backend = "procs";
+  stats.num_procs = num_procs;
+  stats.compute_threads = effective_threads;
+  stats.wall_seconds = t1 - t0;
+  stats.per_proc_seconds.reserve(static_cast<std::size_t>(num_procs));
+  for (int rank = 0; rank < num_procs; ++rank) {
+    const ProcSlot& slot = *slots.proc(arena, rank);
+    stats.total.merge(slot.io);
+    stats.per_proc_seconds.push_back(slot.io.seconds);
+    stats.io_seconds = std::max(stats.io_seconds, slot.io.seconds);
+    stats.busy_seconds += slot.busy_seconds;
+    stats.stall_seconds += slot.stall_seconds;
+    stats.queue_depth_hwm = std::max(stats.queue_depth_hwm, slot.queue_depth_hwm);
+    stats.measured_compute_seconds += slot.compute_seconds;
+  }
+
+  stats.stages.resize(num_stages);
+  for (std::size_t s = 0; s < num_stages; ++s) {
+    rt::StageStats& stage = stats.stages[s];
+    double max_io = 0;
+    for (int rank = 0; rank < num_procs; ++rank) {
+      const StageSlot& slot = *slots.stage(arena, rank, s);
+      if (stage.name.empty()) stage.name = slot.name;
+      stage.io.merge(slot.io);
+      max_io = std::max(max_io, slot.io.seconds);
+      stage.compute_seconds = std::max(stage.compute_seconds, slot.compute_seconds);
+      stage.modeled_compute_seconds =
+          std::max(stage.modeled_compute_seconds, slot.modeled_compute_seconds);
+      stage.wall_seconds = std::max(stage.wall_seconds, slot.wall_seconds);
+    }
+    // Time models use the per-proc critical path, not the aggregate
+    // disk-seconds that stage.io.seconds now carries.
+    stats.serial_seconds += max_io + stage.compute_seconds;
+    stats.overlap_seconds += std::max(max_io, stage.compute_seconds);
+    stats.compute_seconds += stage.compute_seconds;
+  }
+
+  if (obs::trace_enabled()) {
+    const std::string dir = options.trace_dir.empty() ? layout.root : options.trace_dir;
+    for (int rank = 0; rank < num_procs; ++rank) {
+      const std::string path = dir + "/trace-frag-" + std::to_string(rank) + ".trc";
+      if (std::filesystem::exists(path)) stats.trace_fragments.push_back(path);
+    }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------
+// BackendRun
+
+BackendRun::BackendRun(const core::OocPlan& plan, BackendOptions options)
+    : plan_(plan), options_(std::move(options)) {
+  OOCS_REQUIRE(!options_.scratch_root.empty(), "backend run needs a scratch directory");
+  OOCS_REQUIRE(options_.num_procs >= 1, "num_procs must be >= 1");
+  if (options_.backend == Backend::kThreads) {
+    if (options_.cache_budget_bytes > 0) {
+      cache::TileCacheOptions cache_options;
+      cache_options.budget_bytes = options_.cache_budget_bytes;
+      cache_ = std::make_unique<cache::TileCache>(cache_options);
+    }
+    farm_ = std::make_unique<dra::DiskFarm>(
+        dra::DiskFarm::posix(plan.program, options_.scratch_root));
+    if (cache_) cache::attach_cache(*farm_, *cache_);
+  } else {
+    // The parent's farm creates the stripe files and stages/reads the
+    // data; workers attach their own farms (and caches) in child_main.
+    dra::StripeLayout layout;
+    layout.root = options_.scratch_root;
+    layout.stripes = options_.num_procs;
+    layout.chunk_elements = options_.chunk_elements;
+    farm_ = std::make_unique<dra::DiskFarm>(
+        dra::DiskFarm::striped(plan.program, layout, /*attach=*/false));
+  }
+}
+
+BackendRun::~BackendRun() {
+  // Remove worker trace fragments and (after the farm has unlinked its
+  // stripe files) the now-empty per-proc scratch dirs.
+  std::error_code ec;
+  for (const std::string& path : trace_fragments_) std::filesystem::remove(path, ec);
+  farm_.reset();
+  if (options_.backend == Backend::kProcs) {
+    for (int s = 0; s < options_.num_procs; ++s) {
+      std::filesystem::remove(options_.scratch_root + "/proc" + std::to_string(s), ec);
+    }
+  }
+}
+
+ParallelStats BackendRun::run() {
+  // Materialize every array the plan touches: the procs backend needs
+  // the stripe files to exist before workers attach, and both backends
+  // need the farm map frozen before threads share it.
+  for (const core::PlanBuffer& buffer : plan_.buffers) (void)farm_->array(buffer.array);
+  // Execution-only stats: input staging happened through this farm too.
+  farm_->reset_stats();
+
+  ParallelStats stats;
+  if (options_.backend == Backend::kThreads) {
+    stats = run_threads(plan_, *farm_, options_.num_procs, options_.async_io,
+                        options_.compute_threads, cache_.get());
+  } else {
+    dra::StripeLayout layout;
+    layout.root = options_.scratch_root;
+    layout.stripes = options_.num_procs;
+    layout.chunk_elements = options_.chunk_elements;
+    stats = run_procs(plan_, layout, options_);
+  }
+  trace_fragments_ = stats.trace_fragments;
+  return stats;
+}
+
+}  // namespace oocs::ga

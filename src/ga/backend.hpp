@@ -1,0 +1,110 @@
+// ga::Backend — one selector over the two parallel execution
+// substrates:
+//
+//   threads  P std::threads sharing one address space and one DiskFarm
+//            (the in-process fast path, run_threads);
+//   procs    P forked OS processes, each owning a private DiskFarm of
+//            chunk-striped arrays, synchronized through a shared-memory
+//            futex barrier and per-proc result slots (run_procs).
+//
+// Both distribute work identically (round-robin outer tiles), so for a
+// fixed seed the output arrays are bit-identical across backends — the
+// determinism matrix in tests/ga_test.cpp gates this.
+//
+// BackendRun wraps the full staged-run lifecycle behind the selector:
+// construct (creates the right farm), stage inputs through farm(),
+// run(), read outputs back through farm().  `oocsc --proc-backend`,
+// bench/table4_parallel_io and the tests all drive this one interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/plan.hpp"
+#include "dra/farm.hpp"
+#include "ga/parallel.hpp"
+
+namespace oocs::cache {
+class TileCache;
+}
+
+namespace oocs::ga {
+
+enum class Backend {
+  kThreads,
+  kProcs,
+};
+
+[[nodiscard]] bool is_known_backend(std::string_view name) noexcept;
+/// "threads, procs" — for unknown-backend error messages.
+[[nodiscard]] std::string known_backends();
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+/// Throws oocs::Error listing the valid names for unknown input.
+[[nodiscard]] Backend parse_backend(std::string_view name);
+
+struct BackendOptions {
+  Backend backend = Backend::kThreads;
+  int num_procs = 1;
+  bool async_io = false;
+  /// Per-proc compute pool width; 0 = OOCS_THREADS env.  Both backends
+  /// cap num_procs × threads at the hardware concurrency.
+  int compute_threads = 0;
+  /// Scratch directory: the POSIX farm directory (threads) or the
+  /// stripe root holding the per-proc `proc<k>/` dirs (procs).
+  std::string scratch_root;
+  /// Tile-cache budget: one shared cache (threads) or split evenly into
+  /// process-private caches (procs).  0 = no cache.
+  std::int64_t cache_budget_bytes = 0;
+  /// RAID-0 stripe chunk in doubles (procs backend).
+  std::int64_t chunk_elements = 32768;
+  /// Bound on every shm collective and on child teardown: a dead or
+  /// wedged worker surfaces as a structured oocs::Error, never a hang.
+  double barrier_timeout_seconds = 120.0;
+  /// Where worker processes drop their binary trace fragments when
+  /// tracing is on ("" = scratch_root).  The launcher lists the written
+  /// fragments in ParallelStats::trace_fragments for
+  /// obs::write_chrome_trace(os, fragments).
+  std::string trace_dir;
+};
+
+/// One staged parallel run.  The farm lives for the lifetime of the
+/// object: stage inputs into farm() before run(), read outputs back
+/// after.  Scratch files (and worker trace fragments) are removed on
+/// destruction.
+class BackendRun {
+ public:
+  BackendRun(const core::OocPlan& plan, BackendOptions options);
+  ~BackendRun();
+
+  BackendRun(const BackendRun&) = delete;
+  BackendRun& operator=(const BackendRun&) = delete;
+
+  [[nodiscard]] dra::DiskFarm& farm() noexcept { return *farm_; }
+  [[nodiscard]] const BackendOptions& options() const noexcept { return options_; }
+
+  /// Executes the plan on the selected backend.  Farm stats are reset
+  /// first, so the returned stats cover execution only (not input
+  /// staging).  Throws oocs::Error on worker failure (procs backend:
+  /// nonzero exit, fatal signal, or barrier timeout).
+  ParallelStats run();
+
+ private:
+  const core::OocPlan& plan_;
+  BackendOptions options_;
+  std::vector<std::string> trace_fragments_;
+  // The cache outlives the farm (cached arrays flush through it on
+  // farm destruction) — declaration order matters.
+  std::unique_ptr<cache::TileCache> cache_;
+  std::unique_ptr<dra::DiskFarm> farm_;
+};
+
+/// Multi-process execution against pre-staged striped arrays (the
+/// low-level entry point; BackendRun::run dispatches here).  Every
+/// array the plan touches must already exist under `layout` — stage
+/// through a create-mode striped farm that stays alive (or detached)
+/// across the call.  `options.backend` is ignored.
+ParallelStats run_procs(const core::OocPlan& plan, const dra::StripeLayout& layout,
+                        const BackendOptions& options);
+
+}  // namespace oocs::ga

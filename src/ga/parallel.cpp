@@ -40,6 +40,7 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
   // point where a cross-process farm snapshot is an exact stage
   // boundary.  The deltas between consecutive snapshots are the
   // measured per-stage I/O of the whole parallel run.
+  const double wall_t0 = obs::monotonic_seconds();
   const dra::IoStats run_start = farm.total_stats();
   std::vector<dra::IoStats> stage_snapshots;
   stage_snapshots.reserve(plan.roots.size());
@@ -80,8 +81,10 @@ ParallelStats run_threads(const core::OocPlan& plan, dra::DiskFarm& farm, int nu
   if (first_error) std::rethrow_exception(first_error);
 
   ParallelStats stats;
+  stats.backend = "threads";
   stats.num_procs = num_procs;
-  stats.total = farm.total_stats();
+  stats.wall_seconds = obs::monotonic_seconds() - wall_t0;
+  stats.total = farm.total_stats().since(run_start);
   stats.io_seconds = stats.total.seconds;
   stats.compute_threads = effective_threads;
   for (const rt::ExecStats& ps : proc_stats) {
@@ -143,6 +146,7 @@ ParallelStats simulate(const core::OocPlan& plan, int num_procs, dra::DiskModel 
   };
 
   ParallelStats stats;
+  stats.backend = "simulate";
   stats.num_procs = num_procs;
   stats.total = total;
   stats.io_seconds = per_proc_io(total);
@@ -170,6 +174,7 @@ void publish_metrics(const ParallelStats& stats) {
   obs::MetricsRegistry& m = obs::metrics();
   m.counter("ga.num_procs").set(stats.num_procs);
   m.counter("ga.compute_threads").set(stats.compute_threads);
+  m.gauge("ga.wall_seconds").set(stats.wall_seconds);
   m.counter("ga.stages").set(static_cast<std::int64_t>(stats.stages.size()));
   m.gauge("ga.io_seconds").set(stats.io_seconds);
   m.gauge("ga.compute_seconds").set(stats.compute_seconds);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/plan.hpp"
@@ -32,7 +33,17 @@ class TileCache;
 namespace oocs::ga {
 
 struct ParallelStats {
+  /// Which substrate produced this run: "threads", "procs", or
+  /// "simulate" (ga/backend.hpp's Backend names).
+  std::string backend = "threads";
   int num_procs = 1;
+  /// Wall clock of the parallel section (launch to last join); zero
+  /// for simulate.
+  double wall_seconds = 0;
+  /// Binary per-worker trace fragment files written by the procs
+  /// backend while tracing; splice with
+  /// obs::write_chrome_trace(os, fragments).  Empty otherwise.
+  std::vector<std::string> trace_fragments;
   /// Modeled parallel I/O time: max over the per-process disks.
   double io_seconds = 0;
   /// Aggregate traffic over all processes.

@@ -1,0 +1,98 @@
+#include "ga/process_group.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/clock.hpp"
+
+namespace oocs::ga {
+
+void ProcessGroup::launch(int num_procs, const std::function<int(int rank)>& body) {
+  OOCS_REQUIRE(num_procs >= 1, "process group needs >= 1 proc");
+  OOCS_REQUIRE(children_.empty(), "process group already launched");
+  children_.reserve(static_cast<std::size_t>(num_procs));
+  for (int rank = 0; rank < num_procs; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const std::string reason = std::strerror(errno);
+      for (const Child& child : children_) ::kill(child.pid, SIGKILL);
+      join(/*timeout_seconds=*/5.0);
+      throw Error("ga: fork for proc " + std::to_string(rank) + " failed: " + reason);
+    }
+    if (pid == 0) {
+      // Child: run the body and leave without touching inherited
+      // parent state (no atexit, no static destructors, no unwinding).
+      int code = 70;  // EX_SOFTWARE, for an exception the body let escape
+      try {
+        code = body(rank);
+      } catch (...) {
+      }
+      std::_Exit(code);
+    }
+    children_.push_back(Child{rank, pid, 0, false, false});
+  }
+}
+
+bool ProcessGroup::join(double timeout_seconds, const std::function<void()>& on_first_failure) {
+  const double deadline = obs::monotonic_seconds() + timeout_seconds;
+  bool failure_seen = false;
+  bool all_clean = true;
+  std::size_t live = 0;
+  for (const Child& child : children_) live += child.reaped ? 0 : 1;
+
+  const auto reap_ready = [&] {
+    for (Child& child : children_) {
+      if (child.reaped) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(child.pid, &status, WNOHANG);
+      if (got != child.pid) continue;
+      child.wait_status = status;
+      child.reaped = true;
+      --live;
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0 && !child.killed;
+      if (!clean) {
+        all_clean = false;
+        if (!failure_seen) {
+          failure_seen = true;
+          if (on_first_failure) on_first_failure();
+        }
+      }
+    }
+  };
+
+  while (live > 0 && obs::monotonic_seconds() < deadline) {
+    reap_ready();
+    if (live > 0) ::usleep(2000);
+  }
+  if (live > 0) {
+    // Past the deadline: put the stragglers down and reap for real.
+    for (Child& child : children_) {
+      if (!child.reaped) {
+        child.killed = true;
+        ::kill(child.pid, SIGKILL);
+      }
+    }
+    for (Child& child : children_) {
+      if (child.reaped) continue;
+      int status = 0;
+      while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      child.wait_status = status;
+      child.reaped = true;
+      all_clean = false;
+      if (!failure_seen) {
+        failure_seen = true;
+        if (on_first_failure) on_first_failure();
+      }
+    }
+  }
+  return all_clean;
+}
+
+}  // namespace oocs::ga

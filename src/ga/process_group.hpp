@@ -1,0 +1,50 @@
+// ProcessGroup: the fork launcher of the multi-process GA backend.
+//
+// launch() forks one real OS process per virtual proc; each child runs
+// the supplied function and terminates with std::_Exit (no atexit
+// handlers, no stack unwinding into the parent's state).  join() reaps
+// the group with a bounded deadline: the first abnormal child exit
+// triggers an abort callback (ga/backend.cpp raises the shared abort
+// flag so peers blocked on the ShmBarrier fail fast), and children
+// still alive past the deadline are SIGKILLed — a wedged worker can
+// slow a run down, never hang it.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <vector>
+
+namespace oocs::ga {
+
+class ProcessGroup {
+ public:
+  struct Child {
+    int rank = -1;
+    pid_t pid = -1;
+    int wait_status = 0;   ///< raw waitpid status (valid once reaped)
+    bool reaped = false;
+    bool killed = false;   ///< SIGKILLed by join() past the deadline
+  };
+
+  /// Forks `num_procs` children; child `rank` runs `body(rank)` and
+  /// exits with its return value (or 70 on an escaped exception —
+  /// bodies are expected to catch and report their own errors).
+  /// Parent-side fork failure aborts already-launched children and
+  /// throws oocs::Error.
+  void launch(int num_procs, const std::function<int(int rank)>& body);
+
+  /// Reaps every child, polling with WNOHANG.  `on_first_failure` runs
+  /// once, when the first abnormally-exiting child (nonzero status or
+  /// signal) is reaped — while siblings are still running.  Children
+  /// alive after `timeout_seconds` are SIGKILLed and reaped.  Returns
+  /// true iff every child exited zero without being killed.
+  bool join(double timeout_seconds, const std::function<void()>& on_first_failure = {});
+
+  [[nodiscard]] const std::vector<Child>& children() const noexcept { return children_; }
+
+ private:
+  std::vector<Child> children_;
+};
+
+}  // namespace oocs::ga

@@ -1,0 +1,90 @@
+#include "ga/shm.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/clock.hpp"
+
+namespace oocs::ga {
+
+namespace {
+
+/// futex(2) on a shared 32-bit word.  No FUTEX_PRIVATE_FLAG: waiters
+/// and wakers live in different processes.
+long futex(std::uint32_t* addr, int op, std::uint32_t value, const struct timespec* timeout) {
+  return ::syscall(SYS_futex, addr, op, value, timeout, nullptr, 0);
+}
+
+/// Slice length for barrier waits: short enough that abort/deadline
+/// checks are prompt, long enough to stay off the CPU while blocked.
+constexpr double kWaitSliceSeconds = 0.05;
+
+}  // namespace
+
+ShmArena::ShmArena(std::size_t bytes) : size_(bytes) {
+  // Name is only a rendezvous for shm_open and is unlinked before any
+  // fork — children share the *mapping*, not the name, so a crashed
+  // run can never leak a kernel object.
+  static std::atomic<int> counter{0};
+  const std::string name = "/oocs-ga-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(counter.fetch_add(1));
+  const int fd = ::shm_open(name.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) {
+    throw Error("shm_open('" + name + "') failed: " + std::strerror(errno));
+  }
+  ::shm_unlink(name.c_str());
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("ftruncate(shm, " + std::to_string(bytes) + ") failed: " + std::strerror(err));
+  }
+  data_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (data_ == MAP_FAILED) {
+    data_ = nullptr;
+    throw Error("mmap(shm, " + std::to_string(bytes) + ") failed: " + std::strerror(errno));
+  }
+  std::memset(data_, 0, bytes);
+}
+
+ShmArena::~ShmArena() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+BarrierWait ShmBarrier::arrive_and_wait(const std::atomic<std::int32_t>& abort_flag,
+                                        double timeout_seconds) noexcept {
+  const std::int32_t my_sense = sense_.load(std::memory_order_acquire);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last arriver releases the phase: reset the count, flip the sense,
+    // wake every waiter.
+    count_.store(0, std::memory_order_release);
+    sense_.store(1 - my_sense, std::memory_order_release);
+    futex(reinterpret_cast<std::uint32_t*>(&sense_), FUTEX_WAKE,
+          std::numeric_limits<std::uint32_t>::max(), nullptr);
+    return BarrierWait::kOk;
+  }
+  const double deadline = obs::monotonic_seconds() + timeout_seconds;
+  while (sense_.load(std::memory_order_acquire) == my_sense) {
+    if (abort_flag.load(std::memory_order_acquire) != 0) return BarrierWait::kAborted;
+    if (obs::monotonic_seconds() >= deadline) return BarrierWait::kTimeout;
+    struct timespec slice;
+    slice.tv_sec = 0;
+    slice.tv_nsec = static_cast<long>(kWaitSliceSeconds * 1e9);
+    // EAGAIN (sense already flipped) and EINTR both just re-check.
+    futex(reinterpret_cast<std::uint32_t*>(&sense_), FUTEX_WAIT,
+          static_cast<std::uint32_t>(my_sense), &slice);
+  }
+  return BarrierWait::kOk;
+}
+
+}  // namespace oocs::ga

@@ -1,0 +1,84 @@
+// Process-shared memory primitives for the multi-process GA backend.
+//
+// ShmArena: an anonymous POSIX shared-memory mapping (shm_open +
+// ftruncate + mmap, name unlinked immediately) created *before* fork.
+// Children inherit the mapping at the same virtual address, so plain
+// pointers into the arena stay valid across the process group — the
+// arena holds the barrier, the abort flag, and the per-proc result
+// slots (ga/backend.cpp).
+//
+// ShmBarrier: a sense-reversing barrier on futexes.  std::barrier
+// cannot span processes; FUTEX_WAIT/FUTEX_WAKE on a shared mapping can
+// (note: *without* FUTEX_PRIVATE_FLAG).  Waits are sliced so every
+// waiter periodically rechecks an abort flag and its deadline — a dead
+// peer turns into a structured error instead of a hang.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace oocs::ga {
+
+/// Shared mapping visible to this process and every child forked after
+/// construction.  Zero-initialized.  Unmapped (not leaked) on
+/// destruction; the kernel object dies with the last mapping.
+class ShmArena {
+ public:
+  explicit ShmArena(std::size_t bytes);
+  ~ShmArena();
+
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  [[nodiscard]] void* data() noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Placement-constructs a T at byte `offset` (parent side, pre-fork).
+  template <typename T, typename... Args>
+  T* construct(std::size_t offset, Args&&... args) {
+    return ::new (static_cast<char*>(data_) + offset) T(static_cast<Args&&>(args)...);
+  }
+
+  /// The T previously constructed at `offset` (any process).
+  template <typename T>
+  [[nodiscard]] T* at(std::size_t offset) noexcept {
+    return reinterpret_cast<T*>(static_cast<char*>(data_) + offset);
+  }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Outcome of one barrier arrival.
+enum class BarrierWait {
+  kOk,       ///< every party arrived
+  kAborted,  ///< the group abort flag was raised while waiting
+  kTimeout,  ///< deadline expired (a peer is hung or dead)
+};
+
+/// Sense-reversing futex barrier for `parties` processes.  Must live in
+/// process-shared memory (an ShmArena).  Trivially layout-stable: two
+/// futex words and the party count.
+class ShmBarrier {
+ public:
+  explicit ShmBarrier(std::int32_t parties) noexcept : parties_(parties) {}
+
+  /// Arrives and waits for the other parties.  Returns kAborted as soon
+  /// as `abort_flag` becomes nonzero (checked every wait slice), or
+  /// kTimeout after `timeout_seconds`.  After a non-kOk return the
+  /// barrier is broken for the whole group — callers must abort.
+  BarrierWait arrive_and_wait(const std::atomic<std::int32_t>& abort_flag,
+                              double timeout_seconds) noexcept;
+
+ private:
+  std::atomic<std::int32_t> count_{0};  // arrivals in the current phase
+  std::atomic<std::int32_t> sense_{0};  // phase flip, the futex word
+  std::int32_t parties_;
+};
+
+static_assert(std::atomic<std::int32_t>::is_always_lock_free,
+              "futex barrier needs lock-free 32-bit atomics");
+
+}  // namespace oocs::ga

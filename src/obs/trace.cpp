@@ -1,12 +1,17 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <type_traits>
 
+#include "common/error.hpp"
 #include "obs/build_info.hpp"
 #include "obs/json.hpp"
 
@@ -206,34 +211,135 @@ namespace {
 /// Microseconds with sub-microsecond precision, Chrome's "ts"/"dur" unit.
 std::string us(std::int64_t ns) { return json_number(static_cast<double>(ns) / 1000.0, 3); }
 
-}  // namespace
+struct Track {
+  std::string name;
+  std::int64_t dropped = 0;
+};
 
-void write_chrome_trace(std::ostream& os) {
-  struct Track {
-    std::string name;
-    std::int64_t dropped = 0;
-  };
-  std::map<int, Track> tracks;  // by tid
+/// Everything one Chrome trace document needs, local + fragments.
+struct MergedTrace {
+  std::map<int, Track> tracks;  // by (possibly remapped) tid
   std::vector<TraceEvent> events;
+};
+
+/// Drains this process's thread buffers into `merged`.
+void collect_local(MergedTrace& merged) {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-    {
-      Registry& r = registry();
-      const std::scoped_lock lock(r.mutex);
-      buffers = r.buffers;
-    }
-    for (const auto& buffer : buffers) {
-      const std::scoped_lock lock(buffer->mutex);
-      Track& track = tracks[buffer->tid];
-      track.name = buffer->thread_name.empty() ? "thread " + std::to_string(buffer->tid)
-                                               : buffer->thread_name;
-      track.dropped += buffer->dropped;
-      for (std::size_t i = buffer->next; i < buffer->ring.size(); ++i) {
-        events.push_back(buffer->ring[i]);
-      }
-      for (std::size_t i = 0; i < buffer->next; ++i) events.push_back(buffer->ring[i]);
-    }
+    Registry& r = registry();
+    const std::scoped_lock lock(r.mutex);
+    buffers = r.buffers;
   }
+  for (const auto& buffer : buffers) {
+    const std::scoped_lock lock(buffer->mutex);
+    Track& track = merged.tracks[buffer->tid];
+    track.name = buffer->thread_name.empty() ? "thread " + std::to_string(buffer->tid)
+                                             : buffer->thread_name;
+    track.dropped += buffer->dropped;
+    for (std::size_t i = buffer->next; i < buffer->ring.size(); ++i) {
+      merged.events.push_back(buffer->ring[i]);
+    }
+    for (std::size_t i = 0; i < buffer->next; ++i) merged.events.push_back(buffer->ring[i]);
+  }
+}
+
+// --- binary fragment format -----------------------------------------
+// Written and read by the *same* executable (the launcher forks the
+// workers), so raw struct layout is stable by construction; the magic
+// still version-stamps the stream against stale scratch files.
+
+constexpr char kFragmentMagic[8] = {'O', 'O', 'C', 'S', 'T', 'R', 'C', '1'};
+
+struct FragmentHeader {
+  char magic[8];
+  std::int32_t proc = 0;    // virtual proc (GA rank) of the writer
+  std::int32_t os_pid = 0;  // OS pid of the writer
+  std::int64_t dropped = 0;
+  std::int64_t name_count = 0;   // thread-name table entries
+  std::int64_t event_count = 0;  // FragmentEvent records
+};
+
+/// TraceEvent with the category text inline: the live struct stores a
+/// string-literal pointer, which is meaningless in another process.
+struct FragmentEvent {
+  std::uint8_t kind = 0;
+  char category[16] = {};
+  char name[48] = {};
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  std::int64_t id = 0;
+  std::int32_t proc = 0;
+  std::int32_t tid = 0;
+};
+static_assert(std::is_trivially_copyable_v<FragmentEvent>);
+
+/// Stable storage for category strings parsed out of fragments, so the
+/// merged TraceEvents can keep the pointer-typed field.  Leaked like
+/// the registry; the distinct-category count is tiny.
+const char* intern_category(std::string_view category) {
+  static std::mutex mutex;
+  static std::set<std::string, std::less<>>* pool = new std::set<std::string, std::less<>>();
+  const std::scoped_lock lock(mutex);
+  const auto it = pool->find(category);
+  if (it != pool->end()) return it->c_str();
+  return pool->insert(std::string(category)).first->c_str();
+}
+
+/// Parses one fragment file into `merged`, remapping its tids to
+/// `(proc + 1) * 1000 + tid` (see write_chrome_trace overload docs).
+void load_fragment(MergedTrace& merged, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("trace fragment '" + path + "': cannot open");
+  FragmentHeader header;
+  is.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!is || std::memcmp(header.magic, kFragmentMagic, sizeof(kFragmentMagic)) != 0) {
+    throw Error("trace fragment '" + path + "': bad magic");
+  }
+  const auto remap = [&](std::int32_t tid) {
+    return (header.proc + 1) * 1000 + static_cast<int>(tid);
+  };
+  for (std::int64_t i = 0; i < header.name_count; ++i) {
+    std::int32_t tid = 0;
+    std::int32_t len = 0;
+    is.read(reinterpret_cast<char*>(&tid), sizeof(tid));
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is || len < 0 || len > 4096) {
+      throw Error("trace fragment '" + path + "': bad thread-name entry");
+    }
+    std::string name(static_cast<std::size_t>(len), '\0');
+    is.read(name.data(), len);
+    if (!is) throw Error("trace fragment '" + path + "': truncated thread name");
+    merged.tracks[remap(tid)].name = name + " (pid " + std::to_string(header.os_pid) + ")";
+  }
+  merged.tracks[remap(0)].dropped += header.dropped;
+  for (std::int64_t i = 0; i < header.event_count; ++i) {
+    FragmentEvent fe;
+    is.read(reinterpret_cast<char*>(&fe), sizeof(fe));
+    if (!is) throw Error("trace fragment '" + path + "': truncated events");
+    fe.category[sizeof(fe.category) - 1] = '\0';
+    fe.name[sizeof(fe.name) - 1] = '\0';
+    TraceEvent event;
+    event.kind = static_cast<TraceEvent::Kind>(fe.kind);
+    event.category = intern_category(fe.category);
+    std::memcpy(event.name, fe.name, sizeof(event.name));
+    event.t0_ns = fe.t0_ns;
+    event.t1_ns = fe.t1_ns;
+    event.id = fe.id;
+    event.proc = fe.proc;
+    event.tid = remap(fe.tid);
+    const int new_tid = event.tid;
+    if (merged.tracks.find(new_tid) == merged.tracks.end()) {
+      merged.tracks[new_tid].name = "proc " + std::to_string(header.proc) + " thread " +
+                                    std::to_string(fe.tid) + " (pid " +
+                                    std::to_string(header.os_pid) + ")";
+    }
+    merged.events.push_back(event);
+  }
+}
+
+void emit_chrome_trace(std::ostream& os, const MergedTrace& merged) {
+  const std::map<int, Track>& tracks = merged.tracks;
+  const std::vector<TraceEvent>& events = merged.events;
 
   const BuildInfo& build = build_info();
   std::int64_t dropped = 0;
@@ -293,6 +399,58 @@ void write_chrome_trace(std::ostream& os) {
     }
   }
   os << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  MergedTrace merged;
+  collect_local(merged);
+  emit_chrome_trace(os, merged);
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<std::string>& fragment_paths) {
+  MergedTrace merged;
+  collect_local(merged);
+  for (const std::string& path : fragment_paths) load_fragment(merged, path);
+  emit_chrome_trace(os, merged);
+}
+
+void write_trace_fragment(std::ostream& os) {
+  MergedTrace merged;
+  collect_local(merged);
+
+  FragmentHeader header;
+  std::memcpy(header.magic, kFragmentMagic, sizeof(kFragmentMagic));
+  header.proc = current_proc();
+  header.os_pid = static_cast<std::int32_t>(::getpid());
+  for (const auto& [tid, track] : merged.tracks) header.dropped += track.dropped;
+  header.name_count = static_cast<std::int64_t>(merged.tracks.size());
+  header.event_count = static_cast<std::int64_t>(merged.events.size());
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  for (const auto& [tid, track] : merged.tracks) {
+    const std::int32_t tid32 = static_cast<std::int32_t>(tid);
+    const std::int32_t len = static_cast<std::int32_t>(track.name.size());
+    os.write(reinterpret_cast<const char*>(&tid32), sizeof(tid32));
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(track.name.data(), len);
+  }
+
+  for (const TraceEvent& event : merged.events) {
+    FragmentEvent fe;
+    fe.kind = static_cast<std::uint8_t>(event.kind);
+    const std::string_view category = event.category;
+    const std::size_t cat_len = std::min(category.size(), sizeof(fe.category) - 1);
+    std::memcpy(fe.category, category.data(), cat_len);
+    std::memcpy(fe.name, event.name, sizeof(fe.name));
+    fe.t0_ns = event.t0_ns;
+    fe.t1_ns = event.t1_ns;
+    fe.id = event.id;
+    fe.proc = event.proc;
+    fe.tid = event.tid;
+    os.write(reinterpret_cast<const char*>(&fe), sizeof(fe));
+  }
 }
 
 }  // namespace oocs::obs

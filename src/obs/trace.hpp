@@ -103,6 +103,21 @@ void record_instant(const char* category, std::string_view name);
 /// build-info block (obs/build_info.hpp) is stamped into "otherData".
 void write_chrome_trace(std::ostream& os);
 
+/// As above, but splices in per-process binary fragments written by
+/// write_trace_fragment (the ga::run_procs workers).  Fragment thread
+/// ids are remapped to `(proc + 1) * 1000 + tid`, so worker tracks can
+/// never collide with this process's — each (pid, tid) keeps strictly
+/// nested spans, which tools/check_trace.py enforces.  Track labels
+/// carry the worker's OS pid.  Unreadable or malformed fragments throw
+/// oocs::Error.
+void write_chrome_trace(std::ostream& os, const std::vector<std::string>& fragment_paths);
+
+/// Drains this process's buffers into a self-contained binary fragment
+/// for later merging.  Used by worker processes, whose TraceEvent
+/// category pointers (string literals) die with their address space —
+/// the fragment stores category text inline.
+void write_trace_fragment(std::ostream& os);
+
 /// RAII span: captures the start time at construction and records the
 /// completed span at destruction.  Near-zero cost while disabled.
 class Span {

@@ -1,12 +1,16 @@
 // Tests for the disk-resident array substrate.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dra/disk_array.hpp"
 #include "dra/farm.hpp"
+#include "dra/striped_array.hpp"
 #include "dra/transpose.hpp"
 #include "ir/parser.hpp"
 
@@ -293,6 +297,126 @@ TEST(Transpose, RejectsBadShapes) {
   EXPECT_THROW((void)transpose_out_of_core(a, wrong, 1024), SpecError);
   SimDiskArray b("B", {6, 4}, model);
   EXPECT_THROW((void)transpose_out_of_core(a, b, 8), SpecError);  // budget < 2 elems
+}
+
+TEST(Posix, ScratchFileNameIncludesPid) {
+  // Two processes sharing one farm root must never open (and O_TRUNC)
+  // each other's scratch files — the pid tag keeps the names disjoint.
+  PosixDiskArray array("A", {4, 4}, temp_dir("pidname"));
+  const std::string tag = "." + std::to_string(::getpid()) + ".dra";
+  EXPECT_NE(array.path().find(tag), std::string::npos) << array.path();
+}
+
+StripeLayout layout_for(const char* tag, int stripes, std::int64_t chunk_elements) {
+  StripeLayout layout;
+  layout.root = temp_dir(tag);
+  layout.stripes = stripes;
+  layout.chunk_elements = chunk_elements;
+  return layout;
+}
+
+TEST(Striped, RoundTripAcrossStripeCountsAndSections) {
+  // A deliberately awkward chunk size (non-divisor of rows) so sections
+  // straddle chunk and stripe boundaries.
+  for (const int stripes : {1, 2, 3, 5}) {
+    const StripeLayout layout =
+        layout_for(("rt" + std::to_string(stripes)).c_str(), stripes, 7);
+    StripedDiskArray array("A", {9, 11}, layout, StripedDiskArray::Mode::kCreate);
+    std::vector<double> data(9 * 11);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i) + 0.25;
+    array.write(Section::whole(array.extents()), data);
+
+    std::vector<double> whole(data.size());
+    array.read(Section::whole(array.extents()), whole);
+    EXPECT_EQ(whole, data) << stripes << " stripes";
+
+    const Section s{{{2, 7}, {3, 10}}};
+    std::vector<double> out(static_cast<std::size_t>(s.elements()));
+    array.read(s, out);
+    for (std::int64_t r = 0; r < 5; ++r) {
+      for (std::int64_t c = 0; c < 7; ++c) {
+        EXPECT_EQ(out[static_cast<std::size_t>(r * 7 + c)],
+                  data[static_cast<std::size_t>((r + 2) * 11 + (c + 3))]);
+      }
+    }
+  }
+}
+
+TEST(Striped, AttachSeesCreatorDataAndDetachKeepsFiles) {
+  const StripeLayout layout = layout_for("attach", 3, 4);
+  std::vector<double> data(6 * 6);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  {
+    StripedDiskArray creator("A", {6, 6}, layout, StripedDiskArray::Mode::kCreate);
+    creator.write(Section::whole(creator.extents()), data);
+    creator.detach();  // files must survive for the attach side
+  }
+  StripedDiskArray attached("A", {6, 6}, layout, StripedDiskArray::Mode::kAttach);
+  std::vector<double> out(data.size());
+  attached.read(Section::whole(attached.extents()), out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Striped, AttachWithoutCreatorThrows) {
+  const StripeLayout layout = layout_for("noattach", 2, 4);
+  std::filesystem::create_directories(layout.root);
+  EXPECT_THROW(StripedDiskArray("A", {4, 4}, layout, StripedDiskArray::Mode::kAttach), IoError);
+}
+
+TEST(Striped, AccumulateAtomicAcrossInstances) {
+  // Two array *instances* over the same stripe files (the in-process
+  // analogue of two worker processes): concurrent accumulates to one
+  // overlapping section must serialize on the OFD record lock, never
+  // on the per-instance mutex alone.
+  const StripeLayout layout = layout_for("ofd", 2, 8);
+  StripedDiskArray a("A", {32}, layout, StripedDiskArray::Mode::kCreate);
+  StripedDiskArray b("A", {32}, layout, StripedDiskArray::Mode::kAttach);
+
+  const std::vector<double> zero(32, 0.0);
+  a.write(Section::whole(a.extents()), zero);
+
+  constexpr int kRounds = 200;
+  const std::vector<double> ones(32, 1.0);
+  const auto worker = [&](StripedDiskArray& array) {
+    for (int i = 0; i < kRounds; ++i) {
+      array.accumulate(Section::whole(array.extents()), ones);
+    }
+  };
+  std::thread t1(worker, std::ref(a));
+  std::thread t2(worker, std::ref(b));
+  t1.join();
+  t2.join();
+
+  std::vector<double> out(32);
+  a.read(Section::whole(a.extents()), out);
+  for (const double v : out) EXPECT_EQ(v, 2.0 * kRounds);
+}
+
+TEST(Striped, FarmFactoryStripesAndDetachAll) {
+  const ir::Program p = ir::parse(
+      "range i = 8, j = 8;\n"
+      "input A(i, j);\n"
+      "output B(i, j);\n"
+      "B[*,*] = 0;\n"
+      "for (i, j) { B[i,j] += A[i,j]; }\n");
+  StripeLayout layout = layout_for("sfarm", 2, 4);
+  std::vector<std::string> stripe_paths;
+  {
+    DiskFarm farm = DiskFarm::striped(p, layout);
+    auto& array = dynamic_cast<StripedDiskArray&>(farm.array("A"));
+    stripe_paths = array.stripe_paths();
+    ASSERT_EQ(stripe_paths.size(), 2u);
+    EXPECT_NE(stripe_paths[0].find("proc0"), std::string::npos);
+    EXPECT_NE(stripe_paths[1].find("proc1"), std::string::npos);
+    for (const std::string& path : stripe_paths) {
+      EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    }
+    farm.detach_all();
+  }
+  // detach_all: the stripe files outlive the farm.
+  for (const std::string& path : stripe_paths) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
 }
 
 }  // namespace

@@ -3,12 +3,20 @@
 // paper's Table-4 behaviour.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <cmath>
+#include <cstring>
 #include <filesystem>
 
 #include "core/synthesize.hpp"
 #include "dra/farm.hpp"
+#include "ga/backend.hpp"
 #include "ga/parallel.hpp"
+#include "ga/process_group.hpp"
+#include "ga/shm.hpp"
 #include "ir/examples.hpp"
+#include "obs/clock.hpp"
 #include "rt/reference.hpp"
 #include "solver/dlm.hpp"
 
@@ -124,6 +132,161 @@ TEST(Simulate, RejectsBadProcCount) {
   const Program p = ir::examples::two_index(24, 20, 16, 12);
   const SynthesisResult result = synthesize_small(p, 1 << 20);
   EXPECT_THROW((void)simulate(result.plan, 0), Error);
+}
+
+// ---------------------------------------------------------------------
+// Backend selector
+
+TEST(Backend, NamesParseAndUnknownListsValid) {
+  EXPECT_TRUE(is_known_backend("threads"));
+  EXPECT_TRUE(is_known_backend("procs"));
+  EXPECT_FALSE(is_known_backend("mpi"));
+  EXPECT_EQ(parse_backend("threads"), Backend::kThreads);
+  EXPECT_EQ(parse_backend("procs"), Backend::kProcs);
+  EXPECT_STREQ(backend_name(Backend::kProcs), "procs");
+  try {
+    (void)parse_backend("mpi");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(known_backends()), std::string::npos) << e.what();
+  }
+}
+
+/// Inputs rounded to small integers: every product and partial sum is
+/// exactly representable, so floating-point addition is associative on
+/// this data and results are bit-identical regardless of how the
+/// backends interleave their accumulations.
+rt::TensorMap integer_inputs(const Program& p, std::uint64_t seed) {
+  rt::TensorMap inputs = rt::random_inputs(p, seed);
+  for (auto& [name, tensor] : inputs) {
+    for (double& v : tensor) v = std::round(v * 8.0);
+  }
+  return inputs;
+}
+
+// The cross-backend determinism matrix: {threads,procs} × {1,2,4 procs}
+// × {sync,async} × {cache on/off} must produce bit-identical output
+// arrays for a fixed seed.  (The thread legs run under TSan in CI.)
+TEST(BackendDeterminism, BitIdenticalAcrossMatrix) {
+  const Program p = ir::examples::two_index(24, 20, 16, 12);
+  const SynthesisResult result = synthesize_small(p, 6 * 1024);
+  ASSERT_TRUE(result.solution.feasible);
+  const rt::TensorMap inputs = integer_inputs(p, 31);
+
+  std::vector<double> golden;
+  for (const char* backend : {"threads", "procs"}) {
+    for (const int procs : {1, 2, 4}) {
+      for (const bool async : {false, true}) {
+        for (const bool with_cache : {false, true}) {
+          const std::string tag = std::string(backend) + "-p" + std::to_string(procs) +
+                                  (async ? "-async" : "-sync") +
+                                  (with_cache ? "-cache" : "-nocache");
+          BackendOptions options;
+          options.backend = parse_backend(backend);
+          options.num_procs = procs;
+          options.async_io = async;
+          options.cache_budget_bytes = with_cache ? (std::int64_t{1} << 20) : 0;
+          options.scratch_root = temp_dir("det_" + tag);
+          options.barrier_timeout_seconds = 60;
+          BackendRun run(result.plan, options);
+          for (const auto& [name, decl] : result.plan.program.arrays()) {
+            if (decl.kind != ir::ArrayKind::Input) continue;
+            dra::DiskArray& array = run.farm().array(name);
+            array.write(dra::Section::whole(array.extents()), inputs.at(name));
+          }
+          const ParallelStats stats = run.run();
+          EXPECT_EQ(stats.backend, backend) << tag;
+          EXPECT_EQ(stats.num_procs, procs) << tag;
+          EXPECT_GT(stats.total.bytes_read, 0) << tag;
+
+          dra::DiskArray& b = run.farm().array("B");
+          std::vector<double> out(static_cast<std::size_t>(b.elements()));
+          b.read(dra::Section::whole(b.extents()), out);
+          if (golden.empty()) {
+            golden = out;
+            const rt::Tensor reference = rt::run_in_core(p, inputs).at("B");
+            ASSERT_LT(rt::max_abs_diff(out, reference), 1e-12) << tag;
+          } else {
+            ASSERT_EQ(out.size(), golden.size()) << tag;
+            ASSERT_EQ(std::memcmp(out.data(), golden.data(), out.size() * sizeof(double)), 0)
+                << tag << ": output differs from the first matrix leg";
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process failure handling
+
+TEST(ProcessGroupFailure, NonzeroChildExitIsReported) {
+  ProcessGroup group;
+  group.launch(2, [](int rank) { return rank == 1 ? 3 : 0; });
+  EXPECT_FALSE(group.join(20.0));
+  const auto& children = group.children();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_TRUE(children[0].reaped);
+  EXPECT_TRUE(children[1].reaped);
+  EXPECT_EQ(WEXITSTATUS(children[1].wait_status), 3);
+}
+
+TEST(ProcessGroupFailure, AbortFlagUnblocksBarrierWaiters) {
+  ShmArena arena(4096);
+  ShmBarrier* barrier = arena.construct<ShmBarrier>(0, 2);
+  auto* abort_flag = arena.construct<std::atomic<std::int32_t>>(128, 0);
+
+  ProcessGroup group;
+  group.launch(2, [&](int rank) {
+    if (rank == 1) return 7;  // dies before ever arriving at the barrier
+    return barrier->arrive_and_wait(*abort_flag, 30.0) == BarrierWait::kAborted ? 0 : 9;
+  });
+  const double t0 = obs::monotonic_seconds();
+  EXPECT_FALSE(group.join(20.0, [&] { abort_flag->store(1); }));
+  // The waiter was released by the abort flag, not its 30 s timeout.
+  EXPECT_LT(obs::monotonic_seconds() - t0, 15.0);
+  EXPECT_EQ(WEXITSTATUS(group.children()[0].wait_status), 0);
+  EXPECT_EQ(WEXITSTATUS(group.children()[1].wait_status), 7);
+}
+
+TEST(ProcessGroupFailure, BarrierTimeoutIsBounded) {
+  ShmArena arena(4096);
+  ShmBarrier* barrier = arena.construct<ShmBarrier>(0, 2);
+  auto* abort_flag = arena.construct<std::atomic<std::int32_t>>(128, 0);
+
+  ProcessGroup group;
+  group.launch(1, [&](int) {
+    // Party of two, one arrival: must time out, promptly.
+    return barrier->arrive_and_wait(*abort_flag, 0.3) == BarrierWait::kTimeout ? 0 : 9;
+  });
+  EXPECT_TRUE(group.join(20.0));
+}
+
+TEST(ProcsBackendFailure, WorkerErrorSurfacesAsStructuredError) {
+  // No stripe files staged: every worker fails to attach its farm, and
+  // run_procs must translate the first child's death into an Error that
+  // names the proc and carries its message — instead of hanging.
+  const Program p = ir::examples::two_index(24, 20, 16, 12);
+  const SynthesisResult result = synthesize_small(p, 6 * 1024);
+  ASSERT_TRUE(result.solution.feasible);
+
+  dra::StripeLayout layout;
+  layout.root = temp_dir("procs_fail");
+  layout.stripes = 2;
+  std::filesystem::create_directories(layout.root);
+  BackendOptions options;
+  options.backend = Backend::kProcs;
+  options.num_procs = 2;
+  options.scratch_root = layout.root;
+  options.barrier_timeout_seconds = 10;
+  try {
+    (void)run_procs(result.plan, layout, options);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ga: proc"), std::string::npos) << what;
+    EXPECT_NE(what.find("stripe"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -43,6 +43,15 @@
 //                       random inputs and verify against the in-core
 //                       reference (small programs only)
 //   --procs N           with --run: execute GA-style on N processes
+//   --proc-backend B    with --run: parallel substrate, threads | procs
+//                       (default threads).  threads emulates the
+//                       process group with std::threads sharing one
+//                       farm; procs forks real OS processes that
+//                       synchronize through a shared-memory futex
+//                       barrier and stripe every array RAID-0 style
+//                       across per-process scratch dirs (see
+//                       docs/MULTIPROCESS.md).  Outputs are
+//                       bit-identical across backends for a fixed seed
 //   --async             with --run: asynchronous I/O (write-behind +
 //                       tile read-ahead) instead of blocking calls
 //   --threads N         with --run: in-core compute threads per process
@@ -81,6 +90,7 @@
 #include "common/error.hpp"
 #include "core/synthesize.hpp"
 #include "dra/farm.hpp"
+#include "ga/backend.hpp"
 #include "ga/parallel.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
@@ -115,6 +125,7 @@ struct Args {
   bool tree = false;
   std::string run_dir;
   int procs = 1;
+  std::string proc_backend = "threads";
   bool async_io = false;
   int threads = 0;  // 0 = OOCS_THREADS env, default 1
   std::int64_t cache_mb = 0;  // tile cache budget in MiB (0 = off)
@@ -130,7 +141,8 @@ struct Args {
                "       [--restarts N] [--solver-threads N] [--seed N] [--no-prune]\n"
                "       [--no-delta] [--binary-eq] [--read-block BYTES] [--write-block BYTES]\n"
                "       [--seek-bytes N] [--fingerprint] [--fuse] [--ampl] [--placements] [--tree]\n"
-               "       [--run DIR] [--procs N] [--async] [--threads N] [--cache-mb N]\n"
+               "       [--run DIR] [--procs N] [--proc-backend threads|procs] [--async]\n"
+               "       [--threads N] [--cache-mb N]\n"
                "       [--stats-json FILE] [--trace FILE] [--metrics-json FILE] [--version]\n",
                argv0);
   std::exit(1);
@@ -186,6 +198,8 @@ Args parse_args(int argc, char** argv) {
       args.run_dir = need_value(i);
     } else if (std::strcmp(a, "--procs") == 0) {
       args.procs = std::atoi(need_value(i));
+    } else if (std::strcmp(a, "--proc-backend") == 0) {
+      args.proc_backend = need_value(i);
     } else if (std::strcmp(a, "--async") == 0) {
       args.async_io = true;
     } else if (std::strcmp(a, "--threads") == 0) {
@@ -217,6 +231,11 @@ Args parse_args(int argc, char** argv) {
   if (!serve::is_known_solver(args.solver)) {
     std::fprintf(stderr, "oocsc: unknown solver '%s' (valid: %s)\n", args.solver.c_str(),
                  serve::known_solvers());
+    std::exit(1);
+  }
+  if (!ga::is_known_backend(args.proc_backend)) {
+    std::fprintf(stderr, "oocsc: unknown backend '%s' (valid: %s)\n", args.proc_backend.c_str(),
+                 ga::known_backends().c_str());
     std::exit(1);
   }
   return args;
@@ -307,12 +326,16 @@ int run(const Args& args) {
 
   std::optional<rt::ExecStats> exec_stats;
   std::optional<ga::ParallelStats> parallel_stats;
+  const ga::Backend proc_backend = ga::parse_backend(args.proc_backend);
+  // Lives past the run block: its farm holds the output arrays and its
+  // worker trace fragments must survive until the trace is written.
+  std::optional<ga::BackendRun> backend_run;
   double worst = 0;
   if (!args.run_dir.empty()) {
     // Execute with deterministic random inputs and verify.
     const rt::TensorMap inputs = rt::random_inputs(program, args.seed);
     const rt::TensorMap reference = rt::run_in_core(program, inputs);
-    if (args.procs <= 1) {
+    if (args.procs <= 1 && proc_backend == ga::Backend::kThreads) {
       rt::ExecStats stats;
       rt::ExecOptions exec;
       exec.async_io = args.async_io;
@@ -324,28 +347,23 @@ int run(const Args& args) {
         worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
       }
     } else {
-      // The cache must outlive the farm (CachedDiskArray destructors
-      // flush into their backends).
-      std::unique_ptr<cache::TileCache> tile_cache;
-      if (cache_budget_bytes > 0) {
-        cache::TileCacheOptions cache_options;
-        cache_options.budget_bytes = cache_budget_bytes;
-        tile_cache = std::make_unique<cache::TileCache>(cache_options);
-      }
-      dra::DiskFarm farm = dra::DiskFarm::posix(result.plan.program, args.run_dir);
-      if (tile_cache != nullptr) cache::attach_cache(farm, *tile_cache);
+      ga::BackendOptions backend_options;
+      backend_options.backend = proc_backend;
+      backend_options.num_procs = args.procs;
+      backend_options.async_io = args.async_io;
+      backend_options.compute_threads = args.threads;
+      backend_options.cache_budget_bytes = cache_budget_bytes;
+      backend_options.scratch_root = args.run_dir;
+      backend_run.emplace(result.plan, backend_options);
       for (const auto& [name, decl] : result.plan.program.arrays()) {
         if (decl.kind != ir::ArrayKind::Input) continue;
-        dra::DiskArray& array = farm.array(name);
+        dra::DiskArray& array = backend_run->farm().array(name);
         array.write(dra::Section::whole(array.extents()), inputs.at(name));
       }
-      if (tile_cache != nullptr) tile_cache->clear();
-      farm.reset_stats();
-      parallel_stats = ga::run_threads(result.plan, farm, args.procs, args.async_io,
-                                       args.threads, tile_cache.get());
+      parallel_stats = backend_run->run();
       for (const auto& [name, decl] : result.plan.program.arrays()) {
         if (decl.kind != ir::ArrayKind::Output) continue;
-        dra::DiskArray& array = farm.array(name);
+        dra::DiskArray& array = backend_run->farm().array(name);
         std::vector<double> data(static_cast<std::size_t>(array.elements()));
         array.read(dra::Section::whole(array.extents()), data);
         worst = std::max(worst, rt::max_abs_diff(data, reference.at(name)));
@@ -353,10 +371,12 @@ int run(const Args& args) {
     }
     const int threads_used = exec_stats.has_value() ? exec_stats->compute_threads
                                                     : parallel_stats->compute_threads;
-    std::printf("run (%d proc%s, %d compute thread%s%s): max |output - reference| = %.3g → %s\n",
-                args.procs, args.procs == 1 ? "" : "s", threads_used,
-                threads_used == 1 ? "" : "s", args.async_io ? ", async" : "", worst,
-                worst < 1e-9 ? "OK" : "MISMATCH");
+    std::printf(
+        "run (%d proc%s [%s], %d compute thread%s%s): max |output - reference| = %.3g → %s\n",
+        args.procs, args.procs == 1 ? "" : "s",
+        parallel_stats.has_value() ? parallel_stats->backend.c_str() : "inline", threads_used,
+        threads_used == 1 ? "" : "s", args.async_io ? ", async" : "", worst,
+        worst < 1e-9 ? "OK" : "MISMATCH");
     if (cache_budget_bytes > 0) {
       const dra::IoStats& io = exec_stats.has_value() ? exec_stats->io : parallel_stats->total;
       std::printf("cache (%lld MiB): %lld hits / %lld misses (%s served), "
@@ -425,10 +445,17 @@ int run(const Args& args) {
       std::fprintf(stderr, "oocsc: cannot write '%s'\n", args.trace_file.c_str());
       return 1;
     }
-    obs::write_chrome_trace(os);
-    std::printf("trace: %lld events (%lld dropped) -> %s\n",
+    // The procs backend's workers traced in their own address spaces;
+    // splice their binary fragments into the parent timeline, tagged
+    // per pid (docs/OBSERVABILITY.md, "Multi-process traces").
+    const std::vector<std::string> fragments =
+        parallel_stats.has_value() ? parallel_stats->trace_fragments
+                                   : std::vector<std::string>{};
+    obs::write_chrome_trace(os, fragments);
+    std::printf("trace: %lld events (%lld dropped, %zu worker fragment%s) -> %s\n",
                 static_cast<long long>(obs::trace_event_count()),
-                static_cast<long long>(obs::trace_dropped()), args.trace_file.c_str());
+                static_cast<long long>(obs::trace_dropped()), fragments.size(),
+                fragments.size() == 1 ? "" : "s", args.trace_file.c_str());
   }
 
   if (!args.stats_json.empty()) {
@@ -505,6 +532,7 @@ int run(const Args& args) {
       const rt::ExecStats& s = *exec_stats;
       std::fprintf(out,
                    ",\n  \"execution\": {\n"
+                   "    \"backend\": \"single\",\n"
                    "    \"procs\": 1,\n"
                    "    \"async\": %s,\n"
                    "    \"bytes_read\": %lld,\n"
@@ -554,6 +582,7 @@ int run(const Args& args) {
       const ga::ParallelStats& s = *parallel_stats;
       std::fprintf(out,
                    ",\n  \"execution\": {\n"
+                   "    \"backend\": \"%s\",\n"
                    "    \"procs\": %d,\n"
                    "    \"async\": %s,\n"
                    "    \"bytes_read\": %lld,\n"
@@ -561,6 +590,7 @@ int run(const Args& args) {
                    "    \"read_calls\": %lld,\n"
                    "    \"write_calls\": %lld,\n"
                    "    \"io_seconds\": %.6f,\n"
+                   "    \"wall_seconds\": %.6f,\n"
                    "    \"busy_seconds\": %.6f,\n"
                    "    \"stall_seconds\": %.6f,\n"
                    "    \"queue_depth_hwm\": %lld,\n"
@@ -576,11 +606,12 @@ int run(const Args& args) {
                    "    \"max_abs_error\": %.3g,\n"
                    "    \"verified\": %s\n"
                    "  }",
-                   s.num_procs, args.async_io ? "true" : "false",
+                   s.backend.c_str(), s.num_procs, args.async_io ? "true" : "false",
                    static_cast<long long>(s.total.bytes_read),
                    static_cast<long long>(s.total.bytes_written),
                    static_cast<long long>(s.total.read_calls),
-                   static_cast<long long>(s.total.write_calls), s.io_seconds, s.busy_seconds,
+                   static_cast<long long>(s.total.write_calls), s.io_seconds, s.wall_seconds,
+                   s.busy_seconds,
                    s.stall_seconds, static_cast<long long>(s.queue_depth_hwm),
                    s.compute_threads, s.measured_compute_seconds,
                    static_cast<long long>(cache_budget_bytes),
