@@ -12,17 +12,23 @@
 //   hit_rate    the skewed mix hits the cache most of the time
 //   near_hit    a warm-started variant's plan is never worse than the
 //               same request solved cold
+//   counters    the engines' serve.* counters tie out with the bench's
+//               own request tally: requests == exact_hits + near_hits
+//               + misses + rejected + errors == requests submitted
 //
 //   serve_traffic [--requests N] [--unique N] [--threads N] [--json FILE]
+//                 [--metrics-json FILE]
 //
 // Client mode (--connect PORT) replays the same mix against a running
 // oocsd over TCP — the CI daemon smoke:
 //
 //   serve_traffic --connect PORT [--requests N] [--shutdown]
 //
-// checks every response line, prints the daemon's stats, optionally
-// sends the shutdown command, and exits nonzero unless every request
-// succeeded and the cache served at least one exact hit.
+// checks every response line, scrapes `{"cmd": "metrics"}` and cross
+// checks the exposition's serve counters against `{"cmd": "stats"}`
+// from the same quiesced pipeline, prints the daemon's stats,
+// optionally sends the shutdown command, and exits nonzero unless
+// every request succeeded and the cache served at least one exact hit.
 //
 // Exit status: 0 when every gate (or client check) passes, 1 otherwise.
 #include <arpa/inet.h>
@@ -33,6 +39,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,6 +50,7 @@
 #include "common/rng.hpp"
 #include "ir/examples.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "serve/engine.hpp"
 #include "serve/json.hpp"
 #include "serve/request.hpp"
@@ -135,6 +143,7 @@ struct Gate {
 
 int run_bench(int argc, char** argv) {
   const std::string json_file = bench::flag_value(argc, argv, "--json");
+  const std::string metrics_file = bench::flag_value(argc, argv, "--metrics-json");
   const std::string requests_flag = bench::flag_value(argc, argv, "--requests");
   const std::string unique_flag = bench::flag_value(argc, argv, "--unique");
   const std::string threads_flag = bench::flag_value(argc, argv, "--threads");
@@ -146,6 +155,10 @@ int run_bench(int argc, char** argv) {
   // The bench pipelines the whole mix at once; admission control is
   // exercised by the daemon tests, not here.
   serve_options.max_queue = std::max(64, num_requests);
+
+  // Start the counters gate from zero: every serve.* count below is
+  // attributable to a request this bench pushed through an Engine.
+  obs::metrics().reset();
 
   std::vector<serve::SynthesisRequest> population = make_population(num_unique);
 
@@ -316,6 +329,25 @@ int run_bench(int argc, char** argv) {
                          " warm-started, never worse: " +
                          (near_never_worse ? "yes" : "NO")});
   }
+  {
+    // The engines' admission identity, tied out against the bench's own
+    // tally: cold + prime solve each unique once, the warm mix adds
+    // num_requests, and every variant hits both the warm engine and the
+    // cold reference (the single-shot identity solve bypasses the
+    // engines entirely).
+    obs::MetricsRegistry& m = obs::metrics();
+    const std::int64_t requests = m.counter("serve.requests").value();
+    const std::int64_t outcomes =
+        m.counter("serve.exact_hits").value() + m.counter("serve.near_hits").value() +
+        m.counter("serve.misses").value() + m.counter("serve.rejected").value() +
+        m.counter("serve.errors").value();
+    const std::int64_t submitted = 2 * num_unique + num_requests + 2 * num_variants;
+    const bool pass = requests == outcomes && requests == submitted;
+    gates.push_back({"counters", pass,
+                     "serve.requests " + std::to_string(requests) + " == outcomes " +
+                         std::to_string(outcomes) + " == submitted " +
+                         std::to_string(submitted)});
+  }
 
   bool all_pass = true;
   bench::rule();
@@ -354,11 +386,36 @@ int run_bench(int argc, char** argv) {
     os << "},\n  \"pass\": " << (all_pass ? "true" : "false") << "\n}\n";
     std::printf("wrote %s\n", json_file.c_str());
   }
+  if (!metrics_file.empty()) {
+    std::ofstream os(metrics_file);
+    if (!os) {
+      std::fprintf(stderr, "serve_traffic: cannot write '%s'\n", metrics_file.c_str());
+      return 1;
+    }
+    obs::write_metrics_json(os);
+    std::printf("wrote %s\n", metrics_file.c_str());
+  }
   return all_pass ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------
 // Client mode: replay against a live oocsd over TCP (the CI smoke).
+
+/// The value of one un-labelled sample in a Prometheus text exposition
+/// ("name value" on its own line), or -1 when the sample is absent.
+std::int64_t prom_counter(const std::string& exposition, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) eol = exposition.size();
+    if (exposition.compare(pos, needle.size(), needle) == 0) {
+      return std::stoll(exposition.substr(pos + needle.size(), eol - pos - needle.size()));
+    }
+    pos = eol + 1;
+  }
+  return -1;
+}
 
 int run_client(int argc, char** argv) {
   const int port = std::stoi(bench::flag_value(argc, argv, "--connect"));
@@ -392,6 +449,7 @@ int run_client(int argc, char** argv) {
     outgoing += serve::request_to_json(request);
     outgoing += '\n';
   }
+  outgoing += "{\"cmd\": \"metrics\"}\n";
   outgoing += "{\"cmd\": \"stats\"}\n";
   if (send_shutdown) outgoing += "{\"cmd\": \"shutdown\"}\n";
   std::size_t sent = 0;
@@ -407,7 +465,7 @@ int run_client(int argc, char** argv) {
 
   std::string buffer;
   std::vector<std::string> lines;
-  const int expected = num_requests + 1 + (send_shutdown ? 1 : 0);
+  const int expected = num_requests + 2 + (send_shutdown ? 1 : 0);
   char chunk[65536];
   while (static_cast<int>(lines.size()) < expected) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -440,7 +498,30 @@ int run_client(int argc, char** argv) {
   }
   std::printf("client: %d/%d ok, %d exact hits, %d near hits\n", ok, num_requests, hits,
               near_hits);
-  std::printf("client: daemon stats %s\n", lines[static_cast<std::size_t>(num_requests)].c_str());
+
+  // The metrics exposition and the stats document were rendered by the
+  // same writer after every pipelined response above, so both describe
+  // the same quiesced engine — their counters must agree.
+  const serve::JsonValue metrics_reply =
+      serve::json_parse(lines[static_cast<std::size_t>(num_requests)]);
+  const std::string exposition = metrics_reply.get_string("metrics");
+  const serve::JsonValue stats_reply =
+      serve::json_parse(lines[static_cast<std::size_t>(num_requests) + 1]);
+  const serve::JsonValue* stats = stats_reply.find("stats");
+  const std::int64_t prom_requests = prom_counter(exposition, "oocs_serve_requests_total");
+  const std::int64_t prom_rejected = prom_counter(exposition, "oocs_serve_rejected_total");
+  const std::int64_t prom_errors = prom_counter(exposition, "oocs_serve_errors_total");
+  const std::int64_t stats_requests = stats != nullptr ? stats->get_int("requests", -1) : -1;
+  const std::int64_t stats_served = stats != nullptr ? stats->get_int("served", -1) : -1;
+  const bool metrics_agree = prom_requests >= 0 && prom_rejected >= 0 && prom_errors >= 0 &&
+                             prom_requests == stats_requests &&
+                             prom_requests - prom_rejected - prom_errors == stats_served;
+  std::printf("client: metrics %s stats (requests %lld == %lld, served %lld)\n",
+              metrics_agree ? "agree with" : "DISAGREE with",
+              static_cast<long long>(prom_requests), static_cast<long long>(stats_requests),
+              static_cast<long long>(stats_served));
+  std::printf("client: daemon stats %s\n",
+              lines[static_cast<std::size_t>(num_requests) + 1].c_str());
   if (send_shutdown) {
     const serve::JsonValue ack = serve::json_parse(lines.back());
     if (!ack.get_bool("shutdown", false)) {
@@ -449,7 +530,7 @@ int run_client(int argc, char** argv) {
     }
     std::printf("client: shutdown acknowledged\n");
   }
-  return (ok == num_requests && hits > 0) ? 0 : 1;
+  return (ok == num_requests && hits > 0 && metrics_agree) ? 0 : 1;
 }
 
 }  // namespace

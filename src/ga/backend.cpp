@@ -15,6 +15,9 @@
 #include "ga/process_group.hpp"
 #include "ga/shm.hpp"
 #include "obs/clock.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/interpreter.hpp"
 
@@ -135,9 +138,17 @@ int child_main(int rank, const core::OocPlan& plan, const dra::StripeLayout& lay
   try {
     obs::set_current_proc(rank);
     obs::set_thread_name("proc-" + std::to_string(rank));
-    // Inherited ring buffers hold the parent's pre-fork events; they
-    // belong to the parent's timeline, not this worker's.
+    // Inherited ring buffers hold the parent's pre-fork events, and the
+    // inherited registry holds the parent's pre-fork counts (staging
+    // I/O etc.); both belong to the parent, not this worker — clear so
+    // the fragments this worker writes are strictly its own.
     obs::trace_clear();
+    obs::metrics().reset();
+    if (!options.postmortem_dir.empty()) {
+      obs::FlightRecorderOptions recorder;
+      recorder.path = options.postmortem_dir + "/postmortem-" + std::to_string(rank) + ".json";
+      obs::install_flight_recorder(recorder);
+    }
 
     // The cache must outlive the farm (cached arrays flush through it
     // on farm destruction) — declared first, destroyed last.
@@ -196,10 +207,19 @@ int child_main(int rank, const core::OocPlan& plan, const dra::StripeLayout& lay
       stage->wall_seconds = stats.stages[s].wall_seconds;
     }
 
+    const std::string dir = options.trace_dir.empty() ? layout.root : options.trace_dir;
     if (obs::trace_enabled()) {
-      const std::string dir = options.trace_dir.empty() ? layout.root : options.trace_dir;
       std::ofstream os(dir + "/trace-frag-" + std::to_string(rank) + ".trc", std::ios::binary);
       if (os) obs::write_trace_fragment(os);
+    }
+    // The metrics fragment is unconditional: this worker's registry
+    // (interpreter counters published above the trace gate) dies with
+    // its address space, and the parent merges the fragments into the
+    // per-proc + aggregate metrics document.
+    rt::publish_metrics(stats);
+    {
+      std::ofstream os(dir + "/metrics-frag-" + std::to_string(rank) + ".mtr", std::ios::binary);
+      if (os) obs::write_metrics_fragment(os);
     }
 
     slot->done.store(1, std::memory_order_release);
@@ -338,11 +358,15 @@ ParallelStats run_procs(const core::OocPlan& plan, const dra::StripeLayout& layo
     stats.compute_seconds += stage.compute_seconds;
   }
 
-  if (obs::trace_enabled()) {
+  {
     const std::string dir = options.trace_dir.empty() ? layout.root : options.trace_dir;
     for (int rank = 0; rank < num_procs; ++rank) {
-      const std::string path = dir + "/trace-frag-" + std::to_string(rank) + ".trc";
-      if (std::filesystem::exists(path)) stats.trace_fragments.push_back(path);
+      if (obs::trace_enabled()) {
+        const std::string path = dir + "/trace-frag-" + std::to_string(rank) + ".trc";
+        if (std::filesystem::exists(path)) stats.trace_fragments.push_back(path);
+      }
+      const std::string mpath = dir + "/metrics-frag-" + std::to_string(rank) + ".mtr";
+      if (std::filesystem::exists(mpath)) stats.metrics_fragments.push_back(mpath);
     }
   }
   return stats;
@@ -381,6 +405,7 @@ BackendRun::~BackendRun() {
   // stripe files) the now-empty per-proc scratch dirs.
   std::error_code ec;
   for (const std::string& path : trace_fragments_) std::filesystem::remove(path, ec);
+  for (const std::string& path : metrics_fragments_) std::filesystem::remove(path, ec);
   farm_.reset();
   if (options_.backend == Backend::kProcs) {
     for (int s = 0; s < options_.num_procs; ++s) {
@@ -409,6 +434,7 @@ ParallelStats BackendRun::run() {
     stats = run_procs(plan_, layout, options_);
   }
   trace_fragments_ = stats.trace_fragments;
+  metrics_fragments_ = stats.metrics_fragments;
   return stats;
 }
 

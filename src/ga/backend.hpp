@@ -64,8 +64,14 @@ struct BackendOptions {
   /// Where worker processes drop their binary trace fragments when
   /// tracing is on ("" = scratch_root).  The launcher lists the written
   /// fragments in ParallelStats::trace_fragments for
-  /// obs::write_chrome_trace(os, fragments).
+  /// obs::write_chrome_trace(os, fragments).  Worker metrics fragments
+  /// (always written) land in the same directory and are listed in
+  /// ParallelStats::metrics_fragments.
   std::string trace_dir;
+  /// When non-empty, every worker installs the crash flight recorder
+  /// with `<postmortem_dir>/postmortem-<rank>.json` as its artifact, so
+  /// a worker dying on a fatal signal leaves spans + metrics behind.
+  std::string postmortem_dir;
 };
 
 /// One staged parallel run.  The farm lives for the lifetime of the
@@ -93,6 +99,7 @@ class BackendRun {
   const core::OocPlan& plan_;
   BackendOptions options_;
   std::vector<std::string> trace_fragments_;
+  std::vector<std::string> metrics_fragments_;
   // The cache outlives the farm (cached arrays flush through it on
   // farm destruction) — declaration order matters.
   std::unique_ptr<cache::TileCache> cache_;

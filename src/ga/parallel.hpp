@@ -44,6 +44,10 @@ struct ParallelStats {
   /// backend while tracing; splice with
   /// obs::write_chrome_trace(os, fragments).  Empty otherwise.
   std::vector<std::string> trace_fragments;
+  /// Binary per-worker metrics-registry fragments (procs backend,
+  /// always written); merge with
+  /// obs::write_merged_metrics_json(os, fragments).  Empty otherwise.
+  std::vector<std::string> metrics_fragments;
   /// Modeled parallel I/O time: max over the per-process disks.
   double io_seconds = 0;
   /// Aggregate traffic over all processes.

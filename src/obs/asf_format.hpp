@@ -1,0 +1,84 @@
+// Async-signal-safe formatting and write helpers for the crash flight
+// recorder (obs/flight_recorder.hpp): no allocation, no locale, no
+// stdio, no locks — only write(2) and stack buffers, so they are
+// callable from a fatal-signal handler.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace oocs::obs::asf {
+
+/// Best-effort full write; silently stops on error (there is nowhere
+/// to report a failure from inside a signal handler).
+inline void write_raw(int fd, const char* data, std::size_t len) noexcept {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+inline void write_str(int fd, const char* s) noexcept { write_raw(fd, s, std::strlen(s)); }
+
+inline void write_int(int fd, std::int64_t value) noexcept {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  const bool negative = value < 0;
+  std::uint64_t v =
+      negative ? 0 - static_cast<std::uint64_t>(value) : static_cast<std::uint64_t>(value);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  if (negative) *--p = '-';
+  write_raw(fd, p, static_cast<std::size_t>(buf + sizeof(buf) - p));
+}
+
+/// Fixed-point double with 6 fractional digits — enough for gauge
+/// readings; NaN and out-of-range values clamp rather than trap.
+inline void write_fixed(int fd, double value) noexcept {
+  if (value != value) {
+    write_str(fd, "0");
+    return;
+  }
+  if (value < 0) {
+    write_str(fd, "-");
+    value = -value;
+  }
+  if (value > 9.2e18) value = 9.2e18;
+  std::int64_t whole = static_cast<std::int64_t>(value);
+  std::int64_t frac =
+      static_cast<std::int64_t>((value - static_cast<double>(whole)) * 1e6 + 0.5);
+  if (frac >= 1000000) {
+    frac -= 1000000;
+    ++whole;
+  }
+  write_int(fd, whole);
+  char buf[8] = {'.', '0', '0', '0', '0', '0', '0'};
+  for (int i = 6; i >= 1; --i) {
+    buf[i] = static_cast<char>('0' + frac % 10);
+    frac /= 10;
+  }
+  write_raw(fd, buf, 7);
+}
+
+/// JSON string body: printable ASCII minus quote/backslash passes
+/// through, every other byte becomes '_' (no escaping machinery in a
+/// signal handler; the input may be a torn read of another thread's
+/// buffer, so it is sanitized rather than trusted).
+inline void write_json_str(int fd, const char* s, std::size_t max_len) noexcept {
+  char buf[256];
+  if (max_len > sizeof(buf)) max_len = sizeof(buf);
+  std::size_t n = 0;
+  for (; n < max_len && s[n] != '\0'; ++n) {
+    const char c = s[n];
+    buf[n] = (c >= 0x20 && c <= 0x7e && c != '"' && c != '\\') ? c : '_';
+  }
+  write_raw(fd, buf, n);
+}
+
+}  // namespace oocs::obs::asf

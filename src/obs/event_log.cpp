@@ -1,0 +1,72 @@
+#include "obs/event_log.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace oocs::obs {
+
+EventLog::EventLog(Options options) : options_(std::move(options)) {
+  records_counter_ = &metrics().counter("obs.event_log.records");
+  rotations_counter_ = &metrics().counter("obs.event_log.rotations");
+  errors_counter_ = &metrics().counter("obs.event_log.errors");
+  os_.open(options_.path, std::ios::out | std::ios::trunc);
+  if (!os_) errors_counter_->add();
+}
+
+EventLog::~EventLog() { flush(); }
+
+void EventLog::append(std::string_view line) noexcept {
+  const std::scoped_lock lock(mutex_);
+  const std::int64_t record_bytes = static_cast<std::int64_t>(line.size()) + 1;
+  if (bytes_ > 0 && bytes_ + record_bytes > options_.max_bytes) rotate_locked();
+  if (!os_) {
+    errors_counter_->add();
+    return;
+  }
+  os_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  os_.put('\n');
+  if (!os_) {
+    errors_counter_->add();
+    return;
+  }
+  bytes_ += record_bytes;
+  records_counter_->add();
+}
+
+void EventLog::flush() noexcept {
+  const std::scoped_lock lock(mutex_);
+  if (os_) os_.flush();
+}
+
+std::int64_t EventLog::bytes_written() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return bytes_;
+}
+
+std::int64_t EventLog::rotations() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return total_rotations_;
+}
+
+void EventLog::rotate_locked() {
+  os_.close();
+  // Shift the generation chain from the oldest end: path.(N-1) → path.N,
+  // …, path → path.1.  With max_rotations == 0 the current file is
+  // simply truncated.
+  if (options_.max_rotations > 0) {
+    for (int gen = options_.max_rotations - 1; gen >= 0; --gen) {
+      const std::string from =
+          gen == 0 ? options_.path : options_.path + "." + std::to_string(gen);
+      const std::string to = options_.path + "." + std::to_string(gen + 1);
+      std::rename(from.c_str(), to.c_str());  // missing generations are fine
+    }
+  }
+  os_.open(options_.path, std::ios::out | std::ios::trunc);
+  if (!os_) errors_counter_->add();
+  bytes_ = 0;
+  ++total_rotations_;
+  rotations_counter_->add();
+}
+
+}  // namespace oocs::obs

@@ -1,0 +1,69 @@
+// Bounded structured event log: thread-safe NDJSON appender with
+// deterministic size-based rotation.
+//
+// serve::Engine writes one record per terminal response (request id,
+// queue wait, batch id, cache outcome, warm-start source, solver
+// evaluations, wall time) so a long-running oocsd leaves a greppable
+// request history next to its metrics.  Rotation is deterministic: a
+// record that would push the current file past `max_bytes` first
+// shifts path → path.1 → … → path.<max_rotations> (the oldest file
+// falls off), then lands as the first record of a fresh file — no
+// record is ever split across files.
+//
+// Appends count into the process metrics registry
+// ("obs.event_log.records", "obs.event_log.rotations",
+// "obs.event_log.errors"), so the telemetry plane can see its own
+// write path.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace oocs::obs {
+
+class Counter;
+
+class EventLog {
+ public:
+  struct Options {
+    std::string path;
+    /// Rotate before a write would push the file past this size.
+    std::int64_t max_bytes = std::int64_t{1} << 20;
+    /// Rotated generations kept (path.1 … path.N); 0 truncates in place.
+    int max_rotations = 3;
+  };
+
+  explicit EventLog(Options options);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one NDJSON record (`line` should not carry the trailing
+  /// newline).  Thread-safe; never throws — write failures count into
+  /// "obs.event_log.errors" and drop the record.
+  void append(std::string_view line) noexcept;
+
+  void flush() noexcept;
+
+  [[nodiscard]] const std::string& path() const noexcept { return options_.path; }
+  [[nodiscard]] std::int64_t bytes_written() const noexcept;
+  [[nodiscard]] std::int64_t rotations() const noexcept;
+
+ private:
+  void rotate_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::ofstream os_;
+  std::int64_t bytes_ = 0;
+  std::int64_t total_rotations_ = 0;
+  Counter* records_counter_ = nullptr;
+  Counter* rotations_counter_ = nullptr;
+  Counter* errors_counter_ = nullptr;
+};
+
+}  // namespace oocs::obs

@@ -1,0 +1,245 @@
+#include "obs/exposition.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "obs/build_info.hpp"
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+
+namespace oocs::obs {
+
+namespace {
+
+// --- Prometheus text ---------------------------------------------------
+
+/// "dra.read_seconds" → "oocs_dra_read_seconds" (metric names allow
+/// only [a-zA-Z0-9_:]).
+std::string sanitize(std::string_view name) {
+  std::string out = "oocs_";
+  out.reserve(name.size() + 5);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label values escape backslash, double-quote and newline.
+std::string label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip-ish float form ("%.9g": le boundaries and
+/// quantiles stay compact, unlike fixed-precision json_number).
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void emit_histogram(std::ostream& os, const std::string& name, const Histogram::Raw& raw) {
+  const std::string metric = sanitize(name);
+  const Histogram::Snapshot snap = Histogram::summarize(raw);
+  os << "# HELP " << metric << " oocs histogram " << name << " (log2-ns buckets, seconds)\n";
+  os << "# TYPE " << metric << " histogram\n";
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (raw.counts[b] == 0) continue;
+    cumulative += raw.counts[b];
+    os << metric << "_bucket{le=\"" << fmt_double(histogram_bucket_upper_seconds(b)) << "\"} "
+       << cumulative << "\n";
+  }
+  os << metric << "_bucket{le=\"+Inf\"} " << raw.count << "\n";
+  os << metric << "_sum " << fmt_double(snap.sum_seconds) << "\n";
+  os << metric << "_count " << raw.count << "\n";
+  if (raw.count > 0) {
+    os << metric << "{quantile=\"0.5\"} " << fmt_double(snap.p50_seconds) << "\n";
+    os << metric << "{quantile=\"0.9\"} " << fmt_double(snap.p90_seconds) << "\n";
+    os << metric << "{quantile=\"0.99\"} " << fmt_double(snap.p99_seconds) << "\n";
+    os << metric << "_min " << fmt_double(snap.min_seconds) << "\n";
+    os << metric << "_max " << fmt_double(snap.max_seconds) << "\n";
+  }
+}
+
+// --- Binary fragment format --------------------------------------------
+// Same stance as the trace fragments (obs/trace.cpp): written and read
+// by the same executable, so raw struct layout is stable by
+// construction; the magic version-stamps the stream.
+
+constexpr char kFragmentMagic[8] = {'O', 'O', 'C', 'S', 'M', 'T', 'R', '1'};
+
+struct FragmentHeader {
+  char magic[8];
+  std::int32_t proc = 0;
+  std::int32_t os_pid = 0;
+  std::int64_t counter_count = 0;
+  std::int64_t gauge_count = 0;
+  std::int64_t histogram_count = 0;
+};
+static_assert(std::is_trivially_copyable_v<FragmentHeader>);
+
+void write_name(std::ostream& os, const std::string& name) {
+  const std::int32_t len = static_cast<std::int32_t>(name.size());
+  os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  os.write(name.data(), len);
+}
+
+std::string read_name(std::istream& is, const std::string& path) {
+  std::int32_t len = 0;
+  is.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!is || len < 0 || len > 4096) {
+    throw Error("metrics fragment '" + path + "': bad name length");
+  }
+  std::string name(static_cast<std::size_t>(len), '\0');
+  is.read(name.data(), len);
+  if (!is) throw Error("metrics fragment '" + path + "': truncated name");
+  return name;
+}
+
+/// One snapshot as the body sections of a JSON object, at `indent`.
+void emit_snapshot_body(std::ostream& os, const MetricsSnapshot& snapshot, int indent) {
+  os << snapshot_json(snapshot, indent);
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  const BuildInfo& build = build_info();
+  os << "# HELP oocs_build_info build identity of the serving process\n";
+  os << "# TYPE oocs_build_info gauge\n";
+  os << "oocs_build_info{git=\"" << label_escape(build.git_describe) << "\",build_type=\""
+     << label_escape(build.build_type) << "\",features=\"" << label_escape(build.features)
+     << "\"} 1\n";
+  os << "# HELP oocs_uptime_seconds seconds since the process monotonic epoch\n";
+  os << "# TYPE oocs_uptime_seconds gauge\n";
+  os << "oocs_uptime_seconds " << fmt_double(monotonic_seconds()) << "\n";
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = sanitize(name) + "_total";
+    os << "# HELP " << metric << " oocs counter " << name << "\n";
+    os << "# TYPE " << metric << " counter\n";
+    os << metric << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = sanitize(name);
+    os << "# HELP " << metric << " oocs gauge " << name << "\n";
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << fmt_double(value) << "\n";
+  }
+  for (const auto& [name, raw] : snapshot.histograms) emit_histogram(os, name, raw);
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus(os, registry.take_snapshot());
+  return os.str();
+}
+
+void write_metrics_fragment(std::ostream& os, const MetricsRegistry& registry) {
+  const MetricsSnapshot snapshot = registry.take_snapshot();
+  FragmentHeader header;
+  std::memcpy(header.magic, kFragmentMagic, sizeof(kFragmentMagic));
+  header.proc = current_proc();
+  header.os_pid = static_cast<std::int32_t>(::getpid());
+  header.counter_count = static_cast<std::int64_t>(snapshot.counters.size());
+  header.gauge_count = static_cast<std::int64_t>(snapshot.gauges.size());
+  header.histogram_count = static_cast<std::int64_t>(snapshot.histograms.size());
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const auto& [name, value] : snapshot.counters) {
+    write_name(os, name);
+    os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    write_name(os, name);
+    os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+  for (const auto& [name, raw] : snapshot.histograms) {
+    write_name(os, name);
+    os.write(reinterpret_cast<const char*>(&raw), sizeof(raw));
+  }
+}
+
+MetricsFragment load_metrics_fragment(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("metrics fragment '" + path + "': cannot open");
+  FragmentHeader header;
+  is.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!is || std::memcmp(header.magic, kFragmentMagic, sizeof(kFragmentMagic)) != 0) {
+    throw Error("metrics fragment '" + path + "': bad magic");
+  }
+  MetricsFragment fragment;
+  fragment.proc = header.proc;
+  fragment.os_pid = header.os_pid;
+  for (std::int64_t i = 0; i < header.counter_count; ++i) {
+    const std::string name = read_name(is, path);
+    std::int64_t value = 0;
+    is.read(reinterpret_cast<char*>(&value), sizeof(value));
+    if (!is) throw Error("metrics fragment '" + path + "': truncated counters");
+    fragment.snapshot.counters.emplace(name, value);
+  }
+  for (std::int64_t i = 0; i < header.gauge_count; ++i) {
+    const std::string name = read_name(is, path);
+    double value = 0;
+    is.read(reinterpret_cast<char*>(&value), sizeof(value));
+    if (!is) throw Error("metrics fragment '" + path + "': truncated gauges");
+    fragment.snapshot.gauges.emplace(name, value);
+  }
+  for (std::int64_t i = 0; i < header.histogram_count; ++i) {
+    const std::string name = read_name(is, path);
+    Histogram::Raw raw;
+    is.read(reinterpret_cast<char*>(&raw), sizeof(raw));
+    if (!is) throw Error("metrics fragment '" + path + "': truncated histograms");
+    fragment.snapshot.histograms.emplace(name, raw);
+  }
+  return fragment;
+}
+
+void write_merged_metrics_json(std::ostream& os, const std::vector<std::string>& fragment_paths,
+                               const MetricsRegistry& registry) {
+  const MetricsSnapshot parent = registry.take_snapshot();
+  std::vector<MetricsFragment> fragments;
+  fragments.reserve(fragment_paths.size());
+  for (const std::string& path : fragment_paths) {
+    fragments.push_back(load_metrics_fragment(path));
+  }
+  MetricsSnapshot aggregate = parent;
+  for (const MetricsFragment& fragment : fragments) aggregate.merge(fragment.snapshot);
+
+  os << "{\n  \"build\": " << build_info_json() << ",\n";
+  os << "  \"merged_procs\": " << fragments.size() << ",\n";
+  // Aggregate at the top level: the merged doc stays a superset of the
+  // single-process write_metrics_json schema.
+  emit_snapshot_body(os, aggregate, 2);
+  os << ",\n  \"parent\": {\n";
+  emit_snapshot_body(os, parent, 4);
+  os << "\n  },\n  \"procs\": [";
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    const MetricsFragment& fragment = fragments[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\n      \"proc\": " << fragment.proc
+       << ",\n      \"os_pid\": " << fragment.os_pid << ",\n";
+    emit_snapshot_body(os, fragment.snapshot, 6);
+    os << "\n    }";
+  }
+  os << (fragments.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace oocs::obs

@@ -1,0 +1,63 @@
+// Live-telemetry exposition of the MetricsRegistry.
+//
+// Two output forms sit on top of obs::MetricsSnapshot:
+//
+//  * Prometheus-style text (write_prometheus / prometheus_text): every
+//    counter becomes an `oocs_<name>_total` sample, every gauge an
+//    `oocs_<name>` sample, and every histogram a cumulative
+//    `_bucket{le="..."}` series (log2-of-nanoseconds boundaries, in
+//    seconds) with `_sum`/`_count`, interpolated quantile samples
+//    (`{quantile="0.5|0.9|0.99"}`) and `_min`/`_max` — plus one
+//    `oocs_build_info{git=...,build_type=...,features=...} 1` identity
+//    sample.  Dotted metric names sanitize to underscores.  oocsd
+//    serves this over `{"cmd": "metrics"}` and `GET /metrics`;
+//    tools/check_metrics.py validates it.
+//
+//  * Binary metrics fragments (write_metrics_fragment /
+//    load_metrics_fragment): a worker process's registry snapshot
+//    serialized next to its trace fragments, pid-tagged the same way.
+//    write_merged_metrics_json splices the parent registry and every
+//    fragment into one document with per-proc sections and an
+//    aggregate view (counters sum, histograms merge bucket-wise, then
+//    quantiles are recomputed) — the `--proc-backend procs` metrics
+//    artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace oocs::obs {
+
+/// Prometheus text exposition of one snapshot (see file header).
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// The exposition of a live registry as one string (what the daemon
+/// serves).  Lock-free instruments make this safe mid-traffic.
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry = metrics());
+
+/// One worker's registry snapshot, tagged like a trace fragment.
+struct MetricsFragment {
+  int proc = 0;    ///< virtual proc (GA rank) of the writer
+  int os_pid = 0;  ///< OS pid of the writer
+  MetricsSnapshot snapshot;
+};
+
+/// Serializes the registry into a self-contained binary fragment for
+/// later merging (the ga::run_procs workers; format in exposition.cpp).
+void write_metrics_fragment(std::ostream& os, const MetricsRegistry& registry = metrics());
+
+/// Parses one fragment file.  Unreadable/malformed fragments throw
+/// oocs::Error.
+[[nodiscard]] MetricsFragment load_metrics_fragment(const std::string& path);
+
+/// The merged multi-process metrics document: build header, the
+/// aggregate series at the top level (parent + every fragment — a
+/// strict superset of write_metrics_json's schema), a "parent" section
+/// and one pid-tagged "procs" entry per fragment.
+void write_merged_metrics_json(std::ostream& os, const std::vector<std::string>& fragment_paths,
+                               const MetricsRegistry& registry = metrics());
+
+}  // namespace oocs::obs

@@ -1,0 +1,140 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <limits>
+
+#include "obs/asf_format.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oocs::obs {
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_dumping{false};
+char g_path[512] = {};
+int g_max_spans = 64;
+
+// Pre-rendered at install time: '{"postmortem": 1, "git": "...",
+// ..., "signal": ' — the handler appends the number and '}'.
+std::string* g_header = nullptr;  // leaked: must outlive everything
+
+// The frozen instrument table (leaked on refresh: an old table may
+// still be mid-read by a crashing thread).
+std::atomic<const MetricsRegistry::InstrumentRefs*> g_refs{nullptr};
+
+void handler(int sig) {
+  if (!g_dumping.exchange(true)) {
+    const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      write_postmortem(fd, sig);
+      ::close(fd);
+    }
+  }
+  // Die with the original signal: restore the default disposition and
+  // re-raise.  The signal is blocked for the duration of this handler,
+  // so the re-raise is delivered — with default action — on return.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void write_postmortem(int fd, int signal) noexcept {
+  if (g_header != nullptr) {
+    asf::write_str(fd, g_header->c_str());
+  } else {
+    asf::write_str(fd, "{\"postmortem\": 1, \"signal\": ");
+  }
+  asf::write_int(fd, signal);
+  asf::write_str(fd, "}\n");
+
+  const MetricsRegistry::InstrumentRefs* refs = g_refs.load(std::memory_order_acquire);
+  if (refs != nullptr) {
+    for (const auto& [name, counter] : refs->counters) {
+      asf::write_str(fd, "{\"kind\": \"metric\", \"type\": \"counter\", \"name\": \"");
+      asf::write_json_str(fd, name.c_str(), name.size());
+      asf::write_str(fd, "\", \"value\": ");
+      asf::write_int(fd, counter->value());
+      asf::write_str(fd, "}\n");
+    }
+    for (const auto& [name, gauge] : refs->gauges) {
+      asf::write_str(fd, "{\"kind\": \"metric\", \"type\": \"gauge\", \"name\": \"");
+      asf::write_json_str(fd, name.c_str(), name.size());
+      asf::write_str(fd, "\", \"value\": ");
+      asf::write_fixed(fd, gauge->value());
+      asf::write_str(fd, "}\n");
+    }
+    for (const auto& [name, histogram] : refs->histograms) {
+      // Histogram::raw() is relaxed atomic loads into a stack POD —
+      // signal-safe, unlike summarize() (allocates).
+      const Histogram::Raw raw = histogram->raw();
+      asf::write_str(fd, "{\"kind\": \"metric\", \"type\": \"histogram\", \"name\": \"");
+      asf::write_json_str(fd, name.c_str(), name.size());
+      asf::write_str(fd, "\", \"count\": ");
+      asf::write_int(fd, raw.count);
+      asf::write_str(fd, ", \"sum_ns\": ");
+      asf::write_int(fd, raw.sum_ns);
+      asf::write_str(fd, ", \"min_ns\": ");
+      asf::write_int(fd, raw.count > 0 ? raw.min_ns : 0);
+      asf::write_str(fd, ", \"max_ns\": ");
+      asf::write_int(fd, raw.max_ns);
+      asf::write_str(fd, "}\n");
+    }
+  }
+
+  detail::crash_dump_events(fd, g_max_spans);
+  asf::write_str(fd, "{\"postmortem_end\": 1}\n");
+}
+
+void flight_recorder_refresh() {
+  auto* refs = new MetricsRegistry::InstrumentRefs(metrics().instrument_refs());
+  g_refs.store(refs, std::memory_order_release);
+}
+
+void install_flight_recorder(const FlightRecorderOptions& options) {
+  std::strncpy(g_path, options.path.c_str(), sizeof(g_path) - 1);
+  g_path[sizeof(g_path) - 1] = '\0';
+  g_max_spans = options.max_spans_per_thread;
+
+  const BuildInfo& build = build_info();
+  // Build strings come from -D defines and carry no quotes/backslashes;
+  // sanitize anyway so the header stays valid JSON no matter what.
+  const auto sanitized = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) out += (c >= 0x20 && c <= 0x7e && c != '"' && c != '\\') ? c : '_';
+    return out;
+  };
+  auto* header = new std::string("{\"postmortem\": 1, \"git\": \"" + sanitized(build.git_describe) +
+                                 "\", \"build_type\": \"" + sanitized(build.build_type) +
+                                 "\", \"features\": \"" + sanitized(build.features) +
+                                 "\", \"signal\": ");
+  g_header = header;
+
+  flight_recorder_refresh();
+  detail::crash_arm_buffers();
+
+  if (!g_installed.exchange(true)) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = handler;
+    sigemptyset(&action.sa_mask);
+    for (const int sig : kFatalSignals) ::sigaction(sig, &action, nullptr);
+  }
+}
+
+bool flight_recorder_installed() noexcept {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+}  // namespace oocs::obs

@@ -1,0 +1,53 @@
+// Crash flight recorder: a last-gasp postmortem writer for fatal
+// signals.
+//
+// install_flight_recorder hooks SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT.
+// When one fires, an async-signal-safe handler writes an NDJSON
+// artifact to the configured path — build identity and the fatal
+// signal number, the current value of every metrics instrument frozen
+// at install/refresh time, and the newest spans from every thread's
+// trace ring — then restores the default disposition and re-raises, so
+// the process still dies with the original signal (wait status intact
+// for the launcher's ProcessGroup diagnostics).
+//
+// Safety model inside the handler: write(2) + stack buffers only
+// (obs/asf_format.hpp), relaxed atomic loads from instruments, and
+// lock-free reads of the trace rings that crash_arm_buffers pinned in
+// place.  No allocation, no locks, no stdio.  Everything that needs
+// the heap (the artifact path, the pre-rendered build header, the
+// instrument pointer table) is prepared at install time.
+//
+// tools/check_metrics.py --postmortem validates the artifact;
+// tests/obs_test.cpp provokes a real child crash through
+// ga::ProcessGroup and checks both the wait status and the artifact.
+#pragma once
+
+#include <string>
+
+namespace oocs::obs {
+
+struct FlightRecorderOptions {
+  /// Postmortem artifact path (NDJSON, overwritten on crash).
+  std::string path;
+  /// Newest spans dumped per thread ring.
+  int max_spans_per_thread = 64;
+};
+
+/// Installs the fatal-signal handlers (idempotent; a second call
+/// re-points the artifact path and re-freezes the instrument table).
+/// Also arms the trace rings (detail::crash_arm_buffers).
+void install_flight_recorder(const FlightRecorderOptions& options);
+
+[[nodiscard]] bool flight_recorder_installed() noexcept;
+
+/// Re-freezes the instrument table the handler reads.  Instruments
+/// registered after the last install/refresh are invisible to the
+/// handler (it cannot take the registry mutex), so long-running
+/// processes may refresh at phase boundaries.
+void flight_recorder_refresh();
+
+/// The artifact body writer the handler runs after opening the file —
+/// async-signal-safe; exposed so tests can exercise it without dying.
+void write_postmortem(int fd, int signal) noexcept;
+
+}  // namespace oocs::obs

@@ -54,26 +54,45 @@ void Histogram::record_ns(std::int64_t ns) noexcept {
   atomic_max(max_ns_, ns);
 }
 
-Histogram::Snapshot Histogram::snapshot() const {
-  Snapshot snap;
-  std::int64_t counts[kBuckets];
+void Histogram::Raw::merge(const Raw& other) noexcept {
+  for (int b = 0; b < kBuckets; ++b) counts[b] += other.counts[b];
+  count += other.count;
+  sum_ns += other.sum_ns;
+  min_ns = std::min(min_ns, other.min_ns);
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+Histogram::Raw Histogram::raw() const {
+  Raw raw;
+  // Count from the bucket sum, not count_: the two can be mid-update
+  // skewed under concurrent recording, and the quantile walk needs
+  // ranks consistent with the buckets it walks.
   for (int b = 0; b < kBuckets; ++b) {
-    counts[b] = counts_[b].load(std::memory_order_relaxed);
-    snap.count += counts[b];
+    raw.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    raw.count += raw.counts[b];
   }
+  raw.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  raw.min_ns = min_ns_.load(std::memory_order_relaxed);
+  raw.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return raw;
+}
+
+Histogram::Snapshot Histogram::summarize(const Raw& raw) {
+  Snapshot snap;
+  snap.count = raw.count;
   if (snap.count == 0) return snap;
-  snap.sum_seconds = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
-  snap.min_seconds = static_cast<double>(min_ns_.load(std::memory_order_relaxed)) * 1e-9;
-  snap.max_seconds = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  snap.sum_seconds = static_cast<double>(raw.sum_ns) * 1e-9;
+  snap.min_seconds = static_cast<double>(raw.min_ns) * 1e-9;
+  snap.max_seconds = static_cast<double>(raw.max_ns) * 1e-9;
 
   const auto quantile = [&](double q) {
     const double rank = q * static_cast<double>(snap.count);
     double cumulative = 0;
     for (int b = 0; b < kBuckets; ++b) {
-      if (counts[b] == 0) continue;
-      const double next = cumulative + static_cast<double>(counts[b]);
+      if (raw.counts[b] == 0) continue;
+      const double next = cumulative + static_cast<double>(raw.counts[b]);
       if (next >= rank) {
-        const double within = (rank - cumulative) / static_cast<double>(counts[b]);
+        const double within = (rank - cumulative) / static_cast<double>(raw.counts[b]);
         const double lo = bucket_lower_ns(b);
         const double hi = bucket_upper_ns(b);
         return (lo + within * (hi - lo)) * 1e-9;
@@ -87,9 +106,30 @@ Histogram::Snapshot Histogram::snapshot() const {
   snap.p99_seconds = quantile(0.99);
 
   for (int b = 0; b < kBuckets; ++b) {
-    if (counts[b] > 0) snap.buckets.emplace_back(bucket_upper_ns(b) * 1e-9, counts[b]);
+    if (raw.counts[b] > 0) snap.buckets.emplace_back(bucket_upper_ns(b) * 1e-9, raw.counts[b]);
   }
   return snap;
+}
+
+double histogram_bucket_lower_seconds(int bucket) noexcept {
+  return bucket_lower_ns(bucket) * 1e-9;
+}
+
+double histogram_bucket_upper_seconds(int bucket) noexcept {
+  return bucket_upper_ns(bucket) * 1e-9;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges.emplace(name, value);
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, raw] : other.histograms) histograms[name].merge(raw);
 }
 
 void Histogram::reset() noexcept {
@@ -134,34 +174,55 @@ void MetricsRegistry::reset() {
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
-std::string MetricsRegistry::to_json(int indent) const {
+MetricsSnapshot MetricsRegistry::take_snapshot() const {
   const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) snapshot.counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : gauges_) snapshot.gauges.emplace(name, gauge->value());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->raw());
+  }
+  return snapshot;
+}
+
+MetricsRegistry::InstrumentRefs MetricsRegistry::instrument_refs() const {
+  const std::scoped_lock lock(mutex_);
+  InstrumentRefs refs;
+  for (const auto& [name, counter] : counters_) refs.counters.emplace_back(name, counter.get());
+  for (const auto& [name, gauge] : gauges_) refs.gauges.emplace_back(name, gauge.get());
+  for (const auto& [name, histogram] : histograms_) {
+    refs.histograms.emplace_back(name, histogram.get());
+  }
+  return refs;
+}
+
+std::string snapshot_json(const MetricsSnapshot& snapshot, int indent) {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   const std::string pad2 = pad + "  ";
   std::string out;
 
   out += pad + "\"counters\": {";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : snapshot.counters) {
     out += first ? "\n" : ",\n";
-    out += pad2 + json_quote(name) + ": " + std::to_string(counter->value());
+    out += pad2 + json_quote(name) + ": " + std::to_string(value);
     first = false;
   }
   out += first ? "},\n" : "\n" + pad + "},\n";
 
   out += pad + "\"gauges\": {";
   first = true;
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     out += first ? "\n" : ",\n";
-    out += pad2 + json_quote(name) + ": " + json_number(gauge->value(), 9);
+    out += pad2 + json_quote(name) + ": " + json_number(value, 9);
     first = false;
   }
   out += first ? "},\n" : "\n" + pad + "},\n";
 
   out += pad + "\"histograms\": {";
   first = true;
-  for (const auto& [name, histogram] : histograms_) {
-    const Histogram::Snapshot snap = histogram->snapshot();
+  for (const auto& [name, raw] : snapshot.histograms) {
+    const Histogram::Snapshot snap = Histogram::summarize(raw);
     out += first ? "\n" : ",\n";
     first = false;
     out += pad2 + json_quote(name) + ": {\"count\": " + std::to_string(snap.count) +
@@ -182,6 +243,10 @@ std::string MetricsRegistry::to_json(int indent) const {
   }
   out += first ? "}" : "\n" + pad + "}";
   return out;
+}
+
+std::string MetricsRegistry::to_json(int indent) const {
+  return snapshot_json(take_snapshot(), indent);
 }
 
 MetricsRegistry& metrics() {

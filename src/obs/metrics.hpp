@@ -61,6 +61,22 @@ class Histogram {
   void record_seconds(double seconds) noexcept;
   void record_ns(std::int64_t ns) noexcept;
 
+  /// The full mergeable state: every bucket count plus the scalar
+  /// moments.  The unit of cross-process aggregation — worker
+  /// registries serialize Raws into metrics fragments and the parent
+  /// merges them bucket-wise before summarizing (obs/exposition.hpp).
+  struct Raw {
+    std::int64_t counts[kBuckets] = {};
+    std::int64_t count = 0;
+    std::int64_t sum_ns = 0;
+    std::int64_t min_ns = std::numeric_limits<std::int64_t>::max();
+    std::int64_t max_ns = 0;
+
+    /// Bucket-wise sum; min/max of the extremes.
+    void merge(const Raw& other) noexcept;
+  };
+  [[nodiscard]] Raw raw() const;
+
   struct Snapshot {
     std::int64_t count = 0;
     double sum_seconds = 0;
@@ -72,7 +88,9 @@ class Histogram {
     /// Non-empty buckets only: upper bound (seconds) and count.
     std::vector<std::pair<double, std::int64_t>> buckets;
   };
-  [[nodiscard]] Snapshot snapshot() const;
+  /// Quantile interpolation over a Raw (local or merged).
+  [[nodiscard]] static Snapshot summarize(const Raw& raw);
+  [[nodiscard]] Snapshot snapshot() const { return summarize(raw()); }
 
   void reset() noexcept;
 
@@ -83,6 +101,27 @@ class Histogram {
   std::atomic<std::int64_t> min_ns_{std::numeric_limits<std::int64_t>::max()};
   std::atomic<std::int64_t> max_ns_{0};
 };
+
+/// Bucket k's bounds in seconds: [2^(k-1), 2^k) ns (bucket 0: < 1 ns).
+[[nodiscard]] double histogram_bucket_lower_seconds(int bucket) noexcept;
+[[nodiscard]] double histogram_bucket_upper_seconds(int bucket) noexcept;
+
+/// Point-in-time copy of every instrument in a registry, detached from
+/// the live atomics: the currency of exposition, fragment serialization
+/// and cross-process merging.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Raw> histograms;
+
+  /// Aggregation: counters sum, gauges keep the max (they are
+  /// level-style readings), histograms merge bucket-wise.
+  void merge(const MetricsSnapshot& other);
+};
+
+/// The snapshot body as JSON: {"counters": {...}, "gauges": {...},
+/// "histograms": {...}} with names sorted, indented by `indent` spaces.
+[[nodiscard]] std::string snapshot_json(const MetricsSnapshot& snapshot, int indent = 2);
 
 /// Named instruments, created on first use and stable thereafter (the
 /// returned references stay valid for the registry's lifetime, so hot
@@ -95,6 +134,20 @@ class MetricsRegistry {
 
   /// Zeroes every instrument (registrations survive).
   void reset();
+
+  /// Detached copy of every instrument's current value.
+  [[nodiscard]] MetricsSnapshot take_snapshot() const;
+
+  /// Stable pointers to every registered instrument (valid for the
+  /// registry's lifetime — instruments are never removed).  The crash
+  /// flight recorder freezes these at arm time so its signal handler
+  /// can read values without touching the registry mutex.
+  struct InstrumentRefs {
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const Histogram*>> histograms;
+  };
+  [[nodiscard]] InstrumentRefs instrument_refs() const;
 
   /// The registry body: {"counters": {...}, "gauges": {...},
   /// "histograms": {...}} with names sorted.

@@ -12,6 +12,7 @@
 #include <type_traits>
 
 #include "common/error.hpp"
+#include "obs/asf_format.hpp"
 #include "obs/build_info.hpp"
 #include "obs/json.hpp"
 
@@ -46,6 +47,16 @@ Registry& registry() {
   return *r;
 }
 
+// Lock-free view of the thread buffers for the crash flight recorder:
+// the signal handler cannot take the registry mutex, so every buffer
+// also registers itself in a fixed slot array of raw pointers.  The
+// pointees live in the leaked registry's shared_ptrs and are never
+// removed, so the raw pointers stay valid for the process lifetime.
+constexpr int kCrashSlots = 256;
+std::atomic<ThreadBuffer*> g_crash_slots[kCrashSlots] = {};
+std::atomic<int> g_crash_slot_count{0};
+std::atomic<bool> g_crash_armed{false};
+
 thread_local std::shared_ptr<ThreadBuffer> t_buffer;
 
 ThreadBuffer& local_buffer() {
@@ -55,7 +66,10 @@ ThreadBuffer& local_buffer() {
     Registry& r = registry();
     const std::scoped_lock lock(r.mutex);
     buffer->capacity = r.per_thread_events;
+    if (g_crash_armed.load(std::memory_order_relaxed)) buffer->ring.reserve(buffer->capacity);
     r.buffers.push_back(buffer);
+    const int slot = g_crash_slot_count.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kCrashSlots) g_crash_slots[slot].store(buffer.get(), std::memory_order_release);
     t_buffer = std::move(buffer);
   }
   return *t_buffer;
@@ -99,6 +113,7 @@ void trace_start(TraceOptions options) {
       buffer->next = 0;
       buffer->dropped = 0;
       buffer->capacity = options.per_thread_events;
+      if (g_crash_armed.load(std::memory_order_relaxed)) buffer->ring.reserve(buffer->capacity);
     }
   }
   detail::g_trace_enabled.store(true, std::memory_order_relaxed);
@@ -415,6 +430,64 @@ void write_chrome_trace(std::ostream& os, const std::vector<std::string>& fragme
   for (const std::string& path : fragment_paths) load_fragment(merged, path);
   emit_chrome_trace(os, merged);
 }
+
+namespace detail {
+
+void crash_arm_buffers() {
+  Registry& r = registry();
+  const std::scoped_lock lock(r.mutex);
+  g_crash_armed.store(true, std::memory_order_release);
+  for (const auto& buffer : r.buffers) {
+    const std::scoped_lock buffer_lock(buffer->mutex);
+    buffer->ring.reserve(buffer->capacity);
+  }
+}
+
+void crash_dump_events(int fd, int max_per_thread) noexcept {
+  if (!g_crash_armed.load(std::memory_order_acquire)) return;
+  if (max_per_thread <= 0) return;
+  static const char* const kKindNames[] = {"span", "async", "instant"};
+  const int slots = std::min(g_crash_slot_count.load(std::memory_order_acquire), kCrashSlots);
+  for (int s = 0; s < slots; ++s) {
+    const ThreadBuffer* buffer = g_crash_slots[s].load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    // Unlocked reads of the owning thread's ring: arming pinned the
+    // storage, so data() is stable, but size/next/fields may be torn —
+    // clamp every value before use.
+    const TraceEvent* data = buffer->ring.data();
+    std::size_t size = buffer->ring.size();
+    if (data == nullptr || size == 0) continue;
+    if (size > buffer->capacity) size = buffer->capacity;
+    std::size_t next = buffer->next;
+    if (next >= size) next = 0;
+    const bool wrapped = size == buffer->capacity;
+    const std::size_t want = std::min<std::size_t>(static_cast<std::size_t>(max_per_thread), size);
+    // Logical order is oldest-first starting at the overwrite cursor
+    // (`next`) once the ring has wrapped; dump the newest `want`.
+    for (std::size_t logical = size - want; logical < size; ++logical) {
+      const std::size_t physical = wrapped ? (next + logical) % size : logical;
+      const TraceEvent& event = data[physical];
+      const int kind = std::min<int>(static_cast<int>(event.kind), 2);
+      asf::write_str(fd, "{\"kind\": \"");
+      asf::write_str(fd, kKindNames[kind]);
+      asf::write_str(fd, "\", \"proc\": ");
+      asf::write_int(fd, event.proc);
+      asf::write_str(fd, ", \"tid\": ");
+      asf::write_int(fd, event.tid);
+      asf::write_str(fd, ", \"cat\": \"");
+      if (event.category != nullptr) asf::write_json_str(fd, event.category, 32);
+      asf::write_str(fd, "\", \"name\": \"");
+      asf::write_json_str(fd, event.name, sizeof(event.name) - 1);
+      asf::write_str(fd, "\", \"t0_ns\": ");
+      asf::write_int(fd, event.t0_ns);
+      asf::write_str(fd, ", \"t1_ns\": ");
+      asf::write_int(fd, event.t1_ns);
+      asf::write_str(fd, "}\n");
+    }
+  }
+}
+
+}  // namespace detail
 
 void write_trace_fragment(std::ostream& os) {
   MergedTrace merged;

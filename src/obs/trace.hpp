@@ -44,6 +44,20 @@ struct TraceOptions {
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+
+/// Crash flight-recorder hooks (obs/flight_recorder.hpp).
+///
+/// Arming pre-reserves every live thread's ring at full capacity (and
+/// makes future rings do the same), so a ring's storage never moves
+/// under a recording thread while the fatal-signal handler reads it.
+void crash_arm_buffers();
+
+/// Async-signal-safe: writes the newest `max_per_thread` buffered
+/// events of every registered thread to `fd`, one sanitized NDJSON
+/// record per event.  Lock-free best effort — a thread caught
+/// mid-record may contribute one torn event; every field read is
+/// clamped before use.  No-op unless crash_arm_buffers ran.
+void crash_dump_events(int fd, int max_per_thread) noexcept;
 }  // namespace detail
 
 /// True while tracing is recording.  Relaxed load; safe anywhere.

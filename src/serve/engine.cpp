@@ -8,6 +8,7 @@
 #include "common/hash.hpp"
 #include "core/plan.hpp"
 #include "ir/parser.hpp"
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -34,6 +35,7 @@ const char* status_name(Response::Status status) {
 std::string Response::to_json() const {
   std::ostringstream os;
   os << "{\"id\": " << obs::json_quote(id)
+     << ", \"request_id\": " << request_id
      << ", \"status\": \"" << status_name(status) << '"';
   if (status == Status::Ok) {
     os << ", \"cache\": " << obs::json_quote(cache_outcome)
@@ -42,6 +44,7 @@ std::string Response::to_json() const {
        << ", \"disk_bytes\": " << obs::json_number(predicted_disk_bytes, 1)
        << ", \"memory_bytes\": " << obs::json_number(memory_bytes, 1)
        << ", \"codegen_seconds\": " << obs::json_number(codegen_seconds)
+       << ", \"solver_evaluations\": " << solver_evaluations
        << ", \"warm_start_used\": " << (warm_start_used ? "true" : "false")
        << ", \"warm_start_source\": " << obs::json_quote(warm_start_source);
     if (greedy_cost) os << ", \"greedy_cost\": " << obs::json_number(*greedy_cost, 1);
@@ -62,6 +65,24 @@ Engine::Engine(ServeOptions options)
       pool_(ThreadPool::resolve_threads(options.threads)) {
   options_.max_batch = std::max(1, options_.max_batch);
   options_.max_queue = std::max(1, options_.max_queue);
+  if (!options_.event_log_path.empty()) {
+    obs::EventLog::Options log_options;
+    log_options.path = options_.event_log_path;
+    log_options.max_bytes = options_.event_log_max_bytes;
+    event_log_ = std::make_unique<obs::EventLog>(log_options);
+  }
+  // Pre-register every engine instrument so a scrape (or a flight-
+  // recorder freeze) before the first request still sees the full
+  // serve.* family at zero.
+  obs::MetricsRegistry& m = obs::metrics();
+  (void)m.counter("serve.requests");
+  (void)m.counter("serve.exact_hits");
+  (void)m.counter("serve.near_hits");
+  (void)m.counter("serve.misses");
+  (void)m.counter("serve.rejected");
+  (void)m.counter("serve.errors");
+  (void)m.histogram("serve.queue_wait_seconds");
+  (void)m.histogram("serve.service_seconds");
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -70,12 +91,18 @@ Engine::~Engine() { stop(); }
 std::future<Response> Engine::submit(SynthesisRequest request) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
+  // The request id is minted (and serve.requests counted) at admission,
+  // rejections included — so at quiescence
+  //   requests == exact_hits + near_hits + misses + rejected + errors.
+  const std::int64_t request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("serve.requests").add();
   bool stopping = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
     if (!stopping_ && static_cast<int>(queue_.size()) < options_.max_queue) {
       queue_.push_back(Pending{std::move(request), std::move(promise),
-                               std::chrono::steady_clock::now()});
+                               std::chrono::steady_clock::now(), request_id});
       queue_cv_.notify_one();
       return future;
     }
@@ -85,16 +112,26 @@ std::future<Response> Engine::submit(SynthesisRequest request) {
   obs::metrics().counter("serve.rejected").add();
   Response response;
   response.id = request.id;
+  response.request_id = request_id;
   response.status = Response::Status::Rejected;
   response.error = stopping ? "engine is stopping" : "admission queue full";
+  log_event(response);
   promise.set_value(std::move(response));
   return future;
 }
 
 Response Engine::handle_now(const SynthesisRequest& request) {
+  const std::int64_t request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("serve.requests").add();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
+  }
   const auto start = std::chrono::steady_clock::now();
-  Response response = handle(request);
+  Response response = handle(request, request_id);
   response.service_seconds = seconds_since(start);
+  obs::metrics().histogram("serve.service_seconds").record_seconds(response.service_seconds);
+  log_event(response);
   return response;
 }
 
@@ -122,15 +159,18 @@ void Engine::dispatcher_loop() {
       }
     }
 
-    const auto serve_one = [this](Pending& pending) {
+    const std::int64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+    const auto serve_one = [this, batch_id](Pending& pending) {
       const auto start = std::chrono::steady_clock::now();
       const double queue_wait =
           std::chrono::duration<double>(start - pending.enqueued).count();
       obs::metrics().histogram("serve.queue_wait_seconds").record_seconds(queue_wait);
-      Response response = handle(pending.request);
+      Response response = handle(pending.request, pending.request_id);
+      response.batch = batch_id;
       response.queue_wait_seconds = queue_wait;
       response.service_seconds = seconds_since(start);
       obs::metrics().histogram("serve.service_seconds").record_seconds(response.service_seconds);
+      log_event(response);
       pending.promise.set_value(std::move(response));
     };
 
@@ -147,11 +187,13 @@ void Engine::dispatcher_loop() {
   }
 }
 
-Response Engine::handle(const SynthesisRequest& request) {
-  OOCS_SPAN("serve", "request");
-  obs::metrics().counter("serve.requests").add();
+Response Engine::handle(const SynthesisRequest& request, std::int64_t request_id) {
+  // The request id rides on the span name, so a trace (or a flight-
+  // recorder dump) correlates with the response JSON and event log.
+  OOCS_SPAN("serve", "request:" + std::to_string(request_id));
   Response response;
   response.id = request.id;
+  response.request_id = request_id;
   try {
     const ir::Program program = ir::parse(request.dsl);
     const ir::Fingerprint fp =
@@ -192,7 +234,6 @@ Response Engine::handle(const SynthesisRequest& request) {
       }
     }
     response.cache_outcome = warm ? "near_hit" : "miss";
-    obs::metrics().counter(warm ? "serve.near_hits" : "serve.misses").add();
 
     SynthesisRequest solo = request;
     solo.solver_threads = 1;  // requests are the unit of parallelism
@@ -200,6 +241,11 @@ Response Engine::handle(const SynthesisRequest& request) {
     core::SynthesisResult result = core::synthesize(
         program, solo.options, *engine, warm ? &*warm : nullptr);
 
+    // Outcome counters move after the solve: a throwing request counts
+    // only as serve.errors, keeping the admission identity exact
+    // (requests == exact_hits + near_hits + misses + rejected + errors).
+    obs::metrics().counter(warm ? "serve.near_hits" : "serve.misses").add();
+    response.solver_evaluations = result.solution.stats.evaluations;
     response.feasible = result.solution.feasible;
     response.predicted_disk_bytes = result.predicted_disk_bytes;
     response.memory_bytes = result.memory_bytes;
@@ -249,7 +295,26 @@ void Engine::count_warm_start(const std::string& source) {
   }
 }
 
+void Engine::log_event(const Response& response) noexcept {
+  obs::EventLog* log = event_log_.get();
+  if (log == nullptr) return;
+  std::ostringstream os;
+  os << "{\"ts\": " << obs::json_number(obs::monotonic_seconds(), 6)
+     << ", \"request_id\": " << response.request_id
+     << ", \"id\": " << obs::json_quote(response.id)
+     << ", \"batch\": " << response.batch
+     << ", \"status\": \"" << status_name(response.status) << '"'
+     << ", \"cache\": " << obs::json_quote(response.cache_outcome)
+     << ", \"warm_start_source\": " << obs::json_quote(response.warm_start_source)
+     << ", \"queue_wait_seconds\": " << obs::json_number(response.queue_wait_seconds)
+     << ", \"service_seconds\": " << obs::json_number(response.service_seconds)
+     << ", \"solver_evaluations\": " << response.solver_evaluations
+     << ", \"codegen_seconds\": " << obs::json_number(response.codegen_seconds) << "}";
+  log->append(os.str());
+}
+
 std::string Engine::stats_json() const {
+  std::int64_t requests = 0;
   std::int64_t served = 0;
   std::int64_t errors = 0;
   std::int64_t rejected = 0;
@@ -260,6 +325,7 @@ std::string Engine::stats_json() const {
   std::int64_t warm_none = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    requests = requests_;
     served = served_;
     errors = errors_;
     rejected = rejected_;
@@ -271,7 +337,7 @@ std::string Engine::stats_json() const {
   }
   const PlanCacheCounters cc = cache_.counters();
   std::ostringstream os;
-  os << "{\"served\": " << served << ", \"errors\": " << errors
+  os << "{\"requests\": " << requests << ", \"served\": " << served << ", \"errors\": " << errors
      << ", \"rejected\": " << rejected << ", \"queued\": " << queued
      << ", \"cache\": {\"entries\": " << cache_.entries()
      << ", \"exact_hits\": " << cc.exact_hits << ", \"near_hits\": " << cc.near_hits

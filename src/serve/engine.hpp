@@ -19,8 +19,17 @@
 // same seed), so its plan is bit-identical to the CLI's.  A near-hit
 // response seeds the solver from the better of {greedy, translated
 // cached decisions} and can therefore only improve on the cold plan.
+//
+// Observability: every admission mints a monotonically increasing
+// request id that rides on the "serve"/"request:<rid>" trace span, the
+// response JSON, and — when ServeOptions::event_log_path is set — one
+// NDJSON event-log record per terminal response (docs/OBSERVABILITY.md,
+// "Live telemetry").  serve.* counters obey
+//   requests == exact_hits + near_hits + misses + rejected + errors
+// once the queue drains.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -33,6 +42,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "obs/event_log.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/request.hpp"
 
@@ -50,12 +60,23 @@ struct ServeOptions {
   PlanCacheOptions cache;
   /// Master switch; off = every request is a cold miss (bench baseline).
   bool enable_cache = true;
+  /// When non-empty, every terminal response appends one NDJSON record
+  /// (request id, batch, cache outcome, timings, solver evaluations) to
+  /// this bounded event log (obs::EventLog rotation applies).
+  std::string event_log_path;
+  std::int64_t event_log_max_bytes = std::int64_t{1} << 20;
 };
 
 struct Response {
   enum class Status { Ok, Error, Rejected };
 
   std::string id;
+  /// Engine-minted admission sequence number, unique per Engine — the
+  /// correlation key across the response JSON, the "request:<rid>"
+  /// trace span and the event-log record.
+  std::int64_t request_id = 0;
+  /// Dispatch batch the request was served in (0: bypassed the queue).
+  std::int64_t batch = 0;
   Status status = Status::Ok;
   std::string error;
   /// "hit" | "near_hit" | "miss" (empty on error/rejection).
@@ -68,6 +89,8 @@ struct Response {
   /// Solve time of the request that produced the plan (0 for exact
   /// hits — nothing was solved).
   double codegen_seconds = 0;
+  /// Solver cost evaluations spent on this request (0 for exact hits).
+  std::int64_t solver_evaluations = 0;
   std::optional<double> greedy_cost;
   std::optional<double> warm_cost;
   bool warm_start_used = false;
@@ -115,25 +138,37 @@ class Engine {
   /// "stats" command).
   [[nodiscard]] std::string stats_json() const;
 
+  /// The event log sink (null when event_log_path is empty).
+  [[nodiscard]] obs::EventLog* event_log() noexcept { return event_log_.get(); }
+
  private:
   struct Pending {
     SynthesisRequest request;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::int64_t request_id = 0;
   };
 
   void dispatcher_loop();
-  [[nodiscard]] Response handle(const SynthesisRequest& request);
+  [[nodiscard]] Response handle(const SynthesisRequest& request, std::int64_t request_id);
   void count_warm_start(const std::string& source);
+  void log_event(const Response& response) noexcept;
 
   ServeOptions options_;
   PlanCache cache_;
   ThreadPool pool_;
+  std::unique_ptr<obs::EventLog> event_log_;
+
+  /// Admission sequence (request ids start at 1) and dispatch batches
+  /// (batch ids start at 1; 0 marks queue-bypassing handle_now calls).
+  std::atomic<std::int64_t> next_request_id_{1};
+  std::atomic<std::int64_t> next_batch_id_{1};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
+  std::int64_t requests_ = 0;
   std::int64_t rejected_ = 0;
   std::int64_t served_ = 0;
   std::int64_t errors_ = 0;

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
 #include "serve/json.hpp"
 
 namespace oocs::serve {
@@ -113,6 +115,15 @@ OutItem process_line(Engine& engine, const std::string& line) {
       return std::string(R"({"status": "ok", "stats": )") + engine.stats_json() + "}";
     });
   }
+  if (cmd == "metrics") {
+    // Rendered at write time like "stats", so the exposition reflects
+    // every pipelined request ahead of it — a quiesced snapshot the
+    // client can tie out against the stats reply on the same stream.
+    return control_item([] {
+      return std::string(R"({"status": "ok", "metrics": )") +
+             obs::json_quote(obs::prometheus_text()) + "}";
+    });
+  }
   if (cmd == "shutdown") {
     OutItem item =
         control_item([] { return std::string(R"({"status": "ok", "shutdown": true})"); });
@@ -172,16 +183,20 @@ int serve_stream(Engine& engine, const std::function<bool(std::string&)>& read_l
 
 // -- TCP plumbing -------------------------------------------------------
 
-bool write_all(int fd, const std::string& text) {
-  std::string line = text;
-  line += '\n';
+bool send_all(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::string line = text;
+  line += '\n';
+  return send_all(fd, line.data(), line.size());
 }
 
 /// Buffered line reader over a socket fd.
@@ -216,6 +231,39 @@ class FdLineReader {
   int fd_;
   std::string buffer_;
 };
+
+/// The scrape fast path: a connection whose first line is an HTTP GET
+/// gets one plain HTTP/1.0 response and is closed — `curl
+/// http://127.0.0.1:PORT/metrics` works against the NDJSON port with no
+/// separate HTTP listener.  Only /metrics is served; anything else is a
+/// 404 so misdirected scrapers fail loudly.
+void handle_http_get(int client, FdLineReader& reader, const std::string& request_line) {
+  // Drain request headers up to the blank line (the reader already
+  // strips '\r').  A client that never sends the blank line just hits
+  // connection close on its next read.
+  std::string line;
+  while (reader.next(line) && !line.empty()) {
+  }
+  std::string target;
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+    target = sp2 == std::string::npos ? request_line.substr(sp1 + 1)
+                                      : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "only /metrics is served on this port\n";
+  if (target == "/metrics") {
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::prometheus_text();
+  }
+  const std::string response = "HTTP/1.0 " + status + "\r\nContent-Type: " + content_type +
+                               "\r\nContent-Length: " + std::to_string(body.size()) +
+                               "\r\nConnection: close\r\n\r\n" + body;
+  send_all(client, response.data(), response.size());
+}
 
 }  // namespace
 
@@ -294,8 +342,30 @@ void TcpServer::serve_forever() {
     const std::lock_guard<std::mutex> lock(impl_->threads_mutex);
     impl_->connections.emplace_back([this, client] {
       FdLineReader reader(client);
+      // Peek the first line to route the connection: an HTTP GET gets
+      // the scrape fast path; anything else replays into the NDJSON
+      // protocol loop.
+      std::string first;
+      if (!reader.next(first)) {
+        ::close(client);
+        return;
+      }
+      if (first.rfind("GET ", 0) == 0) {
+        handle_http_get(client, reader, first);
+        ::close(client);
+        return;
+      }
+      bool replay = true;
       serve_stream(
-          impl_->engine, [&](std::string& line) { return reader.next(line); },
+          impl_->engine,
+          [&](std::string& line) {
+            if (replay) {
+              replay = false;
+              line = first;
+              return true;
+            }
+            return reader.next(line);
+          },
           [&](const std::string& text) { return write_all(client, text); },
           [this] { request_stop(); });
       ::close(client);

@@ -1,13 +1,18 @@
 // Tests for the GA-style parallel substrate: threaded execution matches
-// the sequential reference, and the modeled parallel I/O time shows the
-// paper's Table-4 behaviour.
+// the sequential reference, the modeled parallel I/O time shows the
+// paper's Table-4 behaviour, and the procs backend's telemetry plane
+// (metrics fragments, merged docs, worker flight recorder) holds up.
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/synthesize.hpp"
 #include "dra/farm.hpp"
@@ -17,6 +22,10 @@
 #include "ga/shm.hpp"
 #include "ir/examples.hpp"
 #include "obs/clock.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/reference.hpp"
 #include "solver/dlm.hpp"
 
@@ -287,6 +296,101 @@ TEST(ProcsBackendFailure, WorkerErrorSurfacesAsStructuredError) {
     EXPECT_NE(what.find("ga: proc"), std::string::npos) << what;
     EXPECT_NE(what.find("stripe"), std::string::npos) << what;
   }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process telemetry
+
+TEST(ProcsBackendTelemetry, WorkersEmitMetricsFragmentsAndMergeAggregates) {
+  const Program p = ir::examples::two_index(24, 20, 16, 12);
+  const SynthesisResult result = synthesize_small(p, 6 * 1024);
+  ASSERT_TRUE(result.solution.feasible);
+  const rt::TensorMap inputs = integer_inputs(p, 31);
+
+  obs::metrics().reset();
+  BackendOptions options;
+  options.backend = Backend::kProcs;
+  options.num_procs = 2;
+  options.scratch_root = temp_dir("metrics_frags");
+  options.barrier_timeout_seconds = 60;
+  BackendRun run(result.plan, options);
+  for (const auto& [name, decl] : result.plan.program.arrays()) {
+    if (decl.kind != ir::ArrayKind::Input) continue;
+    dra::DiskArray& array = run.farm().array(name);
+    array.write(dra::Section::whole(array.extents()), inputs.at(name));
+  }
+  const ParallelStats stats = run.run();
+  ASSERT_EQ(stats.metrics_fragments.size(), 2u);
+
+  // Every worker left a loadable pid-tagged fragment with real I/O
+  // counts of its own (the child registry is reset after fork, so
+  // nothing here is inherited from the parent).
+  std::int64_t worker_reads = 0;
+  for (const std::string& path : stats.metrics_fragments) {
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    const obs::MetricsFragment fragment = obs::load_metrics_fragment(path);
+    EXPECT_NE(fragment.os_pid, static_cast<int>(::getpid())) << path;
+    const auto it = fragment.snapshot.counters.find("io.bytes_read");
+    ASSERT_NE(it, fragment.snapshot.counters.end()) << path;
+    EXPECT_GT(it->second, 0) << path;
+    worker_reads += it->second;
+  }
+
+  // The merged doc's top-level aggregate sums the parent registry and
+  // both fragments.
+  const std::int64_t parent_reads = obs::metrics().counter("io.bytes_read").value();
+  std::ostringstream os;
+  obs::write_merged_metrics_json(os, stats.metrics_fragments);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"merged_procs\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"parent\""), std::string::npos);
+  EXPECT_NE(doc.find("\"procs\""), std::string::npos);
+  EXPECT_NE(doc.find("\"io.bytes_read\": " + std::to_string(parent_reads + worker_reads)),
+            std::string::npos)
+      << doc;
+}
+
+TEST(ProcsBackendTelemetry, CrashedWorkerLeavesPostmortemArtifact) {
+  const std::string dir = temp_dir("postmortem");
+  std::filesystem::create_directories(dir);
+  const std::string artifact = dir + "/postmortem-1.json";
+
+  ProcessGroup group;
+  group.launch(2, [&](int rank) {
+    if (rank != 1) return 0;
+    // The ga worker arming sequence (backend.cpp child_main): drop the
+    // inherited telemetry, register instruments, arm the recorder —
+    // then die on a fatal signal mid-run.
+    obs::trace_clear();
+    obs::metrics().reset();
+    obs::TraceOptions trace;
+    trace.per_thread_events = 256;
+    obs::trace_start(trace);
+    obs::metrics().counter("worker.progress").add(5);
+    obs::FlightRecorderOptions recorder;
+    recorder.path = artifact;
+    obs::install_flight_recorder(recorder);
+    { OOCS_SPAN("ga", "stage0"); }
+    ::raise(SIGSEGV);
+    return 0;  // unreachable: the handler re-raises with SIG_DFL
+  });
+  EXPECT_FALSE(group.join(20.0));
+  const auto& children = group.children();
+  ASSERT_EQ(children.size(), 2u);
+  ASSERT_TRUE(children[1].reaped);
+  ASSERT_TRUE(WIFSIGNALED(children[1].wait_status));
+  EXPECT_EQ(WTERMSIG(children[1].wait_status), SIGSEGV);
+
+  std::ifstream in(artifact);
+  ASSERT_TRUE(in.good()) << "worker left no postmortem artifact at " << artifact;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string dump = ss.str();
+  EXPECT_NE(dump.find("\"postmortem\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\"signal\": " + std::to_string(SIGSEGV)), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"worker.progress\", \"value\": 5"), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"stage0\""), std::string::npos);
+  EXPECT_NE(dump.find("\"postmortem_end\": 1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,10 +1,19 @@
 // Tests for the observability layer: clock/identity, span tracing,
-// Chrome trace draining, metrics, the drift report, build info, and
-// trace correctness under concurrent execution.
+// Chrome trace draining, metrics, the drift report, build info, trace
+// correctness under concurrent execution, and the live telemetry
+// plane (Prometheus exposition, metrics fragments, the event log, and
+// the crash flight recorder).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -13,12 +22,17 @@
 #include <vector>
 
 #include "cache/tile_cache.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/synthesize.hpp"
 #include "ga/parallel.hpp"
 #include "ir/examples.hpp"
 #include "obs/build_info.hpp"
 #include "obs/clock.hpp"
 #include "obs/drift.hpp"
+#include "obs/event_log.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/drift.hpp"
@@ -254,6 +268,288 @@ TEST_F(ObsTest, PublishMetricsUnifiesLegacyCounters) {
   EXPECT_EQ(metrics().counter("io.bytes_written").value(), 2048);
   EXPECT_EQ(metrics().gauge("ga.io_seconds").value(), 0.5);
   metrics().reset();
+}
+
+// --- Live telemetry: quantile edge cases, exposition, fragments ------
+
+TEST_F(ObsTest, HistogramEmptyAndSingleObservationQuantiles) {
+  Histogram h;
+  const Histogram::Snapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_EQ(empty.sum_seconds, 0.0);
+  EXPECT_EQ(empty.p50_seconds, 0.0);
+  EXPECT_EQ(empty.p90_seconds, 0.0);
+  EXPECT_EQ(empty.p99_seconds, 0.0);
+  EXPECT_TRUE(empty.buckets.empty());
+
+  h.record_ns(4096);
+  const Histogram::Snapshot one = h.snapshot();
+  EXPECT_EQ(one.count, 1);
+  ASSERT_EQ(one.buckets.size(), 1u);
+  EXPECT_EQ(one.buckets[0].second, 1);
+  // A single observation pins every quantile inside its own bucket:
+  // 4096 ns lands in [4096, 8192) ns.
+  for (const double q : {one.p50_seconds, one.p90_seconds, one.p99_seconds}) {
+    EXPECT_GE(q, 4096e-9);
+    EXPECT_LE(q, 8192e-9);
+  }
+  EXPECT_LE(one.p50_seconds, one.p90_seconds);
+  EXPECT_LE(one.p90_seconds, one.p99_seconds);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaryValues) {
+  Histogram h;
+  // Exact powers of two are the bucket boundaries: each must land in
+  // the bucket whose *lower* bound it is ([2^(k-1), 2^k) is half-open).
+  h.record_ns(1);     // [1, 2) ns
+  h.record_ns(2);     // [2, 4) ns
+  h.record_ns(1024);  // [1024, 2048) ns
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3);
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_NEAR(snap.buckets[0].first, 2e-9, 1e-15);
+  EXPECT_NEAR(snap.buckets[1].first, 4e-9, 1e-15);
+  EXPECT_NEAR(snap.buckets[2].first, 2048e-9, 1e-13);
+  for (const auto& [upper, count] : snap.buckets) EXPECT_EQ(count, 1);
+  EXPECT_NEAR(snap.min_seconds, 1e-9, 1e-15);
+  EXPECT_NEAR(snap.max_seconds, 1024e-9, 1e-13);
+}
+
+TEST_F(ObsTest, HistogramQuantilesMonotoneUnderRandomFills) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 8; ++trial) {
+    Histogram h;
+    const int n = 1 + static_cast<int>(rng.next_double() * 500);
+    for (int i = 0; i < n; ++i) {
+      // Spread across ~6 decades so many buckets are occupied.
+      h.record_ns(1 + static_cast<std::int64_t>(rng.next_double() * 1e6));
+    }
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, n);
+    EXPECT_GE(snap.p50_seconds, 0.0);
+    EXPECT_LE(snap.p50_seconds, snap.p90_seconds);
+    EXPECT_LE(snap.p90_seconds, snap.p99_seconds);
+    // The interpolated p99 can undershoot the true max by the bucket
+    // width but never exceeds the last occupied bucket's upper bound.
+    EXPECT_LE(snap.p99_seconds, snap.buckets.back().first * (1 + 1e-9));
+  }
+}
+
+TEST_F(ObsTest, HistogramRawMergeAggregatesBucketwise) {
+  Histogram a, b;
+  a.record_ns(100);
+  a.record_ns(200);
+  b.record_ns(1'000'000);
+  Histogram::Raw merged = a.raw();
+  merged.merge(b.raw());
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_EQ(merged.sum_ns, 1'000'300);
+  EXPECT_EQ(merged.min_ns, 100);
+  EXPECT_EQ(merged.max_ns, 1'000'000);
+  const Histogram::Snapshot snap = Histogram::summarize(merged);
+  EXPECT_EQ(snap.count, 3);
+  std::int64_t total = 0;
+  for (const auto& [upper, count] : snap.buckets) total += count;
+  EXPECT_EQ(total, 3);
+}
+
+TEST_F(ObsTest, PrometheusExpositionCoversEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.counter("test.count").add(5);
+  registry.gauge("test.value").set(2.5);
+  registry.histogram("test.latency_seconds").record_ns(4096);
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("oocs_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("oocs_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("oocs_test_count_total 5"), std::string::npos);
+  EXPECT_NE(text.find("oocs_test_value 2.5"), std::string::npos);
+  EXPECT_NE(text.find("oocs_test_latency_seconds_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("oocs_test_latency_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("oocs_test_latency_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE oocs_test_count_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE oocs_test_latency_seconds histogram"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsFragmentRoundTripsThroughDisk) {
+  MetricsRegistry registry;
+  registry.counter("frag.count").add(42);
+  registry.gauge("frag.value").set(-1.25);
+  registry.histogram("frag.latency_seconds").record_ns(2048);
+  registry.histogram("frag.latency_seconds").record_ns(1 << 20);
+
+  const auto path = std::filesystem::temp_directory_path() / "oocs_obs_fragment.mtr";
+  {
+    std::ofstream os(path, std::ios::binary);
+    write_metrics_fragment(os, registry);
+  }
+  const MetricsFragment fragment = load_metrics_fragment(path.string());
+  EXPECT_EQ(fragment.os_pid, ::getpid());
+  EXPECT_EQ(fragment.snapshot.counters.at("frag.count"), 42);
+  EXPECT_EQ(fragment.snapshot.gauges.at("frag.value"), -1.25);
+  const Histogram::Raw& raw = fragment.snapshot.histograms.at("frag.latency_seconds");
+  EXPECT_EQ(raw.count, 2);
+  EXPECT_EQ(raw.min_ns, 2048);
+  EXPECT_EQ(raw.max_ns, 1 << 20);
+  std::filesystem::remove(path);
+
+  EXPECT_THROW(load_metrics_fragment("/nonexistent/fragment.mtr"), Error);
+}
+
+TEST_F(ObsTest, MergedMetricsDocAggregatesParentAndFragments) {
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_obs_merge";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> fragments;
+  for (int rank = 0; rank < 2; ++rank) {
+    MetricsRegistry worker;
+    worker.counter("merge.count").add(10 + rank);
+    worker.histogram("merge.latency_seconds").record_ns(1000 * (rank + 1));
+    const std::string path = (dir / ("metrics-frag-" + std::to_string(rank) + ".mtr")).string();
+    std::ofstream os(path, std::ios::binary);
+    write_metrics_fragment(os, worker);
+    fragments.push_back(path);
+  }
+  MetricsRegistry parent;
+  parent.counter("merge.count").add(1);
+  std::ostringstream os;
+  write_merged_metrics_json(os, fragments, parent);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"merged_procs\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"parent\""), std::string::npos);
+  EXPECT_NE(doc.find("\"procs\""), std::string::npos);
+  // Aggregate counter: parent 1 + worker 10 + worker 11.
+  EXPECT_NE(doc.find("\"merge.count\": 22"), std::string::npos);
+  // Aggregate histogram merges both workers' observations.
+  EXPECT_NE(doc.find("\"merge.latency_seconds\": {\"count\": 2"), std::string::npos);
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'), std::count(doc.begin(), doc.end(), '}'));
+  std::filesystem::remove_all(dir);
+}
+
+// --- Event log and crash flight recorder -----------------------------
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(ObsTest, EventLogRotatesDeterministicallyWithoutSplittingRecords) {
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_obs_eventlog";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EventLog::Options options;
+  options.path = (dir / "events.ndjson").string();
+  options.max_bytes = 64;
+  options.max_rotations = 2;
+  EventLog log(options);
+  const auto record_for = [](int i) {
+    char record[32];
+    std::snprintf(record, sizeof(record), "{\"seq\": %12d}", i);
+    return std::string(record);
+  };
+  // Each record is 21 bytes + newline = 22, so generations hold exactly
+  // two records: [0,1][2,3][4,5][6,7][8,9] → 4 rotations, the oldest
+  // two generations dropped past max_rotations.
+  for (int i = 0; i < 10; ++i) log.append(record_for(i));
+  log.flush();
+  EXPECT_EQ(log.rotations(), 4);
+  const std::vector<std::string> live = read_lines(options.path);
+  const std::vector<std::string> gen1 = read_lines(options.path + ".1");
+  const std::vector<std::string> gen2 = read_lines(options.path + ".2");
+  ASSERT_EQ(live.size(), 2u);
+  ASSERT_EQ(gen1.size(), 2u);
+  ASSERT_EQ(gen2.size(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(options.path + ".3"));
+  // Newest records in the live file, older generations behind it, and
+  // no record split across a rotation boundary.
+  EXPECT_EQ(live[0], record_for(8));
+  EXPECT_EQ(live[1], record_for(9));
+  EXPECT_EQ(gen1[0], record_for(6));
+  EXPECT_EQ(gen1[1], record_for(7));
+  EXPECT_EQ(gen2[0], record_for(4));
+  EXPECT_EQ(gen2[1], record_for(5));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsTest, WritePostmortemDumpsMetricsAndSpans) {
+  metrics().reset();
+  metrics().counter("pm.count").add(3);
+  metrics().gauge("pm.value").set(1.5);
+  metrics().histogram("pm.latency_seconds").record_ns(2048);
+  flight_recorder_refresh();
+  TraceOptions options;
+  options.per_thread_events = 64;
+  trace_start(options);
+  detail::crash_arm_buffers();
+  { OOCS_SPAN("pm", "unit"); }
+  trace_stop();
+
+  const auto path = std::filesystem::temp_directory_path() / "oocs_obs_postmortem.json";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  write_postmortem(fd, SIGABRT);
+  ::close(fd);
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string dump = ss.str();
+  EXPECT_NE(dump.find("\"postmortem\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\"signal\": " + std::to_string(SIGABRT)), std::string::npos);
+  EXPECT_NE(dump.find("\"type\": \"counter\", \"name\": \"pm.count\", \"value\": 3"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"pm.value\", \"value\": 1.500000"), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"pm.latency_seconds\", \"count\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"span\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(dump.find("\"postmortem_end\": 1"), std::string::npos);
+  std::filesystem::remove(path);
+  metrics().reset();
+}
+
+TEST_F(ObsTest, ForkedChildCrashLeavesPostmortemArtifact) {
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_obs_crash";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string artifact = (dir / "postmortem.json").string();
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm the recorder, leave telemetry behind, die on SIGSEGV.
+    TraceOptions options;
+    options.per_thread_events = 128;
+    trace_start(options);
+    metrics().reset();
+    metrics().counter("crash.test.count").add(11);
+    FlightRecorderOptions recorder;
+    recorder.path = artifact;
+    install_flight_recorder(recorder);
+    { OOCS_SPAN("crash", "doomed"); }
+    record_instant("crash", "about-to-die");
+    ::raise(SIGSEGV);
+    ::_exit(0);  // unreachable: the handler re-raises with SIG_DFL
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::ifstream in(artifact);
+  ASSERT_TRUE(in.good()) << "child left no postmortem artifact at " << artifact;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string dump = ss.str();
+  EXPECT_NE(dump.find("\"postmortem\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\"git\": "), std::string::npos);
+  EXPECT_NE(dump.find("\"signal\": " + std::to_string(SIGSEGV)), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"crash.test.count\", \"value\": 11"), std::string::npos);
+  EXPECT_NE(dump.find("\"name\": \"doomed\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\": \"instant\""), std::string::npos);
+  EXPECT_NE(dump.find("\"postmortem_end\": 1"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 // --- Trace correctness under concurrency -----------------------------

@@ -1,6 +1,8 @@
 // Tests for the serving subsystem: JSON codec, request digests, the
 // sharded plan cache, engine semantics (hit/near-hit/miss, determinism
-// under concurrency, backpressure), and the NDJSON transports.
+// under concurrency, backpressure), the NDJSON transports, and the
+// live telemetry surfaces (request ids, the event log, `{"cmd":
+// "metrics"}`, and the `GET /metrics` fast path).
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -8,6 +10,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
@@ -348,6 +352,62 @@ TEST(Engine, OverfullQueueRejectsWithBackpressure) {
   EXPECT_EQ(ok + rejected, 12);
 }
 
+TEST(Engine, RequestIdsAreMintedMonotonicallyAtAdmission) {
+  Engine engine;
+  const Response a = engine.handle_now(small_request("a"));
+  const Response b = engine.handle_now(small_request("b"));
+  EXPECT_GT(a.request_id, 0);
+  EXPECT_EQ(b.request_id, a.request_id + 1);
+  EXPECT_EQ(a.batch, 0);  // handle_now bypasses the dispatcher
+  const Response c = engine.submit(small_request("c")).get();
+  EXPECT_EQ(c.request_id, b.request_id + 1);
+  EXPECT_GT(c.batch, 0);  // dispatcher-batched
+  // The id rides on the response JSON, correlating with the event log.
+  EXPECT_NE(c.to_json().find("\"request_id\": " + std::to_string(c.request_id)),
+            std::string::npos);
+}
+
+TEST(Engine, EventLogRecordsEveryTerminalResponse) {
+  const auto dir = std::filesystem::temp_directory_path() / "oocs_serve_eventlog";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServeOptions options;
+  options.event_log_path = (dir / "events.ndjson").string();
+  Engine engine(options);
+  ASSERT_EQ(engine.handle_now(small_request("first")).cache_outcome, "miss");
+  ASSERT_EQ(engine.handle_now(small_request("second")).cache_outcome, "hit");
+  SynthesisRequest bad = small_request("broken");
+  bad.dsl = "not a program";
+  ASSERT_EQ(engine.handle_now(bad).status, Response::Status::Error);
+  ASSERT_NE(engine.event_log(), nullptr);
+  engine.event_log()->flush();
+
+  // One NDJSON record per terminal response, in completion order, each
+  // parseable and carrying the correlation fields.
+  std::ifstream in(options.event_log_path);
+  std::vector<JsonValue> records;
+  std::string line;
+  while (std::getline(in, line)) records.push_back(json_parse(line));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].get_string("id"), "first");
+  EXPECT_EQ(records[0].get_string("cache"), "miss");
+  EXPECT_EQ(records[1].get_string("cache"), "hit");
+  EXPECT_EQ(records[2].get_string("status"), "error");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].get_int("request_id", -1), static_cast<std::int64_t>(i + 1));
+    EXPECT_GE(records[i].get_number("service_seconds", -1), 0.0);
+  }
+
+  // The admission identity the counters gate relies on, from the
+  // engine's own stats document.
+  const JsonValue stats = json_parse(engine.stats_json());
+  EXPECT_EQ(stats.get_int("requests", -1), 3);
+  EXPECT_EQ(stats.get_int("served", -1), 2);
+  EXPECT_EQ(stats.get_int("errors", -1), 1);
+  EXPECT_EQ(stats.get_int("rejected", -1), 0);
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------
 // Transports
 
@@ -457,6 +517,81 @@ TEST(Server, TcpServesAndShutsDownCleanly) {
   EXPECT_EQ(response.get_string("status"), "ok");
   ASSERT_TRUE(std::getline(lines, line));
   EXPECT_TRUE(json_parse(line).get_bool("shutdown", false));
+}
+
+TEST(Server, StdioMetricsCommandReturnsExposition) {
+  Engine engine;
+  std::istringstream in(request_to_json(small_request("warm")) + "\n" +
+                        R"({"cmd": "metrics"})" + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_stdio(engine, in, out), 1);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));  // the solve response
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue reply = json_parse(line);
+  EXPECT_EQ(reply.get_string("status"), "ok");
+  // Rendered at write time, after the pipelined request completed: the
+  // exposition is a quiesced view of the same engine.
+  const std::string exposition = reply.get_string("metrics");
+  EXPECT_NE(exposition.find("oocs_build_info{"), std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE oocs_serve_requests_total counter"), std::string::npos);
+  EXPECT_NE(exposition.find("oocs_serve_service_seconds_count"), std::string::npos);
+}
+
+/// One plain-HTTP exchange against the daemon port: sends the request
+/// line + blank line, reads to EOF (the server closes HTTP clients).
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string outgoing = "GET " + target + " HTTP/1.0\r\nUser-Agent: test\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < outgoing.size()) {
+    const ssize_t n = ::send(fd, outgoing.data() + sent, outgoing.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string received;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return received;
+}
+
+TEST(Server, TcpAnswersHttpGetMetricsAndRejectsOtherTargets) {
+  Engine engine;
+  TcpServer server(engine, 0);
+  ASSERT_GT(server.port(), 0);
+  std::thread serving([&] { server.serve_forever(); });
+
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("oocs_build_info{"), std::string::npos);
+  EXPECT_NE(ok.find("oocs_serve_requests_total"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  // HTTP clients do not disturb the NDJSON protocol on later
+  // connections.
+  const std::string received = tcp_roundtrip(
+      server.port(),
+      std::string(R"({"cmd": "ping"})") + "\n" + R"({"cmd": "shutdown"})" + "\n", 2);
+  serving.join();
+  std::istringstream lines(received);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(json_parse(line).get_bool("pong", false));
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Validates oocs telemetry artifacts the way check_trace.py validates
+traces.
+
+Three modes, selected by flag (default: exposition):
+
+  * exposition (default): a Prometheus text page as served by oocsd's
+    `GET /metrics` / `{"cmd": "metrics"}`.  Checks metric-name and
+    label syntax, HELP/TYPE pairing, cumulative histogram buckets
+    (ascending `le`, nondecreasing counts, `+Inf` == `_count`),
+    `_sum`/`_count` consistency, quantile ordering q50 <= q90 <= q99,
+    and that quantiles stay within the histogram's observed bucket
+    bounds (interpolation may dip below the true minimum but never
+    below the lowest non-empty bucket's lower edge).
+
+  * --merged: a multi-process metrics JSON document written by
+    `oocsc --proc-backend procs --metrics-json`.  Checks the build
+    header, the per-proc "procs" sections, and that every aggregate
+    counter equals the parent value plus the per-proc sum.
+
+  * --postmortem: a crash flight-recorder NDJSON artifact.  Checks the
+    header (signal, build identity), metric record schema, span record
+    sanity (t0 <= t1), and the end marker.
+
+Exit status 0 when every check passes, 1 otherwise.
+
+Usage:
+  check_metrics.py METRICS.txt
+  check_metrics.py --merged MERGED.json
+  check_metrics.py --postmortem POSTMORTEM.json
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+FAILURES = []
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+
+
+def fail(message):
+    FAILURES.append(message)
+    print(f"check_metrics: FAIL: {message}", file=sys.stderr)
+
+
+def parse_labels(text, where):
+    """'a="x",b="y"' -> dict; label syntax failures are reported."""
+    labels = {}
+    if not text:
+        return labels
+    for part in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', text):
+        labels[part[0]] = part[1]
+    # Re-render to catch garbage the findall silently skipped.
+    rendered = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    stripped = re.sub(r"\s", "", text)
+    if re.sub(r"\s", "", rendered) != stripped:
+        fail(f"{where}: malformed label section {{{text}}}")
+    for name in labels:
+        if not LABEL_NAME.match(name):
+            fail(f"{where}: bad label name {name!r}")
+    return labels
+
+
+def parse_value(text, where):
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparsable sample value {text!r}")
+        return 0.0
+
+
+def check_exposition(lines):
+    helped, typed = set(), set()
+    samples = []  # (name, labels, value, lineno)
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                fail(f"line {i}: HELP without text")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram", "summary"):
+                fail(f"line {i}: malformed TYPE line {line!r}")
+            else:
+                typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE.match(line.strip())
+        if not m:
+            fail(f"line {i}: unparsable sample line {line!r}")
+            continue
+        name = m.group("name")
+        if not METRIC_NAME.match(name):
+            fail(f"line {i}: bad metric name {name!r}")
+        labels = parse_labels(m.group("labels") or "", f"line {i}")
+        samples.append((name, labels, parse_value(m.group("value"), f"line {i}"), i))
+
+    if not samples:
+        fail("no samples found")
+        return
+
+    if not any(name == "oocs_build_info" for name, _, _, _ in samples):
+        fail("missing oocs_build_info sample")
+    for name, labels, value, i in samples:
+        if name == "oocs_build_info":
+            if value != 1:
+                fail(f"line {i}: oocs_build_info must be 1, got {value}")
+            for want in ("git", "build_type", "features"):
+                if want not in labels:
+                    fail(f"line {i}: oocs_build_info missing label {want!r}")
+
+    for name, _, value, i in samples:
+        if name.endswith("_total") and value < 0:
+            fail(f"line {i}: counter {name} is negative ({value})")
+
+    # Histogram families: group by base name from the TYPE declarations.
+    histograms = {t for t in typed if any(s[0] == t + "_count" for s in samples)}
+    by_name = {}
+    for sample in samples:
+        by_name.setdefault(sample[0], []).append(sample)
+    for base in sorted(histograms):
+        counts = by_name.get(base + "_count", [])
+        sums = by_name.get(base + "_sum", [])
+        buckets = by_name.get(base + "_bucket", [])
+        if len(counts) != 1 or len(sums) != 1:
+            fail(f"histogram {base}: expected exactly one _count and one _sum")
+            continue
+        total = counts[0][2]
+        if not buckets:
+            fail(f"histogram {base}: no _bucket samples")
+            continue
+        prev_le, prev_count = -math.inf, -1
+        for _, labels, value, i in buckets:
+            if "le" not in labels:
+                fail(f"line {i}: {base}_bucket without le label")
+                continue
+            le = parse_value(labels["le"], f"line {i}")
+            if le <= prev_le:
+                fail(f"line {i}: {base}_bucket le {labels['le']} not ascending")
+            if value < prev_count:
+                fail(f"line {i}: {base}_bucket cumulative count decreased")
+            prev_le, prev_count = le, value
+        last_le, last_count = prev_le, prev_count
+        if last_le != math.inf:
+            fail(f"histogram {base}: last bucket le must be +Inf")
+        if last_count != total:
+            fail(f"histogram {base}: +Inf bucket {last_count} != _count {total}")
+        if total > 0 and sums[0][2] < 0:
+            fail(f"histogram {base}: negative _sum with observations")
+
+        quantiles = {}
+        for _, labels, value, _ in by_name.get(base, []):
+            if "quantile" in labels:
+                quantiles[labels["quantile"]] = value
+        if total > 0:
+            for q in ("0.5", "0.9", "0.99"):
+                if q not in quantiles:
+                    fail(f"histogram {base}: missing quantile {q}")
+            if quantiles:
+                q50 = quantiles.get("0.5", 0)
+                q90 = quantiles.get("0.9", q50)
+                q99 = quantiles.get("0.99", q90)
+                if not (q50 <= q90 <= q99):
+                    fail(f"histogram {base}: quantiles not monotone "
+                         f"({q50} / {q90} / {q99})")
+                # Quantiles interpolate within log2 buckets, so they can
+                # undershoot the true min — but never the finite bucket
+                # envelope of the data.
+                finite = [parse_value(l["le"], "bucket") for _, l, _, _ in buckets
+                          if l.get("le") != "+Inf"]
+                if finite and q99 > finite[-1] * (1 + 1e-9):
+                    fail(f"histogram {base}: q99 {q99} above last finite bucket "
+                         f"{finite[-1]}")
+                if q50 < 0:
+                    fail(f"histogram {base}: negative q50 {q50}")
+
+    # Every sample family should carry HELP and TYPE.
+    bases = set()
+    for name, labels, _, _ in samples:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_min", "_max"):
+            if base.endswith(suffix) and base[: -len(suffix)] in typed:
+                base = base[: -len(suffix)]
+                break
+        bases.add(base)
+    for base in sorted(bases):
+        if base not in typed:
+            fail(f"metric {base}: no TYPE line")
+        if base not in helped:
+            fail(f"metric {base}: no HELP line")
+
+
+def check_snapshot_body(doc, where):
+    for key in ("counters", "gauges", "histograms"):
+        if key not in doc or not isinstance(doc[key], dict):
+            fail(f"{where}: missing {key!r} map")
+            return
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int):
+            fail(f"{where}: counter {name} not an integer")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(f"{where}: gauge {name} not numeric")
+    for name, hist in doc["histograms"].items():
+        for key in ("count", "sum_seconds", "min_seconds", "max_seconds",
+                    "p50_seconds", "p90_seconds", "p99_seconds", "buckets"):
+            if key not in hist:
+                fail(f"{where}: histogram {name} missing {key!r}")
+                break
+        else:
+            total = sum(b.get("count", 0) for b in hist["buckets"])
+            if total != hist["count"]:
+                fail(f"{where}: histogram {name} bucket sum {total} != count "
+                     f"{hist['count']}")
+            if not (hist["p50_seconds"] <= hist["p90_seconds"] <= hist["p99_seconds"]):
+                fail(f"{where}: histogram {name} quantiles not monotone")
+
+
+def check_merged(doc):
+    if "build" not in doc or "git" not in doc.get("build", {}):
+        fail("merged doc: missing build header")
+    check_snapshot_body(doc, "aggregate")
+    if "parent" not in doc:
+        fail("merged doc: missing 'parent' section")
+    else:
+        check_snapshot_body(doc["parent"], "parent")
+    procs = doc.get("procs")
+    if not isinstance(procs, list):
+        fail("merged doc: missing 'procs' array")
+        return
+    if doc.get("merged_procs") != len(procs):
+        fail(f"merged doc: merged_procs {doc.get('merged_procs')} != "
+             f"len(procs) {len(procs)}")
+    seen_pids = set()
+    for k, proc in enumerate(procs):
+        where = f"procs[{k}]"
+        for key in ("proc", "os_pid"):
+            if key not in proc:
+                fail(f"{where}: missing {key!r}")
+        pid = proc.get("os_pid")
+        if pid in seen_pids:
+            fail(f"{where}: duplicate os_pid {pid}")
+        seen_pids.add(pid)
+        check_snapshot_body(proc, where)
+
+    # The aggregate must be parent + sum over procs, counter by counter.
+    if "parent" in doc and isinstance(procs, list) and "counters" in doc:
+        for name, value in doc["counters"].items():
+            expect = doc["parent"].get("counters", {}).get(name, 0)
+            expect += sum(p.get("counters", {}).get(name, 0) for p in procs)
+            if value != expect:
+                fail(f"aggregate counter {name}: {value} != parent+procs {expect}")
+
+
+def check_postmortem(lines):
+    records = []
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append((i, json.loads(line)))
+        except json.JSONDecodeError as e:
+            fail(f"line {i}: not JSON ({e})")
+    if not records:
+        fail("postmortem: empty artifact")
+        return
+    header = records[0][1]
+    if header.get("postmortem") != 1:
+        fail("postmortem: first record is not the header")
+    if not isinstance(header.get("signal"), int) or header.get("signal", 0) <= 0:
+        fail(f"postmortem: bad signal {header.get('signal')!r}")
+    if records[-1][1].get("postmortem_end") != 1:
+        fail("postmortem: missing end marker (truncated dump?)")
+    for i, record in records[1:-1]:
+        kind = record.get("kind")
+        if kind == "metric":
+            if record.get("type") not in ("counter", "gauge", "histogram"):
+                fail(f"line {i}: metric with bad type {record.get('type')!r}")
+            if "name" not in record:
+                fail(f"line {i}: metric without name")
+            if record.get("type") == "histogram":
+                if record.get("min_ns", 0) > record.get("max_ns", 0):
+                    fail(f"line {i}: histogram min_ns > max_ns")
+        elif kind in ("span", "async", "instant"):
+            for key in ("proc", "tid", "name", "t0_ns", "t1_ns"):
+                if key not in record:
+                    fail(f"line {i}: {kind} record missing {key!r}")
+            if record.get("t0_ns", 0) > record.get("t1_ns", 0):
+                fail(f"line {i}: {kind} with t0_ns > t1_ns")
+        else:
+            fail(f"line {i}: unknown record kind {kind!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="file to validate")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--merged", action="store_true",
+                      help="validate a merged procs metrics JSON document")
+    mode.add_argument("--postmortem", action="store_true",
+                      help="validate a crash flight-recorder NDJSON artifact")
+    args = parser.parse_args()
+
+    with open(args.artifact, "r", encoding="utf-8") as f:
+        text = f.read()
+    if args.merged:
+        try:
+            check_merged(json.loads(text))
+        except json.JSONDecodeError as e:
+            fail(f"merged doc is not JSON: {e}")
+    elif args.postmortem:
+        check_postmortem(text.splitlines())
+    else:
+        check_exposition(text.splitlines())
+
+    if FAILURES:
+        print(f"check_metrics: {len(FAILURES)} failure(s) in {args.artifact}",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics: OK ({args.artifact})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

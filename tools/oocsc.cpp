@@ -96,6 +96,7 @@
 #include "ir/printer.hpp"
 #include "obs/build_info.hpp"
 #include "obs/drift.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/drift.hpp"
@@ -435,7 +436,15 @@ int run(const Args& args) {
       std::fprintf(stderr, "oocsc: cannot write '%s'\n", args.metrics_json.c_str());
       return 1;
     }
-    obs::write_metrics_json(os);
+    // A procs run merges the workers' binary metrics fragments with the
+    // parent registry into one per-proc + aggregate document (the same
+    // pid-tagging convention as the trace splice below); everything
+    // else writes the plain single-process document.
+    if (parallel_stats.has_value() && !parallel_stats->metrics_fragments.empty()) {
+      obs::write_merged_metrics_json(os, parallel_stats->metrics_fragments);
+    } else {
+      obs::write_metrics_json(os);
+    }
   }
 
   if (!args.trace_file.empty()) {

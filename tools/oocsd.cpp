@@ -21,7 +21,17 @@
 //   --cache-entries N  plan-cache capacity (default 1024)
 //   --no-cache         disable the plan cache (every request solves)
 //   --metrics-json FILE dump the metrics registry on exit
+//   --event-log FILE   append one NDJSON record per terminal response
+//                      (bounded; rotates FILE -> FILE.1 -> ...)
+//   --event-log-max-bytes N  rotation threshold (default 1 MiB)
+//   --postmortem FILE  install the crash flight recorder; a fatal
+//                      signal dumps spans + metrics to FILE
+//   --log-level L      error|warn|info|debug (overrides OOCS_LOG_LEVEL)
 //   --version          print build identity and exit
+//
+// Live telemetry: the socket also answers `{"cmd": "metrics"}` and a
+// plain-HTTP `GET /metrics` with the Prometheus text exposition
+// (docs/OBSERVABILITY.md, "Live telemetry").
 //
 // Exit status: 0 on clean shutdown, 1 on startup/serve errors.
 #include <csignal>
@@ -32,8 +42,11 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "obs/build_info.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/server.hpp"
 
@@ -46,13 +59,16 @@ struct Args {
   bool stdio = false;
   serve::ServeOptions serve;
   std::string metrics_json;
+  std::string postmortem;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--stdio] [--threads N] [--max-batch N]\n"
                "       [--max-queue N] [--cache-entries N] [--no-cache]\n"
-               "       [--metrics-json FILE] [--version]\n",
+               "       [--metrics-json FILE] [--event-log FILE]\n"
+               "       [--event-log-max-bytes N] [--postmortem FILE]\n"
+               "       [--log-level error|warn|info|debug] [--version]\n",
                argv0);
   std::exit(1);
 }
@@ -86,6 +102,26 @@ Args parse_args(int argc, char** argv) {
       args.serve.enable_cache = false;
     } else if (std::strcmp(a, "--metrics-json") == 0) {
       args.metrics_json = need_value(i);
+    } else if (std::strcmp(a, "--event-log") == 0) {
+      args.serve.event_log_path = need_value(i);
+    } else if (std::strcmp(a, "--event-log-max-bytes") == 0) {
+      args.serve.event_log_max_bytes = std::atoll(need_value(i));
+      if (args.serve.event_log_max_bytes < 1) usage(argv[0]);
+    } else if (std::strcmp(a, "--postmortem") == 0) {
+      args.postmortem = need_value(i);
+    } else if (std::strcmp(a, "--log-level") == 0) {
+      const char* level = need_value(i);
+      if (std::strcmp(level, "error") == 0) {
+        log::set_level(log::Level::Error);
+      } else if (std::strcmp(level, "warn") == 0) {
+        log::set_level(log::Level::Warn);
+      } else if (std::strcmp(level, "info") == 0) {
+        log::set_level(log::Level::Info);
+      } else if (std::strcmp(level, "debug") == 0) {
+        log::set_level(log::Level::Debug);
+      } else {
+        usage(argv[0]);
+      }
     } else if (std::strcmp(a, "--version") == 0) {
       std::printf("oocsd %s\n", obs::build_info_string().c_str());
       std::exit(0);
@@ -103,9 +139,46 @@ void handle_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+/// The structured one-line startup banner: build identity + serving
+/// configuration, greppable from the daemon's stdout.
+std::string banner_json(const Args& args, int bound_port) {
+  std::string out = "{\"oocsd\": {\"build\": " + obs::build_info_json();
+  out += ", \"transport\": ";
+  out += args.stdio ? "\"stdio\"" : "\"tcp\", \"port\": " + std::to_string(bound_port);
+  out += ", \"threads\": " + std::to_string(args.serve.threads);
+  out += ", \"max_batch\": " + std::to_string(args.serve.max_batch);
+  out += ", \"max_queue\": " + std::to_string(args.serve.max_queue);
+  out += ", \"cache\": ";
+  out += args.serve.enable_cache
+             ? "{\"entries\": " + std::to_string(args.serve.cache.max_entries) + "}"
+             : "null";
+  out += std::string(", \"event_log\": ") +
+         (args.serve.event_log_path.empty() ? "null" : "\"" + args.serve.event_log_path + "\"");
+  out += std::string(", \"postmortem\": ") +
+         (args.postmortem.empty() ? "null" : "\"" + args.postmortem + "\"") + "}}";
+  return out;
+}
+
 int run(const Args& args) {
+  if (!args.postmortem.empty()) {
+    // Arm the recorder before any traffic.  A modest trace ring is
+    // turned on so the postmortem artifact carries recent spans even
+    // when full tracing was never requested.
+    if (!obs::trace_enabled()) {
+      obs::TraceOptions trace;
+      trace.per_thread_events = 1024;
+      obs::trace_start(trace);
+    }
+    obs::FlightRecorderOptions recorder;
+    recorder.path = args.postmortem;
+    obs::install_flight_recorder(recorder);
+  }
   serve::Engine engine(args.serve);
+  // Engine construction registered the serve.* instruments; re-freeze
+  // so the crash handler sees them.
+  if (!args.postmortem.empty()) obs::flight_recorder_refresh();
   if (args.stdio) {
+    std::fprintf(stderr, "oocsd: start %s\n", banner_json(args, 0).c_str());
     const int responses = serve::run_stdio(engine, std::cin, std::cout);
     std::fprintf(stderr, "oocsd: served %d response%s\n", responses,
                  responses == 1 ? "" : "s");
@@ -114,6 +187,7 @@ int run(const Args& args) {
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    std::printf("oocsd: start %s\n", banner_json(args, server.port()).c_str());
     std::printf("oocsd: listening on 127.0.0.1:%d\n", server.port());
     std::fflush(stdout);
     server.serve_forever();
