@@ -10,6 +10,17 @@
 // sampling code.  "Measured" here is the calibrated disk model driven
 // by an actual dry-run execution of the generated plan (per-call seeks,
 // real edge tiles); "predicted" is the paper's analytical cost model.
+//
+// Each row additionally reports the communication lower bound next to
+// the plan's modeled traffic (achieved / lower_bound and the resulting
+// bound_efficiency).  Two properties gate every run: the bound never
+// exceeds any plan's achieved traffic (soundness, every row), and on
+// the primary (140,120) row the DCS plan lands within 2x of the proved
+// floor (bound_efficiency >= 0.5).  The floor treats each placement
+// group's tile corner independently, so it loosens where the shared
+// memory budget couples groups — at (190,180) one tile vector cannot
+// drive every group to its corner and efficiency drops to ~0.4; only
+// soundness is gated there (see docs/SYNTHESIS_SEARCH.md).
 #include <cinttypes>
 #include <cstdio>
 
@@ -63,6 +74,7 @@ int main(int argc, char** argv) {
               "measured(s)", "predicted(s)", "measured(s)", "predicted(s)");
   bench::rule('=');
 
+  bool ok = true;
   for (const auto& [n, v] : std::vector<std::pair<std::int64_t, std::int64_t>>{{140, 120},
                                                                                {190, 180}}) {
     const ir::Program program = ir::examples::four_index(n, v);
@@ -81,11 +93,30 @@ int main(int argc, char** argv) {
 
     std::printf("%-10" PRId64 " %-10" PRId64 " | %12.1f %12.1f | %12.1f %12.1f\n", n, v,
                 base_row.measured, base_row.predicted, dcs_row.measured, dcs_row.predicted);
+    const double bound_bytes = result.io_lower_bound_bytes;
+    const double base_efficiency = result.lower_bound.efficiency(base.best_disk_bytes);
+    std::printf("%-10s %-10s |   achieved/lower_bound %.3e / %.3e B, "
+                "bound_efficiency %.2f\n", "", "", base.best_disk_bytes, bound_bytes,
+                base_efficiency);
+    std::printf("%-10s %-10s | %27s achieved/lower_bound %.3e / %.3e B, "
+                "bound_efficiency %.2f\n", "", "", "", result.predicted_disk_bytes,
+                bound_bytes, result.bound_efficiency);
+
+    // Soundness on every row; 2x-of-floor quality on the primary DCS
+    // row, where the per-group corner floor is tight.
+    ok = ok && bound_bytes <= base.best_disk_bytes * 1.0001 &&
+         bound_bytes <= result.predicted_disk_bytes * 1.0001;
+    if (n == 140) ok = ok && result.bound_efficiency >= 0.5;
   }
   bench::rule('=');
   std::printf("\nPaper reference: (140,120) uniform 426/430, DCS 227/296;\n"
               "                 (190,180) uniform 2461/2630, DCS 1545/1537.\n"
               "Shape reproduced: predicted matches measured closely, and the DCS-generated\n"
               "code outperforms the uniform-sampling code on both problem sizes.\n");
+  if (!ok) {
+    std::printf("FAILURE: lower bound exceeded an achieved plan cost, or the primary "
+                "DCS row fell below 0.5 bound efficiency\n");
+    return 1;
+  }
   return 0;
 }

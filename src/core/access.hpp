@@ -54,6 +54,21 @@ struct SynthesisOptions {
   /// set it from the disk model so volume ties break toward fewer,
   /// larger transfers.
   double seek_cost_bytes = 0;
+  /// Solver early-cutoff from the communication lower bound
+  /// (synthesize() only): compute core::io_lower_bound and let every
+  /// solver stop as soon as a feasible incumbent's objective is within
+  /// `bound_eps` of the bound — the incumbent is provably near-optimal,
+  /// so further search buys at most `bound_eps` relative improvement.
+  /// `oocsc --no-bound` turns it off.
+  bool bound_cutoff = true;
+  /// Relative cutoff slack ε: stop at objective ≤ bound · (1 + ε).
+  double bound_eps = 0.02;
+  /// Bound-based dominance axis (synthesize() only, with
+  /// prune_dominated): additionally drop an option whose box-wide cost
+  /// minimum still exceeds a universally block-feasible sibling's
+  /// box-wide cost maximum — exact over the whole tile box, so it
+  /// prunes pairs the pointwise grid test must keep.
+  bool bound_prune = true;
   /// Continuous-relaxation warm start (synthesize() only): solve the
   /// augmented-Lagrangian relaxation of the NLP, round-and-repair it to
   /// the grid, and let the result compete with the greedy sweep (and any
@@ -174,6 +189,19 @@ struct Enumeration {
 /// the lower option index).  Returns the number of options removed.
 int prune_dominated(const ir::Program& program, Enumeration& enumeration,
                     const SynthesisOptions& options, std::int64_t max_points = 4096);
+
+/// Bound-based dominance axis (SynthesisOptions::bound_prune): removes
+/// an option A when a sibling B's cost *maximum* over the whole tile
+/// box (attained at all-ones tiles — cost is monotone nonincreasing in
+/// every tile size) does not exceed A's cost *minimum* (attained at the
+/// full-extent corner), provided B's block slack at the all-ones point
+/// is ≤ 0 (slack is monotone nonincreasing, so B is block-feasible at
+/// every tiling) and B's memory footprint is pointwise ≤ A's on the
+/// sampled grid.  Unlike the pointwise grid test this compares extremes
+/// across *different* tile points, so it prunes pairs prune_dominated
+/// must keep.  Returns the number of options removed.
+int bound_prune_dominated(const ir::Program& program, Enumeration& enumeration,
+                          const SynthesisOptions& options, std::int64_t max_points = 4096);
 
 /// Renders the enumeration in the paper's Fig. 4a style.
 [[nodiscard]] std::string to_text(const Enumeration& enumeration);

@@ -1,0 +1,265 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hpp"
+
+namespace oocs::core {
+
+namespace {
+
+using ir::ArrayKind;
+using ir::Node;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+
+/// Exact minimum of Σ s over {s ≥ 0, ∀P ∈ patterns: Σ_{j∈P} s_j ≥ 1}
+/// by vertex enumeration, returning a *feasible* optimal point (any
+/// feasible point yields a valid HBL exponent, so numerical slack is
+/// absorbed by inflating the result, never by relaxing feasibility).
+/// `n` ≤ 3 in this IR (target, lhs, rhs); patterns are bitmasks over
+/// the reference slots.
+std::vector<double> covering_lp(int n, const std::vector<unsigned>& patterns) {
+  const auto feasible = [&](const std::vector<double>& s) {
+    for (const double v : s) {
+      if (v < -1e-9) return false;
+    }
+    for (const unsigned p : patterns) {
+      double sum = 0;
+      for (int j = 0; j < n; ++j) {
+        if ((p >> j) & 1U) sum += s[static_cast<std::size_t>(j)];
+      }
+      if (sum < 1.0 - 1e-9) return false;
+    }
+    return true;
+  };
+
+  // The all-ones point is always feasible (every pattern is nonempty).
+  std::vector<double> best(static_cast<std::size_t>(n), 1.0);
+  double best_sum = static_cast<double>(n);
+
+  // Candidate vertex rows: one equality per pattern (Σ_{j∈P} s_j = 1)
+  // and one per nonnegativity bound (s_j = 0).
+  struct Row {
+    double a[3] = {0, 0, 0};
+    double b = 0;
+  };
+  std::vector<Row> rows;
+  for (const unsigned p : patterns) {
+    Row row;
+    for (int j = 0; j < n; ++j) row.a[j] = ((p >> j) & 1U) != 0 ? 1.0 : 0.0;
+    row.b = 1.0;
+    rows.push_back(row);
+  }
+  for (int j = 0; j < n; ++j) {
+    Row row;
+    row.a[j] = 1.0;
+    row.b = 0.0;
+    rows.push_back(row);
+  }
+
+  // Gaussian elimination on an n×n subsystem; false on (near-)singular.
+  const auto solve = [&](const std::vector<std::size_t>& pick, std::vector<double>& s) {
+    double m[3][4] = {};
+    for (int r = 0; r < n; ++r) {
+      const Row& row = rows[pick[static_cast<std::size_t>(r)]];
+      for (int c = 0; c < n; ++c) m[r][c] = row.a[c];
+      m[r][n] = row.b;
+    }
+    for (int col = 0; col < n; ++col) {
+      int pivot = -1;
+      double pmag = 1e-9;
+      for (int r = col; r < n; ++r) {
+        if (std::fabs(m[r][col]) > pmag) {
+          pivot = r;
+          pmag = std::fabs(m[r][col]);
+        }
+      }
+      if (pivot < 0) return false;
+      for (int c = 0; c <= n; ++c) std::swap(m[col][c], m[pivot][c]);
+      for (int r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const double f = m[r][col] / m[col][col];
+        for (int c = col; c <= n; ++c) m[r][c] -= f * m[col][c];
+      }
+    }
+    for (int r = 0; r < n; ++r) s[static_cast<std::size_t>(r)] = m[r][n] / m[r][r];
+    return true;
+  };
+
+  std::vector<std::size_t> pick(static_cast<std::size_t>(n));
+  std::vector<double> s(static_cast<std::size_t>(n));
+  const std::size_t total = rows.size();
+  // All size-n row subsets (≤ C(10,3) = 120 with this IR's shapes).
+  const auto enumerate = [&](auto&& self, std::size_t depth, std::size_t from) -> void {
+    if (depth == static_cast<std::size_t>(n)) {
+      if (!solve(pick, s)) return;
+      if (!feasible(s)) return;
+      double sum = 0;
+      for (const double v : s) sum += std::max(0.0, v);
+      if (sum < best_sum - 1e-12) {
+        best_sum = sum;
+        best = s;
+        for (double& v : best) v = std::max(0.0, v);
+      }
+      return;
+    }
+    for (std::size_t r = from; r < total; ++r) {
+      pick[depth] = r;
+      self(self, depth + 1, r + 1);
+    }
+  };
+  enumerate(enumerate, 0, 0);
+
+  // Inflate toward feasibility: the checks above admit a 1e-9 slack, so
+  // push each exponent up past it.  A larger σ only weakens (never
+  // invalidates) the resulting bound.
+  for (double& v : best) v += 2e-9;
+  return best;
+}
+
+/// Segment-argument bound in bytes for one statement: iteration space
+/// |Z|, covering exponent σ, memory M.
+double segment_bound_bytes(double iteration_space, double sigma, double memory_bytes) {
+  const double m_words = std::max(1.0, memory_bytes / static_cast<double>(ir::kElementBytes));
+  const double cap = std::pow(2.0 * m_words, sigma);
+  if (!(cap > 0) || !std::isfinite(cap)) return 0;
+  const double words = m_words * (iteration_space / cap - 1.0);
+  return std::max(0.0, words) * static_cast<double>(ir::kElementBytes);
+}
+
+/// Per update statement: the covering LP over its array projections and
+/// the segment bound at `memory_bytes`.
+std::vector<StatementBound> statement_bounds(const Program& program,
+                                             std::int64_t memory_bytes) {
+  std::vector<StatementBound> out;
+  std::vector<std::string> loop_stack;
+  const std::function<void(const Node&)> visit = [&](const Node& node) {
+    if (node.kind == Node::Kind::Loop) {
+      loop_stack.push_back(node.index);
+      for (const auto& child : node.children) visit(*child);
+      loop_stack.pop_back();
+      return;
+    }
+    const Stmt& stmt = node.stmt;
+    if (stmt.kind != StmtKind::Update) return;
+
+    const std::vector<const ir::ArrayRef*> refs = stmt.refs();
+    const int n = static_cast<int>(refs.size());
+
+    // Coverage pattern of each enclosing loop index; indices covered by
+    // no reference are pure repetition and drop out of |Z| (iterations
+    // along them revisit the same data).
+    double iteration_space = 1;
+    std::set<unsigned> pattern_set;
+    for (const std::string& index : loop_stack) {
+      unsigned pattern = 0;
+      for (int j = 0; j < n; ++j) {
+        const auto& idx = refs[static_cast<std::size_t>(j)]->indices;
+        if (std::find(idx.begin(), idx.end(), index) != idx.end()) pattern |= 1U << j;
+      }
+      if (pattern == 0) continue;
+      iteration_space *= static_cast<double>(program.range(index));
+      pattern_set.insert(pattern);
+    }
+
+    StatementBound bound;
+    bound.stmt_id = stmt.id;
+    bound.iteration_space = iteration_space;
+    if (pattern_set.empty()) {
+      bound.sigma = 0;
+      bound.hbl_bytes = 0;
+    } else {
+      const std::vector<unsigned> patterns(pattern_set.begin(), pattern_set.end());
+      const std::vector<double> s = covering_lp(n, patterns);
+      double sigma = 0;
+      for (const double v : s) sigma += v;
+      bound.sigma = sigma;
+      bound.hbl_bytes =
+          segment_bound_bytes(iteration_space, sigma, static_cast<double>(memory_bytes));
+    }
+    out.push_back(bound);
+  };
+  for (const auto& root : program.roots()) visit(*root);
+  return out;
+}
+
+/// Full-extent corner environment: T_d = N_d, where every option cost
+/// (a product of Size and ceil(N_d/T_d) trip factors, optionally plus a
+/// seek term with the same monotonicity) attains its exact minimum over
+/// the whole integer tile box.
+expr::Env corner_env(const Program& program, const Enumeration& enumeration) {
+  expr::Env env;
+  for (const std::string& index : enumeration.loop_indices) {
+    env[tile_var(index)] = static_cast<double>(program.range(index));
+  }
+  return env;
+}
+
+}  // namespace
+
+double compulsory_traffic_bytes(const Program& program) {
+  std::set<std::string> inputs;
+  std::set<std::string> outputs;
+  program.for_each_stmt([&](const Stmt& stmt) {
+    for (const ir::ArrayRef* ref : stmt.refs()) {
+      const ArrayKind kind = program.array(ref->array).kind;
+      if (kind == ArrayKind::Input) inputs.insert(ref->array);
+      if (kind == ArrayKind::Output && ref == &stmt.target) outputs.insert(ref->array);
+    }
+  });
+  double bytes = 0;
+  for (const std::string& name : inputs) bytes += program.byte_size(name);
+  for (const std::string& name : outputs) bytes += program.byte_size(name);
+  return bytes;
+}
+
+double hbl_lower_bound_bytes(const Program& program, std::int64_t memory_bytes) {
+  double hbl = 0;
+  for (const StatementBound& bound : statement_bounds(program, memory_bytes)) {
+    hbl = std::max(hbl, bound.hbl_bytes);
+  }
+  return std::max(hbl, compulsory_traffic_bytes(program));
+}
+
+IoLowerBound io_lower_bound(const Program& program, const Enumeration& enumeration,
+                            const SynthesisOptions& options) {
+  IoLowerBound bound;
+  bound.compulsory_bytes = compulsory_traffic_bytes(program);
+  bound.statements = statement_bounds(program, options.memory_limit_bytes);
+  for (const StatementBound& stmt : bound.statements) {
+    bound.hbl_bytes = std::max(bound.hbl_bytes, stmt.hbl_bytes);
+  }
+
+  // Per-group box minima at the full-extent corner.
+  const expr::Env corner = corner_env(program, enumeration);
+  double structural_objective = 0;
+  for (const ChoiceGroup& group : enumeration.groups) {
+    double min_bytes = std::numeric_limits<double>::infinity();
+    double min_objective = std::numeric_limits<double>::infinity();
+    for (const ChoiceOption& option : group.options) {
+      const double bytes = option.disk_cost.eval(corner);
+      double cost = bytes;
+      if (options.seek_cost_bytes > 0 && !option.in_memory) {
+        cost += options.seek_cost_bytes * option_call_count(program, option).eval(corner);
+      }
+      min_bytes = std::min(min_bytes, bytes);
+      min_objective = std::min(min_objective, cost);
+    }
+    if (std::isfinite(min_bytes)) bound.structural_bytes += min_bytes;
+    if (std::isfinite(min_objective)) structural_objective += min_objective;
+  }
+
+  bound.bytes = std::max({bound.compulsory_bytes, bound.structural_bytes, bound.hbl_bytes});
+  bound.objective = std::max(bound.bytes, structural_objective);
+  return bound;
+}
+
+}  // namespace oocs::core

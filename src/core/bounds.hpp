@@ -1,0 +1,102 @@
+// Communication (I/O) lower bounds for candidate loop nests.
+//
+// Three sound lower bounds on the disk traffic of *any* plan the
+// synthesizer can emit for a program under memory budget M, combined by
+// max (each is valid on its own):
+//
+//  * compulsory — every distinct input array must be read at least
+//    once and every output written at least once (cold disk, cold
+//    memory).  The classic |inputs| + |outputs| floor.
+//
+//  * structural — one floor per placement choice group of the §4.1
+//    enumeration: the minimum of each option's cost over the whole
+//    integer tile box.  Every option cost Size · Π ceil(N_d/T_d) is
+//    monotone nonincreasing in every tile size, so the minimum is
+//    attained exactly at the full-extent corner T_d = N_d (trip counts
+//    all 1) — no grid sampling, no approximation.  Summing the per-group
+//    minima bounds the model objective from below because the NLP
+//    objective is the sum of the chosen options' costs and every group
+//    must choose some option.  This is the term that captures forced
+//    intermediate materialization: an intermediate too large for memory
+//    has no in-memory option, so its group floor is a full write + read.
+//
+//  * hbl — the Hölder–Brascamp–Lieb / Loomis–Whitney bound of
+//    Dinh & Demmel ("Communication-Optimal Tilings for Projective
+//    Nested Loops with Arbitrary Bounds") specialized to our projective
+//    references: per update statement, solve the small covering LP
+//        min Σ_j s_j   s.t.  ∀ loop index i: Σ_{j : i ∈ idx(A_j)} s_j ≥ 1
+//    over the statement's array projections.  Any feasible s gives the
+//    per-segment iteration cap F ≤ (2M)^σ with σ = Σ s_j, and the
+//    standard segment argument yields
+//        Q_words ≥ max(0, M · (|Z| / (2M)^σ − 1)).
+//    The LP is solved exactly by vertex enumeration (≤ 3 references per
+//    statement); a suboptimal-but-feasible s only weakens the bound, so
+//    the construction is sound by design.  Statements share one memory,
+//    so the program-level HBL term is the max over statements.
+//
+// All three terms are pure functions of the program structure (and the
+// enumeration, itself canonical), so the bound is invariant under alpha
+// renaming of indices and arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/access.hpp"
+#include "ir/program.hpp"
+
+namespace oocs::core {
+
+/// Per-statement HBL diagnostics.
+struct StatementBound {
+  int stmt_id = -1;
+  /// Σ s_j of the feasible covering-LP point used (σ ≥ 1).
+  double sigma = 0;
+  /// Iteration-space cardinality |Z| of the statement.
+  double iteration_space = 0;
+  /// Segment-argument bound for this statement, in bytes.
+  double hbl_bytes = 0;
+};
+
+struct IoLowerBound {
+  /// The combined bound: max(compulsory, structural, hbl), in bytes.
+  double bytes = 0;
+  /// Lower bound on the NLP objective (disk bytes + seek refinement):
+  /// max(bytes, Σ groups min-option corner cost including seek term).
+  /// Equals `bytes` when SynthesisOptions::seek_cost_bytes is 0.
+  double objective = 0;
+  /// |distinct inputs| + |outputs| compulsory-traffic floor.
+  double compulsory_bytes = 0;
+  /// Σ over choice groups of the per-group box-minimum option cost.
+  double structural_bytes = 0;
+  /// max over update statements of the segment-argument bound.
+  double hbl_bytes = 0;
+  /// Per-statement σ / |Z| / bound diagnostics (update statements only).
+  std::vector<StatementBound> statements;
+
+  /// bound / achieved, clamped to [0, 1]; 0 when achieved is 0.
+  [[nodiscard]] double efficiency(double achieved_bytes) const {
+    if (achieved_bytes <= 0 || bytes <= 0) return 0;
+    return bytes >= achieved_bytes ? 1.0 : bytes / achieved_bytes;
+  }
+};
+
+/// Full bound for one enumerated candidate space under `options`
+/// (memory limit and seek refinement are read from it).
+[[nodiscard]] IoLowerBound io_lower_bound(const ir::Program& program,
+                                          const Enumeration& enumeration,
+                                          const SynthesisOptions& options);
+
+/// HBL + compulsory part only (no enumeration needed): max over update
+/// statements of the segment bound at `memory_bytes`, maxed with the
+/// compulsory floor.  Used by the predict_cache cross-check, where the
+/// effective fast memory is the buffer limit plus the cache budget.
+[[nodiscard]] double hbl_lower_bound_bytes(const ir::Program& program,
+                                           std::int64_t memory_bytes);
+
+/// The |distinct inputs| + |outputs| floor on its own.  Intermediates
+/// contribute nothing (a cache or a fused schedule can keep them off
+/// disk entirely).
+[[nodiscard]] double compulsory_traffic_bytes(const ir::Program& program);
+
+}  // namespace oocs::core

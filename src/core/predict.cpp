@@ -1,7 +1,9 @@
 #include "core/predict.hpp"
 
 #include <algorithm>
+#include <cassert>
 
+#include "core/bounds.hpp"
 #include "obs/trace.hpp"
 
 namespace oocs::core {
@@ -214,6 +216,12 @@ CachePrediction predict_cache(const ir::Program& program, const Enumeration& enu
   prediction.with_cache.write_calls -= prediction.saved_write_calls;
   prediction.with_cache.write_bytes -= prediction.saved_write_bytes;
   if (total_read_calls > 0) prediction.expected_hit_rate = prediction.hits / total_read_calls;
+  // No cache can absorb compulsory traffic: every input must be read
+  // and every output written at least once, so the reuse model's
+  // remaining traffic can never fall below that floor.  (The tests
+  // additionally check the tighter budget-aware HBL floor at M+budget.)
+  assert(prediction.with_cache.read_bytes + prediction.with_cache.write_bytes >=
+         compulsory_traffic_bytes(program) * (1.0 - 1e-6));
   return prediction;
 }
 

@@ -144,4 +144,103 @@ int prune_dominated(const ir::Program& program, Enumeration& enumeration,
   return removed;
 }
 
+int bound_prune_dominated(const ir::Program& program, Enumeration& enumeration,
+                          const SynthesisOptions& options, std::int64_t max_points) {
+  if (enumeration.loop_indices.empty()) return 0;
+
+  expr::VarTable table;
+  for (const std::string& index : enumeration.loop_indices) table.intern(tile_var(index));
+  const std::vector<std::vector<double>> grids =
+      tile_grids(program, enumeration.loop_indices, max_points);
+
+  // The two cost extremes are exact: every option's cost (disk bytes
+  // plus the seek refinement) is a product of ceil(N/T) trip counts and
+  // constants, monotone nonincreasing in each tile size — its maximum
+  // over the tile box sits at all-ones tiles and its minimum at the
+  // full-extent corner.  Slack is likewise nonincreasing (a constant
+  // block target minus a growing buffer), so the all-ones slack bounds
+  // it from above everywhere.
+  const std::size_t dims = enumeration.loop_indices.size();
+  std::vector<double> ones(dims, 1.0);
+  std::vector<double> corner(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    corner[d] = static_cast<double>(program.range(enumeration.loop_indices[d]));
+  }
+
+  int removed = 0;
+  std::vector<double> point(dims);
+  for (ChoiceGroup& group : enumeration.groups) {
+    const std::size_t k = group.options.size();
+    if (k < 2) continue;
+
+    std::vector<double> cost_min(k);     // at the full-extent corner
+    std::vector<double> cost_max(k);     // at all-ones tiles
+    std::vector<double> slack_max(k);    // at all-ones tiles
+    std::vector<std::vector<double>> memory(k);  // [option][grid point]
+    for (std::size_t c = 0; c < k; ++c) {
+      const ChoiceOption& option = group.options[c];
+      expr::Expr cost_expr = option.disk_cost;
+      if (options.seek_cost_bytes > 0) {
+        cost_expr =
+            cost_expr + expr::lit(options.seek_cost_bytes) * option_call_count(program, option);
+      }
+      const expr::CompiledExpr cost_fn(cost_expr, table);
+      const expr::CompiledExpr memory_fn(option.memory_cost, table);
+      const expr::CompiledExpr slack_fn(
+          option_block_slack(program, group.array, option, options), table);
+      cost_min[c] = cost_fn.eval(corner);
+      cost_max[c] = cost_fn.eval(ones);
+      slack_max[c] = slack_fn.eval(ones);
+
+      std::vector<std::size_t> cursor(grids.size(), 0);
+      while (true) {
+        for (std::size_t d = 0; d < grids.size(); ++d) point[d] = grids[d][cursor[d]];
+        memory[c].push_back(memory_fn.eval(point));
+        std::size_t d = 0;
+        for (; d < grids.size(); ++d) {
+          if (++cursor[d] < grids[d].size()) break;
+          cursor[d] = 0;
+        }
+        if (d == grids.size()) break;
+      }
+    }
+
+    const std::size_t num_points = memory[0].size();
+    // B's worst cost beats A's best cost (lower index wins exact ties),
+    // B is block-feasible everywhere, and B never needs more memory —
+    // so any feasible point using A stays feasible and gets no worse
+    // when switched to B.
+    const auto bound_dominates = [&](std::size_t b, std::size_t a) {
+      if (cost_max[b] > cost_min[a]) return false;
+      if (cost_max[b] == cost_min[a] && b > a) return false;
+      if (slack_max[b] > 0) return false;
+      for (std::size_t p = 0; p < num_points; ++p) {
+        if (memory[b][p] > memory[a][p]) return false;
+      }
+      return true;
+    };
+
+    std::vector<char> dead(k, 0);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k && !dead[a]; ++b) {
+        if (b != a && !dead[b] && bound_dominates(b, a)) dead[a] = 1;
+      }
+    }
+
+    std::vector<ChoiceOption> kept;
+    kept.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!dead[c]) kept.push_back(std::move(group.options[c]));
+    }
+    removed += static_cast<int>(k - kept.size());
+    group.options = std::move(kept);
+  }
+
+  if (removed > 0) {
+    obs::metrics().counter("synth.bound_pruned_options").add(removed);
+    log::debug("bound_prune_dominated: removed ", removed, " bound-dominated placement options");
+  }
+  return removed;
+}
+
 }  // namespace oocs::core

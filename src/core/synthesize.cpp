@@ -79,10 +79,26 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
     OOCS_SPAN("synth", "prune_dominated");
     pruned = prune_dominated(program, enumeration, options);
   }
+  int bound_pruned = 0;
+  if (options.prune_dominated && options.bound_prune) {
+    OOCS_SPAN("synth", "bound_prune");
+    bound_pruned = bound_prune_dominated(program, enumeration, options);
+  }
+  // Communication lower bound over the (pruned) candidate space —
+  // pruning preserves the optimal achievable cost, so the Σ-of-group-
+  // minima floor over the surviving options is still a valid floor for
+  // anything the solver can return.
+  const IoLowerBound bound = [&] {
+    OOCS_SPAN("synth", "io_lower_bound");
+    return io_lower_bound(program, enumeration, options);
+  }();
   NlpModel model = [&] {
     OOCS_SPAN("synth", "build_nlp");
     return build_nlp(program, enumeration, options);
   }();
+  if (options.bound_cutoff && bound.objective > 0) {
+    model.problem.set_objective_cutoff(bound.objective * (1.0 + options.bound_eps));
+  }
 
   // Warm start: a coarse greedy sweep seeds the solver in a good basin;
   // the solver's incumbent can only improve on it.
@@ -190,9 +206,14 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
   result.predicted_io = predict_io(program, enumeration, result.decisions);
   result.predicted_io_calls = result.predicted_io.total_calls();
 
+  result.lower_bound = bound;
+  result.io_lower_bound_bytes = bound.bytes;
+  result.bound_efficiency = bound.efficiency(result.predicted_disk_bytes);
+
   result.enumeration = std::move(enumeration);
   result.codegen_seconds = timer.seconds();
   result.pruned_options = pruned;
+  result.bound_pruned_options = bound_pruned;
   result.greedy_cost = greedy_cost;
   result.warm_cost = warm_cost;
   result.warm_start_used = warm_used;
@@ -205,6 +226,9 @@ SynthesisResult synthesize(const ir::Program& program, const SynthesisOptions& o
     m.counter("solver.evaluations").add(result.solution.stats.evaluations);
     m.counter("solver.delta_evaluations").add(result.solution.stats.delta_evaluations);
     m.counter("solver.full_evaluations").add(result.solution.stats.full_evaluations);
+    m.counter("solver.cutoff_hits").add(result.solution.stats.cutoff_hits);
+    m.counter("solver.iterations_saved").add(result.solution.stats.iterations_saved);
+    m.gauge("bound_efficiency").set(result.bound_efficiency);
   }
   return result;
 }

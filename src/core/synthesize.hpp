@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/access.hpp"
+#include "core/bounds.hpp"
 #include "core/nlp.hpp"
 #include "core/plan.hpp"
 #include "core/predict.hpp"
@@ -60,6 +61,19 @@ struct SynthesisResult {
   /// iterations, KKT residual, rounded-vs-relaxed gap); unset when
   /// SynthesisOptions::relaxation_warm_start is off.
   std::optional<solver::RelaxationStats> relaxation;
+  /// Communication lower bound for this program under the memory budget
+  /// (max of the compulsory, structural, and HBL floors; see
+  /// core/bounds.hpp).  Always computed — the cutoff and prune knobs
+  /// only control whether it feeds back into the search.
+  IoLowerBound lower_bound;
+  /// lower_bound.bytes — proved minimum disk traffic in bytes.
+  double io_lower_bound_bytes = 0;
+  /// lower_bound / achieved, clamped to [0, 1]; 1 means the plan's
+  /// modeled traffic meets the proved floor exactly.
+  double bound_efficiency = 0;
+  /// Placement options removed by the bound-based dominance axis (a
+  /// subset count separate from `pruned_options`).
+  int bound_pruned_options = 0;
 
   /// Chosen option labels per group, e.g. "A: read above nT".
   [[nodiscard]] std::string decisions_to_text() const;

@@ -87,6 +87,12 @@ std::string DriftReport::to_text() const {
                   mb(total.measured_write_bytes).c_str());
     out += line;
   }
+  if (has_bound) {
+    std::snprintf(line, sizeof(line),
+                  "lower bound  : %s MB proved floor, efficiency %.2f of modeled traffic\n",
+                  mb(io_lower_bound_bytes).c_str(), bound_efficiency);
+    out += line;
+  }
   if (has_cache) {
     std::snprintf(line, sizeof(line),
                   "cache (%s MB budget): predicted %s MB hits / %s MB disk reads; "
@@ -133,6 +139,11 @@ std::string DriftReport::to_json(int indent) const {
     out += ",\n" + pad2 + "\"synthesis\": {\"read_bytes\": " + json_number(synthesis_read_bytes, 0) +
            ", \"write_bytes\": " + json_number(synthesis_write_bytes, 0) +
            ", \"io_calls\": " + json_number(synthesis_io_calls, 0) + "}";
+  }
+  if (has_bound) {
+    out += ",\n" + pad2 + "\"bound\": {\"io_lower_bound_bytes\": " +
+           json_number(io_lower_bound_bytes, 0) +
+           ", \"bound_efficiency\": " + json_number(bound_efficiency) + "}";
   }
   if (has_cache) {
     out += ",\n" + pad2 + "\"cache\": {\"budget_bytes\": " + json_number(cache_budget_bytes, 0) +

@@ -56,6 +56,12 @@ struct DriftReport {
   double synthesis_write_bytes = 0;
   double synthesis_io_calls = 0;
 
+  // Communication lower bound next to the modeled traffic, when known:
+  // how much of the gap to the proved floor the chosen plan closes.
+  bool has_bound = false;
+  double io_lower_bound_bytes = 0;
+  double bound_efficiency = 0;
+
   // Tile-cache prediction vs measurement, when a cache was active.
   bool has_cache = false;
   double cache_budget_bytes = 0;

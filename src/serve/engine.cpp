@@ -42,6 +42,8 @@ std::string Response::to_json() const {
        << ", \"fingerprint\": " << obs::json_quote(fingerprint_hex)
        << ", \"feasible\": " << (feasible ? "true" : "false")
        << ", \"disk_bytes\": " << obs::json_number(predicted_disk_bytes, 1)
+       << ", \"io_lower_bound_bytes\": " << obs::json_number(io_lower_bound_bytes, 1)
+       << ", \"bound_efficiency\": " << obs::json_number(bound_efficiency)
        << ", \"memory_bytes\": " << obs::json_number(memory_bytes, 1)
        << ", \"codegen_seconds\": " << obs::json_number(codegen_seconds)
        << ", \"solver_evaluations\": " << solver_evaluations
@@ -83,6 +85,9 @@ Engine::Engine(ServeOptions options)
   (void)m.counter("serve.errors");
   (void)m.histogram("serve.queue_wait_seconds");
   (void)m.histogram("serve.service_seconds");
+  // Set by core::synthesize on every miss; pre-registered so the
+  // /metrics exposition shows oocs_bound_efficiency from the start.
+  (void)m.gauge("bound_efficiency");
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -210,6 +215,8 @@ Response Engine::handle(const SynthesisRequest& request, std::int64_t request_id
         response.cache_outcome = "hit";
         response.feasible = cached->result.solution.feasible;
         response.predicted_disk_bytes = cached->result.predicted_disk_bytes;
+        response.io_lower_bound_bytes = cached->result.io_lower_bound_bytes;
+        response.bound_efficiency = cached->result.bound_efficiency;
         response.memory_bytes = cached->result.memory_bytes;
         response.greedy_cost = cached->result.greedy_cost;
         response.warm_cost = cached->result.warm_cost;
@@ -248,6 +255,8 @@ Response Engine::handle(const SynthesisRequest& request, std::int64_t request_id
     response.solver_evaluations = result.solution.stats.evaluations;
     response.feasible = result.solution.feasible;
     response.predicted_disk_bytes = result.predicted_disk_bytes;
+    response.io_lower_bound_bytes = result.io_lower_bound_bytes;
+    response.bound_efficiency = result.bound_efficiency;
     response.memory_bytes = result.memory_bytes;
     response.codegen_seconds = result.codegen_seconds;
     response.greedy_cost = result.greedy_cost;

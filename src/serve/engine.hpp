@@ -85,6 +85,10 @@ struct Response {
   std::uint64_t shape = 0;
   bool feasible = false;
   double predicted_disk_bytes = 0;
+  /// Proved communication floor of the served plan's program, and how
+  /// close the plan's modeled traffic comes to it (bound / achieved).
+  double io_lower_bound_bytes = 0;
+  double bound_efficiency = 0;
   double memory_bytes = 0;
   /// Solve time of the request that produced the plan (0 for exact
   /// hits — nothing was solved).

@@ -27,12 +27,19 @@ std::uint64_t SynthesisRequest::config_digest() const {
   h.feed_byte(options.add_binary_equalities ? 1 : 0);
   h.feed_byte(options.prune_dominated ? 1 : 0);
   h.feed_byte(options.relaxation_warm_start ? 1 : 0);
+  h.feed_byte(options.bound_cutoff ? 1 : 0);
+  h.feed_byte(options.bound_prune ? 1 : 0);
   // seek_cost_bytes is a double with integral provenance (bytes); feed
   // its bit pattern so any change alters the digest.
   std::uint64_t seek_bits = 0;
   static_assert(sizeof(seek_bits) == sizeof(options.seek_cost_bytes));
   std::memcpy(&seek_bits, &options.seek_cost_bytes, sizeof(seek_bits));
   h.feed(seek_bits);
+  // bound_eps changes where the cutoff fires and therefore the plan.
+  std::uint64_t eps_bits = 0;
+  static_assert(sizeof(eps_bits) == sizeof(options.bound_eps));
+  std::memcpy(&eps_bits, &options.bound_eps, sizeof(eps_bits));
+  h.feed(eps_bits);
   return h.digest();
 }
 
@@ -102,6 +109,11 @@ SynthesisRequest request_from_json(const std::string& line) {
       v.get_number("seek_bytes", request.options.seek_cost_bytes);
   request.options.prune_dominated = !v.get_bool("no_prune", false);
   request.options.relaxation_warm_start = !v.get_bool("no_relax", false);
+  if (v.get_bool("no_bound", false)) {
+    request.options.bound_cutoff = false;
+    request.options.bound_prune = false;
+  }
+  request.options.bound_eps = v.get_number("bound_eps", request.options.bound_eps);
   request.options.add_binary_equalities = v.get_bool("binary_eq", false);
   request.solver = v.get_string("solver", request.solver);
   request.restarts = static_cast<int>(v.get_int("restarts", request.restarts));
@@ -125,6 +137,10 @@ std::string request_to_json(const SynthesisRequest& request) {
      << ", \"restarts\": " << request.restarts << ", \"seed\": " << request.seed;
   if (!request.options.prune_dominated) os << ", \"no_prune\": true";
   if (!request.options.relaxation_warm_start) os << ", \"no_relax\": true";
+  if (!request.options.bound_cutoff && !request.options.bound_prune) os << ", \"no_bound\": true";
+  if (request.options.bound_eps != core::SynthesisOptions{}.bound_eps) {
+    os << ", \"bound_eps\": " << obs::json_number(request.options.bound_eps, 6);
+  }
   if (request.options.add_binary_equalities) os << ", \"binary_eq\": true";
   if (!request.use_delta) os << ", \"no_delta\": true";
   if (!request.allow_cache) os << ", \"no_cache\": true";

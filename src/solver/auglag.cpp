@@ -368,6 +368,8 @@ Solution AugLagSolver::solve(const CompiledProblem& cp, std::span<const double> 
   std::int64_t inner_total = 0;
   double kkt = std::numeric_limits<double>::infinity();
   int outer_done = 0;
+  std::int64_t cutoff_hits = 0;
+  std::int64_t iterations_saved = 0;
 
   for (int outer = 1; outer <= options_.max_outer; ++outer) {
     outer_done = outer;
@@ -468,6 +470,19 @@ Solution AugLagSolver::solve(const CompiledProblem& cp, std::span<const double> 
     } else {
       rho = std::min(options_.penalty_cap, rho * options_.penalty_factor);
     }
+    // Bound cutoff at the outer-iteration boundary: once the relaxed
+    // iterate is feasible and its objective is under the proved-bound
+    // threshold, further BCL rounds only tighten KKT residuals the
+    // rounding step does not need.
+    if (cp.objective_cutoff().has_value() && feas <= feas_target) {
+      decode(u, xbuf);
+      if (cp.function_smooth(0, xbuf) <= *cp.objective_cutoff()) {
+        ++cutoff_hits;
+        iterations_saved +=
+            static_cast<std::int64_t>(options_.max_outer - outer) * options_.max_inner;
+        break;
+      }
+    }
     if (inner_total >= inner_cap) break;
     if (options_.time_limit_seconds > 0 && timer.seconds() > options_.time_limit_seconds) break;
   }
@@ -485,6 +500,8 @@ Solution AugLagSolver::solve(const CompiledProblem& cp, std::span<const double> 
   solution.stats.iterations = inner_total;
   solution.stats.evaluations = evals;
   solution.stats.full_evaluations = evals;
+  solution.stats.cutoff_hits = cutoff_hits;
+  solution.stats.iterations_saved = iterations_saved;
   solution.stats.seconds = timer.seconds();
 
   if (stats != nullptr) {

@@ -64,6 +64,12 @@ class CompiledProblem {
   /// Slot index of a variable name (must exist).
   [[nodiscard]] int slot_of(const std::string& name) const;
 
+  /// Advisory early-stop target of the source problem (see
+  /// Problem::set_objective_cutoff); nullopt when no bound was proved.
+  [[nodiscard]] const std::optional<double>& objective_cutoff() const noexcept {
+    return problem_->objective_cutoff();
+  }
+
   /// Coupled binary groups declared on the problem.
   [[nodiscard]] const std::vector<Problem::CoupledGroup>& coupled_groups() const noexcept {
     return problem_->coupled_groups();

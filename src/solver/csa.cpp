@@ -39,6 +39,7 @@ Solution CsaSolver::solve(const CompiledProblem& cp, std::span<const double> x0)
   };
 
   std::vector<double> best_point;
+  bool cutoff_hit = false;
   const auto consider_best = [&] {
     if (ev.max_violation() > options_.feasibility_tolerance) return;
     const double f = ev.objective();
@@ -46,6 +47,12 @@ Solution CsaSolver::solve(const CompiledProblem& cp, std::span<const double> x0)
       best.feasible = true;
       best.objective = f;
       best_point = ev.point();
+    }
+    // Bound cutoff: incumbent within tolerance of a proved lower bound.
+    if (!cutoff_hit && cp.objective_cutoff().has_value() && best.feasible &&
+        best.objective <= *cp.objective_cutoff()) {
+      cutoff_hit = true;
+      ++stats.cutoff_hits;
     }
   };
 
@@ -85,6 +92,10 @@ Solution CsaSolver::solve(const CompiledProblem& cp, std::span<const double> x0)
     std::int64_t step_in_level = 0;
 
     for (std::int64_t iter = 0; iter < options_.max_iterations; ++iter) {
+      if (cutoff_hit) {
+        stats.iterations_saved += options_.max_iterations - iter;
+        break;
+      }
       ++stats.iterations;
       if (out_of_time()) break;
       if (temperature < options_.final_temperature) break;
@@ -132,6 +143,10 @@ Solution CsaSolver::solve(const CompiledProblem& cp, std::span<const double> x0)
         step_in_level = 0;
         temperature *= options_.cooling;
       }
+    }
+    if (cutoff_hit) {
+      stats.iterations_saved += (options_.max_restarts - restart) * options_.max_iterations;
+      break;
     }
     if (out_of_time()) break;
   }

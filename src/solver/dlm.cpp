@@ -90,7 +90,16 @@ class DlmRun {
       best_.objective = f;
       best_point_ = ev_.point();
     }
+    // Bound cutoff: the incumbent is within the caller's tolerance of a
+    // proved lower bound — further search is capped gains.
+    if (!cutoff_hit_ && cp_.objective_cutoff().has_value() && best_.feasible &&
+        best_.objective <= *cp_.objective_cutoff()) {
+      cutoff_hit_ = true;
+      ++stats_.cutoff_hits;
+    }
   }
+
+  [[nodiscard]] bool cutoff_hit() const noexcept { return cutoff_hit_; }
 
   void reset_multipliers() { std::fill(lambda_.begin(), lambda_.end(), 0.0); }
 
@@ -99,6 +108,10 @@ class DlmRun {
     double current_l = lagrangian();
     consider_best();
     for (std::int64_t iter = 0; iter < max_iterations; ++iter) {
+      if (cutoff_hit_) {
+        stats_.iterations_saved += max_iterations - iter;
+        return;
+      }
       ++stats_.iterations;
       if (out_of_time()) return;
 
@@ -298,6 +311,7 @@ class DlmRun {
   std::vector<double> moves_;
   Solution best_;
   std::vector<double> best_point_;
+  bool cutoff_hit_ = false;
 };
 
 }  // namespace
@@ -323,14 +337,22 @@ Solution DlmSolver::solve(const CompiledProblem& cp, std::span<const double> x0)
       run.start_from(x);
     }
     run.phase(options_.max_iterations);
+    if (run.cutoff_hit()) {
+      stats.iterations_saved += (options_.max_restarts - restart) * options_.max_iterations;
+      break;
+    }
     if (run.out_of_time()) break;
     // Restart from the incumbent when one exists.
     if (run.has_incumbent()) x = run.best_point();
   }
 
-  run.polish();
-  run.coupled_group_search(std::max<std::int64_t>(options_.max_iterations / 32, 200));
-  run.polish();
+  // The cutoff skips polish and the coupled-code sweep too: the
+  // incumbent is already within tolerance of the proved bound.
+  if (!run.cutoff_hit()) {
+    run.polish();
+    run.coupled_group_search(std::max<std::int64_t>(options_.max_iterations / 32, 200));
+    run.polish();
+  }
 
   Solution best = run.take_best(x);
   best.stats = stats;

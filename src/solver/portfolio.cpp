@@ -129,6 +129,19 @@ Solution PortfolioSolver::solve(const CompiledProblem& cp, std::span<const doubl
       has_incumbent = true;
     }
 
+    // Bound cutoff at the round barrier: the reduced incumbent is
+    // within tolerance of the proved lower bound, so later rounds are
+    // capped gains.  Checked on the deterministic reduction result, so
+    // the decision is identical at every thread count.
+    if (cp.objective_cutoff().has_value() && incumbent.feasible &&
+        incumbent.objective <= *cp.objective_cutoff()) {
+      ++total.cutoff_hits;
+      if (options_.iterations_per_round > 0) {
+        total.iterations_saved += static_cast<std::int64_t>(rounds_cap - rounds_run) *
+                                  workers * options_.iterations_per_round;
+      }
+      break;
+    }
     if (round + 1 >= rounds_cap) break;
     // Early cutoff: a feasible incumbent no round could improve.
     if (!improved && incumbent.feasible) break;

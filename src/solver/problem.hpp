@@ -51,6 +51,17 @@ class Problem {
 
   void set_objective(expr::Expr objective) { objective_ = std::move(objective); }
 
+  /// Optional early-stop target derived from a proved lower bound on
+  /// the objective: a solver may stop as soon as a feasible incumbent's
+  /// objective is ≤ this value (the incumbent is then provably within
+  /// the caller's tolerance of optimal).  Purely advisory — solvers
+  /// that ignore it stay correct, and solve results are bit-identical
+  /// with and without a cutoff that never fires.
+  void set_objective_cutoff(double cutoff) { objective_cutoff_ = cutoff; }
+  [[nodiscard]] const std::optional<double>& objective_cutoff() const noexcept {
+    return objective_cutoff_;
+  }
+
   /// Sets/overrides the warm-start value of an existing variable.
   void set_initial(const std::string& name, std::int64_t value);
 
@@ -87,6 +98,7 @@ class Problem {
   std::vector<Variable> variables_;
   std::unordered_map<std::string, std::size_t> index_;
   expr::Expr objective_ = expr::lit(0);
+  std::optional<double> objective_cutoff_;
   std::vector<Constraint> constraints_;
   std::vector<CoupledGroup> coupled_groups_;
 };
@@ -107,6 +119,11 @@ struct SolveStats {
   /// Portfolio only: independently seeded workers and sync rounds run.
   std::int64_t workers = 0;
   std::int64_t rounds = 0;
+  /// Bound-cutoff accounting: runs stopped early because a feasible
+  /// incumbent reached the Problem's objective_cutoff, and the budgeted
+  /// iterations those stops skipped.
+  std::int64_t cutoff_hits = 0;
+  std::int64_t iterations_saved = 0;
   double seconds = 0;
 
   /// Accumulates another run's work counters (portfolio reduction).
@@ -116,6 +133,8 @@ struct SolveStats {
     delta_evaluations += other.delta_evaluations;
     full_evaluations += other.full_evaluations;
     restarts += other.restarts;
+    cutoff_hits += other.cutoff_hits;
+    iterations_saved += other.iterations_saved;
   }
 };
 

@@ -1,0 +1,241 @@
+// Tests for the communication lower-bound engine (core/bounds.hpp):
+// soundness of the bound against every solver's achieved plan, alpha-
+// renaming invariance, the predict_cache/HBL reconciliation, and the
+// bound-cutoff determinism matrix across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/bounds.hpp"
+#include "core/predict.hpp"
+#include "core/synthesize.hpp"
+#include "ir/examples.hpp"
+#include "ir/parser.hpp"
+#include "solver/csa.hpp"
+#include "solver/dlm.hpp"
+#include "solver/portfolio.hpp"
+
+namespace oocs::core {
+namespace {
+
+SynthesisOptions small_options(std::int64_t memory_limit) {
+  SynthesisOptions options;
+  options.memory_limit_bytes = memory_limit;
+  options.min_read_block_bytes = 1 * kKiB;
+  options.min_write_block_bytes = 1 * kKiB;
+  return options;
+}
+
+/// Small-parameter versions of every ir::examples program, solvable in
+/// well under a second per solver run.
+std::vector<std::pair<const char*, ir::Program>> example_programs() {
+  std::vector<std::pair<const char*, ir::Program>> programs;
+  programs.emplace_back("two_index", ir::examples::two_index(64, 64, 48, 48));
+  programs.emplace_back("two_index_unfused", ir::examples::two_index_unfused(64, 64, 48, 48));
+  programs.emplace_back("four_index", ir::examples::four_index(20, 16));
+  return programs;
+}
+
+solver::PortfolioOptions small_portfolio(int threads, bool use_auglag = false) {
+  solver::PortfolioOptions o;
+  o.seed = 7;
+  o.restarts = 4;
+  o.threads = threads;
+  o.max_rounds = 2;
+  o.iterations_per_round = 2'000;
+  o.use_auglag = use_auglag;
+  return o;
+}
+
+/// The five solver configurations of the satellite matrix.
+std::vector<std::pair<const char*, std::unique_ptr<solver::Solver>>> solver_matrix() {
+  std::vector<std::pair<const char*, std::unique_ptr<solver::Solver>>> solvers;
+  solver::DlmOptions dlm;
+  dlm.seed = 11;
+  dlm.max_iterations = 3'000;
+  solvers.emplace_back("dlm", std::make_unique<solver::DlmSolver>(dlm));
+  solver::CsaOptions csa;
+  csa.seed = 11;
+  csa.max_iterations = 3'000;
+  solvers.emplace_back("csa", std::make_unique<solver::CsaSolver>(csa));
+  solvers.emplace_back("portfolio",
+                       std::make_unique<solver::PortfolioSolver>(small_portfolio(2)));
+  solvers.emplace_back("auglag", std::make_unique<solver::AugLagSolver>());
+  solvers.emplace_back("portfolio_auglag",
+                       std::make_unique<solver::PortfolioSolver>(small_portfolio(2, true)));
+  return solvers;
+}
+
+TEST(BoundSoundness, BoundNeverExceedsAchievedForAnySolver) {
+  // The acceptance property: on every example nest and every solver in
+  // the portfolio, the proved floor never exceeds the plan the solver
+  // actually achieved — in bytes against the modeled disk traffic and
+  // in objective units against the solved NLP objective.
+  for (const auto& [pname, program] : example_programs()) {
+    for (auto& [sname, solver] : solver_matrix()) {
+      SynthesisOptions options = small_options(64 * kKiB);
+      const SynthesisResult result = synthesize(program, options, *solver);
+      ASSERT_TRUE(result.solution.feasible) << pname << "/" << sname;
+      EXPECT_LE(result.io_lower_bound_bytes, result.predicted_disk_bytes * (1 + 1e-9))
+          << pname << "/" << sname << ": bound exceeds achieved disk bytes";
+      EXPECT_LE(result.lower_bound.objective, result.solution.objective * (1 + 1e-9))
+          << pname << "/" << sname << ": objective bound exceeds solved objective";
+      // The combined bound is the max of its three components and the
+      // efficiency is the clamped ratio.
+      const IoLowerBound& b = result.lower_bound;
+      EXPECT_DOUBLE_EQ(b.bytes, std::max({b.compulsory_bytes, b.structural_bytes,
+                                          b.hbl_bytes}))
+          << pname << "/" << sname;
+      EXPECT_GE(b.objective, b.bytes) << pname << "/" << sname;
+      EXPECT_GE(result.bound_efficiency, 0.0) << pname << "/" << sname;
+      EXPECT_LE(result.bound_efficiency, 1.0) << pname << "/" << sname;
+      EXPECT_GT(result.io_lower_bound_bytes, 0) << pname << "/" << sname;
+    }
+  }
+}
+
+TEST(BoundInvariance, AlphaRenamingLeavesEveryComponentUnchanged)  {
+  // Same structure and extents as two_index_dsl(48, 40, 36, 32) with
+  // every index and array renamed (the ir::fingerprint collision pair).
+  const std::string renamed =
+      "range x = 48, y = 40, u = 36, v = 32;\n"
+      "input AA(x, y);\n"
+      "input D1(u, x);\n"
+      "input D2(v, y);\n"
+      "intermediate S(v, x);\n"
+      "output BB(u, v);\n"
+      "\n"
+      "BB[*,*] = 0;\n"
+      "for (x, v) {\n"
+      "  S[v,x] = 0;\n"
+      "  for (y) { S[v,x] += D2[v,y] * AA[x,y]; }\n"
+      "  for (u) { BB[u,v] += D1[u,x] * S[v,x]; }\n"
+      "}\n";
+  const ir::Program p = ir::parse(ir::examples::two_index_dsl(48, 40, 36, 32));
+  const ir::Program q = ir::parse(renamed);
+  const SynthesisOptions options = small_options(64 * kKiB);
+  solver::DlmOptions dlm;
+  dlm.seed = 11;
+  dlm.max_iterations = 1'000;
+  solver::DlmSolver sp(dlm);
+  solver::DlmSolver sq(dlm);
+  const SynthesisResult rp = synthesize(p, options, sp);
+  const SynthesisResult rq = synthesize(q, options, sq);
+  EXPECT_DOUBLE_EQ(rp.io_lower_bound_bytes, rq.io_lower_bound_bytes);
+  EXPECT_DOUBLE_EQ(rp.lower_bound.objective, rq.lower_bound.objective);
+  EXPECT_DOUBLE_EQ(rp.lower_bound.compulsory_bytes, rq.lower_bound.compulsory_bytes);
+  EXPECT_DOUBLE_EQ(rp.lower_bound.structural_bytes, rq.lower_bound.structural_bytes);
+  EXPECT_DOUBLE_EQ(rp.lower_bound.hbl_bytes, rq.lower_bound.hbl_bytes);
+  ASSERT_EQ(rp.lower_bound.statements.size(), rq.lower_bound.statements.size());
+  for (std::size_t i = 0; i < rp.lower_bound.statements.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rp.lower_bound.statements[i].sigma, rq.lower_bound.statements[i].sigma);
+    EXPECT_DOUBLE_EQ(rp.lower_bound.statements[i].iteration_space,
+                     rq.lower_bound.statements[i].iteration_space);
+  }
+}
+
+TEST(PredictCacheFloor, CachedTrafficNeverBeatsHblAtCombinedCapacity) {
+  // The tile cache enlarges the effective fast memory by its budget, so
+  // the HBL/compulsory floor at (memory limit + budget) must still hold
+  // for the cache-adjusted traffic prediction on every example nest.
+  for (const auto& [pname, program] : example_programs()) {
+    const SynthesisOptions options = small_options(64 * kKiB);
+    const SynthesisResult result = synthesize(program, options);
+    ASSERT_TRUE(result.solution.feasible) << pname;
+    for (const std::int64_t budget : {std::int64_t{16} * kKiB, std::int64_t{256} * kKiB}) {
+      const CachePrediction cached =
+          predict_cache(program, result.enumeration, result.decisions, budget);
+      const double floor =
+          hbl_lower_bound_bytes(program, options.memory_limit_bytes + budget);
+      EXPECT_GE(cached.with_cache.read_bytes + cached.with_cache.write_bytes,
+                floor * (1 - 1e-9))
+          << pname << " budget=" << budget
+          << ": cache reuse model claims less traffic than the proved floor";
+    }
+  }
+}
+
+TEST(BoundCutoff, DeterminismMatrixAcrossThreadCountsAndToggle) {
+  // Fixed seed, cutoff on: bit-identical solutions at 1 and 4 threads.
+  // When the cutoff never fires the run is also bit-identical to the
+  // cutoff-off run (the checks are pure observers); when it fires, the
+  // accepted incumbent is within bound_eps of the proved floor, which
+  // itself never exceeds the cutoff-off objective.
+  for (const auto& [pname, program] : example_programs()) {
+    SynthesisOptions off_options = small_options(64 * kKiB);
+    off_options.bound_cutoff = false;
+    std::optional<solver::Solution> off;
+    std::optional<solver::Solution> on;
+    for (const int threads : {1, 4}) {
+      solver::PortfolioSolver off_solver(small_portfolio(threads));
+      const SynthesisResult off_result = synthesize(program, off_options, off_solver);
+      ASSERT_TRUE(off_result.solution.feasible) << pname << " threads=" << threads;
+      EXPECT_EQ(off_result.solution.stats.cutoff_hits, 0) << pname;
+
+      SynthesisOptions on_options = off_options;
+      on_options.bound_cutoff = true;
+      solver::PortfolioSolver on_solver(small_portfolio(threads));
+      const SynthesisResult on_result = synthesize(program, on_options, on_solver);
+      ASSERT_TRUE(on_result.solution.feasible) << pname << " threads=" << threads;
+
+      if (!off.has_value()) {
+        off = off_result.solution;
+        on = on_result.solution;
+      } else {
+        EXPECT_EQ(off_result.solution.values, off->values)
+            << pname << ": cutoff-off diverges between 1 and " << threads << " threads";
+        EXPECT_EQ(on_result.solution.values, on->values)
+            << pname << ": cutoff-on diverges between 1 and " << threads << " threads";
+        EXPECT_DOUBLE_EQ(on_result.solution.objective, on->objective) << pname;
+      }
+      if (on_result.solution.stats.cutoff_hits == 0) {
+        EXPECT_EQ(on_result.solution.values, off_result.solution.values)
+            << pname << ": non-firing cutoff perturbed the search";
+        EXPECT_DOUBLE_EQ(on_result.solution.objective, off_result.solution.objective)
+            << pname;
+      } else {
+        EXPECT_GT(on_result.solution.stats.iterations_saved, 0) << pname;
+        EXPECT_LE(on_result.solution.objective,
+                  on_result.lower_bound.objective * (1 + on_options.bound_eps) * (1 + 1e-12))
+            << pname << ": cutoff accepted an incumbent outside the epsilon band";
+      }
+    }
+  }
+}
+
+TEST(BoundCutoff, ForcedCutoffStopsEarlyAndStaysSound) {
+  // A huge epsilon makes the cutoff threshold trivially reachable, so
+  // the solver must stop at the first feasible incumbent, report the
+  // hit, and the floor must still hold for whatever it returns.
+  for (const auto& [pname, program] : example_programs()) {
+    SynthesisOptions options = small_options(64 * kKiB);
+    options.bound_cutoff = true;
+    options.bound_eps = 1e6;
+    std::optional<solver::Solution> ref;
+    for (const int threads : {1, 4}) {
+      solver::PortfolioSolver portfolio(small_portfolio(threads));
+      const SynthesisResult result = synthesize(program, options, portfolio);
+      ASSERT_TRUE(result.solution.feasible) << pname;
+      EXPECT_GT(result.solution.stats.cutoff_hits, 0)
+          << pname << ": trivially reachable cutoff never fired";
+      EXPECT_LE(result.lower_bound.objective, result.solution.objective * (1 + 1e-9))
+          << pname;
+      if (!ref.has_value()) {
+        ref = result.solution;
+      } else {
+        EXPECT_EQ(result.solution.values, ref->values)
+            << pname << ": firing cutoff diverges between 1 and " << threads << " threads";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oocs::core

@@ -126,6 +126,17 @@ def check_exposition(lines):
         if name.endswith("_total") and value < 0:
             fail(f"line {i}: counter {name} is negative ({value})")
 
+    # The serve engine pre-registers the bound-efficiency gauge, so any
+    # page with serve counters must carry it, and it is a ratio of a
+    # proved lower bound to an achieved cost: always within [0, 1].
+    names = {name for name, _, _, _ in samples}
+    if "oocs_serve_requests_total" in names and "oocs_bound_efficiency" not in names:
+        fail("serve page missing oocs_bound_efficiency gauge")
+    for name, _, value, i in samples:
+        if name == "oocs_bound_efficiency":
+            if not (0.0 <= value <= 1.0):
+                fail(f"line {i}: oocs_bound_efficiency {value} outside [0, 1]")
+
     # Histogram families: group by base name from the TYPE declarations.
     histograms = {t for t in typed if any(s[0] == t + "_count" for s in samples)}
     by_name = {}

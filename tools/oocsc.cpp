@@ -18,6 +18,14 @@
 //                       portfolio worker variant
 //   --no-relax          skip the continuous-relaxation warm start (the
 //                       solver then seeds from the greedy sweep alone)
+//   --no-bound          do not feed the communication lower bound back
+//                       into the search (disables both the solver
+//                       early-cutoff and the bound-based dominance
+//                       axis); the bound itself is still computed and
+//                       reported
+//   --bound-eps F       relative cutoff slack: solvers stop once a
+//                       feasible incumbent is within F of the proved
+//                       lower bound (default 0.02)
 //   --restarts N        portfolio worker count (default 4)
 //   --solver-threads N  portfolio thread count (default 0 = the
 //                       OOCS_THREADS env, else 1)
@@ -67,7 +75,12 @@
 //                       synthesis summary.
 //   --stats-json FILE   dump the synthesis summary (and, with --run,
 //                       the execution statistics and the model-vs-actual
-//                       drift report) as JSON to FILE
+//                       drift report) as JSON to FILE.  The synthesis
+//                       block includes the bound fields
+//                       io_lower_bound_bytes, bound_efficiency,
+//                       bound_compulsory_bytes, bound_structural_bytes,
+//                       bound_hbl_bytes, bound_pruned_options,
+//                       solver_cutoff_hits and solver_iterations_saved
 //   --trace FILE        record a runtime trace (synthesis + execution
 //                       spans) and write it as Chrome trace-event JSON
 //                       to FILE (load in chrome://tracing or Perfetto)
@@ -78,6 +91,7 @@
 //
 // Exit status: 0 on success (and verification, with --run), 1 on error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -139,6 +153,7 @@ struct Args {
   std::fprintf(stderr,
                "usage: %s FILE.oocs [--memory BYTES]\n"
                "       [--solver dlm|csa|portfolio|auglag|portfolio+auglag] [--no-relax]\n"
+               "       [--no-bound] [--bound-eps F]\n"
                "       [--restarts N] [--solver-threads N] [--seed N] [--no-prune]\n"
                "       [--no-delta] [--binary-eq] [--read-block BYTES] [--write-block BYTES]\n"
                "       [--seek-bytes N] [--fingerprint] [--fuse] [--ampl] [--placements] [--tree]\n"
@@ -170,6 +185,19 @@ Args parse_args(int argc, char** argv) {
       if (args.solver_threads < 0) usage(argv[0]);
     } else if (std::strcmp(a, "--no-relax") == 0) {
       args.options.relaxation_warm_start = false;
+    } else if (std::strcmp(a, "--no-bound") == 0) {
+      args.options.bound_cutoff = false;
+      args.options.bound_prune = false;
+    } else if (std::strcmp(a, "--bound-eps") == 0) {
+      const char* v = need_value(i);
+      char* end = nullptr;
+      const double eps = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(eps >= 0)) {
+        std::fprintf(stderr, "oocsc: invalid bound eps '%s' (expected a nonnegative number)\n",
+                     v);
+        std::exit(1);
+      }
+      args.options.bound_eps = eps;
     } else if (std::strcmp(a, "--no-prune") == 0) {
       args.options.prune_dominated = false;
     } else if (std::strcmp(a, "--no-delta") == 0) {
@@ -295,6 +323,13 @@ int run(const Args& args) {
   std::printf("predicted: %s disk traffic, %.0f I/O calls, %s buffers; codegen %.2f s\n",
               format_bytes(result.predicted_disk_bytes).c_str(), result.predicted_io_calls,
               format_bytes(result.memory_bytes).c_str(), result.codegen_seconds);
+  std::printf("lower bound: %s disk traffic (efficiency %.2f; compulsory %s, structural %s, "
+              "HBL %s)%s\n",
+              format_bytes(result.io_lower_bound_bytes).c_str(), result.bound_efficiency,
+              format_bytes(result.lower_bound.compulsory_bytes).c_str(),
+              format_bytes(result.lower_bound.structural_bytes).c_str(),
+              format_bytes(result.lower_bound.hbl_bytes).c_str(),
+              result.solution.stats.cutoff_hits > 0 ? "; solver stopped at bound cutoff" : "");
 
   // End-to-end time predictions under the calibrated disk model: with
   // and without I/O/compute overlap (the --async execution mode).
@@ -408,6 +443,9 @@ int run(const Args& args) {
     report.synthesis_read_bytes = result.predicted_io.read_bytes;
     report.synthesis_write_bytes = result.predicted_io.write_bytes;
     report.synthesis_io_calls = result.predicted_io.total_calls();
+    report.has_bound = true;
+    report.io_lower_bound_bytes = result.io_lower_bound_bytes;
+    report.bound_efficiency = result.bound_efficiency;
     if (cache_prediction.has_value()) {
       const dra::IoStats& io = exec_stats.has_value() ? exec_stats->io : parallel_stats->total;
       report.has_cache = true;
@@ -487,6 +525,14 @@ int run(const Args& args) {
                  "    \"predicted_overlapped_seconds\": %.6f,\n"
                  "    \"codegen_seconds\": %.6f,\n"
                  "    \"feasible\": %s,\n"
+                 "    \"io_lower_bound_bytes\": %.0f,\n"
+                 "    \"bound_efficiency\": %.6f,\n"
+                 "    \"bound_compulsory_bytes\": %.0f,\n"
+                 "    \"bound_structural_bytes\": %.0f,\n"
+                 "    \"bound_hbl_bytes\": %.0f,\n"
+                 "    \"bound_pruned_options\": %d,\n"
+                 "    \"solver_cutoff_hits\": %lld,\n"
+                 "    \"solver_iterations_saved\": %lld,\n"
                  "    \"pruned_options\": %d,\n"
                  "    \"solver_evaluations\": %lld,\n"
                  "    \"solver_delta_evaluations\": %lld,\n"
@@ -498,6 +544,11 @@ int run(const Args& args) {
                  result.predicted_io.read_bytes, result.predicted_io.write_bytes,
                  result.memory_bytes, predicted_flops, predicted_serial, predicted_overlap,
                  result.codegen_seconds, result.solution.feasible ? "true" : "false",
+                 result.io_lower_bound_bytes, result.bound_efficiency,
+                 result.lower_bound.compulsory_bytes, result.lower_bound.structural_bytes,
+                 result.lower_bound.hbl_bytes, result.bound_pruned_options,
+                 static_cast<long long>(result.solution.stats.cutoff_hits),
+                 static_cast<long long>(result.solution.stats.iterations_saved),
                  result.pruned_options,
                  static_cast<long long>(result.solution.stats.evaluations),
                  static_cast<long long>(result.solution.stats.delta_evaluations),
